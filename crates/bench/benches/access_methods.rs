@@ -1,0 +1,50 @@
+//! Benchmarks the row-wise vs column-to-row access methods on the text-like
+//! and graph-like workloads (the Figure 7 tradeoff, measured as real epoch
+//! time of the statistical execution at generated scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimmwitted::{AnalyticsTask, ModelKind};
+use dw_data::{Dataset, PaperDataset};
+use dw_optim::{shuffled_indices, AtomicModel};
+use std::hint::black_box;
+
+fn epoch_row(task: &AnalyticsTask, model: &AtomicModel, order: &[usize]) {
+    for &i in order {
+        task.objective.row_step(&task.data, i, model, 0.05);
+    }
+}
+
+fn epoch_col(task: &AnalyticsTask, model: &AtomicModel, order: &[usize]) {
+    for &j in order {
+        task.objective.col_step(&task.data, j, model, 0.05);
+    }
+}
+
+fn bench_access_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("access_methods");
+    group.sample_size(10);
+    let cases = [
+        (PaperDataset::Reuters, ModelKind::Svm),
+        (PaperDataset::AmazonLp, ModelKind::Lp),
+    ];
+    for (dataset, kind) in cases {
+        let task = AnalyticsTask::from_dataset(&Dataset::generate(dataset, 1), kind);
+        let model = AtomicModel::zeros(task.dim());
+        let row_order = shuffled_indices(task.examples(), 1);
+        let col_order = shuffled_indices(task.dim(), 1);
+        group.bench_with_input(
+            BenchmarkId::new("row_wise_epoch", &task.name),
+            &task,
+            |b, t| b.iter(|| epoch_row(black_box(t), &model, &row_order)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("column_to_row_epoch", &task.name),
+            &task,
+            |b, t| b.iter(|| epoch_col(black_box(t), &model, &col_order)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(access, bench_access_methods);
+criterion_main!(access);

@@ -1,0 +1,44 @@
+//! End-to-end engine benchmarks: one full epoch under the plans the paper's
+//! competitor systems occupy (Figure 5), plus the cost-based optimizer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimmwitted::{AnalyticsTask, Engine, ExecutionPlan, ModelKind, Optimizer, RunConfig};
+use dw_data::{Dataset, PaperDataset};
+use dw_numa::MachineTopology;
+use std::hint::black_box;
+
+fn bench_engine_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_epoch");
+    group.sample_size(10);
+    let machine = MachineTopology::local2();
+    let engine = Engine::new(machine.clone());
+    let task = AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Reuters, 1), ModelKind::Svm);
+    let plans = [
+        ("dimmwitted", Optimizer::new(machine.clone()).choose_plan(&task)),
+        ("hogwild", ExecutionPlan::hogwild(&machine)),
+        ("graphlab", ExecutionPlan::graphlab(&machine)),
+        ("mllib", ExecutionPlan::mllib(&machine)),
+    ];
+    let config = RunConfig {
+        epochs: 1,
+        ..RunConfig::default()
+    };
+    for (name, plan) in plans {
+        group.bench_with_input(BenchmarkId::new("one_epoch", name), &plan, |b, p| {
+            b.iter(|| engine.run(black_box(&task), p, &config))
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let machine = MachineTopology::local2();
+    let optimizer = Optimizer::new(machine);
+    let task = AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Rcv1, 1), ModelKind::Svm);
+    c.bench_function("optimizer_choose_plan", |b| {
+        b.iter(|| optimizer.choose_plan(black_box(&task)))
+    });
+}
+
+criterion_group!(engine, bench_engine_epoch, bench_optimizer);
+criterion_main!(engine);

@@ -1,0 +1,65 @@
+//! Micro-benchmarks of the storage and vector kernels every access method is
+//! built on (dot products, axpy, CSR/CSC traversal, layout conversion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::{dot_dense, dot_sparse_dense, Layout, SparseVector};
+use std::hint::black_box;
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(20);
+    for &dim in &[64usize, 1024, 16384] {
+        let a: Vec<f64> = (0..dim).map(|i| i as f64 * 0.5).collect();
+        let b: Vec<f64> = (0..dim).map(|i| i as f64 * 0.25 - 1.0).collect();
+        group.bench_with_input(BenchmarkId::new("dot_dense", dim), &dim, |bencher, _| {
+            bencher.iter(|| dot_dense(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_kernels");
+    group.sample_size(20);
+    let dense: Vec<f64> = (0..50_000).map(|i| (i % 13) as f64).collect();
+    for &nnz in &[8usize, 128, 2048] {
+        let sv = SparseVector::from_parts(
+            (0..nnz as u32).map(|i| i * 7).collect(),
+            (0..nnz).map(|i| i as f64).collect(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dot_sparse_dense", nnz),
+            &nnz,
+            |bencher, _| bencher.iter(|| dot_sparse_dense(black_box(&sv), black_box(&dense))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_matrix_traversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_traversal");
+    group.sample_size(10);
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let csr = dataset.matrix.clone();
+    let csc = csr.to_csc();
+    let x = vec![0.5; csr.cols()];
+    let y = vec![0.5; csr.rows()];
+    group.bench_function("csr_matvec", |b| b.iter(|| csr.matvec(black_box(&x))));
+    group.bench_function("csc_transpose_matvec", |b| {
+        b.iter(|| csc.transpose_matvec(black_box(&y)))
+    });
+    group.bench_function("csr_to_csc", |b| b.iter(|| csr.to_csc()));
+    group.bench_function("csr_to_dense_rowmajor", |b| {
+        b.iter(|| csr.to_dense(Layout::RowMajor))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_dense_kernels,
+    bench_sparse_kernels,
+    bench_matrix_traversal
+);
+criterion_main!(kernels);

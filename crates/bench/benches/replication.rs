@@ -1,0 +1,42 @@
+//! Benchmarks the model-replication strategies: the cost of the averaging
+//! protocol and the real (threaded) Hogwild!-style execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dimmwitted::parallel_sum::parallel_sum;
+use dimmwitted::ModelReplication;
+use dw_numa::MachineTopology;
+use dw_optim::{average_models, AtomicModel};
+use std::hint::black_box;
+
+fn bench_model_averaging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_averaging");
+    group.sample_size(20);
+    for &dim in &[1_000usize, 50_000] {
+        let replicas: Vec<AtomicModel> = (0..4)
+            .map(|r| AtomicModel::from_vec(&vec![r as f64; dim]))
+            .collect();
+        let refs: Vec<&AtomicModel> = replicas.iter().collect();
+        group.bench_with_input(BenchmarkId::new("average_4_replicas", dim), &dim, |b, _| {
+            b.iter(|| average_models(black_box(&refs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parallel_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_sum");
+    group.sample_size(10);
+    let machine = MachineTopology::local2();
+    let data: Vec<f64> = (0..500_000).map(|i| (i % 17) as f64).collect();
+    for strategy in ModelReplication::all() {
+        group.bench_with_input(
+            BenchmarkId::new("sum", strategy.name()),
+            &strategy,
+            |b, &s| b.iter(|| parallel_sum(black_box(&data), &machine, s, 4)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(replication, bench_model_averaging, bench_parallel_sum);
+criterion_main!(replication);

@@ -1,0 +1,39 @@
+//! Regenerates every table and figure of the evaluation in one run.  Run
+//! with `cargo run -p dw-bench --release --bin all_figures`.
+
+use dw_bench::{figures, Scale};
+
+fn main() {
+    let scale = Scale::full();
+    for table in figures::fig07(scale) {
+        table.print();
+    }
+    for table in figures::fig08(scale) {
+        table.print();
+    }
+    for table in figures::fig09(scale) {
+        table.print();
+    }
+    figures::fig10(scale).print();
+    for table in figures::fig11(scale) {
+        table.print();
+    }
+    for table in figures::fig12(scale) {
+        table.print();
+    }
+    figures::fig13(scale).print();
+    figures::fig14(scale).print();
+    figures::fig15(scale).print();
+    for table in figures::fig16(scale) {
+        table.print();
+    }
+    for table in figures::fig17(scale) {
+        table.print();
+    }
+    figures::fig20(scale).print();
+    figures::fig21(scale).print();
+    figures::fig22(scale).print();
+    for table in figures::appendix(scale) {
+        table.print();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Appendix A implementation-detail experiments.  Run with
+//! `cargo run -p dw-bench --release --bin appendix`.
+
+fn main() {
+    for table in dw_bench::figures::appendix(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 07 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig07`.
+
+fn main() {
+    for table in dw_bench::figures::fig07(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

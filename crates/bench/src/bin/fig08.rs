@@ -1,0 +1,8 @@
+//! Regenerates Figure 08 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig08`.
+
+fn main() {
+    for table in dw_bench::figures::fig08(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

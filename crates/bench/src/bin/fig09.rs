@@ -1,0 +1,8 @@
+//! Regenerates Figure 09 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig09`.
+
+fn main() {
+    for table in dw_bench::figures::fig09(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

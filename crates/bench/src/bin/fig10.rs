@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig10`.
+
+fn main() {
+    dw_bench::figures::fig10(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 11 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig11`.
+
+fn main() {
+    for table in dw_bench::figures::fig11(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

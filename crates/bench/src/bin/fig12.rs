@@ -1,0 +1,8 @@
+//! Regenerates Figure 12 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig12`.
+
+fn main() {
+    for table in dw_bench::figures::fig12(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

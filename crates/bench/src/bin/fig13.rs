@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig13`.
+
+fn main() {
+    dw_bench::figures::fig13(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 14 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig14`.
+
+fn main() {
+    dw_bench::figures::fig14(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 15 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig15`.
+
+fn main() {
+    dw_bench::figures::fig15(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 16 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig16`.
+
+fn main() {
+    for table in dw_bench::figures::fig16(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

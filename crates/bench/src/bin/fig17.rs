@@ -1,0 +1,8 @@
+//! Regenerates Figure 17 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig17`.
+
+fn main() {
+    for table in dw_bench::figures::fig17(dw_bench::Scale::full()) {
+        table.print();
+    }
+}

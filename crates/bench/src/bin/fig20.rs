@@ -1,0 +1,6 @@
+//! Regenerates Figure 20 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig20`.
+
+fn main() {
+    dw_bench::figures::fig20(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 21 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig21`.
+
+fn main() {
+    dw_bench::figures::fig21(dw_bench::Scale::full()).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 22 of the DimmWitted paper.  Run with
+//! `cargo run -p dw-bench --release --bin fig22`.
+
+fn main() {
+    dw_bench::figures::fig22(dw_bench::Scale::full()).print();
+}

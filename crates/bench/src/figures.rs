@@ -1,0 +1,896 @@
+//! Regeneration functions for every table and figure of the evaluation.
+//!
+//! Each `figXX` function reproduces the corresponding figure or table of the
+//! paper as a [`Table`] (or a small set of tables).  The binaries in
+//! `src/bin/` print them; `tests/figures_integration.rs` asserts the
+//! qualitative claims (who wins, in which direction the ratios point).
+
+use crate::table::{fmt_epochs, fmt_ratio, fmt_seconds, Table};
+use crate::Scale;
+use dimmwitted::{
+    sim_exec::simulate_epoch, AccessMethod, AnalyticsTask, DataReplication, ExecutionPlan,
+    ModelKind, ModelReplication, RunConfig, RunReport, Runner,
+};
+use dw_baselines::{parallel_sum_throughput, run_system, System};
+use dw_data::{
+    clueweb, subsample, Dataset, DatasetSpec, PaperDataset,
+};
+use dw_gibbs::{gibbs_throughput, FactorGraph};
+use dw_nn::{nn_throughput, Network};
+use dw_numa::{CacheSim, DataPlacement, MachineTopology, PlacementPolicy};
+use dw_optim::TaskData;
+
+/// The loss tolerances the paper reports (1%, 10%, 50%, 100% of optimal).
+pub const TOLERANCES: [f64; 4] = [0.01, 0.1, 0.5, 1.0];
+
+fn local2() -> MachineTopology {
+    MachineTopology::local2()
+}
+
+fn make_task(dataset: PaperDataset, kind: ModelKind, seed: u64) -> AnalyticsTask {
+    AnalyticsTask::from_dataset(&Dataset::generate(dataset, seed), kind)
+}
+
+/// Build an SVM/LS task from the Music dataset with per-row subsampling
+/// (used by Figures 7(b) and 16(b)).
+fn subsampled_music_task(keep: f64, kind: ModelKind, seed: u64) -> AnalyticsTask {
+    let music = Dataset::generate(PaperDataset::Music, seed);
+    let matrix = subsample::subsample_rows(&music.matrix, keep, seed + 1);
+    AnalyticsTask::new(
+        format!("{}(music@{:.2})", kind.name(), keep),
+        TaskData::supervised(matrix, music.labels.clone()),
+        kind,
+    )
+}
+
+fn plan(
+    machine: &MachineTopology,
+    access: AccessMethod,
+    model: ModelReplication,
+    data: DataReplication,
+) -> ExecutionPlan {
+    ExecutionPlan::new(machine, access, model, data)
+}
+
+fn run(
+    machine: &MachineTopology,
+    task: &AnalyticsTask,
+    p: &ExecutionPlan,
+    scale: Scale,
+) -> RunReport {
+    Runner::new(machine.clone()).run_with_plan(
+        task,
+        p,
+        &RunConfig {
+            epochs: scale.epochs,
+            seed: scale.seed,
+            ..RunConfig::default()
+        },
+    )
+}
+
+fn optimum(machine: &MachineTopology, task: &AnalyticsTask, scale: Scale) -> f64 {
+    Runner::new(machine.clone()).estimate_optimum(task, scale.reference_epochs)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: access-method selection tradeoff.
+// ---------------------------------------------------------------------------
+
+/// Figure 7(a): epochs to converge to 10% of the optimal loss for row-wise vs
+/// column-wise access on SVM(RCV1), SVM(Reuters), LP(Amazon), LP(Google).
+/// Figure 7(b): simulated time per epoch against the cost ratio on the
+/// subsampled Music series (α = 10).
+pub fn fig07(scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let mut epochs_table = Table::new(
+        "Figure 7(a): epochs to 10% of optimal loss, per access method",
+        &["task", "row-wise epochs", "column-wise epochs"],
+    );
+    let cases = [
+        (PaperDataset::Rcv1, ModelKind::Svm),
+        (PaperDataset::Reuters, ModelKind::Svm),
+        (PaperDataset::AmazonLp, ModelKind::Lp),
+        (PaperDataset::GoogleLp, ModelKind::Lp),
+    ];
+    for (dataset, kind) in cases {
+        let task = make_task(dataset, kind, scale.seed);
+        let best = optimum(&machine, &task, scale);
+        let model_repl = if kind.is_sgd_family() {
+            ModelReplication::PerNode
+        } else {
+            ModelReplication::PerMachine
+        };
+        let row = run(
+            &machine,
+            &task,
+            &plan(&machine, AccessMethod::RowWise, model_repl, DataReplication::Sharding),
+            scale,
+        );
+        let col = run(
+            &machine,
+            &task,
+            &plan(&machine, AccessMethod::ColumnToRow, model_repl, DataReplication::Sharding),
+            scale,
+        );
+        epochs_table.push_row(vec![
+            task.name.clone(),
+            fmt_epochs(row.epochs_to_loss(best, 0.1)),
+            fmt_epochs(col.epochs_to_loss(best, 0.1)),
+        ]);
+    }
+
+    let mut time_table = Table::new(
+        "Figure 7(b): time per epoch vs cost ratio (Music subsamples, alpha = 10)",
+        &["keep fraction", "cost ratio", "row-wise s/epoch", "column-wise s/epoch"],
+    );
+    for keep in subsample::figure7_subsample_levels() {
+        let task = subsampled_music_task(keep, ModelKind::Svm, scale.seed);
+        let stats = task.data.stats();
+        let template = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let row_s = simulate_epoch(&stats, task.objective.row_update_density(), &template, &machine)
+            .seconds;
+        let mut col_plan = template.clone();
+        col_plan.access = AccessMethod::ColumnToRow;
+        let col_s = simulate_epoch(&stats, task.objective.row_update_density(), &col_plan, &machine)
+            .seconds;
+        time_table.push_row(vec![
+            format!("{keep:.2}"),
+            fmt_ratio(stats.cost_ratio(10.0)),
+            fmt_seconds(Some(row_s)),
+            fmt_seconds(Some(col_s)),
+        ]);
+    }
+    vec![epochs_table, time_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: model replication tradeoff.
+// ---------------------------------------------------------------------------
+
+/// Figure 8: epochs to a given loss (a) and time per epoch (b) of
+/// PerCore / PerNode / PerMachine for SVM on RCV1.
+pub fn fig08(scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let task = make_task(PaperDataset::Rcv1, ModelKind::Svm, scale.seed);
+    let best = optimum(&machine, &task, scale);
+    let mut epochs_table = Table::new(
+        "Figure 8(a): epochs to reach a loss tolerance, SVM (RCV1)",
+        &["strategy", "1%", "10%", "50%", "100%"],
+    );
+    let mut time_table = Table::new(
+        "Figure 8(b): simulated time per epoch, SVM (RCV1) on local2",
+        &["strategy", "seconds/epoch"],
+    );
+    for strategy in ModelReplication::all() {
+        let p = plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding);
+        let report = run(&machine, &task, &p, scale);
+        epochs_table.push_row(vec![
+            strategy.to_string(),
+            fmt_epochs(report.epochs_to_loss(best, 0.01)),
+            fmt_epochs(report.epochs_to_loss(best, 0.1)),
+            fmt_epochs(report.epochs_to_loss(best, 0.5)),
+            fmt_epochs(report.epochs_to_loss(best, 1.0)),
+        ]);
+        time_table.push_row(vec![
+            strategy.to_string(),
+            fmt_seconds(Some(report.seconds_per_epoch)),
+        ]);
+    }
+    vec![epochs_table, time_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: data replication tradeoff.
+// ---------------------------------------------------------------------------
+
+/// Figure 9: epochs to a given loss (a) for Sharding vs FullReplication
+/// (SVM on Reuters, PerNode) and time per epoch (b) across machines.
+pub fn fig09(scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let task = make_task(PaperDataset::Reuters, ModelKind::Svm, scale.seed);
+    let best = optimum(&machine, &task, scale);
+    let mut epochs_table = Table::new(
+        "Figure 9(a): epochs to reach a loss tolerance, SVM (Reuters), PerNode",
+        &["strategy", "1%", "10%", "50%", "100%"],
+    );
+    for strategy in DataReplication::primary() {
+        let p = plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy);
+        let report = run(&machine, &task, &p, scale);
+        epochs_table.push_row(vec![
+            strategy.to_string(),
+            fmt_epochs(report.epochs_to_loss(best, 0.01)),
+            fmt_epochs(report.epochs_to_loss(best, 0.1)),
+            fmt_epochs(report.epochs_to_loss(best, 0.5)),
+            fmt_epochs(report.epochs_to_loss(best, 1.0)),
+        ]);
+    }
+    let mut time_table = Table::new(
+        "Figure 9(b): simulated time per epoch across machines, SVM (Reuters), PerNode",
+        &["machine", "Sharding s/epoch", "FullReplication s/epoch"],
+    );
+    let stats = task.data.stats();
+    for machine in [
+        MachineTopology::local2(),
+        MachineTopology::local4(),
+        MachineTopology::local8(),
+    ] {
+        let shard = simulate_epoch(
+            &stats,
+            task.objective.row_update_density(),
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::Sharding),
+            &machine,
+        )
+        .seconds;
+        let full = simulate_epoch(
+            &stats,
+            task.objective.row_update_density(),
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::FullReplication),
+            &machine,
+        )
+        .seconds;
+        time_table.push_row(vec![
+            machine.name.clone(),
+            fmt_seconds(Some(shard)),
+            fmt_seconds(Some(full)),
+        ]);
+    }
+    vec![epochs_table, time_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: dataset statistics.
+// ---------------------------------------------------------------------------
+
+/// Figure 10: dataset statistics at paper scale and at generated scale.
+pub fn fig10(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 10: dataset statistics (paper scale -> generated scale)",
+        &[
+            "dataset",
+            "paper rows",
+            "paper cols",
+            "paper NNZ",
+            "sparse",
+            "gen rows",
+            "gen cols",
+            "gen NNZ",
+        ],
+    );
+    let mut datasets = PaperDataset::engine_datasets();
+    datasets.push(PaperDataset::Paleo);
+    datasets.push(PaperDataset::Mnist);
+    for dataset in datasets {
+        let spec = DatasetSpec::paper(dataset);
+        let generated = Dataset::generate(dataset, scale.seed);
+        table.push_row(vec![
+            spec.name.clone(),
+            spec.paper_rows.to_string(),
+            spec.paper_cols.to_string(),
+            spec.paper_nnz.to_string(),
+            if spec.sparse { "yes" } else { "no" }.to_string(),
+            generated.examples().to_string(),
+            generated.dim().to_string(),
+            generated.matrix.nnz().to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: end-to-end comparison.
+// ---------------------------------------------------------------------------
+
+/// The (model, dataset) rows of Figure 11.
+pub fn figure11_cases() -> Vec<(ModelKind, PaperDataset)> {
+    let mut cases = Vec::new();
+    for kind in [ModelKind::Svm, ModelKind::Lr, ModelKind::Ls] {
+        for dataset in [
+            PaperDataset::Reuters,
+            PaperDataset::Rcv1,
+            PaperDataset::Music,
+            PaperDataset::Forest,
+        ] {
+            cases.push((kind, dataset));
+        }
+    }
+    cases.push((ModelKind::Lp, PaperDataset::AmazonLp));
+    cases.push((ModelKind::Lp, PaperDataset::GoogleLp));
+    cases.push((ModelKind::Qp, PaperDataset::AmazonQp));
+    cases.push((ModelKind::Qp, PaperDataset::GoogleQp));
+    cases
+}
+
+/// Figure 11: modelled time (seconds) to reach 1% and 50% of the optimal
+/// loss for every system on every (model, dataset) pair.
+pub fn fig11(scale: Scale) -> Vec<Table> {
+    fig11_cases(&figure11_cases(), scale)
+}
+
+/// Figure 11 restricted to an explicit case list (used by tests).
+pub fn fig11_cases(cases: &[(ModelKind, PaperDataset)], scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let systems = [
+        System::GraphLab,
+        System::GraphChi,
+        System::MLlib,
+        System::Hogwild,
+        System::DimmWitted,
+    ];
+    let mut tables = Vec::new();
+    for tolerance in [0.01, 0.5] {
+        let mut table = Table::new(
+            format!(
+                "Figure 11: time (s) to within {:.0}% of the optimal loss on local2",
+                tolerance * 100.0
+            ),
+            &["task", "GraphLab", "GraphChi", "MLlib", "Hogwild!", "DW"],
+        );
+        for &(kind, dataset) in cases {
+            let task = make_task(dataset, kind, scale.seed);
+            let best = optimum(&machine, &task, scale);
+            let config = RunConfig {
+                epochs: scale.epochs,
+                seed: scale.seed,
+                ..RunConfig::default()
+            };
+            let mut cells = vec![task.name.clone()];
+            for system in systems {
+                let report = run_system(system, &task, &machine, &config);
+                cells.push(fmt_seconds(report.seconds_to_loss(best, tolerance)));
+            }
+            table.push_row(cells);
+        }
+        tables.push(table);
+    }
+    tables
+}
+
+// ---------------------------------------------------------------------------
+// Figure 12: tradeoff curves.
+// ---------------------------------------------------------------------------
+
+/// Figure 12: time to reach each loss tolerance per access method (a) and
+/// per model-replication strategy (b), on SVM(RCV1), SVM(Music), LP(Amazon)
+/// and LP(Google).
+pub fn fig12(scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let cases = [
+        (PaperDataset::Rcv1, ModelKind::Svm),
+        (PaperDataset::Music, ModelKind::Svm),
+        (PaperDataset::AmazonLp, ModelKind::Lp),
+        (PaperDataset::GoogleLp, ModelKind::Lp),
+    ];
+    let mut access_table = Table::new(
+        "Figure 12(a): time (s) to loss tolerance per access method",
+        &["task", "method", "1%", "10%", "50%", "100%"],
+    );
+    let mut replication_table = Table::new(
+        "Figure 12(b): time (s) to loss tolerance per model replication",
+        &["task", "strategy", "1%", "10%", "50%", "100%"],
+    );
+    for (dataset, kind) in cases {
+        let task = make_task(dataset, kind, scale.seed);
+        let best = optimum(&machine, &task, scale);
+        let preferred_model = if kind.is_sgd_family() {
+            ModelReplication::PerNode
+        } else {
+            ModelReplication::PerMachine
+        };
+        for access in [AccessMethod::RowWise, AccessMethod::ColumnToRow] {
+            let report = run(
+                &machine,
+                &task,
+                &plan(&machine, access, preferred_model, DataReplication::FullReplication),
+                scale,
+            );
+            access_table.push_row(vec![
+                task.name.clone(),
+                access.to_string(),
+                fmt_seconds(report.seconds_to_loss(best, 0.01)),
+                fmt_seconds(report.seconds_to_loss(best, 0.1)),
+                fmt_seconds(report.seconds_to_loss(best, 0.5)),
+                fmt_seconds(report.seconds_to_loss(best, 1.0)),
+            ]);
+        }
+        let preferred_access = if kind.is_sgd_family() {
+            AccessMethod::RowWise
+        } else {
+            AccessMethod::ColumnToRow
+        };
+        for strategy in ModelReplication::all() {
+            let report = run(
+                &machine,
+                &task,
+                &plan(&machine, preferred_access, strategy, DataReplication::FullReplication),
+                scale,
+            );
+            replication_table.push_row(vec![
+                task.name.clone(),
+                strategy.to_string(),
+                fmt_seconds(report.seconds_to_loss(best, 0.01)),
+                fmt_seconds(report.seconds_to_loss(best, 0.1)),
+                fmt_seconds(report.seconds_to_loss(best, 0.5)),
+                fmt_seconds(report.seconds_to_loss(best, 1.0)),
+            ]);
+        }
+    }
+    vec![access_table, replication_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: throughput.
+// ---------------------------------------------------------------------------
+
+/// Figure 13: modelled throughput (GB/s) of each system on the parallel-sum
+/// task and on the statistical models.
+pub fn fig13(_scale: Scale) -> Table {
+    let machine = local2();
+    let mut table = Table::new(
+        "Figure 13: modelled throughput (GB/s) on local2",
+        &["system", "SVM/LR/LS (RCV1)", "LP/QP (Google)", "Parallel Sum"],
+    );
+    let systems = [
+        System::GraphLab,
+        System::GraphChi,
+        System::MLlib,
+        System::Hogwild,
+        System::DimmWitted,
+    ];
+    // For the statistical models, throughput is the data volume of one epoch
+    // divided by the modelled epoch time under the system's plan.
+    let svm_task = make_task(PaperDataset::Rcv1, ModelKind::Svm, 42);
+    let lp_task = make_task(PaperDataset::GoogleLp, ModelKind::Lp, 42);
+    let model_throughput = |system: System, task: &AnalyticsTask| -> f64 {
+        let config = RunConfig {
+            epochs: 1,
+            ..RunConfig::default()
+        };
+        let report = run_system(system, task, &machine, &config);
+        let bytes = task.data.stats().sparse_bytes as f64;
+        bytes / report.seconds_per_epoch / 1.0e9
+    };
+    for system in systems {
+        table.push_row(vec![
+            system.to_string(),
+            format!("{:.2}", model_throughput(system, &svm_task)),
+            format!("{:.2}", model_throughput(system, &lp_task)),
+            format!("{:.2}", parallel_sum_throughput(system, &machine)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: optimizer plan choices.
+// ---------------------------------------------------------------------------
+
+/// Figure 14: the plan DimmWitted's optimizer chooses for every dataset.
+pub fn fig14(scale: Scale) -> Table {
+    let machine = local2();
+    let runner = Runner::new(machine);
+    let mut table = Table::new(
+        "Figure 14: plans chosen by the cost-based optimizer on local2",
+        &["task", "access method", "model replication", "data replication"],
+    );
+    let cases = [
+        (ModelKind::Svm, PaperDataset::Reuters),
+        (ModelKind::Svm, PaperDataset::Rcv1),
+        (ModelKind::Svm, PaperDataset::Music),
+        (ModelKind::Lr, PaperDataset::Rcv1),
+        (ModelKind::Ls, PaperDataset::Forest),
+        (ModelKind::Lp, PaperDataset::AmazonLp),
+        (ModelKind::Lp, PaperDataset::GoogleLp),
+        (ModelKind::Qp, PaperDataset::AmazonQp),
+        (ModelKind::Qp, PaperDataset::GoogleQp),
+    ];
+    for (kind, dataset) in cases {
+        let task = make_task(dataset, kind, scale.seed);
+        let plan = runner.plan_for(&task);
+        table.push_row(vec![
+            task.name.clone(),
+            plan.access.to_string(),
+            plan.model_replication.to_string(),
+            plan.data_replication.to_string(),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 15: row/column ratio across architectures.
+// ---------------------------------------------------------------------------
+
+/// Figure 15: ratio of simulated time per epoch (row-wise / column-wise) on
+/// every machine, for SVM(RCV1) and LP(Amazon).
+pub fn fig15(scale: Scale) -> Table {
+    let mut table = Table::new(
+        "Figure 15: time-per-epoch ratio (row-wise / column-wise)",
+        &["machine", "cores x sockets", "SVM (RCV1)", "LP (Amazon)"],
+    );
+    let svm = make_task(PaperDataset::Rcv1, ModelKind::Svm, scale.seed);
+    let lp = make_task(PaperDataset::AmazonLp, ModelKind::Lp, scale.seed);
+    for machine in MachineTopology::all_paper_machines() {
+        let ratio = |task: &AnalyticsTask| {
+            let stats = task.data.stats();
+            let base = plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            );
+            let row =
+                simulate_epoch(&stats, task.objective.row_update_density(), &base, &machine).seconds;
+            let mut col_plan = base.clone();
+            col_plan.access = AccessMethod::ColumnToRow;
+            let col = simulate_epoch(&stats, task.objective.row_update_density(), &col_plan, &machine)
+                .seconds;
+            row / col
+        };
+        table.push_row(vec![
+            machine.name.clone(),
+            machine.label(),
+            fmt_ratio(ratio(&svm)),
+            fmt_ratio(ratio(&lp)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16: model replication vs architecture and sparsity.
+// ---------------------------------------------------------------------------
+
+/// Figure 16(a): PerMachine/PerNode ratio of modelled time to 50% loss on
+/// every architecture (SVM, RCV1).  Figure 16(b): the same ratio against the
+/// sparsity of subsampled Music datasets on local2.
+pub fn fig16(scale: Scale) -> Vec<Table> {
+    let svm = make_task(PaperDataset::Rcv1, ModelKind::Svm, scale.seed);
+    let mut arch_table = Table::new(
+        "Figure 16(a): time-to-50%-loss ratio (PerMachine / PerNode), SVM (RCV1)",
+        &["machine", "cores x sockets", "ratio"],
+    );
+    for machine in MachineTopology::all_paper_machines() {
+        let best = optimum(&machine, &svm, scale);
+        let time_of = |strategy| {
+            let report = run(
+                &machine,
+                &svm,
+                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding),
+                scale,
+            );
+            report
+                .seconds_to_loss(best, 0.5)
+                .unwrap_or(report.trace.total_seconds())
+        };
+        let ratio = time_of(ModelReplication::PerMachine) / time_of(ModelReplication::PerNode);
+        arch_table.push_row(vec![machine.name.clone(), machine.label(), fmt_ratio(ratio)]);
+    }
+
+    let machine = local2();
+    let mut sparsity_table = Table::new(
+        "Figure 16(b): time-to-50%-loss ratio (PerMachine / PerNode) vs sparsity (Music subsamples)",
+        &["sparsity", "ratio"],
+    );
+    for keep in subsample::figure16_sparsity_levels() {
+        let task = subsampled_music_task(keep, ModelKind::Svm, scale.seed);
+        let best = optimum(&machine, &task, scale);
+        let time_of = |strategy| {
+            let report = run(
+                &machine,
+                &task,
+                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding),
+                scale,
+            );
+            report
+                .seconds_to_loss(best, 0.5)
+                .unwrap_or(report.trace.total_seconds())
+        };
+        let ratio = time_of(ModelReplication::PerMachine) / time_of(ModelReplication::PerNode);
+        sparsity_table.push_row(vec![format!("{keep:.2}"), fmt_ratio(ratio)]);
+    }
+    vec![arch_table, sparsity_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 17: data replication ratio and extensions.
+// ---------------------------------------------------------------------------
+
+/// Figure 17(a): execution-time ratio (FullReplication / Sharding) at each
+/// loss tolerance for SVM (RCV1).  Figure 17(b): Gibbs sampling and neural
+/// network throughput of the classical choice vs DimmWitted's choice.
+pub fn fig17(scale: Scale) -> Vec<Table> {
+    let machine = local2();
+    let task = make_task(PaperDataset::Rcv1, ModelKind::Svm, scale.seed);
+    let best = optimum(&machine, &task, scale);
+    let mut ratio_table = Table::new(
+        "Figure 17(a): execution-time ratio (FullReplication / Sharding), SVM (RCV1)",
+        &["tolerance", "ratio"],
+    );
+    let time_of = |strategy| {
+        run(
+            &machine,
+            &task,
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy),
+            scale,
+        )
+    };
+    let full = time_of(DataReplication::FullReplication);
+    let shard = time_of(DataReplication::Sharding);
+    for tolerance in [0.001, 0.01, 0.1, 1.0] {
+        let f = full
+            .seconds_to_loss(best, tolerance)
+            .unwrap_or(full.trace.total_seconds() * 2.0);
+        let s = shard
+            .seconds_to_loss(best, tolerance)
+            .unwrap_or(shard.trace.total_seconds() * 2.0);
+        ratio_table.push_row(vec![format!("{:.1}%", tolerance * 100.0), fmt_ratio(f / s)]);
+    }
+
+    let mut extension_table = Table::new(
+        "Figure 17(b): extension throughput (millions of variables per second)",
+        &["workload", "classic choice", "DimmWitted choice"],
+    );
+    let graph = FactorGraph::random(2_000, 12_000, 0.5, scale.seed);
+    let gibbs = gibbs_throughput(&graph, &machine);
+    extension_table.push_row(vec![
+        "Gibbs (Paleo-like)".to_string(),
+        format!("{:.1}", gibbs[0].variables_per_second / 1.0e6),
+        format!("{:.1}", gibbs[1].variables_per_second / 1.0e6),
+    ]);
+    let network = Network::mnist_like(scale.seed);
+    let nn = nn_throughput(&network, &machine);
+    extension_table.push_row(vec![
+        "Neural network (MNIST-like)".to_string(),
+        format!("{:.1}", nn[0].neurons_per_second / 1.0e6),
+        format!("{:.1}", nn[1].neurons_per_second / 1.0e6),
+    ]);
+    vec![ratio_table, extension_table]
+}
+
+// ---------------------------------------------------------------------------
+// Figure 20: speed-up against Delite.
+// ---------------------------------------------------------------------------
+
+/// Figure 20: modelled speed-up against the worker count for the three model
+/// replication strategies and the Delite baseline (LR on Music, local2).
+pub fn fig20(scale: Scale) -> Table {
+    let machine = local2();
+    let task = make_task(PaperDataset::Music, ModelKind::Lr, scale.seed);
+    let stats = task.data.stats();
+    let density = task.objective.row_update_density();
+    let mut table = Table::new(
+        "Figure 20: modelled speed-up vs threads, LR (Music) on local2",
+        &["threads", "PerCore", "PerNode", "PerMachine", "Delite"],
+    );
+    let strategies = [
+        ModelReplication::PerCore,
+        ModelReplication::PerNode,
+        ModelReplication::PerMachine,
+    ];
+    let baseline: Vec<f64> = strategies
+        .iter()
+        .map(|&s| {
+            simulate_epoch(
+                &stats,
+                density,
+                &plan(&machine, AccessMethod::RowWise, s, DataReplication::Sharding).with_workers(1),
+                &machine,
+            )
+            .seconds
+        })
+        .collect();
+    let delite_base = baseline[2] * 1.2;
+    for threads in [1usize, 2, 4, 6, 8, 10, 12] {
+        let mut cells = vec![threads.to_string()];
+        for (i, &strategy) in strategies.iter().enumerate() {
+            let seconds = simulate_epoch(
+                &stats,
+                density,
+                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding)
+                    .with_workers(threads),
+                &machine,
+            )
+            .seconds;
+            cells.push(fmt_ratio(baseline[i] / seconds));
+        }
+        // Delite stops scaling past one socket (6 cores on local2).
+        let effective = threads.min(machine.cores_per_node);
+        let delite_seconds = simulate_epoch(
+            &stats,
+            density,
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerMachine,
+                DataReplication::Sharding,
+            )
+            .with_workers(effective),
+            &machine,
+        )
+        .seconds
+            * 1.2;
+        cells.push(fmt_ratio(delite_base / delite_seconds));
+        table.push_row(cells);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 21: scalability on ClueWeb.
+// ---------------------------------------------------------------------------
+
+/// Figure 21: simulated time per epoch against the data scale for the
+/// ClueWeb-like least-squares workload.
+pub fn fig21(scale: Scale) -> Table {
+    let machine = local2();
+    let mut table = Table::new(
+        "Figure 21: time per epoch vs data scale (ClueWeb-like least squares)",
+        &["scale", "rows", "NNZ", "seconds/epoch"],
+    );
+    for fraction in clueweb::figure21_scales() {
+        let data = clueweb::clueweb_like(fraction, scale.seed);
+        let task = AnalyticsTask::new(
+            format!("LS(clueweb@{fraction})"),
+            TaskData::supervised(data.matrix.clone(), data.labels.clone()),
+            ModelKind::Ls,
+        );
+        let stats = task.data.stats();
+        let p = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        );
+        let seconds =
+            simulate_epoch(&stats, task.objective.row_update_density(), &p, &machine).seconds;
+        table.push_row(vec![
+            format!("{fraction:.2}"),
+            stats.rows.to_string(),
+            stats.nnz.to_string(),
+            format!("{seconds:.6}"),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Figure 22: importance sampling.
+// ---------------------------------------------------------------------------
+
+/// Figure 22: modelled time to each loss tolerance for Sharding,
+/// FullReplication and leverage-score importance sampling (Music, local2).
+pub fn fig22(scale: Scale) -> Table {
+    let machine = local2();
+    let task = make_task(PaperDataset::Music, ModelKind::Ls, scale.seed);
+    let best = optimum(&machine, &task, scale);
+    let mut table = Table::new(
+        "Figure 22: time (s) to loss tolerance per data-replication strategy, LS (Music)",
+        &["strategy", "1%", "10%", "100%"],
+    );
+    let strategies = [
+        DataReplication::Sharding,
+        DataReplication::FullReplication,
+        DataReplication::Importance { epsilon: 0.1 },
+        DataReplication::Importance { epsilon: 0.01 },
+    ];
+    for strategy in strategies {
+        let report = run(
+            &machine,
+            &task,
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy),
+            scale,
+        );
+        table.push_row(vec![
+            strategy.to_string(),
+            fmt_seconds(report.seconds_to_loss(best, 0.01)),
+            fmt_seconds(report.seconds_to_loss(best, 0.1)),
+            fmt_seconds(report.seconds_to_loss(best, 1.0)),
+        ]);
+    }
+    table
+}
+
+// ---------------------------------------------------------------------------
+// Appendix A: implementation-detail experiments.
+// ---------------------------------------------------------------------------
+
+/// Appendix A experiments: worker/data collocation, dense vs sparse storage,
+/// and row- vs column-major layout.
+pub fn appendix(scale: Scale) -> Vec<Table> {
+    // Worker/data collocation (OS vs NUMA placement).
+    let machine = local2();
+    let mut placement_table = Table::new(
+        "Appendix A: worker/data collocation on local2",
+        &["policy", "worker imbalance", "local read fraction"],
+    );
+    for policy in [PlacementPolicy::OsDefault, PlacementPolicy::NumaAware] {
+        let placement = DataPlacement::place(&machine, policy, machine.total_cores(), machine.nodes, 1 << 26);
+        let locals = (0..machine.total_cores())
+            .filter(|&w| placement.is_local(w, placement.worker_nodes[w] % machine.nodes))
+            .count();
+        placement_table.push_row(vec![
+            format!("{policy:?}"),
+            fmt_ratio(placement.imbalance(machine.nodes)),
+            fmt_ratio(locals as f64 / machine.total_cores() as f64),
+        ]);
+    }
+
+    // Dense vs sparse storage: bytes touched per epoch across sparsity.
+    let mut storage_table = Table::new(
+        "Appendix A: dense vs sparse storage (bytes read per epoch)",
+        &["sparsity", "dense bytes", "sparse bytes", "preferred"],
+    );
+    let music = Dataset::generate(PaperDataset::Music, scale.seed);
+    for keep in [0.01, 0.1, 0.5, 1.0] {
+        let matrix = subsample::subsample_rows(&music.matrix, keep, scale.seed);
+        let stats = dw_matrix::MatrixStats::from_csr(&matrix);
+        let preferred = if stats.sparse_bytes * 2 < stats.dense_bytes {
+            "sparse"
+        } else {
+            "dense"
+        };
+        storage_table.push_row(vec![
+            format!("{keep:.2}"),
+            stats.dense_bytes.to_string(),
+            stats.sparse_bytes.to_string(),
+            preferred.to_string(),
+        ]);
+    }
+
+    // Row- vs column-major layout through the cache simulator.
+    let mut layout_table = Table::new(
+        "Appendix A: row-wise scan misses, row-major vs column-major layout",
+        &["layout", "L1-sized cache misses"],
+    );
+    let rows = 128u64;
+    let cols = 128u64;
+    let mut row_major = CacheSim::new(32 * 1024, 8);
+    for i in 0..rows {
+        for j in 0..cols {
+            row_major.access((i * cols + j) * 8);
+        }
+    }
+    let mut col_major = CacheSim::new(32 * 1024, 8);
+    for i in 0..rows {
+        for j in 0..cols {
+            col_major.access((j * rows + i) * 8);
+        }
+    }
+    layout_table.push_row(vec!["row-major".to_string(), row_major.misses().to_string()]);
+    layout_table.push_row(vec![
+        "column-major".to_string(),
+        col_major.misses().to_string(),
+    ]);
+    vec![placement_table, storage_table, layout_table]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_lists_every_dataset() {
+        let table = fig10(Scale::quick());
+        assert_eq!(table.len(), 10);
+        assert!(table.cell("rcv1", "sparse").is_some());
+    }
+
+    #[test]
+    fn fig14_matches_paper_plan_shape() {
+        let table = fig14(Scale::quick());
+        assert_eq!(table.cell("SVM(rcv1)", "access method"), Some("row-wise"));
+        assert_eq!(table.cell("QP(google-qp)", "model replication"), Some("PerMachine"));
+    }
+
+    #[test]
+    fn fig15_and_fig21_tables_have_expected_rows() {
+        assert_eq!(fig15(Scale::quick()).len(), 5);
+        assert_eq!(fig21(Scale::quick()).len(), 4);
+    }
+}

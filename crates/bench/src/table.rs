@@ -1,0 +1,156 @@
+//! Minimal fixed-width table formatting for harness output.
+
+/// A printable table of experiment results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Table title (figure/table number plus description).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row of already-formatted cells.
+    ///
+    /// # Panics
+    /// Panics if the number of cells differs from the number of headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Find a cell by row label (first column) and column header.
+    pub fn cell(&self, row_label: &str, column: &str) -> Option<&str> {
+        let col = self.headers.iter().position(|h| h == column)?;
+        self.rows
+            .iter()
+            .find(|r| r[0] == row_label)
+            .map(|r| r[col].as_str())
+    }
+
+    /// Render the table as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        out.push_str(&header_line.join(" | "));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("-+-"),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Format seconds with three significant decimals, or a timeout marker.
+pub fn fmt_seconds(seconds: Option<f64>) -> String {
+    match seconds {
+        Some(s) => format!("{s:.3}"),
+        None => "> timeout".to_string(),
+    }
+}
+
+/// Format an epoch count, or a timeout marker.
+pub fn fmt_epochs(epochs: Option<usize>) -> String {
+    match epochs {
+        Some(e) => e.to_string(),
+        None => "not reached".to_string(),
+    }
+}
+
+/// Format a ratio with two decimals.
+pub fn fmt_ratio(ratio: f64) -> String {
+    format!("{ratio:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_render() {
+        let mut t = Table::new("Figure X", &["dataset", "value"]);
+        assert!(t.is_empty());
+        t.push_row(vec!["rcv1".into(), "1.5".into()]);
+        t.push_row(vec!["music".into(), "2.0".into()]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.cell("rcv1", "value"), Some("1.5"));
+        assert_eq!(t.cell("rcv1", "missing"), None);
+        assert_eq!(t.cell("absent", "value"), None);
+        let rendered = t.render();
+        assert!(rendered.contains("Figure X"));
+        assert!(rendered.contains("rcv1"));
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_seconds(Some(1.23456)), "1.235");
+        assert_eq!(fmt_seconds(None), "> timeout");
+        assert_eq!(fmt_epochs(Some(7)), "7");
+        assert_eq!(fmt_epochs(None), "not reached");
+        assert_eq!(fmt_ratio(2.345), "2.35");
+    }
+}

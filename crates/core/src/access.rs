@@ -1,0 +1,62 @@
+//! Access methods (Section 3.2, Figure 1(c)).
+
+/// How workers traverse the data matrix within an epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AccessMethod {
+    /// Scan rows (examples); the update may write the whole model.  Used by
+    /// stochastic gradient descent and friends (MADlib, MLlib, Hogwild!).
+    RowWise,
+    /// Scan columns; each update reads and writes a single model coordinate.
+    /// Used by stochastic coordinate descent (GraphLab, Shogun, Thetis).
+    ColumnWise,
+    /// Scan columns, but for each column read the rows in which it is
+    /// non-zero.  Used by non-linear SVMs in GraphLab and by Gibbs sampling.
+    ColumnToRow,
+}
+
+impl AccessMethod {
+    /// All three access methods.
+    pub fn all() -> [AccessMethod; 3] {
+        [
+            AccessMethod::RowWise,
+            AccessMethod::ColumnWise,
+            AccessMethod::ColumnToRow,
+        ]
+    }
+
+    /// Whether the method iterates over columns (and therefore shards by
+    /// column rather than by row, Section 3.4).
+    pub fn is_columnar(&self) -> bool {
+        matches!(self, AccessMethod::ColumnWise | AccessMethod::ColumnToRow)
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AccessMethod::RowWise => "row-wise",
+            AccessMethod::ColumnWise => "column-wise",
+            AccessMethod::ColumnToRow => "column-to-row",
+        }
+    }
+}
+
+impl std::fmt::Display for AccessMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_and_columnar() {
+        assert_eq!(AccessMethod::RowWise.name(), "row-wise");
+        assert_eq!(AccessMethod::ColumnWise.to_string(), "column-wise");
+        assert!(!AccessMethod::RowWise.is_columnar());
+        assert!(AccessMethod::ColumnWise.is_columnar());
+        assert!(AccessMethod::ColumnToRow.is_columnar());
+        assert_eq!(AccessMethod::all().len(), 3);
+    }
+}

@@ -1,0 +1,92 @@
+//! DimmWitted: a NUMA-aware main-memory statistical analytics engine.
+//!
+//! This crate is a Rust reproduction of the engine studied in *DimmWitted: A
+//! Study of Main-Memory Statistical Analytics* (Zhang & Ré, VLDB 2014).  The
+//! paper's thesis is that treating a NUMA machine either as a distributed
+//! system (shared-nothing, PerCore) or as an SMP (a single coherent model,
+//! PerMachine/Hogwild!) is suboptimal for first-order statistical methods,
+//! and that an engine should navigate three tradeoffs explicitly:
+//!
+//! 1. **Access method** — row-wise (SGD), column-wise, or column-to-row
+//!    (SCD / Gibbs-style) traversal of the data matrix
+//!    ([`AccessMethod`], chosen by the cost-based [`optimizer`]).
+//! 2. **Model replication** — PerCore, PerNode, or PerMachine replicas of the
+//!    mutable model with different synchronization strategies
+//!    ([`ModelReplication`]).
+//! 3. **Data replication** — Sharding vs. FullReplication (plus the
+//!    importance-sampling variant of Appendix C.4) ([`DataReplication`]).
+//!
+//! The engine executes an [`AnalyticsTask`] under an [`ExecutionPlan`] in two
+//! coupled ways:
+//!
+//! * a *statistical* execution ([`engine`]) that actually runs the first-order
+//!   method — either deterministically interleaving virtual workers or with
+//!   real lock-free threads sharing [`dw_optim::AtomicModel`] replicas — and
+//!   records the loss after every epoch;
+//! * a *hardware* execution ([`sim_exec`]) that charges every modelled read
+//!   and write against the NUMA cost model of [`dw_numa`] and produces the
+//!   time-per-epoch and PMU-style counters that the paper measures on its
+//!   five physical machines.
+//!
+//! [`Runner`] ties the two together and produces [`RunReport`]s, from which
+//! every figure and table of the paper's evaluation can be regenerated (see
+//! `EXPERIMENTS.md` at the repository root).
+//!
+//! # Quick start
+//!
+//! ```
+//! use dimmwitted::{AnalyticsTask, ModelKind, Runner, RunConfig};
+//! use dw_data::{Dataset, PaperDataset};
+//! use dw_numa::MachineTopology;
+//!
+//! // Generate a small Reuters-like text classification dataset.
+//! let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+//! let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+//!
+//! // Let the cost-based optimizer choose the plan for a 2-socket machine.
+//! let machine = MachineTopology::local2();
+//! let runner = Runner::new(machine);
+//! let report = runner.run_auto(&task, &RunConfig::quick(5));
+//!
+//! assert!(report.trace.best_loss() <= report.trace.initial_loss);
+//! ```
+
+pub mod access;
+pub mod engine;
+pub mod grid_search;
+pub mod importance;
+pub mod optimizer;
+pub mod parallel_sum;
+pub mod plan;
+pub mod replication;
+pub mod report;
+pub mod runner;
+pub mod sim_exec;
+pub mod task;
+
+pub use access::AccessMethod;
+pub use engine::Engine;
+pub use grid_search::{grid_search_step, paper_step_grid, GridSearchResult};
+pub use optimizer::{CostEstimate, CostModel, Optimizer};
+pub use plan::{ExecutionPlan, LocalityGroup, WorkerAssignment};
+pub use replication::{DataReplication, ModelReplication};
+pub use report::{ExecutionMode, RunConfig, RunReport};
+pub use runner::Runner;
+pub use task::{AnalyticsTask, ModelKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_data::{Dataset, PaperDataset};
+    use dw_numa::MachineTopology;
+
+    #[test]
+    fn doc_example_runs() {
+        let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+        let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+        let machine = MachineTopology::local2();
+        let runner = Runner::new(machine);
+        let report = runner.run_auto(&task, &RunConfig::quick(2));
+        assert!(report.trace.best_loss() <= report.trace.initial_loss);
+    }
+}

@@ -1,0 +1,445 @@
+//! Execution plans and locality groups (Section 3.1, Figure 4).
+//!
+//! An execution plan specifies, for each worker: (1) the subset of the data
+//! matrix it operates on, (2) the model replica it updates, and (3) the
+//! access method it uses.  Replicas of data and model are grouped into
+//! *locality groups* that correspond to regions of memory local to a NUMA
+//! node.
+
+use crate::access::AccessMethod;
+use crate::replication::{DataReplication, ModelReplication};
+use dw_numa::MachineTopology;
+use dw_optim::TaskData;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The three tradeoff choices plus the degree of parallelism.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionPlan {
+    /// How workers traverse the data.
+    pub access: AccessMethod,
+    /// Granularity of model replication.
+    pub model_replication: ModelReplication,
+    /// Data replication / partitioning strategy.
+    pub data_replication: DataReplication,
+    /// Number of workers (defaults to one per physical core).
+    pub workers: usize,
+}
+
+impl ExecutionPlan {
+    /// A plan with one worker per core of `machine`.
+    pub fn new(
+        machine: &MachineTopology,
+        access: AccessMethod,
+        model_replication: ModelReplication,
+        data_replication: DataReplication,
+    ) -> Self {
+        ExecutionPlan {
+            access,
+            model_replication,
+            data_replication,
+            workers: machine.total_cores(),
+        }
+    }
+
+    /// Override the number of workers (used by the scaling experiments).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        assert!(workers > 0, "a plan needs at least one worker");
+        self.workers = workers;
+        self
+    }
+
+    /// The plan Hogwild! implements: row-wise, PerMachine, Sharding.
+    pub fn hogwild(machine: &MachineTopology) -> Self {
+        Self::new(
+            machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerMachine,
+            DataReplication::Sharding,
+        )
+    }
+
+    /// The plan GraphLab/GraphChi implement: column-wise, PerMachine
+    /// (coordinated via the graph engine), Sharding.
+    pub fn graphlab(machine: &MachineTopology) -> Self {
+        Self::new(
+            machine,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerMachine,
+            DataReplication::Sharding,
+        )
+    }
+
+    /// The plan MLlib/Spark implements: row-wise minibatch, PerCore, Sharding.
+    pub fn mllib(machine: &MachineTopology) -> Self {
+        Self::new(
+            machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerCore,
+            DataReplication::Sharding,
+        )
+    }
+
+    /// Number of locality groups (one per model replica).
+    pub fn locality_groups(&self, machine: &MachineTopology) -> usize {
+        self.model_replication
+            .replica_count(machine.nodes, self.workers)
+    }
+
+    /// One-line description used in reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} / {} / {} ({} workers)",
+            self.access, self.model_replication, self.data_replication, self.workers
+        )
+    }
+}
+
+/// The items (row or column indices) one worker processes in one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkerAssignment {
+    /// Worker id, `0..plan.workers`.
+    pub worker: usize,
+    /// Core the worker is pinned to.
+    pub core: usize,
+    /// NUMA node of that core.
+    pub node: usize,
+    /// The model replica (locality group) the worker reads and updates.
+    pub replica: usize,
+    /// Row indices (row-wise access) or column indices (columnar access)
+    /// this worker processes, in processing order.
+    pub items: Vec<usize>,
+}
+
+/// A locality group: a model replica, the node that owns it, and its workers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityGroup {
+    /// Group id (= replica id).
+    pub id: usize,
+    /// NUMA node whose DRAM holds the group's data and model replica.
+    pub node: usize,
+    /// Workers mapped to this group.
+    pub workers: Vec<usize>,
+}
+
+/// Fully materialized assignment of work for one epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochAssignment {
+    /// Per-worker item lists.
+    pub workers: Vec<WorkerAssignment>,
+    /// Locality groups.
+    pub groups: Vec<LocalityGroup>,
+}
+
+impl EpochAssignment {
+    /// Total number of items processed in the epoch across all workers.
+    pub fn total_items(&self) -> usize {
+        self.workers.iter().map(|w| w.items.len()).sum()
+    }
+}
+
+/// Build the per-worker assignment for one epoch.
+///
+/// * Row-wise access assigns *rows*; columnar access assigns *columns*
+///   (Section 3.4: "we implement Sharding by randomly partitioning the rows
+///   (resp. columns) of a data matrix for the row-wise (resp. column-wise)
+///   access method").
+/// * Sharding partitions the items across locality groups and then across
+///   the group's workers.
+/// * FullReplication gives every locality group the complete item list in a
+///   group-specific random order, split across the group's workers.
+/// * Importance sampling draws each group's items by leverage-score weight
+///   (the caller supplies the weights; uniform when `None`).
+pub fn build_epoch_assignment(
+    plan: &ExecutionPlan,
+    machine: &MachineTopology,
+    data: &TaskData,
+    epoch: usize,
+    seed: u64,
+    importance_weights: Option<&[f64]>,
+) -> EpochAssignment {
+    let workers = plan.workers;
+    let replicas = plan.locality_groups(machine);
+    let item_count = if plan.access.is_columnar() {
+        data.dim()
+    } else {
+        data.examples()
+    };
+
+    // Map workers to cores/nodes/replicas.
+    let mut assignments: Vec<WorkerAssignment> = (0..workers)
+        .map(|w| {
+            let core = w % machine.total_cores();
+            // Spread workers across nodes round-robin (the NUMA-aware
+            // placement of Appendix A).
+            let node = w % machine.nodes;
+            let replica = match plan.model_replication {
+                ModelReplication::PerCore => w,
+                ModelReplication::PerNode => node.min(replicas - 1),
+                ModelReplication::PerMachine => 0,
+            };
+            WorkerAssignment {
+                worker: w,
+                core,
+                node,
+                replica,
+                items: Vec::new(),
+            }
+        })
+        .collect();
+
+    let mut groups: Vec<LocalityGroup> = (0..replicas)
+        .map(|g| LocalityGroup {
+            id: g,
+            node: match plan.model_replication {
+                ModelReplication::PerCore => g % machine.nodes,
+                ModelReplication::PerNode => g,
+                ModelReplication::PerMachine => 0,
+            },
+            workers: Vec::new(),
+        })
+        .collect();
+    for a in &assignments {
+        groups[a.replica].workers.push(a.worker);
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+    match plan.data_replication {
+        DataReplication::Sharding => {
+            let mut items: Vec<usize> = (0..item_count).collect();
+            items.shuffle(&mut rng);
+            for (idx, item) in items.into_iter().enumerate() {
+                let worker = idx % workers;
+                assignments[worker].items.push(item);
+            }
+        }
+        DataReplication::FullReplication => {
+            for group in &groups {
+                let mut items: Vec<usize> = (0..item_count).collect();
+                items.shuffle(&mut rng);
+                let group_workers = group.workers.len().max(1);
+                for (idx, item) in items.into_iter().enumerate() {
+                    let worker = group.workers[idx % group_workers];
+                    assignments[worker].items.push(item);
+                }
+            }
+        }
+        DataReplication::Importance { epsilon } => {
+            let target = crate::replication::importance_sample_size(epsilon, data.dim())
+                .min(item_count)
+                .max(1);
+            let uniform = vec![1.0; item_count];
+            let weights = importance_weights.unwrap_or(&uniform);
+            for group in &groups {
+                let sampled = weighted_sample(weights, target, &mut rng);
+                let group_workers = group.workers.len().max(1);
+                for (idx, item) in sampled.into_iter().enumerate() {
+                    let worker = group.workers[idx % group_workers];
+                    assignments[worker].items.push(item);
+                }
+            }
+        }
+    }
+
+    EpochAssignment {
+        workers: assignments,
+        groups,
+    }
+}
+
+/// Sample `count` indices with replacement, proportionally to `weights`.
+fn weighted_sample(weights: &[f64], count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 || weights.is_empty() {
+        return (0..count.min(weights.len())).collect();
+    }
+    // Build a cumulative distribution once; binary-search per draw.
+    let mut cumulative = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w.max(0.0);
+        cumulative.push(acc);
+    }
+    (0..count)
+        .map(|_| {
+            let target = rng.random::<f64>() * acc;
+            cumulative
+                .partition_point(|&c| c < target)
+                .min(weights.len() - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_matrix::{CsrMatrix, SparseVector};
+
+    fn small_data(rows: usize, cols: usize) -> TaskData {
+        let svs: Vec<SparseVector> = (0..rows)
+            .map(|i| SparseVector::from_parts(vec![(i % cols) as u32], vec![1.0]))
+            .collect();
+        TaskData::supervised(
+            CsrMatrix::from_sparse_rows(cols, &svs).unwrap(),
+            vec![1.0; rows],
+        )
+    }
+
+    fn local2() -> MachineTopology {
+        MachineTopology::local2()
+    }
+
+    #[test]
+    fn plan_construction_and_presets() {
+        let m = local2();
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        assert_eq!(plan.workers, 12);
+        assert_eq!(plan.locality_groups(&m), 2);
+        assert!(plan.describe().contains("PerNode"));
+        assert_eq!(ExecutionPlan::hogwild(&m).model_replication, ModelReplication::PerMachine);
+        assert_eq!(ExecutionPlan::graphlab(&m).access, AccessMethod::ColumnToRow);
+        assert_eq!(ExecutionPlan::mllib(&m).model_replication, ModelReplication::PerCore);
+        assert_eq!(plan.clone().with_workers(4).workers, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let m = local2();
+        let _ = ExecutionPlan::hogwild(&m).with_workers(0);
+    }
+
+    #[test]
+    fn sharding_partitions_all_rows_once() {
+        let m = local2();
+        let data = small_data(100, 10);
+        let plan = ExecutionPlan::hogwild(&m).with_workers(4);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        assert_eq!(assignment.total_items(), 100);
+        let mut all: Vec<usize> = assignment
+            .workers
+            .iter()
+            .flat_map(|w| w.items.iter().copied())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Balanced: each of the 4 workers gets 25 rows.
+        for w in &assignment.workers {
+            assert_eq!(w.items.len(), 25);
+        }
+    }
+
+    #[test]
+    fn full_replication_gives_each_group_all_rows() {
+        let m = local2();
+        let data = small_data(60, 10);
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        )
+        .with_workers(4);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        // 2 groups x 60 rows.
+        assert_eq!(assignment.total_items(), 120);
+        assert_eq!(assignment.groups.len(), 2);
+        for group in &assignment.groups {
+            let mut rows: Vec<usize> = group
+                .workers
+                .iter()
+                .flat_map(|&w| assignment.workers[w].items.iter().copied())
+                .collect();
+            rows.sort_unstable();
+            assert_eq!(rows, (0..60).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn columnar_access_assigns_columns() {
+        let m = local2();
+        let data = small_data(50, 20);
+        let plan = ExecutionPlan::graphlab(&m).with_workers(5);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        assert_eq!(assignment.total_items(), 20);
+        for w in &assignment.workers {
+            for &item in &w.items {
+                assert!(item < 20);
+            }
+        }
+    }
+
+    #[test]
+    fn replica_mapping_follows_strategy() {
+        let m = local2();
+        let data = small_data(10, 4);
+        for (repl, expected_groups) in [
+            (ModelReplication::PerCore, 6),
+            (ModelReplication::PerNode, 2),
+            (ModelReplication::PerMachine, 1),
+        ] {
+            let plan = ExecutionPlan::new(&m, AccessMethod::RowWise, repl, DataReplication::Sharding)
+                .with_workers(6);
+            let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+            assert_eq!(assignment.groups.len(), expected_groups, "{repl}");
+            for w in &assignment.workers {
+                assert!(w.replica < expected_groups);
+            }
+            // Every group has at least one worker.
+            for g in &assignment.groups {
+                assert!(!g.workers.is_empty(), "{repl} group {}", g.id);
+            }
+        }
+    }
+
+    #[test]
+    fn epochs_produce_different_orders() {
+        let m = local2();
+        let data = small_data(40, 8);
+        let plan = ExecutionPlan::hogwild(&m).with_workers(2);
+        let a = build_epoch_assignment(&plan, &m, &data, 0, 9, None);
+        let b = build_epoch_assignment(&plan, &m, &data, 1, 9, None);
+        assert_ne!(a.workers[0].items, b.workers[0].items);
+        // Same epoch and seed is deterministic.
+        let c = build_epoch_assignment(&plan, &m, &data, 0, 9, None);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn importance_sampling_respects_weights() {
+        let m = local2();
+        let data = small_data(200, 4);
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Importance { epsilon: 0.5 },
+        )
+        .with_workers(2);
+        // Put all weight on the first 10 rows.
+        let mut weights = vec![0.0; 200];
+        for w in weights.iter_mut().take(10) {
+            *w = 1.0;
+        }
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&weights));
+        assert!(assignment.total_items() > 0);
+        for w in &assignment.workers {
+            for &item in &w.items {
+                assert!(item < 10, "sampled item {item} outside weighted support");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sample_handles_degenerate_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(weighted_sample(&[], 3, &mut rng).is_empty());
+        let zeros = weighted_sample(&[0.0, 0.0], 2, &mut rng);
+        assert_eq!(zeros, vec![0, 1]);
+    }
+}

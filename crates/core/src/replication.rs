@@ -1,0 +1,179 @@
+//! Model- and data-replication strategies (Sections 3.3 and 3.4).
+
+/// Granularity at which the mutable model is replicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ModelReplication {
+    /// One replica per worker, combined at the end of each epoch
+    /// (shared-nothing; Bismarck/Spark/GraphLab style).
+    PerCore,
+    /// One replica per NUMA node, shared by the node's workers through the
+    /// last-level cache and averaged asynchronously across nodes — the
+    /// paper's novel hybrid.
+    PerNode,
+    /// A single replica shared by every worker with no locking
+    /// (Hogwild! / Downpour style).
+    PerMachine,
+}
+
+impl ModelReplication {
+    /// All three strategies.
+    pub fn all() -> [ModelReplication; 3] {
+        [
+            ModelReplication::PerCore,
+            ModelReplication::PerNode,
+            ModelReplication::PerMachine,
+        ]
+    }
+
+    /// Number of model replicas for a machine with `nodes` sockets and
+    /// `workers` workers.
+    pub fn replica_count(&self, nodes: usize, workers: usize) -> usize {
+        match self {
+            ModelReplication::PerCore => workers.max(1),
+            ModelReplication::PerNode => nodes.max(1).min(workers.max(1)),
+            ModelReplication::PerMachine => 1,
+        }
+    }
+
+    /// Number of sockets whose workers write to the *same* replica; this is
+    /// what drives coherence contention in the hardware model.
+    pub fn sockets_sharing_replica(&self, nodes: usize) -> usize {
+        match self {
+            ModelReplication::PerCore | ModelReplication::PerNode => 1,
+            ModelReplication::PerMachine => nodes.max(1),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelReplication::PerCore => "PerCore",
+            ModelReplication::PerNode => "PerNode",
+            ModelReplication::PerMachine => "PerMachine",
+        }
+    }
+}
+
+impl std::fmt::Display for ModelReplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How the immutable data is assigned to locality groups.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum DataReplication {
+    /// Partition the rows (or columns, for columnar access) across locality
+    /// groups; each tuple is processed once per epoch.
+    Sharding,
+    /// Give every locality group a full copy of the data, each traversed in
+    /// a different random order; more work per epoch, lower variance.
+    FullReplication,
+    /// Importance sampling by linear leverage score (Appendix C.4): each
+    /// group samples `2 ε⁻² d log d` rows per epoch with probability
+    /// proportional to the row's leverage score.
+    Importance {
+        /// Error tolerance ε controlling the per-epoch sample size.
+        epsilon: f64,
+    },
+}
+
+impl DataReplication {
+    /// The two primary strategies studied in Section 3.4.
+    pub fn primary() -> [DataReplication; 2] {
+        [DataReplication::Sharding, DataReplication::FullReplication]
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DataReplication::Sharding => "Sharding",
+            DataReplication::FullReplication => "FullReplication",
+            DataReplication::Importance { .. } => "Importance",
+        }
+    }
+
+    /// Multiplier on the amount of data processed per epoch relative to
+    /// Sharding, given `groups` locality groups and `n` examples of
+    /// dimension `d`.
+    pub fn epoch_work_factor(&self, groups: usize, n: usize, d: usize) -> f64 {
+        match self {
+            DataReplication::Sharding => 1.0,
+            DataReplication::FullReplication => groups.max(1) as f64,
+            DataReplication::Importance { epsilon } => {
+                let sample = importance_sample_size(*epsilon, d) as f64;
+                let per_group = (n as f64 / groups.max(1) as f64).max(1.0);
+                ((sample / per_group) * groups.max(1) as f64).min(groups.max(1) as f64)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for DataReplication {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataReplication::Importance { epsilon } => write!(f, "Importance(eps={epsilon})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Sample size `m > 2 ε⁻² d log d` of the leverage-score bound (Example C.1).
+pub fn importance_sample_size(epsilon: f64, d: usize) -> usize {
+    let d = d.max(2) as f64;
+    (2.0 / (epsilon * epsilon) * d * d.ln()).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts() {
+        assert_eq!(ModelReplication::PerCore.replica_count(2, 12), 12);
+        assert_eq!(ModelReplication::PerNode.replica_count(2, 12), 2);
+        assert_eq!(ModelReplication::PerMachine.replica_count(8, 64), 1);
+        // Never more replicas than workers.
+        assert_eq!(ModelReplication::PerNode.replica_count(4, 2), 2);
+        assert_eq!(ModelReplication::all().len(), 3);
+    }
+
+    #[test]
+    fn socket_sharing() {
+        assert_eq!(ModelReplication::PerMachine.sockets_sharing_replica(8), 8);
+        assert_eq!(ModelReplication::PerNode.sockets_sharing_replica(8), 1);
+        assert_eq!(ModelReplication::PerCore.sockets_sharing_replica(8), 1);
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(ModelReplication::PerNode.to_string(), "PerNode");
+        assert_eq!(DataReplication::Sharding.to_string(), "Sharding");
+        assert_eq!(
+            DataReplication::Importance { epsilon: 0.1 }.to_string(),
+            "Importance(eps=0.1)"
+        );
+        assert_eq!(DataReplication::primary().len(), 2);
+    }
+
+    #[test]
+    fn epoch_work_factors() {
+        assert_eq!(DataReplication::Sharding.epoch_work_factor(4, 1000, 10), 1.0);
+        assert_eq!(
+            DataReplication::FullReplication.epoch_work_factor(4, 1000, 10),
+            4.0
+        );
+        // Importance sampling never processes more than FullReplication.
+        let imp = DataReplication::Importance { epsilon: 0.1 };
+        assert!(imp.epoch_work_factor(2, 100_000, 50) <= 2.0);
+    }
+
+    #[test]
+    fn sample_size_grows_with_precision() {
+        let loose = importance_sample_size(0.1, 100);
+        let tight = importance_sample_size(0.01, 100);
+        assert!(tight > loose);
+        assert_eq!(tight, loose * 100);
+        assert!(importance_sample_size(0.1, 0) > 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Run configuration and reports.
+
+use crate::plan::ExecutionPlan;
+use dw_numa::PerfCounters;
+use dw_optim::ConvergenceTrace;
+
+/// How the engine executes workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ExecutionMode {
+    /// Deterministic round-robin interleaving of virtual workers.  Produces
+    /// reproducible statistical-efficiency measurements and is the default
+    /// for the figure harnesses.
+    Interleaved,
+    /// Real OS threads, one per worker, sharing lock-free
+    /// [`dw_optim::AtomicModel`] replicas — a faithful Hogwild!-style
+    /// execution with genuine races.
+    Threaded,
+}
+
+/// Parameters of one engine run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RunConfig {
+    /// Number of epochs to execute.
+    pub epochs: usize,
+    /// Override the objective's default initial step size.
+    pub step_override: Option<f64>,
+    /// RNG seed for shuffles and sampling.
+    pub seed: u64,
+    /// Worker execution mode.
+    pub mode: ExecutionMode,
+    /// Rounds per epoch in interleaved mode: each worker processes
+    /// `1/rounds` of its items before control rotates.  Higher values give
+    /// finer interleaving (more faithful to parallel hardware).
+    pub rounds_per_epoch: usize,
+    /// How many rounds between cross-replica averaging for PerNode (the
+    /// asynchronous "as frequently as possible" protocol of Section 3.3).
+    /// PerCore replicas always average once at the end of the epoch.
+    pub sync_every_rounds: usize,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            epochs: 20,
+            step_override: None,
+            seed: 42,
+            mode: ExecutionMode::Interleaved,
+            rounds_per_epoch: 16,
+            sync_every_rounds: 1,
+        }
+    }
+}
+
+impl RunConfig {
+    /// A short run used by tests and examples.
+    pub fn quick(epochs: usize) -> Self {
+        RunConfig {
+            epochs,
+            rounds_per_epoch: 4,
+            ..Default::default()
+        }
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set an explicit step size.
+    pub fn with_step(mut self, step: f64) -> Self {
+        self.step_override = Some(step);
+        self
+    }
+}
+
+/// The outcome of one engine run.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunReport {
+    /// The plan that was executed.
+    pub plan: ExecutionPlan,
+    /// Loss after every epoch, with cumulative simulated seconds.
+    pub trace: ConvergenceTrace,
+    /// Simulated seconds per epoch on the target machine.
+    pub seconds_per_epoch: f64,
+    /// Modelled PMU counters for one epoch.
+    pub counters_per_epoch: PerfCounters,
+    /// The final model (averaged across replicas).
+    pub final_model: Vec<f64>,
+}
+
+impl RunReport {
+    /// Simulated time to reach a loss within `tolerance` of `optimal`.
+    pub fn seconds_to_loss(&self, optimal: f64, tolerance: f64) -> Option<f64> {
+        self.trace.seconds_to_tolerance(optimal, tolerance)
+    }
+
+    /// Epochs to reach a loss within `tolerance` of `optimal`.
+    pub fn epochs_to_loss(&self, optimal: f64, tolerance: f64) -> Option<usize> {
+        self.trace.epochs_to_tolerance(optimal, tolerance)
+    }
+
+    /// Final loss at the end of the run.
+    pub fn final_loss(&self) -> f64 {
+        self.trace
+            .points
+            .last()
+            .map_or(self.trace.initial_loss, |p| p.loss)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMethod;
+    use crate::replication::{DataReplication, ModelReplication};
+
+    #[test]
+    fn config_builders() {
+        let c = RunConfig::quick(3).with_seed(7).with_step(0.5).with_mode(ExecutionMode::Threaded);
+        assert_eq!(c.epochs, 3);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.step_override, Some(0.5));
+        assert_eq!(c.mode, ExecutionMode::Threaded);
+        assert_eq!(RunConfig::default().mode, ExecutionMode::Interleaved);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut trace = ConvergenceTrace::new(10.0);
+        trace.record(4.0, 0.5);
+        trace.record(1.05, 1.0);
+        let report = RunReport {
+            plan: ExecutionPlan {
+                access: AccessMethod::RowWise,
+                model_replication: ModelReplication::PerNode,
+                data_replication: DataReplication::Sharding,
+                workers: 4,
+            },
+            trace,
+            seconds_per_epoch: 0.5,
+            counters_per_epoch: PerfCounters::default(),
+            final_model: vec![0.0; 3],
+        };
+        assert_eq!(report.final_loss(), 1.05);
+        assert_eq!(report.epochs_to_loss(1.0, 0.1), Some(2));
+        assert_eq!(report.seconds_to_loss(1.0, 0.1), Some(1.0));
+        assert_eq!(report.epochs_to_loss(1.0, 0.001), None);
+    }
+}

@@ -1,0 +1,102 @@
+//! High-level runner: optimizer + engine + reference optimum.
+
+use crate::engine::Engine;
+use crate::optimizer::Optimizer;
+use crate::plan::ExecutionPlan;
+use crate::report::{RunConfig, RunReport};
+use crate::task::AnalyticsTask;
+use dw_numa::MachineTopology;
+use dw_optim::reference_optimum;
+
+/// Convenience façade over the optimizer and the engine.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    engine: Engine,
+    optimizer: Optimizer,
+}
+
+impl Runner {
+    /// Create a runner targeting `machine`.
+    pub fn new(machine: MachineTopology) -> Self {
+        Runner {
+            engine: Engine::new(machine.clone()),
+            optimizer: Optimizer::new(machine),
+        }
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The underlying cost-based optimizer.
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// The plan the cost-based optimizer chooses for `task` (Figure 14).
+    pub fn plan_for(&self, task: &AnalyticsTask) -> ExecutionPlan {
+        self.optimizer.choose_plan(task)
+    }
+
+    /// Run `task` under the optimizer-chosen plan.
+    pub fn run_auto(&self, task: &AnalyticsTask, config: &RunConfig) -> RunReport {
+        let plan = self.plan_for(task);
+        self.engine.run(task, &plan, config)
+    }
+
+    /// Run `task` under an explicit plan.
+    pub fn run_with_plan(
+        &self,
+        task: &AnalyticsTask,
+        plan: &ExecutionPlan,
+        config: &RunConfig,
+    ) -> RunReport {
+        self.engine.run(task, plan, config)
+    }
+
+    /// Estimate the optimal loss of `task` with the long-run reference solver
+    /// (the paper's "run for an hour and take the lowest loss" protocol).
+    pub fn estimate_optimum(&self, task: &AnalyticsTask, epochs: usize) -> f64 {
+        reference_optimum(task.objective.as_ref(), &task.data, epochs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMethod;
+    use crate::task::ModelKind;
+    use dw_data::{Dataset, PaperDataset};
+
+    #[test]
+    fn auto_run_converges_toward_reference_optimum() {
+        let machine = MachineTopology::local2();
+        let runner = Runner::new(machine);
+        let dataset = Dataset::generate(PaperDataset::Reuters, 21);
+        let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+        let optimum = runner.estimate_optimum(&task, 8);
+        let report = runner.run_auto(&task, &RunConfig::quick(8));
+        // Within 100% of the optimal loss (the loosest tolerance the paper
+        // reports) after a handful of epochs.
+        assert!(
+            report.epochs_to_loss(optimum, 1.0).is_some(),
+            "final loss {} never reached 2x optimum {}",
+            report.final_loss(),
+            optimum
+        );
+    }
+
+    #[test]
+    fn plan_for_graph_task_is_columnar() {
+        let machine = MachineTopology::local2();
+        let runner = Runner::new(machine);
+        let dataset = Dataset::generate(PaperDataset::AmazonLp, 21);
+        let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Lp);
+        assert_eq!(runner.plan_for(&task).access, AccessMethod::ColumnToRow);
+        let report = runner.run_with_plan(&task, &runner.plan_for(&task), &RunConfig::quick(3));
+        assert!(report.final_loss() <= report.trace.initial_loss);
+        assert!(runner.optimizer().cost_model().alpha >= 4.0);
+        assert_eq!(runner.engine().machine().name, "local2");
+    }
+}

@@ -1,0 +1,392 @@
+//! Hardware-efficiency simulation.
+//!
+//! The paper measures hardware efficiency as the wall-clock time one epoch
+//! takes on a specific NUMA machine, explained through PMU counters
+//! (local/remote DRAM requests, LLC requests).  This environment has one
+//! core, so those quantities are *modelled* instead of measured: every read
+//! and write implied by the Figure 6 access-method cost model is charged
+//! against the [`dw_numa::MemoryCostModel`] of the target machine, taking
+//! into account
+//!
+//! * where each locality group's data lives (NUMA-aware placement),
+//! * whether the data stream and the model replica fit in the node's LLC,
+//! * which sockets share a model replica (write contention / coherence
+//!   stalls, the α factor), and
+//! * the cross-socket traffic of model synchronization (PerNode averaging)
+//!   or of a PerMachine shared replica.
+//!
+//! The output is the simulated seconds-per-epoch and a [`PerfCounters`]
+//! bundle.  All figures that report time-per-epoch, time-to-loss, or counter
+//! ratios are produced from these numbers combined with the measured
+//! statistical efficiency (epochs to converge) of the real execution.
+
+use crate::access::AccessMethod;
+use crate::plan::ExecutionPlan;
+use crate::replication::{DataReplication, ModelReplication};
+use dw_matrix::MatrixStats;
+use dw_numa::cache::streaming_hit_fraction;
+use dw_numa::{MachineTopology, MemoryCostModel, PerfCounters};
+use dw_optim::UpdateDensity;
+
+/// Bytes of one stored sparse element (8-byte value + 4-byte column index).
+const SPARSE_ELEMENT_BYTES: u64 = 12;
+/// Bytes of one model coordinate.
+const MODEL_ELEMENT_BYTES: u64 = 8;
+/// Model-synchronization passes per epoch for PerNode / PerCore averaging
+/// ("communicate as frequently as possible", Section 3.3 — bounded so that
+/// synchronization never dominates data throughput).
+const SYNC_PASSES_PER_EPOCH: u64 = 8;
+
+/// Result of simulating one epoch under a plan on a machine.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EpochSimulation {
+    /// Simulated wall-clock seconds for the epoch (max over workers).
+    pub seconds: f64,
+    /// Modelled PMU counters accumulated over the epoch (whole machine).
+    pub counters: PerfCounters,
+    /// Simulated busy nanoseconds of each worker.
+    pub per_worker_ns: Vec<f64>,
+}
+
+/// Simulate one epoch of `plan` on `machine` for a task with the given
+/// matrix statistics and row-update density.
+pub fn simulate_epoch(
+    stats: &MatrixStats,
+    density: UpdateDensity,
+    plan: &ExecutionPlan,
+    machine: &MachineTopology,
+) -> EpochSimulation {
+    let cost = MemoryCostModel::from_topology(machine);
+    let workers = plan.workers.max(1);
+    let groups = plan.locality_groups(machine).max(1);
+    let work_factor = plan
+        .data_replication
+        .epoch_work_factor(groups, stats.rows, stats.cols);
+
+    // --- Figure 6 element counts for the whole machine, one epoch. ---
+    let (data_reads, model_reads, model_writes) = match plan.access {
+        AccessMethod::RowWise => {
+            let reads = stats.rowwise_reads();
+            let writes = match density {
+                UpdateDensity::Sparse => stats.rowwise_writes_sparse(),
+                UpdateDensity::Dense => stats.rowwise_writes_dense(),
+            };
+            // Each data element read also reads the matching model coordinate.
+            (reads, reads, writes)
+        }
+        AccessMethod::ColumnWise | AccessMethod::ColumnToRow => {
+            let reads = stats.colwise_reads();
+            // One model coordinate is written per column per epoch.
+            (reads, reads, stats.cols as f64)
+        }
+    };
+    let data_reads = data_reads * work_factor;
+    let model_reads = model_reads * work_factor;
+    let model_writes = model_writes * work_factor;
+
+    // --- Placement-dependent unit costs. ---
+    // Data: NUMA-aware placement keeps each group's stream local; the stream
+    // hits the LLC only if the group's share of the data fits.
+    let data_bytes_per_group = match plan.data_replication {
+        DataReplication::FullReplication => stats.sparse_bytes as u64,
+        _ => (stats.sparse_bytes as u64 / groups as u64).max(1),
+    };
+    let data_llc_fraction = streaming_hit_fraction(data_bytes_per_group, machine.llc_bytes() as u64);
+    let data_read_ns = data_llc_fraction * cost.read_llc(SPARSE_ELEMENT_BYTES)
+        + (1.0 - data_llc_fraction) * cost.read_local_dram(SPARSE_ELEMENT_BYTES);
+
+    // Model: replica bytes and sharing depend on the replication strategy.
+    let model_bytes = (stats.cols as u64) * MODEL_ELEMENT_BYTES;
+    let model_fits_llc = (model_bytes as f64) < machine.llc_bytes() as f64 * 0.5;
+    let sharing_sockets = plan
+        .model_replication
+        .sockets_sharing_replica(machine.nodes);
+    // Fraction of workers whose model replica lives on a remote socket
+    // (only PerMachine has a single home node).
+    let remote_worker_fraction = match plan.model_replication {
+        ModelReplication::PerMachine if machine.nodes > 1 => {
+            (machine.nodes - 1) as f64 / machine.nodes as f64
+        }
+        _ => 0.0,
+    };
+    let local_model_read_ns = if model_fits_llc {
+        cost.read_llc(MODEL_ELEMENT_BYTES)
+    } else {
+        cost.read_local_dram(MODEL_ELEMENT_BYTES)
+    };
+    let remote_model_read_ns = cost.read_remote_dram(MODEL_ELEMENT_BYTES);
+    let model_read_ns = (1.0 - remote_worker_fraction) * local_model_read_ns
+        + remote_worker_fraction * remote_model_read_ns;
+
+    // Writes: the per-write cost carries the machine's α (writes are 4–12×
+    // more expensive than reads and grow with the socket count) plus the
+    // cross-socket coherence charge when several sockets share the replica.
+    let base_write_ns = cost.local_write_ns * (cost.alpha / 4.0);
+    let contention_ns = cost.contended_write_ns * (sharing_sockets as f64 - 1.0);
+    let remote_write_extra_ns =
+        remote_worker_fraction * (cost.remote_dram_ns - cost.local_dram_ns).max(0.0);
+    let model_write_ns = base_write_ns + contention_ns + remote_write_extra_ns;
+
+    // --- Model synchronization traffic (PerNode / PerCore averaging). ---
+    let replicas = groups as f64;
+    let sync_elements = match plan.model_replication {
+        ModelReplication::PerMachine => 0.0,
+        _ => SYNC_PASSES_PER_EPOCH as f64 * stats.cols as f64 * replicas * 2.0,
+    };
+    let sync_ns_total = sync_elements * cost.read_remote_dram(MODEL_ELEMENT_BYTES);
+
+    // --- Divide the work across workers. ---
+    let per_worker_data_reads = data_reads / workers as f64;
+    let per_worker_model_reads = model_reads / workers as f64;
+    let per_worker_model_writes = model_writes / workers as f64;
+    let per_worker_ns_value = per_worker_data_reads * data_read_ns
+        + per_worker_model_reads * model_read_ns
+        + per_worker_model_writes * model_write_ns;
+    // The averaging thread runs concurrently with the workers; it only
+    // extends the epoch when it is the bottleneck.
+    let epoch_ns = per_worker_ns_value.max(sync_ns_total);
+    let per_worker_ns = vec![per_worker_ns_value; workers];
+
+    // --- Counters. ---
+    let data_misses = data_reads * (1.0 - data_llc_fraction);
+    let model_local_misses = if model_fits_llc {
+        0.0
+    } else {
+        model_reads * (1.0 - remote_worker_fraction)
+    };
+    let remote_model_reads = model_reads * remote_worker_fraction;
+    let remote_model_writes = model_writes * remote_worker_fraction;
+    let cross_socket_write_invalidations = if sharing_sockets > 1 {
+        model_writes * (sharing_sockets as f64 - 1.0) / sharing_sockets as f64
+    } else {
+        0.0
+    };
+    let counters = PerfCounters {
+        local_llc_hits: (data_reads * data_llc_fraction
+            + model_reads * (1.0 - remote_worker_fraction) * if model_fits_llc { 1.0 } else { 0.0 })
+            as u64,
+        remote_llc_requests: (remote_model_reads + cross_socket_write_invalidations) as u64,
+        llc_misses: (data_misses + model_local_misses + remote_model_reads) as u64,
+        local_dram_requests: (data_misses + model_local_misses) as u64,
+        remote_dram_requests: (remote_model_reads + remote_model_writes + sync_elements) as u64,
+        bytes_read: (data_reads * SPARSE_ELEMENT_BYTES as f64
+            + model_reads * MODEL_ELEMENT_BYTES as f64) as u64,
+        bytes_written: (model_writes * MODEL_ELEMENT_BYTES as f64) as u64,
+        stall_cycles: cost.ns_to_cycles(model_writes * contention_ns),
+    };
+
+    EpochSimulation {
+        seconds: epoch_ns / 1.0e9,
+        counters,
+        per_worker_ns,
+    }
+}
+
+/// Simulated time per epoch for every access method, used by Figure 7(b)
+/// and Figure 15.
+pub fn access_method_seconds(
+    stats: &MatrixStats,
+    density: UpdateDensity,
+    plan_template: &ExecutionPlan,
+    machine: &MachineTopology,
+) -> Vec<(AccessMethod, f64)> {
+    AccessMethod::all()
+        .into_iter()
+        .map(|access| {
+            let mut plan = plan_template.clone();
+            plan.access = access;
+            (access, simulate_epoch(stats, density, &plan, machine).seconds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMethod;
+    use dw_data::{Dataset, PaperDataset};
+
+    fn rcv1_stats() -> MatrixStats {
+        Dataset::generate(PaperDataset::Rcv1, 3).stats()
+    }
+
+    fn amazon_stats() -> MatrixStats {
+        Dataset::generate(PaperDataset::AmazonLp, 3).stats()
+    }
+
+    fn plan(
+        machine: &MachineTopology,
+        access: AccessMethod,
+        model: ModelReplication,
+        data: DataReplication,
+    ) -> ExecutionPlan {
+        ExecutionPlan::new(machine, access, model, data)
+    }
+
+    #[test]
+    fn pernode_faster_than_permachine_for_rowwise_svm() {
+        // Figure 8(b): PerNode finishes an epoch much faster than PerMachine
+        // for SVM on RCV1; PerCore is slightly faster than PerNode.
+        let machine = MachineTopology::local2();
+        let stats = rcv1_stats();
+        let seconds = |model| {
+            simulate_epoch(
+                &stats,
+                UpdateDensity::Sparse,
+                &plan(&machine, AccessMethod::RowWise, model, DataReplication::Sharding),
+                &machine,
+            )
+            .seconds
+        };
+        let per_machine = seconds(ModelReplication::PerMachine);
+        let per_node = seconds(ModelReplication::PerNode);
+        let per_core = seconds(ModelReplication::PerCore);
+        assert!(per_machine > 2.0 * per_node, "{per_machine} vs {per_node}");
+        assert!(per_core <= per_node * 1.05);
+    }
+
+    #[test]
+    fn permachine_generates_more_remote_traffic() {
+        // Section 4.2: Hogwild! (PerMachine) incurs ~11x more cross-node DRAM
+        // requests than DimmWitted's PerNode plan.
+        let machine = MachineTopology::local2();
+        let stats = rcv1_stats();
+        let pm = simulate_epoch(
+            &stats,
+            UpdateDensity::Sparse,
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerMachine, DataReplication::Sharding),
+            &machine,
+        );
+        let pn = simulate_epoch(
+            &stats,
+            UpdateDensity::Sparse,
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::Sharding),
+            &machine,
+        );
+        let ratio = pm.counters.remote_dram_ratio(&pn.counters);
+        assert!(ratio > 3.0, "remote DRAM ratio {ratio}");
+        // And PerNode does more *local* DRAM work in exchange.
+        assert!(pn.counters.local_dram_requests >= pm.counters.local_dram_requests);
+    }
+
+    #[test]
+    fn full_replication_slows_epoch_proportionally_to_nodes() {
+        // Figure 9(b): FullReplication's per-epoch slowdown tracks the node
+        // count because each node processes a full copy.
+        let stats = Dataset::generate(PaperDataset::Reuters, 3).stats();
+        for machine in [
+            MachineTopology::local2(),
+            MachineTopology::local4(),
+            MachineTopology::local8(),
+        ] {
+            let sharding = simulate_epoch(
+                &stats,
+                UpdateDensity::Sparse,
+                &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::Sharding),
+                &machine,
+            )
+            .seconds;
+            let full = simulate_epoch(
+                &stats,
+                UpdateDensity::Sparse,
+                &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::FullReplication),
+                &machine,
+            )
+            .seconds;
+            let slowdown = full / sharding;
+            let nodes = machine.nodes as f64;
+            assert!(
+                slowdown > 0.5 * nodes && slowdown < 2.0 * nodes,
+                "{}: slowdown {slowdown} vs nodes {nodes}",
+                machine.name
+            );
+        }
+    }
+
+    #[test]
+    fn row_col_ratio_grows_with_sockets() {
+        // Figure 15: row-wise becomes slower relative to column-wise as the
+        // socket count grows (α grows).
+        let stats = rcv1_stats();
+        let ratio_on = |machine: &MachineTopology| {
+            let p = plan(
+                machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            );
+            let row = simulate_epoch(&stats, UpdateDensity::Sparse, &p, machine).seconds;
+            let mut pc = p.clone();
+            pc.access = AccessMethod::ColumnToRow;
+            let col = simulate_epoch(&stats, UpdateDensity::Sparse, &pc, machine).seconds;
+            row / col
+        };
+        let r2 = ratio_on(&MachineTopology::local2());
+        let r8 = ratio_on(&MachineTopology::local8());
+        assert!(r8 > r2, "ratio should grow with sockets: {r2} -> {r8}");
+    }
+
+    #[test]
+    fn graph_tasks_prefer_columnar_in_simulated_time() {
+        // The Figure 7(b) crossover: for the graph datasets (tiny rows, huge
+        // d) column-to-row epochs are cheaper than row-wise epochs.
+        let machine = MachineTopology::local2();
+        let stats = amazon_stats();
+        let template = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerMachine,
+            DataReplication::Sharding,
+        );
+        let times = access_method_seconds(&stats, UpdateDensity::Sparse, &template, &machine);
+        let row = times
+            .iter()
+            .find(|(a, _)| *a == AccessMethod::RowWise)
+            .unwrap()
+            .1;
+        let ctr = times
+            .iter()
+            .find(|(a, _)| *a == AccessMethod::ColumnToRow)
+            .unwrap()
+            .1;
+        assert!(ctr < row, "column-to-row {ctr} should beat row-wise {row}");
+        // And the text dataset prefers row-wise.
+        let rcv1 = rcv1_stats();
+        let times = access_method_seconds(&rcv1, UpdateDensity::Sparse, &template, &machine);
+        let row = times[0].1;
+        let ctr = times[2].1;
+        assert!(row < ctr, "row-wise {row} should beat column-to-row {ctr}");
+    }
+
+    #[test]
+    fn counters_are_internally_consistent() {
+        let machine = MachineTopology::local4();
+        let stats = rcv1_stats();
+        let sim = simulate_epoch(
+            &stats,
+            UpdateDensity::Sparse,
+            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerMachine, DataReplication::Sharding),
+            &machine,
+        );
+        assert!(sim.seconds > 0.0);
+        assert_eq!(sim.per_worker_ns.len(), machine.total_cores());
+        assert!(sim.counters.bytes_read > sim.counters.bytes_written);
+        assert!(sim.counters.dram_requests() > 0);
+        assert!(sim.counters.stall_cycles > 0);
+    }
+
+    #[test]
+    fn more_workers_shorten_the_epoch() {
+        let machine = MachineTopology::local2();
+        let stats = rcv1_stats();
+        let base = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let one = simulate_epoch(&stats, UpdateDensity::Sparse, &base.clone().with_workers(1), &machine);
+        let twelve = simulate_epoch(&stats, UpdateDensity::Sparse, &base, &machine);
+        assert!(twelve.seconds < one.seconds);
+    }
+}

@@ -1,0 +1,202 @@
+//! Analytics tasks: a dataset bound to a statistical model.
+
+use dw_data::{Dataset, TaskHint};
+use dw_optim::{GraphLp, GraphQp, LeastSquares, Logistic, Objective, SvmHinge, TaskData};
+use std::sync::Arc;
+
+/// The five statistical models of the evaluation (Section 4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ModelKind {
+    /// Support vector machine (hinge loss).
+    Svm,
+    /// Logistic regression.
+    Lr,
+    /// Least-squares regression.
+    Ls,
+    /// Linear program (vertex-cover relaxation on a graph).
+    Lp,
+    /// Quadratic program (graph Laplacian with anchors).
+    Qp,
+}
+
+impl ModelKind {
+    /// All five models.
+    pub fn all() -> [ModelKind; 5] {
+        [
+            ModelKind::Svm,
+            ModelKind::Lr,
+            ModelKind::Ls,
+            ModelKind::Lp,
+            ModelKind::Qp,
+        ]
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Svm => "SVM",
+            ModelKind::Lr => "LR",
+            ModelKind::Ls => "LS",
+            ModelKind::Lp => "LP",
+            ModelKind::Qp => "QP",
+        }
+    }
+
+    /// Instantiate the objective for this model.
+    pub fn objective(&self) -> Arc<dyn Objective> {
+        match self {
+            ModelKind::Svm => Arc::new(SvmHinge::default()),
+            ModelKind::Lr => Arc::new(Logistic::default()),
+            ModelKind::Ls => Arc::new(LeastSquares::default()),
+            ModelKind::Lp => Arc::new(GraphLp::default()),
+            ModelKind::Qp => Arc::new(GraphQp::default()),
+        }
+    }
+
+    /// Whether the model belongs to the SGD family (row-oriented updates with
+    /// dense-ish write sets) or the SCD family.  Drives the rule of thumb of
+    /// Section 3.3: "For SGD-based models, PerNode usually gives optimal
+    /// results, while for SCD-based models, PerMachine does."
+    pub fn is_sgd_family(&self) -> bool {
+        matches!(self, ModelKind::Svm | ModelKind::Lr | ModelKind::Ls)
+    }
+
+    /// The models the paper runs on a dataset with the given hint.
+    pub fn for_hint(hint: TaskHint) -> Vec<ModelKind> {
+        match hint {
+            TaskHint::Supervised => vec![ModelKind::Svm, ModelKind::Lr, ModelKind::Ls],
+            TaskHint::GraphLp => vec![ModelKind::Lp],
+            TaskHint::GraphQp => vec![ModelKind::Qp],
+            TaskHint::FactorGraph | TaskHint::NeuralNetwork => vec![],
+        }
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A statistical task: immutable data plus the objective to minimize.
+#[derive(Clone)]
+pub struct AnalyticsTask {
+    /// Human-readable name, e.g. `"SVM(rcv1)"`.
+    pub name: String,
+    /// The immutable data (shared between plans and executions).
+    pub data: Arc<TaskData>,
+    /// The objective (model specification) to minimize.
+    pub objective: Arc<dyn Objective>,
+    /// Which of the five paper models this task instantiates.
+    pub kind: ModelKind,
+}
+
+impl std::fmt::Debug for AnalyticsTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalyticsTask")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .field("examples", &self.data.examples())
+            .field("dim", &self.data.dim())
+            .finish()
+    }
+}
+
+impl AnalyticsTask {
+    /// Build a task directly from prepared [`TaskData`].
+    pub fn new(name: impl Into<String>, data: TaskData, kind: ModelKind) -> Self {
+        AnalyticsTask {
+            name: name.into(),
+            data: Arc::new(data),
+            objective: kind.objective(),
+            kind,
+        }
+    }
+
+    /// Bind a generated dataset to one of the paper's models.
+    ///
+    /// # Panics
+    /// Panics if the dataset's task hint is incompatible with the model
+    /// (e.g. running SVM on an LP graph dataset, which has no labels).
+    pub fn from_dataset(dataset: &Dataset, kind: ModelKind) -> Self {
+        let compatible = match kind {
+            ModelKind::Svm | ModelKind::Lr | ModelKind::Ls => {
+                dataset.hint == TaskHint::Supervised || dataset.hint == TaskHint::NeuralNetwork
+            }
+            ModelKind::Lp => dataset.hint == TaskHint::GraphLp,
+            ModelKind::Qp => {
+                dataset.hint == TaskHint::GraphQp || dataset.hint == TaskHint::GraphLp
+            }
+        };
+        assert!(
+            compatible,
+            "model {kind} is incompatible with dataset {} ({:?})",
+            dataset.name, dataset.hint
+        );
+        let data = if kind.is_sgd_family() {
+            TaskData::supervised(dataset.matrix.clone(), dataset.labels.clone())
+        } else {
+            TaskData::graph(dataset.matrix.clone(), dataset.vertex_costs.clone())
+        };
+        AnalyticsTask {
+            name: format!("{}({})", kind.name(), dataset.name),
+            data: Arc::new(data),
+            objective: kind.objective(),
+            kind,
+        }
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    /// Number of examples `N`.
+    pub fn examples(&self) -> usize {
+        self.data.examples()
+    }
+
+    /// Loss of the all-zero initial model.
+    pub fn initial_loss(&self) -> f64 {
+        self.objective.full_loss(&self.data, &vec![0.0; self.dim()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_data::PaperDataset;
+
+    #[test]
+    fn model_kind_metadata() {
+        assert_eq!(ModelKind::all().len(), 5);
+        assert!(ModelKind::Svm.is_sgd_family());
+        assert!(!ModelKind::Qp.is_sgd_family());
+        assert_eq!(ModelKind::Lp.to_string(), "LP");
+        assert_eq!(ModelKind::for_hint(TaskHint::Supervised).len(), 3);
+        assert_eq!(ModelKind::for_hint(TaskHint::GraphQp), vec![ModelKind::Qp]);
+        assert!(ModelKind::for_hint(TaskHint::FactorGraph).is_empty());
+    }
+
+    #[test]
+    fn from_dataset_builds_compatible_tasks() {
+        let reuters = Dataset::generate(PaperDataset::Reuters, 7);
+        let svm = AnalyticsTask::from_dataset(&reuters, ModelKind::Svm);
+        assert_eq!(svm.examples(), reuters.examples());
+        assert_eq!(svm.dim(), reuters.dim());
+        assert!(svm.name.starts_with("SVM"));
+        assert!(svm.initial_loss() > 0.0);
+        assert!(format!("{svm:?}").contains("SVM"));
+
+        let amazon = Dataset::generate(PaperDataset::AmazonLp, 7);
+        let lp = AnalyticsTask::from_dataset(&amazon, ModelKind::Lp);
+        assert_eq!(lp.kind, ModelKind::Lp);
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn incompatible_binding_panics() {
+        let amazon = Dataset::generate(PaperDataset::AmazonLp, 7);
+        let _ = AnalyticsTask::from_dataset(&amazon, ModelKind::Svm);
+    }
+}

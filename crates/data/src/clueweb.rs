@@ -1,0 +1,115 @@
+//! ClueWeb-like scalability dataset (Appendix C.3, Figure 21).
+//!
+//! The paper follows Kan et al. and predicts PageRank scores of 500M web
+//! pages from URL features with a least-squares model: 500M examples, 100K
+//! features, 4B non-zeros (8 nnz/row), 49 GB.  Figure 21 subsamples 1%, 10%,
+//! 50% and 100% of the examples and shows that time per epoch grows linearly
+//! because the 100K-weight model always fits in the LLC.
+//!
+//! [`clueweb_like`] generates a scaled-down instance with the same 8-ish
+//! nnz/row URL-token structure; [`figure21_scales`] is the subsampling sweep.
+
+use crate::generators::LabeledData;
+use dw_matrix::{CsrMatrix, SparseVector};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Number of rows of the full-scale (1.0) generated instance.
+pub const FULL_SCALE_ROWS: usize = 40_000;
+/// Feature dimension of the generated instance.
+pub const FEATURES: usize = 2_000;
+/// Average URL-token features per page.
+pub const NNZ_PER_ROW: usize = 8;
+
+/// Generate a ClueWeb-like least-squares dataset at `scale` ∈ (0, 1] of
+/// [`FULL_SCALE_ROWS`].
+pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let rows = ((FULL_SCALE_ROWS as f64 * scale).round() as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Planted weights: PageRank-ish scores driven by a few hundred hot
+    // tokens (domain names) and a long tail.
+    let ground_truth: Vec<f64> = (0..FEATURES)
+        .map(|j| if j < 200 { 1.0 / (1.0 + j as f64) } else { 0.001 })
+        .collect();
+    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let nnz = rng.random_range(NNZ_PER_ROW / 2..=NNZ_PER_ROW * 2);
+        let mut token_set = std::collections::BTreeMap::new();
+        while token_set.len() < nnz {
+            // Hot domains appear in most URLs; path tokens are uniform.
+            let token = if rng.random::<f64>() < 0.3 {
+                rng.random_range(0..200)
+            } else {
+                rng.random_range(0..FEATURES)
+            };
+            token_set.entry(token as u32).or_insert(1.0);
+        }
+        let sv = SparseVector::from_parts(
+            token_set.keys().copied().collect(),
+            token_set.values().copied().collect(),
+        );
+        let score: f64 = sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>()
+            + rng.random::<f64>() * 0.01;
+        labels.push(score);
+        sparse_rows.push(sv);
+    }
+    let matrix =
+        CsrMatrix::from_sparse_rows(FEATURES, &sparse_rows).expect("tokens within feature range");
+    LabeledData {
+        matrix,
+        labels,
+        ground_truth,
+    }
+}
+
+/// The subsampling sweep of Figure 21: 1%, 10%, 50%, 100%.
+pub fn figure21_scales() -> Vec<f64> {
+    vec![0.01, 0.1, 0.5, 1.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_matrix::MatrixStats;
+
+    #[test]
+    fn scales_produce_proportional_rows() {
+        let small = clueweb_like(0.01, 1);
+        let larger = clueweb_like(0.1, 1);
+        assert_eq!(small.matrix.rows(), 400);
+        assert_eq!(larger.matrix.rows(), 4_000);
+        assert_eq!(small.matrix.cols(), FEATURES);
+        assert_eq!(small.labels.len(), 400);
+    }
+
+    #[test]
+    fn rows_have_url_like_sparsity() {
+        let data = clueweb_like(0.02, 5);
+        let stats = MatrixStats::from_csr(&data.matrix);
+        assert!(stats.avg_row_nnz >= 4.0 && stats.avg_row_nnz <= 16.0);
+        assert!(stats.is_sparse());
+    }
+
+    #[test]
+    fn model_fits_in_llc() {
+        // The paper's explanation of linear scaling is that the 100K-weight
+        // model fits in the LLC; our scaled model must as well (2K weights =
+        // 16 KB, far below the 12 MB LLC of local2).
+        assert!(FEATURES * 8 < 12 * 1024 * 1024);
+    }
+
+    #[test]
+    fn figure21_sweep() {
+        let scales = figure21_scales();
+        assert_eq!(scales.len(), 4);
+        assert_eq!(*scales.last().unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn invalid_scale_panics() {
+        let _ = clueweb_like(0.0, 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! Low-level synthetic data generators.
+//!
+//! Three families cover every dataset in Figure 10:
+//!
+//! * [`sparse_classification`] — text-like sparse matrices with a power-law
+//!   (Zipfian) column-popularity distribution and labels from a planted,
+//!   noisy separating hyperplane (RCV1-like, Reuters-like),
+//! * [`dense_regression`] — dense Gaussian feature matrices with labels from
+//!   a planted linear model plus noise (Music-like, Forest-like),
+//! * [`graph_edges`] — preferential-attachment graphs whose edge-incidence
+//!   matrix is the data matrix for the LP/QP network-analysis tasks
+//!   (Amazon-like, Google-like).
+
+use dw_matrix::{CooMatrix, CsrMatrix, SparseVector};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Output of the supervised generators: a data matrix and per-row labels.
+#[derive(Debug, Clone)]
+pub struct LabeledData {
+    /// The data matrix `A ∈ R^{N×d}` in CSR format.
+    pub matrix: CsrMatrix,
+    /// One label per row; ±1 for classification, real-valued for regression.
+    pub labels: Vec<f64>,
+    /// The planted ground-truth model used to generate labels.
+    pub ground_truth: Vec<f64>,
+}
+
+/// Output of the graph generators: an edge-incidence matrix plus per-vertex
+/// costs used by the LP/QP objectives.
+#[derive(Debug, Clone)]
+pub struct GraphData {
+    /// Edge-incidence matrix: one row per edge with two ±1 entries.
+    pub incidence: CsrMatrix,
+    /// Per-vertex cost vector `c` (length = number of vertices).
+    pub vertex_costs: Vec<f64>,
+    /// Edge list as (u, v) pairs.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Generate a sparse classification dataset.
+///
+/// Columns are drawn with Zipf-like popularity (exponent ~1), mimicking word
+/// frequencies in the text corpora; values are positive tf-idf-like weights;
+/// labels come from a planted sparse hyperplane with `label_noise`
+/// probability of flipping.
+pub fn sparse_classification(
+    rows: usize,
+    cols: usize,
+    nnz_per_row: usize,
+    label_noise: f64,
+    seed: u64,
+) -> LabeledData {
+    assert!(cols > 0 && nnz_per_row > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Planted model: a dense-ish separator with decaying magnitude so that
+    // popular columns carry most of the signal.
+    let ground_truth: Vec<f64> = (0..cols)
+        .map(|j| {
+            let magnitude = 2.0 / (1.0 + j as f64 / 50.0);
+            if rng.random::<bool>() {
+                magnitude
+            } else {
+                -magnitude
+            }
+        })
+        .collect();
+
+    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let target_nnz = sample_row_nnz(&mut rng, nnz_per_row, cols);
+        let mut cols_set = std::collections::BTreeMap::new();
+        while cols_set.len() < target_nnz {
+            let col = zipf_column(&mut rng, cols);
+            let value = 0.2 + rng.random::<f64>();
+            cols_set.entry(col as u32).or_insert(value);
+        }
+        let sv = SparseVector::from_parts(
+            cols_set.keys().copied().collect(),
+            cols_set.values().copied().collect(),
+        );
+        let margin: f64 = sv
+            .iter()
+            .map(|(j, v)| v * ground_truth[j])
+            .sum::<f64>();
+        let mut label = if margin >= 0.0 { 1.0 } else { -1.0 };
+        if rng.random::<f64>() < label_noise {
+            label = -label;
+        }
+        labels.push(label);
+        sparse_rows.push(sv);
+    }
+    let matrix = CsrMatrix::from_sparse_rows(cols, &sparse_rows)
+        .expect("generator produces in-bounds columns");
+    LabeledData {
+        matrix,
+        labels,
+        ground_truth,
+    }
+}
+
+/// Generate a dense regression/classification dataset (Music/Forest-like).
+///
+/// Every row has `cols` non-zero Gaussian features.  Labels are
+/// `sign(a·w* + noise)` when `classification` is true and `a·w* + noise`
+/// otherwise.
+pub fn dense_regression(
+    rows: usize,
+    cols: usize,
+    noise: f64,
+    classification: bool,
+    seed: u64,
+) -> LabeledData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ground_truth: Vec<f64> = (0..cols).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
+    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut labels = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let values: Vec<f64> = (0..cols).map(|_| gaussian(&mut rng)).collect();
+        let indices: Vec<u32> = (0..cols as u32).collect();
+        let dot: f64 = values
+            .iter()
+            .zip(&ground_truth)
+            .map(|(a, w)| a * w)
+            .sum();
+        let noisy = dot + gaussian(&mut rng) * noise;
+        labels.push(if classification {
+            if noisy >= 0.0 {
+                1.0
+            } else {
+                -1.0
+            }
+        } else {
+            noisy
+        });
+        sparse_rows.push(SparseVector::from_parts(indices, values));
+    }
+    let matrix = CsrMatrix::from_sparse_rows(cols, &sparse_rows)
+        .expect("generator produces in-bounds columns");
+    LabeledData {
+        matrix,
+        labels,
+        ground_truth,
+    }
+}
+
+/// Generate a preferential-attachment graph and its edge-incidence matrix.
+///
+/// Each of the `edges` rows has exactly two non-zero entries (+1 at the two
+/// endpoint columns), which matches the extreme sparsity of the Amazon and
+/// Google datasets in Figure 10 (2–10 non-zeros per *column*, 2 per row) and
+/// produces the large cost ratio that makes column-wise access win.
+pub fn graph_edges(vertices: usize, edges: usize, seed: u64) -> GraphData {
+    assert!(vertices >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_list: Vec<(usize, usize)> = Vec::with_capacity(edges);
+    // Preferential attachment: endpoints are sampled from previously used
+    // endpoints with probability 1/2 to create a skewed degree distribution
+    // like real co-purchase / social graphs.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(edges * 2);
+    let mut seen = std::collections::HashSet::new();
+    while edge_list.len() < edges {
+        let u = if !endpoint_pool.is_empty() && rng.random::<f64>() < 0.5 {
+            endpoint_pool[rng.random_range(0..endpoint_pool.len())]
+        } else {
+            rng.random_range(0..vertices)
+        };
+        let v = rng.random_range(0..vertices);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if !seen.insert(key) {
+            continue;
+        }
+        endpoint_pool.push(u);
+        endpoint_pool.push(v);
+        edge_list.push((u, v));
+    }
+    let mut coo = CooMatrix::new(edge_list.len(), vertices);
+    for (i, &(u, v)) in edge_list.iter().enumerate() {
+        coo.push(i, u, 1.0).expect("endpoint in range");
+        coo.push(i, v, 1.0).expect("endpoint in range");
+    }
+    let vertex_costs: Vec<f64> = (0..vertices).map(|_| 0.5 + rng.random::<f64>()).collect();
+    GraphData {
+        incidence: coo.to_csr(),
+        vertex_costs,
+        edges: edge_list,
+    }
+}
+
+/// Sample a per-row NNZ around the mean with ±50% spread, clamped to
+/// `[1, cols]`.
+fn sample_row_nnz(rng: &mut StdRng, mean: usize, cols: usize) -> usize {
+    let low = (mean / 2).max(1);
+    let high = (mean + mean / 2).max(low + 1);
+    rng.random_range(low..=high).min(cols)
+}
+
+/// Zipf-like column sampler: column popularity decays as ~1/rank.
+fn zipf_column(rng: &mut StdRng, cols: usize) -> usize {
+    // Inverse-CDF sampling of a truncated Pareto-like distribution.
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    let max = cols as f64;
+    let rank = max.powf(u) - 1.0;
+    (rank as usize).min(cols - 1)
+}
+
+/// Standard normal via Box–Muller.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_matrix::MatrixStats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sparse_classification_shape() {
+        let data = sparse_classification(200, 500, 10, 0.05, 7);
+        assert_eq!(data.matrix.rows(), 200);
+        assert_eq!(data.matrix.cols(), 500);
+        assert_eq!(data.labels.len(), 200);
+        let stats = MatrixStats::from_csr(&data.matrix);
+        assert!(stats.avg_row_nnz >= 5.0 && stats.avg_row_nnz <= 16.0);
+        assert!(stats.is_sparse());
+        assert!(data.labels.iter().all(|&l| l == 1.0 || l == -1.0));
+        // Both classes should appear.
+        assert!(data.labels.iter().any(|&l| l == 1.0));
+        assert!(data.labels.iter().any(|&l| l == -1.0));
+    }
+
+    #[test]
+    fn sparse_classification_deterministic_per_seed() {
+        let a = sparse_classification(50, 100, 5, 0.0, 3);
+        let b = sparse_classification(50, 100, 5, 0.0, 3);
+        let c = sparse_classification(50, 100, 5, 0.0, 4);
+        assert_eq!(a.matrix, b.matrix);
+        assert_eq!(a.labels, b.labels);
+        assert_ne!(a.matrix, c.matrix);
+    }
+
+    #[test]
+    fn sparse_columns_are_skewed() {
+        let data = sparse_classification(500, 300, 8, 0.0, 11);
+        let csc = data.matrix.to_csc();
+        let mut col_nnz: Vec<usize> = (0..csc.cols()).map(|j| csc.col_nnz(j)).collect();
+        col_nnz.sort_unstable_by(|a, b| b.cmp(a));
+        // Popular columns should be much more popular than the median.
+        let median = col_nnz[col_nnz.len() / 2].max(1);
+        assert!(col_nnz[0] >= 4 * median, "head {} median {}", col_nnz[0], median);
+    }
+
+    #[test]
+    fn dense_regression_shape() {
+        let data = dense_regression(100, 20, 0.1, false, 5);
+        assert_eq!(data.matrix.rows(), 100);
+        assert_eq!(data.matrix.cols(), 20);
+        let stats = MatrixStats::from_csr(&data.matrix);
+        assert!((stats.density - 1.0).abs() < 1e-9);
+        assert!(!stats.is_sparse());
+        // Regression labels should not all be ±1.
+        assert!(data.labels.iter().any(|&l| l.abs() != 1.0));
+    }
+
+    #[test]
+    fn dense_classification_labels() {
+        let data = dense_regression(100, 20, 0.1, true, 5);
+        assert!(data.labels.iter().all(|&l| l == 1.0 || l == -1.0));
+    }
+
+    #[test]
+    fn graph_edges_structure() {
+        let g = graph_edges(100, 300, 13);
+        assert_eq!(g.incidence.rows(), 300);
+        assert_eq!(g.incidence.cols(), 100);
+        assert_eq!(g.vertex_costs.len(), 100);
+        assert_eq!(g.edges.len(), 300);
+        // Every row has exactly 2 non-zeros.
+        for i in 0..g.incidence.rows() {
+            assert_eq!(g.incidence.row_nnz(i), 2);
+        }
+        // No self loops or duplicate edges.
+        let mut keys: Vec<(usize, usize)> = g
+            .edges
+            .iter()
+            .map(|&(u, v)| (u.min(v), u.max(v)))
+            .collect();
+        assert!(keys.iter().all(|&(u, v)| u != v));
+        let len = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), len);
+    }
+
+    #[test]
+    fn graph_degrees_are_skewed() {
+        let g = graph_edges(200, 1000, 29);
+        let csc = g.incidence.to_csc();
+        let max_degree = (0..csc.cols()).map(|j| csc.col_nnz(j)).max().unwrap();
+        let avg_degree = 2.0 * 1000.0 / 200.0;
+        assert!(max_degree as f64 > 2.0 * avg_degree);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_sparse_gen_within_bounds(rows in 1usize..50, cols in 2usize..100, nnz in 1usize..10, seed in 0u64..100) {
+            let data = sparse_classification(rows, cols, nnz, 0.1, seed);
+            prop_assert_eq!(data.matrix.rows(), rows);
+            prop_assert_eq!(data.matrix.cols(), cols);
+            prop_assert_eq!(data.labels.len(), rows);
+            prop_assert_eq!(data.ground_truth.len(), cols);
+            for i in 0..rows {
+                prop_assert!(data.matrix.row_nnz(i) >= 1);
+                prop_assert!(data.matrix.row_nnz(i) <= cols);
+            }
+        }
+
+        #[test]
+        fn prop_graph_gen_valid(vertices in 2usize..60, edges in 1usize..80, seed in 0u64..100) {
+            let max_edges = vertices * (vertices - 1) / 2;
+            let edges = edges.min(max_edges);
+            let g = graph_edges(vertices, edges, seed);
+            prop_assert_eq!(g.incidence.rows(), edges);
+            for &(u, v) in &g.edges {
+                prop_assert!(u < vertices && v < vertices);
+                prop_assert!(u != v);
+            }
+        }
+    }
+}

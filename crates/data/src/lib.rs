@@ -1,0 +1,45 @@
+//! Synthetic workload generators for the DimmWitted study.
+//!
+//! The paper evaluates on eight public datasets plus two extension workloads
+//! (Figure 10): text-classification corpora (Reuters, RCV1), dense benchmark
+//! datasets (Music, Forest), social-network graphs (Amazon, Google) for LP
+//! and QP, a factor graph (Paleo) for Gibbs sampling, MNIST for the neural
+//! network, and ClueWeb for the scalability appendix.  Those corpora are not
+//! redistributable here, so this crate generates synthetic datasets that
+//! match each corpus's *shape statistics* — row count, column count, NNZ,
+//! sparsity pattern, and over/under-determination — scaled down so that
+//! every experiment completes in seconds.  The tradeoffs the paper measures
+//! are functions of exactly those statistics (see `DESIGN.md`), so the
+//! substitution preserves the phenomena being studied.
+//!
+//! Entry points:
+//!
+//! * [`DatasetSpec`] — the Figure 10 table, with paper-scale and scaled-down
+//!   sizes,
+//! * [`Dataset`] — a generated matrix plus labels / vertex costs,
+//! * [`generators`] — low-level generators (sparse classification, dense
+//!   regression, graph instances),
+//! * [`subsample`] — the row-subsampling used for Figures 7(b) and 16(b),
+//! * [`clueweb`] — the scalability dataset of Figure 21.
+
+pub mod clueweb;
+pub mod datasets;
+pub mod generators;
+pub mod spec;
+pub mod subsample;
+
+pub use datasets::{Dataset, TaskHint};
+pub use spec::{DatasetSpec, PaperDataset};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_smoke() {
+        let spec = DatasetSpec::paper(PaperDataset::Reuters);
+        assert_eq!(spec.name, "reuters");
+        let ds = Dataset::generate(PaperDataset::Reuters, 42);
+        assert!(ds.matrix.rows() > 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Row-element subsampling used to control sparsity.
+//!
+//! Figure 7(b) and Figure 16(b) of the paper build a series of synthetic
+//! datasets "where we control the number of non-zero elements per row by
+//! subsampling each row on the Music dataset".  [`subsample_rows`] keeps each
+//! element of each row independently with probability `keep_fraction`
+//! (always retaining at least one element so no row becomes empty), which
+//! sweeps the cost ratio and the update density.
+
+use dw_matrix::{CsrMatrix, SparseVector};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Keep each non-zero of each row with probability `keep_fraction`.
+///
+/// # Panics
+/// Panics if `keep_fraction` is not in `(0, 1]`.
+pub fn subsample_rows(matrix: &CsrMatrix, keep_fraction: f64, seed: u64) -> CsrMatrix {
+    assert!(
+        keep_fraction > 0.0 && keep_fraction <= 1.0,
+        "keep_fraction must be in (0, 1]"
+    );
+    if keep_fraction >= 1.0 {
+        return matrix.clone();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(matrix.rows());
+    for i in 0..matrix.rows() {
+        let view = matrix.row(i);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (j, v) in view.iter() {
+            if rng.random::<f64>() < keep_fraction {
+                indices.push(j as u32);
+                values.push(v);
+            }
+        }
+        if indices.is_empty() && view.nnz() > 0 {
+            // Keep one element so the example still contributes a gradient.
+            let pick = rng.random_range(0..view.nnz());
+            indices.push(view.indices[pick]);
+            values.push(view.values[pick]);
+        }
+        rows.push(SparseVector::from_parts(indices, values));
+    }
+    CsrMatrix::from_sparse_rows(matrix.cols(), &rows).expect("subsample preserves column bounds")
+}
+
+/// The sparsity sweep used by Figure 16(b): 1%, 10%, 25%, 50%, 100%.
+pub fn figure16_sparsity_levels() -> Vec<f64> {
+    vec![0.01, 0.1, 0.25, 0.5, 1.0]
+}
+
+/// The subsample sweep used for the Figure 7(b) cost-ratio series.
+pub fn figure7_subsample_levels() -> Vec<f64> {
+    vec![0.02, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::dense_regression;
+    use dw_matrix::MatrixStats;
+    use proptest::prelude::*;
+
+    #[test]
+    fn subsample_reduces_nnz_proportionally() {
+        let data = dense_regression(300, 80, 0.1, false, 9);
+        let full_nnz = data.matrix.nnz();
+        let half = subsample_rows(&data.matrix, 0.5, 1);
+        let tenth = subsample_rows(&data.matrix, 0.1, 1);
+        let half_frac = half.nnz() as f64 / full_nnz as f64;
+        let tenth_frac = tenth.nnz() as f64 / full_nnz as f64;
+        assert!((half_frac - 0.5).abs() < 0.05, "half frac {half_frac}");
+        assert!((tenth_frac - 0.1).abs() < 0.05, "tenth frac {tenth_frac}");
+    }
+
+    #[test]
+    fn subsample_full_is_identity() {
+        let data = dense_regression(50, 10, 0.1, false, 9);
+        let same = subsample_rows(&data.matrix, 1.0, 3);
+        assert_eq!(same, data.matrix);
+    }
+
+    #[test]
+    fn no_row_becomes_empty() {
+        let data = dense_regression(100, 40, 0.1, false, 10);
+        let sub = subsample_rows(&data.matrix, 0.01, 2);
+        for i in 0..sub.rows() {
+            assert!(sub.row_nnz(i) >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep_fraction")]
+    fn invalid_fraction_panics() {
+        let data = dense_regression(5, 5, 0.1, false, 1);
+        let _ = subsample_rows(&data.matrix, 0.0, 1);
+    }
+
+    #[test]
+    fn sweep_levels_sorted() {
+        let f16 = figure16_sparsity_levels();
+        assert!(f16.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*f16.last().unwrap(), 1.0);
+        let f7 = figure7_subsample_levels();
+        assert!(f7.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn subsampling_sweeps_cost_ratio() {
+        // Subsampling a dense matrix lowers Σnᵢ² faster than Σnᵢ, raising the
+        // cost ratio — this is what creates the crossover in Figure 7(b).
+        let data = dense_regression(200, 90, 0.1, false, 21);
+        let alpha = 10.0;
+        let full_ratio = MatrixStats::from_csr(&data.matrix).cost_ratio(alpha);
+        let sparse_ratio =
+            MatrixStats::from_csr(&subsample_rows(&data.matrix, 0.02, 3)).cost_ratio(alpha);
+        assert!(sparse_ratio > full_ratio);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_subsample_is_subset(keep in 0.05f64..1.0, seed in 0u64..50) {
+            let data = dense_regression(40, 20, 0.1, false, 17);
+            let sub = subsample_rows(&data.matrix, keep, seed);
+            prop_assert_eq!(sub.rows(), data.matrix.rows());
+            prop_assert_eq!(sub.cols(), data.matrix.cols());
+            prop_assert!(sub.nnz() <= data.matrix.nnz());
+            for i in 0..sub.rows() {
+                for (j, v) in sub.row(i).iter() {
+                    prop_assert_eq!(data.matrix.get(i, j), v);
+                }
+            }
+        }
+    }
+}

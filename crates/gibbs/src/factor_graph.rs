@@ -1,0 +1,256 @@
+//! Factor graphs with boolean variables.
+//!
+//! A factor graph is a bipartite graph of variables and factors (Figure 23
+//! of the paper).  DimmWitted represents it as a sparse matrix whose rows
+//! are factors and whose columns are variables; processing one variable
+//! fetches one column to find its factors and then those factors' rows to
+//! find the co-occurring variables — the column-to-row access method.
+
+use dw_matrix::{CooMatrix, CscMatrix, CsrMatrix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The functional form of a factor over its incident boolean variables.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum FactorKind {
+    /// `weight` is added to the log-potential when all incident variables are
+    /// true (an AND factor).
+    Conjunction,
+    /// `weight` is added when the two incident variables agree (an
+    /// Ising-style equality factor).
+    Agreement,
+    /// `weight` is added per true incident variable (a prior / bias factor).
+    Bias,
+}
+
+/// One factor: its kind, weight, and incident variables.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Factor {
+    /// Functional form.
+    pub kind: FactorKind,
+    /// Log-linear weight.
+    pub weight: f64,
+    /// Incident variable ids.
+    pub variables: Vec<usize>,
+}
+
+impl Factor {
+    /// Log-potential contribution of this factor under `assignment`, with
+    /// variable `var` forced to `value`.
+    pub fn log_potential(&self, assignment: &[bool], var: usize, value: bool) -> f64 {
+        let value_of = |v: usize| if v == var { value } else { assignment[v] };
+        match self.kind {
+            FactorKind::Conjunction => {
+                if self.variables.iter().all(|&v| value_of(v)) {
+                    self.weight
+                } else {
+                    0.0
+                }
+            }
+            FactorKind::Agreement => {
+                if self.variables.len() == 2
+                    && value_of(self.variables[0]) == value_of(self.variables[1])
+                {
+                    self.weight
+                } else {
+                    0.0
+                }
+            }
+            FactorKind::Bias => {
+                self.weight
+                    * self
+                        .variables
+                        .iter()
+                        .filter(|&&v| value_of(v))
+                        .count() as f64
+            }
+        }
+    }
+}
+
+/// A factor graph over boolean variables.
+#[derive(Debug, Clone)]
+pub struct FactorGraph {
+    factors: Vec<Factor>,
+    variables: usize,
+    /// Variable → incident factor ids (the CSC view of the bipartite matrix).
+    incidence: CscMatrix,
+}
+
+impl FactorGraph {
+    /// Build a graph from an explicit factor list.
+    pub fn new(variables: usize, factors: Vec<Factor>) -> Self {
+        let mut coo = CooMatrix::new(factors.len(), variables);
+        for (f, factor) in factors.iter().enumerate() {
+            for &v in &factor.variables {
+                assert!(v < variables, "factor references variable {v} out of range");
+                coo.push(f, v, 1.0).expect("in-range entry");
+            }
+        }
+        FactorGraph {
+            incidence: coo.to_csc(),
+            factors,
+            variables,
+        }
+    }
+
+    /// An Ising-style chain of `n` variables: agreement factors of weight
+    /// `coupling` between neighbours and a bias of `bias` on each variable.
+    pub fn chain(n: usize, coupling: f64, bias: f64) -> Self {
+        let mut factors = Vec::new();
+        for v in 0..n.saturating_sub(1) {
+            factors.push(Factor {
+                kind: FactorKind::Agreement,
+                weight: coupling,
+                variables: vec![v, v + 1],
+            });
+        }
+        if bias != 0.0 {
+            for v in 0..n {
+                factors.push(Factor {
+                    kind: FactorKind::Bias,
+                    weight: bias,
+                    variables: vec![v],
+                });
+            }
+        }
+        FactorGraph::new(n, factors)
+    }
+
+    /// A random bipartite factor graph shaped like the paper's Paleo workload
+    /// (many more factors than variables, 2 variables per factor).
+    pub fn random(variables: usize, factors: usize, weight: f64, seed: u64) -> Self {
+        assert!(variables >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut list = Vec::with_capacity(factors);
+        for _ in 0..factors {
+            let u = rng.random_range(0..variables);
+            let mut v = rng.random_range(0..variables);
+            while v == u {
+                v = rng.random_range(0..variables);
+            }
+            let w = weight * (rng.random::<f64>() - 0.3);
+            list.push(Factor {
+                kind: FactorKind::Agreement,
+                weight: w,
+                variables: vec![u, v],
+            });
+        }
+        FactorGraph::new(variables, list)
+    }
+
+    /// Number of variables.
+    pub fn variables(&self) -> usize {
+        self.variables
+    }
+
+    /// Number of factors.
+    pub fn factors(&self) -> usize {
+        self.factors.len()
+    }
+
+    /// The factors incident on a variable (the column of the bipartite
+    /// matrix — the first half of the column-to-row access).
+    pub fn factors_of(&self, variable: usize) -> impl Iterator<Item = &Factor> + '_ {
+        self.incidence
+            .col(variable)
+            .rows()
+            .map(move |f| &self.factors[f])
+    }
+
+    /// Number of (factor, variable) incidences — the NNZ of Figure 10.
+    pub fn nnz(&self) -> usize {
+        self.incidence.nnz()
+    }
+
+    /// The bipartite incidence matrix in CSR (factor-major) form.
+    pub fn factor_matrix(&self) -> CsrMatrix {
+        self.incidence.to_csr()
+    }
+
+    /// Conditional log-odds of `variable = true` given the rest of
+    /// `assignment`.
+    pub fn conditional_log_odds(&self, assignment: &[bool], variable: usize) -> f64 {
+        let mut log_true = 0.0;
+        let mut log_false = 0.0;
+        for factor in self.factors_of(variable) {
+            log_true += factor.log_potential(assignment, variable, true);
+            log_false += factor.log_potential(assignment, variable, false);
+        }
+        log_true - log_false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_structure() {
+        let g = FactorGraph::chain(5, 1.0, 0.2);
+        assert_eq!(g.variables(), 5);
+        assert_eq!(g.factors(), 4 + 5);
+        assert_eq!(g.factors_of(0).count(), 2); // one agreement + one bias
+        assert_eq!(g.factors_of(2).count(), 3); // two agreements + one bias
+        assert!(g.nnz() > 0);
+        assert_eq!(g.factor_matrix().rows(), g.factors());
+    }
+
+    #[test]
+    fn random_graph_structure() {
+        let g = FactorGraph::random(50, 200, 1.0, 3);
+        assert_eq!(g.variables(), 50);
+        assert_eq!(g.factors(), 200);
+        assert_eq!(g.nnz(), 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_variable_rejected() {
+        let _ = FactorGraph::new(
+            2,
+            vec![Factor {
+                kind: FactorKind::Bias,
+                weight: 1.0,
+                variables: vec![5],
+            }],
+        );
+    }
+
+    #[test]
+    fn factor_log_potentials() {
+        let assignment = vec![true, false];
+        let conj = Factor {
+            kind: FactorKind::Conjunction,
+            weight: 2.0,
+            variables: vec![0, 1],
+        };
+        assert_eq!(conj.log_potential(&assignment, 1, true), 2.0);
+        assert_eq!(conj.log_potential(&assignment, 1, false), 0.0);
+        let agree = Factor {
+            kind: FactorKind::Agreement,
+            weight: 1.5,
+            variables: vec![0, 1],
+        };
+        assert_eq!(agree.log_potential(&assignment, 1, true), 1.5);
+        assert_eq!(agree.log_potential(&assignment, 1, false), 0.0);
+        let bias = Factor {
+            kind: FactorKind::Bias,
+            weight: 0.5,
+            variables: vec![0],
+        };
+        assert_eq!(bias.log_potential(&assignment, 0, true), 0.5);
+        assert_eq!(bias.log_potential(&assignment, 0, false), 0.0);
+    }
+
+    #[test]
+    fn conditional_log_odds_prefers_agreement() {
+        // With a strong positive coupling and the neighbour true, the
+        // conditional should strongly favour true.
+        let g = FactorGraph::chain(2, 3.0, 0.0);
+        let assignment = vec![true, true];
+        assert!(g.conditional_log_odds(&assignment, 1) > 2.9);
+        let assignment = vec![false, true];
+        assert!(g.conditional_log_odds(&assignment, 1) < -2.9);
+    }
+}

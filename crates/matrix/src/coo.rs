@@ -1,0 +1,172 @@
+//! Coordinate (triplet) format builder for sparse matrices.
+//!
+//! The synthetic dataset generators in `dw-data` emit entries in arbitrary
+//! order; [`CooMatrix`] collects them and converts to [`CsrMatrix`] /
+//! [`CscMatrix`] for execution.  Duplicate entries are summed on conversion,
+//! matching the conventional COO semantics.
+
+use crate::{CscMatrix, CsrMatrix, DenseMatrix, Entry, Layout, MatrixError, Shape};
+
+/// A sparse matrix under construction, stored as unsorted triplets.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    shape: Shape,
+    entries: Vec<Entry>,
+}
+
+impl CooMatrix {
+    /// Create an empty builder with the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CooMatrix {
+            shape: Shape::new(rows, cols),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Shape of the matrix being built.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of entries pushed so far (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append one entry.
+    pub fn push(&mut self, row: usize, col: usize, value: f64) -> Result<(), MatrixError> {
+        if row >= self.shape.rows || col >= self.shape.cols {
+            return Err(MatrixError::IndexOutOfBounds {
+                row,
+                col,
+                shape: (self.shape.rows, self.shape.cols),
+            });
+        }
+        self.entries.push(Entry { row, col, value });
+        Ok(())
+    }
+
+    /// View of all entries pushed so far.
+    pub fn entries(&self) -> &[Entry] {
+        &self.entries
+    }
+
+    /// Convert to CSR, summing duplicates and dropping explicit zeros.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut sorted = self.entries.clone();
+        sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        let mut indptr = Vec::with_capacity(self.shape.rows + 1);
+        let mut indices = Vec::with_capacity(sorted.len());
+        let mut data = Vec::with_capacity(sorted.len());
+        indptr.push(0u32);
+        let mut current_row = 0usize;
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let e = sorted[i];
+            while current_row < e.row {
+                indptr.push(indices.len() as u32);
+                current_row += 1;
+            }
+            // Sum duplicates at (row, col).
+            let mut value = e.value;
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].row == e.row && sorted[j].col == e.col {
+                value += sorted[j].value;
+                j += 1;
+            }
+            if value != 0.0 {
+                indices.push(e.col as u32);
+                data.push(value);
+            }
+            i = j;
+        }
+        while current_row < self.shape.rows {
+            indptr.push(indices.len() as u32);
+            current_row += 1;
+        }
+        CsrMatrix::from_parts(self.shape.rows, self.shape.cols, indptr, indices, data)
+            .expect("COO builder produced a structurally valid CSR")
+    }
+
+    /// Convert to CSC, summing duplicates and dropping explicit zeros.
+    pub fn to_csc(&self) -> CscMatrix {
+        self.to_csr().to_csc()
+    }
+
+    /// Convert to a dense matrix in the requested layout.
+    pub fn to_dense(&self, layout: Layout) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.shape.rows, self.shape.cols, layout);
+        for e in &self.entries {
+            let prev = m.get(e.row, e.col);
+            m.set(e.row, e.col, prev + e.value);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(1, 2, 2.0).unwrap();
+        assert_eq!(coo.nnz(), 2);
+        assert_eq!(coo.shape(), Shape::new(2, 3));
+        assert!(coo.push(2, 0, 1.0).is_err());
+        assert!(coo.push(0, 3, 1.0).is_err());
+        assert_eq!(coo.entries().len(), 2);
+    }
+
+    #[test]
+    fn to_csr_sums_duplicates_and_drops_zeros() {
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(1, 1, 2.0).unwrap();
+        coo.push(1, 1, 3.0).unwrap();
+        coo.push(0, 2, 5.0).unwrap();
+        coo.push(2, 0, 4.0).unwrap();
+        coo.push(2, 0, -4.0).unwrap(); // cancels to zero, dropped
+        let csr = coo.to_csr();
+        assert_eq!(csr.nnz(), 2);
+        assert_eq!(csr.get(1, 1), 5.0);
+        assert_eq!(csr.get(0, 2), 5.0);
+        assert_eq!(csr.get(2, 0), 0.0);
+    }
+
+    #[test]
+    fn empty_rows_are_represented() {
+        let mut coo = CooMatrix::new(4, 2);
+        coo.push(3, 1, 1.0).unwrap();
+        let csr = coo.to_csr();
+        assert_eq!(csr.row(0).nnz(), 0);
+        assert_eq!(csr.row(3).nnz(), 1);
+    }
+
+    #[test]
+    fn to_dense_accumulates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 0, 2.0).unwrap();
+        let d = coo.to_dense(Layout::RowMajor);
+        assert_eq!(d.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn csr_csc_dense_agree() {
+        let mut coo = CooMatrix::new(3, 4);
+        for (r, c, v) in [(0, 1, 1.5), (2, 3, -2.0), (1, 0, 4.0), (2, 0, 0.5)] {
+            coo.push(r, c, v).unwrap();
+        }
+        let csr = coo.to_csr();
+        let csc = coo.to_csc();
+        let dense = coo.to_dense(Layout::RowMajor);
+        for i in 0..3 {
+            for j in 0..4 {
+                assert_eq!(csr.get(i, j), dense.get(i, j));
+                assert_eq!(csc.get(i, j), dense.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! Compressed Sparse Column storage.
+//!
+//! CSC is the layout used for the column-wise (SCD) and column-to-row access
+//! methods.  Column-to-row access on column `j` needs the set
+//! `S(j) = {i : a_ij ≠ 0}` (footnote 2 of the paper); [`ColView::rows`]
+//! exposes exactly that set.
+
+use crate::{CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
+
+/// A sparse matrix in Compressed Sparse Column format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    shape: Shape,
+    /// `indptr[j]..indptr[j+1]` is the slice of `indices`/`data` for column `j`.
+    indptr: Vec<u32>,
+    /// Row indices of non-zero entries, sorted within each column.
+    indices: Vec<u32>,
+    /// Values aligned with `indices`.
+    data: Vec<f64>,
+}
+
+/// A borrowed view of one column of a [`CscMatrix`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColView<'a> {
+    /// Row indices of the column's non-zero entries (the set `S(j)`).
+    pub indices: &'a [u32],
+    /// Values aligned with `indices`.
+    pub values: &'a [f64],
+}
+
+impl<'a> ColView<'a> {
+    /// Number of non-zero entries in the column.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterate over `(row, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// The row set `S(j)` for column-to-row access.
+    pub fn rows(&self) -> impl Iterator<Item = usize> + 'a {
+        self.indices.iter().map(|&i| i as usize)
+    }
+
+    /// Dot product of this column with a dense vector indexed by row.
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, v) in self.iter() {
+            acc += v * dense[i];
+        }
+        acc
+    }
+
+    /// Sum of squares of the stored values (used by SCD step sizes).
+    pub fn norm2_squared(&self) -> f64 {
+        self.values.iter().map(|v| v * v).sum()
+    }
+}
+
+impl CscMatrix {
+    /// Build a CSC matrix from raw arrays, validating the structure.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<u32>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if indptr.len() != cols + 1 {
+            return Err(MatrixError::InconsistentStructure(format!(
+                "indptr has {} entries, expected {}",
+                indptr.len(),
+                cols + 1
+            )));
+        }
+        if indices.len() != data.len() {
+            return Err(MatrixError::InconsistentStructure(format!(
+                "indices ({}) and data ({}) lengths differ",
+                indices.len(),
+                data.len()
+            )));
+        }
+        if *indptr.last().unwrap_or(&0) as usize != indices.len() {
+            return Err(MatrixError::InconsistentStructure(
+                "last indptr entry must equal nnz".to_string(),
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::InconsistentStructure(
+                "indptr must be non-decreasing".to_string(),
+            ));
+        }
+        if let Some(&bad) = indices.iter().find(|&&r| r as usize >= rows) {
+            return Err(MatrixError::IndexOutOfBounds {
+                row: bad as usize,
+                col: 0,
+                shape: (rows, cols),
+            });
+        }
+        Ok(CscMatrix {
+            shape: Shape::new(rows, cols),
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Shape of the matrix.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of stored entries in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        (self.indptr[j + 1] - self.indptr[j]) as usize
+    }
+
+    /// Bytes occupied by the sparse representation.
+    pub fn size_bytes(&self) -> usize {
+        self.indptr.len() * 4 + self.indices.len() * 4 + self.data.len() * 8
+    }
+
+    /// Borrowed view of column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols`.
+    #[inline]
+    pub fn col(&self, j: usize) -> ColView<'_> {
+        let start = self.indptr[j] as usize;
+        let end = self.indptr[j + 1] as usize;
+        ColView {
+            indices: &self.indices[start..end],
+            values: &self.data[start..end],
+        }
+    }
+
+    /// Iterate over all columns as [`ColView`]s.
+    pub fn iter_cols(&self) -> impl Iterator<Item = ColView<'_>> + '_ {
+        (0..self.shape.cols).map(move |j| self.col(j))
+    }
+
+    /// Value at `(row, col)` (zero if not stored).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let view = self.col(col);
+        match view.indices.binary_search(&(row as u32)) {
+            Ok(pos) => view.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Transposed matrix-vector product `Aᵀ * y` (length-`cols` result).
+    ///
+    /// # Panics
+    /// Panics if `y.len() != rows`.
+    pub fn transpose_matvec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.shape.rows, "matvec dimension mismatch");
+        (0..self.shape.cols).map(|j| self.col(j).dot(y)).collect()
+    }
+
+    /// Convert to CSR format.
+    pub fn to_csr(&self) -> CsrMatrix {
+        let mut row_counts = vec![0u32; self.shape.rows + 1];
+        for &r in &self.indices {
+            row_counts[r as usize + 1] += 1;
+        }
+        for i in 0..self.shape.rows {
+            row_counts[i + 1] += row_counts[i];
+        }
+        let indptr = row_counts.clone();
+        let mut cursor = row_counts;
+        let nnz = self.nnz();
+        let mut out_cols = vec![0u32; nnz];
+        let mut out_data = vec![0.0; nnz];
+        for j in 0..self.shape.cols {
+            let view = self.col(j);
+            for (r, v) in view.iter() {
+                let pos = cursor[r] as usize;
+                out_cols[pos] = j as u32;
+                out_data[pos] = v;
+                cursor[r] += 1;
+            }
+        }
+        CsrMatrix::from_parts(self.shape.rows, self.shape.cols, indptr, out_cols, out_data)
+            .expect("CSC->CSR conversion preserves structural validity")
+    }
+
+    /// Convert to a dense matrix in the requested layout.
+    pub fn to_dense(&self, layout: Layout) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.shape.rows, self.shape.cols, layout);
+        for j in 0..self.shape.cols {
+            for (i, v) in self.col(j).iter() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Build a new CSC matrix containing only the listed columns (in order).
+    ///
+    /// Used by the Sharding strategy for column-wise access methods, which
+    /// partitions *columns* rather than rows (Section 3.4).
+    pub fn select_cols(&self, col_ids: &[usize]) -> CscMatrix {
+        let mut indptr = Vec::with_capacity(col_ids.len() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0u32);
+        for &j in col_ids {
+            let view = self.col(j);
+            indices.extend_from_slice(view.indices);
+            data.extend_from_slice(view.values);
+            indptr.push(indices.len() as u32);
+        }
+        CscMatrix {
+            shape: Shape::new(self.shape.rows, col_ids.len()),
+            indptr,
+            indices,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CooMatrix;
+    use proptest::prelude::*;
+
+    fn sample() -> CscMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [0, 3, 4]]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(2, 1, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.to_csc()
+    }
+
+    #[test]
+    fn structure_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.col_nnz(0), 1);
+        assert_eq!(m.col_nnz(2), 2);
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.col(2).rows().collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(m.col(2).norm2_squared(), 20.0);
+        assert_eq!(m.iter_cols().count(), 3);
+        assert!(m.size_bytes() > 0);
+    }
+
+    #[test]
+    fn invalid_structures_rejected() {
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 1, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 1, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 1, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CscMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_matvec_matches_dense() {
+        let m = sample();
+        let y = vec![1.0, 2.0, 3.0];
+        let result = m.transpose_matvec(&y);
+        assert_eq!(result, vec![1.0, 9.0, 14.0]);
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense(Layout::ColMajor);
+        assert_eq!(d.get(2, 2), 4.0);
+        assert_eq!(CsrMatrix::from_dense(&d).to_csc(), m);
+    }
+
+    #[test]
+    fn select_cols_subsets() {
+        let m = sample();
+        let sub = m.select_cols(&[2, 0]);
+        assert_eq!(sub.cols(), 2);
+        assert_eq!(sub.get(0, 0), 2.0);
+        assert_eq!(sub.get(0, 1), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csc_csr_roundtrip(
+            entries in proptest::collection::btree_map((0usize..6, 0usize..6), -5.0f64..5.0, 0..20)
+        ) {
+            let mut coo = CooMatrix::new(6, 6);
+            for (&(r, c), &v) in &entries {
+                if v != 0.0 {
+                    coo.push(r, c, v).unwrap();
+                }
+            }
+            let csc = coo.to_csc();
+            let back = csc.to_csr().to_csc();
+            prop_assert_eq!(back, csc);
+        }
+
+        #[test]
+        fn prop_col_nnz_sums_to_nnz(
+            entries in proptest::collection::btree_map((0usize..6, 0usize..6), 1.0f64..5.0, 0..20)
+        ) {
+            let mut coo = CooMatrix::new(6, 6);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let csc = coo.to_csc();
+            let sum: usize = (0..csc.cols()).map(|j| csc.col_nnz(j)).sum();
+            prop_assert_eq!(sum, csc.nnz());
+        }
+    }
+}

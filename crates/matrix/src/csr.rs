@@ -1,0 +1,433 @@
+//! Compressed Sparse Row storage.
+//!
+//! CSR is the layout the paper uses for row-wise access (Section 3.2: "when
+//! we store the data as sparse vectors/matrices in CSR format, the number of
+//! reads in a row-wise access method is Σᵢ nᵢ").  Each row is exposed as a
+//! [`RowView`] of aligned index/value slices so the gradient kernels can
+//! stream it without copying.
+
+use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, Shape, SparseVector};
+
+/// A sparse matrix in Compressed Sparse Row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    shape: Shape,
+    /// `indptr[i]..indptr[i+1]` is the slice of `indices`/`data` for row `i`.
+    indptr: Vec<u32>,
+    /// Column indices of non-zero entries, sorted within each row.
+    indices: Vec<u32>,
+    /// Values aligned with `indices`.
+    data: Vec<f64>,
+}
+
+/// A borrowed view of one row of a [`CsrMatrix`].
+#[derive(Debug, Clone, Copy)]
+pub struct RowView<'a> {
+    /// Column indices of the row's non-zero entries.
+    pub indices: &'a [u32],
+    /// Values aligned with `indices`.
+    pub values: &'a [f64],
+}
+
+impl<'a> RowView<'a> {
+    /// Number of non-zero entries in the row.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterate over `(column, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// Dot product of this row with a dense model vector.
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (i, v) in self.iter() {
+            acc += v * dense[i];
+        }
+        acc
+    }
+
+    /// Copy this row into an owned [`SparseVector`].
+    pub fn to_sparse_vector(&self) -> SparseVector {
+        SparseVector::from_parts(self.indices.to_vec(), self.values.to_vec())
+    }
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from raw arrays, validating the structure.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        indptr: Vec<u32>,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if indptr.len() != rows + 1 {
+            return Err(MatrixError::InconsistentStructure(format!(
+                "indptr has {} entries, expected {}",
+                indptr.len(),
+                rows + 1
+            )));
+        }
+        if indices.len() != data.len() {
+            return Err(MatrixError::InconsistentStructure(format!(
+                "indices ({}) and data ({}) lengths differ",
+                indices.len(),
+                data.len()
+            )));
+        }
+        if *indptr.last().unwrap_or(&0) as usize != indices.len() {
+            return Err(MatrixError::InconsistentStructure(
+                "last indptr entry must equal nnz".to_string(),
+            ));
+        }
+        if indptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(MatrixError::InconsistentStructure(
+                "indptr must be non-decreasing".to_string(),
+            ));
+        }
+        if let Some(&bad) = indices.iter().find(|&&c| c as usize >= cols) {
+            return Err(MatrixError::IndexOutOfBounds {
+                row: 0,
+                col: bad as usize,
+                shape: (rows, cols),
+            });
+        }
+        Ok(CsrMatrix {
+            shape: Shape::new(rows, cols),
+            indptr,
+            indices,
+            data,
+        })
+    }
+
+    /// Build a CSR matrix from one [`SparseVector`] per row.
+    pub fn from_sparse_rows(cols: usize, rows: &[SparseVector]) -> Result<Self, MatrixError> {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0u32);
+        for row in rows {
+            for (i, v) in row.iter() {
+                if i >= cols {
+                    return Err(MatrixError::IndexOutOfBounds {
+                        row: indptr.len() - 1,
+                        col: i,
+                        shape: (rows.len(), cols),
+                    });
+                }
+                indices.push(i as u32);
+                data.push(v);
+            }
+            indptr.push(indices.len() as u32);
+        }
+        CsrMatrix::from_parts(rows.len(), cols, indptr, indices, data)
+    }
+
+    /// Build a CSR matrix from a dense matrix, dropping zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut indptr = Vec::with_capacity(dense.rows() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0u32);
+        for i in 0..dense.rows() {
+            for j in 0..dense.cols() {
+                let v = dense.get(i, j);
+                if v != 0.0 {
+                    indices.push(j as u32);
+                    data.push(v);
+                }
+            }
+            indptr.push(indices.len() as u32);
+        }
+        CsrMatrix {
+            shape: dense.shape(),
+            indptr,
+            indices,
+            data,
+        }
+    }
+
+    /// Shape of the matrix.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Total number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of stored entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        (self.indptr[i + 1] - self.indptr[i]) as usize
+    }
+
+    /// Bytes occupied by the sparse representation (indptr + indices + data).
+    pub fn size_bytes(&self) -> usize {
+        self.indptr.len() * 4 + self.indices.len() * 4 + self.data.len() * 8
+    }
+
+    /// Bytes a dense representation of the same shape would occupy.
+    pub fn dense_size_bytes(&self) -> usize {
+        self.shape.dense_len() * 8
+    }
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let start = self.indptr[i] as usize;
+        let end = self.indptr[i + 1] as usize;
+        RowView {
+            indices: &self.indices[start..end],
+            values: &self.data[start..end],
+        }
+    }
+
+    /// Iterate over all rows as [`RowView`]s.
+    pub fn iter_rows(&self) -> impl Iterator<Item = RowView<'_>> + '_ {
+        (0..self.shape.rows).map(move |i| self.row(i))
+    }
+
+    /// Value at `(row, col)` (zero if not stored).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let view = self.row(row);
+        match view.indices.binary_search(&(col as u32)) {
+            Ok(pos) => view.values[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.shape.cols, "matvec dimension mismatch");
+        (0..self.shape.rows).map(|i| self.row(i).dot(x)).collect()
+    }
+
+    /// Convert to CSC format.
+    pub fn to_csc(&self) -> CscMatrix {
+        // Counting sort by column.
+        let mut col_counts = vec![0u32; self.shape.cols + 1];
+        for &c in &self.indices {
+            col_counts[c as usize + 1] += 1;
+        }
+        for j in 0..self.shape.cols {
+            col_counts[j + 1] += col_counts[j];
+        }
+        let indptr = col_counts.clone();
+        let mut cursor = col_counts;
+        let mut out_rows = vec![0u32; self.nnz()];
+        let mut out_data = vec![0.0; self.nnz()];
+        for i in 0..self.shape.rows {
+            let view = self.row(i);
+            for (c, v) in view.iter() {
+                let pos = cursor[c] as usize;
+                out_rows[pos] = i as u32;
+                out_data[pos] = v;
+                cursor[c] += 1;
+            }
+        }
+        CscMatrix::from_parts(self.shape.rows, self.shape.cols, indptr, out_rows, out_data)
+            .expect("CSR->CSC conversion preserves structural validity")
+    }
+
+    /// Convert to a dense matrix in the requested layout.
+    pub fn to_dense(&self, layout: Layout) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(self.shape.rows, self.shape.cols, layout);
+        for i in 0..self.shape.rows {
+            for (j, v) in self.row(i).iter() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Build a new CSR matrix containing only the listed rows (in order).
+    ///
+    /// Used by the Sharding data-replication strategy to give each locality
+    /// group its own partition of examples.
+    pub fn select_rows(&self, row_ids: &[usize]) -> CsrMatrix {
+        let mut indptr = Vec::with_capacity(row_ids.len() + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0u32);
+        for &i in row_ids {
+            let view = self.row(i);
+            indices.extend_from_slice(view.indices);
+            data.extend_from_slice(view.values);
+            indptr.push(indices.len() as u32);
+        }
+        CsrMatrix {
+            shape: Shape::new(row_ids.len(), self.shape.cols),
+            indptr,
+            indices,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> CsrMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [0, 3, 4]]
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 2, 4],
+            vec![0, 2, 1, 2],
+            vec![1.0, 2.0, 3.0, 4.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn structure_and_access() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(1, 1), 0.0);
+        assert_eq!(m.row(2).dot(&[1.0, 1.0, 1.0]), 7.0);
+        assert_eq!(m.iter_rows().count(), 3);
+    }
+
+    #[test]
+    fn invalid_structures_rejected() {
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 2], vec![0], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![0], vec![1.0, 2.0]).is_err());
+        assert!(CsrMatrix::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn from_sparse_rows_roundtrip() {
+        let rows = vec![
+            SparseVector::from_parts(vec![0, 2], vec![1.0, 2.0]),
+            SparseVector::new(),
+            SparseVector::from_parts(vec![1, 2], vec![3.0, 4.0]),
+        ];
+        let m = CsrMatrix::from_sparse_rows(3, &rows).unwrap();
+        assert_eq!(m, sample());
+        assert_eq!(m.row(0).to_sparse_vector(), rows[0]);
+    }
+
+    #[test]
+    fn from_sparse_rows_out_of_bounds() {
+        let rows = vec![SparseVector::from_parts(vec![5], vec![1.0])];
+        assert!(CsrMatrix::from_sparse_rows(3, &rows).is_err());
+    }
+
+    #[test]
+    fn matvec_and_dense_roundtrip() {
+        let m = sample();
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x), vec![7.0, 0.0, 18.0]);
+        let d = m.to_dense(Layout::RowMajor);
+        assert_eq!(d.matvec(&x), vec![7.0, 0.0, 18.0]);
+        let back = CsrMatrix::from_dense(&d);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn csc_roundtrip() {
+        let m = sample();
+        let csc = m.to_csc();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), csc.get(i, j));
+            }
+        }
+        assert_eq!(csc.to_csr(), m);
+    }
+
+    #[test]
+    fn select_rows_subsets() {
+        let m = sample();
+        let sub = m.select_rows(&[2, 0]);
+        assert_eq!(sub.rows(), 2);
+        assert_eq!(sub.get(0, 1), 3.0);
+        assert_eq!(sub.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn size_accounting() {
+        let m = sample();
+        assert_eq!(m.size_bytes(), 4 * 4 + 4 * 4 + 4 * 8);
+        assert_eq!(m.dense_size_bytes(), 9 * 8);
+    }
+
+    fn arb_csr() -> impl Strategy<Value = CsrMatrix> {
+        (1usize..8, 1usize..8).prop_flat_map(|(rows, cols)| {
+            proptest::collection::vec(
+                proptest::collection::btree_map(0..cols as u32, -10.0f64..10.0, 0..cols),
+                rows,
+            )
+            .prop_map(move |row_maps| {
+                let rows_sv: Vec<SparseVector> = row_maps
+                    .into_iter()
+                    .map(|m| {
+                        SparseVector::from_parts(
+                            m.keys().copied().collect(),
+                            m.values().copied().collect(),
+                        )
+                    })
+                    .collect();
+                CsrMatrix::from_sparse_rows(cols, &rows_sv).unwrap()
+            })
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_csr_csc_roundtrip(m in arb_csr()) {
+            let back = m.to_csc().to_csr();
+            prop_assert_eq!(back, m);
+        }
+
+        #[test]
+        fn prop_matvec_matches_dense(m in arb_csr()) {
+            let x: Vec<f64> = (0..m.cols()).map(|i| i as f64 * 0.25 - 1.0).collect();
+            let sparse_y = m.matvec(&x);
+            let dense_y = m.to_dense(Layout::RowMajor).matvec(&x);
+            for (a, b) in sparse_y.iter().zip(&dense_y) {
+                prop_assert!((a - b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_nnz_consistent(m in arb_csr()) {
+            let per_row: usize = (0..m.rows()).map(|i| m.row_nnz(i)).sum();
+            prop_assert_eq!(per_row, m.nnz());
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Dense matrix storage in row-major or column-major layout.
+//!
+//! Appendix A of the paper shows that storing the data in the layout that
+//! matches the access method matters: a row-wise access over a column-major
+//! matrix incurs ~9× more L1 misses.  [`DenseMatrix`] therefore carries its
+//! [`Layout`] explicitly, and the engine converts the matrix to the layout
+//! that matches the chosen access method before execution.
+
+use crate::{MatrixError, Shape};
+
+/// Physical layout of a dense matrix buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Layout {
+    /// Consecutive elements of a row are adjacent in memory.
+    RowMajor,
+    /// Consecutive elements of a column are adjacent in memory.
+    ColMajor,
+}
+
+/// A dense `N×d` matrix of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    shape: Shape,
+    layout: Layout,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize, layout: Layout) -> Self {
+        DenseMatrix {
+            shape: Shape::new(rows, cols),
+            layout,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a buffer in the given layout.
+    pub fn from_vec(
+        rows: usize,
+        cols: usize,
+        layout: Layout,
+        data: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(DenseMatrix {
+            shape: Shape::new(rows, cols),
+            layout,
+            data,
+        })
+    }
+
+    /// Build a row-major matrix from a slice of rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MatrixError> {
+        let n = rows.len();
+        let d = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(n * d);
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(MatrixError::InconsistentStructure(format!(
+                    "row {i} has {} columns, expected {d}",
+                    row.len()
+                )));
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix {
+            shape: Shape::new(n, d),
+            layout: Layout::RowMajor,
+            data,
+        })
+    }
+
+    /// Shape of the matrix.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Current layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Raw data buffer in the current layout.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Number of bytes occupied by the value buffer.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Read element `(row, col)` regardless of layout.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.shape.rows && col < self.shape.cols);
+        match self.layout {
+            Layout::RowMajor => self.data[row * self.shape.cols + col],
+            Layout::ColMajor => self.data[col * self.shape.rows + row],
+        }
+    }
+
+    /// Write element `(row, col)` regardless of layout.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of range.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.shape.rows && col < self.shape.cols);
+        match self.layout {
+            Layout::RowMajor => self.data[row * self.shape.cols + col] = value,
+            Layout::ColMajor => self.data[col * self.shape.rows + row] = value,
+        }
+    }
+
+    /// A contiguous view of row `i`; only available in row-major layout.
+    pub fn row(&self, i: usize) -> Option<&[f64]> {
+        if self.layout == Layout::RowMajor && i < self.shape.rows {
+            let d = self.shape.cols;
+            Some(&self.data[i * d..(i + 1) * d])
+        } else {
+            None
+        }
+    }
+
+    /// A contiguous view of column `j`; only available in column-major layout.
+    pub fn col(&self, j: usize) -> Option<&[f64]> {
+        if self.layout == Layout::ColMajor && j < self.shape.cols {
+            let n = self.shape.rows;
+            Some(&self.data[j * n..(j + 1) * n])
+        } else {
+            None
+        }
+    }
+
+    /// Copy row `i` into a freshly-allocated vector, in any layout.
+    pub fn row_to_vec(&self, i: usize) -> Vec<f64> {
+        (0..self.shape.cols).map(|j| self.get(i, j)).collect()
+    }
+
+    /// Copy column `j` into a freshly-allocated vector, in any layout.
+    pub fn col_to_vec(&self, j: usize) -> Vec<f64> {
+        (0..self.shape.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// Return a copy of this matrix in the requested layout.
+    ///
+    /// The engine uses this to store data consistently with the access
+    /// method, per Appendix A ("Row-major and Column-major Storage").
+    pub fn to_layout(&self, layout: Layout) -> DenseMatrix {
+        if layout == self.layout {
+            return self.clone();
+        }
+        let mut out = DenseMatrix::zeros(self.shape.rows, self.shape.cols, layout);
+        for i in 0..self.shape.rows {
+            for j in 0..self.shape.cols {
+                out.set(i, j, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Dense matrix-vector product `A * x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.shape.cols, "matvec dimension mismatch");
+        let mut y = vec![0.0; self.shape.rows];
+        match self.layout {
+            Layout::RowMajor => {
+                for (i, yi) in y.iter_mut().enumerate() {
+                    *yi = crate::vector::dot_dense(self.row(i).expect("row-major row"), x);
+                }
+            }
+            Layout::ColMajor => {
+                for (j, &xj) in x.iter().enumerate() {
+                    let col = self.col(j).expect("col-major col");
+                    for (yi, &aij) in y.iter_mut().zip(col) {
+                        *yi += aij * xj;
+                    }
+                }
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> DenseMatrix {
+        DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap()
+    }
+
+    #[test]
+    fn from_rows_and_get() {
+        let m = sample();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(1).unwrap(), &[4.0, 5.0, 6.0]);
+        assert!(m.col(0).is_none());
+        assert_eq!(m.size_bytes(), 48);
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let err = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]).unwrap_err();
+        assert!(matches!(err, MatrixError::InconsistentStructure(_)));
+    }
+
+    #[test]
+    fn from_vec_shape_mismatch() {
+        let err = DenseMatrix::from_vec(2, 2, Layout::RowMajor, vec![1.0; 3]).unwrap_err();
+        assert_eq!(
+            err,
+            MatrixError::ShapeMismatch {
+                expected: 4,
+                got: 3
+            }
+        );
+    }
+
+    #[test]
+    fn layout_conversion_preserves_elements() {
+        let m = sample();
+        let c = m.to_layout(Layout::ColMajor);
+        assert_eq!(c.layout(), Layout::ColMajor);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), c.get(i, j));
+            }
+        }
+        assert_eq!(c.col(1).unwrap(), &[2.0, 5.0]);
+        assert!(c.row(0).is_none());
+        assert_eq!(c.row_to_vec(0), vec![1.0, 2.0, 3.0]);
+        // Converting to the same layout is a clone.
+        assert_eq!(m.to_layout(Layout::RowMajor), m);
+    }
+
+    #[test]
+    fn matvec_row_and_col_major_agree() {
+        let m = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        let yr = m.matvec(&x);
+        let yc = m.to_layout(Layout::ColMajor).matvec(&x);
+        assert_eq!(yr, vec![5.0, 11.0]);
+        assert_eq!(yr, yc);
+    }
+
+    #[test]
+    fn set_and_col_to_vec() {
+        let mut m = DenseMatrix::zeros(2, 2, Layout::ColMajor);
+        m.set(0, 1, 7.0);
+        assert_eq!(m.get(0, 1), 7.0);
+        assert_eq!(m.col_to_vec(1), vec![7.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_layout_roundtrip(rows in 1usize..8, cols in 1usize..8, seed in 0u64..1000) {
+            let data: Vec<f64> = (0..rows * cols)
+                .map(|i| ((i as u64 * 2654435761 + seed) % 1000) as f64 / 10.0)
+                .collect();
+            let m = DenseMatrix::from_vec(rows, cols, Layout::RowMajor, data).unwrap();
+            let back = m.to_layout(Layout::ColMajor).to_layout(Layout::RowMajor);
+            prop_assert_eq!(m, back);
+        }
+
+        #[test]
+        fn prop_matvec_layout_invariant(rows in 1usize..6, cols in 1usize..6) {
+            let data: Vec<f64> = (0..rows * cols).map(|i| i as f64 * 0.5 - 3.0).collect();
+            let m = DenseMatrix::from_vec(rows, cols, Layout::RowMajor, data).unwrap();
+            let x: Vec<f64> = (0..cols).map(|i| i as f64 - 1.0).collect();
+            let yr = m.matvec(&x);
+            let yc = m.to_layout(Layout::ColMajor).matvec(&x);
+            for (a, b) in yr.iter().zip(&yc) {
+                prop_assert!((a - b).abs() < 1e-10);
+            }
+        }
+    }
+}

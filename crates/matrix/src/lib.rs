@@ -1,0 +1,136 @@
+//! Dense and sparse matrix storage for the DimmWitted engine.
+//!
+//! The DimmWitted paper (VLDB 2014) models the input of every analytics task
+//! as an immutable data matrix `A ∈ R^{N×d}` together with a mutable model
+//! vector `x ∈ R^d`.  Different access methods traverse the matrix either
+//! row-wise (SGD-style), column-wise (SCD-style), or column-to-row (Gibbs /
+//! non-linear SVM style), and the engine is free to store the matrix in
+//! whichever layout matches the access method (Appendix A of the paper).
+//!
+//! This crate provides the storage substrate used throughout the workspace:
+//!
+//! * [`DenseMatrix`] — row-major or column-major dense storage,
+//! * [`CsrMatrix`] — compressed sparse row storage for row-wise access,
+//! * [`CscMatrix`] — compressed sparse column storage for column-wise and
+//!   column-to-row access,
+//! * [`CooMatrix`] — a triplet builder used by the data generators,
+//! * [`SparseVector`] and dense-vector kernels (dot products, axpy),
+//! * [`MatrixStats`] — NNZ statistics and the cost-ratio computation used by
+//!   the cost-based optimizer (Figure 6 / Figure 7(b) of the paper).
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dense;
+pub mod stats;
+pub mod vector;
+
+pub use coo::CooMatrix;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use dense::{DenseMatrix, Layout};
+pub use stats::MatrixStats;
+pub use vector::{axpy, dot_dense, dot_sparse_dense, norm2, scale, SparseVector};
+
+/// Shape of a matrix: number of rows (examples) and columns (model dimension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Shape {
+    /// Number of rows (`N` in the paper — the number of examples).
+    pub rows: usize,
+    /// Number of columns (`d` in the paper — the model dimension).
+    pub cols: usize,
+}
+
+impl Shape {
+    /// Create a new shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Shape { rows, cols }
+    }
+
+    /// Total number of cells in a dense representation.
+    pub fn dense_len(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// A single non-zero entry of a sparse matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Entry {
+    /// Row index of the entry.
+    pub row: usize,
+    /// Column index of the entry.
+    pub col: usize,
+    /// Value at (row, col).
+    pub value: f64,
+}
+
+/// Errors produced by matrix constructors and converters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// An entry referenced a row or column outside the declared shape.
+    IndexOutOfBounds {
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+        /// Declared shape.
+        shape: (usize, usize),
+    },
+    /// Structural arrays (indptr/indices/data) have inconsistent lengths.
+    InconsistentStructure(String),
+    /// A dense buffer does not match the declared shape.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatrixError::IndexOutOfBounds { row, col, shape } => write!(
+                f,
+                "entry ({row}, {col}) is outside matrix shape {}x{}",
+                shape.0, shape.1
+            ),
+            MatrixError::InconsistentStructure(msg) => {
+                write!(f, "inconsistent sparse structure: {msg}")
+            }
+            MatrixError::ShapeMismatch { expected, got } => {
+                write!(f, "dense buffer has {got} elements, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_dense_len() {
+        assert_eq!(Shape::new(3, 4).dense_len(), 12);
+        assert_eq!(Shape::new(0, 10).dense_len(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = MatrixError::IndexOutOfBounds {
+            row: 5,
+            col: 7,
+            shape: (3, 4),
+        };
+        assert!(e.to_string().contains("(5, 7)"));
+        let e = MatrixError::ShapeMismatch {
+            expected: 12,
+            got: 10,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = MatrixError::InconsistentStructure("bad indptr".into());
+        assert!(e.to_string().contains("bad indptr"));
+    }
+}

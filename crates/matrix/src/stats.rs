@@ -1,0 +1,227 @@
+//! Matrix statistics used by the cost-based optimizer.
+//!
+//! Figure 6 of the paper expresses the per-epoch cost of each access method
+//! in terms of the per-row non-zero counts `n_i` and the model dimension `d`:
+//!
+//! * row-wise:        reads = Σᵢ nᵢ, writes = Σᵢ nᵢ (sparse) or d·N (dense)
+//! * column-wise:     reads = Σᵢ nᵢ² (via the column-to-row expansion), writes = Σᵢ nᵢ
+//! * column-to-row:   reads = Σᵢ nᵢ², writes = Σᵢ nᵢ
+//!
+//! and Figure 7(b) defines the *cost ratio* `(1+α)Σᵢnᵢ / (Σᵢnᵢ² + αd)` that
+//! determines the row-vs-column crossover.  [`MatrixStats`] computes all of
+//! these quantities from a [`CsrMatrix`].
+
+use crate::CsrMatrix;
+
+/// Summary statistics of a data matrix relevant to access-method costs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MatrixStats {
+    /// Number of rows (examples), `N`.
+    pub rows: usize,
+    /// Number of columns (model dimension), `d`.
+    pub cols: usize,
+    /// Total number of non-zero elements, `Σᵢ nᵢ`.
+    pub nnz: usize,
+    /// Sum of squared per-row non-zero counts, `Σᵢ nᵢ²`.
+    pub nnz_sq_sum: f64,
+    /// Maximum non-zero count over rows.
+    pub max_row_nnz: usize,
+    /// Average non-zero count per row.
+    pub avg_row_nnz: f64,
+    /// Fraction of cells that are non-zero.
+    pub density: f64,
+    /// Bytes for the CSR sparse representation.
+    pub sparse_bytes: usize,
+    /// Bytes for a dense representation.
+    pub dense_bytes: usize,
+}
+
+impl MatrixStats {
+    /// Compute statistics from a CSR matrix.
+    pub fn from_csr(matrix: &CsrMatrix) -> Self {
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let nnz = matrix.nnz();
+        let mut nnz_sq_sum = 0.0;
+        let mut max_row_nnz = 0;
+        for i in 0..rows {
+            let n_i = matrix.row_nnz(i);
+            nnz_sq_sum += (n_i as f64) * (n_i as f64);
+            max_row_nnz = max_row_nnz.max(n_i);
+        }
+        let cells = (rows * cols).max(1) as f64;
+        MatrixStats {
+            rows,
+            cols,
+            nnz,
+            nnz_sq_sum,
+            max_row_nnz,
+            avg_row_nnz: if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 },
+            density: nnz as f64 / cells,
+            sparse_bytes: matrix.size_bytes(),
+            dense_bytes: matrix.dense_size_bytes(),
+        }
+    }
+
+    /// Whether the matrix should be treated as sparse for storage purposes.
+    ///
+    /// Figure 10 of the paper marks a dataset sparse when the sparse
+    /// representation is substantially smaller than the dense one; we use a
+    /// 50% threshold, matching the "Dense requires 1/2 the space of a sparse
+    /// representation when fully dense" observation in Appendix A.
+    pub fn is_sparse(&self) -> bool {
+        self.sparse_bytes < self.dense_bytes / 2
+    }
+
+    /// Reads per epoch for the row-wise access method (Figure 6).
+    pub fn rowwise_reads(&self) -> f64 {
+        self.nnz as f64
+    }
+
+    /// Writes per epoch for the row-wise method with dense updates (Figure 6).
+    pub fn rowwise_writes_dense(&self) -> f64 {
+        (self.rows * self.cols) as f64
+    }
+
+    /// Writes per epoch for the row-wise method with sparse updates (Figure 6).
+    pub fn rowwise_writes_sparse(&self) -> f64 {
+        self.nnz as f64
+    }
+
+    /// Reads per epoch for the column-wise / column-to-row methods (Figure 6).
+    ///
+    /// Iterating column-wise over a sparse matrix requires, for each column
+    /// `j`, touching every row in `S(j)`; summed over an epoch this is
+    /// `Σᵢ nᵢ²` in the paper's model (each row is re-read once per non-zero
+    /// it contains).
+    pub fn colwise_reads(&self) -> f64 {
+        self.nnz_sq_sum
+    }
+
+    /// Writes per epoch for the column-wise / column-to-row methods (Figure 6).
+    pub fn colwise_writes(&self) -> f64 {
+        self.nnz as f64
+    }
+
+    /// The cost ratio from Figure 7(b): `(1+α)Σᵢnᵢ / (Σᵢnᵢ² + αd)`.
+    ///
+    /// A small ratio means row-wise is cheap relative to column-wise; a
+    /// large ratio means column-wise wins because the row-wise write
+    /// contention (the `αd` term) dominates.
+    pub fn cost_ratio(&self, alpha: f64) -> f64 {
+        let numerator = (1.0 + alpha) * self.nnz as f64;
+        let denominator = self.nnz_sq_sum + alpha * self.cols as f64;
+        if denominator == 0.0 {
+            0.0
+        } else {
+            numerator / denominator
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CooMatrix, SparseVector};
+    use proptest::prelude::*;
+
+    fn matrix_with_rows(rows: &[Vec<(u32, f64)>], cols: usize) -> CsrMatrix {
+        let svs: Vec<SparseVector> = rows
+            .iter()
+            .map(|r| {
+                SparseVector::from_parts(
+                    r.iter().map(|(i, _)| *i).collect(),
+                    r.iter().map(|(_, v)| *v).collect(),
+                )
+            })
+            .collect();
+        CsrMatrix::from_sparse_rows(cols, &svs).unwrap()
+    }
+
+    #[test]
+    fn basic_stats() {
+        let m = matrix_with_rows(
+            &[
+                vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                vec![(1, 1.0)],
+                vec![(0, 1.0), (3, 1.0)],
+            ],
+            4,
+        );
+        let s = MatrixStats::from_csr(&m);
+        assert_eq!(s.rows, 3);
+        assert_eq!(s.cols, 4);
+        assert_eq!(s.nnz, 6);
+        assert_eq!(s.nnz_sq_sum, 9.0 + 1.0 + 4.0);
+        assert_eq!(s.max_row_nnz, 3);
+        assert!((s.avg_row_nnz - 2.0).abs() < 1e-12);
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert_eq!(s.rowwise_reads(), 6.0);
+        assert_eq!(s.rowwise_writes_dense(), 12.0);
+        assert_eq!(s.rowwise_writes_sparse(), 6.0);
+        assert_eq!(s.colwise_reads(), 14.0);
+        assert_eq!(s.colwise_writes(), 6.0);
+    }
+
+    #[test]
+    fn cost_ratio_formula() {
+        let m = matrix_with_rows(&[vec![(0, 1.0), (1, 1.0)], vec![(2, 1.0)]], 3);
+        let s = MatrixStats::from_csr(&m);
+        // nnz = 3, nnz_sq = 5, d = 3, alpha = 10
+        let expected = (1.0 + 10.0) * 3.0 / (5.0 + 10.0 * 3.0);
+        assert!((s.cost_ratio(10.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_ratio_zero_denominator() {
+        let m = CooMatrix::new(2, 0).to_csr();
+        let s = MatrixStats::from_csr(&m);
+        assert_eq!(s.cost_ratio(10.0), 0.0);
+    }
+
+    #[test]
+    fn sparse_detection() {
+        // A very sparse wide matrix should be recognized as sparse.
+        let m = matrix_with_rows(&[vec![(999, 1.0)], vec![(0, 1.0)]], 1000);
+        assert!(MatrixStats::from_csr(&m).is_sparse());
+        // A tiny fully dense matrix should not.
+        let dense = matrix_with_rows(&[vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]], 2);
+        assert!(!MatrixStats::from_csr(&dense).is_sparse());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cost_ratio_monotone_in_alpha_for_sparse_rows(
+            nrows in 1usize..20,
+            cols in 50usize..200,
+        ) {
+            // Rows with a single non-zero: nnz = N, nnz_sq = N.
+            let rows: Vec<Vec<(u32, f64)>> = (0..nrows)
+                .map(|i| vec![((i % cols) as u32, 1.0)])
+                .collect();
+            let m = matrix_with_rows(&rows, cols);
+            let s = MatrixStats::from_csr(&m);
+            // When d > nnz (underdetermined), increasing alpha makes row-wise
+            // relatively cheaper so the ratio must decrease.
+            let r_small = s.cost_ratio(4.0);
+            let r_large = s.cost_ratio(12.0);
+            prop_assert!(r_large <= r_small + 1e-12);
+        }
+
+        #[test]
+        fn prop_stats_nonnegative(
+            entries in proptest::collection::btree_map((0usize..8, 0usize..8), -3.0f64..3.0, 0..32)
+        ) {
+            let mut coo = CooMatrix::new(8, 8);
+            for (&(r, c), &v) in &entries {
+                if v != 0.0 {
+                    coo.push(r, c, v).unwrap();
+                }
+            }
+            let s = MatrixStats::from_csr(&coo.to_csr());
+            prop_assert!(s.density >= 0.0 && s.density <= 1.0);
+            prop_assert!(s.nnz_sq_sum >= s.nnz as f64 || s.nnz == 0);
+            prop_assert!(s.avg_row_nnz <= s.max_row_nnz as f64 + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Deep neural networks trained with back-propagation SGD (Section 5.2 /
+//! Appendix D.2).
+//!
+//! The paper follows LeCun et al. and trains a seven-layer fully-connected
+//! network on MNIST with stochastic gradient descent, running SGD within
+//! each layer and processing layers round-robin.  The tradeoff studied is
+//! the same as for the other models: the classical choice is
+//! PerMachine + Sharding (one shared parameter set, partitioned data), while
+//! DimmWitted's choice is PerNode + FullReplication (one parameter replica
+//! per node, full data per node, replicas averaged), which achieves over an
+//! order of magnitude higher per-second throughput of processed neurons.
+//!
+//! * [`Network`] / [`Layer`] — a fully-connected feed-forward network with
+//!   sigmoid activations and mean-squared-error output loss,
+//! * [`train`] — sequential and replicated SGD trainers mirroring the two
+//!   strategies,
+//! * [`throughput`] — the modelled variables-per-second comparison used by
+//!   Figure 17(b).
+
+pub mod network;
+pub mod throughput;
+pub mod train;
+
+pub use network::{Layer, Network};
+pub use throughput::{nn_throughput, NnThroughput};
+pub use train::{train_replicated, train_sgd, TrainingData, TrainingReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_smoke() {
+        let network = Network::new(&[4, 8, 2], 1);
+        assert_eq!(network.layers().len(), 2);
+        assert_eq!(network.parameter_count(), 4 * 8 + 8 + 8 * 2 + 2);
+    }
+}

@@ -1,0 +1,245 @@
+//! A fully-connected feed-forward network with sigmoid activations.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// One fully-connected layer: `output = sigmoid(W · input + b)`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Layer {
+    /// Input width.
+    pub inputs: usize,
+    /// Output width (number of neurons).
+    pub outputs: usize,
+    /// Row-major weight matrix, `outputs × inputs`.
+    pub weights: Vec<f64>,
+    /// Per-neuron bias.
+    pub biases: Vec<f64>,
+}
+
+impl Layer {
+    /// A layer with small random weights.
+    pub fn new(inputs: usize, outputs: usize, rng: &mut StdRng) -> Self {
+        let scale = 1.0 / (inputs as f64).sqrt();
+        Layer {
+            inputs,
+            outputs,
+            weights: (0..inputs * outputs)
+                .map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale)
+                .collect(),
+            biases: vec![0.0; outputs],
+        }
+    }
+
+    /// Forward pass: returns the activated outputs.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.inputs, "layer input width mismatch");
+        (0..self.outputs)
+            .map(|o| {
+                let start = o * self.inputs;
+                let z: f64 = self.weights[start..start + self.inputs]
+                    .iter()
+                    .zip(input)
+                    .map(|(w, x)| w * x)
+                    .sum::<f64>()
+                    + self.biases[o];
+                sigmoid(z)
+            })
+            .collect()
+    }
+
+    /// Number of trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.weights.len() + self.biases.len()
+    }
+}
+
+/// A stack of fully-connected layers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Network {
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Build a network from layer widths, e.g. `[784, 300, 100, 10]`.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "a network needs at least two layers");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Network { layers }
+    }
+
+    /// The MNIST-like seven-layer network of Section 5.2 at reduced width.
+    pub fn mnist_like(seed: u64) -> Self {
+        Network::new(&[784, 256, 128, 64, 32, 16, 10], seed)
+    }
+
+    /// Layers of the network.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers (used by the trainers).
+    pub fn layers_mut(&mut self) -> &mut [Layer] {
+        &mut self.layers
+    }
+
+    /// Input width.
+    pub fn input_width(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.inputs)
+    }
+
+    /// Output width.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.outputs)
+    }
+
+    /// Total trainable parameters.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.parameter_count()).sum()
+    }
+
+    /// Total neurons (variables) across all layers, the unit of Figure 17(b).
+    pub fn neuron_count(&self) -> usize {
+        self.layers.iter().map(|l| l.outputs).sum()
+    }
+
+    /// Forward pass through all layers, returning every layer's activations
+    /// (including the input as the first entry).
+    pub fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut activations = Vec::with_capacity(self.layers.len() + 1);
+        activations.push(input.to_vec());
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("non-empty trace"));
+            activations.push(next);
+        }
+        activations
+    }
+
+    /// Forward pass returning only the final output.
+    pub fn predict(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_trace(input).pop().expect("non-empty trace")
+    }
+
+    /// Mean-squared-error loss of the network on a batch.
+    pub fn loss(&self, inputs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        assert_eq!(inputs.len(), targets.len());
+        if inputs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for (x, t) in inputs.iter().zip(targets) {
+            let y = self.predict(x);
+            total += y
+                .iter()
+                .zip(t)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>();
+        }
+        total / (2.0 * inputs.len() as f64)
+    }
+
+    /// Average the parameters of several replicas into `self` (the PerNode
+    /// model-averaging step).
+    pub fn average_from(&mut self, replicas: &[&Network]) {
+        assert!(!replicas.is_empty());
+        let count = replicas.len() as f64;
+        for (l, layer) in self.layers.iter_mut().enumerate() {
+            for (w, weight) in layer.weights.iter_mut().enumerate() {
+                *weight = replicas.iter().map(|r| r.layers[l].weights[w]).sum::<f64>() / count;
+            }
+            for (b, bias) in layer.biases.iter_mut().enumerate() {
+                *bias = replicas.iter().map(|r| r.layers[l].biases[b]).sum::<f64>() / count;
+            }
+        }
+    }
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed in terms of its output `y`.
+pub fn sigmoid_derivative(y: f64) -> f64 {
+    y * (1.0 - y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_counts() {
+        let net = Network::new(&[3, 5, 2], 7);
+        assert_eq!(net.layers().len(), 2);
+        assert_eq!(net.input_width(), 3);
+        assert_eq!(net.output_width(), 2);
+        assert_eq!(net.parameter_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(net.neuron_count(), 7);
+        let mnist = Network::mnist_like(1);
+        assert_eq!(mnist.layers().len(), 6);
+        assert_eq!(mnist.input_width(), 784);
+        assert_eq!(mnist.output_width(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn degenerate_widths_rejected() {
+        let _ = Network::new(&[4], 1);
+    }
+
+    #[test]
+    fn forward_outputs_are_probabilities() {
+        let net = Network::new(&[4, 6, 3], 2);
+        let out = net.predict(&[0.5, -0.2, 0.1, 0.9]);
+        assert_eq!(out.len(), 3);
+        for o in out {
+            assert!((0.0..=1.0).contains(&o));
+        }
+        let trace = net.forward_trace(&[0.5, -0.2, 0.1, 0.9]);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].len(), 4);
+        assert_eq!(trace[2].len(), 3);
+    }
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid_derivative(0.5) - 0.25).abs() < 1e-12);
+        assert!(sigmoid(-40.0) >= 0.0);
+        assert!(sigmoid(40.0) <= 1.0);
+    }
+
+    #[test]
+    fn loss_is_zero_for_perfect_targets() {
+        let net = Network::new(&[2, 3, 1], 3);
+        let x = vec![vec![0.1, 0.2]];
+        let y = vec![net.predict(&x[0])];
+        assert!(net.loss(&x, &y) < 1e-12);
+        assert_eq!(net.loss(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn averaging_identical_replicas_is_identity() {
+        let net = Network::new(&[3, 4, 2], 5);
+        let a = net.clone();
+        let b = net.clone();
+        let mut target = net.clone();
+        target.average_from(&[&a, &b]);
+        assert_eq!(target, net);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(Network::new(&[3, 3], 9), Network::new(&[3, 3], 9));
+        assert_ne!(Network::new(&[3, 3], 9), Network::new(&[3, 3], 10));
+    }
+}

@@ -1,0 +1,113 @@
+//! Modelled neuron-processing throughput (Figure 17(b), right pair of bars).
+//!
+//! Figure 17(b) reports the number of variables (neurons) processed per
+//! second.  The classical choice for back-propagation (LeCun et al.) is a
+//! single shared parameter set with sharded data — PerMachine + Sharding —
+//! while DimmWitted uses PerNode + FullReplication.  The shared parameter
+//! set makes every weight update a machine-wide contended write and forces
+//! remote reads of the parameters from all but one socket, which is what the
+//! model below charges; the paper measures more than an order of magnitude
+//! difference in throughput.
+
+use crate::network::Network;
+use dw_numa::{MachineTopology, MemoryCostModel};
+
+/// Modelled throughput of one strategy.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NnThroughput {
+    /// Strategy label.
+    pub strategy: String,
+    /// Modelled neurons processed per second across the machine.
+    pub neurons_per_second: f64,
+}
+
+/// Model the neurons-per-second throughput of the classical
+/// (PerMachine + Sharding) and DimmWitted (PerNode + FullReplication)
+/// strategies for back-propagation on `network`.
+pub fn nn_throughput(network: &Network, machine: &MachineTopology) -> Vec<NnThroughput> {
+    let cost = MemoryCostModel::from_topology(machine);
+    let cores = machine.total_cores() as f64;
+    // Average fan-in per neuron: each neuron update reads its input weights
+    // and activations and writes its weights back.
+    let parameters = network.parameter_count() as f64;
+    let neurons = network.neuron_count() as f64;
+    let fan_in = parameters / neurons.max(1.0);
+    let parameter_bytes = (network.parameter_count() * 8) as u64;
+    let fits_llc = (parameter_bytes as f64) < machine.llc_bytes() as f64 * 0.5;
+
+    let remote_fraction = if machine.nodes > 1 {
+        (machine.nodes - 1) as f64 / machine.nodes as f64
+    } else {
+        0.0
+    };
+
+    // Classical: parameters shared machine-wide.
+    let classic_read_ns = fan_in
+        * ((1.0 - remote_fraction)
+            * if fits_llc {
+                cost.llc_hit_ns
+            } else {
+                cost.local_dram_ns
+            }
+            + remote_fraction * cost.remote_dram_ns);
+    let classic_write_ns = fan_in * cost.write(8, machine.nodes) / cost.lines(8).max(1.0);
+    let classic_neuron_ns = classic_read_ns + classic_write_ns;
+    let classic = cores / classic_neuron_ns * 1.0e9;
+
+    // DimmWitted: per-node replicas, everything local.
+    let dw_read_ns = fan_in
+        * if fits_llc {
+            cost.llc_hit_ns
+        } else {
+            cost.local_dram_ns
+        };
+    let dw_write_ns = fan_in * cost.write(8, 1) / cost.lines(8).max(1.0);
+    let dw_neuron_ns = dw_read_ns + dw_write_ns;
+    let dimmwitted = cores / dw_neuron_ns * 1.0e9;
+
+    vec![
+        NnThroughput {
+            strategy: "Classic (PerMachine + Sharding)".to_string(),
+            neurons_per_second: classic,
+        },
+        NnThroughput {
+            strategy: "DimmWitted (PerNode + FullReplication)".to_string(),
+            neurons_per_second: dimmwitted,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimmwitted_strategy_has_higher_throughput() {
+        let network = Network::mnist_like(1);
+        let machine = MachineTopology::local2();
+        let results = nn_throughput(&network, &machine);
+        assert_eq!(results.len(), 2);
+        assert!(results[1].neurons_per_second > 2.0 * results[0].neurons_per_second);
+    }
+
+    #[test]
+    fn gap_grows_with_sockets() {
+        let network = Network::mnist_like(1);
+        let gap = |machine: &MachineTopology| {
+            let r = nn_throughput(&network, machine);
+            r[1].neurons_per_second / r[0].neurons_per_second
+        };
+        assert!(gap(&MachineTopology::local8()) > gap(&MachineTopology::local2()));
+    }
+
+    #[test]
+    fn throughput_is_positive_and_finite() {
+        let network = Network::new(&[8, 4, 2], 3);
+        for machine in MachineTopology::all_paper_machines() {
+            for t in nn_throughput(&network, &machine) {
+                assert!(t.neurons_per_second.is_finite());
+                assert!(t.neurons_per_second > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Back-propagation SGD trainers.
+//!
+//! The de facto algorithm for the paper's neural-network workload is
+//! stochastic gradient descent run within each layer, processing layers in a
+//! round-robin fashion (Appendix D.2).  [`train_sgd`] is the classical
+//! single-parameter-set trainer; [`train_replicated`] mirrors DimmWitted's
+//! PerNode + FullReplication choice by training one replica per node on the
+//! full data (in different orders) and averaging after every epoch.
+
+use crate::network::{sigmoid_derivative, Network};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A supervised training set for the network.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingData {
+    /// Input vectors.
+    pub inputs: Vec<Vec<f64>>,
+    /// Target output vectors.
+    pub targets: Vec<Vec<f64>>,
+}
+
+impl TrainingData {
+    /// Bundle inputs and targets.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn new(inputs: Vec<Vec<f64>>, targets: Vec<Vec<f64>>) -> Self {
+        assert_eq!(inputs.len(), targets.len(), "inputs/targets must align");
+        TrainingData { inputs, targets }
+    }
+
+    /// A synthetic MNIST-like digit problem: random prototype images per
+    /// class plus noise, one-hot targets.
+    pub fn synthetic_digits(examples: usize, input_width: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prototypes: Vec<Vec<f64>> = (0..classes)
+            .map(|_| (0..input_width).map(|_| rng.random::<f64>()).collect())
+            .collect();
+        let mut inputs = Vec::with_capacity(examples);
+        let mut targets = Vec::with_capacity(examples);
+        for i in 0..examples {
+            let class = i % classes;
+            let input: Vec<f64> = prototypes[class]
+                .iter()
+                .map(|&p| (p + (rng.random::<f64>() - 0.5) * 0.2).clamp(0.0, 1.0))
+                .collect();
+            let mut target = vec![0.0; classes];
+            target[class] = 1.0;
+            inputs.push(input);
+            targets.push(target);
+        }
+        TrainingData { inputs, targets }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrainingReport {
+    /// Loss after each epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Total neuron updates performed (the Figure 17(b) unit of work).
+    pub neurons_processed: u64,
+}
+
+impl TrainingReport {
+    /// Final loss of the run.
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().unwrap_or(&f64::INFINITY)
+    }
+}
+
+/// One SGD step of back-propagation on a single example.
+pub fn backprop_step(network: &mut Network, input: &[f64], target: &[f64], step: f64) -> u64 {
+    let activations = network.forward_trace(input);
+    let layer_count = network.layers().len();
+    // Output-layer delta: (y - t) ⊙ σ'(y).
+    let output = &activations[layer_count];
+    let mut delta: Vec<f64> = output
+        .iter()
+        .zip(target)
+        .map(|(&y, &t)| (y - t) * sigmoid_derivative(y))
+        .collect();
+    let mut neurons = 0u64;
+    // Walk layers from the output back to the input, updating in place.
+    for l in (0..layer_count).rev() {
+        let input_activation = activations[l].clone();
+        let layer = &mut network.layers_mut()[l];
+        // Delta to propagate to the previous layer, computed before the
+        // weights are updated.
+        let mut previous_delta = vec![0.0; layer.inputs];
+        for (o, &d) in delta.iter().enumerate() {
+            let start = o * layer.inputs;
+            for i in 0..layer.inputs {
+                previous_delta[i] += layer.weights[start + i] * d;
+                layer.weights[start + i] -= step * d * input_activation[i];
+            }
+            layer.biases[o] -= step * d;
+        }
+        neurons += layer.outputs as u64;
+        if l > 0 {
+            for (i, p) in previous_delta.iter_mut().enumerate() {
+                *p *= sigmoid_derivative(activations[l][i]);
+            }
+            delta = previous_delta;
+        }
+    }
+    neurons
+}
+
+/// Classical training: one parameter set, SGD over shuffled examples.
+pub fn train_sgd(
+    network: &mut Network,
+    data: &TrainingData,
+    epochs: usize,
+    step: f64,
+    seed: u64,
+) -> TrainingReport {
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    let mut neurons = 0u64;
+    for _ in 0..epochs {
+        order.shuffle(&mut rng);
+        for &i in &order {
+            neurons += backprop_step(network, &data.inputs[i], &data.targets[i], step);
+        }
+        epoch_losses.push(network.loss(&data.inputs, &data.targets));
+    }
+    TrainingReport {
+        epoch_losses,
+        neurons_processed: neurons,
+    }
+}
+
+/// DimmWitted-style training: one replica per node trained on the full data
+/// in a node-specific order (PerNode + FullReplication), averaged after
+/// every epoch.
+pub fn train_replicated(
+    network: &mut Network,
+    data: &TrainingData,
+    replicas: usize,
+    epochs: usize,
+    step: f64,
+    seed: u64,
+) -> TrainingReport {
+    let replicas = replicas.max(1);
+    let mut epoch_losses = Vec::with_capacity(epochs);
+    let mut neurons = 0u64;
+    let mut replica_nets: Vec<Network> = (0..replicas).map(|_| network.clone()).collect();
+    for epoch in 0..epochs {
+        for (r, replica) in replica_nets.iter_mut().enumerate() {
+            let mut order: Vec<usize> = (0..data.len()).collect();
+            let mut rng = StdRng::seed_from_u64(
+                seed ^ (epoch as u64 * 31 + r as u64).wrapping_mul(0x9E3779B97F4A7C15),
+            );
+            order.shuffle(&mut rng);
+            for &i in &order {
+                neurons += backprop_step(replica, &data.inputs[i], &data.targets[i], step);
+            }
+        }
+        let refs: Vec<&Network> = replica_nets.iter().collect();
+        network.average_from(&refs);
+        for replica in replica_nets.iter_mut() {
+            *replica = network.clone();
+        }
+        epoch_losses.push(network.loss(&data.inputs, &data.targets));
+    }
+    TrainingReport {
+        epoch_losses,
+        neurons_processed: neurons,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_data() -> TrainingData {
+        TrainingData::synthetic_digits(60, 16, 4, 5)
+    }
+
+    #[test]
+    fn training_data_shapes() {
+        let data = small_data();
+        assert_eq!(data.len(), 60);
+        assert!(!data.is_empty());
+        assert_eq!(data.inputs[0].len(), 16);
+        assert_eq!(data.targets[0].len(), 4);
+        assert_eq!(data.targets[0].iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_training_data_rejected() {
+        let _ = TrainingData::new(vec![vec![1.0]], vec![]);
+    }
+
+    #[test]
+    fn sgd_training_reduces_loss() {
+        let data = small_data();
+        let mut net = Network::new(&[16, 12, 4], 3);
+        let initial = net.loss(&data.inputs, &data.targets);
+        let report = train_sgd(&mut net, &data, 25, 0.5, 1);
+        assert!(report.final_loss() < 0.5 * initial, "{}", report.final_loss());
+        assert_eq!(report.epoch_losses.len(), 25);
+        assert_eq!(report.neurons_processed, 25 * 60 * 16);
+    }
+
+    #[test]
+    fn replicated_training_reduces_loss_and_does_more_work() {
+        let data = small_data();
+        let mut net = Network::new(&[16, 12, 4], 3);
+        let initial = net.loss(&data.inputs, &data.targets);
+        let report = train_replicated(&mut net, &data, 2, 15, 0.5, 1);
+        assert!(report.final_loss() < 0.6 * initial);
+        // FullReplication across 2 replicas processes twice the neurons per
+        // epoch relative to a single chain.
+        assert_eq!(report.neurons_processed, 2 * 15 * 60 * 16);
+    }
+
+    #[test]
+    fn backprop_step_moves_toward_target() {
+        let mut net = Network::new(&[4, 6, 2], 7);
+        let input = vec![0.2, 0.8, 0.1, 0.5];
+        let target = vec![1.0, 0.0];
+        let before = net.loss(&[input.clone()], &[target.clone()]);
+        for _ in 0..200 {
+            backprop_step(&mut net, &input, &target, 0.8);
+        }
+        let after = net.loss(&[input], &[target]);
+        assert!(after < 0.2 * before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn replicated_with_one_replica_matches_sgd_shape() {
+        let data = small_data();
+        let mut a = Network::new(&[16, 8, 4], 9);
+        let report = train_replicated(&mut a, &data, 1, 3, 0.3, 2);
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(report.final_loss().is_finite());
+    }
+}

@@ -1,0 +1,299 @@
+//! A set-associative last-level-cache simulator.
+//!
+//! The analytic cost model in [`crate::cost`] is what the engine uses for
+//! full-size experiments, but Appendix A of the paper also reports
+//! cacheline-level effects (row-major vs column-major storage causing 9× more
+//! L1 misses; the DCU prefetcher fetching the next line).  [`CacheSim`] is a
+//! small, exact LRU set-associative cache used to reproduce those effects at
+//! reduced scale and to sanity-check the analytic model in tests.
+
+use crate::cost::CACHELINE_BYTES;
+
+/// A set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    sets: Vec<Vec<u64>>,
+    associativity: usize,
+    line_bytes: usize,
+    hits: u64,
+    misses: u64,
+    /// When true, an access to line `t` also installs line `t+1`
+    /// (a simplified model of the adjacent-line/DCU prefetcher).
+    prefetch_next_line: bool,
+}
+
+impl CacheSim {
+    /// Create a cache of `capacity_bytes` with the given associativity and
+    /// 64-byte lines.
+    ///
+    /// # Panics
+    /// Panics if the capacity is not a positive multiple of
+    /// `associativity * 64`.
+    pub fn new(capacity_bytes: usize, associativity: usize) -> Self {
+        Self::with_line_size(capacity_bytes, associativity, CACHELINE_BYTES)
+    }
+
+    /// Create a cache with an explicit line size (L1 simulations use 64 too,
+    /// but tests may use smaller lines).
+    pub fn with_line_size(capacity_bytes: usize, associativity: usize, line_bytes: usize) -> Self {
+        assert!(associativity > 0 && line_bytes > 0);
+        let lines = capacity_bytes / line_bytes;
+        assert!(
+            lines >= associativity && lines % associativity == 0,
+            "capacity must be a positive multiple of associativity * line size"
+        );
+        let num_sets = lines / associativity;
+        CacheSim {
+            sets: vec![Vec::with_capacity(associativity); num_sets],
+            associativity,
+            line_bytes,
+            hits: 0,
+            misses: 0,
+            prefetch_next_line: false,
+        }
+    }
+
+    /// Enable or disable the adjacent-line prefetcher model.
+    pub fn set_prefetch_next_line(&mut self, enabled: bool) {
+        self.prefetch_next_line = enabled;
+    }
+
+    /// Access one byte address; returns `true` on a hit.
+    pub fn access(&mut self, address: u64) -> bool {
+        let line = address / self.line_bytes as u64;
+        let hit = self.touch_line(line, true);
+        if self.prefetch_next_line {
+            // The prefetched line does not count towards hit/miss statistics;
+            // it only warms the cache.
+            self.touch_line(line + 1, false);
+        }
+        hit
+    }
+
+    /// Access a contiguous byte range `[start, start+len)`.
+    pub fn access_range(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let first = start / self.line_bytes as u64;
+        let last = (start + len - 1) / self.line_bytes as u64;
+        for line in first..=last {
+            self.touch_line(line, true);
+        }
+    }
+
+    fn touch_line(&mut self, line: u64, count: bool) -> bool {
+        let set_index = (line % self.sets.len() as u64) as usize;
+        let set = &mut self.sets[set_index];
+        if let Some(pos) = set.iter().position(|&l| l == line) {
+            // Move to MRU position.
+            let l = set.remove(pos);
+            set.push(l);
+            if count {
+                self.hits += 1;
+            }
+            true
+        } else {
+            if set.len() == self.associativity {
+                set.remove(0);
+            }
+            set.push(line);
+            if count {
+                self.misses += 1;
+            }
+            false
+        }
+    }
+
+    /// Number of counted hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of counted misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Miss rate over counted accesses (0 when no accesses were made).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Reset statistics but keep cache contents.
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Drop all cached lines and statistics.
+    pub fn clear(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.reset_stats();
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> usize {
+        self.line_bytes
+    }
+}
+
+/// Estimate the fraction of reads of a repeatedly-scanned working set that
+/// hit in a cache of `cache_bytes`.
+///
+/// This is the analytic shortcut the simulated executor uses at full scale:
+/// when the working set fits, steady-state scans hit; when it does not, an
+/// LRU cache under a cyclic scan degrades to (approximately) all misses.  A
+/// narrow linear ramp keeps the function continuous for the optimizer.
+pub fn streaming_hit_fraction(working_set_bytes: u64, cache_bytes: u64) -> f64 {
+    if cache_bytes == 0 {
+        return 0.0;
+    }
+    let ratio = working_set_bytes as f64 / cache_bytes as f64;
+    if ratio <= 1.0 {
+        1.0
+    } else if ratio >= 2.0 {
+        0.0
+    } else {
+        2.0 - ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn small_working_set_hits_after_warmup() {
+        let mut cache = CacheSim::new(1024, 4);
+        // 8 lines of 64B = 512B working set, fits in 1KB cache.
+        for pass in 0..4 {
+            for line in 0..8u64 {
+                let hit = cache.access(line * 64);
+                if pass > 0 {
+                    assert!(hit, "pass {pass} line {line} should hit");
+                }
+            }
+        }
+        assert_eq!(cache.misses(), 8);
+        assert_eq!(cache.hits(), 24);
+    }
+
+    #[test]
+    fn cyclic_scan_larger_than_cache_thrashes() {
+        // Direct-mapped-ish: 4 sets x 2 ways x 64B = 512B capacity.
+        let mut cache = CacheSim::new(512, 2);
+        // Scan 16 lines cyclically; LRU + cyclic scan = ~no hits.
+        for _ in 0..3 {
+            for line in 0..16u64 {
+                cache.access(line * 64);
+            }
+        }
+        assert!(cache.miss_rate() > 0.95);
+    }
+
+    #[test]
+    fn strided_access_misses_more_than_sequential() {
+        // Model the row-major vs column-major experiment of Appendix A:
+        // reading a 64x64 f64 matrix row-wise (sequential) vs column-wise
+        // (stride = 64 * 8 bytes) through a small cache.
+        let rows = 64u64;
+        let cols = 64u64;
+        let elem = 8u64;
+        let mut sequential = CacheSim::new(8 * 1024, 8);
+        for i in 0..rows {
+            for j in 0..cols {
+                sequential.access((i * cols + j) * elem);
+            }
+        }
+        let mut strided = CacheSim::new(8 * 1024, 8);
+        for j in 0..cols {
+            for i in 0..rows {
+                strided.access((i * cols + j) * elem);
+            }
+        }
+        assert!(
+            strided.misses() as f64 > 4.0 * sequential.misses() as f64,
+            "strided {} vs sequential {}",
+            strided.misses(),
+            sequential.misses()
+        );
+    }
+
+    #[test]
+    fn prefetcher_reduces_sequential_misses() {
+        let mut no_prefetch = CacheSim::new(4096, 4);
+        let mut with_prefetch = CacheSim::new(4096, 4);
+        with_prefetch.set_prefetch_next_line(true);
+        for addr in (0..32_768u64).step_by(64) {
+            no_prefetch.access(addr);
+            with_prefetch.access(addr);
+        }
+        assert!(with_prefetch.misses() < no_prefetch.misses());
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut cache = CacheSim::new(4096, 4);
+        cache.access_range(0, 1024);
+        assert_eq!(cache.misses(), 16);
+        cache.access_range(0, 1024);
+        assert_eq!(cache.hits(), 16);
+        cache.access_range(10, 0);
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        cache.reset_stats();
+        assert_eq!(cache.hits(), 0);
+        cache.clear();
+        cache.access(0);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.line_bytes(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn invalid_capacity_panics() {
+        let _ = CacheSim::new(100, 4);
+    }
+
+    #[test]
+    fn streaming_fraction_shape() {
+        assert_eq!(streaming_hit_fraction(100, 0), 0.0);
+        assert_eq!(streaming_hit_fraction(512, 1024), 1.0);
+        assert_eq!(streaming_hit_fraction(1024, 1024), 1.0);
+        assert_eq!(streaming_hit_fraction(2048, 1024), 0.0);
+        let mid = streaming_hit_fraction(1536, 1024);
+        assert!(mid > 0.4 && mid < 0.6);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hits_plus_misses_equals_accesses(addresses in proptest::collection::vec(0u64..100_000, 1..200)) {
+            let mut cache = CacheSim::new(2048, 4);
+            for &a in &addresses {
+                cache.access(a);
+            }
+            prop_assert_eq!(cache.hits() + cache.misses(), addresses.len() as u64);
+        }
+
+        #[test]
+        fn prop_repeat_access_hits(addr in 0u64..1_000_000) {
+            let mut cache = CacheSim::new(2048, 4);
+            cache.access(addr);
+            prop_assert!(cache.access(addr));
+        }
+
+        #[test]
+        fn prop_streaming_fraction_bounded(ws in 0u64..1_000_000, cache in 1u64..1_000_000) {
+            let f = streaming_hit_fraction(ws, cache);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

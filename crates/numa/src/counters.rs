@@ -1,0 +1,185 @@
+//! PMU-style performance counters.
+//!
+//! Section 4.1 of the paper measures (1) local LLC requests, (2) remote LLC
+//! requests, and (3) local DRAM requests with Intel PMUs, and uses them to
+//! explain the model-replication results (e.g. "PerMachine incurs 11× more
+//! cross-node DRAM requests than PerNode", "DimmWitted incurs 8× fewer LLC
+//! cache misses than Hogwild! on parallel sum").  The simulated executor
+//! accumulates the same quantities here.
+
+use std::ops::{Add, AddAssign};
+
+/// Counter values accumulated during a (simulated) execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PerfCounters {
+    /// Requests served by the core's local last-level cache.
+    pub local_llc_hits: u64,
+    /// Requests that had to consult a remote node's cache (coherence traffic).
+    pub remote_llc_requests: u64,
+    /// LLC misses (requests that went to some DRAM).
+    pub llc_misses: u64,
+    /// Requests served by the DRAM attached to the requesting core's node.
+    pub local_dram_requests: u64,
+    /// Requests served by a remote node's DRAM, crossing the QPI.
+    pub remote_dram_requests: u64,
+    /// Bytes read from any level of the hierarchy.
+    pub bytes_read: u64,
+    /// Bytes written to the model (or other mutable state).
+    pub bytes_written: u64,
+    /// Cycles lost to coherence stalls on contended writes.
+    pub stall_cycles: u64,
+}
+
+impl PerfCounters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total DRAM requests (local + remote).
+    pub fn dram_requests(&self) -> u64 {
+        self.local_dram_requests + self.remote_dram_requests
+    }
+
+    /// Fraction of DRAM requests that crossed the interconnect.
+    pub fn remote_dram_fraction(&self) -> f64 {
+        let total = self.dram_requests();
+        if total == 0 {
+            0.0
+        } else {
+            self.remote_dram_requests as f64 / total as f64
+        }
+    }
+
+    /// Ratio of this counter set's remote DRAM requests to another's.
+    ///
+    /// This is the "11× more cross-node DRAM requests" style comparison from
+    /// Section 4.2.  Returns `f64::INFINITY` when `other` has none.
+    pub fn remote_dram_ratio(&self, other: &PerfCounters) -> f64 {
+        if other.remote_dram_requests == 0 {
+            if self.remote_dram_requests == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.remote_dram_requests as f64 / other.remote_dram_requests as f64
+        }
+    }
+
+    /// Ratio of LLC misses against another counter set.
+    pub fn llc_miss_ratio(&self, other: &PerfCounters) -> f64 {
+        if other.llc_misses == 0 {
+            if self.llc_misses == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.llc_misses as f64 / other.llc_misses as f64
+        }
+    }
+}
+
+impl Add for PerfCounters {
+    type Output = PerfCounters;
+
+    fn add(self, rhs: PerfCounters) -> PerfCounters {
+        PerfCounters {
+            local_llc_hits: self.local_llc_hits + rhs.local_llc_hits,
+            remote_llc_requests: self.remote_llc_requests + rhs.remote_llc_requests,
+            llc_misses: self.llc_misses + rhs.llc_misses,
+            local_dram_requests: self.local_dram_requests + rhs.local_dram_requests,
+            remote_dram_requests: self.remote_dram_requests + rhs.remote_dram_requests,
+            bytes_read: self.bytes_read + rhs.bytes_read,
+            bytes_written: self.bytes_written + rhs.bytes_written,
+            stall_cycles: self.stall_cycles + rhs.stall_cycles,
+        }
+    }
+}
+
+impl AddAssign for PerfCounters {
+    fn add_assign(&mut self, rhs: PerfCounters) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for PerfCounters {
+    fn sum<I: Iterator<Item = PerfCounters>>(iter: I) -> PerfCounters {
+        iter.fold(PerfCounters::default(), |acc, c| acc + c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum() {
+        let a = PerfCounters {
+            local_dram_requests: 10,
+            remote_dram_requests: 5,
+            bytes_read: 100,
+            ..Default::default()
+        };
+        let b = PerfCounters {
+            local_dram_requests: 1,
+            remote_dram_requests: 2,
+            stall_cycles: 7,
+            ..Default::default()
+        };
+        let c = a + b;
+        assert_eq!(c.local_dram_requests, 11);
+        assert_eq!(c.remote_dram_requests, 7);
+        assert_eq!(c.stall_cycles, 7);
+        assert_eq!(c.dram_requests(), 18);
+        let summed: PerfCounters = vec![a, b].into_iter().sum();
+        assert_eq!(summed, c);
+        let mut d = a;
+        d += b;
+        assert_eq!(d, c);
+    }
+
+    #[test]
+    fn ratios() {
+        let hogwild = PerfCounters {
+            remote_dram_requests: 1100,
+            llc_misses: 800,
+            ..Default::default()
+        };
+        let dimmwitted = PerfCounters {
+            remote_dram_requests: 100,
+            llc_misses: 100,
+            ..Default::default()
+        };
+        assert!((hogwild.remote_dram_ratio(&dimmwitted) - 11.0).abs() < 1e-12);
+        assert!((hogwild.llc_miss_ratio(&dimmwitted) - 8.0).abs() < 1e-12);
+        assert_eq!(
+            dimmwitted.remote_dram_ratio(&PerfCounters::default()),
+            f64::INFINITY
+        );
+        assert_eq!(
+            PerfCounters::default().remote_dram_ratio(&PerfCounters::default()),
+            1.0
+        );
+        assert_eq!(
+            PerfCounters::default().llc_miss_ratio(&PerfCounters::default()),
+            1.0
+        );
+        assert_eq!(
+            dimmwitted.llc_miss_ratio(&PerfCounters::default()),
+            f64::INFINITY
+        );
+    }
+
+    #[test]
+    fn remote_fraction() {
+        let c = PerfCounters {
+            local_dram_requests: 75,
+            remote_dram_requests: 25,
+            ..Default::default()
+        };
+        assert!((c.remote_dram_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(PerfCounters::default().remote_dram_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! NUMA machine model for the DimmWitted study.
+//!
+//! The paper evaluates on five multi-socket NUMA machines (Figure 3) and
+//! measures hardware efficiency with Intel performance-monitoring units
+//! (local/remote DRAM requests, LLC requests).  This environment has a
+//! single core and a single socket, so those effects cannot be observed on
+//! real hardware; instead this crate provides a deterministic *model* of the
+//! same machines:
+//!
+//! * [`MachineTopology`] — socket/core/cache/bandwidth description with
+//!   presets for the paper's five machines (`local2`, `local4`, `local8`,
+//!   `ec2.1`, `ec2.2`),
+//! * [`MemoryCostModel`] — per-access costs for LLC hits, local DRAM, remote
+//!   DRAM over QPI, and the write-contention factor α of Section 3.2,
+//! * [`CacheSim`] — a set-associative last-level-cache simulator used by the
+//!   appendix experiments and unit tests,
+//! * [`PerfCounters`] — PMU-style counters accumulated by the engine's
+//!   simulated executor,
+//! * [`PlacementPolicy`] / [`DataPlacement`] — the OS-default vs NUMA-aware
+//!   worker/data collocation strategies of Appendix A,
+//! * [`SimClock`] — a simulated nanosecond clock.
+//!
+//! The engine (`dimmwitted` crate) charges every modelled read and write
+//! against these components; the ratios the paper reports (e.g. PerMachine
+//! incurring 11× more cross-node DRAM requests than PerNode) fall out of the
+//! counter values.
+
+pub mod bandwidth;
+pub mod cache;
+pub mod cost;
+pub mod counters;
+pub mod placement;
+pub mod sim;
+pub mod topology;
+
+pub use bandwidth::{aggregate_bandwidth, BandwidthEstimate};
+pub use cache::CacheSim;
+pub use cost::MemoryCostModel;
+pub use counters::PerfCounters;
+pub use placement::{DataPlacement, MemoryRegion, PlacementPolicy, RegionKind};
+pub use sim::SimClock;
+pub use topology::{CoreId, MachineTopology, NodeId};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_api_smoke() {
+        let topo = MachineTopology::local2();
+        let cost = MemoryCostModel::from_topology(&topo);
+        assert!(cost.remote_dram_ns > cost.local_dram_ns);
+        let mut counters = PerfCounters::default();
+        counters.local_dram_requests += 1;
+        assert_eq!(counters.local_dram_requests, 1);
+    }
+}

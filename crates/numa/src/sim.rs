@@ -1,0 +1,83 @@
+//! Simulated clock used by the modelled executor.
+//!
+//! Hardware-efficiency figures in the paper are all "time per epoch" on
+//! specific machines.  The simulated executor accumulates nanoseconds per
+//! core and takes the maximum across cores of a locality group (workers
+//! proceed in parallel, so an epoch finishes when the slowest core does).
+
+/// A nanosecond-resolution simulated clock.
+#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+pub struct SimClock {
+    ns: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { ns: 0.0 }
+    }
+
+    /// Construct a clock at an absolute nanosecond value.
+    pub fn from_ns(ns: f64) -> Self {
+        SimClock { ns }
+    }
+
+    /// Advance by `ns` nanoseconds.
+    pub fn advance_ns(&mut self, ns: f64) {
+        debug_assert!(ns >= 0.0, "cannot advance backwards");
+        self.ns += ns;
+    }
+
+    /// Current time in nanoseconds.
+    pub fn ns(&self) -> f64 {
+        self.ns
+    }
+
+    /// Current time in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.ns / 1.0e9
+    }
+
+    /// The later of two clocks (barrier semantics).
+    pub fn max(self, other: SimClock) -> SimClock {
+        if self.ns >= other.ns {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+/// Combine per-core clocks into the epoch completion time: the max over
+/// cores (cores run in parallel), expressed in seconds.
+pub fn epoch_seconds(core_clocks: &[SimClock]) -> f64 {
+    core_clocks
+        .iter()
+        .fold(SimClock::new(), |acc, &c| acc.max(c))
+        .seconds()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_convert() {
+        let mut c = SimClock::new();
+        assert_eq!(c.ns(), 0.0);
+        c.advance_ns(1.5e9);
+        assert!((c.seconds() - 1.5).abs() < 1e-12);
+        assert_eq!(SimClock::from_ns(2.0).ns(), 2.0);
+    }
+
+    #[test]
+    fn max_and_epoch() {
+        let a = SimClock::from_ns(100.0);
+        let b = SimClock::from_ns(250.0);
+        assert_eq!(a.max(b).ns(), 250.0);
+        assert_eq!(b.max(a).ns(), 250.0);
+        let clocks = vec![a, b, SimClock::from_ns(50.0)];
+        assert!((epoch_seconds(&clocks) - 250.0e-9).abs() < 1e-18);
+        assert_eq!(epoch_seconds(&[]), 0.0);
+    }
+}

@@ -1,0 +1,268 @@
+//! NUMA machine topology descriptions.
+//!
+//! Figure 3 of the paper lists the five machines used in the study:
+//!
+//! | Name   | #Node | #Cores/Node | RAM/Node (GB) | Clock (GHz) | LLC (MB) |
+//! |--------|-------|-------------|---------------|-------------|----------|
+//! | local2 | 2     | 6           | 32            | 2.6         | 12       |
+//! | local4 | 4     | 10          | 64            | 2.0         | 24       |
+//! | local8 | 8     | 8           | 128           | 2.6         | 24       |
+//! | ec2.1  | 2     | 8           | 122           | 2.6         | 20       |
+//! | ec2.2  | 2     | 8           | 30            | 2.6         | 20       |
+//!
+//! plus the measured bandwidths for local2: ~6 GB/s per worker to local DRAM
+//! and ~11 GB/s over the QPI (Figure 3), with the QPI peak at 25.6 GB/s
+//! (Section 2.2).
+
+/// Identifier of a NUMA node (socket).
+pub type NodeId = usize;
+/// Identifier of a physical core, numbered `0..total_cores()` across nodes.
+pub type CoreId = usize;
+
+/// Description of one NUMA machine.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MachineTopology {
+    /// Human-readable machine name (matches the paper's abbreviations).
+    pub name: String,
+    /// Number of NUMA nodes (sockets).
+    pub nodes: usize,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// DRAM attached to each node, in GiB.
+    pub ram_per_node_gb: usize,
+    /// Core clock in GHz.
+    pub cpu_ghz: f64,
+    /// Last-level cache per node, in MiB.
+    pub llc_mb: usize,
+    /// Sustainable bandwidth from one core to its local DRAM, GB/s.
+    pub local_dram_bw_gbs: f64,
+    /// Sustainable bandwidth across the socket interconnect (QPI), GB/s.
+    pub qpi_bw_gbs: f64,
+}
+
+impl MachineTopology {
+    /// The `local2` machine: 2 nodes × 6 cores.
+    pub fn local2() -> Self {
+        MachineTopology {
+            name: "local2".to_string(),
+            nodes: 2,
+            cores_per_node: 6,
+            ram_per_node_gb: 32,
+            cpu_ghz: 2.6,
+            llc_mb: 12,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// The `local4` machine: 4 nodes × 10 cores.
+    pub fn local4() -> Self {
+        MachineTopology {
+            name: "local4".to_string(),
+            nodes: 4,
+            cores_per_node: 10,
+            ram_per_node_gb: 64,
+            cpu_ghz: 2.0,
+            llc_mb: 24,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// The `local8` machine: 8 nodes × 8 cores.
+    pub fn local8() -> Self {
+        MachineTopology {
+            name: "local8".to_string(),
+            nodes: 8,
+            cores_per_node: 8,
+            ram_per_node_gb: 128,
+            cpu_ghz: 2.6,
+            llc_mb: 24,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// The `ec2.1` Amazon machine: 2 nodes × 8 cores, 122 GB/node.
+    pub fn ec2_1() -> Self {
+        MachineTopology {
+            name: "ec2.1".to_string(),
+            nodes: 2,
+            cores_per_node: 8,
+            ram_per_node_gb: 122,
+            cpu_ghz: 2.6,
+            llc_mb: 20,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// The `ec2.2` Amazon machine: 2 nodes × 8 cores, 30 GB/node.
+    pub fn ec2_2() -> Self {
+        MachineTopology {
+            name: "ec2.2".to_string(),
+            nodes: 2,
+            cores_per_node: 8,
+            ram_per_node_gb: 30,
+            cpu_ghz: 2.6,
+            llc_mb: 20,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// All five machines from Figure 3, in the paper's order.
+    pub fn all_paper_machines() -> Vec<MachineTopology> {
+        vec![
+            Self::ec2_1(),
+            Self::ec2_2(),
+            Self::local2(),
+            Self::local4(),
+            Self::local8(),
+        ]
+    }
+
+    /// Look up a machine preset by its paper name or abbreviation.
+    pub fn by_name(name: &str) -> Option<MachineTopology> {
+        match name {
+            "local2" | "l2" => Some(Self::local2()),
+            "local4" | "l4" => Some(Self::local4()),
+            "local8" | "l8" => Some(Self::local8()),
+            "ec2.1" | "e1" => Some(Self::ec2_1()),
+            "ec2.2" | "e2" => Some(Self::ec2_2()),
+            _ => None,
+        }
+    }
+
+    /// A custom topology, used by tests and sweeps.
+    pub fn custom(name: &str, nodes: usize, cores_per_node: usize, llc_mb: usize) -> Self {
+        MachineTopology {
+            name: name.to_string(),
+            nodes,
+            cores_per_node,
+            ram_per_node_gb: 64,
+            cpu_ghz: 2.6,
+            llc_mb,
+            local_dram_bw_gbs: 6.0,
+            qpi_bw_gbs: 11.0,
+        }
+    }
+
+    /// Total physical cores across all nodes.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// The NUMA node that owns a core.
+    ///
+    /// Cores are numbered node-by-node, i.e. cores `0..cores_per_node` live
+    /// on node 0, the next `cores_per_node` on node 1, and so on.
+    pub fn core_to_node(&self, core: CoreId) -> NodeId {
+        assert!(core < self.total_cores(), "core {core} out of range");
+        core / self.cores_per_node
+    }
+
+    /// Cores belonging to a node.
+    pub fn cores_of_node(&self, node: NodeId) -> std::ops::Range<CoreId> {
+        assert!(node < self.nodes, "node {node} out of range");
+        node * self.cores_per_node..(node + 1) * self.cores_per_node
+    }
+
+    /// LLC capacity of one node in bytes.
+    pub fn llc_bytes(&self) -> usize {
+        self.llc_mb * 1024 * 1024
+    }
+
+    /// DRAM capacity of one node in bytes.
+    pub fn node_ram_bytes(&self) -> usize {
+        self.ram_per_node_gb * 1024 * 1024 * 1024
+    }
+
+    /// Write-contention factor α of Section 3.2.
+    ///
+    /// The paper reports α ≈ 4 on the 2-socket local2 and α ≈ 12 on the
+    /// 8-socket local8 and says it "grows with the number of sockets"; we
+    /// interpolate linearly in the socket count:
+    /// `α = 4 + (nodes - 2) * 8/6`.
+    pub fn write_cost_factor(&self) -> f64 {
+        let nodes = self.nodes as f64;
+        (4.0 + (nodes - 2.0) * (8.0 / 6.0)).max(1.0)
+    }
+
+    /// Label in the form used by Figures 15/16: `#Cores/Socket x #Sockets`.
+    pub fn label(&self) -> String {
+        format!("{}x{}", self.cores_per_node, self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_figure3() {
+        let l2 = MachineTopology::local2();
+        assert_eq!(l2.nodes, 2);
+        assert_eq!(l2.cores_per_node, 6);
+        assert_eq!(l2.llc_mb, 12);
+        assert_eq!(l2.total_cores(), 12);
+        let l4 = MachineTopology::local4();
+        assert_eq!(l4.total_cores(), 40);
+        assert!((l4.cpu_ghz - 2.0).abs() < 1e-12);
+        let l8 = MachineTopology::local8();
+        assert_eq!(l8.total_cores(), 64);
+        assert_eq!(MachineTopology::ec2_1().ram_per_node_gb, 122);
+        assert_eq!(MachineTopology::ec2_2().ram_per_node_gb, 30);
+        assert_eq!(MachineTopology::all_paper_machines().len(), 5);
+    }
+
+    #[test]
+    fn by_name_lookup() {
+        assert_eq!(MachineTopology::by_name("l8").unwrap().nodes, 8);
+        assert_eq!(MachineTopology::by_name("ec2.1").unwrap().name, "ec2.1");
+        assert!(MachineTopology::by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn core_node_mapping() {
+        let l2 = MachineTopology::local2();
+        assert_eq!(l2.core_to_node(0), 0);
+        assert_eq!(l2.core_to_node(5), 0);
+        assert_eq!(l2.core_to_node(6), 1);
+        assert_eq!(l2.core_to_node(11), 1);
+        assert_eq!(l2.cores_of_node(1), 6..12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_out_of_range_panics() {
+        MachineTopology::local2().core_to_node(12);
+    }
+
+    #[test]
+    fn alpha_grows_with_sockets() {
+        let a2 = MachineTopology::local2().write_cost_factor();
+        let a4 = MachineTopology::local4().write_cost_factor();
+        let a8 = MachineTopology::local8().write_cost_factor();
+        assert!((a2 - 4.0).abs() < 1e-9);
+        assert!((a8 - 12.0).abs() < 1e-9);
+        assert!(a2 < a4 && a4 < a8);
+    }
+
+    #[test]
+    fn sizes_and_labels() {
+        let l2 = MachineTopology::local2();
+        assert_eq!(l2.llc_bytes(), 12 * 1024 * 1024);
+        assert_eq!(l2.node_ram_bytes(), 32 * 1024 * 1024 * 1024);
+        assert_eq!(l2.label(), "6x2");
+        assert_eq!(MachineTopology::local4().label(), "10x4");
+        assert_eq!(MachineTopology::local8().label(), "8x8");
+    }
+
+    #[test]
+    fn custom_topology() {
+        let t = MachineTopology::custom("tiny", 1, 2, 4);
+        assert_eq!(t.total_cores(), 2);
+        assert_eq!(t.write_cost_factor(), 2.666666666666667);
+    }
+}

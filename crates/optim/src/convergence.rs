@@ -1,0 +1,159 @@
+//! Convergence bookkeeping.
+//!
+//! The paper's statistical-efficiency metric is "the number of epochs needed
+//! to converge to within x% of the optimal loss" and its end-to-end metric
+//! is "the wall-clock time to reach a loss within 1% / 10% / 50% / 100% of
+//! the optimal loss" (Section 4.1).  [`ConvergenceTrace`] records the loss
+//! after each epoch together with the (real or simulated) time spent, and
+//! answers both questions.
+
+/// Loss and cumulative time after one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LossPoint {
+    /// Epoch index (1-based: the loss after the first epoch has `epoch` 1).
+    pub epoch: usize,
+    /// Objective value at the end of the epoch.
+    pub loss: f64,
+    /// Cumulative execution time in seconds (real or simulated).
+    pub seconds: f64,
+}
+
+/// The per-epoch loss curve of one execution.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ConvergenceTrace {
+    /// Loss of the initial (all-zero) model, before any epoch.
+    pub initial_loss: f64,
+    /// Per-epoch records in execution order.
+    pub points: Vec<LossPoint>,
+}
+
+impl ConvergenceTrace {
+    /// Start a trace from an initial loss.
+    pub fn new(initial_loss: f64) -> Self {
+        ConvergenceTrace {
+            initial_loss,
+            points: Vec::new(),
+        }
+    }
+
+    /// Record the end of an epoch.
+    pub fn record(&mut self, loss: f64, cumulative_seconds: f64) {
+        self.points.push(LossPoint {
+            epoch: self.points.len() + 1,
+            loss,
+            seconds: cumulative_seconds,
+        });
+    }
+
+    /// Lowest loss observed so far (including the initial model).
+    pub fn best_loss(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.loss)
+            .fold(self.initial_loss, f64::min)
+    }
+
+    /// Total number of epochs recorded.
+    pub fn epochs(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Total time of the run.
+    pub fn total_seconds(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.seconds)
+    }
+
+    /// Number of epochs to reach a loss within `tolerance` (e.g. 0.01 for
+    /// "within 1%") of `optimal`, or `None` if never reached.
+    pub fn epochs_to_tolerance(&self, optimal: f64, tolerance: f64) -> Option<usize> {
+        let threshold = loss_threshold(optimal, tolerance);
+        self.points
+            .iter()
+            .find(|p| p.loss <= threshold)
+            .map(|p| p.epoch)
+    }
+
+    /// Time (seconds) to reach a loss within `tolerance` of `optimal`.
+    pub fn seconds_to_tolerance(&self, optimal: f64, tolerance: f64) -> Option<f64> {
+        let threshold = loss_threshold(optimal, tolerance);
+        self.points
+            .iter()
+            .find(|p| p.loss <= threshold)
+            .map(|p| p.seconds)
+    }
+}
+
+/// The loss threshold meaning "within `tolerance` of the optimal loss".
+///
+/// The paper measures distance multiplicatively: a run is within 1% when its
+/// loss is at most `optimal * 1.01` (with an additive epsilon so that an
+/// exactly-zero optimum is still reachable).
+pub fn loss_threshold(optimal: f64, tolerance: f64) -> f64 {
+    optimal * (1.0 + tolerance) + 1e-9
+}
+
+/// Epochs to reach each tolerance, over a slice of tolerances.
+pub fn epochs_to_reach(
+    trace: &ConvergenceTrace,
+    optimal: f64,
+    tolerances: &[f64],
+) -> Vec<Option<usize>> {
+    tolerances
+        .iter()
+        .map(|&t| trace.epochs_to_tolerance(optimal, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ConvergenceTrace {
+        let mut t = ConvergenceTrace::new(10.0);
+        t.record(5.0, 1.0);
+        t.record(2.0, 2.0);
+        t.record(1.1, 3.0);
+        t.record(1.01, 4.0);
+        t.record(1.001, 5.0);
+        t
+    }
+
+    #[test]
+    fn epochs_and_seconds_to_tolerance() {
+        let t = trace();
+        let optimal = 1.0;
+        assert_eq!(t.epochs_to_tolerance(optimal, 1.0), Some(2)); // within 100%
+        assert_eq!(t.epochs_to_tolerance(optimal, 0.1), Some(3)); // within 10%
+        assert_eq!(t.epochs_to_tolerance(optimal, 0.01), Some(4)); // within 1%
+        assert_eq!(t.epochs_to_tolerance(optimal, 0.0001), Some(5));
+        assert_eq!(t.seconds_to_tolerance(optimal, 0.1), Some(3.0));
+        assert_eq!(t.epochs_to_tolerance(0.5, 0.01), None);
+        assert_eq!(t.seconds_to_tolerance(0.5, 0.01), None);
+    }
+
+    #[test]
+    fn best_loss_and_totals() {
+        let t = trace();
+        assert_eq!(t.best_loss(), 1.001);
+        assert_eq!(t.epochs(), 5);
+        assert_eq!(t.total_seconds(), 5.0);
+        let empty = ConvergenceTrace::new(3.0);
+        assert_eq!(empty.best_loss(), 3.0);
+        assert_eq!(empty.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn threshold_handles_zero_optimum() {
+        assert!(loss_threshold(0.0, 0.01) > 0.0);
+        let mut t = ConvergenceTrace::new(1.0);
+        t.record(0.0, 1.0);
+        assert_eq!(t.epochs_to_tolerance(0.0, 0.01), Some(1));
+    }
+
+    #[test]
+    fn epochs_to_reach_vector() {
+        let t = trace();
+        let result = epochs_to_reach(&t, 1.0, &[1.0, 0.5, 0.1, 0.01]);
+        assert_eq!(result, vec![Some(2), Some(3), Some(3), Some(4)]);
+    }
+}

@@ -1,0 +1,152 @@
+//! The immutable task data bundle.
+//!
+//! Every analytics task in the paper is a pair `(A, x)` of an immutable data
+//! matrix and a mutable model.  [`TaskData`] holds the immutable half: the
+//! matrix in both CSR (for row-wise access) and CSC (for column-wise and
+//! column-to-row access) layouts, per-row labels for supervised tasks, and
+//! per-column costs for the graph tasks.  Storing both layouts mirrors the
+//! paper's rule that "DimmWitted always stores the dataset in a way that is
+//! consistent with the access method" (Appendix A).
+
+use dw_matrix::{CscMatrix, CsrMatrix, MatrixStats};
+
+/// Immutable data for one statistical task.
+#[derive(Debug, Clone)]
+pub struct TaskData {
+    /// Row-major sparse view, used by the row-wise access method.
+    pub csr: CsrMatrix,
+    /// Column-major sparse view, used by column-wise / column-to-row access.
+    pub csc: CscMatrix,
+    /// Per-row labels (empty for graph tasks).
+    pub labels: Vec<f64>,
+    /// Per-column vertex costs (empty for supervised tasks).
+    pub costs: Vec<f64>,
+}
+
+impl TaskData {
+    /// Bundle a matrix with labels and costs.
+    ///
+    /// # Panics
+    /// Panics if a non-empty `labels` does not have one entry per row, or a
+    /// non-empty `costs` does not have one entry per column.
+    pub fn new(csr: CsrMatrix, labels: Vec<f64>, costs: Vec<f64>) -> Self {
+        assert!(
+            labels.is_empty() || labels.len() == csr.rows(),
+            "labels must have one entry per row"
+        );
+        assert!(
+            costs.is_empty() || costs.len() == csr.cols(),
+            "costs must have one entry per column"
+        );
+        let csc = csr.to_csc();
+        TaskData {
+            csr,
+            csc,
+            labels,
+            costs,
+        }
+    }
+
+    /// A supervised task (SVM / LR / LS).
+    pub fn supervised(csr: CsrMatrix, labels: Vec<f64>) -> Self {
+        Self::new(csr, labels, Vec::new())
+    }
+
+    /// A graph task (LP / QP) defined by an edge-incidence matrix and vertex
+    /// costs.
+    pub fn graph(incidence: CsrMatrix, costs: Vec<f64>) -> Self {
+        Self::new(incidence, Vec::new(), costs)
+    }
+
+    /// Number of examples `N`.
+    pub fn examples(&self) -> usize {
+        self.csr.rows()
+    }
+
+    /// Model dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.csr.cols()
+    }
+
+    /// Shape statistics used by the cost-based optimizer.
+    pub fn stats(&self) -> MatrixStats {
+        MatrixStats::from_csr(&self.csr)
+    }
+
+    /// Restrict to a subset of rows (used by the Sharding strategy for
+    /// row-wise access).  Labels follow the selected rows.
+    pub fn select_rows(&self, rows: &[usize]) -> TaskData {
+        let csr = self.csr.select_rows(rows);
+        let labels = if self.labels.is_empty() {
+            Vec::new()
+        } else {
+            rows.iter().map(|&i| self.labels[i]).collect()
+        };
+        TaskData::new(csr, labels, self.costs.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_matrix::SparseVector;
+
+    fn tiny_matrix() -> CsrMatrix {
+        CsrMatrix::from_sparse_rows(
+            3,
+            &[
+                SparseVector::from_parts(vec![0, 1], vec![1.0, 2.0]),
+                SparseVector::from_parts(vec![2], vec![3.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn supervised_construction() {
+        let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
+        assert_eq!(t.examples(), 2);
+        assert_eq!(t.dim(), 3);
+        assert_eq!(t.csc.cols(), 3);
+        assert!(t.costs.is_empty());
+        assert_eq!(t.stats().nnz, 3);
+    }
+
+    #[test]
+    fn graph_construction() {
+        let t = TaskData::graph(tiny_matrix(), vec![0.1, 0.2, 0.3]);
+        assert!(t.labels.is_empty());
+        assert_eq!(t.costs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per row")]
+    fn label_length_checked() {
+        let _ = TaskData::supervised(tiny_matrix(), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one entry per column")]
+    fn cost_length_checked() {
+        let _ = TaskData::graph(tiny_matrix(), vec![0.1]);
+    }
+
+    #[test]
+    fn select_rows_carries_labels() {
+        let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
+        let sub = t.select_rows(&[1]);
+        assert_eq!(sub.examples(), 1);
+        assert_eq!(sub.labels, vec![-1.0]);
+        assert_eq!(sub.csr.get(0, 2), 3.0);
+    }
+
+    #[test]
+    fn csr_csc_consistent() {
+        let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
+        for i in 0..t.examples() {
+            for j in 0..t.dim() {
+                assert_eq!(t.csr.get(i, j), t.csc.get(i, j));
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: train an SVM on a Reuters-like text dataset, letting the
+//! cost-based optimizer pick the execution plan.
+//!
+//! Run with `cargo run -p dw-bench --release --example quickstart`.
+
+use dimmwitted::{AnalyticsTask, ModelKind, RunConfig, Runner};
+use dw_data::{Dataset, PaperDataset};
+use dw_numa::MachineTopology;
+
+fn main() {
+    // 1. Generate a small text-classification dataset matching the shape of
+    //    the Reuters corpus from the paper's Figure 10.
+    let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+    println!(
+        "dataset: {} ({} examples, {} features, {} non-zeros)",
+        dataset.name,
+        dataset.examples(),
+        dataset.dim(),
+        dataset.matrix.nnz()
+    );
+
+    // 2. Bind it to a statistical model (SVM via the hinge loss).
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+
+    // 3. Target one of the paper's NUMA machines and let the cost-based
+    //    optimizer choose the access method, model replication and data
+    //    replication (the Figure 14 decision).
+    let machine = MachineTopology::local2();
+    let runner = Runner::new(machine);
+    let plan = runner.plan_for(&task);
+    println!("optimizer chose: {}", plan.describe());
+
+    // 4. Run for a few epochs and report convergence.
+    let report = runner.run_auto(&task, &RunConfig::default());
+    let optimum = runner.estimate_optimum(&task, 10);
+    println!("initial loss: {:.4}", report.trace.initial_loss);
+    println!("final loss:   {:.4}", report.final_loss());
+    println!("reference optimum: {:.4}", optimum);
+    println!(
+        "modelled time per epoch on {}: {:.4} s",
+        runner.engine().machine().name,
+        report.seconds_per_epoch
+    );
+    for tolerance in [1.0, 0.5, 0.1, 0.01] {
+        match report.epochs_to_loss(optimum, tolerance) {
+            Some(epochs) => println!(
+                "reached within {:>4.0}% of optimal loss after {epochs} epochs",
+                tolerance * 100.0
+            ),
+            None => println!(
+                "did not reach within {:>4.0}% of optimal loss in {} epochs",
+                tolerance * 100.0,
+                report.trace.epochs()
+            ),
+        }
+    }
+}

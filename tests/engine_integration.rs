@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: data generators → optimizer → engine →
+//! convergence bookkeeping, for every statistical model of the paper.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, ExecutionMode, ExecutionPlan, ModelKind,
+    ModelReplication, RunConfig, Runner,
+};
+use dw_data::{Dataset, PaperDataset, TaskHint};
+use dw_numa::MachineTopology;
+
+fn machine() -> MachineTopology {
+    MachineTopology::local2()
+}
+
+#[test]
+fn every_model_converges_under_its_optimizer_plan() {
+    // The paper's Figure 14 pairs: each model on one representative dataset,
+    // executed under the plan the cost-based optimizer chooses.
+    let cases = [
+        (ModelKind::Svm, PaperDataset::Reuters),
+        (ModelKind::Lr, PaperDataset::Reuters),
+        (ModelKind::Ls, PaperDataset::Forest),
+        (ModelKind::Lp, PaperDataset::AmazonLp),
+        (ModelKind::Qp, PaperDataset::AmazonQp),
+    ];
+    let runner = Runner::new(machine());
+    for (kind, dataset) in cases {
+        let task = AnalyticsTask::from_dataset(&Dataset::generate(dataset, 3), kind);
+        let report = runner.run_auto(&task, &RunConfig::quick(6));
+        assert!(
+            report.final_loss() < task.initial_loss(),
+            "{}: loss {} did not improve from {}",
+            task.name,
+            report.final_loss(),
+            task.initial_loss()
+        );
+        assert!(report.seconds_per_epoch > 0.0);
+        assert_eq!(report.trace.epochs(), 6);
+    }
+}
+
+#[test]
+fn interleaved_and_threaded_modes_both_converge() {
+    let dataset = Dataset::generate(PaperDataset::Reuters, 5);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let m = machine();
+    let runner = Runner::new(m.clone());
+    let plan = ExecutionPlan::new(
+        &m,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    for mode in [ExecutionMode::Interleaved, ExecutionMode::Threaded] {
+        let report = runner.run_with_plan(&task, &plan, &RunConfig::quick(4).with_mode(mode));
+        assert!(
+            report.final_loss() < 0.8 * task.initial_loss(),
+            "{mode:?} failed to converge: {}",
+            report.final_loss()
+        );
+    }
+}
+
+#[test]
+fn optimizer_plans_match_figure14_for_all_engine_datasets() {
+    let runner = Runner::new(machine());
+    for dataset in PaperDataset::engine_datasets() {
+        let generated = Dataset::generate(dataset, 7);
+        for kind in ModelKind::for_hint(generated.hint) {
+            let task = AnalyticsTask::from_dataset(&generated, kind);
+            let plan = runner.plan_for(&task);
+            if kind.is_sgd_family() {
+                assert_eq!(plan.access, AccessMethod::RowWise, "{}", task.name);
+                assert_eq!(plan.model_replication, ModelReplication::PerNode, "{}", task.name);
+            } else {
+                assert_eq!(plan.access, AccessMethod::ColumnToRow, "{}", task.name);
+                assert_eq!(
+                    plan.model_replication,
+                    ModelReplication::PerMachine,
+                    "{}",
+                    task.name
+                );
+            }
+            assert_eq!(plan.data_replication, DataReplication::FullReplication);
+        }
+    }
+}
+
+#[test]
+fn generated_datasets_have_consistent_task_hints() {
+    for dataset in PaperDataset::engine_datasets() {
+        let generated = Dataset::generate(dataset, 11);
+        match generated.hint {
+            TaskHint::Supervised => assert_eq!(generated.labels.len(), generated.examples()),
+            TaskHint::GraphLp | TaskHint::GraphQp => {
+                assert_eq!(generated.vertex_costs.len(), generated.dim())
+            }
+            _ => panic!("unexpected hint for engine dataset {}", generated.name),
+        }
+    }
+}
+
+#[test]
+fn simulated_epoch_time_scales_down_with_more_workers() {
+    let dataset = Dataset::generate(PaperDataset::Rcv1, 13);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let m = machine();
+    let runner = Runner::new(m.clone());
+    let full_plan = ExecutionPlan::new(
+        &m,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    );
+    let solo = runner.run_with_plan(
+        &task,
+        &full_plan.clone().with_workers(1),
+        &RunConfig::quick(1),
+    );
+    let all_cores = runner.run_with_plan(&task, &full_plan, &RunConfig::quick(1));
+    assert!(all_cores.seconds_per_epoch < solo.seconds_per_epoch);
+}
+
+#[test]
+fn hogwild_plan_reaches_same_quality_as_pernode_given_enough_epochs() {
+    // The replication strategies trade hardware efficiency, not final
+    // quality: with a fixed epoch budget both reach comparable loss.
+    let dataset = Dataset::generate(PaperDataset::Forest, 17);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let m = machine();
+    let runner = Runner::new(m.clone());
+    let config = RunConfig::quick(8);
+    let hogwild = runner.run_with_plan(&task, &ExecutionPlan::hogwild(&m), &config);
+    let pernode = runner.run_with_plan(
+        &task,
+        &ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        ),
+        &config,
+    );
+    let ratio = hogwild.final_loss() / pernode.final_loss().max(1e-12);
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "final losses should be comparable, got ratio {ratio}"
+    );
+}

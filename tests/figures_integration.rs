@@ -1,0 +1,154 @@
+//! Smoke-level integration tests of the figure-regeneration harness: every
+//! figure function produces a non-empty table with the expected rows, and
+//! the qualitative directions the paper reports hold at reduced scale.
+
+use dw_bench::{figures, Scale};
+use dw_data::PaperDataset;
+use dimmwitted::ModelKind;
+
+fn scale() -> Scale {
+    Scale::quick()
+}
+
+#[test]
+fn fig07_tables() {
+    let tables = figures::fig07(scale());
+    assert_eq!(tables.len(), 2);
+    assert_eq!(tables[0].len(), 4);
+    assert_eq!(tables[1].len(), 7);
+    // The cost ratio column increases as rows get sparser (first rows are the
+    // most subsampled ones).
+    let first: f64 = tables[1].rows[0][1].parse().unwrap();
+    let last: f64 = tables[1].rows.last().unwrap()[1].parse().unwrap();
+    assert!(first > last);
+}
+
+#[test]
+fn fig08_pernode_is_faster_per_epoch_than_permachine() {
+    let tables = figures::fig08(scale());
+    let time = |strategy: &str| -> f64 {
+        tables[1]
+            .cell(strategy, "seconds/epoch")
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(time("PerNode") < time("PerMachine"));
+    assert!(time("PerCore") <= time("PerNode") * 1.05);
+}
+
+#[test]
+fn fig09_full_replication_slows_with_more_nodes() {
+    let tables = figures::fig09(scale());
+    let full = |machine: &str| -> f64 {
+        tables[1]
+            .cell(machine, "FullReplication s/epoch")
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert!(full("local8") > full("local2"));
+}
+
+#[test]
+fn fig10_and_fig14_shapes() {
+    assert_eq!(figures::fig10(scale()).len(), 10);
+    let fig14 = figures::fig14(scale());
+    assert_eq!(fig14.cell("SVM(reuters)", "access method"), Some("row-wise"));
+    assert_eq!(fig14.cell("LP(amazon-lp)", "access method"), Some("column-to-row"));
+}
+
+#[test]
+fn fig11_subset_has_all_system_columns() {
+    let cases = [
+        (ModelKind::Svm, PaperDataset::Reuters),
+        (ModelKind::Lp, PaperDataset::AmazonLp),
+    ];
+    let tables = figures::fig11_cases(&cases, scale());
+    assert_eq!(tables.len(), 2);
+    for table in &tables {
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.headers.len(), 6);
+    }
+}
+
+#[test]
+fn fig13_dimmwitted_has_highest_parallel_sum_throughput() {
+    let table = figures::fig13(scale());
+    let throughput = |system: &str| -> f64 {
+        table.cell(system, "Parallel Sum").unwrap().parse().unwrap()
+    };
+    let dw = throughput("DimmWitted");
+    for other in ["Hogwild!", "GraphLab", "GraphChi", "MLlib"] {
+        assert!(dw > throughput(other), "DimmWitted should beat {other}");
+    }
+}
+
+#[test]
+fn fig15_ratio_grows_with_sockets() {
+    let table = figures::fig15(scale());
+    let ratio = |machine: &str| -> f64 {
+        table.cell(machine, "SVM (RCV1)").unwrap().parse().unwrap()
+    };
+    assert!(ratio("local8") > ratio("local2"));
+}
+
+#[test]
+fn fig17_extensions_favour_dimmwitted_choice() {
+    let tables = figures::fig17(scale());
+    let extension = &tables[1];
+    for row in &extension.rows {
+        let classic: f64 = row[1].parse().unwrap();
+        let dimmwitted: f64 = row[2].parse().unwrap();
+        assert!(dimmwitted > classic, "{}", row[0]);
+    }
+}
+
+#[test]
+fn fig20_percore_scales_best_and_delite_saturates() {
+    let table = figures::fig20(scale());
+    let last = table.rows.last().unwrap();
+    let percore: f64 = last[1].parse().unwrap();
+    let permachine: f64 = last[3].parse().unwrap();
+    let delite: f64 = last[4].parse().unwrap();
+    assert!(percore >= permachine);
+    assert!(delite < percore);
+    // Delite's speed-up at 12 threads equals its speed-up at 6 threads.
+    let at6 = &table.rows[3];
+    assert_eq!(at6[0], "6");
+    let delite_at6: f64 = at6[4].parse().unwrap();
+    assert!((delite - delite_at6).abs() < 1e-9);
+}
+
+#[test]
+fn fig21_time_grows_roughly_linearly_with_scale() {
+    let table = figures::fig21(scale());
+    let seconds: Vec<f64> = table.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+    assert!(seconds.windows(2).all(|w| w[1] > w[0]));
+    // 100% scale vs 1% scale should be within a factor of a few of 100x.
+    let growth = seconds[3] / seconds[0];
+    assert!((20.0..=500.0).contains(&growth), "growth {growth}");
+}
+
+#[test]
+fn fig22_importance_sampling_table_lists_all_strategies() {
+    let table = figures::fig22(scale());
+    assert_eq!(table.len(), 4);
+    assert!(table.rows.iter().any(|r| r[0].starts_with("Importance")));
+}
+
+#[test]
+fn appendix_tables_report_expected_directions() {
+    let tables = figures::appendix(scale());
+    assert_eq!(tables.len(), 3);
+    // NUMA-aware placement reads locally everywhere; OS placement does not.
+    let placement = &tables[0];
+    let os: f64 = placement.cell("OsDefault", "local read fraction").unwrap().parse().unwrap();
+    let numa: f64 = placement.cell("NumaAware", "local read fraction").unwrap().parse().unwrap();
+    assert!(numa > os);
+    // Column-major layout misses far more under a row-wise scan.
+    let layout = &tables[2];
+    let row_major: f64 = layout.cell("row-major", "L1-sized cache misses").unwrap().parse().unwrap();
+    let col_major: f64 = layout.cell("column-major", "L1-sized cache misses").unwrap().parse().unwrap();
+    assert!(col_major > 4.0 * row_major);
+}
