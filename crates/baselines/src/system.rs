@@ -2,7 +2,7 @@
 
 use crate::batch_gradient::run_batch_gradient;
 use dimmwitted::{
-    parallel_sum::throughput_gbps, AccessMethod, AnalyticsTask, DataReplication, Engine,
+    parallel_sum::throughput_gbps, AccessMethod, AnalyticsTask, DataReplication, DimmWitted,
     ExecutionPlan, ModelReplication, RunConfig, RunReport,
 };
 use dw_numa::MachineTopology;
@@ -158,24 +158,34 @@ pub fn run_system(
     config: &RunConfig,
 ) -> RunReport {
     let profile = system.profile(machine);
-    let engine = Engine::new(machine.clone());
     let optimizer = dimmwitted::Optimizer::new(machine.clone());
     let mut plan = profile.plan.unwrap_or_else(|| optimizer.choose_plan(task));
     if let Some(limit) = profile.max_effective_workers {
         plan = plan.with_workers(limit.min(machine.total_cores()).max(1));
     }
+    let session = |config: RunConfig| {
+        DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .config(config)
+            .build()
+    };
 
     let mut report = if let Some(batch_fraction) = profile.batch_fraction {
         // MLlib path: the hardware model still prices the epoch, but the
         // statistical execution is batch gradient descent.
-        let base = engine.run(task, &plan, &RunConfig { epochs: 1, ..config.clone() });
+        let base = session(RunConfig {
+            epochs: 1,
+            ..config.clone()
+        })
+        .run();
         let trace = run_batch_gradient(
             task,
             config.epochs,
             batch_fraction,
             config
                 .step_override
-                .unwrap_or_else(|| task.objective.default_step()),
+                .unwrap_or_else(|| task.objective.default_step_for(&task.data)),
             base.seconds_per_epoch,
         );
         RunReport {
@@ -186,7 +196,7 @@ pub fn run_system(
             final_model: Vec::new(),
         }
     } else {
-        engine.run(task, &plan, config)
+        session(config.clone()).run()
     };
 
     // Apply the overhead model to every recorded time.

@@ -1,8 +1,13 @@
 //! End-to-end engine benchmarks: one full epoch under the plans the paper's
-//! competitor systems occupy (Figure 5), plus the cost-based optimizer.
+//! competitor systems occupy (Figure 5), the cost-based optimizer, and the
+//! threaded execution mechanisms (persistent worker pool vs. the legacy
+//! spawn-one-thread-per-worker-per-epoch baseline).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dimmwitted::{AnalyticsTask, Engine, ExecutionPlan, ModelKind, Optimizer, RunConfig};
+use dimmwitted::{
+    AnalyticsTask, DimmWitted, Engine, ExecutionPlan, Executor, ModelKind, Optimizer, RunConfig,
+    SpawnPerEpochExecutor, ThreadedExecutor,
+};
 use dw_data::{Dataset, PaperDataset};
 use dw_numa::MachineTopology;
 use std::hint::black_box;
@@ -12,9 +17,13 @@ fn bench_engine_epoch(c: &mut Criterion) {
     group.sample_size(10);
     let machine = MachineTopology::local2();
     let engine = Engine::new(machine.clone());
-    let task = AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Reuters, 1), ModelKind::Svm);
+    let task =
+        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Reuters, 1), ModelKind::Svm);
     let plans = [
-        ("dimmwitted", Optimizer::new(machine.clone()).choose_plan(&task)),
+        (
+            "dimmwitted",
+            Optimizer::new(machine.clone()).choose_plan(&task),
+        ),
         ("hogwild", ExecutionPlan::hogwild(&machine)),
         ("graphlab", ExecutionPlan::graphlab(&machine)),
         ("mllib", ExecutionPlan::mllib(&machine)),
@@ -31,14 +40,50 @@ fn bench_engine_epoch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Persistent-pool threaded sessions vs. the legacy spawn-per-epoch
+/// mechanism, over a multi-epoch run where the pool's thread reuse and
+/// cached item buffers amortize (the acceptance gate for the pool: it must
+/// be no slower than spawning fresh threads every epoch).
+fn bench_threaded_executors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_executors");
+    group.sample_size(10);
+    let machine = MachineTopology::local2();
+    let task =
+        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Reuters, 1), ModelKind::Svm);
+    let plan = ExecutionPlan::hogwild(&machine).with_workers(4);
+    let epochs = 8;
+    let run = |executor: Box<dyn Executor>| {
+        DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .epochs(epochs)
+            .executor(executor)
+            .build()
+            .run()
+    };
+    group.bench_function(BenchmarkId::new("8_epochs", "persistent_pool"), |b| {
+        b.iter(|| run(Box::new(ThreadedExecutor::new())))
+    });
+    group.bench_function(BenchmarkId::new("8_epochs", "spawn_per_epoch"), |b| {
+        b.iter(|| run(Box::new(SpawnPerEpochExecutor::new())))
+    });
+    group.finish();
+}
+
 fn bench_optimizer(c: &mut Criterion) {
     let machine = MachineTopology::local2();
     let optimizer = Optimizer::new(machine);
-    let task = AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Rcv1, 1), ModelKind::Svm);
+    let task =
+        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Rcv1, 1), ModelKind::Svm);
     c.bench_function("optimizer_choose_plan", |b| {
         b.iter(|| optimizer.choose_plan(black_box(&task)))
     });
 }
 
-criterion_group!(engine, bench_engine_epoch, bench_optimizer);
+criterion_group!(
+    engine,
+    bench_engine_epoch,
+    bench_threaded_executors,
+    bench_optimizer
+);
 criterion_main!(engine);

@@ -8,13 +8,11 @@
 use crate::table::{fmt_epochs, fmt_ratio, fmt_seconds, Table};
 use crate::Scale;
 use dimmwitted::{
-    sim_exec::simulate_epoch, AccessMethod, AnalyticsTask, DataReplication, ExecutionPlan,
-    ModelKind, ModelReplication, RunConfig, RunReport, Runner,
+    sim_exec::simulate_epoch, AccessMethod, AnalyticsTask, DataReplication, DimmWitted,
+    ExecutionPlan, ModelKind, ModelReplication, RunConfig, RunReport, Runner,
 };
 use dw_baselines::{parallel_sum_throughput, run_system, System};
-use dw_data::{
-    clueweb, subsample, Dataset, DatasetSpec, PaperDataset,
-};
+use dw_data::{clueweb, subsample, Dataset, DatasetSpec, PaperDataset};
 use dw_gibbs::{gibbs_throughput, FactorGraph};
 use dw_nn::{nn_throughput, Network};
 use dw_numa::{CacheSim, DataPlacement, MachineTopology, PlacementPolicy};
@@ -58,15 +56,13 @@ fn run(
     p: &ExecutionPlan,
     scale: Scale,
 ) -> RunReport {
-    Runner::new(machine.clone()).run_with_plan(
-        task,
-        p,
-        &RunConfig {
-            epochs: scale.epochs,
-            seed: scale.seed,
-            ..RunConfig::default()
-        },
-    )
+    DimmWitted::on(machine.clone())
+        .task(task.clone())
+        .plan(p.clone())
+        .epochs(scale.epochs)
+        .seed(scale.seed)
+        .build()
+        .run()
 }
 
 fn optimum(machine: &MachineTopology, task: &AnalyticsTask, scale: Scale) -> f64 {
@@ -104,13 +100,23 @@ pub fn fig07(scale: Scale) -> Vec<Table> {
         let row = run(
             &machine,
             &task,
-            &plan(&machine, AccessMethod::RowWise, model_repl, DataReplication::Sharding),
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                model_repl,
+                DataReplication::Sharding,
+            ),
             scale,
         );
         let col = run(
             &machine,
             &task,
-            &plan(&machine, AccessMethod::ColumnToRow, model_repl, DataReplication::Sharding),
+            &plan(
+                &machine,
+                AccessMethod::ColumnToRow,
+                model_repl,
+                DataReplication::Sharding,
+            ),
             scale,
         );
         epochs_table.push_row(vec![
@@ -122,7 +128,12 @@ pub fn fig07(scale: Scale) -> Vec<Table> {
 
     let mut time_table = Table::new(
         "Figure 7(b): time per epoch vs cost ratio (Music subsamples, alpha = 10)",
-        &["keep fraction", "cost ratio", "row-wise s/epoch", "column-wise s/epoch"],
+        &[
+            "keep fraction",
+            "cost ratio",
+            "row-wise s/epoch",
+            "column-wise s/epoch",
+        ],
     );
     for keep in subsample::figure7_subsample_levels() {
         let task = subsampled_music_task(keep, ModelKind::Svm, scale.seed);
@@ -133,12 +144,22 @@ pub fn fig07(scale: Scale) -> Vec<Table> {
             ModelReplication::PerNode,
             DataReplication::Sharding,
         );
-        let row_s = simulate_epoch(&stats, task.objective.row_update_density(), &template, &machine)
-            .seconds;
+        let row_s = simulate_epoch(
+            &stats,
+            task.objective.row_update_density(),
+            &template,
+            &machine,
+        )
+        .seconds;
         let mut col_plan = template.clone();
         col_plan.access = AccessMethod::ColumnToRow;
-        let col_s = simulate_epoch(&stats, task.objective.row_update_density(), &col_plan, &machine)
-            .seconds;
+        let col_s = simulate_epoch(
+            &stats,
+            task.objective.row_update_density(),
+            &col_plan,
+            &machine,
+        )
+        .seconds;
         time_table.push_row(vec![
             format!("{keep:.2}"),
             fmt_ratio(stats.cost_ratio(10.0)),
@@ -168,7 +189,12 @@ pub fn fig08(scale: Scale) -> Vec<Table> {
         &["strategy", "seconds/epoch"],
     );
     for strategy in ModelReplication::all() {
-        let p = plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding);
+        let p = plan(
+            &machine,
+            AccessMethod::RowWise,
+            strategy,
+            DataReplication::Sharding,
+        );
         let report = run(&machine, &task, &p, scale);
         epochs_table.push_row(vec![
             strategy.to_string(),
@@ -200,7 +226,12 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
         &["strategy", "1%", "10%", "50%", "100%"],
     );
     for strategy in DataReplication::primary() {
-        let p = plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy);
+        let p = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            strategy,
+        );
         let report = run(&machine, &task, &p, scale);
         epochs_table.push_row(vec![
             strategy.to_string(),
@@ -223,14 +254,24 @@ pub fn fig09(scale: Scale) -> Vec<Table> {
         let shard = simulate_epoch(
             &stats,
             task.objective.row_update_density(),
-            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::Sharding),
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            ),
             &machine,
         )
         .seconds;
         let full = simulate_epoch(
             &stats,
             task.objective.row_update_density(),
-            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, DataReplication::FullReplication),
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
             &machine,
         )
         .seconds;
@@ -386,7 +427,12 @@ pub fn fig12(scale: Scale) -> Vec<Table> {
             let report = run(
                 &machine,
                 &task,
-                &plan(&machine, access, preferred_model, DataReplication::FullReplication),
+                &plan(
+                    &machine,
+                    access,
+                    preferred_model,
+                    DataReplication::FullReplication,
+                ),
                 scale,
             );
             access_table.push_row(vec![
@@ -407,7 +453,12 @@ pub fn fig12(scale: Scale) -> Vec<Table> {
             let report = run(
                 &machine,
                 &task,
-                &plan(&machine, preferred_access, strategy, DataReplication::FullReplication),
+                &plan(
+                    &machine,
+                    preferred_access,
+                    strategy,
+                    DataReplication::FullReplication,
+                ),
                 scale,
             );
             replication_table.push_row(vec![
@@ -433,7 +484,12 @@ pub fn fig13(_scale: Scale) -> Table {
     let machine = local2();
     let mut table = Table::new(
         "Figure 13: modelled throughput (GB/s) on local2",
-        &["system", "SVM/LR/LS (RCV1)", "LP/QP (Google)", "Parallel Sum"],
+        &[
+            "system",
+            "SVM/LR/LS (RCV1)",
+            "LP/QP (Google)",
+            "Parallel Sum",
+        ],
     );
     let systems = [
         System::GraphLab,
@@ -476,7 +532,12 @@ pub fn fig14(scale: Scale) -> Table {
     let runner = Runner::new(machine);
     let mut table = Table::new(
         "Figure 14: plans chosen by the cost-based optimizer on local2",
-        &["task", "access method", "model replication", "data replication"],
+        &[
+            "task",
+            "access method",
+            "model replication",
+            "data replication",
+        ],
     );
     let cases = [
         (ModelKind::Svm, PaperDataset::Reuters),
@@ -524,12 +585,17 @@ pub fn fig15(scale: Scale) -> Table {
                 ModelReplication::PerNode,
                 DataReplication::Sharding,
             );
-            let row =
-                simulate_epoch(&stats, task.objective.row_update_density(), &base, &machine).seconds;
+            let row = simulate_epoch(&stats, task.objective.row_update_density(), &base, &machine)
+                .seconds;
             let mut col_plan = base.clone();
             col_plan.access = AccessMethod::ColumnToRow;
-            let col = simulate_epoch(&stats, task.objective.row_update_density(), &col_plan, &machine)
-                .seconds;
+            let col = simulate_epoch(
+                &stats,
+                task.objective.row_update_density(),
+                &col_plan,
+                &machine,
+            )
+            .seconds;
             row / col
         };
         table.push_row(vec![
@@ -561,7 +627,12 @@ pub fn fig16(scale: Scale) -> Vec<Table> {
             let report = run(
                 &machine,
                 &svm,
-                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding),
+                &plan(
+                    &machine,
+                    AccessMethod::RowWise,
+                    strategy,
+                    DataReplication::Sharding,
+                ),
                 scale,
             );
             report
@@ -569,7 +640,11 @@ pub fn fig16(scale: Scale) -> Vec<Table> {
                 .unwrap_or(report.trace.total_seconds())
         };
         let ratio = time_of(ModelReplication::PerMachine) / time_of(ModelReplication::PerNode);
-        arch_table.push_row(vec![machine.name.clone(), machine.label(), fmt_ratio(ratio)]);
+        arch_table.push_row(vec![
+            machine.name.clone(),
+            machine.label(),
+            fmt_ratio(ratio),
+        ]);
     }
 
     let machine = local2();
@@ -584,7 +659,12 @@ pub fn fig16(scale: Scale) -> Vec<Table> {
             let report = run(
                 &machine,
                 &task,
-                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding),
+                &plan(
+                    &machine,
+                    AccessMethod::RowWise,
+                    strategy,
+                    DataReplication::Sharding,
+                ),
                 scale,
             );
             report
@@ -616,7 +696,12 @@ pub fn fig17(scale: Scale) -> Vec<Table> {
         run(
             &machine,
             &task,
-            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy),
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                strategy,
+            ),
             scale,
         )
     };
@@ -679,7 +764,13 @@ pub fn fig20(scale: Scale) -> Table {
             simulate_epoch(
                 &stats,
                 density,
-                &plan(&machine, AccessMethod::RowWise, s, DataReplication::Sharding).with_workers(1),
+                &plan(
+                    &machine,
+                    AccessMethod::RowWise,
+                    s,
+                    DataReplication::Sharding,
+                )
+                .with_workers(1),
                 &machine,
             )
             .seconds
@@ -692,8 +783,13 @@ pub fn fig20(scale: Scale) -> Table {
             let seconds = simulate_epoch(
                 &stats,
                 density,
-                &plan(&machine, AccessMethod::RowWise, strategy, DataReplication::Sharding)
-                    .with_workers(threads),
+                &plan(
+                    &machine,
+                    AccessMethod::RowWise,
+                    strategy,
+                    DataReplication::Sharding,
+                )
+                .with_workers(threads),
                 &machine,
             )
             .seconds;
@@ -783,7 +879,12 @@ pub fn fig22(scale: Scale) -> Table {
         let report = run(
             &machine,
             &task,
-            &plan(&machine, AccessMethod::RowWise, ModelReplication::PerNode, strategy),
+            &plan(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                strategy,
+            ),
             scale,
         );
         table.push_row(vec![
@@ -810,7 +911,13 @@ pub fn appendix(scale: Scale) -> Vec<Table> {
         &["policy", "worker imbalance", "local read fraction"],
     );
     for policy in [PlacementPolicy::OsDefault, PlacementPolicy::NumaAware] {
-        let placement = DataPlacement::place(&machine, policy, machine.total_cores(), machine.nodes, 1 << 26);
+        let placement = DataPlacement::place(
+            &machine,
+            policy,
+            machine.total_cores(),
+            machine.nodes,
+            1 << 26,
+        );
         let locals = (0..machine.total_cores())
             .filter(|&w| placement.is_local(w, placement.worker_nodes[w] % machine.nodes))
             .count();
@@ -862,7 +969,10 @@ pub fn appendix(scale: Scale) -> Vec<Table> {
             col_major.access((j * rows + i) * 8);
         }
     }
-    layout_table.push_row(vec!["row-major".to_string(), row_major.misses().to_string()]);
+    layout_table.push_row(vec![
+        "row-major".to_string(),
+        row_major.misses().to_string(),
+    ]);
     layout_table.push_row(vec![
         "column-major".to_string(),
         col_major.misses().to_string(),
@@ -885,7 +995,10 @@ mod tests {
     fn fig14_matches_paper_plan_shape() {
         let table = fig14(Scale::quick());
         assert_eq!(table.cell("SVM(rcv1)", "access method"), Some("row-wise"));
-        assert_eq!(table.cell("QP(google-qp)", "model replication"), Some("PerMachine"));
+        assert_eq!(
+            table.cell("QP(google-qp)", "model replication"),
+            Some("PerMachine")
+        );
     }
 
     #[test]

@@ -100,6 +100,9 @@ impl Table {
 /// Format seconds with three significant decimals, or a timeout marker.
 pub fn fmt_seconds(seconds: Option<f64>) -> String {
     match seconds {
+        // Sub-10ms simulated epochs would round to "0.000"; keep their
+        // magnitude (the integration tests parse these cells back).
+        Some(s) if s != 0.0 && s.abs() < 0.01 => format!("{s:.3e}"),
         Some(s) => format!("{s:.3}"),
         None => "> timeout".to_string(),
     }

@@ -1,22 +1,28 @@
-//! The DimmWitted execution engine.
+//! The DimmWitted execution engine (legacy blocking facade).
 //!
-//! Given an [`AnalyticsTask`] and an [`ExecutionPlan`], the engine runs the
-//! task's first-order method for a number of epochs and records the loss
-//! after every epoch.  Two execution modes are provided:
+//! [`Engine::run`] is kept as a thin shim over the session API of
+//! [`crate::session`]: it builds a [`crate::Session`] for the given plan and
+//! configuration, drains its [`crate::EpochStream`], and returns the final
+//! [`RunReport`].  New code should use [`crate::DimmWitted::on`] directly —
+//! the session exposes per-epoch events, early stopping, cancellation and
+//! pluggable [`crate::Executor`]s, none of which fit a fire-and-forget call.
 //!
-//! * [`ExecutionMode::Interleaved`] — virtual workers are interleaved
-//!   round-robin in a single thread, with model replicas synchronized at the
-//!   granularity the plan prescribes.  This is deterministic, which makes the
-//!   statistical-efficiency comparisons of the paper reproducible, and it
-//!   preserves the *information structure* of each replication strategy:
-//!   PerMachine workers always see every other worker's updates, PerNode
-//!   replicas are averaged asynchronously many times per epoch, PerCore
-//!   replicas only merge at epoch boundaries.
-//! * [`ExecutionMode::Threaded`] — one OS thread per worker sharing lock-free
-//!   [`AtomicModel`] replicas, i.e. a real Hogwild!-style execution with
-//!   genuine data races (safe Rust atomics provide the per-component
-//!   atomicity the Hogwild! memory model requires).  A background thread
-//!   performs the asynchronous PerNode model averaging of Section 3.3.
+//! Execution modes map to executors as follows:
+//!
+//! * [`ExecutionMode::Interleaved`] → [`crate::InterleavedExecutor`]:
+//!   virtual workers interleaved round-robin in a single thread,
+//!   deterministic, preserving each replication strategy's information
+//!   structure (PerMachine workers always see every other worker's updates,
+//!   PerNode replicas are averaged asynchronously many times per epoch,
+//!   PerCore replicas only merge at epoch boundaries).
+//! * [`ExecutionMode::Threaded`] → [`crate::ThreadedExecutor`]: one
+//!   persistent pool thread per worker sharing lock-free
+//!   [`dw_optim::AtomicModel`] replicas — a real Hogwild!-style execution
+//!   with genuine data races.  The asynchronous PerNode model averaging of
+//!   Section 3.3 runs between completion acknowledgements and therefore
+//!   always terminates; the seed implementation's dedicated averaging
+//!   thread waited on a flag that was only set after the thread scope
+//!   joined, which deadlocked the join itself.
 //!
 //! Hardware time is not taken from the wall clock (this machine has a single
 //! core and a single socket); it comes from [`crate::sim_exec`], which models
@@ -24,15 +30,11 @@
 //! efficiency with *modelled* hardware efficiency, which is exactly the
 //! decomposition the paper uses to explain its results.
 
-use crate::plan::{build_epoch_assignment, EpochAssignment, ExecutionPlan};
-use crate::replication::{DataReplication, ModelReplication};
-use crate::report::{ExecutionMode, RunConfig, RunReport};
-use crate::sim_exec::simulate_epoch;
+use crate::plan::ExecutionPlan;
+use crate::report::{RunConfig, RunReport};
+use crate::session::DimmWitted;
 use crate::task::AnalyticsTask;
 use dw_numa::MachineTopology;
-use dw_optim::{average_models, AtomicModel, ConvergenceTrace};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 
 /// The engine: a machine description plus execution logic.
 #[derive(Debug, Clone)]
@@ -52,186 +54,24 @@ impl Engine {
     }
 
     /// Execute `task` under `plan` and return the per-epoch trace.
+    ///
+    /// Equivalent to a session with an explicit plan, run to completion.
     pub fn run(&self, task: &AnalyticsTask, plan: &ExecutionPlan, config: &RunConfig) -> RunReport {
-        let stats = task.data.stats();
-        let sim = simulate_epoch(
-            &stats,
-            task.objective.row_update_density(),
-            plan,
-            &self.machine,
-        );
-
-        // Leverage-score weights are only needed for importance sampling.
-        let weights = match plan.data_replication {
-            DataReplication::Importance { .. } => {
-                Some(crate::importance::leverage_scores(&task.data.csr, 1e-6))
-            }
-            _ => None,
-        };
-
-        let replica_count = plan.locality_groups(&self.machine);
-        let replicas: Vec<Arc<AtomicModel>> = (0..replica_count)
-            .map(|_| Arc::new(AtomicModel::zeros(task.dim())))
-            .collect();
-
-        let mut trace = ConvergenceTrace::new(task.initial_loss());
-        let mut step = config
-            .step_override
-            .unwrap_or_else(|| task.objective.default_step());
-
-        for epoch in 0..config.epochs {
-            let assignment = build_epoch_assignment(
-                plan,
-                &self.machine,
-                &task.data,
-                epoch,
-                config.seed,
-                weights.as_deref(),
-            );
-            match config.mode {
-                ExecutionMode::Interleaved => {
-                    self.run_epoch_interleaved(task, plan, config, &assignment, &replicas, step);
-                }
-                ExecutionMode::Threaded => {
-                    self.run_epoch_threaded(task, plan, config, &assignment, &replicas, step);
-                }
-            }
-
-            // Epoch-boundary synchronization: all strategies communicate at
-            // least once per epoch (Bismarck-style averaging for PerCore, the
-            // tail of the asynchronous protocol for PerNode).
-            let averaged = average_replicas(&replicas);
-            if replicas.len() > 1 {
-                for replica in &replicas {
-                    replica.store_vec(&averaged);
-                }
-            }
-            let loss = task.objective.full_loss(&task.data, &averaged);
-            trace.record(loss, (epoch + 1) as f64 * sim.seconds);
-            step *= task.objective.step_decay();
-        }
-
-        let final_model = average_replicas(&replicas);
-        RunReport {
-            plan: plan.clone(),
-            trace,
-            seconds_per_epoch: sim.seconds,
-            counters_per_epoch: sim.counters,
-            final_model,
-        }
+        DimmWitted::on(self.machine.clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .config(config.clone())
+            .build()
+            .run()
     }
-
-    /// Deterministic round-robin execution of virtual workers.
-    fn run_epoch_interleaved(
-        &self,
-        task: &AnalyticsTask,
-        plan: &ExecutionPlan,
-        config: &RunConfig,
-        assignment: &EpochAssignment,
-        replicas: &[Arc<AtomicModel>],
-        step: f64,
-    ) {
-        let rounds = config.rounds_per_epoch.max(1);
-        let columnar = plan.access.is_columnar();
-        for round in 0..rounds {
-            for worker in &assignment.workers {
-                let items = &worker.items;
-                if items.is_empty() {
-                    continue;
-                }
-                let chunk = items.len().div_ceil(rounds);
-                let start = round * chunk;
-                if start >= items.len() {
-                    continue;
-                }
-                let end = (start + chunk).min(items.len());
-                let replica = replicas[worker.replica].as_ref();
-                for &item in &items[start..end] {
-                    if columnar {
-                        task.objective.col_step(&task.data, item, replica, step);
-                    } else {
-                        task.objective.row_step(&task.data, item, replica, step);
-                    }
-                }
-            }
-            // Asynchronous PerNode averaging, approximated at round
-            // granularity ("as frequently as possible", Section 3.3).
-            let should_sync = plan.model_replication == ModelReplication::PerNode
-                && replicas.len() > 1
-                && config.sync_every_rounds > 0
-                && (round + 1) % config.sync_every_rounds == 0;
-            if should_sync {
-                let averaged = average_replicas(replicas);
-                for replica in replicas {
-                    replica.store_vec(&averaged);
-                }
-            }
-        }
-    }
-
-    /// Real lock-free threads, one per worker, plus an asynchronous averaging
-    /// thread for PerNode.
-    fn run_epoch_threaded(
-        &self,
-        task: &AnalyticsTask,
-        plan: &ExecutionPlan,
-        _config: &RunConfig,
-        assignment: &EpochAssignment,
-        replicas: &[Arc<AtomicModel>],
-        step: f64,
-    ) {
-        let columnar = plan.access.is_columnar();
-        let done = AtomicBool::new(false);
-        crossbeam::thread::scope(|scope| {
-            // Asynchronous model averaging (a separate thread batches many
-            // writes together across cores into one write, Section 3.3).
-            if plan.model_replication == ModelReplication::PerNode && replicas.len() > 1 {
-                let replica_refs: Vec<Arc<AtomicModel>> = replicas.to_vec();
-                let done_ref = &done;
-                scope.spawn(move |_| {
-                    while !done_ref.load(Ordering::Relaxed) {
-                        let averaged = average_replicas(&replica_refs);
-                        for replica in &replica_refs {
-                            replica.store_vec(&averaged);
-                        }
-                        std::thread::sleep(std::time::Duration::from_micros(200));
-                    }
-                });
-            }
-            for worker in &assignment.workers {
-                let replica = Arc::clone(&replicas[worker.replica]);
-                let items = worker.items.clone();
-                let task_ref = &*task;
-                scope.spawn(move |_| {
-                    for item in items {
-                        if columnar {
-                            task_ref
-                                .objective
-                                .col_step(&task_ref.data, item, replica.as_ref(), step);
-                        } else {
-                            task_ref
-                                .objective
-                                .row_step(&task_ref.data, item, replica.as_ref(), step);
-                        }
-                    }
-                });
-            }
-        })
-        .expect("worker thread panicked");
-        done.store(true, Ordering::Relaxed);
-    }
-}
-
-/// Average a slice of reference-counted replicas into a plain vector.
-fn average_replicas(replicas: &[Arc<AtomicModel>]) -> Vec<f64> {
-    let refs: Vec<&AtomicModel> = replicas.iter().map(|r| r.as_ref()).collect();
-    average_models(&refs)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::access::AccessMethod;
+    use crate::replication::{DataReplication, ModelReplication};
+    use crate::report::ExecutionMode;
     use crate::task::ModelKind;
     use dw_data::{Dataset, PaperDataset};
 
@@ -332,7 +172,12 @@ mod tests {
         let engine = Engine::new(machine.clone());
         let config = RunConfig::quick(6);
         let loss_for = |model| {
-            let p = plan(&machine, AccessMethod::RowWise, model, DataReplication::Sharding);
+            let p = plan(
+                &machine,
+                AccessMethod::RowWise,
+                model,
+                DataReplication::Sharding,
+            );
             engine.run(&task, &p, &config).final_loss()
         };
         let per_machine = loss_for(ModelReplication::PerMachine);
@@ -378,5 +223,29 @@ mod tests {
         );
         let report = engine.run(&task, &p, &RunConfig::quick(3));
         assert!(report.final_loss() < report.trace.initial_loss);
+    }
+
+    #[test]
+    fn engine_shim_is_bit_identical_to_a_session_run() {
+        // The Engine facade and a hand-built Session must produce the same
+        // trace to the last bit — the shim adds nothing.
+        let machine = MachineTopology::local2();
+        let task = reuters_svm();
+        let p = plan(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let config = RunConfig::quick(4).with_seed(9);
+        let from_engine = Engine::new(machine.clone()).run(&task, &p, &config);
+        let from_session = DimmWitted::on(machine)
+            .task(task)
+            .plan(p)
+            .config(config)
+            .build()
+            .run();
+        assert_eq!(from_engine.trace, from_session.trace);
+        assert_eq!(from_engine.final_model, from_session.final_model);
     }
 }

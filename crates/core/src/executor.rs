@@ -1,0 +1,412 @@
+//! Pluggable epoch executors.
+//!
+//! The DimmWitted thesis is that execution *policy* (which tradeoff-space
+//! point to run) must be navigable at runtime; this module decouples policy
+//! from *mechanism* by putting the thing that actually runs one epoch behind
+//! the [`Executor`] trait.  Three mechanisms are provided:
+//!
+//! * [`InterleavedExecutor`] — deterministic round-robin interleaving of
+//!   virtual workers in a single thread.  Reproducible, and preserves the
+//!   information structure of each model-replication strategy.
+//! * [`ThreadedExecutor`] — real lock-free threads from a **persistent**
+//!   [`WorkerPool`] reused across epochs.  The asynchronous PerNode model
+//!   averaging of Section 3.3 runs on the dispatching thread between
+//!   completion acknowledgements, so the protocol terminates exactly when
+//!   the epoch's workers do.
+//! * [`SpawnPerEpochExecutor`] — the legacy mechanism (one fresh OS thread
+//!   per worker per epoch), kept as a benchmark baseline for the pool and as
+//!   the reference for the deadlock fix: its averaging thread now watches a
+//!   completion counter updated *inside* the thread scope, where the
+//!   original implementation flipped its flag only after the scope joined —
+//!   which the averaging thread itself was blocking.
+
+use crate::plan::{EpochAssignment, ExecutionPlan};
+use crate::pool::WorkerPool;
+use crate::replication::ModelReplication;
+use crate::report::RunConfig;
+use crate::task::AnalyticsTask;
+use dw_numa::MachineTopology;
+use dw_optim::{average_models, AtomicModel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How often the asynchronous PerNode averaging protocol wakes up
+/// ("as frequently as possible", Section 3.3).
+const AVERAGING_INTERVAL: Duration = Duration::from_micros(200);
+
+/// Everything an executor needs to run one epoch.
+pub struct EpochContext<'a> {
+    /// The task being minimized.
+    pub task: &'a AnalyticsTask,
+    /// The plan being executed.
+    pub plan: &'a ExecutionPlan,
+    /// Run parameters (rounds per epoch, synchronization cadence, ...).
+    pub config: &'a RunConfig,
+    /// The machine the plan targets.
+    pub machine: &'a MachineTopology,
+    /// Per-worker item lists for this epoch.
+    pub assignment: &'a EpochAssignment,
+    /// Model replicas, one per locality group.
+    pub replicas: &'a [Arc<AtomicModel>],
+    /// Step size for this epoch.
+    pub step: f64,
+}
+
+/// A mechanism that executes one epoch of first-order updates.
+///
+/// Executors are stateful (`&mut self`) so that an implementation can hold
+/// resources across epochs — the persistent thread pool and the cached item
+/// buffers of [`ThreadedExecutor`] are exactly such state.
+pub trait Executor: Send {
+    /// Mechanism name used in reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Run every worker's updates for one epoch.
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>);
+}
+
+/// Average a slice of reference-counted replicas into a plain vector.
+pub(crate) fn average_replicas(replicas: &[Arc<AtomicModel>]) -> Vec<f64> {
+    let refs: Vec<&AtomicModel> = replicas.iter().map(|r| r.as_ref()).collect();
+    average_models(&refs)
+}
+
+fn store_average(replicas: &[Arc<AtomicModel>]) {
+    let averaged = average_replicas(replicas);
+    for replica in replicas {
+        replica.store_vec(&averaged);
+    }
+}
+
+/// Deterministic round-robin execution of virtual workers in one thread.
+#[derive(Debug, Clone, Default)]
+pub struct InterleavedExecutor;
+
+impl InterleavedExecutor {
+    /// Create the interleaved executor.
+    pub fn new() -> Self {
+        InterleavedExecutor
+    }
+}
+
+impl Executor for InterleavedExecutor {
+    fn name(&self) -> &'static str {
+        "interleaved"
+    }
+
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+        let rounds = ctx.config.rounds_per_epoch.max(1);
+        let columnar = ctx.plan.access.is_columnar();
+        let task = ctx.task;
+        for round in 0..rounds {
+            for worker in &ctx.assignment.workers {
+                let items = &worker.items;
+                if items.is_empty() {
+                    continue;
+                }
+                let chunk = items.len().div_ceil(rounds);
+                let start = round * chunk;
+                if start >= items.len() {
+                    continue;
+                }
+                let end = (start + chunk).min(items.len());
+                let replica = ctx.replicas[worker.replica].as_ref();
+                for &item in &items[start..end] {
+                    if columnar {
+                        task.objective.col_step(&task.data, item, replica, ctx.step);
+                    } else {
+                        task.objective.row_step(&task.data, item, replica, ctx.step);
+                    }
+                }
+            }
+            // Asynchronous PerNode averaging, approximated at round
+            // granularity ("as frequently as possible", Section 3.3).
+            let should_sync = ctx.plan.model_replication == ModelReplication::PerNode
+                && ctx.replicas.len() > 1
+                && ctx.config.sync_every_rounds > 0
+                && (round + 1) % ctx.config.sync_every_rounds == 0;
+            if should_sync {
+                store_average(ctx.replicas);
+            }
+        }
+    }
+}
+
+/// Real lock-free threads from a persistent pool, reused across epochs.
+///
+/// Per-worker item buffers are cached between epochs as well: jobs borrow
+/// them through an `Arc` that returns to a reference count of one when the
+/// epoch's jobs finish, so the next epoch refills the same allocations.
+#[derive(Debug, Default)]
+pub struct ThreadedExecutor {
+    pool: Option<WorkerPool>,
+    items: Vec<Arc<Vec<usize>>>,
+}
+
+impl ThreadedExecutor {
+    /// Create a threaded executor; the pool is sized lazily on first epoch.
+    pub fn new() -> Self {
+        ThreadedExecutor {
+            pool: None,
+            items: Vec::new(),
+        }
+    }
+
+    /// The pool, (re)created to match `workers`.
+    fn pool_for(&mut self, workers: usize) -> &WorkerPool {
+        let recreate = self
+            .pool
+            .as_ref()
+            .is_none_or(|pool| pool.workers() != workers);
+        if recreate {
+            self.pool = Some(WorkerPool::new(workers));
+        }
+        self.pool.as_ref().expect("pool was just created")
+    }
+
+    /// Copy `source` into the cached buffer for `worker`, reusing its
+    /// allocation when the previous epoch's job has released it.
+    fn fill_items(&mut self, worker: usize, source: &[usize]) -> Arc<Vec<usize>> {
+        if self.items.len() <= worker {
+            self.items.resize_with(worker + 1, || Arc::new(Vec::new()));
+        }
+        if Arc::get_mut(&mut self.items[worker]).is_none() {
+            self.items[worker] = Arc::new(Vec::new());
+        }
+        let buffer = Arc::get_mut(&mut self.items[worker]).expect("buffer is uniquely owned");
+        buffer.clear();
+        buffer.extend_from_slice(source);
+        Arc::clone(&self.items[worker])
+    }
+}
+
+impl Executor for ThreadedExecutor {
+    fn name(&self) -> &'static str {
+        "threaded-pool"
+    }
+
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+        let workers = ctx.assignment.workers.len();
+        let columnar = ctx.plan.access.is_columnar();
+        let step = ctx.step;
+
+        // Stage the per-worker item buffers first (needs &mut self), then
+        // dispatch the jobs (needs &pool).
+        let staged: Vec<Arc<Vec<usize>>> = ctx
+            .assignment
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, worker)| self.fill_items(w, &worker.items))
+            .collect();
+
+        let pool = self.pool_for(workers);
+        for (w, worker) in ctx.assignment.workers.iter().enumerate() {
+            let data = Arc::clone(&ctx.task.data);
+            let objective = Arc::clone(&ctx.task.objective);
+            let replica = Arc::clone(&ctx.replicas[worker.replica]);
+            let items = Arc::clone(&staged[w]);
+            pool.dispatch(
+                w,
+                Box::new(move || {
+                    for &item in items.iter() {
+                        if columnar {
+                            objective.col_step(&data, item, replica.as_ref(), step);
+                        } else {
+                            objective.row_step(&data, item, replica.as_ref(), step);
+                        }
+                    }
+                }),
+            );
+        }
+
+        // The asynchronous PerNode averaging (a separate actor batching many
+        // cross-socket writes into one, Section 3.3) runs on this thread
+        // between completion acknowledgements; it cannot outlive the epoch's
+        // workers, which is the deadlock the spawn-per-epoch path had.
+        if ctx.plan.model_replication == ModelReplication::PerNode && ctx.replicas.len() > 1 {
+            let replicas = ctx.replicas;
+            pool.wait_with(workers, AVERAGING_INTERVAL, || store_average(replicas));
+        } else {
+            pool.wait(workers);
+        }
+    }
+}
+
+/// The legacy mechanism: spawn one fresh OS thread per worker per epoch.
+///
+/// Kept as the benchmark baseline the persistent pool is measured against,
+/// and as the corrected form of the original `run_epoch_threaded`: the
+/// PerNode averaging thread exits when the worker-completion counter —
+/// updated *inside* the scope — reaches the worker count, instead of
+/// waiting on a flag that was only set after the scope joined (which
+/// deadlocked, since the scope join waited on the averaging thread).
+#[derive(Debug, Clone, Default)]
+pub struct SpawnPerEpochExecutor;
+
+impl SpawnPerEpochExecutor {
+    /// Create the spawn-per-epoch executor.
+    pub fn new() -> Self {
+        SpawnPerEpochExecutor
+    }
+}
+
+impl Executor for SpawnPerEpochExecutor {
+    fn name(&self) -> &'static str {
+        "threaded-spawn"
+    }
+
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+        let columnar = ctx.plan.access.is_columnar();
+        let total = ctx.assignment.workers.len();
+        let completed = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            if ctx.plan.model_replication == ModelReplication::PerNode && ctx.replicas.len() > 1 {
+                let replicas = ctx.replicas;
+                let completed = &completed;
+                scope.spawn(move || {
+                    while completed.load(Ordering::Acquire) < total {
+                        store_average(replicas);
+                        std::thread::sleep(AVERAGING_INTERVAL);
+                    }
+                });
+            }
+            for worker in &ctx.assignment.workers {
+                let task = ctx.task;
+                let replica = ctx.replicas[worker.replica].as_ref();
+                let items = &worker.items;
+                let step = ctx.step;
+                let completed = &completed;
+                scope.spawn(move || {
+                    for &item in items {
+                        if columnar {
+                            task.objective.col_step(&task.data, item, replica, step);
+                        } else {
+                            task.objective.row_step(&task.data, item, replica, step);
+                        }
+                    }
+                    completed.fetch_add(1, Ordering::Release);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMethod;
+    use crate::plan::build_epoch_assignment;
+    use crate::replication::DataReplication;
+    use crate::task::ModelKind;
+    use dw_data::{Dataset, PaperDataset};
+
+    fn context_parts() -> (AnalyticsTask, MachineTopology) {
+        let dataset = Dataset::generate(PaperDataset::Reuters, 4);
+        (
+            AnalyticsTask::from_dataset(&dataset, ModelKind::Svm),
+            MachineTopology::local2(),
+        )
+    }
+
+    fn run_with(executor: &mut dyn Executor, model: ModelReplication, epochs: usize) -> f64 {
+        let (task, machine) = context_parts();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            model,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let config = RunConfig::quick(epochs);
+        let replicas: Vec<Arc<AtomicModel>> = (0..plan.locality_groups(&machine))
+            .map(|_| Arc::new(AtomicModel::zeros(task.dim())))
+            .collect();
+        let step = task.objective.default_step();
+        for epoch in 0..epochs {
+            let assignment =
+                build_epoch_assignment(&plan, &machine, &task.data, epoch, config.seed, None);
+            let ctx = EpochContext {
+                task: &task,
+                plan: &plan,
+                config: &config,
+                machine: &machine,
+                assignment: &assignment,
+                replicas: &replicas,
+                step,
+            };
+            executor.run_epoch(&ctx);
+        }
+        let averaged = average_replicas(&replicas);
+        task.objective.full_loss(&task.data, &averaged)
+    }
+
+    #[test]
+    fn all_executors_reduce_the_loss() {
+        let (task, _) = context_parts();
+        let initial = task.initial_loss();
+        let mut interleaved = InterleavedExecutor::new();
+        let mut pooled = ThreadedExecutor::new();
+        let mut spawned = SpawnPerEpochExecutor::new();
+        assert!(run_with(&mut interleaved, ModelReplication::PerMachine, 2) < initial);
+        assert!(run_with(&mut pooled, ModelReplication::PerMachine, 2) < initial);
+        assert!(run_with(&mut spawned, ModelReplication::PerMachine, 2) < initial);
+    }
+
+    #[test]
+    fn pernode_averaging_terminates_for_both_threaded_mechanisms() {
+        // Regression for the seed deadlock: PerNode + threaded execution must
+        // finish (the averaging actor must observe worker completion).
+        let (task, _) = context_parts();
+        let initial = task.initial_loss();
+        let mut pooled = ThreadedExecutor::new();
+        let mut spawned = SpawnPerEpochExecutor::new();
+        assert!(run_with(&mut pooled, ModelReplication::PerNode, 2) <= initial);
+        assert!(run_with(&mut spawned, ModelReplication::PerNode, 2) <= initial);
+    }
+
+    #[test]
+    fn threaded_executor_reuses_its_pool_across_epochs() {
+        // The persistent-pool property: every epoch runs on the same OS
+        // threads.  Observe the thread ids from inside the jobs.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let mut executor = ThreadedExecutor::new();
+        let seen: Arc<Mutex<Vec<HashSet<ThreadId>>>> = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..3 {
+            let epoch_ids: Arc<Mutex<HashSet<ThreadId>>> = Arc::new(Mutex::new(HashSet::new()));
+            let pool = executor.pool_for(4);
+            for w in 0..4 {
+                let ids = Arc::clone(&epoch_ids);
+                pool.dispatch(
+                    w,
+                    Box::new(move || {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                    }),
+                );
+            }
+            pool.wait(4);
+            seen.lock()
+                .unwrap()
+                .push(Arc::try_unwrap(epoch_ids).unwrap().into_inner().unwrap());
+        }
+        let epochs = seen.lock().unwrap();
+        assert_eq!(epochs[0].len(), 4, "four distinct worker threads");
+        assert_eq!(epochs[0], epochs[1], "epoch 2 reuses the same threads");
+        assert_eq!(epochs[1], epochs[2], "epoch 3 reuses the same threads");
+    }
+
+    #[test]
+    fn threaded_executor_caches_item_buffers() {
+        let mut executor = ThreadedExecutor::new();
+        let _ = run_with(&mut executor, ModelReplication::PerMachine, 3);
+        assert_eq!(executor.items.len(), 4);
+        for buffer in &executor.items {
+            assert_eq!(Arc::strong_count(buffer), 1, "jobs released their buffers");
+            assert!(!buffer.is_empty(), "buffers hold the last epoch's items");
+        }
+    }
+}

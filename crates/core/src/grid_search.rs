@@ -10,6 +10,7 @@
 use crate::engine::Engine;
 use crate::plan::ExecutionPlan;
 use crate::report::{RunConfig, RunReport};
+use crate::session::DimmWitted;
 use crate::task::AnalyticsTask;
 
 /// The paper's step-size grid.
@@ -43,7 +44,10 @@ pub fn grid_search_step(
     optimal: f64,
     tolerance: f64,
 ) -> GridSearchResult {
-    assert!(!steps.is_empty(), "grid search needs at least one candidate");
+    assert!(
+        !steps.is_empty(),
+        "grid search needs at least one candidate"
+    );
     let mut best: Option<(f64, RunReport)> = None;
     let mut candidates = Vec::with_capacity(steps.len());
     for &step in steps {
@@ -51,7 +55,12 @@ pub fn grid_search_step(
             step_override: Some(step),
             ..config.clone()
         };
-        let report = engine.run(task, plan, &run_config);
+        let report = DimmWitted::on(engine.machine().clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .config(run_config)
+            .build()
+            .run();
         let reached = report.seconds_to_loss(optimal, tolerance);
         candidates.push((step, reached, report.final_loss()));
         let better = match &best {

@@ -45,7 +45,7 @@ pub fn leverage_scores(matrix: &CsrMatrix, ridge: f64) -> Vec<f64> {
 
     let mut scores = vec![0.0; n];
     let mut rhs = vec![0.0; d];
-    for i in 0..n {
+    for (i, score) in scores.iter_mut().enumerate() {
         let row = matrix.row(i);
         if row.nnz() == 0 {
             continue;
@@ -58,7 +58,7 @@ pub fn leverage_scores(matrix: &CsrMatrix, ridge: f64) -> Vec<f64> {
         }
         // Solve L y = aᵢ; then s(i) = aᵢᵀ G⁻¹ aᵢ = ‖y‖².
         let y = forward_substitute(&chol, d, &rhs);
-        scores[i] = y.iter().map(|v| v * v).sum::<f64>().max(0.0);
+        *score = y.iter().map(|v| v * v).sum::<f64>().max(0.0);
     }
     scores
 }

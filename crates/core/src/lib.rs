@@ -16,62 +16,89 @@
 //! 3. **Data replication** — Sharding vs. FullReplication (plus the
 //!    importance-sampling variant of Appendix C.4) ([`DataReplication`]).
 //!
-//! The engine executes an [`AnalyticsTask`] under an [`ExecutionPlan`] in two
-//! coupled ways:
+//! The engine executes an [`AnalyticsTask`] as a [`Session`]: a fluent
+//! [`SessionBuilder`] ([`DimmWitted::on`]) resolves a plan — explicitly or
+//! through the cost-based optimizer — and yields an [`EpochStream`], an
+//! iterator of [`EpochEvent`]s supporting early stopping, cooperative
+//! cancellation ([`CancelToken`]) and observer callbacks.  Each epoch is
+//! driven by a pluggable [`Executor`]:
 //!
-//! * a *statistical* execution ([`engine`]) that actually runs the first-order
-//!   method — either deterministically interleaving virtual workers or with
-//!   real lock-free threads sharing [`dw_optim::AtomicModel`] replicas — and
-//!   records the loss after every epoch;
-//! * a *hardware* execution ([`sim_exec`]) that charges every modelled read
-//!   and write against the NUMA cost model of [`dw_numa`] and produces the
-//!   time-per-epoch and PMU-style counters that the paper measures on its
-//!   five physical machines.
+//! * [`InterleavedExecutor`] deterministically interleaves virtual workers
+//!   in one thread (reproducible statistical-efficiency measurements);
+//! * [`ThreadedExecutor`] runs real lock-free threads from a persistent
+//!   worker pool sharing [`dw_optim::AtomicModel`] replicas;
 //!
-//! [`Runner`] ties the two together and produces [`RunReport`]s, from which
-//! every figure and table of the paper's evaluation can be regenerated (see
-//! `EXPERIMENTS.md` at the repository root).
+//! while [`sim_exec`] charges every modelled read and write against the
+//! NUMA cost model of [`dw_numa`] to produce the time-per-epoch and
+//! PMU-style counters the paper measures on its five physical machines.
+//!
+//! [`Runner`] and [`Engine`] remain as thin blocking facades over sessions
+//! and produce [`RunReport`]s, from which every figure and table of the
+//! paper's evaluation can be regenerated (see `EXPERIMENTS.md` at the
+//! repository root).
 //!
 //! # Quick start
 //!
 //! ```
-//! use dimmwitted::{AnalyticsTask, ModelKind, Runner, RunConfig};
+//! use dimmwitted::{AnalyticsTask, DimmWitted, ModelKind};
 //! use dw_data::{Dataset, PaperDataset};
 //! use dw_numa::MachineTopology;
 //!
-//! // Generate a small Reuters-like text classification dataset.
+//! // Generate a small Reuters-like text classification dataset and bind it
+//! // to a model.
 //! let dataset = Dataset::generate(PaperDataset::Reuters, 42);
 //! let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
 //!
-//! // Let the cost-based optimizer choose the plan for a 2-socket machine.
-//! let machine = MachineTopology::local2();
-//! let runner = Runner::new(machine);
-//! let report = runner.run_auto(&task, &RunConfig::quick(5));
+//! // Build a session: the cost-based optimizer picks the plan for a
+//! // 2-socket machine, and the run stops early once the loss plateaus.
+//! let session = DimmWitted::on(MachineTopology::local2())
+//!     .task(task)
+//!     .plan_auto()
+//!     .epochs(5)
+//!     .until_converged(1e-4)
+//!     .build();
 //!
+//! // Stream the epochs: each event carries the loss, simulated seconds and
+//! // modelled hardware counters.
+//! let mut stream = session.stream();
+//! for event in stream.by_ref() {
+//!     assert!(event.loss.is_finite());
+//! }
+//! let report = stream.into_report();
 //! assert!(report.trace.best_loss() <= report.trace.initial_loss);
 //! ```
 
 pub mod access;
 pub mod engine;
+pub mod executor;
 pub mod grid_search;
 pub mod importance;
 pub mod optimizer;
 pub mod parallel_sum;
 pub mod plan;
+pub mod pool;
 pub mod replication;
 pub mod report;
 pub mod runner;
+pub mod session;
 pub mod sim_exec;
 pub mod task;
 
 pub use access::AccessMethod;
 pub use engine::Engine;
+pub use executor::{
+    EpochContext, Executor, InterleavedExecutor, SpawnPerEpochExecutor, ThreadedExecutor,
+};
 pub use grid_search::{grid_search_step, paper_step_grid, GridSearchResult};
 pub use optimizer::{CostEstimate, CostModel, Optimizer};
 pub use plan::{ExecutionPlan, LocalityGroup, WorkerAssignment};
+pub use pool::WorkerPool;
 pub use replication::{DataReplication, ModelReplication};
 pub use report::{ExecutionMode, RunConfig, RunReport};
 pub use runner::Runner;
+pub use session::{
+    CancelToken, DimmWitted, EpochEvent, EpochStream, Session, SessionBuilder, StopReason,
+};
 pub use task::{AnalyticsTask, ModelKind};
 
 #[cfg(test)]
@@ -88,5 +115,19 @@ mod tests {
         let runner = Runner::new(machine);
         let report = runner.run_auto(&task, &RunConfig::quick(2));
         assert!(report.trace.best_loss() <= report.trace.initial_loss);
+    }
+
+    #[test]
+    fn session_quick_start_runs() {
+        let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+        let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+        let report = DimmWitted::on(MachineTopology::local2())
+            .task(task)
+            .plan_auto()
+            .epochs(3)
+            .build()
+            .run();
+        assert!(report.trace.best_loss() <= report.trace.initial_loss);
+        assert_eq!(report.trace.epochs(), 3);
     }
 }

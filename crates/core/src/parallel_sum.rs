@@ -39,7 +39,7 @@ pub fn parallel_sum(
         .map(|_| AtomicU64::new(0f64.to_bits()))
         .collect();
     let chunk = data.len().div_ceil(workers);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for w in 0..workers {
             let start = (w * chunk).min(data.len());
             let end = ((w + 1) * chunk).min(data.len());
@@ -49,7 +49,7 @@ pub fn parallel_sum(
                 ModelReplication::PerNode => (w % machine.nodes).min(accumulators.len() - 1),
                 ModelReplication::PerMachine => 0,
             }];
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 // Accumulate locally, then add to the (possibly shared)
                 // accumulator once per batch — the "batch writes across
                 // sockets" technique of Section 1.
@@ -69,8 +69,7 @@ pub fn parallel_sum(
                 }
             });
         }
-    })
-    .expect("parallel sum worker panicked");
+    });
     accumulators
         .iter()
         .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))

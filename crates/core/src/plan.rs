@@ -136,6 +136,140 @@ impl EpochAssignment {
     pub fn total_items(&self) -> usize {
         self.workers.iter().map(|w| w.items.len()).sum()
     }
+
+    /// Build the epoch-invariant part of an assignment: worker→core/node/
+    /// replica mapping and locality groups, with empty item lists.
+    ///
+    /// Combined with [`EpochAssignment::fill`], this lets a session reuse
+    /// one assignment (and its item allocations) across every epoch instead
+    /// of reallocating per epoch.
+    pub fn for_plan(plan: &ExecutionPlan, machine: &MachineTopology) -> Self {
+        let workers = plan.workers;
+        let replicas = plan.locality_groups(machine);
+        let assignments: Vec<WorkerAssignment> = (0..workers)
+            .map(|w| {
+                let core = w % machine.total_cores();
+                // Spread workers across nodes round-robin (the NUMA-aware
+                // placement of Appendix A).
+                let node = w % machine.nodes;
+                let replica = match plan.model_replication {
+                    ModelReplication::PerCore => w,
+                    ModelReplication::PerNode => node.min(replicas - 1),
+                    ModelReplication::PerMachine => 0,
+                };
+                WorkerAssignment {
+                    worker: w,
+                    core,
+                    node,
+                    replica,
+                    items: Vec::new(),
+                }
+            })
+            .collect();
+
+        let mut groups: Vec<LocalityGroup> = (0..replicas)
+            .map(|g| LocalityGroup {
+                id: g,
+                node: match plan.model_replication {
+                    ModelReplication::PerCore => g % machine.nodes,
+                    ModelReplication::PerNode => g,
+                    ModelReplication::PerMachine => 0,
+                },
+                workers: Vec::new(),
+            })
+            .collect();
+        for a in &assignments {
+            groups[a.replica].workers.push(a.worker);
+        }
+
+        EpochAssignment {
+            workers: assignments,
+            groups,
+        }
+    }
+
+    /// Refill the per-worker item lists for `epoch`, reusing the existing
+    /// allocations (`scratch` is the shuffle/permutation buffer, also
+    /// reused across epochs).
+    ///
+    /// Distribution rules are those documented on
+    /// [`build_epoch_assignment`]; for a fixed `(plan, seed, epoch)` the
+    /// result is identical to a freshly built assignment.
+    pub fn fill(
+        &mut self,
+        plan: &ExecutionPlan,
+        data: &TaskData,
+        epoch: usize,
+        seed: u64,
+        importance_weights: Option<&[f64]>,
+        scratch: &mut Vec<usize>,
+    ) {
+        let workers = self.workers.len();
+        let item_count = if plan.access.is_columnar() {
+            data.dim()
+        } else {
+            data.examples()
+        };
+        for worker in &mut self.workers {
+            worker.items.clear();
+        }
+
+        let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        // The groups are only read while items are written; detach them to
+        // satisfy the borrow checker without cloning per epoch.
+        let groups = std::mem::take(&mut self.groups);
+        match plan.data_replication {
+            DataReplication::Sharding => {
+                scratch.clear();
+                scratch.extend(0..item_count);
+                scratch.shuffle(&mut rng);
+                for (idx, &item) in scratch.iter().enumerate() {
+                    self.workers[idx % workers].items.push(item);
+                }
+            }
+            DataReplication::FullReplication => {
+                for group in &groups {
+                    scratch.clear();
+                    scratch.extend(0..item_count);
+                    scratch.shuffle(&mut rng);
+                    let group_workers = group.workers.len().max(1);
+                    for (idx, &item) in scratch.iter().enumerate() {
+                        let worker = group.workers[idx % group_workers];
+                        self.workers[worker].items.push(item);
+                    }
+                }
+            }
+            DataReplication::Importance { epsilon } => {
+                let target = crate::replication::importance_sample_size(epsilon, data.dim())
+                    .min(item_count)
+                    .max(1);
+                // Leverage scores weight *rows*; a columnar plan assigns
+                // *columns*, so row weights must not be used as column
+                // indices — columns fall back to uniform sampling (drawn
+                // directly from the RNG, no per-epoch weight vector).
+                let weights = if plan.access.is_columnar() {
+                    None
+                } else {
+                    importance_weights.filter(|w| w.len() == item_count)
+                };
+                for group in &groups {
+                    let sampled: Vec<usize> = match weights {
+                        Some(w) => weighted_sample(w, target, &mut rng),
+                        None if item_count == 0 => Vec::new(),
+                        None => (0..target)
+                            .map(|_| rng.random_range(0..item_count))
+                            .collect(),
+                    };
+                    let group_workers = group.workers.len().max(1);
+                    for (idx, item) in sampled.into_iter().enumerate() {
+                        let worker = group.workers[idx % group_workers];
+                        self.workers[worker].items.push(item);
+                    }
+                }
+            }
+        }
+        self.groups = groups;
+    }
 }
 
 /// Build the per-worker assignment for one epoch.
@@ -149,7 +283,9 @@ impl EpochAssignment {
 /// * FullReplication gives every locality group the complete item list in a
 ///   group-specific random order, split across the group's workers.
 /// * Importance sampling draws each group's items by leverage-score weight
-///   (the caller supplies the weights; uniform when `None`).
+///   (the caller supplies the row weights; uniform when `None`, and always
+///   uniform for columnar access, where the items are columns and row
+///   weights do not apply).
 pub fn build_epoch_assignment(
     plan: &ExecutionPlan,
     machine: &MachineTopology,
@@ -158,93 +294,10 @@ pub fn build_epoch_assignment(
     seed: u64,
     importance_weights: Option<&[f64]>,
 ) -> EpochAssignment {
-    let workers = plan.workers;
-    let replicas = plan.locality_groups(machine);
-    let item_count = if plan.access.is_columnar() {
-        data.dim()
-    } else {
-        data.examples()
-    };
-
-    // Map workers to cores/nodes/replicas.
-    let mut assignments: Vec<WorkerAssignment> = (0..workers)
-        .map(|w| {
-            let core = w % machine.total_cores();
-            // Spread workers across nodes round-robin (the NUMA-aware
-            // placement of Appendix A).
-            let node = w % machine.nodes;
-            let replica = match plan.model_replication {
-                ModelReplication::PerCore => w,
-                ModelReplication::PerNode => node.min(replicas - 1),
-                ModelReplication::PerMachine => 0,
-            };
-            WorkerAssignment {
-                worker: w,
-                core,
-                node,
-                replica,
-                items: Vec::new(),
-            }
-        })
-        .collect();
-
-    let mut groups: Vec<LocalityGroup> = (0..replicas)
-        .map(|g| LocalityGroup {
-            id: g,
-            node: match plan.model_replication {
-                ModelReplication::PerCore => g % machine.nodes,
-                ModelReplication::PerNode => g,
-                ModelReplication::PerMachine => 0,
-            },
-            workers: Vec::new(),
-        })
-        .collect();
-    for a in &assignments {
-        groups[a.replica].workers.push(a.worker);
-    }
-
-    let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
-    match plan.data_replication {
-        DataReplication::Sharding => {
-            let mut items: Vec<usize> = (0..item_count).collect();
-            items.shuffle(&mut rng);
-            for (idx, item) in items.into_iter().enumerate() {
-                let worker = idx % workers;
-                assignments[worker].items.push(item);
-            }
-        }
-        DataReplication::FullReplication => {
-            for group in &groups {
-                let mut items: Vec<usize> = (0..item_count).collect();
-                items.shuffle(&mut rng);
-                let group_workers = group.workers.len().max(1);
-                for (idx, item) in items.into_iter().enumerate() {
-                    let worker = group.workers[idx % group_workers];
-                    assignments[worker].items.push(item);
-                }
-            }
-        }
-        DataReplication::Importance { epsilon } => {
-            let target = crate::replication::importance_sample_size(epsilon, data.dim())
-                .min(item_count)
-                .max(1);
-            let uniform = vec![1.0; item_count];
-            let weights = importance_weights.unwrap_or(&uniform);
-            for group in &groups {
-                let sampled = weighted_sample(weights, target, &mut rng);
-                let group_workers = group.workers.len().max(1);
-                for (idx, item) in sampled.into_iter().enumerate() {
-                    let worker = group.workers[idx % group_workers];
-                    assignments[worker].items.push(item);
-                }
-            }
-        }
-    }
-
-    EpochAssignment {
-        workers: assignments,
-        groups,
-    }
+    let mut assignment = EpochAssignment::for_plan(plan, machine);
+    let mut scratch = Vec::new();
+    assignment.fill(plan, data, epoch, seed, importance_weights, &mut scratch);
+    assignment
 }
 
 /// Sample `count` indices with replacement, proportionally to `weights`.
@@ -301,9 +354,18 @@ mod tests {
         assert_eq!(plan.workers, 12);
         assert_eq!(plan.locality_groups(&m), 2);
         assert!(plan.describe().contains("PerNode"));
-        assert_eq!(ExecutionPlan::hogwild(&m).model_replication, ModelReplication::PerMachine);
-        assert_eq!(ExecutionPlan::graphlab(&m).access, AccessMethod::ColumnToRow);
-        assert_eq!(ExecutionPlan::mllib(&m).model_replication, ModelReplication::PerCore);
+        assert_eq!(
+            ExecutionPlan::hogwild(&m).model_replication,
+            ModelReplication::PerMachine
+        );
+        assert_eq!(
+            ExecutionPlan::graphlab(&m).access,
+            AccessMethod::ColumnToRow
+        );
+        assert_eq!(
+            ExecutionPlan::mllib(&m).model_replication,
+            ModelReplication::PerCore
+        );
         assert_eq!(plan.clone().with_workers(4).workers, 4);
     }
 
@@ -383,8 +445,9 @@ mod tests {
             (ModelReplication::PerNode, 2),
             (ModelReplication::PerMachine, 1),
         ] {
-            let plan = ExecutionPlan::new(&m, AccessMethod::RowWise, repl, DataReplication::Sharding)
-                .with_workers(6);
+            let plan =
+                ExecutionPlan::new(&m, AccessMethod::RowWise, repl, DataReplication::Sharding)
+                    .with_workers(6);
             let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
             assert_eq!(assignment.groups.len(), expected_groups, "{repl}");
             for w in &assignment.workers {
@@ -431,6 +494,58 @@ mod tests {
         for w in &assignment.workers {
             for &item in &w.items {
                 assert!(item < 10, "sampled item {item} outside weighted support");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_assignment_buffers_match_fresh_builds() {
+        // The session path refills one cached assignment across epochs; it
+        // must be indistinguishable from building a fresh one per epoch.
+        let m = local2();
+        let data = small_data(80, 16);
+        for data_replication in [
+            DataReplication::Sharding,
+            DataReplication::FullReplication,
+            DataReplication::Importance { epsilon: 0.5 },
+        ] {
+            let plan = ExecutionPlan::new(
+                &m,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                data_replication,
+            )
+            .with_workers(4);
+            let mut cached = EpochAssignment::for_plan(&plan, &m);
+            let mut scratch = Vec::new();
+            for epoch in 0..3 {
+                cached.fill(&plan, &data, epoch, 7, None, &mut scratch);
+                let fresh = build_epoch_assignment(&plan, &m, &data, epoch, 7, None);
+                assert_eq!(cached, fresh, "epoch {epoch}, {data_replication:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_importance_samples_columns_not_rows() {
+        // Regression: leverage scores weight rows; with a columnar plan the
+        // items are columns, so row weights (length = rows) must not leak in
+        // as column indices (rows > cols used to index out of bounds).
+        let m = local2();
+        let data = small_data(200, 8);
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Importance { epsilon: 0.5 },
+        )
+        .with_workers(4);
+        let row_weights = vec![1.0; 200];
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&row_weights));
+        assert!(assignment.total_items() > 0);
+        for w in &assignment.workers {
+            for &item in &w.items {
+                assert!(item < 8, "column index {item} out of bounds");
             }
         }
     }

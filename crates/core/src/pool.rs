@@ -1,0 +1,197 @@
+//! A persistent worker-thread pool.
+//!
+//! The original threaded execution path spawned and joined one OS thread per
+//! worker *every epoch*, so a 20-epoch run on a 12-worker plan paid 240
+//! thread creations plus the page-faulting of 240 fresh stacks.  This pool
+//! keeps one thread per worker alive for the lifetime of an executor (and
+//! therefore of a [`crate::Session`]): epochs dispatch closures over
+//! per-worker channels and wait for completion acknowledgements, which is
+//! the architecture every serving-style workload on the roadmap (sharding,
+//! async serving, multi-tenant scheduling) needs anyway — a request becomes
+//! a dispatched job, not a thread spawn.
+//!
+//! The pool is deliberately built on `std::sync::mpsc` channels and
+//! `std::thread` so that the workspace stays dependency-free; the public
+//! surface matches what a crossbeam-based pool would expose.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of work dispatched to one pool worker.
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of persistent worker threads.
+pub struct WorkerPool {
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<bool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.job_txs.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawn `workers` persistent threads.
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let (done_tx, done_rx) = channel::<bool>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("dw-worker-{w}"))
+                .spawn(move || {
+                    for job in rx {
+                        // A panicking job must still acknowledge, otherwise
+                        // the dispatcher would wait forever for its slot.
+                        let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
+                        if done.send(panicked).is_err() {
+                            break;
+                        }
+                    }
+                })
+                .expect("failed to spawn pool worker thread");
+            job_txs.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool {
+            job_txs,
+            done_rx,
+            handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.job_txs.len()
+    }
+
+    /// Queue `job` on worker `worker` (round-robins past the pool size).
+    pub fn dispatch(&self, worker: usize, job: Job) {
+        self.job_txs[worker % self.job_txs.len()]
+            .send(job)
+            .expect("pool worker thread terminated");
+    }
+
+    /// Block until `jobs` completion acknowledgements arrive.
+    ///
+    /// # Panics
+    /// Panics if any of the awaited jobs panicked.
+    pub fn wait(&self, jobs: usize) {
+        self.wait_with(jobs, Duration::from_millis(20), || {});
+    }
+
+    /// Like [`WorkerPool::wait`], but runs `between` on the calling thread
+    /// whenever `interval` elapses without a completion — the hook the
+    /// asynchronous PerNode model-averaging protocol (Section 3.3) runs in.
+    pub fn wait_with<F: FnMut()>(&self, jobs: usize, interval: Duration, mut between: F) {
+        let mut remaining = jobs;
+        let mut panicked = false;
+        while remaining > 0 {
+            match self.done_rx.recv_timeout(interval) {
+                Ok(job_panicked) => {
+                    panicked |= job_panicked;
+                    remaining -= 1;
+                }
+                Err(RecvTimeoutError::Timeout) => between(),
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("worker pool threads terminated unexpectedly")
+                }
+            }
+        }
+        assert!(!panicked, "worker thread panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's receive loop.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_on_all_workers() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.workers(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for round in 0..3 {
+            for w in 0..4 {
+                let counter = Arc::clone(&counter);
+                pool.dispatch(
+                    w,
+                    Box::new(move || {
+                        counter.fetch_add(round * 4 + w + 1, Ordering::Relaxed);
+                    }),
+                );
+            }
+            pool.wait(4);
+        }
+        // Sum of 1..=12.
+        assert_eq!(counter.load(Ordering::Relaxed), 78);
+    }
+
+    #[test]
+    fn wait_with_runs_between_hook_while_idle() {
+        let pool = WorkerPool::new(1);
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let hook_ticks = Arc::clone(&ticks);
+        pool.dispatch(
+            0,
+            Box::new(|| std::thread::sleep(Duration::from_millis(30))),
+        );
+        let mut local = 0usize;
+        pool.wait_with(1, Duration::from_millis(5), || {
+            local += 1;
+            hook_ticks.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(ticks.load(Ordering::Relaxed) >= 1, "hook must have run");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn job_panics_propagate_to_waiter() {
+        let pool = WorkerPool::new(2);
+        pool.dispatch(0, Box::new(|| panic!("boom")));
+        pool.dispatch(1, Box::new(|| {}));
+        pool.wait(2);
+    }
+
+    #[test]
+    fn pool_survives_many_epochs_of_dispatch() {
+        // The persistent-pool property: the same threads serve every epoch.
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            for w in 0..2 {
+                let counter = Arc::clone(&counter);
+                pool.dispatch(
+                    w,
+                    Box::new(move || {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }),
+                );
+            }
+            pool.wait(2);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+}

@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn epoch_work_factors() {
-        assert_eq!(DataReplication::Sharding.epoch_work_factor(4, 1000, 10), 1.0);
+        assert_eq!(
+            DataReplication::Sharding.epoch_work_factor(4, 1000, 10),
+            1.0
+        );
         assert_eq!(
             DataReplication::FullReplication.epoch_work_factor(4, 1000, 10),
             4.0
@@ -173,7 +176,10 @@ mod tests {
         let loose = importance_sample_size(0.1, 100);
         let tight = importance_sample_size(0.01, 100);
         assert!(tight > loose);
-        assert_eq!(tight, loose * 100);
+        // m ∝ ε⁻²: a 10x tighter epsilon needs ~100x the sample (up to the
+        // ceil rounding of each size).
+        let ratio = tight as f64 / loose as f64;
+        assert!((ratio - 100.0).abs() < 0.01, "ratio {ratio}");
         assert!(importance_sample_size(0.1, 0) > 0);
     }
 }

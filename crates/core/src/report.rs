@@ -123,7 +123,10 @@ mod tests {
 
     #[test]
     fn config_builders() {
-        let c = RunConfig::quick(3).with_seed(7).with_step(0.5).with_mode(ExecutionMode::Threaded);
+        let c = RunConfig::quick(3)
+            .with_seed(7)
+            .with_step(0.5)
+            .with_mode(ExecutionMode::Threaded);
         assert_eq!(c.epochs, 3);
         assert_eq!(c.seed, 7);
         assert_eq!(c.step_override, Some(0.5));

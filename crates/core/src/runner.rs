@@ -1,9 +1,15 @@
 //! High-level runner: optimizer + engine + reference optimum.
+//!
+//! [`Runner`] predates the session API and is kept as a thin blocking
+//! facade: every run builds a [`crate::Session`] underneath (via
+//! [`Engine::run`]).  Prefer [`crate::DimmWitted::on`] for new code — it
+//! exposes streaming epochs, early stopping and cancellation.
 
 use crate::engine::Engine;
 use crate::optimizer::Optimizer;
 use crate::plan::ExecutionPlan;
 use crate::report::{RunConfig, RunReport};
+use crate::session::{DimmWitted, SessionBuilder};
 use crate::task::AnalyticsTask;
 use dw_numa::MachineTopology;
 use dw_optim::reference_optimum;
@@ -39,10 +45,18 @@ impl Runner {
         self.optimizer.choose_plan(task)
     }
 
+    /// Start building a session for `task` on this runner's machine (the
+    /// streaming alternative to [`Runner::run_auto`]).
+    pub fn session(&self, task: &AnalyticsTask) -> SessionBuilder {
+        DimmWitted::on(self.engine.machine().clone()).task(task.clone())
+    }
+
     /// Run `task` under the optimizer-chosen plan.
     pub fn run_auto(&self, task: &AnalyticsTask, config: &RunConfig) -> RunReport {
+        // Resolve the plan with this runner's cached optimizer rather than
+        // letting the session build a fresh one.
         let plan = self.plan_for(task);
-        self.engine.run(task, &plan, config)
+        self.run_with_plan(task, &plan, config)
     }
 
     /// Run `task` under an explicit plan.
@@ -52,7 +66,11 @@ impl Runner {
         plan: &ExecutionPlan,
         config: &RunConfig,
     ) -> RunReport {
-        self.engine.run(task, plan, config)
+        self.session(task)
+            .plan(plan.clone())
+            .config(config.clone())
+            .build()
+            .run()
     }
 
     /// Estimate the optimal loss of `task` with the long-run reference solver

@@ -1,0 +1,657 @@
+//! The session API: streaming, cancellable, observable engine runs.
+//!
+//! [`Engine::run`](crate::Engine::run) executes a fixed number of epochs and
+//! returns one opaque report — adequate for regenerating the paper's
+//! figures, but a dead end for everything on the roadmap: adaptive plan
+//! switching, early stopping, and serving-style workloads all need to *see*
+//! the run while it happens.  A [`Session`] exposes the run as an
+//! [`EpochStream`] — an iterator of [`EpochEvent`]s — with:
+//!
+//! * a fluent [`SessionBuilder`] entered through [`DimmWitted::on`]:
+//!   `DimmWitted::on(machine).task(task).plan_auto().epochs(20).build()`,
+//! * early stopping via [`SessionBuilder::until_loss`] and
+//!   [`SessionBuilder::until_converged`],
+//! * cooperative cancellation via a shared [`CancelToken`],
+//! * observer callbacks via [`SessionBuilder::on_epoch`],
+//! * a pluggable [`Executor`] mechanism (interleaved, persistent-pool
+//!   threaded, or spawn-per-epoch threaded).
+//!
+//! The stream owns the executor for its whole life, so the
+//! [`ThreadedExecutor`]'s worker pool and cached item buffers persist across
+//! every epoch of the session.
+
+use crate::executor::{
+    average_replicas, EpochContext, Executor, InterleavedExecutor, ThreadedExecutor,
+};
+use crate::optimizer::Optimizer;
+use crate::plan::{EpochAssignment, ExecutionPlan};
+use crate::replication::DataReplication;
+use crate::report::{ExecutionMode, RunConfig, RunReport};
+use crate::sim_exec::{simulate_epoch, EpochSimulation};
+use crate::task::AnalyticsTask;
+use dw_numa::{MachineTopology, PerfCounters};
+use dw_optim::{AtomicModel, ConvergenceTrace};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shareable handle that requests cooperative cancellation of a session.
+///
+/// Clone the token, hand one clone to the session via
+/// [`SessionBuilder::cancel_token`], and call [`CancelToken::cancel`] from
+/// anywhere (another thread, an observer, a signal handler).  The stream
+/// checks the token at every epoch boundary.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
+/// What one epoch of a session produced.
+#[derive(Debug, Clone)]
+pub struct EpochEvent {
+    /// 1-based epoch index.
+    pub epoch: usize,
+    /// Full-dataset loss after the epoch.
+    pub loss: f64,
+    /// Cumulative simulated seconds on the target machine.
+    pub sim_seconds: f64,
+    /// Modelled PMU counters for this epoch.
+    pub counters: PerfCounters,
+}
+
+/// Why a stream stopped producing epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The configured epoch budget was exhausted.
+    EpochBudget,
+    /// The [`SessionBuilder::until_loss`] target was reached.
+    LossTarget,
+    /// Successive losses changed by less than the
+    /// [`SessionBuilder::until_converged`] tolerance.
+    Converged,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+}
+
+type Observer = Box<dyn FnMut(&EpochEvent) + Send>;
+
+/// Entry point of the fluent API.
+///
+/// ```
+/// use dimmwitted::{AnalyticsTask, DimmWitted, ModelKind};
+/// use dw_data::{Dataset, PaperDataset};
+/// use dw_numa::MachineTopology;
+///
+/// let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+/// let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+/// let report = DimmWitted::on(MachineTopology::local2())
+///     .task(task)
+///     .plan_auto()
+///     .epochs(3)
+///     .build()
+///     .run();
+/// assert_eq!(report.trace.epochs(), 3);
+/// ```
+pub struct DimmWitted;
+
+impl DimmWitted {
+    /// Start building a session targeting `machine`.
+    pub fn on(machine: MachineTopology) -> SessionBuilder {
+        SessionBuilder {
+            machine,
+            task: None,
+            plan: None,
+            config: RunConfig::default(),
+            until_loss: None,
+            until_converged: None,
+            cancel: CancelToken::new(),
+            observers: Vec::new(),
+            executor: None,
+        }
+    }
+}
+
+/// Fluent configuration of a [`Session`].
+pub struct SessionBuilder {
+    machine: MachineTopology,
+    task: Option<AnalyticsTask>,
+    plan: Option<ExecutionPlan>,
+    config: RunConfig,
+    until_loss: Option<f64>,
+    until_converged: Option<f64>,
+    cancel: CancelToken,
+    observers: Vec<Observer>,
+    executor: Option<Box<dyn Executor>>,
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionBuilder")
+            .field("machine", &self.machine.name)
+            .field("task", &self.task.as_ref().map(|t| &t.name))
+            .field("plan", &self.plan)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionBuilder {
+    /// The task to minimize (required).
+    pub fn task(mut self, task: AnalyticsTask) -> Self {
+        self.task = Some(task);
+        self
+    }
+
+    /// Execute an explicit plan.
+    pub fn plan(mut self, plan: ExecutionPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Let the cost-based optimizer choose the plan (the default).
+    pub fn plan_auto(mut self) -> Self {
+        self.plan = None;
+        self
+    }
+
+    /// Replace the whole run configuration.
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Maximum number of epochs (the stream may stop earlier).
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.config.epochs = epochs;
+        self
+    }
+
+    /// RNG seed for shuffles and sampling.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Override the objective's default initial step size.
+    pub fn step(mut self, step: f64) -> Self {
+        self.config.step_override = Some(step);
+        self
+    }
+
+    /// Worker execution mode (selects the default executor).
+    pub fn mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Stop as soon as the epoch loss is at or below `loss`.
+    pub fn until_loss(mut self, loss: f64) -> Self {
+        self.until_loss = Some(loss);
+        self
+    }
+
+    /// Stop when the relative loss change between successive epochs drops
+    /// to `tolerance` or below.
+    pub fn until_converged(mut self, tolerance: f64) -> Self {
+        self.until_converged = Some(tolerance);
+        self
+    }
+
+    /// Attach a shared cancellation token.
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Attach an observer invoked after every epoch.
+    pub fn on_epoch(mut self, observer: impl FnMut(&EpochEvent) + Send + 'static) -> Self {
+        self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Replace the execution mechanism (overrides [`SessionBuilder::mode`]).
+    pub fn executor(mut self, executor: Box<dyn Executor>) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
+    /// Resolve the plan and executor and produce a runnable [`Session`].
+    ///
+    /// # Panics
+    /// Panics if no task was supplied.
+    pub fn build(self) -> Session {
+        let task = self
+            .task
+            .expect("a session needs a task — call .task(...) before .build()");
+        let plan = self
+            .plan
+            .unwrap_or_else(|| Optimizer::new(self.machine.clone()).choose_plan(&task));
+        let executor: Box<dyn Executor> = match self.executor {
+            Some(executor) => executor,
+            None => match self.config.mode {
+                ExecutionMode::Interleaved => Box::new(InterleavedExecutor::new()),
+                ExecutionMode::Threaded => Box::new(ThreadedExecutor::new()),
+            },
+        };
+        Session {
+            machine: self.machine,
+            task,
+            plan,
+            config: self.config,
+            until_loss: self.until_loss,
+            until_converged: self.until_converged,
+            cancel: self.cancel,
+            observers: self.observers,
+            executor,
+        }
+    }
+}
+
+/// A fully resolved run, ready to stream epochs.
+pub struct Session {
+    machine: MachineTopology,
+    task: AnalyticsTask,
+    plan: ExecutionPlan,
+    config: RunConfig,
+    until_loss: Option<f64>,
+    until_converged: Option<f64>,
+    cancel: CancelToken,
+    observers: Vec<Observer>,
+    executor: Box<dyn Executor>,
+}
+
+impl Session {
+    /// The plan this session will execute.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The machine this session models.
+    pub fn machine(&self) -> &MachineTopology {
+        &self.machine
+    }
+
+    /// Turn the session into a lazy stream of epochs.
+    pub fn stream(self) -> EpochStream {
+        let stats = self.task.data.stats();
+        let sim = simulate_epoch(
+            &stats,
+            self.task.objective.row_update_density(),
+            &self.plan,
+            &self.machine,
+        );
+        // Leverage-score weights are only needed for row-wise importance
+        // sampling (they weight rows; columnar plans sample columns
+        // uniformly and never read them).
+        let weights = match self.plan.data_replication {
+            DataReplication::Importance { .. } if !self.plan.access.is_columnar() => Some(
+                crate::importance::leverage_scores(&self.task.data.csr, 1e-6),
+            ),
+            _ => None,
+        };
+        let replicas: Vec<Arc<AtomicModel>> = (0..self.plan.locality_groups(&self.machine))
+            .map(|_| Arc::new(AtomicModel::zeros(self.task.dim())))
+            .collect();
+        let trace = ConvergenceTrace::new(self.task.initial_loss());
+        let step = self.config.step_override.unwrap_or_else(|| {
+            if self.plan.access.is_columnar() {
+                self.task.objective.default_col_step()
+            } else {
+                self.task.objective.default_step_for(&self.task.data)
+            }
+        });
+        let assignment = EpochAssignment::for_plan(&self.plan, &self.machine);
+        EpochStream {
+            machine: self.machine,
+            task: self.task,
+            plan: self.plan,
+            config: self.config,
+            until_loss: self.until_loss,
+            until_converged: self.until_converged,
+            cancel: self.cancel,
+            observers: self.observers,
+            executor: self.executor,
+            replicas,
+            weights,
+            assignment,
+            scratch: Vec::new(),
+            sim,
+            trace,
+            step,
+            epoch: 0,
+            stopped: None,
+        }
+    }
+
+    /// Run to completion and return the report (convenience for
+    /// `self.stream().run_to_end()`).
+    pub fn run(self) -> RunReport {
+        self.stream().run_to_end()
+    }
+}
+
+impl IntoIterator for Session {
+    type Item = EpochEvent;
+    type IntoIter = EpochStream;
+
+    fn into_iter(self) -> EpochStream {
+        self.stream()
+    }
+}
+
+/// A lazy iterator of epochs; the engine state lives here while it runs.
+pub struct EpochStream {
+    machine: MachineTopology,
+    task: AnalyticsTask,
+    plan: ExecutionPlan,
+    config: RunConfig,
+    until_loss: Option<f64>,
+    until_converged: Option<f64>,
+    cancel: CancelToken,
+    observers: Vec<Observer>,
+    executor: Box<dyn Executor>,
+    replicas: Vec<Arc<AtomicModel>>,
+    weights: Option<Vec<f64>>,
+    assignment: EpochAssignment,
+    scratch: Vec<usize>,
+    sim: EpochSimulation,
+    trace: ConvergenceTrace,
+    step: f64,
+    epoch: usize,
+    stopped: Option<StopReason>,
+}
+
+impl EpochStream {
+    /// The plan being executed.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The convergence trace recorded so far.
+    pub fn trace(&self) -> &ConvergenceTrace {
+        &self.trace
+    }
+
+    /// Why the stream stopped, once it has.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
+    /// The execution mechanism driving this stream.
+    pub fn executor_name(&self) -> &'static str {
+        self.executor.name()
+    }
+
+    /// Drain the remaining epochs and produce the final report.
+    pub fn run_to_end(mut self) -> RunReport {
+        for _event in self.by_ref() {}
+        self.into_report()
+    }
+
+    /// Produce the report for the epochs executed so far.
+    pub fn into_report(self) -> RunReport {
+        let final_model = average_replicas(&self.replicas);
+        RunReport {
+            plan: self.plan,
+            trace: self.trace,
+            seconds_per_epoch: self.sim.seconds,
+            counters_per_epoch: self.sim.counters,
+            final_model,
+        }
+    }
+
+    /// Apply the early-stopping policies to the epoch that just finished.
+    fn check_stop(&mut self, loss: f64) {
+        if let Some(target) = self.until_loss {
+            if loss <= target {
+                self.stopped = Some(StopReason::LossTarget);
+                return;
+            }
+        }
+        if let Some(tolerance) = self.until_converged {
+            let points = &self.trace.points;
+            if points.len() >= 2 {
+                let previous = points[points.len() - 2].loss;
+                let relative = (previous - loss).abs() / previous.abs().max(1e-12);
+                if relative <= tolerance {
+                    self.stopped = Some(StopReason::Converged);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for EpochStream {
+    type Item = EpochEvent;
+
+    fn next(&mut self) -> Option<EpochEvent> {
+        if self.stopped.is_some() {
+            return None;
+        }
+        if self.epoch >= self.config.epochs {
+            self.stopped = Some(StopReason::EpochBudget);
+            return None;
+        }
+        if self.cancel.is_cancelled() {
+            self.stopped = Some(StopReason::Cancelled);
+            return None;
+        }
+
+        self.assignment.fill(
+            &self.plan,
+            &self.task.data,
+            self.epoch,
+            self.config.seed,
+            self.weights.as_deref(),
+            &mut self.scratch,
+        );
+        let ctx = EpochContext {
+            task: &self.task,
+            plan: &self.plan,
+            config: &self.config,
+            machine: &self.machine,
+            assignment: &self.assignment,
+            replicas: &self.replicas,
+            step: self.step,
+        };
+        self.executor.run_epoch(&ctx);
+
+        // Epoch-boundary synchronization: all strategies communicate at
+        // least once per epoch (Bismarck-style averaging for PerCore, the
+        // tail of the asynchronous protocol for PerNode).
+        let averaged = average_replicas(&self.replicas);
+        if self.replicas.len() > 1 {
+            for replica in &self.replicas {
+                replica.store_vec(&averaged);
+            }
+        }
+        let loss = self.task.objective.full_loss(&self.task.data, &averaged);
+        self.epoch += 1;
+        let sim_seconds = self.epoch as f64 * self.sim.seconds;
+        self.trace.record(loss, sim_seconds);
+        self.step *= self.task.objective.step_decay();
+
+        let event = EpochEvent {
+            epoch: self.epoch,
+            loss,
+            sim_seconds,
+            counters: self.sim.counters,
+        };
+        for observer in &mut self.observers {
+            observer(&event);
+        }
+        self.check_stop(loss);
+        Some(event)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.stopped.is_some() {
+            (0, Some(0))
+        } else {
+            (0, Some(self.config.epochs - self.epoch))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMethod;
+    use crate::executor::SpawnPerEpochExecutor;
+    use crate::replication::ModelReplication;
+    use crate::task::ModelKind;
+    use dw_data::{Dataset, PaperDataset};
+    use std::sync::atomic::AtomicUsize;
+
+    fn reuters_svm() -> AnalyticsTask {
+        let dataset = Dataset::generate(PaperDataset::Reuters, 11);
+        AnalyticsTask::from_dataset(&dataset, ModelKind::Svm)
+    }
+
+    fn builder() -> SessionBuilder {
+        DimmWitted::on(MachineTopology::local2()).task(reuters_svm())
+    }
+
+    #[test]
+    fn stream_yields_one_event_per_epoch() {
+        let events: Vec<EpochEvent> = builder().epochs(4).build().stream().collect();
+        assert_eq!(events.len(), 4);
+        for (index, event) in events.iter().enumerate() {
+            assert_eq!(event.epoch, index + 1);
+            assert!(event.loss.is_finite());
+            assert!(event.sim_seconds > 0.0);
+        }
+        // Simulated time accumulates linearly.
+        let ratio = events[3].sim_seconds / events[0].sim_seconds;
+        assert!((ratio - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn until_loss_stops_early() {
+        let initial = reuters_svm().initial_loss();
+        let mut stream = builder()
+            .epochs(50)
+            .until_loss(initial * 0.5)
+            .build()
+            .stream();
+        let mut count = 0;
+        for event in stream.by_ref() {
+            count += 1;
+            if event.loss <= initial * 0.5 {
+                break;
+            }
+        }
+        assert_eq!(stream.stop_reason(), Some(StopReason::LossTarget));
+        assert!(count < 50, "should stop well before the epoch budget");
+        let report = stream.into_report();
+        assert_eq!(report.trace.epochs(), count);
+    }
+
+    #[test]
+    fn until_converged_stops_on_plateau() {
+        let report_stream = builder().epochs(200).until_converged(1e-3).build().stream();
+        let mut stream = report_stream;
+        for _ in stream.by_ref() {}
+        assert_eq!(stream.stop_reason(), Some(StopReason::Converged));
+        assert!(stream.trace().epochs() < 200);
+    }
+
+    #[test]
+    fn cancellation_is_cooperative_and_observable() {
+        let token = CancelToken::new();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let observer_seen = Arc::clone(&seen);
+        let observer_token = token.clone();
+        let mut stream = builder()
+            .epochs(50)
+            .cancel_token(token.clone())
+            .on_epoch(move |event| {
+                observer_seen.fetch_add(1, Ordering::Relaxed);
+                if event.epoch == 2 {
+                    observer_token.cancel();
+                }
+            })
+            .build()
+            .stream();
+        for _ in stream.by_ref() {}
+        assert_eq!(stream.stop_reason(), Some(StopReason::Cancelled));
+        assert_eq!(
+            stream.trace().epochs(),
+            2,
+            "cancelled at the epoch boundary"
+        );
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn epoch_budget_is_the_default_stop() {
+        let mut stream = builder().epochs(3).build().stream();
+        for _ in stream.by_ref() {}
+        assert_eq!(stream.stop_reason(), Some(StopReason::EpochBudget));
+    }
+
+    #[test]
+    fn plan_auto_matches_the_optimizer() {
+        let task = reuters_svm();
+        let machine = MachineTopology::local2();
+        let expected = Optimizer::new(machine.clone()).choose_plan(&task);
+        let session = DimmWitted::on(machine).task(task).plan_auto().build();
+        assert_eq!(session.plan(), &expected);
+    }
+
+    #[test]
+    fn explicit_plan_and_executor_are_respected() {
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let stream = builder()
+            .plan(plan.clone())
+            .executor(Box::new(SpawnPerEpochExecutor::new()))
+            .epochs(2)
+            .build()
+            .stream();
+        assert_eq!(stream.plan(), &plan);
+        assert_eq!(stream.executor_name(), "threaded-spawn");
+        let report = stream.run_to_end();
+        assert_eq!(report.trace.epochs(), 2);
+        assert!(report.final_loss() <= report.trace.initial_loss);
+    }
+
+    #[test]
+    #[should_panic(expected = "a session needs a task")]
+    fn building_without_a_task_panics() {
+        let _ = DimmWitted::on(MachineTopology::local2()).build();
+    }
+
+    #[test]
+    fn session_into_iterator_streams() {
+        let mut epochs = 0;
+        for event in builder().epochs(2).build() {
+            epochs += 1;
+            assert!(event.loss.is_finite());
+        }
+        assert_eq!(epochs, 2);
+    }
+}

@@ -124,9 +124,7 @@ impl AnalyticsTask {
                 dataset.hint == TaskHint::Supervised || dataset.hint == TaskHint::NeuralNetwork
             }
             ModelKind::Lp => dataset.hint == TaskHint::GraphLp,
-            ModelKind::Qp => {
-                dataset.hint == TaskHint::GraphQp || dataset.hint == TaskHint::GraphLp
-            }
+            ModelKind::Qp => dataset.hint == TaskHint::GraphQp || dataset.hint == TaskHint::GraphLp,
         };
         assert!(
             compatible,

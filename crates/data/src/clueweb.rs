@@ -30,7 +30,13 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
     // Planted weights: PageRank-ish scores driven by a few hundred hot
     // tokens (domain names) and a long tail.
     let ground_truth: Vec<f64> = (0..FEATURES)
-        .map(|j| if j < 200 { 1.0 / (1.0 + j as f64) } else { 0.001 })
+        .map(|j| {
+            if j < 200 {
+                1.0 / (1.0 + j as f64)
+            } else {
+                0.001
+            }
+        })
         .collect();
     let mut sparse_rows = Vec::with_capacity(rows);
     let mut labels = Vec::with_capacity(rows);
@@ -50,8 +56,8 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
             token_set.keys().copied().collect(),
             token_set.values().copied().collect(),
         );
-        let score: f64 = sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>()
-            + rng.random::<f64>() * 0.01;
+        let score: f64 =
+            sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>() + rng.random::<f64>() * 0.01;
         labels.push(score);
         sparse_rows.push(sv);
     }
@@ -97,7 +103,8 @@ mod tests {
         // The paper's explanation of linear scaling is that the 100K-weight
         // model fits in the LLC; our scaled model must as well (2K weights =
         // 16 KB, far below the 12 MB LLC of local2).
-        assert!(FEATURES * 8 < 12 * 1024 * 1024);
+        let model_bytes = FEATURES * 8;
+        assert!(model_bytes < 12 * 1024 * 1024);
     }
 
     #[test]

@@ -80,13 +80,8 @@ impl Dataset {
                 Self::from_graph(dataset, spec, graph, TaskHint::FactorGraph)
             }
             PaperDataset::Mnist => {
-                let data = generators::dense_regression(
-                    spec.gen_rows,
-                    spec.gen_cols,
-                    0.2,
-                    true,
-                    seed,
-                );
+                let data =
+                    generators::dense_regression(spec.gen_rows, spec.gen_cols, 0.2, true, seed);
                 Self::from_labeled(dataset, spec, data, TaskHint::NeuralNetwork)
             }
         }

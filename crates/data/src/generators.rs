@@ -80,10 +80,7 @@ pub fn sparse_classification(
             cols_set.keys().copied().collect(),
             cols_set.values().copied().collect(),
         );
-        let margin: f64 = sv
-            .iter()
-            .map(|(j, v)| v * ground_truth[j])
-            .sum::<f64>();
+        let margin: f64 = sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>();
         let mut label = if margin >= 0.0 { 1.0 } else { -1.0 };
         if rng.random::<f64>() < label_noise {
             label = -label;
@@ -119,11 +116,7 @@ pub fn dense_regression(
     for _ in 0..rows {
         let values: Vec<f64> = (0..cols).map(|_| gaussian(&mut rng)).collect();
         let indices: Vec<u32> = (0..cols as u32).collect();
-        let dot: f64 = values
-            .iter()
-            .zip(&ground_truth)
-            .map(|(a, w)| a * w)
-            .sum();
+        let dot: f64 = values.iter().zip(&ground_truth).map(|(a, w)| a * w).sum();
         let noisy = dot + gaussian(&mut rng) * noise;
         labels.push(if classification {
             if noisy >= 0.0 {
@@ -232,7 +225,7 @@ mod tests {
         assert!(stats.is_sparse());
         assert!(data.labels.iter().all(|&l| l == 1.0 || l == -1.0));
         // Both classes should appear.
-        assert!(data.labels.iter().any(|&l| l == 1.0));
+        assert!(data.labels.contains(&1.0));
         assert!(data.labels.iter().any(|&l| l == -1.0));
     }
 
@@ -254,7 +247,12 @@ mod tests {
         col_nnz.sort_unstable_by(|a, b| b.cmp(a));
         // Popular columns should be much more popular than the median.
         let median = col_nnz[col_nnz.len() / 2].max(1);
-        assert!(col_nnz[0] >= 4 * median, "head {} median {}", col_nnz[0], median);
+        assert!(
+            col_nnz[0] >= 4 * median,
+            "head {} median {}",
+            col_nnz[0],
+            median
+        );
     }
 
     #[test]
@@ -287,11 +285,8 @@ mod tests {
             assert_eq!(g.incidence.row_nnz(i), 2);
         }
         // No self loops or duplicate edges.
-        let mut keys: Vec<(usize, usize)> = g
-            .edges
-            .iter()
-            .map(|&(u, v)| (u.min(v), u.max(v)))
-            .collect();
+        let mut keys: Vec<(usize, usize)> =
+            g.edges.iter().map(|&(u, v)| (u.min(v), u.max(v))).collect();
         assert!(keys.iter().all(|&(u, v)| u != v));
         let len = keys.len();
         keys.sort_unstable();

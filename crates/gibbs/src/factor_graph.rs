@@ -57,12 +57,7 @@ impl Factor {
                 }
             }
             FactorKind::Bias => {
-                self.weight
-                    * self
-                        .variables
-                        .iter()
-                        .filter(|&&v| value_of(v))
-                        .count() as f64
+                self.weight * self.variables.iter().filter(|&&v| value_of(v)).count() as f64
             }
         }
     }

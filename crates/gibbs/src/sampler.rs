@@ -33,7 +33,9 @@ impl<'a> GibbsSampler<'a> {
     /// Create a sampler with a random initial assignment.
     pub fn new(graph: &'a FactorGraph, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let assignment = (0..graph.variables()).map(|_| rng.random::<bool>()).collect();
+        let assignment = (0..graph.variables())
+            .map(|_| rng.random::<bool>())
+            .collect();
         GibbsSampler {
             graph,
             assignment,
@@ -139,7 +141,10 @@ pub fn run_strategy(
 /// (exponential in the variable count; only for tests and validation).
 pub fn exact_marginals(graph: &FactorGraph) -> Vec<f64> {
     let n = graph.variables();
-    assert!(n <= 20, "exact enumeration is exponential; keep graphs small");
+    assert!(
+        n <= 20,
+        "exact enumeration is exponential; keep graphs small"
+    );
     let mut weights = vec![0.0; n];
     let mut total = 0.0;
     for mask in 0u32..(1 << n) {
@@ -187,7 +192,10 @@ mod tests {
         let graph = FactorGraph::chain(5, 0.0, 2.0);
         let (marginals, _) = run_strategy(&graph, SamplingStrategy::PerMachine, 300, 11);
         for m in marginals {
-            assert!(m > 0.8, "marginal {m} should reflect the strong positive bias");
+            assert!(
+                m > 0.8,
+                "marginal {m} should reflect the strong positive bias"
+            );
         }
     }
 
@@ -195,12 +203,8 @@ mod tests {
     fn gibbs_matches_exact_marginals_on_small_chain() {
         let graph = FactorGraph::chain(4, 1.0, 0.5);
         let exact = exact_marginals(&graph);
-        let (estimated, _) = run_strategy(
-            &graph,
-            SamplingStrategy::PerNode { chains: 4 },
-            3000,
-            17,
-        );
+        let (estimated, _) =
+            run_strategy(&graph, SamplingStrategy::PerNode { chains: 4 }, 3000, 17);
         for (e, g) in exact.iter().zip(&estimated) {
             assert!((e - g).abs() < 0.06, "exact {e} vs gibbs {g}");
         }

@@ -54,7 +54,7 @@ impl CooMatrix {
     /// Convert to CSR, summing duplicates and dropping explicit zeros.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut sorted = self.entries.clone();
-        sorted.sort_by(|a, b| (a.row, a.col).cmp(&(b.row, b.col)));
+        sorted.sort_by_key(|a| (a.row, a.col));
         let mut indptr = Vec::with_capacity(self.shape.rows + 1);
         let mut indices = Vec::with_capacity(sorted.len());
         let mut data = Vec::with_capacity(sorted.len());

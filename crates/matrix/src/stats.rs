@@ -56,7 +56,11 @@ impl MatrixStats {
             nnz,
             nnz_sq_sum,
             max_row_nnz,
-            avg_row_nnz: if rows == 0 { 0.0 } else { nnz as f64 / rows as f64 },
+            avg_row_nnz: if rows == 0 {
+                0.0
+            } else {
+                nnz as f64 / rows as f64
+            },
             density: nnz as f64 / cells,
             sparse_bytes: matrix.size_bytes(),
             dense_bytes: matrix.dense_size_bytes(),

@@ -132,11 +132,7 @@ impl Network {
         let mut total = 0.0;
         for (x, t) in inputs.iter().zip(targets) {
             let y = self.predict(x);
-            total += y
-                .iter()
-                .zip(t)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum::<f64>();
+            total += y.iter().zip(t).map(|(a, b)| (a - b) * (a - b)).sum::<f64>();
         }
         total / (2.0 * inputs.len() as f64)
     }

@@ -32,7 +32,12 @@ impl TrainingData {
 
     /// A synthetic MNIST-like digit problem: random prototype images per
     /// class plus noise, one-hot targets.
-    pub fn synthetic_digits(examples: usize, input_width: usize, classes: usize, seed: u64) -> Self {
+    pub fn synthetic_digits(
+        examples: usize,
+        input_width: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let prototypes: Vec<Vec<f64>> = (0..classes)
             .map(|_| (0..input_width).map(|_| rng.random::<f64>()).collect())
@@ -212,7 +217,11 @@ mod tests {
         let mut net = Network::new(&[16, 12, 4], 3);
         let initial = net.loss(&data.inputs, &data.targets);
         let report = train_sgd(&mut net, &data, 25, 0.5, 1);
-        assert!(report.final_loss() < 0.5 * initial, "{}", report.final_loss());
+        assert!(
+            report.final_loss() < 0.5 * initial,
+            "{}",
+            report.final_loss()
+        );
         assert_eq!(report.epoch_losses.len(), 25);
         assert_eq!(report.neurons_processed, 25 * 60 * 16);
     }
@@ -234,7 +243,7 @@ mod tests {
         let mut net = Network::new(&[4, 6, 2], 7);
         let input = vec![0.2, 0.8, 0.1, 0.5];
         let target = vec![1.0, 0.0];
-        let before = net.loss(&[input.clone()], &[target.clone()]);
+        let before = net.loss(std::slice::from_ref(&input), std::slice::from_ref(&target));
         for _ in 0..200 {
             backprop_step(&mut net, &input, &target, 0.8);
         }

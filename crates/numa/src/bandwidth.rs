@@ -101,7 +101,10 @@ mod tests {
         // Oversubscribe: many more workers than cores still cannot exceed the
         // per-node capacity times the node count.
         let estimate = aggregate_bandwidth(&machine, PlacementPolicy::NumaAware, 64);
-        assert!(estimate.aggregate_gbps <= machine.local_dram_bw_gbs * 4.0 * machine.nodes as f64 + 1e-9);
+        assert!(
+            estimate.aggregate_gbps
+                <= machine.local_dram_bw_gbs * 4.0 * machine.nodes as f64 + 1e-9
+        );
     }
 
     #[test]

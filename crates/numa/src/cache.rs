@@ -39,7 +39,7 @@ impl CacheSim {
         assert!(associativity > 0 && line_bytes > 0);
         let lines = capacity_bytes / line_bytes;
         assert!(
-            lines >= associativity && lines % associativity == 0,
+            lines >= associativity && lines.is_multiple_of(associativity),
             "capacity must be a positive multiple of associativity * line size"
         );
         let num_sets = lines / associativity;

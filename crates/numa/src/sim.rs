@@ -6,7 +6,9 @@
 //! proceed in parallel, so an epoch finishes when the slowest core does).
 
 /// A nanosecond-resolution simulated clock.
-#[derive(Debug, Clone, Copy, Default, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, PartialOrd, serde::Serialize, serde::Deserialize,
+)]
 pub struct SimClock {
     ns: f64,
 }

@@ -125,7 +125,7 @@ mod tests {
         assert_eq!(t.epochs_to_tolerance(optimal, 1.0), Some(2)); // within 100%
         assert_eq!(t.epochs_to_tolerance(optimal, 0.1), Some(3)); // within 10%
         assert_eq!(t.epochs_to_tolerance(optimal, 0.01), Some(4)); // within 1%
-        assert_eq!(t.epochs_to_tolerance(optimal, 0.0001), Some(5));
+        assert_eq!(t.epochs_to_tolerance(optimal, 0.001), Some(5)); // within 0.1%
         assert_eq!(t.seconds_to_tolerance(optimal, 0.1), Some(3.0));
         assert_eq!(t.epochs_to_tolerance(0.5, 0.01), None);
         assert_eq!(t.seconds_to_tolerance(0.5, 0.01), None);

@@ -124,7 +124,7 @@ mod tests {
         let data = tiny_graph();
         let obj = GraphLp::new(4.0);
         // 3 edges all violated, no cost: 3 * 4 / 3 edges = 4.
-        let loss = obj.full_loss(&data, &vec![0.0; 4]);
+        let loss = obj.full_loss(&data, &[0.0; 4]);
         assert!((loss - 4.0).abs() < 1e-12);
     }
 
@@ -142,7 +142,7 @@ mod tests {
         let data = tiny_graph();
         let obj = GraphLp::default();
         let end = run_row_epochs(&obj, &data, 100);
-        let start = obj.full_loss(&data, &vec![0.0; 4]);
+        let start = obj.full_loss(&data, &[0.0; 4]);
         assert!(end < 0.4 * start, "loss {end} vs start {start}");
     }
 
@@ -151,7 +151,7 @@ mod tests {
         let data = tiny_graph();
         let obj = GraphLp::default();
         let end = run_col_epochs(&obj, &data, 100);
-        let start = obj.full_loss(&data, &vec![0.0; 4]);
+        let start = obj.full_loss(&data, &[0.0; 4]);
         assert!(end < 0.4 * start, "loss {end} vs start {start}");
     }
 

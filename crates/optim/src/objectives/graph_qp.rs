@@ -76,8 +76,14 @@ impl Objective for GraphQp {
         // Per-edge share of the anchor gradient: μ(x_j - c_j)/deg_j.
         let degree_u = data.csc.col_nnz(u).max(1) as f64;
         let degree_v = data.csc.col_nnz(v).max(1) as f64;
-        model.add(u, -step * (diff + self.anchor * (xu - data.costs[u]) / degree_u));
-        model.add(v, -step * (-diff + self.anchor * (xv - data.costs[v]) / degree_v));
+        model.add(
+            u,
+            -step * (diff + self.anchor * (xu - data.costs[u]) / degree_u),
+        );
+        model.add(
+            v,
+            -step * (-diff + self.anchor * (xv - data.costs[v]) / degree_v),
+        );
     }
 
     fn col_step(&self, data: &TaskData, j: usize, model: &dyn ModelAccess, step: f64) {
@@ -149,7 +155,7 @@ mod tests {
     fn row_and_col_steps_reduce_loss() {
         let data = tiny_graph();
         let obj = GraphQp::default();
-        let start = obj.full_loss(&data, &vec![0.0; 4]);
+        let start = obj.full_loss(&data, &[0.0; 4]);
         assert!(run_row_epochs(&obj, &data, 80) < 0.8 * start);
         assert!(run_col_epochs(&obj, &data, 80) < 0.8 * start);
     }

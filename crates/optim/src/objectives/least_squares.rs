@@ -80,6 +80,31 @@ impl Objective for LeastSquares {
         0.05
     }
 
+    fn default_step_for(&self, data: &TaskData) -> f64 {
+        // Per-example SGD on squared loss is stable only for step < 2/‖aᵢ‖²,
+        // and the paper's LS datasets (Music, Forest) are dense with 54–91
+        // unit-variance features, putting the threshold near 0.02.  Cap the
+        // default at half the mean-row-norm stability bound.
+        let rows = data.examples();
+        if rows == 0 {
+            return self.default_step();
+        }
+        let mean_sq_norm: f64 = (0..rows)
+            .map(|i| data.csr.row(i).values.iter().map(|v| v * v).sum::<f64>())
+            .sum::<f64>()
+            / rows as f64;
+        if mean_sq_norm <= 0.0 {
+            return self.default_step();
+        }
+        self.default_step().min(1.0 / mean_sq_norm)
+    }
+
+    fn default_col_step(&self) -> f64 {
+        // The coordinate step is Σᵢa_ij²-normalized (near-exact coordinate
+        // minimization), so the natural step is 1.
+        1.0
+    }
+
     fn step_decay(&self) -> f64 {
         0.9
     }

@@ -73,6 +73,26 @@ pub trait Objective: Send + Sync {
         0.1
     }
 
+    /// Default step size calibrated to `data`.
+    ///
+    /// Most objectives just use [`Objective::default_step`]; objectives
+    /// whose stability threshold depends on the data scale (least squares:
+    /// step < 2/‖aᵢ‖²) override this, and the engine and reference solver
+    /// call it whenever no explicit step is configured.
+    fn default_step_for(&self, data: &TaskData) -> f64 {
+        let _ = data;
+        self.default_step()
+    }
+
+    /// Default step size for the column-to-row (SCD) update.
+    ///
+    /// Coordinate steps are usually Lipschitz-normalized (see the quadratic
+    /// objectives), so their natural step is 1.0-ish even when the SGD step
+    /// must be small; objectives where the two differ override this.
+    fn default_col_step(&self) -> f64 {
+        self.default_step()
+    }
+
     /// Per-epoch multiplicative step-size decay.
     fn step_decay(&self) -> f64 {
         0.95
@@ -152,7 +172,7 @@ pub(crate) mod test_support {
     /// Run `epochs` sequential column-wise epochs and return the final loss.
     pub fn run_col_epochs(obj: &dyn Objective, data: &TaskData, epochs: usize) -> f64 {
         let model = AtomicModel::zeros(data.dim());
-        let mut step = obj.default_step();
+        let mut step = obj.default_col_step();
         for _ in 0..epochs {
             for j in 0..data.dim() {
                 obj.col_step(data, j, &model, step);

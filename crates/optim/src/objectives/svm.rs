@@ -112,7 +112,10 @@ mod tests {
         let obj = SvmHinge::default();
         let start = obj.full_loss(&data, &vec![0.0; data.dim()]);
         let end = run_row_epochs(&obj, &data, 30);
-        assert!(end < 0.5 * start, "loss {end} should drop well below {start}");
+        assert!(
+            end < 0.5 * start,
+            "loss {end} should drop well below {start}"
+        );
     }
 
     #[test]
@@ -121,7 +124,10 @@ mod tests {
         let obj = SvmHinge::default();
         let start = obj.full_loss(&data, &vec![0.0; data.dim()]);
         let end = run_col_epochs(&obj, &data, 30);
-        assert!(end < 0.5 * start, "loss {end} should drop well below {start}");
+        assert!(
+            end < 0.5 * start,
+            "loss {end} should drop well below {start}"
+        );
     }
 
     #[test]
@@ -156,7 +162,11 @@ mod tests {
         let model = AtomicModel::from_vec(&[5.0, 5.0, 0.0]);
         let before = model.snapshot();
         obj.row_step(&data, 0, &model, 0.1);
-        assert_eq!(model.snapshot(), before, "no update when margin >= 1 and reg = 0");
+        assert_eq!(
+            model.snapshot(),
+            before,
+            "no update when margin >= 1 and reg = 0"
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ pub fn reference_optimum(objective: &dyn Objective, data: &TaskData, epochs: usi
 
     // Row-wise (SGD) reference run.
     let model = AtomicModel::zeros(data.dim());
-    let mut step = objective.default_step();
+    let mut step = objective.default_step_for(data);
     for epoch in 0..epochs {
         let order = shuffled_indices(data.examples(), epoch as u64);
         run_row_epoch(objective, data, &model, step, &order);
@@ -31,7 +31,7 @@ pub fn reference_optimum(objective: &dyn Objective, data: &TaskData, epochs: usi
 
     // Column-wise (SCD) reference run.
     let model = AtomicModel::zeros(data.dim());
-    let mut step = objective.default_step();
+    let mut step = objective.default_col_step();
     for epoch in 0..epochs {
         let order = shuffled_indices(data.dim(), 1000 + epoch as u64);
         run_col_epoch(objective, data, &model, step, &order);

@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde through `#[derive(serde::Serialize,
+//! serde::Deserialize)]` attributes; no code path serializes at runtime.
+//! This shim re-exports no-op derive macros (see `serde_derive`) plus empty
+//! marker traits of the same names, so the derive attributes and any future
+//! `T: Serialize` bounds both resolve.  Swap the path dependency for the
+//! real crates.io `serde` to regain actual serialization.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (the derive implements nothing).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (the derive implements nothing).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace builds in an environment with no crates.io access, so the
+//! real serde cannot be vendored.  Nothing in the workspace actually
+//! serializes — the derives only decorate types so that downstream users
+//! *could* serialize them — therefore the derive macros here expand to an
+//! empty token stream, which is a valid (if vacuous) derive expansion.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]` — expands to nothing.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]` — expands to nothing.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

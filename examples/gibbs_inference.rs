@@ -2,7 +2,12 @@
 //! the classical single-chain strategy against DimmWitted's one-chain-per-
 //! NUMA-node strategy, in both estimate quality and modelled throughput.
 //!
-//! Run with `cargo run -p dw-bench --release --example gibbs_inference`.
+//! Run with `cargo run --release --example gibbs_inference`.
+//!
+//! Gibbs sampling runs over factor graphs rather than [`dimmwitted`]'s data
+//! matrices, so it keeps its own strategy runner; the engine workloads go
+//! through the `DimmWitted::on(...)` session API instead (see
+//! `quickstart.rs`).
 
 use dw_gibbs::{
     gibbs_throughput,
@@ -19,7 +24,10 @@ fn main() {
     let (single, single_samples) = run_strategy(&chain, SamplingStrategy::PerMachine, 2_000, 7);
     let (pooled, pooled_samples) =
         run_strategy(&chain, SamplingStrategy::PerNode { chains: 2 }, 2_000, 7);
-    println!("{:<10} {:>10} {:>12} {:>12}", "variable", "exact", "PerMachine", "PerNode");
+    println!(
+        "{:<10} {:>10} {:>12} {:>12}",
+        "variable", "exact", "PerMachine", "PerNode"
+    );
     for v in 0..chain.variables() {
         println!(
             "{:<10} {:>10.3} {:>12.3} {:>12.3}",

@@ -1,19 +1,26 @@
 //! Network analysis with LP and QP on an Amazon-like co-purchase graph: the
 //! workload where column-to-row access and PerMachine replication win
-//! (Figures 12 and 14 of the paper).
+//! (Figures 12 and 14 of the paper) — driven through the session API with a
+//! loss-target early stop.
 //!
-//! Run with `cargo run -p dw-bench --release --example graph_analysis`.
+//! Run with `cargo run --release --example graph_analysis`.
 
 use dimmwitted::{
-    AccessMethod, AnalyticsTask, DataReplication, ExecutionPlan, ModelKind, ModelReplication,
-    RunConfig, Runner,
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionPlan, ModelKind,
+    ModelReplication, Runner,
 };
 use dw_data::{Dataset, PaperDataset};
 use dw_numa::MachineTopology;
 
-fn run_model(runner: &Runner, machine: &MachineTopology, task: &AnalyticsTask) {
+fn run_model(machine: &MachineTopology, task: &AnalyticsTask) {
+    let runner = Runner::new(machine.clone());
     let optimum = runner.estimate_optimum(task, 10);
-    println!("== {} ({} edges, {} vertices) ==", task.name, task.examples(), task.dim());
+    println!(
+        "== {} ({} edges, {} vertices) ==",
+        task.name,
+        task.examples(),
+        task.dim()
+    );
     println!("optimizer plan: {}", runner.plan_for(task).describe());
     for access in [AccessMethod::RowWise, AccessMethod::ColumnToRow] {
         let plan = ExecutionPlan::new(
@@ -22,14 +29,26 @@ fn run_model(runner: &Runner, machine: &MachineTopology, task: &AnalyticsTask) {
             ModelReplication::PerMachine,
             DataReplication::Sharding,
         );
-        let report = runner.run_with_plan(task, &plan, &RunConfig::default().with_step(1.0));
+        // Stop streaming as soon as the run is within 1% of the optimum —
+        // the columnar method gets there in a handful of epochs, so the
+        // session ends long before the 20-epoch budget.
+        let stream = DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(plan)
+            .epochs(20)
+            .step(1.0)
+            .until_loss(optimum * 1.01 + 1e-9)
+            .build()
+            .stream();
+        let report = stream.run_to_end();
         let to_1pct = report
             .seconds_to_loss(optimum, 0.01)
-            .map(|s| format!("{s:.3} s"))
+            .map(|s| format!("{s:.3e} s"))
             .unwrap_or_else(|| "not reached".to_string());
         println!(
-            "  {:<14} final loss {:.4}, time to 1% of optimum: {}",
+            "  {:<14} stopped after {:>2} epochs, final loss {:.4}, time to 1% of optimum: {}",
             access.to_string(),
+            report.trace.epochs(),
             report.final_loss(),
             to_1pct
         );
@@ -39,15 +58,14 @@ fn run_model(runner: &Runner, machine: &MachineTopology, task: &AnalyticsTask) {
 
 fn main() {
     let machine = MachineTopology::local2();
-    let runner = Runner::new(machine.clone());
 
     let lp_dataset = Dataset::generate(PaperDataset::AmazonLp, 3);
     let lp_task = AnalyticsTask::from_dataset(&lp_dataset, ModelKind::Lp);
-    run_model(&runner, &machine, &lp_task);
+    run_model(&machine, &lp_task);
 
     let qp_dataset = Dataset::generate(PaperDataset::AmazonQp, 3);
     let qp_task = AnalyticsTask::from_dataset(&qp_dataset, ModelKind::Qp);
-    run_model(&runner, &machine, &qp_task);
+    run_model(&machine, &qp_task);
 
     println!(
         "Expected shape (paper, Figure 12): for LP/QP the column-to-row method converges one to \

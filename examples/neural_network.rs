@@ -1,10 +1,13 @@
 //! Deep neural network training (the Section 5.2 extension): train a small
 //! multi-layer network on synthetic MNIST-like digits with the classical
 //! single-parameter-set strategy and with DimmWitted's replicated strategy,
-//! then show the modelled throughput gap of Figure 17(b).
+//! show the modelled throughput gap of Figure 17(b), and benchmark a linear
+//! baseline on the same digits through the engine's session API.
 //!
-//! Run with `cargo run -p dw-bench --release --example neural_network`.
+//! Run with `cargo run --release --example neural_network`.
 
+use dimmwitted::{AnalyticsTask, DimmWitted, ModelKind};
+use dw_data::{Dataset, PaperDataset};
 use dw_nn::{nn_throughput, train_replicated, train_sgd, Network, TrainingData};
 use dw_numa::MachineTopology;
 
@@ -53,5 +56,26 @@ fn main() {
     println!(
         "Expected shape (paper, Figure 17(b)): DimmWitted's strategy processes more than an order \
          of magnitude more variables per second than the classical choice."
+    );
+    println!();
+
+    // The same digits also feed the engine directly: an MNIST-like dataset
+    // binds to the linear models, so a session gives the linear baseline the
+    // back-propagation numbers above are compared against.
+    let mnist = Dataset::generate(PaperDataset::Mnist, 11);
+    let linear = AnalyticsTask::from_dataset(&mnist, ModelKind::Lr);
+    let report = DimmWitted::on(machine)
+        .task(linear)
+        .plan_auto()
+        .epochs(10)
+        .until_converged(1e-3)
+        .build()
+        .run();
+    println!(
+        "linear baseline (LR on {}-example MNIST-like set, session API): loss {:.4} -> {:.4} in {} epochs",
+        mnist.examples(),
+        report.trace.initial_loss,
+        report.final_loss(),
+        report.trace.epochs()
     );
 }

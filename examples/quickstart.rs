@@ -1,9 +1,10 @@
-//! Quickstart: train an SVM on a Reuters-like text dataset, letting the
-//! cost-based optimizer pick the execution plan.
+//! Quickstart: train an SVM on a Reuters-like text dataset through the
+//! session API, letting the cost-based optimizer pick the execution plan and
+//! stopping early once the loss plateaus.
 //!
-//! Run with `cargo run -p dw-bench --release --example quickstart`.
+//! Run with `cargo run --release --example quickstart`.
 
-use dimmwitted::{AnalyticsTask, ModelKind, RunConfig, Runner};
+use dimmwitted::{AnalyticsTask, DimmWitted, ModelKind, Runner};
 use dw_data::{Dataset, PaperDataset};
 use dw_numa::MachineTopology;
 
@@ -22,25 +23,40 @@ fn main() {
     // 2. Bind it to a statistical model (SVM via the hinge loss).
     let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
 
-    // 3. Target one of the paper's NUMA machines and let the cost-based
-    //    optimizer choose the access method, model replication and data
-    //    replication (the Figure 14 decision).
+    // 3. Build a session targeting one of the paper's NUMA machines; the
+    //    cost-based optimizer chooses the access method, model replication
+    //    and data replication (the Figure 14 decision).
     let machine = MachineTopology::local2();
-    let runner = Runner::new(machine);
-    let plan = runner.plan_for(&task);
-    println!("optimizer chose: {}", plan.describe());
+    let session = DimmWitted::on(machine.clone())
+        .task(task.clone())
+        .plan_auto()
+        .epochs(20)
+        .until_converged(1e-3)
+        .build();
+    println!("optimizer chose: {}", session.plan().describe());
 
-    // 4. Run for a few epochs and report convergence.
-    let report = runner.run_auto(&task, &RunConfig::default());
-    let optimum = runner.estimate_optimum(&task, 10);
+    // 4. Stream the epochs: each event carries the loss, cumulative
+    //    simulated seconds on the target machine, and modelled PMU counters.
+    let mut stream = session.stream();
+    println!("{:>5} {:>12} {:>14}", "epoch", "loss", "sim seconds");
+    for event in stream.by_ref() {
+        println!(
+            "{:>5} {:>12.4} {:>14.6}",
+            event.epoch, event.loss, event.sim_seconds
+        );
+    }
+    println!(
+        "stopped after {} epochs ({:?})",
+        stream.trace().epochs(),
+        stream.stop_reason().expect("stream is exhausted")
+    );
+
+    // 5. The final report matches what the blocking Runner facade returns.
+    let report = stream.into_report();
+    let optimum = Runner::new(machine).estimate_optimum(&task, 40);
     println!("initial loss: {:.4}", report.trace.initial_loss);
     println!("final loss:   {:.4}", report.final_loss());
     println!("reference optimum: {:.4}", optimum);
-    println!(
-        "modelled time per epoch on {}: {:.4} s",
-        runner.engine().machine().name,
-        report.seconds_per_epoch
-    );
     for tolerance in [1.0, 0.5, 0.1, 0.01] {
         match report.epochs_to_loss(optimum, tolerance) {
             Some(epochs) => println!(

@@ -1,22 +1,24 @@
 //! Text classification at scale: compare the three model-replication
 //! strategies (PerCore / PerNode / PerMachine) on an RCV1-like corpus, the
-//! workload behind Figure 8 and Figure 12(b) of the paper.
+//! workload behind Figure 8 and Figure 12(b) of the paper — driven through
+//! the session API, with an observer watching every epoch.
 //!
-//! Run with `cargo run -p dw-bench --release --example text_classification`.
+//! Run with `cargo run --release --example text_classification`.
 
 use dimmwitted::{
-    AccessMethod, AnalyticsTask, DataReplication, ExecutionPlan, ModelKind, ModelReplication,
-    RunConfig, Runner,
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionPlan, ModelKind,
+    ModelReplication, Runner,
 };
 use dw_data::{Dataset, PaperDataset};
 use dw_numa::MachineTopology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 fn main() {
     let dataset = Dataset::generate(PaperDataset::Rcv1, 7);
     let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Lr);
     let machine = MachineTopology::local2();
-    let runner = Runner::new(machine.clone());
-    let optimum = runner.estimate_optimum(&task, 10);
+    let optimum = Runner::new(machine.clone()).estimate_optimum(&task, 10);
     println!(
         "logistic regression on {} ({} examples, {} features); reference optimum {:.4}",
         dataset.name,
@@ -25,7 +27,10 @@ fn main() {
         optimum
     );
     println!();
-    println!("{:<12} {:>14} {:>16} {:>18}", "strategy", "s/epoch", "epochs to 10%", "time to 10% (s)");
+    println!(
+        "{:<12} {:>14} {:>16} {:>18} {:>16}",
+        "strategy", "s/epoch", "epochs to 10%", "time to 10% (s)", "epochs streamed"
+    );
     for strategy in ModelReplication::all() {
         let plan = ExecutionPlan::new(
             &machine,
@@ -33,7 +38,19 @@ fn main() {
             strategy,
             DataReplication::FullReplication,
         );
-        let report = runner.run_with_plan(&task, &plan, &RunConfig::default());
+        // Observer callbacks see every epoch as it happens — the hook that
+        // progress bars, live dashboards and adaptive controllers attach to.
+        let streamed = Arc::new(AtomicUsize::new(0));
+        let counter = Arc::clone(&streamed);
+        let report = DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(plan)
+            .epochs(20)
+            .on_epoch(move |_event| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+            .build()
+            .run();
         let epochs = report
             .epochs_to_loss(optimum, 0.1)
             .map(|e| e.to_string())
@@ -43,11 +60,12 @@ fn main() {
             .map(|s| format!("{s:.3}"))
             .unwrap_or_else(|| "-".to_string());
         println!(
-            "{:<12} {:>14.4} {:>16} {:>18}",
+            "{:<12} {:>14.6} {:>16} {:>18} {:>16}",
             strategy.to_string(),
             report.seconds_per_epoch,
             epochs,
-            seconds
+            seconds,
+            streamed.load(Ordering::Relaxed)
         );
     }
     println!();

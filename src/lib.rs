@@ -1,0 +1,7 @@
+//! Workspace umbrella crate.
+//!
+//! This package exists to host the repository-level `examples/` and
+//! `tests/` directories; the engine itself lives in the `crates/` members
+//! (start with [`dimmwitted`]).
+
+pub use dimmwitted;

@@ -72,7 +72,12 @@ fn optimizer_plans_match_figure14_for_all_engine_datasets() {
             let plan = runner.plan_for(&task);
             if kind.is_sgd_family() {
                 assert_eq!(plan.access, AccessMethod::RowWise, "{}", task.name);
-                assert_eq!(plan.model_replication, ModelReplication::PerNode, "{}", task.name);
+                assert_eq!(
+                    plan.model_replication,
+                    ModelReplication::PerNode,
+                    "{}",
+                    task.name
+                );
             } else {
                 assert_eq!(plan.access, AccessMethod::ColumnToRow, "{}", task.name);
                 assert_eq!(

@@ -2,9 +2,9 @@
 //! figure function produces a non-empty table with the expected rows, and
 //! the qualitative directions the paper reports hold at reduced scale.
 
+use dimmwitted::ModelKind;
 use dw_bench::{figures, Scale};
 use dw_data::PaperDataset;
-use dimmwitted::ModelKind;
 
 fn scale() -> Scale {
     Scale::quick()
@@ -39,23 +39,32 @@ fn fig08_pernode_is_faster_per_epoch_than_permachine() {
 
 #[test]
 fn fig09_full_replication_slows_with_more_nodes() {
+    // Figure 9(b): FullReplication's per-epoch *slowdown relative to
+    // Sharding on the same machine* tracks the node count (each node
+    // processes a full copy); absolute epoch time still shrinks with the
+    // larger machines' extra cores.
     let tables = figures::fig09(scale());
-    let full = |machine: &str| -> f64 {
-        tables[1]
-            .cell(machine, "FullReplication s/epoch")
-            .unwrap()
-            .parse()
-            .unwrap()
+    let seconds = |machine: &str, column: &str| -> f64 {
+        tables[1].cell(machine, column).unwrap().parse().unwrap()
     };
-    assert!(full("local8") > full("local2"));
+    let slowdown = |machine: &str| -> f64 {
+        seconds(machine, "FullReplication s/epoch") / seconds(machine, "Sharding s/epoch")
+    };
+    assert!(slowdown("local8") > slowdown("local2"));
 }
 
 #[test]
 fn fig10_and_fig14_shapes() {
     assert_eq!(figures::fig10(scale()).len(), 10);
     let fig14 = figures::fig14(scale());
-    assert_eq!(fig14.cell("SVM(reuters)", "access method"), Some("row-wise"));
-    assert_eq!(fig14.cell("LP(amazon-lp)", "access method"), Some("column-to-row"));
+    assert_eq!(
+        fig14.cell("SVM(reuters)", "access method"),
+        Some("row-wise")
+    );
+    assert_eq!(
+        fig14.cell("LP(amazon-lp)", "access method"),
+        Some("column-to-row")
+    );
 }
 
 #[test]
@@ -75,9 +84,8 @@ fn fig11_subset_has_all_system_columns() {
 #[test]
 fn fig13_dimmwitted_has_highest_parallel_sum_throughput() {
     let table = figures::fig13(scale());
-    let throughput = |system: &str| -> f64 {
-        table.cell(system, "Parallel Sum").unwrap().parse().unwrap()
-    };
+    let throughput =
+        |system: &str| -> f64 { table.cell(system, "Parallel Sum").unwrap().parse().unwrap() };
     let dw = throughput("DimmWitted");
     for other in ["Hogwild!", "GraphLab", "GraphChi", "MLlib"] {
         assert!(dw > throughput(other), "DimmWitted should beat {other}");
@@ -87,9 +95,8 @@ fn fig13_dimmwitted_has_highest_parallel_sum_throughput() {
 #[test]
 fn fig15_ratio_grows_with_sockets() {
     let table = figures::fig15(scale());
-    let ratio = |machine: &str| -> f64 {
-        table.cell(machine, "SVM (RCV1)").unwrap().parse().unwrap()
-    };
+    let ratio =
+        |machine: &str| -> f64 { table.cell(machine, "SVM (RCV1)").unwrap().parse().unwrap() };
     assert!(ratio("local8") > ratio("local2"));
 }
 
@@ -143,12 +150,28 @@ fn appendix_tables_report_expected_directions() {
     assert_eq!(tables.len(), 3);
     // NUMA-aware placement reads locally everywhere; OS placement does not.
     let placement = &tables[0];
-    let os: f64 = placement.cell("OsDefault", "local read fraction").unwrap().parse().unwrap();
-    let numa: f64 = placement.cell("NumaAware", "local read fraction").unwrap().parse().unwrap();
+    let os: f64 = placement
+        .cell("OsDefault", "local read fraction")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let numa: f64 = placement
+        .cell("NumaAware", "local read fraction")
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(numa > os);
     // Column-major layout misses far more under a row-wise scan.
     let layout = &tables[2];
-    let row_major: f64 = layout.cell("row-major", "L1-sized cache misses").unwrap().parse().unwrap();
-    let col_major: f64 = layout.cell("column-major", "L1-sized cache misses").unwrap().parse().unwrap();
+    let row_major: f64 = layout
+        .cell("row-major", "L1-sized cache misses")
+        .unwrap()
+        .parse()
+        .unwrap();
+    let col_major: f64 = layout
+        .cell("column-major", "L1-sized cache misses")
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!(col_major > 4.0 * row_major);
 }

@@ -1,0 +1,203 @@
+//! Integration tests for the session API: streaming epochs, early stopping,
+//! cooperative cancellation, pluggable executors, and trace parity with the
+//! blocking `Engine` facade.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, CancelToken, DataReplication, DimmWitted, Engine, EpochEvent,
+    ExecutionMode, ExecutionPlan, InterleavedExecutor, ModelKind, ModelReplication, RunConfig,
+    SpawnPerEpochExecutor, StopReason, ThreadedExecutor,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_numa::MachineTopology;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn machine() -> MachineTopology {
+    MachineTopology::local2()
+}
+
+fn svm_task() -> AnalyticsTask {
+    AnalyticsTask::from_dataset(
+        &Dataset::generate(PaperDataset::Reuters, 42),
+        ModelKind::Svm,
+    )
+}
+
+#[test]
+fn streaming_run_stops_early_at_a_loss_target() {
+    let task = svm_task();
+    let initial = task.initial_loss();
+    let target = initial * 0.6;
+    let mut stream = DimmWitted::on(machine())
+        .task(task)
+        .plan_auto()
+        .epochs(100)
+        .until_loss(target)
+        .build()
+        .stream();
+
+    let events: Vec<EpochEvent> = stream.by_ref().collect();
+    assert_eq!(stream.stop_reason(), Some(StopReason::LossTarget));
+    assert!(
+        events.len() < 100,
+        "should stop well before the 100-epoch budget, ran {}",
+        events.len()
+    );
+    let last = events.last().expect("at least one epoch");
+    assert!(last.loss <= target);
+    // Every earlier epoch was above the target (the stop is tight).
+    for event in &events[..events.len() - 1] {
+        assert!(event.loss > target);
+    }
+    let report = stream.into_report();
+    assert_eq!(report.trace.epochs(), events.len());
+    assert!(report.final_loss() <= target);
+}
+
+#[test]
+fn cancellation_mid_run_is_cooperative() {
+    let token = CancelToken::new();
+    let cancel_at = 3;
+    let observed = Arc::new(AtomicUsize::new(0));
+
+    let observer_token = token.clone();
+    let observer_count = Arc::clone(&observed);
+    let mut stream = DimmWitted::on(machine())
+        .task(svm_task())
+        .plan_auto()
+        .epochs(50)
+        .cancel_token(token)
+        .on_epoch(move |event| {
+            observer_count.fetch_add(1, Ordering::SeqCst);
+            if event.epoch == cancel_at {
+                observer_token.cancel();
+            }
+        })
+        .build()
+        .stream();
+
+    for _ in stream.by_ref() {}
+    assert_eq!(stream.stop_reason(), Some(StopReason::Cancelled));
+    assert_eq!(stream.trace().epochs(), cancel_at);
+    assert_eq!(observed.load(Ordering::SeqCst), cancel_at);
+}
+
+#[test]
+fn executor_refactor_is_bit_identical_to_the_engine_interleaved_path() {
+    // The determinism contract of the refactor: a session with an explicit
+    // InterleavedExecutor, the default interleaved session, and the legacy
+    // Engine::run facade must all produce bit-identical ConvergenceTraces
+    // for a fixed seed — across every model-replication strategy.
+    let m = machine();
+    let task = svm_task();
+    let config = RunConfig::quick(4).with_seed(1234);
+    for replication in ModelReplication::all() {
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            replication,
+            DataReplication::Sharding,
+        );
+        let engine_report = Engine::new(m.clone()).run(&task, &plan, &config);
+        let session_report = DimmWitted::on(m.clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .config(config.clone())
+            .build()
+            .run();
+        let explicit_report = DimmWitted::on(m.clone())
+            .task(task.clone())
+            .plan(plan.clone())
+            .config(config.clone())
+            .executor(Box::new(InterleavedExecutor::new()))
+            .build()
+            .run();
+        // Bit-identical: ConvergenceTrace comparison is exact f64 equality.
+        assert_eq!(engine_report.trace, session_report.trace, "{replication}");
+        assert_eq!(engine_report.trace, explicit_report.trace, "{replication}");
+        assert_eq!(
+            engine_report.final_model, session_report.final_model,
+            "{replication}"
+        );
+    }
+}
+
+#[test]
+fn threaded_executors_share_the_session_surface() {
+    // Both threaded mechanisms run through the same builder and converge;
+    // the persistent pool is the default for ExecutionMode::Threaded.
+    let task = svm_task();
+    let initial = task.initial_loss();
+    let plan = ExecutionPlan::hogwild(&machine()).with_workers(4);
+    for executor in [
+        Box::new(ThreadedExecutor::new()) as Box<dyn dimmwitted::Executor>,
+        Box::new(SpawnPerEpochExecutor::new()),
+    ] {
+        let report = DimmWitted::on(machine())
+            .task(task.clone())
+            .plan(plan.clone())
+            .epochs(3)
+            .executor(executor)
+            .build()
+            .run();
+        assert_eq!(report.trace.epochs(), 3);
+        assert!(report.final_loss() < initial);
+    }
+    let default_threaded = DimmWitted::on(machine())
+        .task(task.clone())
+        .plan(plan)
+        .epochs(2)
+        .mode(ExecutionMode::Threaded)
+        .build()
+        .stream();
+    assert_eq!(default_threaded.executor_name(), "threaded-pool");
+    let report = default_threaded.run_to_end();
+    assert!(report.final_loss() < initial);
+}
+
+#[test]
+fn pernode_threaded_session_terminates() {
+    // Regression for the seed deadlock: the PerNode asynchronous averaging
+    // actor must observe worker completion and exit (the seed signalled it
+    // only after the thread scope joined, which never happened).
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    for executor in [
+        Box::new(ThreadedExecutor::new()) as Box<dyn dimmwitted::Executor>,
+        Box::new(SpawnPerEpochExecutor::new()),
+    ] {
+        let report = DimmWitted::on(machine())
+            .task(svm_task())
+            .plan(plan.clone())
+            .epochs(2)
+            .executor(executor)
+            .build()
+            .run();
+        assert_eq!(report.trace.epochs(), 2);
+    }
+}
+
+#[test]
+fn convergence_stop_and_observers_compose() {
+    let seen = Arc::new(AtomicUsize::new(0));
+    let count = Arc::clone(&seen);
+    let mut stream = DimmWitted::on(machine())
+        .task(svm_task())
+        .plan_auto()
+        .epochs(200)
+        .until_converged(1e-3)
+        .on_epoch(move |_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        })
+        .build()
+        .stream();
+    for _ in stream.by_ref() {}
+    assert_eq!(stream.stop_reason(), Some(StopReason::Converged));
+    assert!(stream.trace().epochs() < 200);
+    assert_eq!(seen.load(Ordering::SeqCst), stream.trace().epochs());
+}
