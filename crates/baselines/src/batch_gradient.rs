@@ -45,7 +45,7 @@ pub fn run_batch_gradient(
             // Record the touched coordinates, apply one step on the scratch
             // replica, harvest the deltas, then restore the scratch replica
             // so every example sees the same frozen model.
-            let touched: Vec<usize> = task.data.csr.row(i).iter().map(|(j, _)| j).collect();
+            let touched: Vec<usize> = task.data.row(i).iter().map(|(j, _)| j).collect();
             let before: Vec<f64> = touched.iter().map(|&j| scratch.read(j)).collect();
             task.objective.row_step(&task.data, i, &scratch, step);
             for (&j, &b) in touched.iter().zip(&before) {

@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the storage and vector kernels every access method is
-//! built on (dot products, axpy, CSR/CSC traversal, layout conversion).
+//! built on: the shared blocked gather kernel (`dot_indexed`) that row and
+//! column views dispatch to, dense dots, axpy, CSR/CSC traversal, and layout
+//! conversion out of the canonical COO form.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dw_data::{Dataset, PaperDataset};
-use dw_matrix::{dot_dense, dot_sparse_dense, Layout, SparseVector};
+use dw_matrix::{dot_dense, dot_indexed, dot_sparse_dense, Layout, SparseVector};
 use std::hint::black_box;
 
 fn bench_dense_kernels(c: &mut Criterion) {
@@ -24,10 +26,13 @@ fn bench_sparse_kernels(c: &mut Criterion) {
     group.sample_size(20);
     let dense: Vec<f64> = (0..50_000).map(|i| (i % 13) as f64).collect();
     for &nnz in &[8usize, 128, 2048] {
-        let sv = SparseVector::from_parts(
-            (0..nnz as u32).map(|i| i * 7).collect(),
-            (0..nnz).map(|i| i as f64).collect(),
-        );
+        let indices: Vec<u32> = (0..nnz as u32).map(|i| i * 7).collect();
+        let values: Vec<f64> = (0..nnz).map(|i| i as f64).collect();
+        let sv = SparseVector::from_parts(indices.clone(), values.clone());
+        // The shared blocked kernel both views dispatch to.
+        group.bench_with_input(BenchmarkId::new("dot_indexed", nnz), &nnz, |bencher, _| {
+            bencher.iter(|| dot_indexed(black_box(&indices), black_box(&values), black_box(&dense)))
+        });
         group.bench_with_input(
             BenchmarkId::new("dot_sparse_dense", nnz),
             &nnz,
@@ -41,10 +46,31 @@ fn bench_matrix_traversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("matrix_traversal");
     group.sample_size(10);
     let dataset = Dataset::generate(PaperDataset::Reuters, 1);
-    let csr = dataset.matrix.clone();
+    let coo = dataset.matrix.clone();
+    let csr = coo.csr().clone();
     let csc = csr.to_csc();
     let x = vec![0.5; csr.cols()];
     let y = vec![0.5; csr.rows()];
+    // Row and column traversal through the shared kernel (the dedup target:
+    // both call the same dot_indexed implementation).
+    group.bench_function("csr_row_dots", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..csr.rows() {
+                acc += csr.row(i).dot(black_box(&x));
+            }
+            acc
+        })
+    });
+    group.bench_function("csc_col_dots", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for j in 0..csc.cols() {
+                acc += csc.col(j).dot(black_box(&y));
+            }
+            acc
+        })
+    });
     group.bench_function("csr_matvec", |b| b.iter(|| csr.matvec(black_box(&x))));
     group.bench_function("csc_transpose_matvec", |b| {
         b.iter(|| csc.transpose_matvec(black_box(&y)))
@@ -56,10 +82,35 @@ fn bench_matrix_traversal(c: &mut Criterion) {
     group.finish();
 }
 
+/// Materialization cost out of the canonical COO form — the price the lazy
+/// storage layer pays exactly once per layout per dataset.
+fn bench_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("materialization");
+    group.sample_size(10);
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let coo = dataset.matrix.clone();
+    group.bench_function("coo_to_csr", |b| {
+        b.iter(|| {
+            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap().clone()));
+            m.materialize_rows();
+            m
+        })
+    });
+    group.bench_function("coo_to_csc_direct", |b| {
+        b.iter(|| {
+            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap().clone()));
+            m.materialize_cols();
+            m
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     kernels,
     bench_dense_kernels,
     bench_sparse_kernels,
-    bench_matrix_traversal
+    bench_matrix_traversal,
+    bench_materialization
 );
 criterion_main!(kernels);

@@ -1,0 +1,184 @@
+//! Machine-readable storage-layer benchmark: kernel and epoch timings as
+//! JSON, so successive PRs accumulate a perf trajectory.
+//!
+//! Writes `BENCH_storage.json` (override with `--out <path>`) containing
+//! median wall-clock nanoseconds for
+//!
+//! * the shared blocked gather kernel (`dot_indexed`) at several densities,
+//! * row-view and column-view traversal of a Reuters-shaped matrix (both
+//!   dispatch to the same kernel — the dedup under test),
+//! * COO→CSR / COO→CSC materialization (the one-time cost of the lazy
+//!   storage layer),
+//! * one engine epoch under the optimizer's plan and the Hogwild! /
+//!   GraphLab competitor plans.
+//!
+//! `--quick` drops the sample counts for CI smoke runs; the JSON schema is
+//! identical, so trajectory tooling can consume either.
+
+use dimmwitted::{AnalyticsTask, DimmWitted, ExecutionPlan, ModelKind, Optimizer, RunConfig};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::{dot_indexed, DataMatrix};
+use dw_numa::MachineTopology;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median nanoseconds per iteration of `payload` over `samples` timed runs
+/// (after two warm-up runs).
+fn median_ns<O>(samples: usize, mut payload: impl FnMut() -> O) -> f64 {
+    for _ in 0..2 {
+        black_box(payload());
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(payload());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    median_ns: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_storage.json")
+        .to_string();
+    let samples = if quick { 3 } else { 15 };
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- Shared gather kernel at several densities. ---
+    let dense: Vec<f64> = (0..50_000).map(|i| (i % 13) as f64).collect();
+    for &nnz in &[8usize, 128, 2048] {
+        let indices: Vec<u32> = (0..nnz as u32).map(|i| i * 7).collect();
+        let values: Vec<f64> = (0..nnz).map(|i| i as f64).collect();
+        records.push(Record {
+            group: "kernel",
+            name: format!("dot_indexed/{nnz}"),
+            median_ns: median_ns(samples * 4, || {
+                dot_indexed(black_box(&indices), black_box(&values), black_box(&dense))
+            }),
+        });
+    }
+
+    // --- View traversal + materialization on a Reuters-shaped matrix. ---
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let coo = dataset
+        .matrix
+        .coo_source()
+        .expect("generated datasets carry a COO source")
+        .clone();
+    let csr = dataset.matrix.csr().clone();
+    let csc = csr.to_csc();
+    let x = vec![0.5; csr.cols()];
+    let y = vec![0.5; csr.rows()];
+    records.push(Record {
+        group: "kernel",
+        name: "csr_row_dots/reuters".to_string(),
+        median_ns: median_ns(samples, || {
+            let mut acc = 0.0;
+            for i in 0..csr.rows() {
+                acc += csr.row(i).dot(black_box(&x));
+            }
+            acc
+        }),
+    });
+    records.push(Record {
+        group: "kernel",
+        name: "csc_col_dots/reuters".to_string(),
+        median_ns: median_ns(samples, || {
+            let mut acc = 0.0;
+            for j in 0..csc.cols() {
+                acc += csc.col(j).dot(black_box(&y));
+            }
+            acc
+        }),
+    });
+    records.push(Record {
+        group: "materialization",
+        name: "coo_to_csr/reuters".to_string(),
+        median_ns: median_ns(samples, || {
+            let m = DataMatrix::from_coo(black_box(coo.clone()));
+            m.materialize_rows();
+            m
+        }),
+    });
+    records.push(Record {
+        group: "materialization",
+        name: "coo_to_csc_direct/reuters".to_string(),
+        median_ns: median_ns(samples, || {
+            let m = DataMatrix::from_coo(black_box(coo.clone()));
+            m.materialize_cols();
+            m
+        }),
+    });
+
+    // --- One engine epoch under the paper's plans. ---
+    let machine = MachineTopology::local2();
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let config = RunConfig {
+        epochs: 1,
+        ..RunConfig::default()
+    };
+    let plans = [
+        (
+            "dimmwitted",
+            Optimizer::new(machine.clone()).choose_plan(&task),
+        ),
+        ("hogwild", ExecutionPlan::hogwild(&machine)),
+        ("graphlab", ExecutionPlan::graphlab(&machine)),
+    ];
+    for (name, plan) in plans {
+        records.push(Record {
+            group: "engine_epoch",
+            name: format!("one_epoch/{name}"),
+            median_ns: median_ns(samples.min(5), || {
+                DimmWitted::on(machine.clone())
+                    .task(task.clone())
+                    .plan(plan.clone())
+                    .config(config.clone())
+                    .build()
+                    .run()
+            }),
+        });
+    }
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/storage-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"median_ns\": {:.1}}}{comma}\n",
+            r.group, r.name, r.median_ns
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "storage-bench: {:<14} {:<28} {:>14.1} ns",
+            r.group, r.name, r.median_ns
+        );
+    }
+    println!(
+        "storage-bench: wrote {} records to {out_path}",
+        records.len()
+    );
+}

@@ -33,7 +33,7 @@ fn make_task(dataset: PaperDataset, kind: ModelKind, seed: u64) -> AnalyticsTask
 /// (used by Figures 7(b) and 16(b)).
 fn subsampled_music_task(keep: f64, kind: ModelKind, seed: u64) -> AnalyticsTask {
     let music = Dataset::generate(PaperDataset::Music, seed);
-    let matrix = subsample::subsample_rows(&music.matrix, keep, seed + 1);
+    let matrix = subsample::subsample_rows(music.matrix.csr(), keep, seed + 1);
     AnalyticsTask::new(
         format!("{}(music@{:.2})", kind.name(), keep),
         TaskData::supervised(matrix, music.labels.clone()),
@@ -935,7 +935,7 @@ pub fn appendix(scale: Scale) -> Vec<Table> {
     );
     let music = Dataset::generate(PaperDataset::Music, scale.seed);
     for keep in [0.01, 0.1, 0.5, 1.0] {
-        let matrix = subsample::subsample_rows(&music.matrix, keep, scale.seed);
+        let matrix = subsample::subsample_rows(music.matrix.csr(), keep, scale.seed);
         let stats = dw_matrix::MatrixStats::from_csr(&matrix);
         let preferred = if stats.sparse_bytes * 2 < stats.dense_bytes {
             "sparse"

@@ -1,0 +1,447 @@
+//! NUMA-aware data replicas: per-locality-group copies and shards of the
+//! immutable data (Section 3.4, Appendix A).
+//!
+//! The paper's engine gives each locality group (≈ NUMA node) its own region
+//! of the data matrix: a *shard* under the Sharding strategy, a *full copy*
+//! under FullReplication, placed in the node's DRAM by the NUMA-aware
+//! collocation protocol of Appendix A.  [`DataReplicaSet`] reproduces that
+//! structure for the simulator: it is built once per session from the plan,
+//! the machine topology, and a [`dw_numa::DataPlacement`], and the executors
+//! read every item through it.
+//!
+//! Two replica shapes exist:
+//!
+//! * **Row shards** — for row-wise Sharding on SGD-family tasks (SVM / LR /
+//!   LS), group `g` owns rows `{i : i mod groups = g}` and holds them as a
+//!   real [`TaskData`] shard cut from the plan's chosen layout (its matrix
+//!   carries *only* the row layout).  Workers resolve a global row id to the
+//!   owning shard and a local index; a worker whose locality group does not
+//!   own the row reads the owning group's shard — the cross-node read a real
+//!   NUMA machine would perform, which the locality accounting surfaces.
+//!   Row values, labels, and the column ids the update writes are identical
+//!   to the unsharded matrix, so execution is bit-for-bit unchanged.  The
+//!   shards are copies cut from the shared row layout (which itself stays
+//!   resident for the per-epoch loss evaluation); replacing the copies with
+//!   row-range views into the shared CSR is a roadmap item.
+//! * **Full references** — for FullReplication, for columnar access (whose
+//!   column-to-row updates read arbitrary rows and global vertex degrees,
+//!   which a shard cannot serve), and for graph-family row access (whose
+//!   per-edge updates read global degrees): every group holds the complete
+//!   task data.  On this single-socket host the "copies" share one
+//!   allocation; the per-replica byte accounting still reports the bytes a
+//!   real per-node copy would occupy.
+
+use crate::access::AccessMethod;
+use crate::plan::{EpochAssignment, ExecutionPlan};
+use crate::replication::DataReplication;
+use crate::task::AnalyticsTask;
+use dw_numa::{DataPlacement, MachineTopology, PlacementPolicy};
+use dw_optim::TaskData;
+use std::sync::Arc;
+
+/// One locality group's view of the immutable data.
+#[derive(Debug, Clone)]
+pub struct DataReplica {
+    /// Locality group (= model replica) this data region serves.
+    pub group: usize,
+    /// NUMA node whose DRAM holds the region (from the placement).
+    pub node: usize,
+    /// Bytes a dedicated copy of this region occupies on its node.
+    pub bytes: u64,
+    /// The data: a row shard or a reference to the full task data.
+    data: Arc<TaskData>,
+}
+
+impl DataReplica {
+    /// The task data this replica serves.
+    pub fn data(&self) -> &Arc<TaskData> {
+        &self.data
+    }
+}
+
+/// Row-ownership index for sharded replicas.
+#[derive(Debug)]
+struct OwnerMap {
+    /// Owning group of each global row.
+    group_of: Vec<u32>,
+    /// Index of each global row inside its owner's shard.
+    local_of: Vec<u32>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    replicas: Vec<DataReplica>,
+    owners: Option<OwnerMap>,
+    placement: DataPlacement,
+}
+
+/// The session-level set of per-group data replicas.
+///
+/// Cheap to clone (`Arc` handle); threaded executors hand clones to their
+/// worker jobs.
+#[derive(Debug, Clone)]
+pub struct DataReplicaSet {
+    inner: Arc<Inner>,
+}
+
+impl DataReplicaSet {
+    /// Build the replica set for one session.
+    ///
+    /// Shard assignment is driven by the `dw-numa` placement machinery:
+    /// `policy` decides which node holds each group's region (the NUMA-aware
+    /// protocol collocates group `g` with node `g mod nodes`; the OS-default
+    /// protocol piles everything onto node 0).
+    pub fn build(
+        plan: &ExecutionPlan,
+        machine: &MachineTopology,
+        policy: PlacementPolicy,
+        task: &AnalyticsTask,
+    ) -> DataReplicaSet {
+        let groups = plan.locality_groups(machine).max(1);
+        let stats = task.data.matrix.stats().clone();
+        let full_bytes = stats.sparse_bytes as u64;
+
+        // Real row shards only where a shard serves every read the update
+        // makes: row-wise Sharding on the SGD-family models.  Graph models
+        // read global vertex degrees from their row updates, and columnar
+        // access reads arbitrary rows — both get full references.  Shards
+        // are also a per-*node* construct (Appendix A places one data region
+        // per NUMA node): a PerCore plan has one locality group per worker,
+        // and cutting a shard per worker would tax session setup for
+        // regions that share a node's DRAM anyway.
+        let shardable = plan.access == AccessMethod::RowWise
+            && plan.data_replication == DataReplication::Sharding
+            && task.kind.is_sgd_family()
+            && groups > 1
+            && groups <= machine.nodes
+            && task.data.examples() > 0;
+
+        let (shards, owners): (Vec<Arc<TaskData>>, Option<OwnerMap>) = if shardable {
+            let rows = task.data.examples();
+            let mut group_of = vec![0u32; rows];
+            let mut local_of = vec![0u32; rows];
+            let mut owned: Vec<Vec<usize>> = vec![Vec::new(); groups];
+            for i in 0..rows {
+                let g = i % groups;
+                group_of[i] = g as u32;
+                local_of[i] = owned[g].len() as u32;
+                owned[g].push(i);
+            }
+            let shards = owned
+                .iter()
+                .map(|rows| Arc::new(task.data.select_rows(rows)))
+                .collect();
+            (shards, Some(OwnerMap { group_of, local_of }))
+        } else {
+            ((0..groups).map(|_| Arc::clone(&task.data)).collect(), None)
+        };
+
+        let bytes_per_group = match plan.data_replication {
+            DataReplication::Sharding if owners.is_some() => (full_bytes / groups as u64).max(1),
+            DataReplication::Sharding => full_bytes,
+            DataReplication::FullReplication | DataReplication::Importance { .. } => full_bytes,
+        };
+        let placement = DataPlacement::place(
+            machine,
+            policy,
+            plan.workers.max(1),
+            groups,
+            bytes_per_group,
+        );
+        let replicas = shards
+            .into_iter()
+            .enumerate()
+            .map(|(g, data)| {
+                // Sharded replicas report what their shard actually holds;
+                // full references report the bytes a dedicated per-node
+                // copy would occupy on a real machine.
+                let bytes = if owners.is_some() {
+                    data.matrix.resident_bytes() as u64
+                } else {
+                    bytes_per_group
+                };
+                DataReplica {
+                    group: g,
+                    node: placement.data_regions[g].node,
+                    bytes,
+                    data,
+                }
+            })
+            .collect();
+        DataReplicaSet {
+            inner: Arc::new(Inner {
+                replicas,
+                owners,
+                placement,
+            }),
+        }
+    }
+
+    /// Number of replicas (= locality groups).
+    pub fn len(&self) -> usize {
+        self.inner.replicas.len()
+    }
+
+    /// Whether the set holds no replicas (never true for a built set).
+    pub fn is_empty(&self) -> bool {
+        self.inner.replicas.is_empty()
+    }
+
+    /// Whether the groups hold real row shards (vs full references).
+    pub fn is_sharded(&self) -> bool {
+        self.inner.owners.is_some()
+    }
+
+    /// The replica serving locality group `group`.
+    pub fn replica(&self, group: usize) -> &DataReplica {
+        &self.inner.replicas[group]
+    }
+
+    /// The placement that assigned each replica to its node.
+    pub fn placement(&self) -> &DataPlacement {
+        &self.inner.placement
+    }
+
+    /// Resolve a worker's item to the data it reads: `(data, local_item,
+    /// local)` where `local` says whether the read stays in the worker's own
+    /// locality group.
+    ///
+    /// For sharded sets the item (a global row id) maps to the owning
+    /// group's shard and the row's local index there; for full references
+    /// the worker reads its own group's copy under the identity mapping.
+    #[inline]
+    pub fn resolve(&self, group: usize, item: usize) -> (&TaskData, usize, bool) {
+        match &self.inner.owners {
+            Some(owners) => {
+                let owner = owners.group_of[item] as usize;
+                (
+                    self.inner.replicas[owner].data.as_ref(),
+                    owners.local_of[item] as usize,
+                    owner == group,
+                )
+            }
+            None => (self.inner.replicas[group].data.as_ref(), item, true),
+        }
+    }
+
+    /// Fraction of the epoch's item reads that stay in the reading worker's
+    /// own locality group under this replica set (1.0 for unsharded sets).
+    pub fn local_read_fraction(&self, assignment: &EpochAssignment) -> f64 {
+        let Some(owners) = &self.inner.owners else {
+            return 1.0;
+        };
+        let mut total = 0usize;
+        let mut local = 0usize;
+        for worker in &assignment.workers {
+            for &item in &worker.items {
+                total += 1;
+                if owners.group_of[item] as usize == worker.replica {
+                    local += 1;
+                }
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+
+    /// Total bytes the replicas would occupy as dedicated per-node copies.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.replicas.iter().map(|r| r.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::build_epoch_assignment;
+    use crate::replication::ModelReplication;
+    use crate::task::ModelKind;
+    use dw_data::{Dataset, PaperDataset};
+
+    fn machine() -> MachineTopology {
+        MachineTopology::local2()
+    }
+
+    fn svm_task() -> AnalyticsTask {
+        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Reuters, 3), ModelKind::Svm)
+    }
+
+    fn plan(access: AccessMethod, model: ModelReplication, data: DataReplication) -> ExecutionPlan {
+        ExecutionPlan::new(&machine(), access, model, data).with_workers(4)
+    }
+
+    #[test]
+    fn rowwise_sharding_builds_real_shards() {
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        assert!(set.is_sharded());
+        assert_eq!(set.len(), 2);
+        // NUMA-aware placement: group g lives on node g.
+        assert_eq!(set.replica(0).node, 0);
+        assert_eq!(set.replica(1).node, 1);
+        // Shards partition the rows.
+        let shard_rows: usize = (0..set.len())
+            .map(|g| set.replica(g).data().examples())
+            .sum();
+        assert_eq!(shard_rows, task.data.examples());
+        // Shards carry only the row layout.
+        for g in 0..set.len() {
+            assert!(set.replica(g).data().matrix.csr_materialized());
+            assert!(!set.replica(g).data().matrix.csc_materialized());
+        }
+    }
+
+    #[test]
+    fn resolved_rows_are_bit_identical_to_the_full_matrix() {
+        // The determinism contract of the shard indirection: every resolved
+        // row serves exactly the bytes the unsharded matrix serves.
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        for i in 0..task.data.examples() {
+            let (shard, local, _) = set.resolve(0, i);
+            let shard_row = shard.row(local);
+            let full_row = task.data.row(i);
+            assert_eq!(shard_row.indices, full_row.indices, "row {i}");
+            assert_eq!(
+                shard_row
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                full_row
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "row {i}"
+            );
+            assert_eq!(shard.labels[local], task.data.labels[i], "label {i}");
+        }
+    }
+
+    #[test]
+    fn full_replication_and_columnar_share_full_references() {
+        let task = svm_task();
+        for p in [
+            plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
+            plan(
+                AccessMethod::ColumnToRow,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            ),
+        ] {
+            let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+            assert!(!set.is_sharded());
+            let (data, local, is_local) = set.resolve(1, 5);
+            assert_eq!(local, 5);
+            assert!(is_local);
+            assert_eq!(data.examples(), task.data.examples());
+        }
+    }
+
+    #[test]
+    fn graph_tasks_never_shard_rows() {
+        // QP/LP row updates read global vertex degrees; a row shard would
+        // change them, so graph tasks must resolve to the full data.
+        let task = AnalyticsTask::from_dataset(
+            &Dataset::generate(PaperDataset::AmazonQp, 3),
+            ModelKind::Qp,
+        );
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        assert!(!set.is_sharded());
+    }
+
+    #[test]
+    fn locality_fraction_reflects_round_robin_ownership() {
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let m = machine();
+        let set = DataReplicaSet::build(&p, &m, PlacementPolicy::NumaAware, &task);
+        let assignment = build_epoch_assignment(&p, &m, &task.data, 0, 1, None);
+        let fraction = set.local_read_fraction(&assignment);
+        // Random shuffle against modular ownership: about half the reads of
+        // a 2-group machine are group-local.
+        assert!((0.3..=0.7).contains(&fraction), "local fraction {fraction}");
+        // Unsharded sets are fully local by definition.
+        let full = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        assert_eq!(full.local_read_fraction(&assignment), 1.0);
+    }
+
+    #[test]
+    fn byte_accounting_scales_with_strategy() {
+        let task = svm_task();
+        let m = machine();
+        let sharded = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        let full = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        // FullReplication costs ~groups× the sharded footprint.
+        assert!(full.total_bytes() >= sharded.total_bytes() * 3 / 2);
+        assert!(!full.is_empty());
+    }
+
+    #[test]
+    fn os_default_placement_piles_data_on_node_zero() {
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::OsDefault, &task);
+        for g in 0..set.len() {
+            assert_eq!(set.replica(g).node, 0);
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //!   original implementation flipped its flag only after the scope joined —
 //!   which the averaging thread itself was blocking.
 
+use crate::data_replica::DataReplicaSet;
 use crate::plan::{EpochAssignment, ExecutionPlan};
 use crate::pool::WorkerPool;
 use crate::replication::ModelReplication;
@@ -49,6 +50,8 @@ pub struct EpochContext<'a> {
     pub assignment: &'a EpochAssignment,
     /// Model replicas, one per locality group.
     pub replicas: &'a [Arc<AtomicModel>],
+    /// Per-group data replicas / shards; every item read goes through it.
+    pub data: &'a DataReplicaSet,
     /// Step size for this epoch.
     pub step: f64,
 }
@@ -113,10 +116,14 @@ impl Executor for InterleavedExecutor {
                 let end = (start + chunk).min(items.len());
                 let replica = ctx.replicas[worker.replica].as_ref();
                 for &item in &items[start..end] {
+                    // Read the item through the worker's locality group: a
+                    // node-local shard row, another group's shard (a remote
+                    // read on a real machine), or the shared full copy.
+                    let (data, local, _) = ctx.data.resolve(worker.replica, item);
                     if columnar {
-                        task.objective.col_step(&task.data, item, replica, ctx.step);
+                        task.objective.col_step(data, local, replica, ctx.step);
                     } else {
-                        task.objective.row_step(&task.data, item, replica, ctx.step);
+                        task.objective.row_step(data, local, replica, ctx.step);
                     }
                 }
             }
@@ -203,7 +210,8 @@ impl Executor for ThreadedExecutor {
 
         let pool = self.pool_for(workers);
         for (w, worker) in ctx.assignment.workers.iter().enumerate() {
-            let data = Arc::clone(&ctx.task.data);
+            let data = ctx.data.clone();
+            let group = worker.replica;
             let objective = Arc::clone(&ctx.task.objective);
             let replica = Arc::clone(&ctx.replicas[worker.replica]);
             let items = Arc::clone(&staged[w]);
@@ -211,10 +219,11 @@ impl Executor for ThreadedExecutor {
                 w,
                 Box::new(move || {
                     for &item in items.iter() {
+                        let (shard, local, _) = data.resolve(group, item);
                         if columnar {
-                            objective.col_step(&data, item, replica.as_ref(), step);
+                            objective.col_step(shard, local, replica.as_ref(), step);
                         } else {
-                            objective.row_step(&data, item, replica.as_ref(), step);
+                            objective.row_step(shard, local, replica.as_ref(), step);
                         }
                     }
                 }),
@@ -274,16 +283,19 @@ impl Executor for SpawnPerEpochExecutor {
             }
             for worker in &ctx.assignment.workers {
                 let task = ctx.task;
+                let data = ctx.data;
+                let group = worker.replica;
                 let replica = ctx.replicas[worker.replica].as_ref();
                 let items = &worker.items;
                 let step = ctx.step;
                 let completed = &completed;
                 scope.spawn(move || {
                     for &item in items {
+                        let (shard, local, _) = data.resolve(group, item);
                         if columnar {
-                            task.objective.col_step(&task.data, item, replica, step);
+                            task.objective.col_step(shard, local, replica, step);
                         } else {
-                            task.objective.row_step(&task.data, item, replica, step);
+                            task.objective.row_step(shard, local, replica, step);
                         }
                     }
                     completed.fetch_add(1, Ordering::Release);
@@ -323,6 +335,12 @@ mod tests {
         let replicas: Vec<Arc<AtomicModel>> = (0..plan.locality_groups(&machine))
             .map(|_| Arc::new(AtomicModel::zeros(task.dim())))
             .collect();
+        let data = crate::data_replica::DataReplicaSet::build(
+            &plan,
+            &machine,
+            dw_numa::PlacementPolicy::NumaAware,
+            &task,
+        );
         let step = task.objective.default_step();
         for epoch in 0..epochs {
             let assignment =
@@ -334,6 +352,7 @@ mod tests {
                 machine: &machine,
                 assignment: &assignment,
                 replicas: &replicas,
+                data: &data,
                 step,
             };
             executor.run_epoch(&ctx);

@@ -149,7 +149,13 @@ impl Optimizer {
         } else {
             DataReplication::Sharding
         };
+        // Record the storage decision: which physical layouts the session
+        // materializes for this access method on this matrix and model
+        // family (graph-family row updates read vertex degrees through
+        // column views; columnar sessions evaluate the loss row-wise).
+        let layout = crate::plan::LayoutDecision::choose(&stats, access, task.kind.is_sgd_family());
         ExecutionPlan::new(&self.machine, access, model_replication, data_replication)
+            .with_layout(layout)
     }
 }
 

@@ -8,10 +8,98 @@
 
 use crate::access::AccessMethod;
 use crate::replication::{DataReplication, ModelReplication};
+use dw_matrix::MatrixStats;
 use dw_numa::MachineTopology;
 use dw_optim::TaskData;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+
+/// Which physical layouts of the data matrix the engine materializes for a
+/// plan — the storage half of the paper's "DimmWitted always stores the
+/// dataset in a way that is consistent with the access method" rule
+/// (Appendix A).
+///
+/// The decision is recorded in the [`ExecutionPlan`] so the session can
+/// materialize eagerly (no epoch pays a conversion) and so the
+/// memory-footprint tests can assert that nothing else was built.  A layout
+/// that is *not* in the decision may still materialize lazily if something
+/// reads through it — the decision is the planner's intent, lazy
+/// materialization is the correctness net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LayoutDecision {
+    /// Row-major compressed storage only (row-wise access).
+    Csr,
+    /// Column-major compressed storage only (pure column-wise access, whose
+    /// update reads and writes a single coordinate).
+    Csc,
+    /// Both compressed layouts: column-to-row access iterates columns but
+    /// must expand the row set `S(j)` through row views (footnote 2).
+    CsrAndCsc,
+}
+
+impl LayoutDecision {
+    /// The layout an access method requires, independent of the data shape.
+    pub fn for_access(access: AccessMethod) -> Self {
+        match access {
+            AccessMethod::RowWise => LayoutDecision::Csr,
+            AccessMethod::ColumnWise => LayoutDecision::Csc,
+            AccessMethod::ColumnToRow => LayoutDecision::CsrAndCsc,
+        }
+    }
+
+    /// The layout decision for an engine *session* running an access method
+    /// on a concrete matrix.
+    ///
+    /// This widens [`LayoutDecision::for_access`] (the structural minimum a
+    /// pure consumer of that access pattern needs) with what session
+    /// execution is guaranteed to read beyond the access method itself:
+    ///
+    /// * every session evaluates the full loss **row-wise** once per epoch,
+    ///   so any columnar plan keeps the row layout resident rather than
+    ///   paying a lazy conversion inside the first epoch;
+    /// * graph-family row updates (`sgd_family = false`) read global vertex
+    ///   degrees through **column** views, so a row-wise graph plan keeps
+    ///   both layouts.
+    ///
+    /// Only row-wise SGD-family execution is genuinely single-layout.
+    /// [`MatrixStats`] hook the storage-density axis of the decision: a
+    /// matrix that is not storage-sparse (`!stats.is_sparse()`, the
+    /// Appendix A ½-space threshold) is the candidate for a dense layout
+    /// arm once the kernels grow a dense path — today it routes through the
+    /// same sparse layouts.  See `EXPERIMENTS.md` for the full matrix.
+    pub fn choose(stats: &MatrixStats, access: AccessMethod, sgd_family: bool) -> Self {
+        let _ = stats.is_sparse();
+        match access {
+            AccessMethod::RowWise if sgd_family => LayoutDecision::Csr,
+            _ => LayoutDecision::CsrAndCsc,
+        }
+    }
+
+    /// Whether the decision materializes the row-major layout.
+    pub fn includes_rows(&self) -> bool {
+        matches!(self, LayoutDecision::Csr | LayoutDecision::CsrAndCsc)
+    }
+
+    /// Whether the decision materializes the column-major layout.
+    pub fn includes_cols(&self) -> bool {
+        matches!(self, LayoutDecision::Csc | LayoutDecision::CsrAndCsc)
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LayoutDecision::Csr => "csr",
+            LayoutDecision::Csc => "csc",
+            LayoutDecision::CsrAndCsc => "csr+csc",
+        }
+    }
+}
+
+impl std::fmt::Display for LayoutDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// The three tradeoff choices plus the degree of parallelism.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -22,12 +110,18 @@ pub struct ExecutionPlan {
     pub model_replication: ModelReplication,
     /// Data replication / partitioning strategy.
     pub data_replication: DataReplication,
+    /// Which physical layouts the engine materializes for this plan.
+    pub layout: LayoutDecision,
     /// Number of workers (defaults to one per physical core).
     pub workers: usize,
 }
 
 impl ExecutionPlan {
     /// A plan with one worker per core of `machine`.
+    ///
+    /// The storage layout defaults to the access method's requirement
+    /// ([`LayoutDecision::for_access`]); the cost-based optimizer refines it
+    /// against the matrix statistics via [`ExecutionPlan::with_layout`].
     pub fn new(
         machine: &MachineTopology,
         access: AccessMethod,
@@ -38,6 +132,7 @@ impl ExecutionPlan {
             access,
             model_replication,
             data_replication,
+            layout: LayoutDecision::for_access(access),
             workers: machine.total_cores(),
         }
     }
@@ -46,6 +141,22 @@ impl ExecutionPlan {
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers > 0, "a plan needs at least one worker");
         self.workers = workers;
+        self
+    }
+
+    /// Record a refined storage-layout decision.
+    ///
+    /// # Panics
+    /// Panics if the layout omits a layout the access method requires.
+    pub fn with_layout(mut self, layout: LayoutDecision) -> Self {
+        let required = LayoutDecision::for_access(self.access);
+        assert!(
+            (!required.includes_rows() || layout.includes_rows())
+                && (!required.includes_cols() || layout.includes_cols()),
+            "layout {layout} does not cover the {} access method",
+            self.access
+        );
+        self.layout = layout;
         self
     }
 
@@ -89,8 +200,8 @@ impl ExecutionPlan {
     /// One-line description used in reports.
     pub fn describe(&self) -> String {
         format!(
-            "{} / {} / {} ({} workers)",
-            self.access, self.model_replication, self.data_replication, self.workers
+            "{} / {} / {} [{}] ({} workers)",
+            self.access, self.model_replication, self.data_replication, self.layout, self.workers
         )
     }
 }

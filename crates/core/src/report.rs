@@ -144,6 +144,7 @@ mod tests {
                 access: AccessMethod::RowWise,
                 model_replication: ModelReplication::PerNode,
                 data_replication: DataReplication::Sharding,
+                layout: crate::plan::LayoutDecision::Csr,
                 workers: 4,
             },
             trace,

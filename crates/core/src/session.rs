@@ -20,6 +20,7 @@
 //! [`ThreadedExecutor`]'s worker pool and cached item buffers persist across
 //! every epoch of the session.
 
+use crate::data_replica::DataReplicaSet;
 use crate::executor::{
     average_replicas, EpochContext, Executor, InterleavedExecutor, ThreadedExecutor,
 };
@@ -29,7 +30,7 @@ use crate::replication::DataReplication;
 use crate::report::{ExecutionMode, RunConfig, RunReport};
 use crate::sim_exec::{simulate_epoch, EpochSimulation};
 use crate::task::AnalyticsTask;
-use dw_numa::{MachineTopology, PerfCounters};
+use dw_numa::{MachineTopology, PerfCounters, PlacementPolicy};
 use dw_optim::{AtomicModel, ConvergenceTrace};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -73,6 +74,9 @@ pub struct EpochEvent {
     pub sim_seconds: f64,
     /// Modelled PMU counters for this epoch.
     pub counters: PerfCounters,
+    /// Fraction of this epoch's data reads served by the reading worker's
+    /// own locality-group replica (1.0 when every group holds a full copy).
+    pub data_locality: f64,
 }
 
 /// Why a stream stopped producing epochs.
@@ -289,6 +293,8 @@ impl Session {
 
     /// Turn the session into a lazy stream of epochs.
     pub fn stream(self) -> EpochStream {
+        // Statistics come from the canonical storage form — nothing is
+        // materialized yet when the simulator and the weights are set up.
         let stats = self.task.data.stats();
         let sim = simulate_epoch(
             &stats,
@@ -296,12 +302,34 @@ impl Session {
             &self.plan,
             &self.machine,
         );
+        // Materialize the layouts the plan decided on, up front, plus what
+        // session execution reads beyond the access method — the per-epoch
+        // loss walks rows for every objective, and graph-family row updates
+        // read vertex degrees through column views — so no epoch pays a
+        // lazy conversion even under a hand-built plan.  (Optimizer-chosen
+        // plans already record the widened decision.)  Anything else stays
+        // unmaterialized — the footprint tests assert it stays that way.
+        self.task.data.matrix.materialize_rows();
+        let needs_cols = self.plan.layout.includes_cols()
+            || (self.plan.access == crate::access::AccessMethod::RowWise
+                && !self.task.kind.is_sgd_family());
+        if needs_cols {
+            self.task.data.matrix.materialize_cols();
+        }
+        // Per-node data replicas / shards, placed by the NUMA-aware
+        // collocation protocol of Appendix A.
+        let data_replicas = DataReplicaSet::build(
+            &self.plan,
+            &self.machine,
+            PlacementPolicy::NumaAware,
+            &self.task,
+        );
         // Leverage-score weights are only needed for row-wise importance
         // sampling (they weight rows; columnar plans sample columns
         // uniformly and never read them).
         let weights = match self.plan.data_replication {
             DataReplication::Importance { .. } if !self.plan.access.is_columnar() => Some(
-                crate::importance::leverage_scores(&self.task.data.csr, 1e-6),
+                crate::importance::leverage_scores(self.task.data.csr(), 1e-6),
             ),
             _ => None,
         };
@@ -328,6 +356,7 @@ impl Session {
             observers: self.observers,
             executor: self.executor,
             replicas,
+            data_replicas,
             weights,
             assignment,
             scratch: Vec::new(),
@@ -367,6 +396,7 @@ pub struct EpochStream {
     observers: Vec<Observer>,
     executor: Box<dyn Executor>,
     replicas: Vec<Arc<AtomicModel>>,
+    data_replicas: DataReplicaSet,
     weights: Option<Vec<f64>>,
     assignment: EpochAssignment,
     scratch: Vec<usize>,
@@ -396,6 +426,11 @@ impl EpochStream {
     /// The execution mechanism driving this stream.
     pub fn executor_name(&self) -> &'static str {
         self.executor.name()
+    }
+
+    /// The per-node data replicas / shards this stream reads through.
+    pub fn data_replicas(&self) -> &DataReplicaSet {
+        &self.data_replicas
     }
 
     /// Drain the remaining epochs and produce the final report.
@@ -468,6 +503,7 @@ impl Iterator for EpochStream {
             machine: &self.machine,
             assignment: &self.assignment,
             replicas: &self.replicas,
+            data: &self.data_replicas,
             step: self.step,
         };
         self.executor.run_epoch(&ctx);
@@ -492,6 +528,7 @@ impl Iterator for EpochStream {
             loss,
             sim_seconds,
             counters: self.sim.counters,
+            data_locality: self.data_replicas.local_read_fraction(&self.assignment),
         };
         for observer in &mut self.observers {
             observer(&event);

@@ -10,7 +10,7 @@
 //! nnz/row URL-token structure; [`figure21_scales`] is the subsampling sweep.
 
 use crate::generators::LabeledData;
-use dw_matrix::{CsrMatrix, SparseVector};
+use dw_matrix::CooMatrix;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -38,9 +38,9 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
             }
         })
         .collect();
-    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut matrix = CooMatrix::new(rows, FEATURES);
     let mut labels = Vec::with_capacity(rows);
-    for _ in 0..rows {
+    for row in 0..rows {
         let nnz = rng.random_range(NNZ_PER_ROW / 2..=NNZ_PER_ROW * 2);
         let mut token_set = std::collections::BTreeMap::new();
         while token_set.len() < nnz {
@@ -50,19 +50,20 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
             } else {
                 rng.random_range(0..FEATURES)
             };
-            token_set.entry(token as u32).or_insert(1.0);
+            token_set.entry(token as u32).or_insert(1.0f64);
         }
-        let sv = SparseVector::from_parts(
-            token_set.keys().copied().collect(),
-            token_set.values().copied().collect(),
-        );
-        let score: f64 =
-            sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>() + rng.random::<f64>() * 0.01;
+        let score: f64 = token_set
+            .iter()
+            .map(|(&j, &v)| v * ground_truth[j as usize])
+            .sum::<f64>()
+            + rng.random::<f64>() * 0.01;
         labels.push(score);
-        sparse_rows.push(sv);
+        for (&j, &v) in &token_set {
+            matrix
+                .push(row, j as usize, v)
+                .expect("tokens within feature range");
+        }
     }
-    let matrix =
-        CsrMatrix::from_sparse_rows(FEATURES, &sparse_rows).expect("tokens within feature range");
     LabeledData {
         matrix,
         labels,
@@ -93,7 +94,7 @@ mod tests {
     #[test]
     fn rows_have_url_like_sparsity() {
         let data = clueweb_like(0.02, 5);
-        let stats = MatrixStats::from_csr(&data.matrix);
+        let stats = MatrixStats::from_coo(&data.matrix);
         assert!(stats.avg_row_nnz >= 4.0 && stats.avg_row_nnz <= 16.0);
         assert!(stats.is_sparse());
     }

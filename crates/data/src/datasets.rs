@@ -2,7 +2,7 @@
 
 use crate::generators::{self, GraphData, LabeledData};
 use crate::spec::{DatasetSpec, PaperDataset};
-use dw_matrix::{CsrMatrix, MatrixStats};
+use dw_matrix::{DataMatrix, MatrixStats};
 
 /// Which family of statistical task a dataset is intended for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -24,8 +24,9 @@ pub enum TaskHint {
 pub struct Dataset {
     /// Dataset name (matches [`PaperDataset::name`]).
     pub name: String,
-    /// The data matrix `A` in CSR format.
-    pub matrix: CsrMatrix,
+    /// The data matrix `A` behind the lazy storage layer (canonical COO
+    /// source; compressed layouts materialize on demand).
+    pub matrix: DataMatrix,
     /// Per-row labels (±1 or regression targets); empty for graph tasks.
     pub labels: Vec<f64>,
     /// Per-column vertex costs for LP/QP tasks; empty otherwise.
@@ -95,7 +96,7 @@ impl Dataset {
     ) -> Dataset {
         Dataset {
             name: dataset.name().to_string(),
-            matrix: data.matrix,
+            matrix: DataMatrix::from_coo(data.matrix),
             labels: data.labels,
             vertex_costs: Vec::new(),
             ground_truth: data.ground_truth,
@@ -112,7 +113,7 @@ impl Dataset {
     ) -> Dataset {
         Dataset {
             name: dataset.name().to_string(),
-            matrix: graph.incidence,
+            matrix: DataMatrix::from_coo(graph.incidence),
             labels: Vec::new(),
             vertex_costs: graph.vertex_costs,
             ground_truth: Vec::new(),
@@ -121,9 +122,10 @@ impl Dataset {
         }
     }
 
-    /// Shape statistics of the generated matrix.
+    /// Shape statistics of the generated matrix (computed from the
+    /// canonical form; never materializes a layout).
     pub fn stats(&self) -> MatrixStats {
-        MatrixStats::from_csr(&self.matrix)
+        self.matrix.stats().clone()
     }
 
     /// Model dimension `d`.

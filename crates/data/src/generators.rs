@@ -10,16 +10,22 @@
 //! * [`graph_edges`] — preferential-attachment graphs whose edge-incidence
 //!   matrix is the data matrix for the LP/QP network-analysis tasks
 //!   (Amazon-like, Google-like).
+//!
+//! All generators emit the matrix in **COO (triplet) form** — the canonical
+//! source of the unified storage layer.  Materializing a compressed layout
+//! is the planner's decision (`dw_matrix::DataMatrix`), not the generator's:
+//! a row-wise plan builds CSR, a columnar plan builds CSC, and neither pays
+//! for the layout it does not use.
 
-use dw_matrix::{CooMatrix, CsrMatrix, SparseVector};
+use dw_matrix::CooMatrix;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
 /// Output of the supervised generators: a data matrix and per-row labels.
 #[derive(Debug, Clone)]
 pub struct LabeledData {
-    /// The data matrix `A ∈ R^{N×d}` in CSR format.
-    pub matrix: CsrMatrix,
+    /// The data matrix `A ∈ R^{N×d}` in canonical COO (triplet) form.
+    pub matrix: CooMatrix,
     /// One label per row; ±1 for classification, real-valued for regression.
     pub labels: Vec<f64>,
     /// The planted ground-truth model used to generate labels.
@@ -30,8 +36,9 @@ pub struct LabeledData {
 /// costs used by the LP/QP objectives.
 #[derive(Debug, Clone)]
 pub struct GraphData {
-    /// Edge-incidence matrix: one row per edge with two ±1 entries.
-    pub incidence: CsrMatrix,
+    /// Edge-incidence matrix in canonical COO form: one row per edge with
+    /// two ±1 entries.
+    pub incidence: CooMatrix,
     /// Per-vertex cost vector `c` (length = number of vertices).
     pub vertex_costs: Vec<f64>,
     /// Edge list as (u, v) pairs.
@@ -66,9 +73,9 @@ pub fn sparse_classification(
         })
         .collect();
 
-    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut matrix = CooMatrix::new(rows, cols);
     let mut labels = Vec::with_capacity(rows);
-    for _ in 0..rows {
+    for row in 0..rows {
         let target_nnz = sample_row_nnz(&mut rng, nnz_per_row, cols);
         let mut cols_set = std::collections::BTreeMap::new();
         while cols_set.len() < target_nnz {
@@ -76,20 +83,21 @@ pub fn sparse_classification(
             let value = 0.2 + rng.random::<f64>();
             cols_set.entry(col as u32).or_insert(value);
         }
-        let sv = SparseVector::from_parts(
-            cols_set.keys().copied().collect(),
-            cols_set.values().copied().collect(),
-        );
-        let margin: f64 = sv.iter().map(|(j, v)| v * ground_truth[j]).sum::<f64>();
+        let margin: f64 = cols_set
+            .iter()
+            .map(|(&j, &v)| v * ground_truth[j as usize])
+            .sum::<f64>();
         let mut label = if margin >= 0.0 { 1.0 } else { -1.0 };
         if rng.random::<f64>() < label_noise {
             label = -label;
         }
         labels.push(label);
-        sparse_rows.push(sv);
+        for (&j, &v) in &cols_set {
+            matrix
+                .push(row, j as usize, v)
+                .expect("generator produces in-bounds columns");
+        }
     }
-    let matrix = CsrMatrix::from_sparse_rows(cols, &sparse_rows)
-        .expect("generator produces in-bounds columns");
     LabeledData {
         matrix,
         labels,
@@ -111,11 +119,10 @@ pub fn dense_regression(
 ) -> LabeledData {
     let mut rng = StdRng::seed_from_u64(seed);
     let ground_truth: Vec<f64> = (0..cols).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect();
-    let mut sparse_rows = Vec::with_capacity(rows);
+    let mut matrix = CooMatrix::new(rows, cols);
     let mut labels = Vec::with_capacity(rows);
-    for _ in 0..rows {
+    for row in 0..rows {
         let values: Vec<f64> = (0..cols).map(|_| gaussian(&mut rng)).collect();
-        let indices: Vec<u32> = (0..cols as u32).collect();
         let dot: f64 = values.iter().zip(&ground_truth).map(|(a, w)| a * w).sum();
         let noisy = dot + gaussian(&mut rng) * noise;
         labels.push(if classification {
@@ -127,10 +134,12 @@ pub fn dense_regression(
         } else {
             noisy
         });
-        sparse_rows.push(SparseVector::from_parts(indices, values));
+        for (j, &v) in values.iter().enumerate() {
+            matrix
+                .push(row, j, v)
+                .expect("generator produces in-bounds columns");
+        }
     }
-    let matrix = CsrMatrix::from_sparse_rows(cols, &sparse_rows)
-        .expect("generator produces in-bounds columns");
     LabeledData {
         matrix,
         labels,
@@ -178,7 +187,7 @@ pub fn graph_edges(vertices: usize, edges: usize, seed: u64) -> GraphData {
     }
     let vertex_costs: Vec<f64> = (0..vertices).map(|_| 0.5 + rng.random::<f64>()).collect();
     GraphData {
-        incidence: coo.to_csr(),
+        incidence: coo,
         vertex_costs,
         edges: edge_list,
     }
@@ -220,7 +229,7 @@ mod tests {
         assert_eq!(data.matrix.rows(), 200);
         assert_eq!(data.matrix.cols(), 500);
         assert_eq!(data.labels.len(), 200);
-        let stats = MatrixStats::from_csr(&data.matrix);
+        let stats = MatrixStats::from_coo(&data.matrix);
         assert!(stats.avg_row_nnz >= 5.0 && stats.avg_row_nnz <= 16.0);
         assert!(stats.is_sparse());
         assert!(data.labels.iter().all(|&l| l == 1.0 || l == -1.0));
@@ -260,7 +269,7 @@ mod tests {
         let data = dense_regression(100, 20, 0.1, false, 5);
         assert_eq!(data.matrix.rows(), 100);
         assert_eq!(data.matrix.cols(), 20);
-        let stats = MatrixStats::from_csr(&data.matrix);
+        let stats = MatrixStats::from_coo(&data.matrix);
         assert!((stats.density - 1.0).abs() < 1e-9);
         assert!(!stats.is_sparse());
         // Regression labels should not all be ±1.
@@ -281,8 +290,8 @@ mod tests {
         assert_eq!(g.vertex_costs.len(), 100);
         assert_eq!(g.edges.len(), 300);
         // Every row has exactly 2 non-zeros.
-        for i in 0..g.incidence.rows() {
-            assert_eq!(g.incidence.row_nnz(i), 2);
+        for (i, count) in g.incidence.converted_row_nnz().into_iter().enumerate() {
+            assert_eq!(count, 2, "row {i}");
         }
         // No self loops or duplicate edges.
         let mut keys: Vec<(usize, usize)> =
@@ -313,9 +322,9 @@ mod tests {
             prop_assert_eq!(data.matrix.cols(), cols);
             prop_assert_eq!(data.labels.len(), rows);
             prop_assert_eq!(data.ground_truth.len(), cols);
-            for i in 0..rows {
-                prop_assert!(data.matrix.row_nnz(i) >= 1);
-                prop_assert!(data.matrix.row_nnz(i) <= cols);
+            for (i, count) in data.matrix.converted_row_nnz().into_iter().enumerate() {
+                prop_assert!(count >= 1, "row {i}");
+                prop_assert!(count <= cols, "row {i}");
             }
         }
 

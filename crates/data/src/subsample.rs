@@ -65,10 +65,10 @@ mod tests {
 
     #[test]
     fn subsample_reduces_nnz_proportionally() {
-        let data = dense_regression(300, 80, 0.1, false, 9);
-        let full_nnz = data.matrix.nnz();
-        let half = subsample_rows(&data.matrix, 0.5, 1);
-        let tenth = subsample_rows(&data.matrix, 0.1, 1);
+        let matrix = dense_regression(300, 80, 0.1, false, 9).matrix.to_csr();
+        let full_nnz = matrix.nnz();
+        let half = subsample_rows(&matrix, 0.5, 1);
+        let tenth = subsample_rows(&matrix, 0.1, 1);
         let half_frac = half.nnz() as f64 / full_nnz as f64;
         let tenth_frac = tenth.nnz() as f64 / full_nnz as f64;
         assert!((half_frac - 0.5).abs() < 0.05, "half frac {half_frac}");
@@ -77,15 +77,15 @@ mod tests {
 
     #[test]
     fn subsample_full_is_identity() {
-        let data = dense_regression(50, 10, 0.1, false, 9);
-        let same = subsample_rows(&data.matrix, 1.0, 3);
-        assert_eq!(same, data.matrix);
+        let matrix = dense_regression(50, 10, 0.1, false, 9).matrix.to_csr();
+        let same = subsample_rows(&matrix, 1.0, 3);
+        assert_eq!(same, matrix);
     }
 
     #[test]
     fn no_row_becomes_empty() {
-        let data = dense_regression(100, 40, 0.1, false, 10);
-        let sub = subsample_rows(&data.matrix, 0.01, 2);
+        let matrix = dense_regression(100, 40, 0.1, false, 10).matrix.to_csr();
+        let sub = subsample_rows(&matrix, 0.01, 2);
         for i in 0..sub.rows() {
             assert!(sub.row_nnz(i) >= 1);
         }
@@ -94,8 +94,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "keep_fraction")]
     fn invalid_fraction_panics() {
-        let data = dense_regression(5, 5, 0.1, false, 1);
-        let _ = subsample_rows(&data.matrix, 0.0, 1);
+        let matrix = dense_regression(5, 5, 0.1, false, 1).matrix.to_csr();
+        let _ = subsample_rows(&matrix, 0.0, 1);
     }
 
     #[test]
@@ -111,11 +111,11 @@ mod tests {
     fn subsampling_sweeps_cost_ratio() {
         // Subsampling a dense matrix lowers Σnᵢ² faster than Σnᵢ, raising the
         // cost ratio — this is what creates the crossover in Figure 7(b).
-        let data = dense_regression(200, 90, 0.1, false, 21);
+        let matrix = dense_regression(200, 90, 0.1, false, 21).matrix.to_csr();
         let alpha = 10.0;
-        let full_ratio = MatrixStats::from_csr(&data.matrix).cost_ratio(alpha);
+        let full_ratio = MatrixStats::from_csr(&matrix).cost_ratio(alpha);
         let sparse_ratio =
-            MatrixStats::from_csr(&subsample_rows(&data.matrix, 0.02, 3)).cost_ratio(alpha);
+            MatrixStats::from_csr(&subsample_rows(&matrix, 0.02, 3)).cost_ratio(alpha);
         assert!(sparse_ratio > full_ratio);
     }
 
@@ -124,14 +124,14 @@ mod tests {
 
         #[test]
         fn prop_subsample_is_subset(keep in 0.05f64..1.0, seed in 0u64..50) {
-            let data = dense_regression(40, 20, 0.1, false, 17);
-            let sub = subsample_rows(&data.matrix, keep, seed);
-            prop_assert_eq!(sub.rows(), data.matrix.rows());
-            prop_assert_eq!(sub.cols(), data.matrix.cols());
-            prop_assert!(sub.nnz() <= data.matrix.nnz());
+            let matrix = dense_regression(40, 20, 0.1, false, 17).matrix.to_csr();
+            let sub = subsample_rows(&matrix, keep, seed);
+            prop_assert_eq!(sub.rows(), matrix.rows());
+            prop_assert_eq!(sub.cols(), matrix.cols());
+            prop_assert!(sub.nnz() <= matrix.nnz());
             for i in 0..sub.rows() {
                 for (j, v) in sub.row(i).iter() {
-                    prop_assert_eq!(data.matrix.get(i, j), v);
+                    prop_assert_eq!(matrix.get(i, j), v);
                 }
             }
         }

@@ -8,7 +8,7 @@
 use crate::{CscMatrix, CsrMatrix, DenseMatrix, Entry, Layout, MatrixError, Shape};
 
 /// A sparse matrix under construction, stored as unsorted triplets.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CooMatrix {
     shape: Shape,
     entries: Vec<Entry>,
@@ -16,7 +16,16 @@ pub struct CooMatrix {
 
 impl CooMatrix {
     /// Create an empty builder with the given shape.
+    ///
+    /// # Panics
+    /// Panics if either dimension exceeds `u32::MAX` — the bound every
+    /// compressed layout in this crate already imposes through its `u32`
+    /// index arrays.
     pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows <= u32::MAX as usize && cols <= u32::MAX as usize,
+            "matrix dimensions must fit u32 indices"
+        );
         CooMatrix {
             shape: Shape::new(rows, cols),
             entries: Vec::new(),
@@ -28,9 +37,70 @@ impl CooMatrix {
         self.shape
     }
 
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
     /// Number of entries pushed so far (duplicates counted separately).
     pub fn nnz(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Bytes occupied by the triplet representation.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<Entry>()
+    }
+
+    /// Per-row stored-entry counts of the *converted* matrix: duplicates at
+    /// the same `(row, col)` are merged and entries whose merged value is
+    /// zero are dropped, exactly as [`CooMatrix::to_csr`] does (the same
+    /// merge routine backs both).
+    ///
+    /// This lets [`crate::MatrixStats`] be computed from the canonical COO
+    /// form without materializing any compressed layout.
+    pub fn converted_row_nnz(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.shape.rows];
+        self.merge_entries(false, |row, _, _| counts[row] += 1);
+        counts
+    }
+
+    /// The one duplicate-merging pass every conversion is built on.
+    ///
+    /// Sorts a copy of the entries row-major (`column_major = false`) or
+    /// column-major (`true`) with a *stable* sort — duplicates at the same
+    /// `(row, col)` keep push order, so their values sum in the same order
+    /// on every path — merges them, drops zero sums, and calls
+    /// `emit(row, col, value)` for each surviving entry in sorted order.
+    /// Centralizing this is what makes `to_csr`, `to_csc` and
+    /// [`CooMatrix::converted_row_nnz`] bit-consistent with each other by
+    /// construction.
+    fn merge_entries(&self, column_major: bool, mut emit: impl FnMut(usize, usize, f64)) {
+        let mut sorted = self.entries.clone();
+        if column_major {
+            sorted.sort_by_key(|e| (e.col, e.row));
+        } else {
+            sorted.sort_by_key(|e| (e.row, e.col));
+        }
+        let mut i = 0usize;
+        while i < sorted.len() {
+            let e = sorted[i];
+            let mut value = e.value;
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].row == e.row && sorted[j].col == e.col {
+                value += sorted[j].value;
+                j += 1;
+            }
+            if value != 0.0 {
+                emit(e.row as usize, e.col as usize, value);
+            }
+            i = j;
+        }
     }
 
     /// Append one entry.
@@ -42,7 +112,11 @@ impl CooMatrix {
                 shape: (self.shape.rows, self.shape.cols),
             });
         }
-        self.entries.push(Entry { row, col, value });
+        self.entries.push(Entry {
+            row: row as u32,
+            col: col as u32,
+            value,
+        });
         Ok(())
     }
 
@@ -53,33 +127,19 @@ impl CooMatrix {
 
     /// Convert to CSR, summing duplicates and dropping explicit zeros.
     pub fn to_csr(&self) -> CsrMatrix {
-        let mut sorted = self.entries.clone();
-        sorted.sort_by_key(|a| (a.row, a.col));
         let mut indptr = Vec::with_capacity(self.shape.rows + 1);
-        let mut indices = Vec::with_capacity(sorted.len());
-        let mut data = Vec::with_capacity(sorted.len());
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut data = Vec::with_capacity(self.entries.len());
         indptr.push(0u32);
         let mut current_row = 0usize;
-        let mut i = 0usize;
-        while i < sorted.len() {
-            let e = sorted[i];
-            while current_row < e.row {
+        self.merge_entries(false, |row, col, value| {
+            while current_row < row {
                 indptr.push(indices.len() as u32);
                 current_row += 1;
             }
-            // Sum duplicates at (row, col).
-            let mut value = e.value;
-            let mut j = i + 1;
-            while j < sorted.len() && sorted[j].row == e.row && sorted[j].col == e.col {
-                value += sorted[j].value;
-                j += 1;
-            }
-            if value != 0.0 {
-                indices.push(e.col as u32);
-                data.push(value);
-            }
-            i = j;
-        }
+            indices.push(col as u32);
+            data.push(value);
+        });
         while current_row < self.shape.rows {
             indptr.push(indices.len() as u32);
             current_row += 1;
@@ -89,16 +149,40 @@ impl CooMatrix {
     }
 
     /// Convert to CSC, summing duplicates and dropping explicit zeros.
+    ///
+    /// Converts directly (column-major pass over the shared merge routine)
+    /// without materializing an intermediate CSR matrix, so a column-only
+    /// consumer never allocates a row-major layout.  The result is
+    /// bit-equal to `self.to_csr().to_csc()`.
     pub fn to_csc(&self) -> CscMatrix {
-        self.to_csr().to_csc()
+        let mut indptr = Vec::with_capacity(self.shape.cols + 1);
+        let mut indices = Vec::with_capacity(self.entries.len());
+        let mut data = Vec::with_capacity(self.entries.len());
+        indptr.push(0u32);
+        let mut current_col = 0usize;
+        self.merge_entries(true, |row, col, value| {
+            while current_col < col {
+                indptr.push(indices.len() as u32);
+                current_col += 1;
+            }
+            indices.push(row as u32);
+            data.push(value);
+        });
+        while current_col < self.shape.cols {
+            indptr.push(indices.len() as u32);
+            current_col += 1;
+        }
+        CscMatrix::from_parts(self.shape.rows, self.shape.cols, indptr, indices, data)
+            .expect("COO builder produced a structurally valid CSC")
     }
 
     /// Convert to a dense matrix in the requested layout.
     pub fn to_dense(&self, layout: Layout) -> DenseMatrix {
         let mut m = DenseMatrix::zeros(self.shape.rows, self.shape.cols, layout);
         for e in &self.entries {
-            let prev = m.get(e.row, e.col);
-            m.set(e.row, e.col, prev + e.value);
+            let (row, col) = (e.row as usize, e.col as usize);
+            let prev = m.get(row, col);
+            m.set(row, col, prev + e.value);
         }
         m
     }
@@ -107,6 +191,28 @@ impl CooMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_direct_csc_matches_csr_route(
+            triplets in proptest::collection::vec(
+                (0usize..7, 0usize..5, -5.0f64..5.0),
+                0..40,
+            ),
+        ) {
+            let mut coo = CooMatrix::new(7, 5);
+            for (r, c, v) in triplets {
+                // Map a slice of the value range to exact zero so explicit
+                // zeros and cancellation paths are exercised.
+                let v = if v < -4.0 { 0.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            // Duplicates and explicit zeros must merge identically on both
+            // conversion routes, down to the last bit.
+            prop_assert_eq!(coo.to_csc(), coo.to_csr().to_csc());
+        }
+    }
 
     #[test]
     fn push_and_bounds() {
@@ -151,6 +257,25 @@ mod tests {
         coo.push(0, 0, 2.0).unwrap();
         let d = coo.to_dense(Layout::RowMajor);
         assert_eq!(d.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn converted_row_nnz_matches_csr() {
+        let mut coo = CooMatrix::new(4, 3);
+        coo.push(0, 1, 2.0).unwrap();
+        coo.push(0, 1, 3.0).unwrap(); // duplicate, merges
+        coo.push(2, 0, 1.0).unwrap();
+        coo.push(2, 2, -1.0).unwrap();
+        coo.push(3, 1, 4.0).unwrap();
+        coo.push(3, 1, -4.0).unwrap(); // cancels, dropped
+        let counts = coo.converted_row_nnz();
+        let csr = coo.to_csr();
+        let expected: Vec<usize> = (0..4).map(|i| csr.row_nnz(i)).collect();
+        assert_eq!(counts, expected);
+        assert_eq!(counts, vec![1, 0, 2, 0]);
+        assert_eq!(coo.rows(), 4);
+        assert_eq!(coo.cols(), 3);
+        assert!(coo.size_bytes() > 0);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! `S(j) = {i : a_ij ≠ 0}` (footnote 2 of the paper); [`ColView::rows`]
 //! exposes exactly that set.
 
-use crate::{CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
+use crate::views::ColAccess;
+use crate::{ColView, CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
 
 /// A sparse matrix in Compressed Sparse Column format.
 #[derive(Debug, Clone, PartialEq)]
@@ -17,49 +18,6 @@ pub struct CscMatrix {
     indices: Vec<u32>,
     /// Values aligned with `indices`.
     data: Vec<f64>,
-}
-
-/// A borrowed view of one column of a [`CscMatrix`].
-#[derive(Debug, Clone, Copy)]
-pub struct ColView<'a> {
-    /// Row indices of the column's non-zero entries (the set `S(j)`).
-    pub indices: &'a [u32],
-    /// Values aligned with `indices`.
-    pub values: &'a [f64],
-}
-
-impl<'a> ColView<'a> {
-    /// Number of non-zero entries in the column.
-    pub fn nnz(&self) -> usize {
-        self.indices.len()
-    }
-
-    /// Iterate over `(row, value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
-        self.indices
-            .iter()
-            .zip(self.values.iter())
-            .map(|(&i, &v)| (i as usize, v))
-    }
-
-    /// The row set `S(j)` for column-to-row access.
-    pub fn rows(&self) -> impl Iterator<Item = usize> + 'a {
-        self.indices.iter().map(|&i| i as usize)
-    }
-
-    /// Dot product of this column with a dense vector indexed by row.
-    pub fn dot(&self, dense: &[f64]) -> f64 {
-        let mut acc = 0.0;
-        for (i, v) in self.iter() {
-            acc += v * dense[i];
-        }
-        acc
-    }
-
-    /// Sum of squares of the stored values (used by SCD step sizes).
-    pub fn norm2_squared(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum()
-    }
 }
 
 impl CscMatrix {
@@ -236,6 +194,20 @@ impl CscMatrix {
             indices,
             data,
         }
+    }
+}
+
+impl ColAccess for CscMatrix {
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn col(&self, j: usize) -> ColView<'_> {
+        CscMatrix::col(self, j)
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        CscMatrix::col_nnz(self, j)
     }
 }
 

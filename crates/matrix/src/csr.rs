@@ -6,7 +6,8 @@
 //! [`RowView`] of aligned index/value slices so the gradient kernels can
 //! stream it without copying.
 
-use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, Shape, SparseVector};
+use crate::views::RowAccess;
+use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, RowView, Shape, SparseVector};
 
 /// A sparse matrix in Compressed Sparse Row format.
 #[derive(Debug, Clone, PartialEq)]
@@ -18,44 +19,6 @@ pub struct CsrMatrix {
     indices: Vec<u32>,
     /// Values aligned with `indices`.
     data: Vec<f64>,
-}
-
-/// A borrowed view of one row of a [`CsrMatrix`].
-#[derive(Debug, Clone, Copy)]
-pub struct RowView<'a> {
-    /// Column indices of the row's non-zero entries.
-    pub indices: &'a [u32],
-    /// Values aligned with `indices`.
-    pub values: &'a [f64],
-}
-
-impl<'a> RowView<'a> {
-    /// Number of non-zero entries in the row.
-    pub fn nnz(&self) -> usize {
-        self.indices.len()
-    }
-
-    /// Iterate over `(column, value)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
-        self.indices
-            .iter()
-            .zip(self.values.iter())
-            .map(|(&i, &v)| (i as usize, v))
-    }
-
-    /// Dot product of this row with a dense model vector.
-    pub fn dot(&self, dense: &[f64]) -> f64 {
-        let mut acc = 0.0;
-        for (i, v) in self.iter() {
-            acc += v * dense[i];
-        }
-        acc
-    }
-
-    /// Copy this row into an owned [`SparseVector`].
-    pub fn to_sparse_vector(&self) -> SparseVector {
-        SparseVector::from_parts(self.indices.to_vec(), self.values.to_vec())
-    }
 }
 
 impl CsrMatrix {
@@ -284,6 +247,20 @@ impl CsrMatrix {
             indices,
             data,
         }
+    }
+}
+
+impl RowAccess for CsrMatrix {
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn row(&self, i: usize) -> RowView<'_> {
+        CsrMatrix::row(self, i)
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        CsrMatrix::row_nnz(self, i)
     }
 }
 

@@ -1,0 +1,461 @@
+//! The unified storage layer: one logical matrix, plan-driven layouts.
+//!
+//! The paper treats the physical layout of the data matrix as an *engine
+//! decision*: "DimmWitted always stores the dataset in a way that is
+//! consistent with the access method" (Appendix A).  [`DataMatrix`] is the
+//! storage object that makes that decision cheap to defer — it holds one
+//! canonical source form (usually the COO triplets a generator emits) and
+//! materializes the compressed layouts **lazily**, caching each one the
+//! first time it is requested:
+//!
+//! * [`DataMatrix::csr`] — row-major compressed storage for row-wise access,
+//! * [`DataMatrix::csc`] — column-major compressed storage for column-wise
+//!   and column-to-row access,
+//! * [`DataMatrix::dense`] — row-major dense storage for dense workloads.
+//!
+//! A plan that only ever walks rows therefore never allocates the CSC
+//! arrays (and vice versa); the planner can eagerly materialize its chosen
+//! layout up front with [`DataMatrix::materialize_rows`] /
+//! [`DataMatrix::materialize_cols`] so no epoch pays the conversion cost.
+//!
+//! Clones share the underlying storage (the handle is an `Arc`), so a
+//! layout materialized through any clone — a dataset, a task, a shard
+//! builder — is visible to every other holder, and the bytes are counted
+//! once.  [`MatrixStats`] are computed from the canonical form without
+//! materializing anything, which is what lets the cost-based optimizer pick
+//! an access method (and hence a layout) *before* any layout exists.
+
+use crate::views::{ColAccess, RowAccess};
+use crate::{
+    ColView, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, Layout, MatrixStats, RowView, Shape,
+};
+use std::sync::{Arc, OnceLock};
+
+/// The canonical form a [`DataMatrix`] was built from.
+#[derive(Debug, Clone)]
+enum Source {
+    /// Unordered triplets (the generator output; cheapest to produce).
+    Coo(CooMatrix),
+    /// Already row-major (e.g. a shard cut out of another CSR matrix).
+    Csr(CsrMatrix),
+    /// Already column-major.
+    Csc(CscMatrix),
+}
+
+#[derive(Debug)]
+struct Inner {
+    shape: Shape,
+    source: Source,
+    csr: OnceLock<CsrMatrix>,
+    csc: OnceLock<CscMatrix>,
+    dense: OnceLock<DenseMatrix>,
+    stats: OnceLock<MatrixStats>,
+}
+
+/// A logical data matrix with lazily materialized, cached physical layouts.
+///
+/// Cloning is cheap (an `Arc` bump) and clones share the layout caches.
+#[derive(Debug, Clone)]
+pub struct DataMatrix {
+    inner: Arc<Inner>,
+}
+
+impl DataMatrix {
+    fn from_source(shape: Shape, source: Source) -> Self {
+        DataMatrix {
+            inner: Arc::new(Inner {
+                shape,
+                source,
+                csr: OnceLock::new(),
+                csc: OnceLock::new(),
+                dense: OnceLock::new(),
+                stats: OnceLock::new(),
+            }),
+        }
+    }
+
+    /// Build from the canonical COO form; nothing is materialized yet.
+    pub fn from_coo(coo: CooMatrix) -> Self {
+        Self::from_source(coo.shape(), Source::Coo(coo))
+    }
+
+    /// Build from an existing CSR matrix (counts as the row layout being
+    /// materialized).
+    pub fn from_csr(csr: CsrMatrix) -> Self {
+        Self::from_source(csr.shape(), Source::Csr(csr))
+    }
+
+    /// Build from an existing CSC matrix (counts as the column layout being
+    /// materialized).
+    pub fn from_csc(csc: CscMatrix) -> Self {
+        Self::from_source(csc.shape(), Source::Csc(csc))
+    }
+
+    /// Shape of the matrix.
+    pub fn shape(&self) -> Shape {
+        self.inner.shape
+    }
+
+    /// Number of rows (examples `N`).
+    pub fn rows(&self) -> usize {
+        self.inner.shape.rows
+    }
+
+    /// Number of columns (model dimension `d`).
+    pub fn cols(&self) -> usize {
+        self.inner.shape.cols
+    }
+
+    /// Number of stored non-zeros after duplicate merging / zero dropping.
+    ///
+    /// Computed from the cached statistics; never materializes a layout.
+    pub fn nnz(&self) -> usize {
+        self.stats().nnz
+    }
+
+    /// Matrix statistics for the cost-based optimizer.
+    ///
+    /// Computed once from the canonical source form (or from an
+    /// already-materialized layout when one exists) and cached; never
+    /// triggers a layout materialization.
+    pub fn stats(&self) -> &MatrixStats {
+        self.inner.stats.get_or_init(|| {
+            if let Some(csr) = self.csr_if_materialized() {
+                return MatrixStats::from_csr(csr);
+            }
+            match &self.inner.source {
+                Source::Coo(coo) => MatrixStats::from_coo(coo),
+                Source::Csr(csr) => MatrixStats::from_csr(csr),
+                Source::Csc(csc) => MatrixStats::from_csc(csc),
+            }
+        })
+    }
+
+    /// The row-major compressed layout, materialized and cached on first
+    /// request.
+    pub fn csr(&self) -> &CsrMatrix {
+        if let Source::Csr(csr) = &self.inner.source {
+            return csr;
+        }
+        self.inner.csr.get_or_init(|| match &self.inner.source {
+            Source::Coo(coo) => coo.to_csr(),
+            Source::Csc(csc) => csc.to_csr(),
+            Source::Csr(_) => unreachable!("handled above"),
+        })
+    }
+
+    /// The column-major compressed layout, materialized and cached on first
+    /// request.  Built directly from the COO source (no transient CSR).
+    pub fn csc(&self) -> &CscMatrix {
+        if let Source::Csc(csc) = &self.inner.source {
+            return csc;
+        }
+        self.inner.csc.get_or_init(|| match &self.inner.source {
+            Source::Coo(coo) => coo.to_csc(),
+            Source::Csr(csr) => csr.to_csc(),
+            Source::Csc(_) => unreachable!("handled above"),
+        })
+    }
+
+    /// The row-major dense layout, materialized and cached on first request.
+    pub fn dense(&self) -> &DenseMatrix {
+        self.inner.dense.get_or_init(|| match &self.inner.source {
+            Source::Coo(coo) => coo.to_dense(Layout::RowMajor),
+            Source::Csr(csr) => csr.to_dense(Layout::RowMajor),
+            Source::Csc(csc) => csc.to_dense(Layout::RowMajor),
+        })
+    }
+
+    /// Eagerly materialize the row layout (planner hook).
+    pub fn materialize_rows(&self) {
+        let _ = self.csr();
+    }
+
+    /// Eagerly materialize the column layout (planner hook).
+    pub fn materialize_cols(&self) {
+        let _ = self.csc();
+    }
+
+    fn csr_if_materialized(&self) -> Option<&CsrMatrix> {
+        if let Source::Csr(csr) = &self.inner.source {
+            return Some(csr);
+        }
+        self.inner.csr.get()
+    }
+
+    fn csc_if_materialized(&self) -> Option<&CscMatrix> {
+        if let Source::Csc(csc) = &self.inner.source {
+            return Some(csc);
+        }
+        self.inner.csc.get()
+    }
+
+    /// Whether the row-major compressed layout is resident.
+    pub fn csr_materialized(&self) -> bool {
+        self.csr_if_materialized().is_some()
+    }
+
+    /// Whether the column-major compressed layout is resident.
+    pub fn csc_materialized(&self) -> bool {
+        self.csc_if_materialized().is_some()
+    }
+
+    /// Whether the dense layout is resident.
+    pub fn dense_materialized(&self) -> bool {
+        self.inner.dense.get().is_some()
+    }
+
+    /// Bytes held by the source form plus every materialized layout — the
+    /// quantity the memory-footprint regression tests bound.
+    pub fn resident_bytes(&self) -> usize {
+        let source = match &self.inner.source {
+            Source::Coo(coo) => coo.size_bytes(),
+            Source::Csr(csr) => csr.size_bytes(),
+            Source::Csc(csc) => csc.size_bytes(),
+        };
+        source
+            + self.inner.csr.get().map_or(0, |m| m.size_bytes())
+            + self.inner.csc.get().map_or(0, |m| m.size_bytes())
+            + self
+                .inner
+                .dense
+                .get()
+                .map_or(0, |_| self.inner.shape.dense_len() * 8)
+    }
+
+    /// Value at `(row, col)` (zero if not stored).  Reads whichever layout
+    /// is already resident; materializes CSR only as a last resort.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        if let Some(csr) = self.csr_if_materialized() {
+            return csr.get(row, col);
+        }
+        if let Some(csc) = self.csc_if_materialized() {
+            return csc.get(row, col);
+        }
+        self.csr().get(row, col)
+    }
+
+    /// The canonical COO source, when the matrix was built from one.
+    pub fn coo_source(&self) -> Option<&CooMatrix> {
+        match &self.inner.source {
+            Source::Coo(coo) => Some(coo),
+            _ => None,
+        }
+    }
+
+    /// Cut a row shard (used by NUMA data replication); the shard's source
+    /// form is the row layout, so a row-wise shard never carries columns.
+    pub fn select_rows(&self, row_ids: &[usize]) -> DataMatrix {
+        DataMatrix::from_csr(self.csr().select_rows(row_ids))
+    }
+}
+
+impl From<CooMatrix> for DataMatrix {
+    fn from(coo: CooMatrix) -> Self {
+        DataMatrix::from_coo(coo)
+    }
+}
+
+impl From<CsrMatrix> for DataMatrix {
+    fn from(csr: CsrMatrix) -> Self {
+        DataMatrix::from_csr(csr)
+    }
+}
+
+impl From<CscMatrix> for DataMatrix {
+    fn from(csc: CscMatrix) -> Self {
+        DataMatrix::from_csc(csc)
+    }
+}
+
+impl RowAccess for DataMatrix {
+    fn shape(&self) -> Shape {
+        self.inner.shape
+    }
+
+    fn row(&self, i: usize) -> RowView<'_> {
+        self.csr().row(i)
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        self.csr().row_nnz(i)
+    }
+}
+
+impl ColAccess for DataMatrix {
+    fn shape(&self) -> Shape {
+        self.inner.shape
+    }
+
+    fn col(&self, j: usize) -> ColView<'_> {
+        self.csc().col(j)
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        self.csc().col_nnz(j)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_coo() -> CooMatrix {
+        // [[1, 0, 2],
+        //  [0, 0, 0],
+        //  [0, 3, 4]]
+        let mut coo = CooMatrix::new(3, 3);
+        coo.push(0, 0, 1.0).unwrap();
+        coo.push(0, 2, 2.0).unwrap();
+        coo.push(2, 1, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo
+    }
+
+    #[test]
+    fn nothing_materialized_until_requested() {
+        let m = DataMatrix::from_coo(sample_coo());
+        assert!(!m.csr_materialized());
+        assert!(!m.csc_materialized());
+        assert!(!m.dense_materialized());
+        // Stats never materialize a layout.
+        assert_eq!(m.stats().nnz, 4);
+        assert_eq!(m.nnz(), 4);
+        assert!(!m.csr_materialized());
+        assert!(!m.csc_materialized());
+    }
+
+    #[test]
+    fn row_only_traffic_never_builds_columns() {
+        let m = DataMatrix::from_coo(sample_coo());
+        for i in 0..m.rows() {
+            let _ = m.row(i);
+        }
+        assert!(m.csr_materialized());
+        assert!(!m.csc_materialized(), "row traffic must not build CSC");
+    }
+
+    #[test]
+    fn col_only_traffic_never_builds_rows() {
+        let m = DataMatrix::from_coo(sample_coo());
+        for j in 0..m.cols() {
+            let _ = m.col(j);
+        }
+        assert!(m.csc_materialized());
+        assert!(!m.csr_materialized(), "column traffic must not build CSR");
+    }
+
+    #[test]
+    fn clones_share_layout_caches() {
+        let a = DataMatrix::from_coo(sample_coo());
+        let b = a.clone();
+        b.materialize_rows();
+        assert!(a.csr_materialized(), "clones share the same cache");
+        assert_eq!(a.resident_bytes(), b.resident_bytes());
+    }
+
+    #[test]
+    fn resident_bytes_grow_with_materialization() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let source_only = m.resident_bytes();
+        m.materialize_rows();
+        let with_rows = m.resident_bytes();
+        assert!(with_rows > source_only);
+        m.materialize_cols();
+        assert!(m.resident_bytes() > with_rows);
+        let _ = m.dense();
+        assert!(m.dense_materialized());
+        assert!(m.resident_bytes() > with_rows);
+    }
+
+    #[test]
+    fn csr_and_csc_sources_prefill_their_layout() {
+        let csr = sample_coo().to_csr();
+        let m = DataMatrix::from_csr(csr.clone());
+        assert!(m.csr_materialized());
+        assert!(!m.csc_materialized());
+        assert_eq!(m.csr(), &csr);
+
+        let csc = sample_coo().to_csc();
+        let m = DataMatrix::from_csc(csc.clone());
+        assert!(m.csc_materialized());
+        assert!(!m.csr_materialized());
+        assert_eq!(m.csc(), &csc);
+        assert_eq!(m.csr(), &csc.to_csr());
+        assert_eq!(m.stats().nnz, 4);
+    }
+
+    #[test]
+    fn get_reads_any_resident_layout() {
+        let m = DataMatrix::from_coo(sample_coo());
+        m.materialize_cols();
+        assert_eq!(m.get(2, 1), 3.0);
+        assert!(!m.csr_materialized(), "get prefers the resident layout");
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn select_rows_shard_is_row_only() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let shard = m.select_rows(&[2, 0]);
+        assert_eq!(shard.rows(), 2);
+        assert!(shard.csr_materialized());
+        assert!(!shard.csc_materialized());
+        assert_eq!(shard.get(0, 1), 3.0);
+        assert_eq!(shard.get(1, 0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_views_match_concrete_layouts(
+            entries in proptest::collection::btree_map((0usize..8, 0usize..6), -4.0f64..4.0, 0..30)
+        ) {
+            let mut coo = CooMatrix::new(8, 6);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let reference = coo.to_csr();
+            let m = DataMatrix::from_coo(coo);
+            // Row views match the standalone CSR bit for bit.
+            for i in 0..m.rows() {
+                let a = m.row(i);
+                let b = reference.row(i);
+                prop_assert_eq!(a.indices, b.indices);
+                prop_assert_eq!(a.values, b.values);
+            }
+            // Column views match the standalone CSC bit for bit.
+            let reference_csc = reference.to_csc();
+            for j in 0..m.cols() {
+                let a = m.col(j);
+                let b = reference_csc.col(j);
+                prop_assert_eq!(a.indices, b.indices);
+                prop_assert_eq!(a.values, b.values);
+            }
+            // Stats computed lazily agree with the CSR-derived stats.
+            prop_assert_eq!(m.stats(), &MatrixStats::from_csr(&reference));
+        }
+
+        #[test]
+        fn prop_roundtrip_through_every_layout_preserves_values(
+            entries in proptest::collection::btree_map((0usize..6, 0usize..6), -9.0f64..9.0, 0..24)
+        ) {
+            let mut coo = CooMatrix::new(6, 6);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let m = DataMatrix::from_coo(coo.clone());
+            let dense = m.dense();
+            let csr = m.csr();
+            let csc = m.csc();
+            for i in 0..6 {
+                for j in 0..6 {
+                    let expected = coo.to_dense(Layout::RowMajor).get(i, j);
+                    prop_assert_eq!(csr.get(i, j), expected);
+                    prop_assert_eq!(csc.get(i, j), expected);
+                    prop_assert_eq!(dense.get(i, j), expected);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Shared blocked kernels for sparse slice arithmetic.
+//!
+//! Before the unified storage layer, `CsrMatrix::row(..).dot(..)` and
+//! `CscMatrix::col(..).dot(..)` each carried their own copy of the same
+//! gather-multiply-accumulate loop.  Every access method in the engine
+//! bottoms out in these few operations, so they live here once and are
+//! shared by both orientations through [`crate::views::VecView`].
+//!
+//! The loops are *blocked* (manually unrolled in chunks of four) but use a
+//! **single accumulator**: multi-accumulator reductions reassociate the
+//! floating-point sum, and the engine's determinism contract requires that a
+//! storage-layer refactor leave every convergence trace bit-identical.  A
+//! single accumulator applied in index order reproduces the exact rounding
+//! sequence of the original per-layout loops while still giving the
+//! optimizer straight-line blocks to schedule.
+
+/// Gathered dot product: `Σ_k values[k] * dense[indices[k]]`.
+///
+/// This is the one sparse·dense dot implementation in the workspace; row
+/// views, column views and the epoch kernels all call it.
+///
+/// # Panics
+/// Panics (in every build profile, via slice indexing) if any index is out
+/// of bounds for `dense`, or if `indices` and `values` differ in length.
+#[inline]
+pub fn dot_indexed(indices: &[u32], values: &[f64], dense: &[f64]) -> f64 {
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "index/value arrays must be aligned"
+    );
+    let mut acc = 0.0;
+    let chunks = indices.len() / 4;
+    for c in 0..chunks {
+        let base = c * 4;
+        // Single accumulator, strictly in index order: bit-identical to the
+        // scalar loop (see module docs).
+        acc += values[base] * dense[indices[base] as usize];
+        acc += values[base + 1] * dense[indices[base + 1] as usize];
+        acc += values[base + 2] * dense[indices[base + 2] as usize];
+        acc += values[base + 3] * dense[indices[base + 3] as usize];
+    }
+    for k in chunks * 4..indices.len() {
+        acc += values[k] * dense[indices[k] as usize];
+    }
+    acc
+}
+
+/// Gathered axpy: `y[indices[k]] += alpha * values[k]` for every stored
+/// component.
+///
+/// # Panics
+/// Panics if any index is out of bounds for `y`, or if `indices` and
+/// `values` differ in length.
+#[inline]
+pub fn axpy_indexed(alpha: f64, indices: &[u32], values: &[f64], y: &mut [f64]) {
+    assert_eq!(
+        indices.len(),
+        values.len(),
+        "index/value arrays must be aligned"
+    );
+    for (&i, &v) in indices.iter().zip(values.iter()) {
+        y[i as usize] += alpha * v;
+    }
+}
+
+/// Sum of squares of a value slice (used by SCD step normalization).
+#[inline]
+pub fn sum_of_squares(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let chunks = values.len() / 4;
+    for c in 0..chunks {
+        let base = c * 4;
+        acc += values[base] * values[base];
+        acc += values[base + 1] * values[base + 1];
+        acc += values[base + 2] * values[base + 2];
+        acc += values[base + 3] * values[base + 3];
+    }
+    for v in &values[chunks * 4..] {
+        acc += v * v;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_indexed_matches_naive() {
+        let indices: Vec<u32> = vec![0, 3, 4, 7, 9, 11, 12];
+        let values: Vec<f64> = (0..7).map(|i| i as f64 * 0.7 - 2.0).collect();
+        let dense: Vec<f64> = (0..16).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = indices
+            .iter()
+            .zip(&values)
+            .map(|(&i, &v)| v * dense[i as usize])
+            .sum();
+        assert_eq!(dot_indexed(&indices, &values, &dense), naive);
+    }
+
+    #[test]
+    fn dot_indexed_is_bitwise_sequential() {
+        // The kernel must reproduce the exact rounding sequence of a scalar
+        // in-order loop — the engine's trace-parity contract depends on it.
+        let indices: Vec<u32> = (0..37).map(|i| i * 3).collect();
+        let values: Vec<f64> = (0..37).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let dense: Vec<f64> = (0..128).map(|i| (i as f64 * 0.37).cos()).collect();
+        let mut sequential = 0.0;
+        for (&i, &v) in indices.iter().zip(&values) {
+            sequential += v * dense[i as usize];
+        }
+        assert_eq!(
+            dot_indexed(&indices, &values, &dense).to_bits(),
+            sequential.to_bits()
+        );
+    }
+
+    #[test]
+    fn axpy_indexed_updates_targets() {
+        let mut y = vec![1.0; 5];
+        axpy_indexed(2.0, &[1, 4], &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![1.0, 7.0, 1.0, 1.0, -1.0]);
+    }
+
+    #[test]
+    fn sum_of_squares_matches_naive() {
+        let values: Vec<f64> = (0..11).map(|i| i as f64 - 4.5).collect();
+        let naive: f64 = values.iter().map(|v| v * v).sum();
+        assert_eq!(sum_of_squares(&values), naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn mismatched_arrays_rejected() {
+        let _ = dot_indexed(&[0, 1], &[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_index_panics() {
+        let _ = dot_indexed(&[5], &[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_indexed_matches_sequential(
+            pairs in proptest::collection::btree_map(0u32..64, -10.0f64..10.0, 0..48),
+        ) {
+            let indices: Vec<u32> = pairs.keys().copied().collect();
+            let values: Vec<f64> = pairs.values().copied().collect();
+            let dense: Vec<f64> = (0..64).map(|i| (i as f64) * 0.31 - 7.0).collect();
+            let mut sequential = 0.0;
+            for (&i, &v) in indices.iter().zip(&values) {
+                sequential += v * dense[i as usize];
+            }
+            prop_assert_eq!(
+                dot_indexed(&indices, &values, &dense).to_bits(),
+                sequential.to_bits()
+            );
+        }
+    }
+}

@@ -9,28 +9,41 @@
 //!
 //! This crate provides the storage substrate used throughout the workspace:
 //!
+//! * [`DataMatrix`] — the unified storage layer: a canonical COO/source form
+//!   with lazily materialized, cached CSR/CSC/dense layouts, so the planner
+//!   decides which physical layout exists,
+//! * [`RowAccess`] / [`ColAccess`] — the narrow view traits execution is
+//!   written against, serving [`RowView`] / [`ColView`] slices backed by the
+//!   shared blocked kernels of [`kernels`],
 //! * [`DenseMatrix`] — row-major or column-major dense storage,
 //! * [`CsrMatrix`] — compressed sparse row storage for row-wise access,
 //! * [`CscMatrix`] — compressed sparse column storage for column-wise and
 //!   column-to-row access,
-//! * [`CooMatrix`] — a triplet builder used by the data generators,
+//! * [`CooMatrix`] — the triplet builder the data generators emit,
 //! * [`SparseVector`] and dense-vector kernels (dot products, axpy),
 //! * [`MatrixStats`] — NNZ statistics and the cost-ratio computation used by
-//!   the cost-based optimizer (Figure 6 / Figure 7(b) of the paper).
+//!   the cost-based optimizer (Figure 6 / Figure 7(b) of the paper),
+//!   computable from the COO form before any layout is materialized.
 
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod data_matrix;
 pub mod dense;
+pub mod kernels;
 pub mod stats;
 pub mod vector;
+pub mod views;
 
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
+pub use data_matrix::DataMatrix;
 pub use dense::{DenseMatrix, Layout};
+pub use kernels::{axpy_indexed, dot_indexed};
 pub use stats::MatrixStats;
 pub use vector::{axpy, dot_dense, dot_sparse_dense, norm2, scale, SparseVector};
+pub use views::{ColAccess, ColView, RowAccess, RowView, VecView};
 
 /// Shape of a matrix: number of rows (examples) and columns (model dimension).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
@@ -54,12 +67,17 @@ impl Shape {
 }
 
 /// A single non-zero entry of a sparse matrix.
+///
+/// Indices are `u32`, matching the compressed layouts (which already bound
+/// every dimension and NNZ count to `u32`): the COO form is the *resident*
+/// canonical source of a [`DataMatrix`], so each triplet costs 16 bytes
+/// rather than the 24 of pointer-width indices.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Entry {
     /// Row index of the entry.
-    pub row: usize,
+    pub row: u32,
     /// Column index of the entry.
-    pub col: usize,
+    pub col: u32,
     /// Value at (row, col).
     pub value: f64,
 }

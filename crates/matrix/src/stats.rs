@@ -11,7 +11,7 @@
 //! determines the row-vs-column crossover.  [`MatrixStats`] computes all of
 //! these quantities from a [`CsrMatrix`].
 
-use crate::CsrMatrix;
+use crate::{CooMatrix, CscMatrix, CsrMatrix};
 
 /// Summary statistics of a data matrix relevant to access-method costs.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -39,13 +39,48 @@ pub struct MatrixStats {
 impl MatrixStats {
     /// Compute statistics from a CSR matrix.
     pub fn from_csr(matrix: &CsrMatrix) -> Self {
-        let rows = matrix.rows();
-        let cols = matrix.cols();
-        let nnz = matrix.nnz();
+        Self::from_row_counts(
+            matrix.rows(),
+            matrix.cols(),
+            (0..matrix.rows()).map(|i| matrix.row_nnz(i)),
+        )
+    }
+
+    /// Compute statistics directly from the canonical COO form, without
+    /// materializing any compressed layout.
+    ///
+    /// Duplicate entries and explicit zeros are merged exactly as the
+    /// COO→CSR conversion merges them, so the result is identical to
+    /// `MatrixStats::from_csr(&coo.to_csr())` — this is what lets the
+    /// cost-based planner decide on a storage layout *before* anything is
+    /// materialized.
+    pub fn from_coo(matrix: &CooMatrix) -> Self {
+        Self::from_row_counts(
+            matrix.rows(),
+            matrix.cols(),
+            matrix.converted_row_nnz().into_iter(),
+        )
+    }
+
+    /// Compute statistics from a CSC matrix (per-row counts are gathered by
+    /// a single pass over the stored row indices — no CSR is built).
+    pub fn from_csc(matrix: &CscMatrix) -> Self {
+        let mut counts = vec![0usize; matrix.rows()];
+        for col in matrix.iter_cols() {
+            for (i, _) in col.iter() {
+                counts[i] += 1;
+            }
+        }
+        Self::from_row_counts(matrix.rows(), matrix.cols(), counts.into_iter())
+    }
+
+    /// Shared construction from per-row stored-entry counts.
+    fn from_row_counts(rows: usize, cols: usize, counts: impl Iterator<Item = usize>) -> Self {
+        let mut nnz = 0usize;
         let mut nnz_sq_sum = 0.0;
         let mut max_row_nnz = 0;
-        for i in 0..rows {
-            let n_i = matrix.row_nnz(i);
+        for n_i in counts {
+            nnz += n_i;
             nnz_sq_sum += (n_i as f64) * (n_i as f64);
             max_row_nnz = max_row_nnz.max(n_i);
         }
@@ -62,8 +97,9 @@ impl MatrixStats {
                 nnz as f64 / rows as f64
             },
             density: nnz as f64 / cells,
-            sparse_bytes: matrix.size_bytes(),
-            dense_bytes: matrix.dense_size_bytes(),
+            // Bytes of the CSR representation: indptr + indices + values.
+            sparse_bytes: (rows + 1) * 4 + nnz * 4 + nnz * 8,
+            dense_bytes: rows * cols * 8,
         }
     }
 
@@ -210,6 +246,19 @@ mod tests {
             let r_small = s.cost_ratio(4.0);
             let r_large = s.cost_ratio(12.0);
             prop_assert!(r_large <= r_small + 1e-12);
+        }
+
+        #[test]
+        fn prop_from_coo_matches_from_csr(
+            entries in proptest::collection::vec((0usize..9, 0usize..7, -3.0f64..3.0), 0..40)
+        ) {
+            let mut coo = CooMatrix::new(9, 7);
+            for (r, c, v) in entries {
+                // Inject exact zeros and duplicates to exercise the merge.
+                let v = if v < -2.5 { 0.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            prop_assert_eq!(MatrixStats::from_coo(&coo), MatrixStats::from_csr(&coo.to_csr()));
         }
 
         #[test]

@@ -112,16 +112,36 @@ pub fn dot_dense(a: &[f64], b: &[f64]) -> f64 {
 
 /// Dot product of a sparse vector with a dense vector.
 ///
-/// Components of the sparse vector outside `dense`'s length are ignored so
-/// that subsampled rows can be scored against truncated models in tests.
+/// # Index-bounds contract
+///
+/// Every stored index of `sparse` is expected to be within `dense`'s length;
+/// passing a component outside the dense vector is a caller bug (it means
+/// the model and the example disagree about the dimension) and is caught by
+/// a `debug_assert!` in debug builds.  **In release builds out-of-range
+/// components are silently skipped** — the dot product is computed over the
+/// in-range components only — because the historical callers scored
+/// subsampled rows against truncated models and relied on that behavior.
+/// In-range components use the shared blocked kernel.
 pub fn dot_sparse_dense(sparse: &SparseVector, dense: &[f64]) -> f64 {
-    let mut acc = 0.0;
-    for (i, v) in sparse.iter() {
-        if i < dense.len() {
-            acc += v * dense[i];
-        }
-    }
-    acc
+    debug_assert!(
+        sparse
+            .indices
+            .last()
+            .is_none_or(|&i| (i as usize) < dense.len()),
+        "sparse index {} out of bounds for dense vector of length {} \
+         (release builds silently skip out-of-range components)",
+        sparse.indices.last().copied().unwrap_or(0),
+        dense.len(),
+    );
+    // Indices are strictly increasing, so the in-range prefix is contiguous.
+    let in_range = sparse
+        .indices
+        .partition_point(|&i| (i as usize) < dense.len());
+    crate::kernels::dot_indexed(
+        &sparse.indices[..in_range],
+        &sparse.values[..in_range],
+        dense,
+    )
 }
 
 /// `y += alpha * x` for dense slices of equal length.
@@ -136,6 +156,9 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 }
 
 /// `y[i] += alpha * x[i]` for the non-zero components of a sparse `x`.
+///
+/// Components outside `y`'s length are silently skipped, mirroring the
+/// release-mode contract of [`dot_sparse_dense`].
 pub fn axpy_sparse(alpha: f64, x: &SparseVector, y: &mut [f64]) {
     for (i, v) in x.iter() {
         if i < y.len() {
@@ -202,10 +225,29 @@ mod tests {
     }
 
     #[test]
-    fn dot_sparse_dense_ignores_out_of_range() {
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "out of bounds")]
+    fn dot_sparse_dense_rejects_out_of_range_in_debug() {
+        let v = SparseVector::from_parts(vec![1, 10], vec![3.0, 100.0]);
+        let dense = vec![1.0; 4];
+        let _ = dot_sparse_dense(&v, &dense);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn dot_sparse_dense_skips_out_of_range_in_release() {
+        // The documented release-mode contract: out-of-range components are
+        // silently skipped.
         let v = SparseVector::from_parts(vec![1, 10], vec![3.0, 100.0]);
         let dense = vec![1.0; 4];
         assert_eq!(dot_sparse_dense(&v, &dense), 3.0);
+    }
+
+    #[test]
+    fn dot_sparse_dense_in_range_matches_kernel() {
+        let v = SparseVector::from_parts(vec![0, 2, 3], vec![1.0, 2.0, -1.0]);
+        let dense = vec![3.0, 9.0, 0.5, 2.0];
+        assert_eq!(dot_sparse_dense(&v, &dense), 3.0 + 1.0 - 2.0);
     }
 
     #[test]

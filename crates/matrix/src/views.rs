@@ -1,0 +1,132 @@
+//! Borrowed sparse views and the access traits of the storage layer.
+//!
+//! A [`VecView`] is a borrowed slice pair `(indices, values)` over one
+//! stored vector of a sparse matrix — a row of a CSR matrix or a column of a
+//! CSC matrix.  Both orientations share the exact same arithmetic (the
+//! blocked kernels of [`crate::kernels`]), so the view type is shared too;
+//! [`RowView`] and [`ColView`] are orientation-documenting aliases.
+//!
+//! [`RowAccess`] and [`ColAccess`] are the narrow traits the layers above
+//! the storage crate program against: an executor that walks rows needs only
+//! `RowAccess`, one that walks columns needs only `ColAccess`, and a storage
+//! backend advertises what it can serve by which traits it implements.  The
+//! lazily materializing [`crate::DataMatrix`] implements both; the concrete
+//! [`crate::CsrMatrix`] / [`crate::CscMatrix`] implement one each.
+
+use crate::kernels::{dot_indexed, sum_of_squares};
+use crate::{Shape, SparseVector};
+
+/// A borrowed view of one stored vector (row or column) of a sparse matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct VecView<'a> {
+    /// Indices of the non-zero entries (column ids for a row view, row ids —
+    /// the set `S(j)` of footnote 2 — for a column view).
+    pub indices: &'a [u32],
+    /// Values aligned with `indices`.
+    pub values: &'a [f64],
+}
+
+/// A borrowed view of one row of a sparse matrix.
+pub type RowView<'a> = VecView<'a>;
+
+/// A borrowed view of one column of a sparse matrix.
+pub type ColView<'a> = VecView<'a>;
+
+impl<'a> VecView<'a> {
+    /// Number of non-zero entries in the view.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Iterate over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + 'a {
+        self.indices
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&i, &v)| (i as usize, v))
+    }
+
+    /// The index set of the view — for a column view this is the row set
+    /// `S(j)` that column-to-row access expands.
+    pub fn rows(&self) -> impl Iterator<Item = usize> + 'a {
+        self.indices.iter().map(|&i| i as usize)
+    }
+
+    /// Dot product of this view with a dense vector (shared blocked kernel).
+    ///
+    /// # Panics
+    /// Panics if any stored index is out of bounds for `dense`.
+    #[inline]
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        dot_indexed(self.indices, self.values, dense)
+    }
+
+    /// Sum of squares of the stored values (used by SCD step sizes).
+    pub fn norm2_squared(&self) -> f64 {
+        sum_of_squares(self.values)
+    }
+
+    /// Copy this view into an owned [`SparseVector`].
+    pub fn to_sparse_vector(&self) -> SparseVector {
+        SparseVector::from_parts(self.indices.to_vec(), self.values.to_vec())
+    }
+}
+
+/// Read access to a matrix one row at a time (the row-wise access method).
+pub trait RowAccess {
+    /// Shape of the matrix.
+    fn shape(&self) -> Shape;
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= shape().rows`.
+    fn row(&self, i: usize) -> RowView<'_>;
+
+    /// Number of stored entries in row `i`.
+    fn row_nnz(&self, i: usize) -> usize {
+        self.row(i).nnz()
+    }
+}
+
+/// Read access to a matrix one column at a time (the column-wise and
+/// column-to-row access methods).
+pub trait ColAccess {
+    /// Shape of the matrix.
+    fn shape(&self) -> Shape;
+
+    /// Borrowed view of column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= shape().cols`.
+    fn col(&self, j: usize) -> ColView<'_>;
+
+    /// Number of stored entries in column `j`.
+    fn col_nnz(&self, j: usize) -> usize {
+        self.col(j).nnz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_basics() {
+        let indices = [1u32, 3, 4];
+        let values = [2.0, -1.0, 0.5];
+        let view = VecView {
+            indices: &indices,
+            values: &values,
+        };
+        assert_eq!(view.nnz(), 3);
+        assert_eq!(
+            view.iter().collect::<Vec<_>>(),
+            vec![(1, 2.0), (3, -1.0), (4, 0.5)]
+        );
+        assert_eq!(view.rows().collect::<Vec<_>>(), vec![1, 3, 4]);
+        assert_eq!(view.dot(&[0.0, 1.0, 0.0, 2.0, 4.0]), 2.0);
+        assert_eq!(view.norm2_squared(), 4.0 + 1.0 + 0.25);
+        assert_eq!(view.to_sparse_vector().nnz(), 3);
+    }
+}

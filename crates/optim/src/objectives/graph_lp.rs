@@ -57,7 +57,6 @@ impl Objective for GraphLp {
         let mut violation = 0.0;
         for i in 0..data.examples() {
             let sum: f64 = data
-                .csr
                 .row(i)
                 .iter()
                 .map(|(j, _)| model[j].clamp(0.0, 1.0))
@@ -71,11 +70,11 @@ impl Objective for GraphLp {
         // Sub-gradient of the per-edge penalty plus this edge's share of the
         // vertex-cost term (c_j / deg_j so that one epoch applies the full
         // cost gradient).
-        let row = data.csr.row(i);
+        let row = data.row(i);
         let sum: f64 = row.iter().map(|(j, _)| model.read(j)).sum();
         let violated = sum < 1.0;
         for (j, _) in row.iter() {
-            let degree = data.csc.col_nnz(j).max(1) as f64;
+            let degree = data.col_nnz(j).max(1) as f64;
             let mut gradient = data.costs[j] / degree;
             if violated {
                 gradient -= self.penalty;
@@ -88,10 +87,10 @@ impl Objective for GraphLp {
     fn col_step(&self, data: &TaskData, j: usize, model: &dyn ModelAccess, step: f64) {
         // Column-to-row access: read the incident edges (rows of S(j)) and
         // their other endpoints, then update only x_j.
-        let col = data.csc.col(j);
+        let col = data.col(j);
         let mut gradient = data.costs[j];
         for (i, _) in col.iter() {
-            let sum: f64 = data.csr.row(i).iter().map(|(k, _)| model.read(k)).sum();
+            let sum: f64 = data.row(i).iter().map(|(k, _)| model.read(k)).sum();
             if sum < 1.0 {
                 gradient -= self.penalty;
             }

@@ -37,7 +37,7 @@ impl GraphQp {
 
     /// The other endpoint of edge `i` relative to vertex `j`, with its value.
     fn other_endpoint(data: &TaskData, i: usize, j: usize) -> Option<usize> {
-        data.csr.row(i).iter().map(|(k, _)| k).find(|&k| k != j)
+        data.row(i).iter().map(|(k, _)| k).find(|&k| k != j)
     }
 }
 
@@ -50,7 +50,7 @@ impl Objective for GraphQp {
         let n = data.examples().max(1) as f64;
         let mut smoothness = 0.0;
         for i in 0..data.examples() {
-            let endpoints: Vec<usize> = data.csr.row(i).iter().map(|(j, _)| j).collect();
+            let endpoints: Vec<usize> = data.row(i).iter().map(|(j, _)| j).collect();
             if endpoints.len() == 2 {
                 let diff = model[endpoints[0]] - model[endpoints[1]];
                 smoothness += diff * diff;
@@ -65,7 +65,7 @@ impl Objective for GraphQp {
     }
 
     fn row_step(&self, data: &TaskData, i: usize, model: &dyn ModelAccess, step: f64) {
-        let endpoints: Vec<usize> = data.csr.row(i).iter().map(|(j, _)| j).collect();
+        let endpoints: Vec<usize> = data.row(i).iter().map(|(j, _)| j).collect();
         if endpoints.len() != 2 {
             return;
         }
@@ -74,8 +74,8 @@ impl Objective for GraphQp {
         let xv = model.read(v);
         let diff = xu - xv;
         // Per-edge share of the anchor gradient: μ(x_j - c_j)/deg_j.
-        let degree_u = data.csc.col_nnz(u).max(1) as f64;
-        let degree_v = data.csc.col_nnz(v).max(1) as f64;
+        let degree_u = data.col_nnz(u).max(1) as f64;
+        let degree_v = data.col_nnz(v).max(1) as f64;
         model.add(
             u,
             -step * (diff + self.anchor * (xu - data.costs[u]) / degree_u),
@@ -88,7 +88,7 @@ impl Objective for GraphQp {
 
     fn col_step(&self, data: &TaskData, j: usize, model: &dyn ModelAccess, step: f64) {
         // Exact coordinate minimization (damped by `step`, exact at step=1).
-        let col = data.csc.col(j);
+        let col = data.col(j);
         let degree = col.nnz() as f64;
         let mut neighbor_sum = 0.0;
         for (i, _) in col.iter() {

@@ -42,7 +42,7 @@ impl Objective for LeastSquares {
 
     fn row_step(&self, data: &TaskData, i: usize, model: &dyn ModelAccess, step: f64) {
         let residual = row_margin(data, i, model) - data.labels[i];
-        for (j, v) in data.csr.row(i).iter() {
+        for (j, v) in data.row(i).iter() {
             let w = model.read(j);
             model.add(j, -step * (residual * v + self.reg * w));
         }
@@ -53,7 +53,7 @@ impl Objective for LeastSquares {
         // normalization (Σᵢ a_ij²), which is the standard SCD step for
         // quadratic losses and gives near-exact coordinate minimization when
         // `step` is 1.
-        let col = data.csc.col(j);
+        let col = data.col(j);
         if col.nnz() == 0 {
             return;
         }
@@ -90,7 +90,7 @@ impl Objective for LeastSquares {
             return self.default_step();
         }
         let mean_sq_norm: f64 = (0..rows)
-            .map(|i| data.csr.row(i).values.iter().map(|v| v * v).sum::<f64>())
+            .map(|i| data.row(i).values.iter().map(|v| v * v).sum::<f64>())
             .sum::<f64>()
             / rows as f64;
         if mean_sq_norm <= 0.0 {

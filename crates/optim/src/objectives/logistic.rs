@@ -66,14 +66,14 @@ impl Objective for Logistic {
         let margin = y * row_margin(data, i, model);
         // dL/d(margin) = -sigmoid(-margin); gradient wrt x_j is -y·a_ij·σ(-m).
         let coefficient = y * sigmoid(-margin);
-        for (j, v) in data.csr.row(i).iter() {
+        for (j, v) in data.row(i).iter() {
             let w = model.read(j);
             model.add(j, step * (coefficient * v - self.reg * w));
         }
     }
 
     fn col_step(&self, data: &TaskData, j: usize, model: &dyn ModelAccess, step: f64) {
-        let col = data.csc.col(j);
+        let col = data.col(j);
         if col.nnz() == 0 {
             return;
         }
@@ -150,7 +150,7 @@ mod tests {
             // The analytic gradient applied by row_step is -(coefficient * a_ij).
             let margin = data.labels[i] * row_margin_slice(&data, i, &base);
             let coefficient = data.labels[i] * super::sigmoid(-margin);
-            let analytic = -coefficient * data.csr.get(i, j);
+            let analytic = -coefficient * data.csr().get(i, j);
             assert!(
                 (numerical - analytic).abs() < 1e-5,
                 "coordinate {j}: numerical {numerical} analytic {analytic}"

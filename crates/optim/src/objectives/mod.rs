@@ -103,7 +103,7 @@ pub trait Objective: Send + Sync {
 /// snapshot exposed through [`ModelAccess`].
 pub(crate) fn row_margin(data: &TaskData, i: usize, model: &dyn ModelAccess) -> f64 {
     let mut margin = 0.0;
-    for (j, v) in data.csr.row(i).iter() {
+    for (j, v) in data.row(i).iter() {
         margin += v * model.read(j);
     }
     margin
@@ -111,7 +111,7 @@ pub(crate) fn row_margin(data: &TaskData, i: usize, model: &dyn ModelAccess) -> 
 
 /// Compute the prediction margin against a plain slice snapshot.
 pub(crate) fn row_margin_slice(data: &TaskData, i: usize, model: &[f64]) -> f64 {
-    data.csr.row(i).dot(model)
+    data.row(i).dot(model)
 }
 
 #[cfg(test)]

@@ -43,7 +43,7 @@ impl Objective for SvmHinge {
     fn row_step(&self, data: &TaskData, i: usize, model: &dyn ModelAccess, step: f64) {
         let y = data.labels[i];
         let margin = y * row_margin(data, i, model);
-        let row = data.csr.row(i);
+        let row = data.row(i);
         if margin < 1.0 {
             // Sub-gradient of the hinge plus the regularizer restricted to the
             // example's support — the "sparse update" of Section 3.2.
@@ -63,7 +63,7 @@ impl Objective for SvmHinge {
     fn col_step(&self, data: &TaskData, j: usize, model: &dyn ModelAccess, step: f64) {
         // Column-to-row access: read every example in S(j), accumulate the
         // coordinate sub-gradient, and write only x_j.
-        let col = data.csc.col(j);
+        let col = data.col(j);
         if col.nnz() == 0 {
             return;
         }

@@ -2,21 +2,27 @@
 //!
 //! Every analytics task in the paper is a pair `(A, x)` of an immutable data
 //! matrix and a mutable model.  [`TaskData`] holds the immutable half: the
-//! matrix in both CSR (for row-wise access) and CSC (for column-wise and
-//! column-to-row access) layouts, per-row labels for supervised tasks, and
-//! per-column costs for the graph tasks.  Storing both layouts mirrors the
-//! paper's rule that "DimmWitted always stores the dataset in a way that is
-//! consistent with the access method" (Appendix A).
+//! matrix behind the unified storage layer ([`DataMatrix`]), per-row labels
+//! for supervised tasks, and per-column costs for the graph tasks.
+//!
+//! The matrix follows the paper's rule that "DimmWitted always stores the
+//! dataset in a way that is consistent with the access method" (Appendix A):
+//! nothing is materialized up front, the planner eagerly builds the layout
+//! its chosen access method needs, and any other layout appears lazily only
+//! if something actually reads through it.  Objectives reach the data
+//! through the row/column view accessors ([`TaskData::row`],
+//! [`TaskData::col`]), never through a concrete layout type, so a row-wise
+//! task holds exactly one sparse layout in memory.
 
-use dw_matrix::{CscMatrix, CsrMatrix, MatrixStats};
+use dw_matrix::{
+    ColAccess, ColView, CscMatrix, CsrMatrix, DataMatrix, MatrixStats, RowAccess, RowView,
+};
 
 /// Immutable data for one statistical task.
 #[derive(Debug, Clone)]
 pub struct TaskData {
-    /// Row-major sparse view, used by the row-wise access method.
-    pub csr: CsrMatrix,
-    /// Column-major sparse view, used by column-wise / column-to-row access.
-    pub csc: CscMatrix,
+    /// The data matrix `A` behind the lazy storage layer.
+    pub matrix: DataMatrix,
     /// Per-row labels (empty for graph tasks).
     pub labels: Vec<f64>,
     /// Per-column vertex costs (empty for supervised tasks).
@@ -26,70 +32,109 @@ pub struct TaskData {
 impl TaskData {
     /// Bundle a matrix with labels and costs.
     ///
+    /// Accepts anything convertible into a [`DataMatrix`]: a `CooMatrix`
+    /// (nothing materialized), a `CsrMatrix` or `CscMatrix` (that layout
+    /// counts as materialized), or a `DataMatrix` handle (shares storage
+    /// with the source — cloning a dataset into a task is an `Arc` bump).
+    ///
     /// # Panics
     /// Panics if a non-empty `labels` does not have one entry per row, or a
     /// non-empty `costs` does not have one entry per column.
-    pub fn new(csr: CsrMatrix, labels: Vec<f64>, costs: Vec<f64>) -> Self {
+    pub fn new(matrix: impl Into<DataMatrix>, labels: Vec<f64>, costs: Vec<f64>) -> Self {
+        let matrix = matrix.into();
         assert!(
-            labels.is_empty() || labels.len() == csr.rows(),
+            labels.is_empty() || labels.len() == matrix.rows(),
             "labels must have one entry per row"
         );
         assert!(
-            costs.is_empty() || costs.len() == csr.cols(),
+            costs.is_empty() || costs.len() == matrix.cols(),
             "costs must have one entry per column"
         );
-        let csc = csr.to_csc();
         TaskData {
-            csr,
-            csc,
+            matrix,
             labels,
             costs,
         }
     }
 
     /// A supervised task (SVM / LR / LS).
-    pub fn supervised(csr: CsrMatrix, labels: Vec<f64>) -> Self {
-        Self::new(csr, labels, Vec::new())
+    pub fn supervised(matrix: impl Into<DataMatrix>, labels: Vec<f64>) -> Self {
+        Self::new(matrix, labels, Vec::new())
     }
 
     /// A graph task (LP / QP) defined by an edge-incidence matrix and vertex
     /// costs.
-    pub fn graph(incidence: CsrMatrix, costs: Vec<f64>) -> Self {
-        Self::new(incidence, Vec::new(), costs)
+    pub fn graph(matrix: impl Into<DataMatrix>, costs: Vec<f64>) -> Self {
+        Self::new(matrix, Vec::new(), costs)
     }
 
     /// Number of examples `N`.
     pub fn examples(&self) -> usize {
-        self.csr.rows()
+        self.matrix.rows()
     }
 
     /// Model dimension `d`.
     pub fn dim(&self) -> usize {
-        self.csr.cols()
+        self.matrix.cols()
     }
 
     /// Shape statistics used by the cost-based optimizer.
+    ///
+    /// Computed from the canonical form — calling this never materializes a
+    /// layout, which is what lets the planner decide *before* storage exists.
     pub fn stats(&self) -> MatrixStats {
-        MatrixStats::from_csr(&self.csr)
+        self.matrix.stats().clone()
     }
 
-    /// Restrict to a subset of rows (used by the Sharding strategy for
-    /// row-wise access).  Labels follow the selected rows.
+    /// Borrowed view of example row `i` (materializes the row layout on
+    /// first use).
+    #[inline]
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        self.matrix.row(i)
+    }
+
+    /// Borrowed view of coordinate column `j` (materializes the column
+    /// layout on first use).
+    #[inline]
+    pub fn col(&self, j: usize) -> ColView<'_> {
+        self.matrix.col(j)
+    }
+
+    /// Number of stored entries in column `j` — the degree of vertex `j`
+    /// for the graph tasks.
+    #[inline]
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.matrix.col_nnz(j)
+    }
+
+    /// The concrete row-major layout (materialized on first use).
+    pub fn csr(&self) -> &CsrMatrix {
+        self.matrix.csr()
+    }
+
+    /// The concrete column-major layout (materialized on first use).
+    pub fn csc(&self) -> &CscMatrix {
+        self.matrix.csc()
+    }
+
+    /// Restrict to a subset of rows (used by the NUMA data-replication
+    /// shards for row-wise access).  Labels follow the selected rows; the
+    /// shard's matrix holds only the row layout.
     pub fn select_rows(&self, rows: &[usize]) -> TaskData {
-        let csr = self.csr.select_rows(rows);
+        let matrix = self.matrix.select_rows(rows);
         let labels = if self.labels.is_empty() {
             Vec::new()
         } else {
             rows.iter().map(|&i| self.labels[i]).collect()
         };
-        TaskData::new(csr, labels, self.costs.clone())
+        TaskData::new(matrix, labels, self.costs.clone())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dw_matrix::SparseVector;
+    use dw_matrix::{CooMatrix, SparseVector};
 
     fn tiny_matrix() -> CsrMatrix {
         CsrMatrix::from_sparse_rows(
@@ -107,9 +152,24 @@ mod tests {
         let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
         assert_eq!(t.examples(), 2);
         assert_eq!(t.dim(), 3);
-        assert_eq!(t.csc.cols(), 3);
+        assert_eq!(t.csc().cols(), 3);
         assert!(t.costs.is_empty());
         assert_eq!(t.stats().nnz, 3);
+    }
+
+    #[test]
+    fn coo_construction_defers_materialization() {
+        let mut coo = CooMatrix::new(2, 3);
+        coo.push(0, 1, 1.0).unwrap();
+        coo.push(1, 2, -1.0).unwrap();
+        let t = TaskData::supervised(coo, vec![1.0, -1.0]);
+        assert_eq!(t.stats().nnz, 2);
+        assert!(!t.matrix.csr_materialized());
+        assert!(!t.matrix.csc_materialized());
+        // Row traffic builds exactly the row layout.
+        assert_eq!(t.row(0).nnz(), 1);
+        assert!(t.matrix.csr_materialized());
+        assert!(!t.matrix.csc_materialized());
     }
 
     #[test]
@@ -117,6 +177,7 @@ mod tests {
         let t = TaskData::graph(tiny_matrix(), vec![0.1, 0.2, 0.3]);
         assert!(t.labels.is_empty());
         assert_eq!(t.costs.len(), 3);
+        assert_eq!(t.col_nnz(2), 1);
     }
 
     #[test]
@@ -137,7 +198,8 @@ mod tests {
         let sub = t.select_rows(&[1]);
         assert_eq!(sub.examples(), 1);
         assert_eq!(sub.labels, vec![-1.0]);
-        assert_eq!(sub.csr.get(0, 2), 3.0);
+        assert_eq!(sub.csr().get(0, 2), 3.0);
+        assert!(!sub.matrix.csc_materialized());
     }
 
     #[test]
@@ -145,7 +207,7 @@ mod tests {
         let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
         for i in 0..t.examples() {
             for j in 0..t.dim() {
-                assert_eq!(t.csr.get(i, j), t.csc.get(i, j));
+                assert_eq!(t.csr().get(i, j), t.csc().get(i, j));
             }
         }
     }

@@ -123,6 +123,55 @@ fn executor_refactor_is_bit_identical_to_the_engine_interleaved_path() {
 }
 
 #[test]
+fn trace_parity_holds_for_every_model_and_access_method() {
+    // Lazy layout materialization and NUMA data shards must not change a
+    // single bit of any trace: for all five paper models, under the
+    // row-wise method and *both* columnar methods, the Engine facade and an
+    // explicit-executor session produce identical traces — including the
+    // row-wise Sharding path, which now reads through real per-node shards.
+    let m = machine();
+    let cases: Vec<(PaperDataset, ModelKind)> = vec![
+        (PaperDataset::Reuters, ModelKind::Svm),
+        (PaperDataset::Reuters, ModelKind::Lr),
+        (PaperDataset::Forest, ModelKind::Ls),
+        (PaperDataset::AmazonLp, ModelKind::Lp),
+        (PaperDataset::AmazonQp, ModelKind::Qp),
+    ];
+    let config = RunConfig::quick(2).with_seed(99);
+    for (dataset, kind) in cases {
+        let task = AnalyticsTask::from_dataset(&Dataset::generate(dataset, 17), kind);
+        for access in [
+            AccessMethod::RowWise,
+            AccessMethod::ColumnWise,
+            AccessMethod::ColumnToRow,
+        ] {
+            for data_replication in [DataReplication::Sharding, DataReplication::FullReplication] {
+                let plan =
+                    ExecutionPlan::new(&m, access, ModelReplication::PerNode, data_replication)
+                        .with_workers(4);
+                let engine_report = Engine::new(m.clone()).run(&task, &plan, &config);
+                let session_report = DimmWitted::on(m.clone())
+                    .task(task.clone())
+                    .plan(plan.clone())
+                    .config(config.clone())
+                    .executor(Box::new(InterleavedExecutor::new()))
+                    .build()
+                    .run();
+                assert_eq!(
+                    engine_report.trace, session_report.trace,
+                    "{kind} / {access} / {data_replication}"
+                );
+                assert_eq!(
+                    engine_report.final_model, session_report.final_model,
+                    "{kind} / {access} / {data_replication}"
+                );
+                assert!(engine_report.final_loss().is_finite());
+            }
+        }
+    }
+}
+
+#[test]
 fn threaded_executors_share_the_session_surface() {
     // Both threaded mechanisms run through the same builder and converge;
     // the persistent pool is the default for ExecutionMode::Threaded.

@@ -1,0 +1,207 @@
+//! Memory-footprint regression tests for the unified storage layer.
+//!
+//! The contract under test: a dataset driven with a single access method
+//! allocates only one sparse layout.  The planner records its layout
+//! decision in the `ExecutionPlan`; the session materializes exactly that;
+//! nothing else may appear as a side effect of running epochs, computing
+//! losses, collecting statistics, or building NUMA shards.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionPlan, LayoutDecision,
+    ModelKind, ModelReplication, Optimizer, RunConfig,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::{ColAccess, DataMatrix};
+use dw_numa::MachineTopology;
+
+fn machine() -> MachineTopology {
+    MachineTopology::local2()
+}
+
+#[test]
+fn row_wise_session_never_materializes_the_csc_view() {
+    // A full session — stats for the simulator, epoch assignments, real
+    // epochs, per-epoch loss evaluation — driven row-wise end to end.
+    let dataset = Dataset::generate(PaperDataset::Reuters, 77);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let matrix = task.data.matrix.clone();
+    assert!(
+        !matrix.csr_materialized() && !matrix.csc_materialized(),
+        "nothing may be materialized before the plan decides"
+    );
+
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::FullReplication,
+    )
+    .with_workers(4);
+    assert_eq!(plan.layout, LayoutDecision::Csr);
+    let report = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(3))
+        .build()
+        .run();
+    assert_eq!(report.trace.epochs(), 3);
+
+    assert!(matrix.csr_materialized(), "the plan's layout is resident");
+    assert!(
+        !matrix.csc_materialized(),
+        "a row-wise-only task must never materialize the CSC view"
+    );
+    assert!(!matrix.dense_materialized());
+}
+
+#[test]
+fn row_wise_sharded_session_keeps_shards_row_only() {
+    let dataset = Dataset::generate(PaperDataset::Reuters, 78);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let matrix = task.data.matrix.clone();
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    let mut stream = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(2))
+        .build()
+        .stream();
+    for event in stream.by_ref() {
+        // Sharded reads split between the worker's own group and its peer.
+        assert!((0.0..=1.0).contains(&event.data_locality));
+    }
+    let replicas = stream.data_replicas();
+    assert!(replicas.is_sharded());
+    for g in 0..replicas.len() {
+        let shard = replicas.replica(g).data();
+        assert!(shard.matrix.csr_materialized());
+        assert!(
+            !shard.matrix.csc_materialized(),
+            "row shards must never carry a column layout"
+        );
+    }
+    assert!(!matrix.csc_materialized());
+}
+
+#[test]
+fn column_driven_data_never_materializes_the_csr_view() {
+    // The vice-versa direction, at the storage layer: a consumer that only
+    // ever walks columns — the pure column-wise access pattern — must not
+    // allocate the row layout.  (A full session always evaluates the loss
+    // row-wise, so the pure case is exercised against the matrix itself.)
+    let dataset = Dataset::generate(PaperDataset::AmazonLp, 79);
+    let matrix: DataMatrix = dataset.matrix.clone();
+    assert!(matrix.stats().nnz > 0, "stats come from the canonical form");
+    let mut checksum = 0.0;
+    for j in 0..matrix.cols() {
+        checksum += matrix.col(j).norm2_squared();
+        let _ = matrix.col_nnz(j);
+    }
+    assert!(checksum > 0.0);
+    assert!(matrix.csc_materialized());
+    assert!(
+        !matrix.csr_materialized(),
+        "a column-wise-only consumer must never materialize the CSR view"
+    );
+}
+
+#[test]
+fn single_access_method_allocates_one_sparse_layout_of_bytes() {
+    // Quantitative version: after a row-wise run, the resident footprint is
+    // exactly source + CSR — not source + CSR + CSC as the eager seed held.
+    let dataset = Dataset::generate(PaperDataset::Reuters, 80);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Lr);
+    let matrix = task.data.matrix.clone();
+    let source_bytes = matrix.resident_bytes();
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerMachine,
+        DataReplication::FullReplication,
+    )
+    .with_workers(4);
+    let _ = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(2))
+        .build()
+        .run();
+    let resident = matrix.resident_bytes();
+    let csr_bytes = matrix.csr().size_bytes();
+    assert_eq!(
+        resident,
+        source_bytes + csr_bytes,
+        "row-wise residency = COO source + CSR, nothing more"
+    );
+}
+
+#[test]
+fn optimizer_records_the_layout_decision_in_the_plan() {
+    let optimizer = Optimizer::new(machine());
+
+    // Text / dense datasets → row-wise → CSR only (Figure 14 left column).
+    let reuters = Dataset::generate(PaperDataset::Reuters, 81);
+    let svm = AnalyticsTask::from_dataset(&reuters, ModelKind::Svm);
+    let plan = optimizer.choose_plan(&svm);
+    assert_eq!(plan.access, AccessMethod::RowWise);
+    assert_eq!(plan.layout, LayoutDecision::Csr);
+
+    // Graph datasets → column-to-row → CSC plus the row views the S(j)
+    // expansion reads (Figure 14 right column).
+    let amazon = Dataset::generate(PaperDataset::AmazonQp, 81);
+    let qp = AnalyticsTask::from_dataset(&amazon, ModelKind::Qp);
+    let plan = optimizer.choose_plan(&qp);
+    assert_eq!(plan.access, AccessMethod::ColumnToRow);
+    assert_eq!(plan.layout, LayoutDecision::CsrAndCsc);
+    assert!(plan.describe().contains("csr+csc"));
+
+    // The planner never chose anything before stats were consulted, and
+    // stats alone materialized nothing.
+    assert!(!reuters.matrix.csc_materialized());
+    assert!(!amazon.matrix.csr_materialized());
+    assert!(!amazon.matrix.csc_materialized());
+}
+
+#[test]
+fn layout_decision_covers_the_access_method() {
+    let m = machine();
+    let plan = ExecutionPlan::new(
+        &m,
+        AccessMethod::ColumnWise,
+        ModelReplication::PerMachine,
+        DataReplication::Sharding,
+    );
+    assert_eq!(plan.layout, LayoutDecision::Csc);
+    assert!(!plan.layout.includes_rows());
+    assert!(plan.layout.includes_cols());
+    // Refining to a superset is allowed…
+    let widened = plan.clone().with_layout(LayoutDecision::CsrAndCsc);
+    assert_eq!(widened.layout, LayoutDecision::CsrAndCsc);
+    // …and the required layouts of every access method are consistent.
+    for access in AccessMethod::all() {
+        let required = LayoutDecision::for_access(access);
+        match access {
+            AccessMethod::RowWise => assert_eq!(required, LayoutDecision::Csr),
+            AccessMethod::ColumnWise => assert_eq!(required, LayoutDecision::Csc),
+            AccessMethod::ColumnToRow => assert_eq!(required, LayoutDecision::CsrAndCsc),
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "does not cover")]
+fn dropping_a_required_layout_panics() {
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::ColumnToRow,
+        ModelReplication::PerMachine,
+        DataReplication::Sharding,
+    );
+    let _ = plan.with_layout(LayoutDecision::Csc);
+}
