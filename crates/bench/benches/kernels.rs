@@ -91,14 +91,14 @@ fn bench_materialization(c: &mut Criterion) {
     let coo = dataset.matrix.clone();
     group.bench_function("coo_to_csr", |b| {
         b.iter(|| {
-            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap().clone()));
+            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap()));
             m.materialize_rows();
             m
         })
     });
     group.bench_function("coo_to_csc_direct", |b| {
         b.iter(|| {
-            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap().clone()));
+            let m = dw_matrix::DataMatrix::from_coo(black_box(coo.coo_source().unwrap()));
             m.materialize_cols();
             m
         })

@@ -1,0 +1,300 @@
+//! Machine-readable locality benchmark: what the locality-first scheduler,
+//! zero-copy shards, and replannable sessions buy, as JSON, so successive
+//! PRs accumulate a perf trajectory (the storage-layer sibling is
+//! `bench_storage`).
+//!
+//! Writes `BENCH_locality.json` (override with `--out <path>`) containing
+//!
+//! * the measured `data_locality` fraction and steal counts per scheduler
+//!   (round-robin vs locality-first, with and without a steal budget),
+//! * modelled epoch latency per scheduler × locality-group count (the
+//!   "strategy × groups" table of EXPERIMENTS.md),
+//! * the measured statistical-efficiency cost of the reduced shuffle
+//!   (final loss after a fixed epoch budget, per scheduler),
+//! * replica-set byte accounting (zero-copy shards vs full references),
+//! * wall-clock cost of `EpochStream::replan` against a cold session on an
+//!   unmaterialized task — the plan-switching claim.
+//!
+//! `--quick` drops the sample counts for CI smoke runs; the JSON schema is
+//! identical, so trajectory tooling can consume either.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, EpochEvent, ExecutionPlan,
+    ItemScheduler, ModelKind, ModelReplication, RunConfig,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_numa::MachineTopology;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median nanoseconds per iteration of `payload` over `samples` timed runs
+/// (after two warm-up runs).
+fn median_ns<O>(samples: usize, mut payload: impl FnMut() -> O) -> f64 {
+    for _ in 0..2 {
+        black_box(payload());
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(payload());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn sharded_plan(machine: &MachineTopology, scheduler: ItemScheduler) -> ExecutionPlan {
+    ExecutionPlan::new(
+        machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4)
+    .with_scheduler(scheduler)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_locality.json")
+        .to_string();
+    let samples = if quick { 3 } else { 15 };
+    let epochs = if quick { 3 } else { 6 };
+    let mut records: Vec<Record> = Vec::new();
+
+    let machine = MachineTopology::local2();
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+
+    // --- Measured locality, steals and statistical efficiency per
+    // --- scheduler (row-wise Sharding, 2 locality groups). ---
+    let schedulers = [
+        ("round_robin", ItemScheduler::RoundRobin),
+        (
+            "locality_steal0",
+            ItemScheduler::LocalityFirst { steal_budget: 0 },
+        ),
+        (
+            "locality_steal64",
+            ItemScheduler::LocalityFirst { steal_budget: 64 },
+        ),
+    ];
+    for (name, scheduler) in schedulers {
+        let plan = sharded_plan(&machine, scheduler);
+        let events: Vec<EpochEvent> = DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(plan)
+            .config(RunConfig::quick(epochs))
+            .build()
+            .stream()
+            .collect();
+        let mean_locality =
+            events.iter().map(|e| e.data_locality).sum::<f64>() / events.len() as f64;
+        let steals: usize = events.iter().map(|e| e.steals).sum();
+        let final_loss = events.last().expect("at least one epoch").loss;
+        records.push(Record {
+            group: "locality",
+            name: format!("data_locality/{name}"),
+            value: mean_locality,
+            unit: "fraction",
+        });
+        records.push(Record {
+            group: "locality",
+            name: format!("steals/{name}"),
+            value: steals as f64,
+            unit: "items",
+        });
+        records.push(Record {
+            group: "stat_efficiency",
+            name: format!("final_loss_{epochs}_epochs/{name}"),
+            value: final_loss,
+            unit: "loss",
+        });
+    }
+
+    // --- Modelled epoch latency per scheduler × locality-group count. ---
+    for m in [
+        MachineTopology::local2(),
+        MachineTopology::local4(),
+        MachineTopology::local8(),
+    ] {
+        for (name, scheduler) in [
+            ("round_robin", ItemScheduler::RoundRobin),
+            ("locality_first", ItemScheduler::default()),
+        ] {
+            let plan = ExecutionPlan::new(
+                &m,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            )
+            .with_scheduler(scheduler);
+            let sim = dimmwitted::sim_exec::simulate_epoch(
+                &task.data.stats(),
+                task.objective.row_update_density(),
+                &plan,
+                &m,
+            );
+            records.push(Record {
+                group: "epoch_time",
+                name: format!("sim_seconds/{}groups/{name}", m.nodes),
+                value: sim.seconds,
+                unit: "s",
+            });
+        }
+    }
+
+    // --- Replica-set bytes: zero-copy shards vs full references. ---
+    {
+        let sharded = sharded_plan(&machine, ItemScheduler::default());
+        let stream = DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(sharded)
+            .config(RunConfig::quick(1))
+            .build()
+            .stream();
+        records.push(Record {
+            group: "bytes",
+            name: "replica_bytes/sharded".to_string(),
+            value: stream.data_replicas().total_bytes() as f64,
+            unit: "bytes",
+        });
+        let full = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        )
+        .with_workers(4);
+        let stream = DimmWitted::on(machine.clone())
+            .task(task.clone())
+            .plan(full)
+            .config(RunConfig::quick(1))
+            .build()
+            .stream();
+        records.push(Record {
+            group: "bytes",
+            name: "replica_bytes/full_replication".to_string(),
+            value: stream.data_replicas().total_bytes() as f64,
+            unit: "bytes",
+        });
+    }
+
+    // --- Replan vs cold session. ---
+    // A replan reuses the already-materialized layouts of the shared
+    // DataMatrix and rebuilds only the replica set + assignment buffers; a
+    // cold session on an unmaterialized task pays the COO→CSR conversion.
+    let row_plan = sharded_plan(&machine, ItemScheduler::default());
+    let full_plan = ExecutionPlan::new(
+        &machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::FullReplication,
+    )
+    .with_workers(4);
+    let mut warm = DimmWitted::on(machine.clone())
+        .task(task.clone())
+        .plan(row_plan.clone())
+        .config(RunConfig::quick(1))
+        .build()
+        .stream();
+    let _ = warm.next();
+    let replan_ns = median_ns(samples, || {
+        warm.replan(black_box(full_plan.clone()));
+    });
+    records.push(Record {
+        group: "replan",
+        name: "replan_to_full_replication".to_string(),
+        value: replan_ns,
+        unit: "ns",
+    });
+    let columnar = ExecutionPlan::graphlab(&machine).with_workers(4);
+    let replan_columnar_ns = median_ns(samples, || {
+        warm.replan(black_box(columnar.clone()));
+        warm.replan(black_box(row_plan.clone()));
+    });
+    records.push(Record {
+        group: "replan",
+        name: "replan_roundtrip_columnar".to_string(),
+        value: replan_columnar_ns,
+        unit: "ns",
+    });
+    // Cold sessions: each sample gets a genuinely unmaterialized task (a
+    // fresh DataMatrix built from the same COO triplets), so stream() pays
+    // the full layout materialization a replan skips.
+    let coo = dataset
+        .matrix
+        .coo_source()
+        .expect("generated datasets carry a COO source");
+    let mut fresh_tasks: Vec<AnalyticsTask> = (0..samples + 2)
+        .map(|_| {
+            let matrix = dw_matrix::DataMatrix::from_coo(coo.clone());
+            let data = dw_optim::TaskData::supervised(matrix, dataset.labels.clone());
+            AnalyticsTask::new("reuters-cold", data, ModelKind::Svm)
+        })
+        .collect();
+    let cold_ns = median_ns(samples, || {
+        let task = fresh_tasks.pop().expect("one fresh task per sample");
+        let stream = DimmWitted::on(machine.clone())
+            .task(task)
+            .plan(full_plan.clone())
+            .config(RunConfig::quick(1))
+            .build()
+            .stream();
+        black_box(stream.data_replicas().len())
+    });
+    records.push(Record {
+        group: "replan",
+        name: "cold_session_setup".to_string(),
+        value: cold_ns,
+        unit: "ns",
+    });
+    records.push(Record {
+        group: "replan",
+        name: "replan_speedup_vs_cold".to_string(),
+        value: cold_ns / replan_ns.max(1.0),
+        unit: "x",
+    });
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/locality-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "locality-bench: {:<16} {:<44} {:>16.4} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    println!(
+        "locality-bench: wrote {} records to {out_path}",
+        records.len()
+    );
+}

@@ -77,8 +77,7 @@ fn main() {
     let coo = dataset
         .matrix
         .coo_source()
-        .expect("generated datasets carry a COO source")
-        .clone();
+        .expect("generated datasets carry a COO source");
     let csr = dataset.matrix.csr().clone();
     let csc = csr.to_csc();
     let x = vec![0.5; csr.cols()];

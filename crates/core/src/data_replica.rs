@@ -12,17 +12,18 @@
 //! Two replica shapes exist:
 //!
 //! * **Row shards** — for row-wise Sharding on SGD-family tasks (SVM / LR /
-//!   LS), group `g` owns rows `{i : i mod groups = g}` and holds them as a
-//!   real [`TaskData`] shard cut from the plan's chosen layout (its matrix
-//!   carries *only* the row layout).  Workers resolve a global row id to the
-//!   owning shard and a local index; a worker whose locality group does not
-//!   own the row reads the owning group's shard — the cross-node read a real
-//!   NUMA machine would perform, which the locality accounting surfaces.
-//!   Row values, labels, and the column ids the update writes are identical
-//!   to the unsharded matrix, so execution is bit-for-bit unchanged.  The
-//!   shards are copies cut from the shared row layout (which itself stays
-//!   resident for the per-epoch loss evaluation); replacing the copies with
-//!   row-range views into the shared CSR is a roadmap item.
+//!   LS), group `g` owns the contiguous row range `bounds[g]..bounds[g+1]`
+//!   of a balanced partition and holds it as a **zero-copy**
+//!   [`TaskData::row_range`] shard: a [`dw_matrix::RowRangeView`] window
+//!   into the shared row layout, so a shard duplicates no element bytes
+//!   ([`DataReplicaSet::total_bytes`] for a sharded set is ~0).  Workers
+//!   resolve a global row id to the owning shard and a local index through
+//!   the cached owner map (the partition bounds); a worker whose locality
+//!   group does not own the row reads the owning group's shard — the
+//!   cross-node read a real NUMA machine would perform, which the locality
+//!   accounting surfaces.  Row values, labels, and the column ids the
+//!   update writes are identical to the unsharded matrix, so execution is
+//!   bit-for-bit unchanged.
 //! * **Full references** — for FullReplication, for columnar access (whose
 //!   column-to-row updates read arbitrary rows and global vertex degrees,
 //!   which a shard cannot serve), and for graph-family row access (whose
@@ -30,6 +31,11 @@
 //!   task data.  On this single-socket host the "copies" share one
 //!   allocation; the per-replica byte accounting still reports the bytes a
 //!   real per-node copy would occupy.
+//!
+//! The contiguous partition is what the locality-first scheduler of
+//! [`crate::plan`] deals against: [`DataReplicaSet::owner_of`] is the shared
+//! ownership oracle, so the scheduler and the storage layer can never
+//! disagree about which node owns a row.
 
 use crate::access::AccessMethod;
 use crate::plan::{EpochAssignment, ExecutionPlan};
@@ -59,13 +65,36 @@ impl DataReplica {
     }
 }
 
-/// Row-ownership index for sharded replicas.
+/// Contiguous balanced row partition: `bounds[g]..bounds[g+1]` is group
+/// `g`'s range; the first `rows % groups` groups get one extra row.
+pub fn shard_bounds(rows: usize, groups: usize) -> Vec<usize> {
+    let groups = groups.max(1);
+    let base = rows / groups;
+    let extra = rows % groups;
+    let mut bounds = Vec::with_capacity(groups + 1);
+    bounds.push(0);
+    let mut acc = 0;
+    for g in 0..groups {
+        acc += base + usize::from(g < extra);
+        bounds.push(acc);
+    }
+    bounds
+}
+
+/// Cached row-ownership map for sharded replicas: the partition bounds,
+/// computed once at build time (O(groups) memory, O(log groups) lookups).
 #[derive(Debug)]
 struct OwnerMap {
-    /// Owning group of each global row.
-    group_of: Vec<u32>,
-    /// Index of each global row inside its owner's shard.
-    local_of: Vec<u32>,
+    /// `bounds[g]..bounds[g+1]` is the row range group `g` owns.
+    bounds: Vec<usize>,
+}
+
+impl OwnerMap {
+    #[inline]
+    fn owner_of(&self, item: usize) -> usize {
+        debug_assert!(item < *self.bounds.last().expect("non-empty bounds"));
+        self.bounds.partition_point(|&b| b <= item) - 1
+    }
 }
 
 #[derive(Debug)]
@@ -117,25 +146,22 @@ impl DataReplicaSet {
             && task.data.examples() > 0;
 
         let (shards, owners): (Vec<Arc<TaskData>>, Option<OwnerMap>) = if shardable {
-            let rows = task.data.examples();
-            let mut group_of = vec![0u32; rows];
-            let mut local_of = vec![0u32; rows];
-            let mut owned: Vec<Vec<usize>> = vec![Vec::new(); groups];
-            for i in 0..rows {
-                let g = i % groups;
-                group_of[i] = g as u32;
-                local_of[i] = owned[g].len() as u32;
-                owned[g].push(i);
-            }
-            let shards = owned
-                .iter()
-                .map(|rows| Arc::new(task.data.select_rows(rows)))
+            // The shards are zero-copy windows into the shared row layout;
+            // make sure that layout exists so no shard read pays a lazy
+            // conversion mid-epoch.
+            task.data.matrix.materialize_rows();
+            let bounds = shard_bounds(task.data.examples(), groups);
+            let shards = (0..groups)
+                .map(|g| Arc::new(task.data.row_range(bounds[g], bounds[g + 1])))
                 .collect();
-            (shards, Some(OwnerMap { group_of, local_of }))
+            (shards, Some(OwnerMap { bounds }))
         } else {
             ((0..groups).map(|_| Arc::clone(&task.data)).collect(), None)
         };
 
+        // The placement still models each group's *region* (the slice of the
+        // shared row layout a real machine would first-touch onto the node),
+        // even though a zero-copy shard duplicates none of it.
         let bytes_per_group = match plan.data_replication {
             DataReplication::Sharding if owners.is_some() => (full_bytes / groups as u64).max(1),
             DataReplication::Sharding => full_bytes,
@@ -152,9 +178,10 @@ impl DataReplicaSet {
             .into_iter()
             .enumerate()
             .map(|(g, data)| {
-                // Sharded replicas report what their shard actually holds;
-                // full references report the bytes a dedicated per-node
-                // copy would occupy on a real machine.
+                // Sharded replicas report what their shard actually holds —
+                // ~0 for a zero-copy row-range view; full references report
+                // the bytes a dedicated per-node copy would occupy on a
+                // real machine.
                 let bytes = if owners.is_some() {
                     data.matrix.resident_bytes() as u64
                 } else {
@@ -202,6 +229,15 @@ impl DataReplicaSet {
         &self.inner.placement
     }
 
+    /// The locality group that owns global row `item`, when the set holds
+    /// real row shards (`None` for full-reference sets, where every group
+    /// owns everything).  This is the cached owner map the locality-first
+    /// scheduler deals against.
+    #[inline]
+    pub fn owner_of(&self, item: usize) -> Option<usize> {
+        self.inner.owners.as_ref().map(|o| o.owner_of(item))
+    }
+
     /// Resolve a worker's item to the data it reads: `(data, local_item,
     /// local)` where `local` says whether the read stays in the worker's own
     /// locality group.
@@ -213,10 +249,10 @@ impl DataReplicaSet {
     pub fn resolve(&self, group: usize, item: usize) -> (&TaskData, usize, bool) {
         match &self.inner.owners {
             Some(owners) => {
-                let owner = owners.group_of[item] as usize;
+                let owner = owners.owner_of(item);
                 (
                     self.inner.replicas[owner].data.as_ref(),
-                    owners.local_of[item] as usize,
+                    item - owners.bounds[owner],
                     owner == group,
                 )
             }
@@ -226,6 +262,9 @@ impl DataReplicaSet {
 
     /// Fraction of the epoch's item reads that stay in the reading worker's
     /// own locality group under this replica set (1.0 for unsharded sets).
+    ///
+    /// Ownership comes from the owner map cached at build time; the cost per
+    /// call is one pass over the assignment's items.
     pub fn local_read_fraction(&self, assignment: &EpochAssignment) -> f64 {
         let Some(owners) = &self.inner.owners else {
             return 1.0;
@@ -235,7 +274,7 @@ impl DataReplicaSet {
         for worker in &assignment.workers {
             for &item in &worker.items {
                 total += 1;
-                if owners.group_of[item] as usize == worker.replica {
+                if owners.owner_of(item) == worker.replica {
                     local += 1;
                 }
             }
@@ -292,11 +331,16 @@ mod tests {
             .map(|g| set.replica(g).data().examples())
             .sum();
         assert_eq!(shard_rows, task.data.examples());
-        // Shards carry only the row layout.
+        // Shards are zero-copy windows over the shared row layout: servable
+        // row-wise, no column layout, and no element bytes of their own.
         for g in 0..set.len() {
-            assert!(set.replica(g).data().matrix.csr_materialized());
-            assert!(!set.replica(g).data().matrix.csc_materialized());
+            let shard = set.replica(g).data();
+            assert!(shard.matrix.csr_materialized());
+            assert!(!shard.matrix.csc_materialized());
+            assert!(shard.matrix.row_window().is_some());
+            assert_eq!(shard.matrix.resident_bytes(), 0);
         }
+        assert_eq!(set.total_bytes(), 0, "row shards are views, not copies");
     }
 
     #[test]
@@ -374,20 +418,33 @@ mod tests {
     }
 
     #[test]
-    fn locality_fraction_reflects_round_robin_ownership() {
+    fn locality_fraction_follows_the_scheduler() {
         let task = svm_task();
-        let p = plan(
+        let m = machine();
+        // Round-robin dealing ignores ownership: about half the reads of a
+        // 2-group machine are group-local.
+        let rr = plan(
             AccessMethod::RowWise,
             ModelReplication::PerNode,
             DataReplication::Sharding,
-        );
-        let m = machine();
-        let set = DataReplicaSet::build(&p, &m, PlacementPolicy::NumaAware, &task);
-        let assignment = build_epoch_assignment(&p, &m, &task.data, 0, 1, None);
+        )
+        .with_scheduler(crate::plan::ItemScheduler::RoundRobin);
+        let set = DataReplicaSet::build(&rr, &m, PlacementPolicy::NumaAware, &task);
+        let assignment = build_epoch_assignment(&rr, &m, &task.data, 0, 1, None, Some(&set));
         let fraction = set.local_read_fraction(&assignment);
-        // Random shuffle against modular ownership: about half the reads of
-        // a 2-group machine are group-local.
         assert!((0.3..=0.7).contains(&fraction), "local fraction {fraction}");
+        // Locality-first dealing with stealing disabled keeps every read in
+        // the owner's group.
+        let lf = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_steal_budget(0);
+        let set = DataReplicaSet::build(&lf, &m, PlacementPolicy::NumaAware, &task);
+        let assignment = build_epoch_assignment(&lf, &m, &task.data, 0, 1, None, Some(&set));
+        assert_eq!(set.local_read_fraction(&assignment), 1.0);
+        assert_eq!(assignment.steals(), 0);
         // Unsharded sets are fully local by definition.
         let full = DataReplicaSet::build(
             &plan(
@@ -400,6 +457,86 @@ mod tests {
             &task,
         );
         assert_eq!(full.local_read_fraction(&assignment), 1.0);
+    }
+
+    #[test]
+    fn owner_map_is_a_contiguous_balanced_partition() {
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let m = machine();
+        let set = DataReplicaSet::build(&p, &m, PlacementPolicy::NumaAware, &task);
+        let rows = task.data.examples();
+        let bounds = shard_bounds(rows, set.len());
+        assert_eq!(bounds.first(), Some(&0));
+        assert_eq!(bounds.last(), Some(&rows));
+        for i in 0..rows {
+            let owner = set.owner_of(i).expect("sharded set has owners");
+            assert!(bounds[owner] <= i && i < bounds[owner + 1], "row {i}");
+            assert_eq!(
+                set.replica(owner).data().examples(),
+                bounds[owner + 1] - bounds[owner]
+            );
+        }
+        // Full references have no owner map.
+        let full = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        assert_eq!(full.owner_of(0), None);
+    }
+
+    #[test]
+    fn stealing_rebalances_load_and_is_charged_to_locality() {
+        // 3 workers over 2 nodes: group 0 gets workers {0, 2}, group 1 gets
+        // worker {1}.  Owner-directed dealing gives worker 1 twice the load;
+        // a steal budget lets workers 0/2 take cross-group items, which the
+        // locality accounting must charge.
+        let task = svm_task();
+        let m = machine();
+        let base = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let no_steal = base.clone().with_workers(3).with_steal_budget(0);
+        let set = DataReplicaSet::build(&no_steal, &m, PlacementPolicy::NumaAware, &task);
+        let starved = build_epoch_assignment(&no_steal, &m, &task.data, 0, 1, None, Some(&set));
+        assert_eq!(starved.steals(), 0);
+        assert_eq!(set.local_read_fraction(&starved), 1.0);
+        let spread = |a: &crate::plan::EpochAssignment| {
+            let lens: Vec<usize> = a.workers.iter().map(|w| w.items.len()).collect();
+            lens.iter().max().unwrap() - lens.iter().min().unwrap()
+        };
+        assert!(spread(&starved) > 1, "imbalance without stealing");
+
+        let stealing = base.clone().with_workers(3).with_steal_budget(10_000);
+        let set = DataReplicaSet::build(&stealing, &m, PlacementPolicy::NumaAware, &task);
+        let balanced = build_epoch_assignment(&stealing, &m, &task.data, 0, 1, None, Some(&set));
+        assert!(balanced.steals() > 0, "imbalance forces cross-group steals");
+        assert!(spread(&balanced) <= 1, "stealing evens out the load");
+        let fraction = set.local_read_fraction(&balanced);
+        assert!(
+            fraction < 1.0,
+            "stolen items are remote reads (fraction {fraction})"
+        );
+        // Every item is still processed exactly once.
+        assert_eq!(balanced.total_items(), task.data.examples());
+        // A tight budget bounds the number of moves.
+        let capped = base.with_workers(3).with_steal_budget(5);
+        let set = DataReplicaSet::build(&capped, &m, PlacementPolicy::NumaAware, &task);
+        let capped_assignment =
+            build_epoch_assignment(&capped, &m, &task.data, 0, 1, None, Some(&set));
+        assert!(capped_assignment.steals() <= 5);
     }
 
     #[test]

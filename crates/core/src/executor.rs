@@ -343,8 +343,15 @@ mod tests {
         );
         let step = task.objective.default_step();
         for epoch in 0..epochs {
-            let assignment =
-                build_epoch_assignment(&plan, &machine, &task.data, epoch, config.seed, None);
+            let assignment = build_epoch_assignment(
+                &plan,
+                &machine,
+                &task.data,
+                epoch,
+                config.seed,
+                None,
+                Some(&data),
+            );
             let ctx = EpochContext {
                 task: &task,
                 plan: &plan,

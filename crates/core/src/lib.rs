@@ -86,14 +86,14 @@ pub mod sim_exec;
 pub mod task;
 
 pub use access::AccessMethod;
-pub use data_replica::{DataReplica, DataReplicaSet};
+pub use data_replica::{shard_bounds, DataReplica, DataReplicaSet};
 pub use engine::Engine;
 pub use executor::{
     EpochContext, Executor, InterleavedExecutor, SpawnPerEpochExecutor, ThreadedExecutor,
 };
 pub use grid_search::{grid_search_step, paper_step_grid, GridSearchResult};
 pub use optimizer::{CostEstimate, CostModel, Optimizer};
-pub use plan::{ExecutionPlan, LayoutDecision, LocalityGroup, WorkerAssignment};
+pub use plan::{ExecutionPlan, ItemScheduler, LayoutDecision, LocalityGroup, WorkerAssignment};
 pub use pool::WorkerPool;
 pub use replication::{DataReplication, ModelReplication};
 pub use report::{ExecutionMode, RunConfig, RunReport};

@@ -7,12 +7,71 @@
 //! node.
 
 use crate::access::AccessMethod;
+use crate::data_replica::DataReplicaSet;
 use crate::replication::{DataReplication, ModelReplication};
 use dw_matrix::MatrixStats;
 use dw_numa::MachineTopology;
 use dw_optim::TaskData;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+
+/// How epoch items are dealt to workers under the Sharding strategy.
+///
+/// The scheduler is recorded in the [`ExecutionPlan`] so the decision is
+/// part of the plan (and of everything serialized from it), and so the
+/// hardware simulator can charge remote reads for the dealing policy the
+/// plan actually uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ItemScheduler {
+    /// Shuffle the whole item space and deal items to workers round-robin,
+    /// ignoring which locality group owns them (the pre-locality behaviour:
+    /// with `g` groups only ~1/g of a sharded epoch's reads are node-local).
+    RoundRobin,
+    /// Deal each locality group the items of its own shard first (one global
+    /// shuffle, owner-directed dealing), then let under-loaded workers steal
+    /// cross-group only on imbalance, bounded by `steal_budget` moved items
+    /// per epoch.  With stealing disabled every sharded read is node-local.
+    LocalityFirst {
+        /// Maximum items moved between workers per epoch to even out load
+        /// imbalance (0 disables stealing).
+        steal_budget: usize,
+    },
+}
+
+impl Default for ItemScheduler {
+    /// Locality-first with stealing disabled: maximal locality, and with a
+    /// worker count that is a multiple of the group count (every preset
+    /// machine's default) also perfectly balanced.  When workers do not
+    /// divide evenly across groups, a zero budget trades balance for
+    /// locality (the under-staffed group's workers carry more items);
+    /// set a budget via [`ExecutionPlan::with_steal_budget`] to even the
+    /// load — choosing it automatically from the measured imbalance is the
+    /// steal-budget auto-tuning item on the roadmap.
+    fn default() -> Self {
+        ItemScheduler::LocalityFirst { steal_budget: 0 }
+    }
+}
+
+impl ItemScheduler {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ItemScheduler::RoundRobin => "round-robin",
+            ItemScheduler::LocalityFirst { .. } => "locality-first",
+        }
+    }
+}
+
+impl std::fmt::Display for ItemScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItemScheduler::RoundRobin => f.write_str("round-robin"),
+            ItemScheduler::LocalityFirst { steal_budget } => {
+                write!(f, "locality-first/steal:{steal_budget}")
+            }
+        }
+    }
+}
 
 /// Which physical layouts of the data matrix the engine materializes for a
 /// plan — the storage half of the paper's "DimmWitted always stores the
@@ -112,6 +171,9 @@ pub struct ExecutionPlan {
     pub data_replication: DataReplication,
     /// Which physical layouts the engine materializes for this plan.
     pub layout: LayoutDecision,
+    /// How sharded epoch items are dealt to workers (locality-first with a
+    /// bounded steal budget by default).
+    pub scheduler: ItemScheduler,
     /// Number of workers (defaults to one per physical core).
     pub workers: usize,
 }
@@ -133,7 +195,50 @@ impl ExecutionPlan {
             model_replication,
             data_replication,
             layout: LayoutDecision::for_access(access),
+            scheduler: ItemScheduler::default(),
             workers: machine.total_cores(),
+        }
+    }
+
+    /// Override the item scheduler.
+    pub fn with_scheduler(mut self, scheduler: ItemScheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Use locality-first dealing with the given cross-group steal budget.
+    pub fn with_steal_budget(mut self, steal_budget: usize) -> Self {
+        self.scheduler = ItemScheduler::LocalityFirst { steal_budget };
+        self
+    }
+
+    /// The fraction of data reads the plan's scheduler keeps node-local on
+    /// `machine` — the quantity the hardware simulator charges remote DRAM
+    /// for.  Locality-first dealing keeps every sharded row-wise read
+    /// local; round-robin dealing over per-node row shards leaves only
+    /// ~1/groups of them local.
+    ///
+    /// This mirrors the shardability rule of
+    /// [`crate::DataReplicaSet::build`]: shards (and therefore non-local
+    /// reads) only exist when the groups map onto NUMA nodes
+    /// (`groups <= nodes`), so a PerCore plan — whose replica set falls
+    /// back to full references — is fully local under either scheduler.
+    /// It is a *model*: the task-dependent refinements the plan cannot see
+    /// (graph-family tasks never shard; a steal budget can move a few
+    /// items cross-node under imbalance) are measured by the session as
+    /// `EpochEvent::data_locality` instead.
+    pub fn expected_data_locality(&self, machine: &MachineTopology) -> f64 {
+        let groups = self.locality_groups(machine);
+        match self.scheduler {
+            ItemScheduler::RoundRobin
+                if self.access == AccessMethod::RowWise
+                    && self.data_replication == DataReplication::Sharding
+                    && groups > 1
+                    && groups <= machine.nodes =>
+            {
+                1.0 / groups as f64
+            }
+            _ => 1.0,
         }
     }
 
@@ -200,8 +305,13 @@ impl ExecutionPlan {
     /// One-line description used in reports.
     pub fn describe(&self) -> String {
         format!(
-            "{} / {} / {} [{}] ({} workers)",
-            self.access, self.model_replication, self.data_replication, self.layout, self.workers
+            "{} / {} / {} [{}] ({} workers, {})",
+            self.access,
+            self.model_replication,
+            self.data_replication,
+            self.layout,
+            self.workers,
+            self.scheduler
         )
     }
 }
@@ -234,18 +344,45 @@ pub struct LocalityGroup {
 }
 
 /// Fully materialized assignment of work for one epoch.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// The assignment owns its shuffle/permutation scratch and per-group dealing
+/// cursors, so a session refilling it across epochs — and re-mapping it
+/// across [`crate::Session::replan`] calls — reuses every allocation instead
+/// of churning the allocator.
+#[derive(Debug, Clone, Default)]
 pub struct EpochAssignment {
     /// Per-worker item lists.
     pub workers: Vec<WorkerAssignment>,
     /// Locality groups.
     pub groups: Vec<LocalityGroup>,
+    /// Shuffle/permutation buffer, reused across epochs and replans.
+    scratch: Vec<usize>,
+    /// Per-group dealing cursors for the locality-first scheduler.
+    cursors: Vec<usize>,
+    /// Items of the last fill that ended up outside their owner's group via
+    /// cross-group stealing.
+    steals: usize,
+}
+
+impl PartialEq for EpochAssignment {
+    fn eq(&self, other: &Self) -> bool {
+        // The scratch buffers are working memory, not part of the
+        // assignment's identity.
+        self.workers == other.workers && self.groups == other.groups
+    }
 }
 
 impl EpochAssignment {
     /// Total number of items processed in the epoch across all workers.
     pub fn total_items(&self) -> usize {
         self.workers.iter().map(|w| w.items.len()).sum()
+    }
+
+    /// Items of the last [`EpochAssignment::fill`] that were moved to a
+    /// worker outside the owning locality group by the bounded stealing of
+    /// [`ItemScheduler::LocalityFirst`].
+    pub fn steals(&self) -> usize {
+        self.steals
     }
 
     /// Build the epoch-invariant part of an assignment: worker→core/node/
@@ -255,53 +392,73 @@ impl EpochAssignment {
     /// one assignment (and its item allocations) across every epoch instead
     /// of reallocating per epoch.
     pub fn for_plan(plan: &ExecutionPlan, machine: &MachineTopology) -> Self {
+        let mut assignment = EpochAssignment::default();
+        assignment.remap(plan, machine);
+        assignment
+    }
+
+    /// Re-derive the worker→core/node/replica mapping and locality groups
+    /// for a (possibly different) plan **in place**, keeping the per-worker
+    /// item buffers and the shuffle scratch allocated.  This is what makes
+    /// a replan's assignment rebuild allocation-free.
+    pub fn remap(&mut self, plan: &ExecutionPlan, machine: &MachineTopology) {
         let workers = plan.workers;
         let replicas = plan.locality_groups(machine);
-        let assignments: Vec<WorkerAssignment> = (0..workers)
-            .map(|w| {
-                let core = w % machine.total_cores();
-                // Spread workers across nodes round-robin (the NUMA-aware
-                // placement of Appendix A).
-                let node = w % machine.nodes;
-                let replica = match plan.model_replication {
-                    ModelReplication::PerCore => w,
-                    ModelReplication::PerNode => node.min(replicas - 1),
-                    ModelReplication::PerMachine => 0,
-                };
-                WorkerAssignment {
+        self.workers.truncate(workers);
+        for w in 0..workers {
+            let core = w % machine.total_cores();
+            // Spread workers across nodes round-robin (the NUMA-aware
+            // placement of Appendix A).
+            let node = w % machine.nodes;
+            let replica = match plan.model_replication {
+                ModelReplication::PerCore => w,
+                ModelReplication::PerNode => node.min(replicas - 1),
+                ModelReplication::PerMachine => 0,
+            };
+            match self.workers.get_mut(w) {
+                Some(assignment) => {
+                    assignment.worker = w;
+                    assignment.core = core;
+                    assignment.node = node;
+                    assignment.replica = replica;
+                    assignment.items.clear();
+                }
+                None => self.workers.push(WorkerAssignment {
                     worker: w,
                     core,
                     node,
                     replica,
                     items: Vec::new(),
-                }
-            })
-            .collect();
-
-        let mut groups: Vec<LocalityGroup> = (0..replicas)
-            .map(|g| LocalityGroup {
-                id: g,
-                node: match plan.model_replication {
-                    ModelReplication::PerCore => g % machine.nodes,
-                    ModelReplication::PerNode => g,
-                    ModelReplication::PerMachine => 0,
-                },
-                workers: Vec::new(),
-            })
-            .collect();
-        for a in &assignments {
-            groups[a.replica].workers.push(a.worker);
+                }),
+            }
         }
-
-        EpochAssignment {
-            workers: assignments,
-            groups,
+        self.groups.clear();
+        self.groups.extend((0..replicas).map(|g| LocalityGroup {
+            id: g,
+            node: match plan.model_replication {
+                ModelReplication::PerCore => g % machine.nodes,
+                ModelReplication::PerNode => g,
+                ModelReplication::PerMachine => 0,
+            },
+            workers: Vec::new(),
+        }));
+        for a in &self.workers {
+            self.groups[a.replica].workers.push(a.worker);
         }
+        self.steals = 0;
     }
 
     /// Refill the per-worker item lists for `epoch`, reusing the existing
-    /// allocations (`scratch` is the shuffle/permutation buffer, also
-    /// reused across epochs).
+    /// allocations (the shuffle buffer lives in the assignment and survives
+    /// both epochs and replans).
+    ///
+    /// `replicas` is the session's data-replica set: when it holds real row
+    /// shards and the plan's scheduler is [`ItemScheduler::LocalityFirst`],
+    /// sharded dealing becomes owner-directed (each group drains its own
+    /// shard first, then under-loaded workers steal cross-group within the
+    /// plan's steal budget).  Without a sharded replica set — or under
+    /// [`ItemScheduler::RoundRobin`] — dealing is the classic global
+    /// round-robin.
     ///
     /// Distribution rules are those documented on
     /// [`build_epoch_assignment`]; for a fixed `(plan, seed, epoch)` the
@@ -313,7 +470,7 @@ impl EpochAssignment {
         epoch: usize,
         seed: u64,
         importance_weights: Option<&[f64]>,
-        scratch: &mut Vec<usize>,
+        replicas: Option<&DataReplicaSet>,
     ) {
         let workers = self.workers.len();
         let item_count = if plan.access.is_columnar() {
@@ -324,18 +481,42 @@ impl EpochAssignment {
         for worker in &mut self.workers {
             worker.items.clear();
         }
+        self.steals = 0;
 
         let mut rng = StdRng::seed_from_u64(seed ^ (epoch as u64).wrapping_mul(0x9E3779B97F4A7C15));
-        // The groups are only read while items are written; detach them to
-        // satisfy the borrow checker without cloning per epoch.
+        // The groups and scratch buffers are only read while items are
+        // written; detach them to satisfy the borrow checker without
+        // cloning per epoch.
         let groups = std::mem::take(&mut self.groups);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut cursors = std::mem::take(&mut self.cursors);
         match plan.data_replication {
             DataReplication::Sharding => {
                 scratch.clear();
                 scratch.extend(0..item_count);
                 scratch.shuffle(&mut rng);
-                for (idx, &item) in scratch.iter().enumerate() {
-                    self.workers[idx % workers].items.push(item);
+                let sharded = replicas.filter(|r| r.is_sharded() && r.len() == groups.len());
+                match (plan.scheduler, sharded) {
+                    (ItemScheduler::LocalityFirst { steal_budget }, Some(set)) => {
+                        // Owner-directed dealing: one global shuffle (the
+                        // same RNG stream as round-robin dealing), each item
+                        // dealt round-robin among its owner group's workers.
+                        cursors.clear();
+                        cursors.resize(groups.len(), 0);
+                        for &item in scratch.iter() {
+                            let owner = set.owner_of(item).expect("sharded set has an owner map");
+                            let members = &groups[owner].workers;
+                            let worker = members[cursors[owner] % members.len()];
+                            self.workers[worker].items.push(item);
+                            cursors[owner] += 1;
+                        }
+                        self.steals = steal_on_imbalance(&mut self.workers, set, steal_budget);
+                    }
+                    _ => {
+                        for (idx, &item) in scratch.iter().enumerate() {
+                            self.workers[idx % workers].items.push(item);
+                        }
+                    }
                 }
             }
             DataReplication::FullReplication => {
@@ -380,7 +561,51 @@ impl EpochAssignment {
             }
         }
         self.groups = groups;
+        self.scratch = scratch;
+        self.cursors = cursors;
     }
+}
+
+/// Even out per-worker load after owner-directed dealing: repeatedly move
+/// one item from the most-loaded worker's tail to the least-loaded worker
+/// (lowest index on ties), until the spread is within one item or `budget`
+/// moves were made.  Returns how many moved items ended up outside their
+/// owner's locality group — the cross-node steals the locality accounting
+/// charges.
+fn steal_on_imbalance(
+    workers: &mut [WorkerAssignment],
+    set: &DataReplicaSet,
+    mut budget: usize,
+) -> usize {
+    if workers.len() < 2 {
+        return 0;
+    }
+    let mut steals = 0;
+    while budget > 0 {
+        let mut most = 0;
+        let mut least = 0;
+        for (i, worker) in workers.iter().enumerate() {
+            if worker.items.len() > workers[most].items.len() {
+                most = i;
+            }
+            if worker.items.len() < workers[least].items.len() {
+                least = i;
+            }
+        }
+        if workers[most].items.len() <= workers[least].items.len() + 1 {
+            break;
+        }
+        let item = workers[most]
+            .items
+            .pop()
+            .expect("most-loaded worker has items");
+        if set.owner_of(item) != Some(workers[least].replica) {
+            steals += 1;
+        }
+        workers[least].items.push(item);
+        budget -= 1;
+    }
+    steals
 }
 
 /// Build the per-worker assignment for one epoch.
@@ -397,6 +622,8 @@ impl EpochAssignment {
 ///   (the caller supplies the row weights; uniform when `None`, and always
 ///   uniform for columnar access, where the items are columns and row
 ///   weights do not apply).
+/// * With a sharded `replicas` set and a locality-first plan scheduler,
+///   Sharding dealing is owner-directed (see [`EpochAssignment::fill`]).
 pub fn build_epoch_assignment(
     plan: &ExecutionPlan,
     machine: &MachineTopology,
@@ -404,10 +631,10 @@ pub fn build_epoch_assignment(
     epoch: usize,
     seed: u64,
     importance_weights: Option<&[f64]>,
+    replicas: Option<&DataReplicaSet>,
 ) -> EpochAssignment {
     let mut assignment = EpochAssignment::for_plan(plan, machine);
-    let mut scratch = Vec::new();
-    assignment.fill(plan, data, epoch, seed, importance_weights, &mut scratch);
+    assignment.fill(plan, data, epoch, seed, importance_weights, replicas);
     assignment
 }
 
@@ -492,7 +719,7 @@ mod tests {
         let m = local2();
         let data = small_data(100, 10);
         let plan = ExecutionPlan::hogwild(&m).with_workers(4);
-        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None, None);
         assert_eq!(assignment.total_items(), 100);
         let mut all: Vec<usize> = assignment
             .workers
@@ -518,7 +745,7 @@ mod tests {
             DataReplication::FullReplication,
         )
         .with_workers(4);
-        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None, None);
         // 2 groups x 60 rows.
         assert_eq!(assignment.total_items(), 120);
         assert_eq!(assignment.groups.len(), 2);
@@ -538,7 +765,7 @@ mod tests {
         let m = local2();
         let data = small_data(50, 20);
         let plan = ExecutionPlan::graphlab(&m).with_workers(5);
-        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None, None);
         assert_eq!(assignment.total_items(), 20);
         for w in &assignment.workers {
             for &item in &w.items {
@@ -559,7 +786,7 @@ mod tests {
             let plan =
                 ExecutionPlan::new(&m, AccessMethod::RowWise, repl, DataReplication::Sharding)
                     .with_workers(6);
-            let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None);
+            let assignment = build_epoch_assignment(&plan, &m, &data, 0, 1, None, None);
             assert_eq!(assignment.groups.len(), expected_groups, "{repl}");
             for w in &assignment.workers {
                 assert!(w.replica < expected_groups);
@@ -576,11 +803,11 @@ mod tests {
         let m = local2();
         let data = small_data(40, 8);
         let plan = ExecutionPlan::hogwild(&m).with_workers(2);
-        let a = build_epoch_assignment(&plan, &m, &data, 0, 9, None);
-        let b = build_epoch_assignment(&plan, &m, &data, 1, 9, None);
+        let a = build_epoch_assignment(&plan, &m, &data, 0, 9, None, None);
+        let b = build_epoch_assignment(&plan, &m, &data, 1, 9, None, None);
         assert_ne!(a.workers[0].items, b.workers[0].items);
         // Same epoch and seed is deterministic.
-        let c = build_epoch_assignment(&plan, &m, &data, 0, 9, None);
+        let c = build_epoch_assignment(&plan, &m, &data, 0, 9, None, None);
         assert_eq!(a, c);
     }
 
@@ -600,7 +827,7 @@ mod tests {
         for w in weights.iter_mut().take(10) {
             *w = 1.0;
         }
-        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&weights));
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&weights), None);
         assert!(assignment.total_items() > 0);
         for w in &assignment.workers {
             for &item in &w.items {
@@ -628,10 +855,9 @@ mod tests {
             )
             .with_workers(4);
             let mut cached = EpochAssignment::for_plan(&plan, &m);
-            let mut scratch = Vec::new();
             for epoch in 0..3 {
-                cached.fill(&plan, &data, epoch, 7, None, &mut scratch);
-                let fresh = build_epoch_assignment(&plan, &m, &data, epoch, 7, None);
+                cached.fill(&plan, &data, epoch, 7, None, None);
+                let fresh = build_epoch_assignment(&plan, &m, &data, epoch, 7, None, None);
                 assert_eq!(cached, fresh, "epoch {epoch}, {data_replication:?}");
             }
         }
@@ -652,7 +878,7 @@ mod tests {
         )
         .with_workers(4);
         let row_weights = vec![1.0; 200];
-        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&row_weights));
+        let assignment = build_epoch_assignment(&plan, &m, &data, 0, 3, Some(&row_weights), None);
         assert!(assignment.total_items() > 0);
         for w in &assignment.workers {
             for &item in &w.items {

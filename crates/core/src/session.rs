@@ -75,8 +75,18 @@ pub struct EpochEvent {
     /// Modelled PMU counters for this epoch.
     pub counters: PerfCounters,
     /// Fraction of this epoch's data reads served by the reading worker's
-    /// own locality-group replica (1.0 when every group holds a full copy).
+    /// own locality-group replica (1.0 when every group holds a full copy;
+    /// ~1.0 under locality-first sharded dealing, ~1/groups under
+    /// round-robin dealing).
     pub data_locality: f64,
+    /// Items this epoch that the bounded work-stealing moved to a worker
+    /// outside the owning locality group (0 with stealing disabled).
+    pub steals: usize,
+    /// Measured statistical efficiency of the epoch: the relative loss
+    /// reduction `(previous − loss) / |previous|`.  Comparing this between
+    /// the locality-first and round-robin schedulers measures the
+    /// statistical-efficiency cost of the reduced cross-shard shuffle.
+    pub stat_efficiency: f64,
 }
 
 /// Why a stream stopped producing epochs.
@@ -127,6 +137,7 @@ impl DimmWitted {
             cancel: CancelToken::new(),
             observers: Vec::new(),
             executor: None,
+            compact: false,
         }
     }
 }
@@ -142,6 +153,7 @@ pub struct SessionBuilder {
     cancel: CancelToken,
     observers: Vec<Observer>,
     executor: Option<Box<dyn Executor>>,
+    compact: bool,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -235,6 +247,15 @@ impl SessionBuilder {
         self
     }
 
+    /// Drop the task matrix's canonical COO triplets once the plan's
+    /// compressed layouts are materialized, reclaiming 16 bytes per stored
+    /// non-zero.  Off by default: compaction affects every holder of the
+    /// shared storage handle (including the dataset the task came from).
+    pub fn compact_source(mut self) -> Self {
+        self.compact = true;
+        self
+    }
+
     /// Resolve the plan and executor and produce a runnable [`Session`].
     ///
     /// # Panics
@@ -263,8 +284,45 @@ impl SessionBuilder {
             cancel: self.cancel,
             observers: self.observers,
             executor,
+            compact: self.compact,
         }
     }
+}
+
+/// Materialize exactly what session execution under `plan` reads: the plan's
+/// layout decision, plus the row layout (every session evaluates the loss
+/// row-wise) and the column views graph-family row updates read degrees
+/// through.  Every call after the first is free — the layouts are cached on
+/// the shared storage handle, which is what makes a replan cheap.
+fn materialize_layouts(task: &AnalyticsTask, plan: &ExecutionPlan) {
+    task.data.matrix.materialize_rows();
+    let needs_cols = plan.layout.includes_cols()
+        || (plan.access == crate::access::AccessMethod::RowWise && !task.kind.is_sgd_family());
+    if needs_cols {
+        task.data.matrix.materialize_cols();
+    }
+}
+
+/// Leverage-score weights are only needed for row-wise importance sampling
+/// (they weight rows; columnar plans sample columns uniformly).
+fn importance_weights_for(task: &AnalyticsTask, plan: &ExecutionPlan) -> Option<Vec<f64>> {
+    match plan.data_replication {
+        DataReplication::Importance { .. } if !plan.access.is_columnar() => {
+            Some(crate::importance::leverage_scores(task.data.csr(), 1e-6))
+        }
+        _ => None,
+    }
+}
+
+/// The initial step size for `plan` (before per-epoch decay).
+fn base_step(task: &AnalyticsTask, plan: &ExecutionPlan, config: &RunConfig) -> f64 {
+    config.step_override.unwrap_or_else(|| {
+        if plan.access.is_columnar() {
+            task.objective.default_col_step()
+        } else {
+            task.objective.default_step_for(&task.data)
+        }
+    })
 }
 
 /// A fully resolved run, ready to stream epochs.
@@ -278,6 +336,7 @@ pub struct Session {
     cancel: CancelToken,
     observers: Vec<Observer>,
     executor: Box<dyn Executor>,
+    compact: bool,
 }
 
 impl Session {
@@ -289,6 +348,18 @@ impl Session {
     /// The machine this session models.
     pub fn machine(&self) -> &MachineTopology {
         &self.machine
+    }
+
+    /// Switch the session to a different plan (access method, replication
+    /// strategies, scheduler, worker count) before streaming.
+    ///
+    /// Layouts already materialized on the shared [`dw_matrix::DataMatrix`]
+    /// are reused as-is — switching between plans over the same task never
+    /// rebuilds a layout that exists, only the replica set and assignment
+    /// buffers (see [`EpochStream::replan`] for the mid-run variant, which
+    /// additionally carries the model across the switch).
+    pub fn replan(&mut self, plan: ExecutionPlan) {
+        self.plan = plan;
     }
 
     /// Turn the session into a lazy stream of epochs.
@@ -309,12 +380,9 @@ impl Session {
         // lazy conversion even under a hand-built plan.  (Optimizer-chosen
         // plans already record the widened decision.)  Anything else stays
         // unmaterialized — the footprint tests assert it stays that way.
-        self.task.data.matrix.materialize_rows();
-        let needs_cols = self.plan.layout.includes_cols()
-            || (self.plan.access == crate::access::AccessMethod::RowWise
-                && !self.task.kind.is_sgd_family());
-        if needs_cols {
-            self.task.data.matrix.materialize_cols();
+        materialize_layouts(&self.task, &self.plan);
+        if self.compact {
+            let _ = self.task.data.matrix.compact_source();
         }
         // Per-node data replicas / shards, placed by the NUMA-aware
         // collocation protocol of Appendix A.
@@ -324,26 +392,12 @@ impl Session {
             PlacementPolicy::NumaAware,
             &self.task,
         );
-        // Leverage-score weights are only needed for row-wise importance
-        // sampling (they weight rows; columnar plans sample columns
-        // uniformly and never read them).
-        let weights = match self.plan.data_replication {
-            DataReplication::Importance { .. } if !self.plan.access.is_columnar() => Some(
-                crate::importance::leverage_scores(self.task.data.csr(), 1e-6),
-            ),
-            _ => None,
-        };
+        let weights = importance_weights_for(&self.task, &self.plan);
         let replicas: Vec<Arc<AtomicModel>> = (0..self.plan.locality_groups(&self.machine))
             .map(|_| Arc::new(AtomicModel::zeros(self.task.dim())))
             .collect();
         let trace = ConvergenceTrace::new(self.task.initial_loss());
-        let step = self.config.step_override.unwrap_or_else(|| {
-            if self.plan.access.is_columnar() {
-                self.task.objective.default_col_step()
-            } else {
-                self.task.objective.default_step_for(&self.task.data)
-            }
-        });
+        let step = base_step(&self.task, &self.plan, &self.config);
         let assignment = EpochAssignment::for_plan(&self.plan, &self.machine);
         EpochStream {
             machine: self.machine,
@@ -359,8 +413,8 @@ impl Session {
             data_replicas,
             weights,
             assignment,
-            scratch: Vec::new(),
             sim,
+            sim_elapsed: 0.0,
             trace,
             step,
             epoch: 0,
@@ -399,8 +453,8 @@ pub struct EpochStream {
     data_replicas: DataReplicaSet,
     weights: Option<Vec<f64>>,
     assignment: EpochAssignment,
-    scratch: Vec<usize>,
     sim: EpochSimulation,
+    sim_elapsed: f64,
     trace: ConvergenceTrace,
     step: f64,
     epoch: usize,
@@ -431,6 +485,51 @@ impl EpochStream {
     /// The per-node data replicas / shards this stream reads through.
     pub fn data_replicas(&self) -> &DataReplicaSet {
         &self.data_replicas
+    }
+
+    /// Switch the running stream to a different plan **without losing the
+    /// model**: the replicas are averaged, the replica set and assignment
+    /// buffers are rebuilt for the new plan, and already-materialized
+    /// [`dw_matrix::DataMatrix`] layouts are reused as-is.
+    ///
+    /// This is the cheap half of a plan switch the unified storage layer
+    /// bought: a cold session on a fresh task must re-materialize its
+    /// layouts from the canonical triplets, while a replan only
+    /// re-derives the replica set, the worker mapping (in place, reusing
+    /// the item and shuffle buffers), the simulator constants, and the
+    /// step-size schedule.  The convergence trace and epoch budget
+    /// continue across the switch.
+    pub fn replan(&mut self, plan: ExecutionPlan) {
+        let averaged = average_replicas(&self.replicas);
+        self.plan = plan;
+        materialize_layouts(&self.task, &self.plan);
+        self.data_replicas = DataReplicaSet::build(
+            &self.plan,
+            &self.machine,
+            PlacementPolicy::NumaAware,
+            &self.task,
+        );
+        self.weights = importance_weights_for(&self.task, &self.plan);
+        let groups = self.plan.locality_groups(&self.machine);
+        if self.replicas.len() != groups {
+            self.replicas = (0..groups)
+                .map(|_| Arc::new(AtomicModel::zeros(self.task.dim())))
+                .collect();
+        }
+        for replica in &self.replicas {
+            replica.store_vec(&averaged);
+        }
+        self.assignment.remap(&self.plan, &self.machine);
+        self.sim = simulate_epoch(
+            &self.task.data.stats(),
+            self.task.objective.row_update_density(),
+            &self.plan,
+            &self.machine,
+        );
+        // Restart the step schedule for the new plan at the current epoch's
+        // decay, so a same-plan replan continues the exact schedule.
+        let decay = self.task.objective.step_decay();
+        self.step = base_step(&self.task, &self.plan, &self.config) * decay.powi(self.epoch as i32);
     }
 
     /// Drain the remaining epochs and produce the final report.
@@ -494,7 +593,7 @@ impl Iterator for EpochStream {
             self.epoch,
             self.config.seed,
             self.weights.as_deref(),
-            &mut self.scratch,
+            Some(&self.data_replicas),
         );
         let ctx = EpochContext {
             task: &self.task,
@@ -518,8 +617,14 @@ impl Iterator for EpochStream {
             }
         }
         let loss = self.task.objective.full_loss(&self.task.data, &averaged);
+        let previous = self
+            .trace
+            .points
+            .last()
+            .map_or(self.trace.initial_loss, |p| p.loss);
         self.epoch += 1;
-        let sim_seconds = self.epoch as f64 * self.sim.seconds;
+        self.sim_elapsed += self.sim.seconds;
+        let sim_seconds = self.sim_elapsed;
         self.trace.record(loss, sim_seconds);
         self.step *= self.task.objective.step_decay();
 
@@ -529,6 +634,8 @@ impl Iterator for EpochStream {
             sim_seconds,
             counters: self.sim.counters,
             data_locality: self.data_replicas.local_read_fraction(&self.assignment),
+            steals: self.assignment.steals(),
+            stat_efficiency: (previous - loss) / previous.abs().max(1e-12),
         };
         for observer in &mut self.observers {
             observer(&event);
@@ -680,6 +787,154 @@ mod tests {
     #[should_panic(expected = "a session needs a task")]
     fn building_without_a_task_panics() {
         let _ = DimmWitted::on(MachineTopology::local2()).build();
+    }
+
+    #[test]
+    fn replan_mid_stream_keeps_the_model_and_the_trace() {
+        let machine = MachineTopology::local2();
+        let sharded = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let mut stream = builder().plan(sharded.clone()).epochs(6).build().stream();
+        let mut first_half = Vec::new();
+        for _ in 0..3 {
+            first_half.push(stream.next().expect("epoch"));
+        }
+        let loss_before = first_half.last().unwrap().loss;
+
+        // Switch replication strategy mid-run; the model must carry over.
+        let full = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        )
+        .with_workers(4);
+        stream.replan(full.clone());
+        assert_eq!(stream.plan(), &full);
+        let after = stream.next().expect("epoch after replan");
+        assert_eq!(after.epoch, 4, "the epoch budget continues");
+        assert!(
+            after.loss < loss_before * 1.05,
+            "the model survived the switch: {} -> {}",
+            loss_before,
+            after.loss
+        );
+        for _ in stream.by_ref() {}
+        assert_eq!(stream.stop_reason(), Some(StopReason::EpochBudget));
+        assert_eq!(stream.trace().epochs(), 6);
+    }
+
+    #[test]
+    fn replan_changes_group_count_without_losing_the_model() {
+        let machine = MachineTopology::local2();
+        let per_node = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let mut stream = builder().plan(per_node).epochs(4).build().stream();
+        let before = stream.next().expect("first epoch").loss;
+        let per_machine = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerMachine,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        stream.replan(per_machine);
+        let after = stream.next().expect("epoch after replan").loss;
+        assert!(after < before, "training continued: {before} -> {after}");
+    }
+
+    #[test]
+    fn replan_reuses_already_materialized_layouts() {
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        let machine = MachineTopology::local2();
+        let row_plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let mut stream = DimmWitted::on(machine.clone())
+            .task(task)
+            .plan(row_plan)
+            .epochs(4)
+            .build()
+            .stream();
+        let _ = stream.next();
+        assert!(matrix.csr_materialized());
+        assert!(!matrix.csc_materialized());
+        // Switching to a columnar plan materializes only what is missing.
+        let col_plan = ExecutionPlan::graphlab(&machine).with_workers(4);
+        stream.replan(col_plan);
+        assert!(matrix.csc_materialized(), "the new layout was built");
+        assert!(matrix.csr_materialized(), "the old layout was reused");
+        let event = stream.next().expect("columnar epoch");
+        assert!(event.loss.is_finite());
+    }
+
+    #[test]
+    fn session_replan_swaps_the_plan_before_streaming() {
+        let machine = MachineTopology::local2();
+        let mut session = builder().epochs(2).build();
+        let hogwild = ExecutionPlan::hogwild(&machine).with_workers(4);
+        session.replan(hogwild.clone());
+        assert_eq!(session.plan(), &hogwild);
+        let report = session.run();
+        assert_eq!(report.plan, hogwild);
+    }
+
+    #[test]
+    fn events_report_locality_steals_and_stat_efficiency() {
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let events: Vec<EpochEvent> = builder().plan(plan).epochs(3).build().stream().collect();
+        for event in &events {
+            // Locality-first dealing with stealing disabled: every sharded
+            // read is group-local and nothing is stolen.
+            assert_eq!(event.data_locality, 1.0);
+            assert_eq!(event.steals, 0);
+            assert!(event.stat_efficiency.is_finite());
+        }
+        assert!(
+            events[0].stat_efficiency > 0.0,
+            "the first epoch reduces the loss"
+        );
+    }
+
+    #[test]
+    fn compact_source_option_drops_the_coo_triplets() {
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        assert!(matrix.has_coo_source());
+        let report = DimmWitted::on(MachineTopology::local2())
+            .task(task)
+            .plan_auto()
+            .epochs(2)
+            .compact_source()
+            .build()
+            .run();
+        assert_eq!(report.trace.epochs(), 2);
+        assert!(
+            !matrix.has_coo_source(),
+            "the canonical triplets were reclaimed"
+        );
     }
 
     #[test]

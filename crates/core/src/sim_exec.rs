@@ -85,16 +85,22 @@ pub fn simulate_epoch(
     let model_writes = model_writes * work_factor;
 
     // --- Placement-dependent unit costs. ---
-    // Data: NUMA-aware placement keeps each group's stream local; the stream
-    // hits the LLC only if the group's share of the data fits.
+    // Data: NUMA-aware placement keeps each group's *region* on its node;
+    // whether a worker's reads actually land there depends on how the item
+    // scheduler deals sharded items (locality-first dealing keeps every read
+    // on the owning node, round-robin dealing only ~1/groups of them).  The
+    // local stream hits the LLC only if the group's share of the data fits.
+    let data_locality = plan.expected_data_locality(machine);
     let data_bytes_per_group = match plan.data_replication {
         DataReplication::FullReplication => stats.sparse_bytes as u64,
         _ => (stats.sparse_bytes as u64 / groups as u64).max(1),
     };
     let data_llc_fraction =
         streaming_hit_fraction(data_bytes_per_group, machine.llc_bytes() as u64);
-    let data_read_ns = data_llc_fraction * cost.read_llc(SPARSE_ELEMENT_BYTES)
+    let local_data_read_ns = data_llc_fraction * cost.read_llc(SPARSE_ELEMENT_BYTES)
         + (1.0 - data_llc_fraction) * cost.read_local_dram(SPARSE_ELEMENT_BYTES);
+    let data_read_ns = data_locality * local_data_read_ns
+        + (1.0 - data_locality) * cost.read_remote_dram(SPARSE_ELEMENT_BYTES);
 
     // Model: replica bytes and sharing depend on the replication strategy.
     let model_bytes = (stats.cols as u64) * MODEL_ELEMENT_BYTES;
@@ -151,7 +157,9 @@ pub fn simulate_epoch(
     let per_worker_ns = vec![per_worker_ns_value; workers];
 
     // --- Counters. ---
-    let data_misses = data_reads * (1.0 - data_llc_fraction);
+    let local_data_reads = data_reads * data_locality;
+    let remote_data_reads = data_reads * (1.0 - data_locality);
+    let data_misses = local_data_reads * (1.0 - data_llc_fraction);
     let model_local_misses = if model_fits_llc {
         0.0
     } else {
@@ -165,13 +173,17 @@ pub fn simulate_epoch(
         0.0
     };
     let counters = PerfCounters {
-        local_llc_hits: (data_reads * data_llc_fraction
+        local_llc_hits: (local_data_reads * data_llc_fraction
             + model_reads * (1.0 - remote_worker_fraction) * if model_fits_llc { 1.0 } else { 0.0 })
             as u64,
         remote_llc_requests: (remote_model_reads + cross_socket_write_invalidations) as u64,
-        llc_misses: (data_misses + model_local_misses + remote_model_reads) as u64,
+        llc_misses: (data_misses + remote_data_reads + model_local_misses + remote_model_reads)
+            as u64,
         local_dram_requests: (data_misses + model_local_misses) as u64,
-        remote_dram_requests: (remote_model_reads + remote_model_writes + sync_elements) as u64,
+        remote_dram_requests: (remote_data_reads
+            + remote_model_reads
+            + remote_model_writes
+            + sync_elements) as u64,
         bytes_read: (data_reads * SPARSE_ELEMENT_BYTES as f64
             + model_reads * MODEL_ELEMENT_BYTES as f64) as u64,
         bytes_written: (model_writes * MODEL_ELEMENT_BYTES as f64) as u64,

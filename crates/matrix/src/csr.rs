@@ -226,6 +226,32 @@ impl CsrMatrix {
         m
     }
 
+    /// Build a new CSR matrix containing only the contiguous rows
+    /// `start..end` (a straight copy of the window's slices — the owned
+    /// counterpart of a zero-copy row-range view).
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= rows`.
+    pub fn select_range(&self, start: usize, end: usize) -> CsrMatrix {
+        assert!(
+            start <= end && end <= self.shape.rows,
+            "row range {start}..{end} outside matrix of {} rows",
+            self.shape.rows
+        );
+        let lo = self.indptr[start] as usize;
+        let hi = self.indptr[end] as usize;
+        let indptr = self.indptr[start..=end]
+            .iter()
+            .map(|&p| p - lo as u32)
+            .collect();
+        CsrMatrix {
+            shape: Shape::new(end - start, self.shape.cols),
+            indptr,
+            indices: self.indices[lo..hi].to_vec(),
+            data: self.data[lo..hi].to_vec(),
+        }
+    }
+
     /// Build a new CSR matrix containing only the listed rows (in order).
     ///
     /// Used by the Sharding data-replication strategy to give each locality

@@ -18,6 +18,18 @@
 //! layout up front with [`DataMatrix::materialize_rows`] /
 //! [`DataMatrix::materialize_cols`] so no epoch pays the conversion cost.
 //!
+//! Two memory levers sit on top of the lazy caches:
+//!
+//! * [`DataMatrix::compact_source`] drops the canonical COO triplets once a
+//!   compressed layout is resident, reclaiming the source's 16 bytes per
+//!   non-zero (the resident layouts become canonical; anything still
+//!   missing is converted from them).
+//! * [`DataMatrix::row_range`] cuts a **zero-copy row shard**: a
+//!   [`RowRangeView`] window `start..end` into the shared row layout's
+//!   `indptr`.  The shard serves bit-identical row bytes through
+//!   [`RowAccess`] without duplicating a single index or value — this is
+//!   what makes NUMA row sharding free.
+//!
 //! Clones share the underlying storage (the handle is an `Arc`), so a
 //! layout materialized through any clone — a dataset, a task, a shard
 //! builder — is visible to every other holder, and the bytes are counted
@@ -29,23 +41,86 @@ use crate::views::{ColAccess, RowAccess};
 use crate::{
     ColView, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, Layout, MatrixStats, RowView, Shape,
 };
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// The canonical form a [`DataMatrix`] was built from.
+/// A zero-copy window over a contiguous row range of another matrix.
+///
+/// The view holds a cheap handle to the base matrix (an `Arc` bump) plus the
+/// `start..end` window into its row layout; every row it serves is the exact
+/// slice pair the base's CSR serves, so reads through the view are
+/// bit-identical to reads of rows `start..end` of the base.
 #[derive(Debug, Clone)]
-enum Source {
-    /// Unordered triplets (the generator output; cheapest to produce).
-    Coo(CooMatrix),
-    /// Already row-major (e.g. a shard cut out of another CSR matrix).
-    Csr(CsrMatrix),
-    /// Already column-major.
-    Csc(CscMatrix),
+pub struct RowRangeView {
+    base: DataMatrix,
+    start: usize,
+    end: usize,
+}
+
+impl RowRangeView {
+    /// The matrix this view windows into.
+    pub fn base(&self) -> &DataMatrix {
+        &self.base
+    }
+
+    /// First base row of the window.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// One past the last base row of the window.
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// Number of rows in the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Copy the windowed rows into a standalone CSR matrix (the escape
+    /// hatch for consumers that need an owned layout; shard reads never do).
+    fn materialize_csr(&self) -> CsrMatrix {
+        self.base.csr().select_range(self.start, self.end)
+    }
+}
+
+impl RowAccess for RowRangeView {
+    fn shape(&self) -> Shape {
+        Shape::new(self.len(), self.base.cols())
+    }
+
+    fn row(&self, i: usize) -> RowView<'_> {
+        assert!(
+            i < self.len(),
+            "row {i} outside view of {} rows",
+            self.len()
+        );
+        self.base.csr().row(self.start + i)
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        assert!(
+            i < self.len(),
+            "row {i} outside view of {} rows",
+            self.len()
+        );
+        self.base.csr().row_nnz(self.start + i)
+    }
 }
 
 #[derive(Debug)]
 struct Inner {
     shape: Shape,
-    source: Source,
+    /// Canonical COO triplets; `None` for matrices built from a compressed
+    /// layout, for row-range views, and after [`DataMatrix::compact_source`].
+    source: RwLock<Option<CooMatrix>>,
+    /// Zero-copy row window into another matrix (set only by `row_range`).
+    window: Option<RowRangeView>,
     csr: OnceLock<CsrMatrix>,
     csc: OnceLock<CscMatrix>,
     dense: OnceLock<DenseMatrix>,
@@ -61,11 +136,12 @@ pub struct DataMatrix {
 }
 
 impl DataMatrix {
-    fn from_source(shape: Shape, source: Source) -> Self {
+    fn from_parts(shape: Shape, source: Option<CooMatrix>, window: Option<RowRangeView>) -> Self {
         DataMatrix {
             inner: Arc::new(Inner {
                 shape,
-                source,
+                source: RwLock::new(source),
+                window,
                 csr: OnceLock::new(),
                 csc: OnceLock::new(),
                 dense: OnceLock::new(),
@@ -76,19 +152,23 @@ impl DataMatrix {
 
     /// Build from the canonical COO form; nothing is materialized yet.
     pub fn from_coo(coo: CooMatrix) -> Self {
-        Self::from_source(coo.shape(), Source::Coo(coo))
+        Self::from_parts(coo.shape(), Some(coo), None)
     }
 
     /// Build from an existing CSR matrix (counts as the row layout being
     /// materialized).
     pub fn from_csr(csr: CsrMatrix) -> Self {
-        Self::from_source(csr.shape(), Source::Csr(csr))
+        let m = Self::from_parts(csr.shape(), None, None);
+        let _ = m.inner.csr.set(csr);
+        m
     }
 
     /// Build from an existing CSC matrix (counts as the column layout being
     /// materialized).
     pub fn from_csc(csc: CscMatrix) -> Self {
-        Self::from_source(csc.shape(), Source::Csc(csc))
+        let m = Self::from_parts(csc.shape(), None, None);
+        let _ = m.inner.csc.set(csc);
+        m
     }
 
     /// Shape of the matrix.
@@ -116,58 +196,131 @@ impl DataMatrix {
     /// Matrix statistics for the cost-based optimizer.
     ///
     /// Computed once from the canonical source form (or from an
-    /// already-materialized layout when one exists) and cached; never
-    /// triggers a layout materialization.
+    /// already-materialized layout when one exists) and cached.  For a
+    /// row-range view the per-row counts come from the base's row layout.
     pub fn stats(&self) -> &MatrixStats {
         self.inner.stats.get_or_init(|| {
-            if let Some(csr) = self.csr_if_materialized() {
+            if let Some(csr) = self.inner.csr.get() {
                 return MatrixStats::from_csr(csr);
             }
-            match &self.inner.source {
-                Source::Coo(coo) => MatrixStats::from_coo(coo),
-                Source::Csr(csr) => MatrixStats::from_csr(csr),
-                Source::Csc(csc) => MatrixStats::from_csc(csc),
+            if let Some(view) = &self.inner.window {
+                return MatrixStats::from_row_counts(
+                    view.len(),
+                    self.inner.shape.cols,
+                    (view.start..view.end).map(|i| view.base.csr().row_nnz(i)),
+                );
+            }
+            let source = self.inner.source.read().expect("source lock poisoned");
+            match &*source {
+                Some(coo) => MatrixStats::from_coo(coo),
+                None => {
+                    // The source can only be absent when a layout exists
+                    // (compaction's precondition); re-check the CSR cache —
+                    // a concurrent materialize+compact may have landed
+                    // between the unlocked check above and taking the lock.
+                    if let Some(csr) = self.inner.csr.get() {
+                        MatrixStats::from_csr(csr)
+                    } else if let Some(csc) = self.inner.csc.get() {
+                        MatrixStats::from_csc(csc)
+                    } else {
+                        let dense = self
+                            .inner
+                            .dense
+                            .get()
+                            .expect("a sourceless matrix always retains a layout");
+                        MatrixStats::from_csr(&CsrMatrix::from_dense(dense))
+                    }
+                }
             }
         })
     }
 
     /// The row-major compressed layout, materialized and cached on first
-    /// request.
+    /// request.  For a row-range view this copies the window out of the
+    /// base (shard *reads* never need it — they go through [`RowAccess`]).
     pub fn csr(&self) -> &CsrMatrix {
-        if let Source::Csr(csr) = &self.inner.source {
-            return csr;
-        }
-        self.inner.csr.get_or_init(|| match &self.inner.source {
-            Source::Coo(coo) => coo.to_csr(),
-            Source::Csc(csc) => csc.to_csr(),
-            Source::Csr(_) => unreachable!("handled above"),
+        self.inner.csr.get_or_init(|| {
+            if let Some(view) = &self.inner.window {
+                return view.materialize_csr();
+            }
+            let source = self.inner.source.read().expect("source lock poisoned");
+            match &*source {
+                Some(coo) => coo.to_csr(),
+                None => {
+                    if let Some(csc) = self.inner.csc.get() {
+                        csc.to_csr()
+                    } else {
+                        let dense = self
+                            .inner
+                            .dense
+                            .get()
+                            .expect("a sourceless matrix always retains a layout");
+                        CsrMatrix::from_dense(dense)
+                    }
+                }
+            }
         })
     }
 
     /// The column-major compressed layout, materialized and cached on first
     /// request.  Built directly from the COO source (no transient CSR).
     pub fn csc(&self) -> &CscMatrix {
-        if let Source::Csc(csc) = &self.inner.source {
-            return csc;
-        }
-        self.inner.csc.get_or_init(|| match &self.inner.source {
-            Source::Coo(coo) => coo.to_csc(),
-            Source::Csr(csr) => csr.to_csc(),
-            Source::Csc(_) => unreachable!("handled above"),
+        self.inner.csc.get_or_init(|| {
+            if self.inner.window.is_some() {
+                return self.csr().to_csc();
+            }
+            let source = self.inner.source.read().expect("source lock poisoned");
+            match &*source {
+                Some(coo) => coo.to_csc(),
+                None => {
+                    drop(source);
+                    self.csr().to_csc()
+                }
+            }
         })
     }
 
     /// The row-major dense layout, materialized and cached on first request.
     pub fn dense(&self) -> &DenseMatrix {
-        self.inner.dense.get_or_init(|| match &self.inner.source {
-            Source::Coo(coo) => coo.to_dense(Layout::RowMajor),
-            Source::Csr(csr) => csr.to_dense(Layout::RowMajor),
-            Source::Csc(csc) => csc.to_dense(Layout::RowMajor),
+        self.inner.dense.get_or_init(|| {
+            if let Some(csr) = self.inner.csr.get() {
+                return csr.to_dense(Layout::RowMajor);
+            }
+            if let Some(csc) = self.inner.csc.get() {
+                return csc.to_dense(Layout::RowMajor);
+            }
+            if self.inner.window.is_some() {
+                return self.csr().to_dense(Layout::RowMajor);
+            }
+            let source = self.inner.source.read().expect("source lock poisoned");
+            match &*source {
+                Some(coo) => coo.to_dense(Layout::RowMajor),
+                None => {
+                    // A concurrent materialize+compact can empty the source
+                    // between the unlocked layout checks above and taking
+                    // the lock; the compacted layout is resident by then.
+                    drop(source);
+                    if let Some(csr) = self.inner.csr.get() {
+                        csr.to_dense(Layout::RowMajor)
+                    } else {
+                        self.inner
+                            .csc
+                            .get()
+                            .expect("a sourceless matrix always retains a layout")
+                            .to_dense(Layout::RowMajor)
+                    }
+                }
+            }
         })
     }
 
-    /// Eagerly materialize the row layout (planner hook).
+    /// Eagerly materialize the row layout (planner hook).  On a row-range
+    /// view this materializes the *base's* shared layout, never a copy.
     pub fn materialize_rows(&self) {
+        if let Some(view) = &self.inner.window {
+            view.base.materialize_rows();
+            return;
+        }
         let _ = self.csr();
     }
 
@@ -177,27 +330,29 @@ impl DataMatrix {
     }
 
     fn csr_if_materialized(&self) -> Option<&CsrMatrix> {
-        if let Source::Csr(csr) = &self.inner.source {
-            return Some(csr);
-        }
         self.inner.csr.get()
     }
 
     fn csc_if_materialized(&self) -> Option<&CscMatrix> {
-        if let Source::Csc(csc) = &self.inner.source {
-            return Some(csc);
-        }
         self.inner.csc.get()
     }
 
-    /// Whether the row-major compressed layout is resident.
+    /// Whether row views can be served without a layout conversion.  True
+    /// for a row-range view whenever the *base's* row layout is resident —
+    /// the view itself never owns row storage.
     pub fn csr_materialized(&self) -> bool {
-        self.csr_if_materialized().is_some()
+        if self.inner.csr.get().is_some() {
+            return true;
+        }
+        match &self.inner.window {
+            Some(view) => view.base.csr_materialized(),
+            None => false,
+        }
     }
 
     /// Whether the column-major compressed layout is resident.
     pub fn csc_materialized(&self) -> bool {
-        self.csc_if_materialized().is_some()
+        self.inner.csc.get().is_some()
     }
 
     /// Whether the dense layout is resident.
@@ -205,14 +360,18 @@ impl DataMatrix {
         self.inner.dense.get().is_some()
     }
 
-    /// Bytes held by the source form plus every materialized layout — the
-    /// quantity the memory-footprint regression tests bound.
+    /// Bytes held by this handle: the source form (if still resident) plus
+    /// every materialized layout — the quantity the memory-footprint
+    /// regression tests bound.  A row-range view owns none of its base's
+    /// bytes, so an unmaterialized view reports 0.
     pub fn resident_bytes(&self) -> usize {
-        let source = match &self.inner.source {
-            Source::Coo(coo) => coo.size_bytes(),
-            Source::Csr(csr) => csr.size_bytes(),
-            Source::Csc(csc) => csc.size_bytes(),
-        };
+        let source = self
+            .inner
+            .source
+            .read()
+            .expect("source lock poisoned")
+            .as_ref()
+            .map_or(0, |coo| coo.size_bytes());
         source
             + self.inner.csr.get().map_or(0, |m| m.size_bytes())
             + self.inner.csc.get().map_or(0, |m| m.size_bytes())
@@ -221,6 +380,27 @@ impl DataMatrix {
                 .dense
                 .get()
                 .map_or(0, |_| self.inner.shape.dense_len() * 8)
+    }
+
+    /// Drop the canonical COO triplets once a compressed layout is resident,
+    /// returning the bytes reclaimed (16 per stored triplet).
+    ///
+    /// The resident compressed layouts become the canonical form: anything
+    /// still missing is converted from them, so every read keeps working.
+    /// A no-op (returning 0) when no compressed layout exists yet, when the
+    /// matrix never had a COO source, or when it was already compacted.
+    /// Affects every clone of the handle — compaction is a property of the
+    /// shared storage, not of one holder.
+    pub fn compact_source(&self) -> usize {
+        let compressed_resident = self.inner.csr.get().is_some() || self.inner.csc.get().is_some();
+        if !compressed_resident {
+            return 0;
+        }
+        let mut source = self.inner.source.write().expect("source lock poisoned");
+        match source.take() {
+            Some(coo) => coo.size_bytes(),
+            None => 0,
+        }
     }
 
     /// Value at `(row, col)` (zero if not stored).  Reads whichever layout
@@ -232,19 +412,74 @@ impl DataMatrix {
         if let Some(csc) = self.csc_if_materialized() {
             return csc.get(row, col);
         }
+        if let Some(view) = &self.inner.window {
+            return view.base.get(view.start + row, col);
+        }
         self.csr().get(row, col)
     }
 
-    /// The canonical COO source, when the matrix was built from one.
-    pub fn coo_source(&self) -> Option<&CooMatrix> {
-        match &self.inner.source {
-            Source::Coo(coo) => Some(coo),
-            _ => None,
-        }
+    /// An owned copy of the canonical COO source, when the matrix was built
+    /// from one and the source has not been compacted away.  This clones
+    /// the triplets — use [`DataMatrix::has_coo_source`] for a presence
+    /// check.
+    pub fn coo_source(&self) -> Option<CooMatrix> {
+        self.inner
+            .source
+            .read()
+            .expect("source lock poisoned")
+            .clone()
     }
 
-    /// Cut a row shard (used by NUMA data replication); the shard's source
-    /// form is the row layout, so a row-wise shard never carries columns.
+    /// Whether the canonical COO source is still resident (false for
+    /// matrices built from a compressed layout, for row-range views, and
+    /// after [`DataMatrix::compact_source`]).
+    pub fn has_coo_source(&self) -> bool {
+        self.inner
+            .source
+            .read()
+            .expect("source lock poisoned")
+            .is_some()
+    }
+
+    /// The row window this matrix views, when it is a zero-copy shard.
+    pub fn row_window(&self) -> Option<(usize, usize)> {
+        self.inner.window.as_ref().map(|v| (v.start, v.end))
+    }
+
+    /// Cut a **zero-copy** shard over the contiguous row range
+    /// `start..end`: the shard shares the base's row layout through a
+    /// [`RowRangeView`] and owns no element storage of its own.
+    ///
+    /// A view of a view flattens to a window over the root matrix, so
+    /// chained sharding never stacks indirections.
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= rows`.
+    pub fn row_range(&self, start: usize, end: usize) -> DataMatrix {
+        assert!(
+            start <= end && end <= self.rows(),
+            "row range {start}..{end} outside matrix of {} rows",
+            self.rows()
+        );
+        let (base, offset) = match &self.inner.window {
+            Some(view) => (view.base.clone(), view.start),
+            None => (self.clone(), 0),
+        };
+        let cols = base.cols();
+        Self::from_parts(
+            Shape::new(end - start, cols),
+            None,
+            Some(RowRangeView {
+                base,
+                start: offset + start,
+                end: offset + end,
+            }),
+        )
+    }
+
+    /// Cut a row shard as an owned copy (used where a shard must survive its
+    /// base or carry reordered rows); prefer [`DataMatrix::row_range`] for
+    /// contiguous shards, which is free.
     pub fn select_rows(&self, row_ids: &[usize]) -> DataMatrix {
         DataMatrix::from_csr(self.csr().select_rows(row_ids))
     }
@@ -274,10 +509,20 @@ impl RowAccess for DataMatrix {
     }
 
     fn row(&self, i: usize) -> RowView<'_> {
+        if self.inner.csr.get().is_none() {
+            if let Some(view) = &self.inner.window {
+                return view.row(i);
+            }
+        }
         self.csr().row(i)
     }
 
     fn row_nnz(&self, i: usize) -> usize {
+        if self.inner.csr.get().is_none() {
+            if let Some(view) = &self.inner.window {
+                return view.row_nnz(i);
+            }
+        }
         self.csr().row_nnz(i)
     }
 }
@@ -396,6 +641,103 @@ mod tests {
     }
 
     #[test]
+    fn compact_source_reclaims_coo_bytes_once_a_layout_exists() {
+        let m = DataMatrix::from_coo(sample_coo());
+        // Nothing materialized yet: compaction must refuse (the triplets are
+        // the only copy of the data).
+        assert_eq!(m.compact_source(), 0);
+        assert_eq!(m.stats().nnz, 4);
+
+        m.materialize_rows();
+        let before = m.resident_bytes();
+        let reclaimed = m.compact_source();
+        assert_eq!(reclaimed, 16 * 4, "16 bytes per stored triplet");
+        assert_eq!(m.resident_bytes(), before - reclaimed);
+        assert_eq!(m.resident_bytes(), m.csr().size_bytes());
+        assert!(!m.has_coo_source());
+        // Second compaction is a no-op.
+        assert_eq!(m.compact_source(), 0);
+        // Every read keeps working; the missing layouts convert from CSR.
+        assert_eq!(m.get(2, 1), 3.0);
+        assert_eq!(m.csc().get(0, 2), 2.0);
+        assert_eq!(m.dense().get(2, 2), 4.0);
+    }
+
+    #[test]
+    fn compact_source_is_shared_across_clones() {
+        let a = DataMatrix::from_coo(sample_coo());
+        let b = a.clone();
+        a.materialize_rows();
+        assert!(b.compact_source() > 0);
+        assert!(!a.has_coo_source(), "compaction is storage-wide");
+        assert_eq!(a.compact_source(), 0);
+    }
+
+    #[test]
+    fn compacted_matrix_recomputes_stats_from_layouts() {
+        let m = DataMatrix::from_coo(sample_coo());
+        m.materialize_cols();
+        m.compact_source();
+        // Stats were never computed before compaction: they now come from
+        // the resident CSC.
+        assert_eq!(m.stats().nnz, 4);
+        assert_eq!(m.stats(), &MatrixStats::from_csr(&sample_coo().to_csr()));
+    }
+
+    #[test]
+    fn row_range_view_is_zero_copy_and_bit_identical() {
+        let m = DataMatrix::from_coo(sample_coo());
+        m.materialize_rows();
+        let shard = m.row_range(1, 3);
+        assert_eq!(shard.rows(), 2);
+        assert_eq!(shard.row_window(), Some((1, 3)));
+        // Zero-copy: the shard owns no element storage.
+        assert_eq!(shard.resident_bytes(), 0);
+        assert!(shard.csr_materialized(), "served by the base's layout");
+        assert!(!shard.csc_materialized());
+        // Bit-identical row bytes: the view serves the base's exact slices.
+        for i in 0..2 {
+            let a = shard.row(i);
+            let b = m.row(1 + i);
+            assert!(std::ptr::eq(a.indices, b.indices), "row {i} shares storage");
+            assert!(std::ptr::eq(a.values, b.values), "row {i} shares storage");
+        }
+        assert_eq!(shard.get(0, 1), 0.0);
+        assert_eq!(shard.get(1, 1), 3.0);
+        assert_eq!(shard.stats().nnz, 2);
+    }
+
+    #[test]
+    fn row_range_of_a_view_flattens_to_the_root() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let outer = m.row_range(1, 3);
+        let nested = outer.row_range(1, 2);
+        assert_eq!(nested.row_window(), Some((2, 3)));
+        assert_eq!(nested.rows(), 1);
+        assert_eq!(nested.get(0, 2), 4.0);
+    }
+
+    #[test]
+    fn row_range_materializes_base_rows_not_a_copy() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let shard = m.row_range(0, 2);
+        assert!(!m.csr_materialized());
+        shard.materialize_rows();
+        assert!(m.csr_materialized(), "the shared layout was built");
+        assert_eq!(shard.resident_bytes(), 0, "the shard still owns nothing");
+        // Forcing an owned layout out of the view still works (escape hatch).
+        assert_eq!(shard.csr().rows(), 2);
+        assert!(shard.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside matrix")]
+    fn row_range_bounds_checked() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let _ = m.row_range(1, 4);
+    }
+
+    #[test]
     fn select_rows_shard_is_row_only() {
         let m = DataMatrix::from_coo(sample_coo());
         let shard = m.select_rows(&[2, 0]);
@@ -437,6 +779,33 @@ mod tests {
         }
 
         #[test]
+        fn prop_row_range_views_serve_base_rows(
+            entries in proptest::collection::btree_map((0usize..10, 0usize..5), -4.0f64..4.0, 0..40),
+            start in 0usize..10,
+            len in 0usize..10,
+        ) {
+            let mut coo = CooMatrix::new(10, 5);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let m = DataMatrix::from_coo(coo);
+            let end = (start + len).min(10);
+            let shard = m.row_range(start, end);
+            prop_assert_eq!(shard.resident_bytes(), 0);
+            for i in 0..shard.rows() {
+                let a = shard.row(i);
+                let b = m.row(start + i);
+                prop_assert_eq!(a.indices, b.indices);
+                prop_assert_eq!(a.values, b.values);
+            }
+            // An owned copy of the window agrees with the view.
+            let owned = shard.csr().clone();
+            for i in 0..shard.rows() {
+                prop_assert_eq!(owned.row(i).indices, m.row(start + i).indices);
+            }
+        }
+
+        #[test]
         fn prop_roundtrip_through_every_layout_preserves_values(
             entries in proptest::collection::btree_map((0usize..6, 0usize..6), -9.0f64..9.0, 0..24)
         ) {
@@ -456,6 +825,26 @@ mod tests {
                     prop_assert_eq!(dense.get(i, j), expected);
                 }
             }
+        }
+
+        #[test]
+        fn prop_compaction_preserves_every_read(
+            entries in proptest::collection::btree_map((0usize..6, 0usize..6), -9.0f64..9.0, 0..24)
+        ) {
+            let mut coo = CooMatrix::new(6, 6);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let m = DataMatrix::from_coo(coo.clone());
+            m.materialize_rows();
+            m.compact_source();
+            let reference = coo.to_csr();
+            for i in 0..6 {
+                for j in 0..6 {
+                    prop_assert_eq!(m.get(i, j), reference.get(i, j));
+                }
+            }
+            prop_assert_eq!(m.csc(), &reference.to_csc());
         }
     }
 }

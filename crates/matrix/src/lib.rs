@@ -11,7 +11,9 @@
 //!
 //! * [`DataMatrix`] — the unified storage layer: a canonical COO/source form
 //!   with lazily materialized, cached CSR/CSC/dense layouts, so the planner
-//!   decides which physical layout exists,
+//!   decides which physical layout exists; the source can be compacted away
+//!   once a compressed layout is resident, and [`RowRangeView`] windows cut
+//!   zero-copy row shards out of the shared row layout,
 //! * [`RowAccess`] / [`ColAccess`] — the narrow view traits execution is
 //!   written against, serving [`RowView`] / [`ColView`] slices backed by the
 //!   shared blocked kernels of [`kernels`],
@@ -38,7 +40,7 @@ pub mod views;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use data_matrix::DataMatrix;
+pub use data_matrix::{DataMatrix, RowRangeView};
 pub use dense::{DenseMatrix, Layout};
 pub use kernels::{axpy_indexed, dot_indexed};
 pub use stats::MatrixStats;

@@ -74,8 +74,10 @@ impl MatrixStats {
         Self::from_row_counts(matrix.rows(), matrix.cols(), counts.into_iter())
     }
 
-    /// Shared construction from per-row stored-entry counts.
-    fn from_row_counts(rows: usize, cols: usize, counts: impl Iterator<Item = usize>) -> Self {
+    /// Construction from per-row stored-entry counts (the shared core of the
+    /// `from_*` constructors; also used for row-range views, whose counts
+    /// come from the base matrix's row layout).
+    pub fn from_row_counts(rows: usize, cols: usize, counts: impl Iterator<Item = usize>) -> Self {
         let mut nnz = 0usize;
         let mut nnz_sq_sum = 0.0;
         let mut max_row_nnz = 0;

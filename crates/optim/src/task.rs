@@ -117,8 +117,23 @@ impl TaskData {
         self.matrix.csc()
     }
 
-    /// Restrict to a subset of rows (used by the NUMA data-replication
-    /// shards for row-wise access).  Labels follow the selected rows; the
+    /// Restrict to the contiguous row range `start..end` as a **zero-copy**
+    /// shard: the matrix is a [`dw_matrix::RowRangeView`] window into this
+    /// task's shared row layout (no element bytes are duplicated), and the
+    /// labels follow the range.  This is what NUMA row sharding cuts.
+    pub fn row_range(&self, start: usize, end: usize) -> TaskData {
+        let matrix = self.matrix.row_range(start, end);
+        let labels = if self.labels.is_empty() {
+            Vec::new()
+        } else {
+            self.labels[start..end].to_vec()
+        };
+        TaskData::new(matrix, labels, self.costs.clone())
+    }
+
+    /// Restrict to a subset of rows (used where a shard must carry
+    /// reordered rows; prefer [`TaskData::row_range`] for contiguous
+    /// shards, which copies nothing).  Labels follow the selected rows; the
     /// shard's matrix holds only the row layout.
     pub fn select_rows(&self, rows: &[usize]) -> TaskData {
         let matrix = self.matrix.select_rows(rows);
@@ -200,6 +215,19 @@ mod tests {
         assert_eq!(sub.labels, vec![-1.0]);
         assert_eq!(sub.csr().get(0, 2), 3.0);
         assert!(!sub.matrix.csc_materialized());
+    }
+
+    #[test]
+    fn row_range_shard_shares_storage_and_labels() {
+        let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
+        let shard = t.row_range(1, 2);
+        assert_eq!(shard.examples(), 1);
+        assert_eq!(shard.labels, vec![-1.0]);
+        assert_eq!(shard.matrix.resident_bytes(), 0, "zero-copy window");
+        let a = shard.row(0);
+        let b = t.row(1);
+        assert!(std::ptr::eq(a.indices, b.indices));
+        assert!(std::ptr::eq(a.values, b.values));
     }
 
     #[test]

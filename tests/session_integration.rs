@@ -4,8 +4,8 @@
 
 use dimmwitted::{
     AccessMethod, AnalyticsTask, CancelToken, DataReplication, DimmWitted, Engine, EpochEvent,
-    ExecutionMode, ExecutionPlan, InterleavedExecutor, ModelKind, ModelReplication, RunConfig,
-    SpawnPerEpochExecutor, StopReason, ThreadedExecutor,
+    ExecutionMode, ExecutionPlan, InterleavedExecutor, ItemScheduler, ModelKind, ModelReplication,
+    RunConfig, SpawnPerEpochExecutor, StopReason, ThreadedExecutor,
 };
 use dw_data::{Dataset, PaperDataset};
 use dw_numa::MachineTopology;
@@ -169,6 +169,83 @@ fn trace_parity_holds_for_every_model_and_access_method() {
             }
         }
     }
+}
+
+#[test]
+fn locality_first_on_one_group_is_bit_identical_to_round_robin() {
+    // The degenerate-case contract of the locality-aware scheduler: with a
+    // single locality group (PerMachine) and stealing disabled, owner-
+    // directed dealing must collapse to exactly the old global round-robin —
+    // same shuffle, same per-worker items, bit-identical traces and models.
+    let m = machine();
+    let config = RunConfig::quick(4).with_seed(2024);
+    let base = ExecutionPlan::new(
+        &m,
+        AccessMethod::RowWise,
+        ModelReplication::PerMachine,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    for task in [
+        svm_task(),
+        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Forest, 7), ModelKind::Ls),
+    ] {
+        let locality = DimmWitted::on(m.clone())
+            .task(task.clone())
+            .plan(base.clone().with_steal_budget(0))
+            .config(config.clone())
+            .executor(Box::new(InterleavedExecutor::new()))
+            .build()
+            .run();
+        let round_robin = DimmWitted::on(m.clone())
+            .task(task.clone())
+            .plan(base.clone().with_scheduler(ItemScheduler::RoundRobin))
+            .config(config.clone())
+            .executor(Box::new(InterleavedExecutor::new()))
+            .build()
+            .run();
+        assert_eq!(locality.trace, round_robin.trace, "{}", task.name);
+        assert_eq!(
+            locality.final_model, round_robin.final_model,
+            "{}",
+            task.name
+        );
+    }
+}
+
+#[test]
+fn locality_first_raises_data_locality_on_sharded_groups() {
+    // The headline scheduler claim: under row-wise Sharding with 2 locality
+    // groups, round-robin dealing leaves ~1/2 of the reads node-local while
+    // locality-first dealing (stealing disabled) keeps all of them local.
+    let m = machine();
+    let base = ExecutionPlan::new(
+        &m,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    let locality_of = |plan: ExecutionPlan| {
+        let events: Vec<EpochEvent> = DimmWitted::on(machine())
+            .task(svm_task())
+            .plan(plan)
+            .epochs(3)
+            .build()
+            .stream()
+            .collect();
+        events.iter().map(|e| e.data_locality).sum::<f64>() / events.len() as f64
+    };
+    let round_robin = locality_of(base.clone().with_scheduler(ItemScheduler::RoundRobin));
+    let locality_first = locality_of(base.with_steal_budget(0));
+    assert!(
+        (0.3..=0.7).contains(&round_robin),
+        "round-robin locality {round_robin} should sit near 1/groups"
+    );
+    assert!(
+        locality_first >= 0.9,
+        "locality-first locality {locality_first} should approach 1.0"
+    );
 }
 
 #[test]
