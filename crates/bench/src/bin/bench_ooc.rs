@@ -1,0 +1,246 @@
+//! Machine-readable out-of-core benchmark: a scaled ClueWeb least-squares
+//! workload at several memory budgets, as JSON, so successive PRs accumulate
+//! a perf trajectory (siblings: `bench_storage`, `bench_locality`).
+//!
+//! The instance is generated **straight to disk** through the streaming
+//! spill writer (the full COO form is never resident), then run three ways:
+//!
+//! * `inf` — the fully in-memory reference (resident COO source, classic
+//!   engine); its convergence-trace hash is the parity baseline,
+//! * `half` / `quarter` — the same bytes served from the page file through
+//!   a cache budgeted to ½× and ¼× of the plan's layout estimate, with the
+//!   plan carrying the `Paged` residency arm so the hardware simulator
+//!   charges disk bandwidth for the faulting fraction of the stream.
+//!
+//! Emitted per run: simulated epoch latency, measured page faults and IO
+//! bytes, peak resident source+cache bytes, and an FNV-1a hash over the
+//! per-epoch loss bits — every run must hash identically (out-of-core is a
+//! residency decision, not a numerics decision).
+//!
+//! Writes `BENCH_ooc.json` (override with `--out <path>`); `--quick` drops
+//! the scale for CI smoke runs, same schema.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, EpochEvent, ExecutionPlan,
+    LayoutDecision, ModelKind, ModelReplication, ResidencyDecision, RunConfig,
+};
+use dw_data::clueweb::{clueweb_like, clueweb_like_spilled};
+use dw_matrix::ooc::MatrixSource;
+use dw_matrix::{DataMatrix, FileBackedSource, TempSpillDir};
+use dw_numa::MachineTopology;
+use dw_optim::TaskData;
+use std::sync::Arc;
+
+/// FNV-1a over the per-epoch loss bits: the trace-parity fingerprint.
+fn trace_hash(events: &[EpochEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for event in events {
+        for byte in event.loss.to_bits().to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+struct RunOutcome {
+    events: Vec<EpochEvent>,
+    peak_resident: usize,
+    hash: u64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_ooc.json")
+        .to_string();
+    let scale = if quick { 0.02 } else { 0.1 };
+    let epochs = if quick { 3 } else { 6 };
+    let seed = 1u64;
+    let machine = MachineTopology::local2();
+    let plan = ExecutionPlan::new(
+        &machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+
+    // Generate the instance straight to disk: the spill writer streams
+    // pages, so nothing but one row's tokens (and the labels) is resident.
+    // Pages are kept small relative to the budgets below so the quarter
+    // budget still holds several pages (the cache bound is page-granular).
+    let dir = TempSpillDir::new("dw-bench-ooc").expect("create spill dir");
+    let spill_path = dir.file("clueweb.dwpg");
+    let page_bytes = 4 * 1024;
+    let (source, labels, _) = clueweb_like_spilled(scale, seed, &spill_path, page_bytes)
+        .expect("spill the ClueWeb-like instance");
+    let source_bytes = source.total_bytes();
+    drop(source); // reopened per run below
+
+    // Layout estimate from a throwaway paged handle (stats stream from the
+    // manifest + pages; nothing materializes).
+    let layout_bytes = {
+        let probe = DataMatrix::from_source(
+            Arc::new(FileBackedSource::open(&spill_path).expect("reopen spill")),
+            usize::MAX,
+        );
+        LayoutDecision::Csr.estimated_bytes(probe.stats())
+    };
+
+    let run = |matrix: DataMatrix, budget: Option<usize>| -> RunOutcome {
+        let task = AnalyticsTask::new(
+            "LS(clueweb)",
+            TaskData::supervised(matrix.clone(), labels.clone()),
+            ModelKind::Ls,
+        );
+        let plan = match budget {
+            Some(budget_bytes) => plan
+                .clone()
+                .with_residency(ResidencyDecision::Paged { budget_bytes }),
+            None => plan.clone(),
+        };
+        let events: Vec<EpochEvent> = DimmWitted::on(machine.clone())
+            .task(task)
+            .plan(plan)
+            .config(RunConfig::quick(epochs))
+            .build()
+            .stream()
+            .collect();
+        let peak_resident = matrix
+            .ooc_stats()
+            .map(|s| s.peak_resident_bytes)
+            .unwrap_or_else(|| matrix.resident_bytes());
+        let hash = trace_hash(&events);
+        RunOutcome {
+            events,
+            peak_resident,
+            hash,
+        }
+    };
+
+    let in_memory = clueweb_like(scale, seed);
+    let budgets: [(&str, Option<usize>); 3] = [
+        ("inf", None),
+        ("half", Some(layout_bytes / 2)),
+        ("quarter", Some(layout_bytes / 4)),
+    ];
+    let mut records: Vec<Record> = vec![
+        Record {
+            group: "workload",
+            name: "source_bytes".to_string(),
+            value: source_bytes as f64,
+            unit: "bytes",
+        },
+        Record {
+            group: "workload",
+            name: "layout_estimate_bytes".to_string(),
+            value: layout_bytes as f64,
+            unit: "bytes",
+        },
+    ];
+    let mut hashes = Vec::new();
+    for (name, budget) in budgets {
+        let matrix = match budget {
+            // The reference run holds the canonical COO in memory.
+            None => DataMatrix::from_coo(in_memory.matrix.clone()),
+            // Budgeted runs serve the page file through a bounded cache.
+            Some(bytes) => DataMatrix::from_source(
+                Arc::new(FileBackedSource::open(&spill_path).expect("reopen spill")),
+                bytes,
+            ),
+        };
+        let outcome = run(matrix, budget);
+        let last = outcome.events.last().expect("at least one epoch");
+        let faults: u64 = outcome.events.iter().map(|e| e.pages_faulted).sum();
+        let io_bytes: u64 = outcome.events.iter().map(|e| e.io_bytes).sum();
+        records.push(Record {
+            group: "epoch_time",
+            name: format!("sim_seconds_per_epoch/{name}"),
+            value: last.sim_seconds / outcome.events.len() as f64,
+            unit: "s",
+        });
+        records.push(Record {
+            group: "faults",
+            name: format!("pages_faulted/{name}"),
+            value: faults as f64,
+            unit: "pages",
+        });
+        records.push(Record {
+            group: "faults",
+            name: format!("io_bytes/{name}"),
+            value: io_bytes as f64,
+            unit: "bytes",
+        });
+        records.push(Record {
+            group: "residency",
+            name: format!("peak_source_cache_bytes/{name}"),
+            value: outcome.peak_resident as f64,
+            unit: "bytes",
+        });
+        hashes.push((name, outcome.hash));
+    }
+
+    let reference = hashes[0].1;
+    let parity = hashes.iter().all(|&(_, h)| h == reference);
+    records.push(Record {
+        group: "parity",
+        name: "all_budgets_bit_identical".to_string(),
+        value: if parity { 1.0 } else { 0.0 },
+        unit: "bool",
+    });
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/ooc-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"epochs\": {epochs},\n"));
+    // Hashes go out as hex strings: a u64 FNV fingerprint does not survive
+    // an f64 round-trip above 2^53, and cross-PR parity tooling compares
+    // these exactly.
+    json.push_str("  \"trace_hashes\": {\n");
+    for (i, (name, hash)) in hashes.iter().enumerate() {
+        let comma = if i + 1 == hashes.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": \"{hash:#018x}\"{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "ooc-bench: {:<10} {:<40} {:>20.4} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    for (name, hash) in &hashes {
+        println!("ooc-bench: parity     trace_hash/{name:<28} {hash:#018x}");
+    }
+    assert!(
+        parity,
+        "convergence traces diverged across memory budgets: {hashes:?}"
+    );
+    println!("ooc-bench: wrote {} records to {out_path}", records.len());
+}

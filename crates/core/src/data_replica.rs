@@ -146,10 +146,11 @@ impl DataReplicaSet {
             && task.data.examples() > 0;
 
         let (shards, owners): (Vec<Arc<TaskData>>, Option<OwnerMap>) = if shardable {
-            // The shards are zero-copy windows into the shared row layout;
-            // make sure that layout exists so no shard read pays a lazy
-            // conversion mid-epoch.
-            task.data.matrix.materialize_rows();
+            // The shards are zero-copy windows into the shared row backend;
+            // make sure one exists so no shard read pays a lazy conversion
+            // mid-epoch.  (A no-op under the Dense layout arm, whose row
+            // store the session already materialized.)
+            task.data.matrix.materialize_row_access();
             let bounds = shard_bounds(task.data.examples(), groups);
             let shards = (0..groups)
                 .map(|g| Arc::new(task.data.row_range(bounds[g], bounds[g + 1])))

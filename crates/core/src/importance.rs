@@ -14,7 +14,7 @@
 //! the model dimensions the Importance strategy is used with in the paper's
 //! experiments (the dense Music dataset, d = 91).
 
-use dw_matrix::CsrMatrix;
+use dw_matrix::RowAccess;
 
 /// Compute linear leverage scores for every row of `matrix`.
 ///
@@ -22,9 +22,14 @@ use dw_matrix::CsrMatrix;
 /// are defined even for rank-deficient data.  The cost is
 /// `O(Σᵢ nᵢ² + d³ + N·d²)`; the cubic term is a one-time pre-processing cost
 /// in the model dimension, exactly as the paper assumes.
-pub fn leverage_scores(matrix: &CsrMatrix, ridge: f64) -> Vec<f64> {
-    let d = matrix.cols();
-    let n = matrix.rows();
+///
+/// Generic over [`RowAccess`] so the scores read whichever row backend the
+/// plan materialized — the CSR layout or the dense row store — without
+/// forcing a layout conversion (an Importance plan on dense data must not
+/// build CSR next to the dense store).
+pub fn leverage_scores(matrix: &impl RowAccess, ridge: f64) -> Vec<f64> {
+    let d = matrix.shape().cols;
+    let n = matrix.shape().rows;
     if d == 0 || n == 0 {
         return vec![0.0; n];
     }
@@ -106,6 +111,7 @@ fn forward_substitute(l: &[f64], d: usize, b: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dw_matrix::CsrMatrix;
     use dw_matrix::SparseVector;
 
     fn matrix_from_rows(rows: &[Vec<(u32, f64)>], cols: usize) -> CsrMatrix {

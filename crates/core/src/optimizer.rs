@@ -102,6 +102,7 @@ impl CostModel {
 pub struct Optimizer {
     machine: MachineTopology,
     cost_model: CostModel,
+    memory_budget: Option<usize>,
 }
 
 impl Optimizer {
@@ -111,12 +112,23 @@ impl Optimizer {
         Optimizer {
             machine,
             cost_model,
+            memory_budget: None,
         }
     }
 
     /// Override the measured α (used by sensitivity tests).
     pub fn with_alpha(mut self, alpha: f64) -> Self {
         self.cost_model = CostModel::new(alpha);
+        self
+    }
+
+    /// Bound resident source + page-cache bytes: when the chosen layouts'
+    /// estimated footprint exceeds the budget, the plan takes the
+    /// out-of-core arm ([`crate::plan::ResidencyDecision::Paged`]) and the
+    /// session pages the canonical source from disk through a cache bounded
+    /// to this many bytes.
+    pub fn with_memory_budget(mut self, budget_bytes: Option<usize>) -> Self {
+        self.memory_budget = budget_bytes;
         self
     }
 
@@ -154,8 +166,21 @@ impl Optimizer {
         // family (graph-family row updates read vertex degrees through
         // column views; columnar sessions evaluate the loss row-wise).
         let layout = crate::plan::LayoutDecision::choose(&stats, access, task.kind.is_sgd_family());
+        // The out-of-core arm: when the estimated layout bytes exceed the
+        // session's memory budget, keep the canonical source on disk behind
+        // a page cache bounded to the budget (Appendix C.3's
+        // larger-than-DRAM scenario).
+        let residency = match self.memory_budget {
+            Some(budget) if layout.estimated_bytes(&stats) > budget => {
+                crate::plan::ResidencyDecision::Paged {
+                    budget_bytes: budget,
+                }
+            }
+            _ => crate::plan::ResidencyDecision::Resident,
+        };
         ExecutionPlan::new(&self.machine, access, model_replication, data_replication)
             .with_layout(layout)
+            .with_residency(residency)
     }
 }
 

@@ -94,6 +94,13 @@ pub enum LayoutDecision {
     /// Both compressed layouts: column-to-row access iterates columns but
     /// must expand the row set `S(j)` through row views (footnote 2).
     CsrAndCsc,
+    /// Dense row-major storage served through the same `RowAccess` views
+    /// (Appendix A: "Dense requires 1/2 the space of a sparse
+    /// representation when fully dense").  Music/Forest-shaped matrices
+    /// stop paying 4 bytes of column index per element; the row views —
+    /// and therefore the kernels and the convergence traces — are
+    /// bit-identical to the CSR views of a fully dense matrix.
+    Dense,
 }
 
 impl LayoutDecision {
@@ -122,26 +129,49 @@ impl LayoutDecision {
     ///
     /// Only row-wise SGD-family execution is genuinely single-layout.
     /// [`MatrixStats`] hook the storage-density axis of the decision: a
-    /// matrix that is not storage-sparse (`!stats.is_sparse()`, the
-    /// Appendix A ½-space threshold) is the candidate for a dense layout
-    /// arm once the kernels grow a dense path — today it routes through the
-    /// same sparse layouts.  See `EXPERIMENTS.md` for the full matrix.
+    /// **fully dense** matrix (`density == 1.0`, the Music/Forest shape —
+    /// strictly inside Appendix A's `!is_sparse()` ½-space threshold)
+    /// routes through the dense row-major backend instead of paying 4
+    /// index bytes per element through the sparse layouts.  Full density is
+    /// the exact condition under which `DenseRows` row views are
+    /// bit-identical to CSR views (a partially dense matrix would surface
+    /// explicit zeros the sparse path skips), so the arm can never move a
+    /// trace.  See `EXPERIMENTS.md` for the full matrix.
     pub fn choose(stats: &MatrixStats, access: AccessMethod, sgd_family: bool) -> Self {
-        let _ = stats.is_sparse();
         match access {
+            AccessMethod::RowWise if sgd_family && stats.density >= 1.0 => LayoutDecision::Dense,
             AccessMethod::RowWise if sgd_family => LayoutDecision::Csr,
             _ => LayoutDecision::CsrAndCsc,
         }
     }
 
-    /// Whether the decision materializes the row-major layout.
+    /// Whether the decision materializes a row-serving layout.
     pub fn includes_rows(&self) -> bool {
-        matches!(self, LayoutDecision::Csr | LayoutDecision::CsrAndCsc)
+        matches!(
+            self,
+            LayoutDecision::Csr | LayoutDecision::CsrAndCsc | LayoutDecision::Dense
+        )
     }
 
     /// Whether the decision materializes the column-major layout.
     pub fn includes_cols(&self) -> bool {
         matches!(self, LayoutDecision::Csc | LayoutDecision::CsrAndCsc)
+    }
+
+    /// Estimated resident bytes of the decision's layouts on `stats` — the
+    /// quantity the optimizer compares against a session's memory budget to
+    /// pick the out-of-core arm.
+    pub fn estimated_bytes(&self, stats: &MatrixStats) -> usize {
+        // CSR: indptr + indices + values; CSC is the transpose with a
+        // cols+1 indptr; dense rows: 8 B/cell plus one shared index arange.
+        let csr = stats.sparse_bytes;
+        let csc = (stats.cols + 1) * 4 + stats.nnz * 12;
+        match self {
+            LayoutDecision::Csr => csr,
+            LayoutDecision::Csc => csc,
+            LayoutDecision::CsrAndCsc => csr + csc,
+            LayoutDecision::Dense => stats.dense_bytes + stats.cols * 4,
+        }
     }
 
     /// Short name used in reports.
@@ -150,6 +180,7 @@ impl LayoutDecision {
             LayoutDecision::Csr => "csr",
             LayoutDecision::Csc => "csc",
             LayoutDecision::CsrAndCsc => "csr+csc",
+            LayoutDecision::Dense => "dense",
         }
     }
 }
@@ -157,6 +188,59 @@ impl LayoutDecision {
 impl std::fmt::Display for LayoutDecision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Where the canonical data source resides while the plan executes — the
+/// out-of-core arm of the storage decision (Appendix C.3's larger-than-DRAM
+/// ClueWeb scenario).
+///
+/// `Resident` is the classic in-memory engine.  `Paged` keeps the canonical
+/// triplets on disk behind a page cache bounded to `budget_bytes`: the
+/// session spills a resident COO source before materializing anything,
+/// layouts materialize by streaming pages through the bounded cache, and
+/// the cost model charges disk bandwidth for the page faults exactly as it
+/// charges remote DRAM for non-local reads — the locality hierarchy
+/// extended one level down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum ResidencyDecision {
+    /// Source and layouts fully DRAM-resident (the default).
+    #[default]
+    Resident,
+    /// Canonical source paged from disk through a cache bounded to
+    /// `budget_bytes` of resident page payload.
+    Paged {
+        /// Hard bound on resident source + cache bytes.
+        budget_bytes: usize,
+    },
+}
+
+impl ResidencyDecision {
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResidencyDecision::Resident => "resident",
+            ResidencyDecision::Paged { .. } => "paged",
+        }
+    }
+
+    /// The page-cache budget, when the decision is out-of-core.
+    pub fn budget_bytes(&self) -> Option<usize> {
+        match self {
+            ResidencyDecision::Resident => None,
+            ResidencyDecision::Paged { budget_bytes } => Some(*budget_bytes),
+        }
+    }
+}
+
+impl std::fmt::Display for ResidencyDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResidencyDecision::Resident => f.write_str("resident"),
+            ResidencyDecision::Paged { budget_bytes } => {
+                write!(f, "paged/{budget_bytes}B")
+            }
+        }
     }
 }
 
@@ -171,6 +255,9 @@ pub struct ExecutionPlan {
     pub data_replication: DataReplication,
     /// Which physical layouts the engine materializes for this plan.
     pub layout: LayoutDecision,
+    /// Where the canonical source resides (in DRAM, or paged from disk
+    /// through a bounded cache — the out-of-core arm).
+    pub residency: ResidencyDecision,
     /// How sharded epoch items are dealt to workers (locality-first with a
     /// bounded steal budget by default).
     pub scheduler: ItemScheduler,
@@ -195,6 +282,7 @@ impl ExecutionPlan {
             model_replication,
             data_replication,
             layout: LayoutDecision::for_access(access),
+            residency: ResidencyDecision::default(),
             scheduler: ItemScheduler::default(),
             workers: machine.total_cores(),
         }
@@ -203,6 +291,12 @@ impl ExecutionPlan {
     /// Override the item scheduler.
     pub fn with_scheduler(mut self, scheduler: ItemScheduler) -> Self {
         self.scheduler = scheduler;
+        self
+    }
+
+    /// Record a residency decision (the out-of-core arm).
+    pub fn with_residency(mut self, residency: ResidencyDecision) -> Self {
+        self.residency = residency;
         self
     }
 
@@ -305,11 +399,12 @@ impl ExecutionPlan {
     /// One-line description used in reports.
     pub fn describe(&self) -> String {
         format!(
-            "{} / {} / {} [{}] ({} workers, {})",
+            "{} / {} / {} [{}, {}] ({} workers, {})",
             self.access,
             self.model_replication,
             self.data_replication,
             self.layout,
+            self.residency,
             self.workers,
             self.scheduler
         )

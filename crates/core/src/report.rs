@@ -145,6 +145,7 @@ mod tests {
                 model_replication: ModelReplication::PerNode,
                 data_replication: DataReplication::Sharding,
                 layout: crate::plan::LayoutDecision::Csr,
+                residency: crate::plan::ResidencyDecision::Resident,
                 scheduler: crate::plan::ItemScheduler::default(),
                 workers: 4,
             },

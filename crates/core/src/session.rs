@@ -25,13 +25,14 @@ use crate::executor::{
     average_replicas, EpochContext, Executor, InterleavedExecutor, ThreadedExecutor,
 };
 use crate::optimizer::Optimizer;
-use crate::plan::{EpochAssignment, ExecutionPlan};
+use crate::plan::{EpochAssignment, ExecutionPlan, LayoutDecision, ResidencyDecision};
 use crate::replication::DataReplication;
 use crate::report::{ExecutionMode, RunConfig, RunReport};
 use crate::sim_exec::{simulate_epoch, EpochSimulation};
 use crate::task::AnalyticsTask;
 use dw_numa::{MachineTopology, PerfCounters, PlacementPolicy};
 use dw_optim::{AtomicModel, ConvergenceTrace};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -87,6 +88,16 @@ pub struct EpochEvent {
     /// the locality-first and round-robin schedulers measures the
     /// statistical-efficiency cost of the reduced cross-shard shuffle.
     pub stat_efficiency: f64,
+    /// Page faults of the out-of-core source charged to this epoch (0 for
+    /// fully resident matrices; the first epoch carries the faults of
+    /// eagerly materializing the plan's layouts from the pages).
+    pub pages_faulted: u64,
+    /// Bytes read from disk for those faults.
+    pub io_bytes: u64,
+    /// Resident bytes of the task matrix after the epoch: source (COO or
+    /// cached pages) plus every materialized layout — the locality story
+    /// extended one level down the hierarchy.
+    pub resident_bytes: usize,
 }
 
 /// Why a stream stopped producing epochs.
@@ -138,6 +149,8 @@ impl DimmWitted {
             observers: Vec::new(),
             executor: None,
             compact: false,
+            memory_budget: None,
+            spill_dir: None,
         }
     }
 }
@@ -154,6 +167,8 @@ pub struct SessionBuilder {
     observers: Vec<Observer>,
     executor: Option<Box<dyn Executor>>,
     compact: bool,
+    memory_budget: Option<usize>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -256,6 +271,30 @@ impl SessionBuilder {
         self
     }
 
+    /// Bound resident source + page-cache bytes to `bytes`.
+    ///
+    /// When the plan's estimated layout footprint exceeds the budget, the
+    /// plan takes the out-of-core arm
+    /// ([`crate::plan::ResidencyDecision::Paged`]): the session spills a
+    /// resident COO source to a delete-on-drop page file (under
+    /// [`SessionBuilder::spill_dir`], default the system temp dir) and
+    /// materializes the plan's layouts by streaming pages through a cache
+    /// bounded to the budget — the convergence trace is bit-identical to
+    /// the fully resident run, only the residency changes.  Applies to both
+    /// optimizer-chosen and explicit plans.
+    pub fn memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Directory for spill files under the out-of-core arm (default: the
+    /// system temp dir).  Files are delete-on-drop, so nothing outlives the
+    /// storage handle.
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
     /// Resolve the plan and executor and produce a runnable [`Session`].
     ///
     /// # Panics
@@ -264,9 +303,25 @@ impl SessionBuilder {
         let task = self
             .task
             .expect("a session needs a task — call .task(...) before .build()");
-        let plan = self
-            .plan
-            .unwrap_or_else(|| Optimizer::new(self.machine.clone()).choose_plan(&task));
+        let plan = match self.plan {
+            Some(mut plan) => {
+                // Widen an explicit plan with the out-of-core arm by the
+                // same rule the optimizer applies.
+                if let Some(budget) = self.memory_budget {
+                    if plan.residency == ResidencyDecision::Resident
+                        && plan.layout.estimated_bytes(task.data.matrix.stats()) > budget
+                    {
+                        plan.residency = ResidencyDecision::Paged {
+                            budget_bytes: budget,
+                        };
+                    }
+                }
+                plan
+            }
+            None => Optimizer::new(self.machine.clone())
+                .with_memory_budget(self.memory_budget)
+                .choose_plan(&task),
+        };
         let executor: Box<dyn Executor> = match self.executor {
             Some(executor) => executor,
             None => match self.config.mode {
@@ -285,6 +340,8 @@ impl SessionBuilder {
             observers: self.observers,
             executor,
             compact: self.compact,
+            memory_budget: self.memory_budget,
+            spill_dir: self.spill_dir,
         }
     }
 }
@@ -292,10 +349,16 @@ impl SessionBuilder {
 /// Materialize exactly what session execution under `plan` reads: the plan's
 /// layout decision, plus the row layout (every session evaluates the loss
 /// row-wise) and the column views graph-family row updates read degrees
-/// through.  Every call after the first is free — the layouts are cached on
-/// the shared storage handle, which is what makes a replan cheap.
+/// through.  The Dense arm materializes the dense row store *instead of*
+/// CSR — its row views are bit-identical for the fully dense matrices the
+/// arm is chosen for.  Every call after the first is free — the layouts are
+/// cached on the shared storage handle, which is what makes a replan cheap.
 fn materialize_layouts(task: &AnalyticsTask, plan: &ExecutionPlan) {
-    task.data.matrix.materialize_rows();
+    if plan.layout == LayoutDecision::Dense {
+        task.data.matrix.materialize_dense_rows();
+    } else {
+        task.data.matrix.materialize_rows();
+    }
     let needs_cols = plan.layout.includes_cols()
         || (plan.access == crate::access::AccessMethod::RowWise && !task.kind.is_sgd_family());
     if needs_cols {
@@ -303,12 +366,68 @@ fn materialize_layouts(task: &AnalyticsTask, plan: &ExecutionPlan) {
     }
 }
 
+/// Resolve the plan's residency arm against the task's **actual** storage,
+/// so the simulator's disk charge always matches where the bytes are:
+///
+/// * widen a resident plan whose layout estimate exceeds the memory budget
+///   (the same rule the optimizer and the builder apply — re-applied here
+///   so replans cannot silently drop the arm),
+/// * spill a resident COO source when the arm is paged (budget-sized
+///   pages, delete-on-drop file under `spill_dir`),
+/// * demote a paged arm that has nothing to page (a layout-backed matrix
+///   runs resident, whatever the plan hoped), and
+/// * keep the arm paged when the source already lives on disk.
+fn resolve_residency(
+    plan: &mut ExecutionPlan,
+    task: &AnalyticsTask,
+    memory_budget: Option<usize>,
+    spill_dir: &Option<PathBuf>,
+) {
+    let matrix = &task.data.matrix;
+    if let Some(budget) = memory_budget {
+        if plan.residency == ResidencyDecision::Resident
+            && plan.layout.estimated_bytes(matrix.stats()) > budget
+        {
+            plan.residency = ResidencyDecision::Paged {
+                budget_bytes: budget,
+            };
+        }
+    }
+    match plan.residency {
+        ResidencyDecision::Paged { budget_bytes } => {
+            if matrix.has_coo_source() {
+                let dir = spill_dir.clone().unwrap_or_else(std::env::temp_dir);
+                // Size pages so several fit inside the cache budget (the
+                // budget is a hard bound; a page larger than it could not
+                // be cached without overshooting).
+                let page_bytes = dw_matrix::ooc::DEFAULT_PAGE_BYTES
+                    .min((budget_bytes / 4).max(dw_matrix::ooc::ENTRY_BYTES));
+                matrix
+                    .spill_source_to(&dir, page_bytes, budget_bytes)
+                    .expect("spilling the canonical source to disk failed");
+            }
+            if !matrix.is_paged() {
+                plan.residency = ResidencyDecision::Resident;
+            }
+        }
+        ResidencyDecision::Resident => {
+            if matrix.is_paged() {
+                plan.residency = ResidencyDecision::Paged {
+                    budget_bytes: matrix.ooc_cache_budget().unwrap_or(usize::MAX),
+                };
+            }
+        }
+    }
+}
+
 /// Leverage-score weights are only needed for row-wise importance sampling
-/// (they weight rows; columnar plans sample columns uniformly).
+/// (they weight rows; columnar plans sample columns uniformly).  The scores
+/// read through the matrix's `RowAccess` backend, so a Dense-arm plan feeds
+/// them from the dense row store instead of materializing CSR beside it.
 fn importance_weights_for(task: &AnalyticsTask, plan: &ExecutionPlan) -> Option<Vec<f64>> {
     match plan.data_replication {
         DataReplication::Importance { .. } if !plan.access.is_columnar() => {
-            Some(crate::importance::leverage_scores(task.data.csr(), 1e-6))
+            Some(crate::importance::leverage_scores(&task.data.matrix, 1e-6))
         }
         _ => None,
     }
@@ -337,6 +456,8 @@ pub struct Session {
     observers: Vec<Observer>,
     executor: Box<dyn Executor>,
     compact: bool,
+    memory_budget: Option<usize>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl Session {
@@ -363,7 +484,19 @@ impl Session {
     }
 
     /// Turn the session into a lazy stream of epochs.
-    pub fn stream(self) -> EpochStream {
+    pub fn stream(mut self) -> EpochStream {
+        // The out-of-core arm first: spill a resident COO source to a
+        // delete-on-drop page file *before* anything materializes (the
+        // layouts below then stream through the bounded cache, and the
+        // full triplet set is never resident alongside them), and resolve
+        // the arm against the matrix's actual storage so the simulator's
+        // disk charge matches reality.
+        resolve_residency(
+            &mut self.plan,
+            &self.task,
+            self.memory_budget,
+            &self.spill_dir,
+        );
         // Statistics come from the canonical storage form — nothing is
         // materialized yet when the simulator and the weights are set up.
         let stats = self.task.data.stats();
@@ -392,6 +525,9 @@ impl Session {
             PlacementPolicy::NumaAware,
             &self.task,
         );
+        // Steady state holds the layouts alone: drop the cached pages the
+        // materialization streamed through (the peak is still recorded).
+        self.task.data.matrix.release_pages();
         let weights = importance_weights_for(&self.task, &self.plan);
         let replicas: Vec<Arc<AtomicModel>> = (0..self.plan.locality_groups(&self.machine))
             .map(|_| Arc::new(AtomicModel::zeros(self.task.dim())))
@@ -419,6 +555,10 @@ impl Session {
             step,
             epoch: 0,
             stopped: None,
+            ooc_faults_seen: 0,
+            ooc_io_seen: 0,
+            memory_budget: self.memory_budget,
+            spill_dir: self.spill_dir,
         }
     }
 
@@ -459,6 +599,15 @@ pub struct EpochStream {
     step: f64,
     epoch: usize,
     stopped: Option<StopReason>,
+    /// Cumulative out-of-core counters already attributed to past epochs
+    /// (epoch events report the delta; epoch 1 therefore carries the
+    /// faults of the eager layout materialization).
+    ooc_faults_seen: u64,
+    ooc_io_seen: u64,
+    /// Carried so replans re-resolve the residency arm by the same rules
+    /// as stream start (a replan must not silently drop the budget).
+    memory_budget: Option<usize>,
+    spill_dir: Option<PathBuf>,
 }
 
 impl EpochStream {
@@ -502,6 +651,14 @@ impl EpochStream {
     pub fn replan(&mut self, plan: ExecutionPlan) {
         let averaged = average_replicas(&self.replicas);
         self.plan = plan;
+        // Re-resolve the residency arm: the new plan must not silently
+        // drop the memory budget (or claim a paged source is resident).
+        resolve_residency(
+            &mut self.plan,
+            &self.task,
+            self.memory_budget,
+            &self.spill_dir,
+        );
         materialize_layouts(&self.task, &self.plan);
         self.data_replicas = DataReplicaSet::build(
             &self.plan,
@@ -628,6 +785,11 @@ impl Iterator for EpochStream {
         self.trace.record(loss, sim_seconds);
         self.step *= self.task.objective.step_decay();
 
+        let ooc = self.task.data.matrix.ooc_stats().unwrap_or_default();
+        let pages_faulted = ooc.faults - self.ooc_faults_seen;
+        let io_bytes = ooc.io_bytes - self.ooc_io_seen;
+        self.ooc_faults_seen = ooc.faults;
+        self.ooc_io_seen = ooc.io_bytes;
         let event = EpochEvent {
             epoch: self.epoch,
             loss,
@@ -636,6 +798,9 @@ impl Iterator for EpochStream {
             data_locality: self.data_replicas.local_read_fraction(&self.assignment),
             steals: self.assignment.steals(),
             stat_efficiency: (previous - loss) / previous.abs().max(1e-12),
+            pages_faulted,
+            io_bytes,
+            resident_bytes: self.task.data.matrix.resident_bytes(),
         };
         for observer in &mut self.observers {
             observer(&event);
@@ -935,6 +1100,144 @@ mod tests {
             !matrix.has_coo_source(),
             "the canonical triplets were reclaimed"
         );
+    }
+
+    #[test]
+    fn memory_budget_takes_the_out_of_core_arm_and_reports_faults() {
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        let layout_bytes = LayoutDecision::Csr.estimated_bytes(matrix.stats());
+        let budget = layout_bytes / 4;
+        let spill_dir = dw_matrix::TempSpillDir::new("dw-session-test").unwrap();
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let mut stream = DimmWitted::on(machine)
+            .task(task)
+            .plan(plan)
+            .memory_budget(budget)
+            .spill_dir(spill_dir.path())
+            .epochs(3)
+            .build()
+            .stream();
+        assert_eq!(
+            stream.plan().residency,
+            ResidencyDecision::Paged {
+                budget_bytes: budget
+            },
+            "the explicit plan was widened with the out-of-core arm"
+        );
+        assert!(matrix.is_paged(), "the COO source was spilled to disk");
+        assert!(!matrix.has_coo_source());
+        let events: Vec<EpochEvent> = stream.by_ref().collect();
+        assert_eq!(events.len(), 3);
+        assert!(
+            events[0].pages_faulted > 0,
+            "epoch 1 carries the materialization faults"
+        );
+        assert!(events[0].io_bytes > 0);
+        assert!(events[0].resident_bytes > 0);
+        let ooc = matrix.ooc_stats().unwrap();
+        assert!(
+            ooc.peak_resident_bytes <= budget,
+            "peak cached pages {} within the budget {}",
+            ooc.peak_resident_bytes,
+            budget
+        );
+        assert_eq!(
+            ooc.resident_bytes, 0,
+            "pages were released once layouts were resident"
+        );
+    }
+
+    #[test]
+    fn paged_arm_demotes_to_resident_when_nothing_can_page() {
+        // A layout-backed matrix has no COO source to spill: the paged arm
+        // must fall back to Resident so the simulator never charges disk
+        // for a fully resident run.
+        let dataset = Dataset::generate(PaperDataset::Reuters, 12);
+        let csr = dataset.matrix.csr().clone();
+        let labels = dataset.labels.clone();
+        let task = AnalyticsTask::new(
+            "SVM(reuters-csr)",
+            dw_optim::TaskData::supervised(csr, labels),
+            ModelKind::Svm,
+        );
+        let stream = builder_with(task)
+            .memory_budget(1)
+            .epochs(1)
+            .build()
+            .stream();
+        assert_eq!(
+            stream.plan().residency,
+            ResidencyDecision::Resident,
+            "nothing to page — the plan must say so"
+        );
+    }
+
+    #[test]
+    fn replan_keeps_the_memory_budget_arm() {
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        let budget = LayoutDecision::Csr.estimated_bytes(matrix.stats()) / 4;
+        let spill_dir = dw_matrix::TempSpillDir::new("dw-session-replan").unwrap();
+        let machine = MachineTopology::local2();
+        let sharded = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let mut stream = DimmWitted::on(machine.clone())
+            .task(task)
+            .plan(sharded)
+            .memory_budget(budget)
+            .spill_dir(spill_dir.path())
+            .epochs(4)
+            .build()
+            .stream();
+        let _ = stream.next();
+        assert!(matrix.is_paged());
+        // A replan onto a fresh plan (residency defaults to Resident) must
+        // re-resolve: the source still lives on disk.
+        let full = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        )
+        .with_workers(4);
+        stream.replan(full);
+        assert!(
+            matches!(stream.plan().residency, ResidencyDecision::Paged { .. }),
+            "the replan must not silently drop the out-of-core arm"
+        );
+        let event = stream.next().expect("epoch after replan");
+        assert!(event.loss.is_finite());
+    }
+
+    #[test]
+    fn roomy_memory_budget_keeps_the_plan_resident() {
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        let session = builder_with(task)
+            .memory_budget(usize::MAX)
+            .epochs(1)
+            .build();
+        assert_eq!(session.plan().residency, ResidencyDecision::Resident);
+        let _ = session.run();
+        assert!(!matrix.is_paged(), "nothing was spilled");
+        assert!(matrix.has_coo_source());
+    }
+
+    fn builder_with(task: AnalyticsTask) -> SessionBuilder {
+        DimmWitted::on(MachineTopology::local2()).task(task)
     }
 
     #[test]

@@ -8,11 +8,18 @@
 //!
 //! [`clueweb_like`] generates a scaled-down instance with the same 8-ish
 //! nnz/row URL-token structure; [`figure21_scales`] is the subsampling sweep.
+//! [`clueweb_like_spilled`] streams the same instance (bit-identical
+//! triplets, same RNG stream) straight to an on-disk
+//! [`dw_matrix::FileBackedSource`] through a [`SpillWriter`], never holding
+//! the full COO form in memory — the scale-up path for instances larger
+//! than DRAM (the 49 GB scenario the appendix studies).
 
-use crate::generators::LabeledData;
-use dw_matrix::CooMatrix;
+use crate::generators::{LabeledData, TripletSink};
+use dw_matrix::ooc::SpillWriter;
+use dw_matrix::{CooMatrix, FileBackedSource};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::path::Path;
 
 /// Number of rows of the full-scale (1.0) generated instance.
 pub const FULL_SCALE_ROWS: usize = 40_000;
@@ -24,8 +31,46 @@ pub const NNZ_PER_ROW: usize = 8;
 /// Generate a ClueWeb-like least-squares dataset at `scale` ∈ (0, 1] of
 /// [`FULL_SCALE_ROWS`].
 pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
+    let rows = clueweb_rows(scale);
+    let mut matrix = CooMatrix::new(rows, FEATURES);
+    let (labels, ground_truth) = clueweb_like_into(scale, seed, &mut matrix);
+    LabeledData {
+        matrix,
+        labels,
+        ground_truth,
+    }
+}
+
+/// Generate the same ClueWeb-like instance **directly to disk**: the
+/// triplets stream through a [`SpillWriter`] into a page file at `path`,
+/// so nothing but one row's tokens (and the labels) is ever resident.
+///
+/// Same seed ⇒ bit-identical triplets, labels, and ground truth as
+/// [`clueweb_like`]; the returned [`FileBackedSource`] plugs into
+/// [`dw_matrix::DataMatrix::from_source`] behind a bounded page cache.
+pub fn clueweb_like_spilled(
+    scale: f64,
+    seed: u64,
+    path: impl AsRef<Path>,
+    page_bytes: usize,
+) -> std::io::Result<(FileBackedSource, Vec<f64>, Vec<f64>)> {
+    let rows = clueweb_rows(scale);
+    let mut writer = SpillWriter::create(path, rows, FEATURES)?.with_page_bytes(page_bytes);
+    let (labels, ground_truth) = clueweb_like_into(scale, seed, &mut writer);
+    Ok((writer.finish()?, labels, ground_truth))
+}
+
+/// Rows of the generated instance at `scale`.
+fn clueweb_rows(scale: f64) -> usize {
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-    let rows = ((FULL_SCALE_ROWS as f64 * scale).round() as usize).max(1);
+    ((FULL_SCALE_ROWS as f64 * scale).round() as usize).max(1)
+}
+
+/// The sink-parameterized generation core shared by [`clueweb_like`] and
+/// [`clueweb_like_spilled`]: one RNG stream, rows emitted in order with
+/// sorted token columns, `(labels, ground_truth)` returned.
+fn clueweb_like_into(scale: f64, seed: u64, sink: &mut impl TripletSink) -> (Vec<f64>, Vec<f64>) {
+    let rows = clueweb_rows(scale);
     let mut rng = StdRng::seed_from_u64(seed);
     // Planted weights: PageRank-ish scores driven by a few hundred hot
     // tokens (domain names) and a long tail.
@@ -38,7 +83,6 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
             }
         })
         .collect();
-    let mut matrix = CooMatrix::new(rows, FEATURES);
     let mut labels = Vec::with_capacity(rows);
     for row in 0..rows {
         let nnz = rng.random_range(NNZ_PER_ROW / 2..=NNZ_PER_ROW * 2);
@@ -59,16 +103,10 @@ pub fn clueweb_like(scale: f64, seed: u64) -> LabeledData {
             + rng.random::<f64>() * 0.01;
         labels.push(score);
         for (&j, &v) in &token_set {
-            matrix
-                .push(row, j as usize, v)
-                .expect("tokens within feature range");
+            sink.push_entry(row, j as usize, v);
         }
     }
-    LabeledData {
-        matrix,
-        labels,
-        ground_truth,
-    }
+    (labels, ground_truth)
 }
 
 /// The subsampling sweep of Figure 21: 1%, 10%, 50%, 100%.
@@ -119,5 +157,72 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn invalid_scale_panics() {
         let _ = clueweb_like(0.0, 1);
+    }
+
+    #[test]
+    fn spilled_instance_is_bit_identical_to_the_in_memory_one() {
+        use dw_matrix::ooc::{MatrixSource, TempSpillDir};
+
+        let dir = TempSpillDir::new("dw-clueweb-test").unwrap();
+        let in_memory = clueweb_like(0.01, 21);
+        let (source, labels, ground_truth) =
+            clueweb_like_spilled(0.01, 21, dir.file("clueweb.dwpg"), 4 * 1024).unwrap();
+        assert_eq!(labels.len(), in_memory.labels.len());
+        assert_eq!(
+            labels.iter().map(|l| l.to_bits()).collect::<Vec<_>>(),
+            in_memory
+                .labels
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            "same RNG stream, same labels"
+        );
+        assert_eq!(ground_truth, in_memory.ground_truth);
+        assert_eq!(source.shape().rows, in_memory.matrix.rows());
+        assert_eq!(source.total_entries(), in_memory.matrix.nnz());
+        // The page stream carries the exact triplets the COO builder holds.
+        let mut spilled = Vec::new();
+        let mut page = Vec::new();
+        for p in 0..source.page_count() {
+            source.read_page(p, &mut page).unwrap();
+            spilled.extend(page.iter().map(|e| (e.row, e.col, e.value.to_bits())));
+        }
+        let expected: Vec<_> = in_memory
+            .matrix
+            .entries()
+            .iter()
+            .map(|e| (e.row, e.col, e.value.to_bits()))
+            .collect();
+        assert_eq!(spilled, expected);
+    }
+
+    #[test]
+    fn spilled_instance_serves_a_budgeted_data_matrix() {
+        use dw_matrix::{DataMatrix, MatrixStats, TempSpillDir};
+        use std::sync::Arc;
+
+        let dir = TempSpillDir::new("dw-clueweb-test").unwrap();
+        let in_memory = clueweb_like(0.01, 7);
+        let (source, _, _) =
+            clueweb_like_spilled(0.01, 7, dir.file("clueweb.dwpg"), 4 * 1024).unwrap();
+        // Cache budget far below the source: stats and CSR still stream out
+        // bit-identically.
+        let budget = source_bytes_quarter(&source);
+        let m = DataMatrix::from_source(Arc::new(source), budget);
+        let expected = in_memory.matrix.to_csr();
+        assert_eq!(
+            m.stats(),
+            &MatrixStats::from_coo(&in_memory.matrix),
+            "stats from one streaming pass over manifest + pages"
+        );
+        assert_eq!(m.csr(), &expected);
+        let stats = m.ooc_stats().unwrap();
+        assert!(stats.peak_resident_bytes <= budget);
+        assert!(stats.faults > 0);
+    }
+
+    fn source_bytes_quarter(source: &dw_matrix::FileBackedSource) -> usize {
+        use dw_matrix::ooc::MatrixSource;
+        (source.total_bytes() / 4).max(16 * 1024)
     }
 }

@@ -17,9 +17,38 @@
 //! a row-wise plan builds CSR, a columnar plan builds CSC, and neither pays
 //! for the layout it does not use.
 
+use dw_matrix::ooc::SpillWriter;
 use dw_matrix::CooMatrix;
 use rand::prelude::*;
 use rand::rngs::StdRng;
+
+/// Where a generator writes its triplets: the resident COO builder or a
+/// streaming disk spill.
+///
+/// Generators emit entries row by row in non-decreasing row order, which is
+/// exactly the [`SpillWriter`] contract — so the same generation loop can
+/// build an in-memory instance or stream a larger-than-DRAM instance to a
+/// page file without ever holding the full triplet set.  Implementations
+/// panic on structurally invalid pushes (out-of-bounds, out-of-order),
+/// matching the `expect`s the in-memory generators already carry.
+pub trait TripletSink {
+    /// Append one `(row, col, value)` triplet.
+    fn push_entry(&mut self, row: usize, col: usize, value: f64);
+}
+
+impl TripletSink for CooMatrix {
+    fn push_entry(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value)
+            .expect("generator produces in-bounds entries");
+    }
+}
+
+impl TripletSink for SpillWriter {
+    fn push_entry(&mut self, row: usize, col: usize, value: f64) {
+        self.push(row, col, value)
+            .expect("generator spill write failed");
+    }
+}
 
 /// Output of the supervised generators: a data matrix and per-row labels.
 #[derive(Debug, Clone)]
@@ -58,6 +87,30 @@ pub fn sparse_classification(
     label_noise: f64,
     seed: u64,
 ) -> LabeledData {
+    let mut matrix = CooMatrix::new(rows, cols);
+    let (labels, ground_truth) =
+        sparse_classification_into(rows, cols, nnz_per_row, label_noise, seed, &mut matrix);
+    LabeledData {
+        matrix,
+        labels,
+        ground_truth,
+    }
+}
+
+/// The sink-parameterized core of [`sparse_classification`]: emits the same
+/// triplets in the same order into any [`TripletSink`] (the COO builder or
+/// a streaming [`SpillWriter`]), returning `(labels, ground_truth)`.
+///
+/// With a spill sink, only one row's entries are ever buffered — the
+/// spill-to-disk path for instances that should not be held as resident COO.
+pub fn sparse_classification_into(
+    rows: usize,
+    cols: usize,
+    nnz_per_row: usize,
+    label_noise: f64,
+    seed: u64,
+    sink: &mut impl TripletSink,
+) -> (Vec<f64>, Vec<f64>) {
     assert!(cols > 0 && nnz_per_row > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     // Planted model: a dense-ish separator with decaying magnitude so that
@@ -73,7 +126,6 @@ pub fn sparse_classification(
         })
         .collect();
 
-    let mut matrix = CooMatrix::new(rows, cols);
     let mut labels = Vec::with_capacity(rows);
     for row in 0..rows {
         let target_nnz = sample_row_nnz(&mut rng, nnz_per_row, cols);
@@ -93,16 +145,10 @@ pub fn sparse_classification(
         }
         labels.push(label);
         for (&j, &v) in &cols_set {
-            matrix
-                .push(row, j as usize, v)
-                .expect("generator produces in-bounds columns");
+            sink.push_entry(row, j as usize, v);
         }
     }
-    LabeledData {
-        matrix,
-        labels,
-        ground_truth,
-    }
+    (labels, ground_truth)
 }
 
 /// Generate a dense regression/classification dataset (Music/Forest-like).
@@ -236,6 +282,35 @@ mod tests {
         // Both classes should appear.
         assert!(data.labels.contains(&1.0));
         assert!(data.labels.iter().any(|&l| l == -1.0));
+    }
+
+    #[test]
+    fn sink_based_generation_matches_the_in_memory_path() {
+        use dw_matrix::ooc::{MatrixSource, SpillWriter, TempSpillDir};
+
+        let in_memory = sparse_classification(80, 60, 6, 0.05, 17);
+        let dir = TempSpillDir::new("dw-gen-test").unwrap();
+        let mut writer = SpillWriter::create(dir.file("gen.dwpg"), 80, 60)
+            .unwrap()
+            .with_page_bytes(256);
+        let (labels, ground_truth) = sparse_classification_into(80, 60, 6, 0.05, 17, &mut writer);
+        let source = writer.finish().unwrap();
+        assert_eq!(labels, in_memory.labels);
+        assert_eq!(ground_truth, in_memory.ground_truth);
+        assert_eq!(source.total_entries(), in_memory.matrix.nnz());
+        let mut spilled = Vec::new();
+        let mut page = Vec::new();
+        for p in 0..source.page_count() {
+            source.read_page(p, &mut page).unwrap();
+            spilled.extend(page.iter().map(|e| (e.row, e.col, e.value.to_bits())));
+        }
+        let expected: Vec<_> = in_memory
+            .matrix
+            .entries()
+            .iter()
+            .map(|e| (e.row, e.col, e.value.to_bits()))
+            .collect();
+        assert_eq!(spilled, expected, "same triplets in the same order");
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! * [`generators`] — low-level generators (sparse classification, dense
 //!   regression, graph instances),
 //! * [`subsample`] — the row-subsampling used for Figures 7(b) and 16(b),
-//! * [`clueweb`] — the scalability dataset of Figure 21.
+//! * [`clueweb`] — the scalability dataset of Figure 21, including the
+//!   spill-to-disk path ([`clueweb::clueweb_like_spilled`]) that streams a
+//!   scale-up instance straight to a page file through a
+//!   [`generators::TripletSink`] without holding the full COO in memory.
 
 pub mod clueweb;
 pub mod datasets;
@@ -29,6 +32,7 @@ pub mod spec;
 pub mod subsample;
 
 pub use datasets::{Dataset, TaskHint};
+pub use generators::TripletSink;
 pub use spec::{DatasetSpec, PaperDataset};
 
 #[cfg(test)]

@@ -70,37 +70,11 @@ impl CooMatrix {
         counts
     }
 
-    /// The one duplicate-merging pass every conversion is built on.
-    ///
-    /// Sorts a copy of the entries row-major (`column_major = false`) or
-    /// column-major (`true`) with a *stable* sort — duplicates at the same
-    /// `(row, col)` keep push order, so their values sum in the same order
-    /// on every path — merges them, drops zero sums, and calls
-    /// `emit(row, col, value)` for each surviving entry in sorted order.
-    /// Centralizing this is what makes `to_csr`, `to_csc` and
-    /// [`CooMatrix::converted_row_nnz`] bit-consistent with each other by
-    /// construction.
-    fn merge_entries(&self, column_major: bool, mut emit: impl FnMut(usize, usize, f64)) {
-        let mut sorted = self.entries.clone();
-        if column_major {
-            sorted.sort_by_key(|e| (e.col, e.row));
-        } else {
-            sorted.sort_by_key(|e| (e.row, e.col));
-        }
-        let mut i = 0usize;
-        while i < sorted.len() {
-            let e = sorted[i];
-            let mut value = e.value;
-            let mut j = i + 1;
-            while j < sorted.len() && sorted[j].row == e.row && sorted[j].col == e.col {
-                value += sorted[j].value;
-                j += 1;
-            }
-            if value != 0.0 {
-                emit(e.row as usize, e.col as usize, value);
-            }
-            i = j;
-        }
+    /// The one duplicate-merging pass every conversion is built on
+    /// (delegates to [`merge_triplets`], which the out-of-core page streams
+    /// share so paged reads merge with exactly these semantics).
+    fn merge_entries(&self, column_major: bool, emit: impl FnMut(usize, usize, f64)) {
+        merge_triplets(&self.entries, column_major, emit);
     }
 
     /// Append one entry.
@@ -185,6 +159,47 @@ impl CooMatrix {
             m.set(row, col, prev + e.value);
         }
         m
+    }
+}
+
+/// The shared duplicate-merging pass over a triplet slice.
+///
+/// Sorts a copy of the entries row-major (`column_major = false`) or
+/// column-major (`true`) with a *stable* sort — duplicates at the same
+/// `(row, col)` keep slice order, so their values sum in the same order on
+/// every path — merges them, drops zero sums, and calls
+/// `emit(row, col, value)` for each surviving entry in sorted order.
+///
+/// Centralizing this is what makes [`CooMatrix::to_csr`],
+/// [`CooMatrix::to_csc`], [`CooMatrix::converted_row_nnz`] *and* the
+/// out-of-core page streams of [`crate::ooc`] bit-consistent with each
+/// other by construction: a page whose rows are disjoint from every other
+/// page merges to exactly the slice the global merge would have produced
+/// for those rows.
+pub(crate) fn merge_triplets(
+    entries: &[Entry],
+    column_major: bool,
+    mut emit: impl FnMut(usize, usize, f64),
+) {
+    let mut sorted = entries.to_vec();
+    if column_major {
+        sorted.sort_by_key(|e| (e.col, e.row));
+    } else {
+        sorted.sort_by_key(|e| (e.row, e.col));
+    }
+    let mut i = 0usize;
+    while i < sorted.len() {
+        let e = sorted[i];
+        let mut value = e.value;
+        let mut j = i + 1;
+        while j < sorted.len() && sorted[j].row == e.row && sorted[j].col == e.col {
+            value += sorted[j].value;
+            j += 1;
+        }
+        if value != 0.0 {
+            emit(e.row as usize, e.col as usize, value);
+        }
+        i = j;
     }
 }
 

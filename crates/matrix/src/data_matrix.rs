@@ -37,10 +37,13 @@
 //! materializing anything, which is what lets the cost-based optimizer pick
 //! an access method (and hence a layout) *before* any layout exists.
 
+use crate::dense::DenseRows;
+use crate::ooc::{self, MatrixSource, PagedSource};
 use crate::views::{ColAccess, RowAccess};
 use crate::{
     ColView, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, Layout, MatrixStats, RowView, Shape,
 };
+use std::path::Path;
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// A zero-copy window over a contiguous row range of another matrix.
@@ -82,9 +85,18 @@ impl RowRangeView {
         self.start == self.end
     }
 
-    /// Copy the windowed rows into a standalone CSR matrix (the escape
-    /// hatch for consumers that need an owned layout; shard reads never do).
+    /// Copy the windowed rows into a standalone CSR matrix.  On an
+    /// out-of-core base whose shared row layout is not resident, this
+    /// streams **only the window's page subrange** through the base's
+    /// bounded cache — the per-node shard materialization of the
+    /// larger-than-DRAM path; otherwise it is the in-memory escape hatch
+    /// (shard reads never need it — they go through [`RowAccess`]).
     fn materialize_csr(&self) -> CsrMatrix {
+        if self.base.inner.csr.get().is_none() {
+            if let Some(paged) = self.base.inner.paged.get() {
+                return DataMatrix::csr_from_paged(paged, self.start, self.end, self.base.cols());
+            }
+        }
         self.base.csr().select_range(self.start, self.end)
     }
 }
@@ -100,7 +112,9 @@ impl RowAccess for RowRangeView {
             "row {i} outside view of {} rows",
             self.len()
         );
-        self.base.csr().row(self.start + i)
+        // Served through the base's resident row backend (CSR or dense
+        // rows) — bit-identical to reading the base directly.
+        self.base.row(self.start + i)
     }
 
     fn row_nnz(&self, i: usize) -> usize {
@@ -109,7 +123,7 @@ impl RowAccess for RowRangeView {
             "row {i} outside view of {} rows",
             self.len()
         );
-        self.base.csr().row_nnz(self.start + i)
+        self.base.row_nnz(self.start + i)
     }
 }
 
@@ -117,13 +131,21 @@ impl RowAccess for RowRangeView {
 struct Inner {
     shape: Shape,
     /// Canonical COO triplets; `None` for matrices built from a compressed
-    /// layout, for row-range views, and after [`DataMatrix::compact_source`].
+    /// layout, for row-range views, for out-of-core sources, and after
+    /// [`DataMatrix::compact_source`] / [`DataMatrix::spill_source_to`].
     source: RwLock<Option<CooMatrix>>,
+    /// Out-of-core canonical source: triplet pages behind a bounded cache
+    /// (set by [`DataMatrix::from_source`] or
+    /// [`DataMatrix::spill_source_to`]).
+    paged: OnceLock<PagedSource>,
     /// Zero-copy row window into another matrix (set only by `row_range`).
     window: Option<RowRangeView>,
     csr: OnceLock<CsrMatrix>,
     csc: OnceLock<CscMatrix>,
     dense: OnceLock<DenseMatrix>,
+    /// Dense row-major storage served through `RowAccess` (the planner's
+    /// Dense layout arm: 8 bytes per element plus one shared index arange).
+    dense_rows: OnceLock<DenseRows>,
     stats: OnceLock<MatrixStats>,
 }
 
@@ -141,10 +163,12 @@ impl DataMatrix {
             inner: Arc::new(Inner {
                 shape,
                 source: RwLock::new(source),
+                paged: OnceLock::new(),
                 window,
                 csr: OnceLock::new(),
                 csc: OnceLock::new(),
                 dense: OnceLock::new(),
+                dense_rows: OnceLock::new(),
                 stats: OnceLock::new(),
             }),
         }
@@ -153,6 +177,23 @@ impl DataMatrix {
     /// Build from the canonical COO form; nothing is materialized yet.
     pub fn from_coo(coo: CooMatrix) -> Self {
         Self::from_parts(coo.shape(), Some(coo), None)
+    }
+
+    /// Build from an **out-of-core** canonical source: triplet pages (e.g. a
+    /// [`crate::ooc::FileBackedSource`] spill file) served through a page
+    /// cache bounded to `cache_budget_bytes` of resident payload.
+    ///
+    /// Nothing is materialized yet; layouts materialize by streaming pages
+    /// through the cache, so the whole source never needs to be resident —
+    /// this is the larger-than-DRAM entry point of Appendix C.3.
+    pub fn from_source(source: Arc<dyn MatrixSource>, cache_budget_bytes: usize) -> Self {
+        let shape = source.shape();
+        let m = Self::from_parts(shape, None, None);
+        let _ = m
+            .inner
+            .paged
+            .set(PagedSource::new(source, cache_budget_bytes));
+        m
     }
 
     /// Build from an existing CSR matrix (counts as the row layout being
@@ -204,80 +245,206 @@ impl DataMatrix {
                 return MatrixStats::from_csr(csr);
             }
             if let Some(view) = &self.inner.window {
+                if view.base.inner.csr.get().is_none() {
+                    if let Some(paged) = view.base.inner.paged.get() {
+                        // Out-of-core base: one streaming pass over the
+                        // window's page subrange, nothing materialized.
+                        return Self::stats_from_paged(
+                            paged,
+                            view.start,
+                            view.end,
+                            self.inner.shape.cols,
+                        );
+                    }
+                }
                 return MatrixStats::from_row_counts(
                     view.len(),
                     self.inner.shape.cols,
-                    (view.start..view.end).map(|i| view.base.csr().row_nnz(i)),
+                    (view.start..view.end).map(|i| view.base.row_nnz(i)),
                 );
             }
-            let source = self.inner.source.read().expect("source lock poisoned");
-            match &*source {
-                Some(coo) => MatrixStats::from_coo(coo),
-                None => {
-                    // The source can only be absent when a layout exists
-                    // (compaction's precondition); re-check the CSR cache —
-                    // a concurrent materialize+compact may have landed
-                    // between the unlocked check above and taking the lock.
-                    if let Some(csr) = self.inner.csr.get() {
-                        MatrixStats::from_csr(csr)
-                    } else if let Some(csc) = self.inner.csc.get() {
-                        MatrixStats::from_csc(csc)
-                    } else {
-                        let dense = self
-                            .inner
-                            .dense
-                            .get()
-                            .expect("a sourceless matrix always retains a layout");
-                        MatrixStats::from_csr(&CsrMatrix::from_dense(dense))
-                    }
-                }
+            if let Some(stats) = self.with_coo_source(MatrixStats::from_coo) {
+                return stats;
+            }
+            if let Some(paged) = self.inner.paged.get() {
+                // One streaming pass over the manifest + pages.
+                return Self::stats_from_paged(
+                    paged,
+                    0,
+                    self.inner.shape.rows,
+                    self.inner.shape.cols,
+                );
+            }
+            // The source can only be absent when a layout exists
+            // (compaction's precondition); re-check the CSR cache —
+            // a concurrent materialize+compact may have landed
+            // between the unlocked check above and taking the lock.
+            if let Some(csr) = self.inner.csr.get() {
+                MatrixStats::from_csr(csr)
+            } else if let Some(csc) = self.inner.csc.get() {
+                MatrixStats::from_csc(csc)
+            } else if let Some(rows) = self.inner.dense_rows.get() {
+                MatrixStats::from_row_counts(
+                    rows.rows(),
+                    rows.cols(),
+                    (0..rows.rows())
+                        .map(|i| rows.row(i).values.iter().filter(|v| **v != 0.0).count()),
+                )
+            } else {
+                let dense = self
+                    .inner
+                    .dense
+                    .get()
+                    .expect("a sourceless matrix always retains a layout");
+                MatrixStats::from_csr(&CsrMatrix::from_dense(dense))
             }
         })
+    }
+
+    /// Statistics of rows `start..end` of a paged source: merged per-row
+    /// counts from one streaming pass through the bounded cache.
+    fn stats_from_paged(paged: &PagedSource, start: usize, end: usize, cols: usize) -> MatrixStats {
+        let mut counts = vec![0usize; end - start];
+        paged
+            .stream_rows(start, end, |row, _, _| counts[row - start] += 1)
+            .expect("out-of-core source read failed while computing statistics");
+        MatrixStats::from_row_counts(end - start, cols, counts.into_iter())
     }
 
     /// The row-major compressed layout, materialized and cached on first
     /// request.  For a row-range view this copies the window out of the
     /// base (shard *reads* never need it — they go through [`RowAccess`]).
+    /// For an out-of-core source the layout is built by **streaming pages
+    /// through the bounded cache** — the whole source is never resident,
+    /// and the result is bit-identical to the COO conversion.
     pub fn csr(&self) -> &CsrMatrix {
         self.inner.csr.get_or_init(|| {
             if let Some(view) = &self.inner.window {
                 return view.materialize_csr();
             }
-            let source = self.inner.source.read().expect("source lock poisoned");
-            match &*source {
-                Some(coo) => coo.to_csr(),
-                None => {
-                    if let Some(csc) = self.inner.csc.get() {
-                        csc.to_csr()
-                    } else {
-                        let dense = self
-                            .inner
-                            .dense
-                            .get()
-                            .expect("a sourceless matrix always retains a layout");
-                        CsrMatrix::from_dense(dense)
-                    }
-                }
+            if let Some(csr) = self.with_coo_source(|coo| coo.to_csr()) {
+                return csr;
+            }
+            if let Some(paged) = self.inner.paged.get() {
+                return Self::csr_from_paged(
+                    paged,
+                    0,
+                    self.inner.shape.rows,
+                    self.inner.shape.cols,
+                );
+            }
+            if let Some(csc) = self.inner.csc.get() {
+                csc.to_csr()
+            } else if let Some(dense) = self.inner.dense.get() {
+                CsrMatrix::from_dense(dense)
+            } else {
+                let rows = self
+                    .inner
+                    .dense_rows
+                    .get()
+                    .expect("a sourceless matrix always retains a layout");
+                Self::csr_from_dense_rows(rows)
             }
         })
     }
 
+    /// Build the CSR of global rows `start..end` from a paged source, one
+    /// streaming pass through the bounded cache.  Replicates the exact
+    /// indptr-building loop of [`CooMatrix::to_csr`], so the full-range
+    /// result is bit-identical to the in-memory conversion and a subrange
+    /// equals `full.select_range(start, end)`.
+    fn csr_from_paged(paged: &PagedSource, start: usize, end: usize, cols: usize) -> CsrMatrix {
+        let rows_out = end - start;
+        let mut indptr = Vec::with_capacity(rows_out + 1);
+        let mut indices = Vec::new();
+        let mut data = Vec::new();
+        indptr.push(0u32);
+        let mut current_row = start;
+        paged
+            .stream_rows(start, end, |row, col, value| {
+                while current_row < row {
+                    indptr.push(indices.len() as u32);
+                    current_row += 1;
+                }
+                indices.push(col as u32);
+                data.push(value);
+            })
+            .expect("out-of-core source read failed while materializing CSR");
+        while current_row < end {
+            indptr.push(indices.len() as u32);
+            current_row += 1;
+        }
+        CsrMatrix::from_parts(rows_out, cols, indptr, indices, data)
+            .expect("paged stream produced a structurally valid CSR")
+    }
+
+    /// CSR from the dense row store (sourceless fallback), dropping zeros
+    /// exactly as [`CsrMatrix::from_dense`] does.
+    fn csr_from_dense_rows(rows: &DenseRows) -> CsrMatrix {
+        let dense = DenseMatrix::from_vec(
+            rows.rows(),
+            rows.cols(),
+            Layout::RowMajor,
+            rows.values().to_vec(),
+        )
+        .expect("dense rows carry a full row-major buffer");
+        CsrMatrix::from_dense(&dense)
+    }
+
     /// The column-major compressed layout, materialized and cached on first
-    /// request.  Built directly from the COO source (no transient CSR).
+    /// request.  Built directly from the COO source (no transient CSR); an
+    /// out-of-core source builds it in two streaming passes (count, then
+    /// scatter) through the bounded cache, again without a transient CSR.
     pub fn csc(&self) -> &CscMatrix {
         self.inner.csc.get_or_init(|| {
             if self.inner.window.is_some() {
                 return self.csr().to_csc();
             }
-            let source = self.inner.source.read().expect("source lock poisoned");
-            match &*source {
-                Some(coo) => coo.to_csc(),
-                None => {
-                    drop(source);
-                    self.csr().to_csc()
+            if let Some(csc) = self.with_coo_source(|coo| coo.to_csc()) {
+                return csc;
+            }
+            if self.inner.csr.get().is_none() {
+                if let Some(paged) = self.inner.paged.get() {
+                    return Self::csc_from_paged(paged, self.inner.shape);
                 }
             }
+            self.csr().to_csc()
         })
+    }
+
+    /// Build the CSC from a paged source in two streaming passes.  Within
+    /// each column, rows arrive in ascending order (pages are row-disjoint
+    /// and streamed in row order) and each `(row, col)` appears exactly once
+    /// after merging, so the result is bit-identical to
+    /// [`CooMatrix::to_csc`].
+    fn csc_from_paged(paged: &PagedSource, shape: Shape) -> CscMatrix {
+        // Pass 1: merged per-column counts.
+        let mut counts = vec![0u32; shape.cols];
+        paged
+            .stream_rows(0, shape.rows, |_, col, _| counts[col] += 1)
+            .expect("out-of-core source read failed while counting columns");
+        let mut indptr = Vec::with_capacity(shape.cols + 1);
+        indptr.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            indptr.push(acc);
+        }
+        let nnz = acc as usize;
+        let mut indices = vec![0u32; nnz];
+        let mut data = vec![0.0f64; nnz];
+        // Pass 2: scatter in row-major stream order.
+        let mut cursors: Vec<u32> = indptr[..shape.cols].to_vec();
+        paged
+            .stream_rows(0, shape.rows, |row, col, value| {
+                let pos = cursors[col] as usize;
+                indices[pos] = row as u32;
+                data[pos] = value;
+                cursors[col] += 1;
+            })
+            .expect("out-of-core source read failed while materializing CSC");
+        CscMatrix::from_parts(shape.rows, shape.cols, indptr, indices, data)
+            .expect("paged stream produced a structurally valid CSC")
     }
 
     /// The row-major dense layout, materialized and cached on first request.
@@ -292,36 +459,115 @@ impl DataMatrix {
             if self.inner.window.is_some() {
                 return self.csr().to_dense(Layout::RowMajor);
             }
-            let source = self.inner.source.read().expect("source lock poisoned");
-            match &*source {
-                Some(coo) => coo.to_dense(Layout::RowMajor),
-                None => {
-                    // A concurrent materialize+compact can empty the source
-                    // between the unlocked layout checks above and taking
-                    // the lock; the compacted layout is resident by then.
-                    drop(source);
-                    if let Some(csr) = self.inner.csr.get() {
-                        csr.to_dense(Layout::RowMajor)
-                    } else {
-                        self.inner
-                            .csc
-                            .get()
-                            .expect("a sourceless matrix always retains a layout")
-                            .to_dense(Layout::RowMajor)
+            if let Some(dense) = self.with_coo_source(|coo| coo.to_dense(Layout::RowMajor)) {
+                return dense;
+            }
+            if let Some(paged) = self.inner.paged.get() {
+                let mut m = DenseMatrix::zeros(
+                    self.inner.shape.rows,
+                    self.inner.shape.cols,
+                    Layout::RowMajor,
+                );
+                paged
+                    .stream_rows(0, self.inner.shape.rows, |row, col, value| {
+                        m.set(row, col, value);
+                    })
+                    .expect("out-of-core source read failed while materializing dense");
+                return m;
+            }
+            // A concurrent materialize+compact can empty the source
+            // between the unlocked layout checks above and taking
+            // the lock; the compacted layout is resident by then.
+            if let Some(csr) = self.inner.csr.get() {
+                csr.to_dense(Layout::RowMajor)
+            } else if let Some(csc) = self.inner.csc.get() {
+                csc.to_dense(Layout::RowMajor)
+            } else {
+                let rows = self
+                    .inner
+                    .dense_rows
+                    .get()
+                    .expect("a sourceless matrix always retains a layout");
+                let mut m = DenseMatrix::zeros(rows.rows(), rows.cols(), Layout::RowMajor);
+                for i in 0..rows.rows() {
+                    for (j, v) in rows.row(i).iter() {
+                        m.set(i, j, v);
                     }
                 }
+                m
             }
         })
     }
 
+    /// The dense row-major `RowAccess` backend (the planner's Dense layout
+    /// arm), materialized and cached on first request: 8 bytes per element
+    /// plus one shared `0..d` index arange, serving row views bit-identical
+    /// to the CSR views of a fully dense matrix.
+    pub fn dense_rows(&self) -> &DenseRows {
+        self.inner.dense_rows.get_or_init(|| {
+            let shape = self.inner.shape;
+            if self.inner.csr.get().is_none() && self.inner.window.is_none() {
+                if let Some(out) = self.with_coo_source(|coo| {
+                    let mut out = DenseRows::zeros(shape.rows, shape.cols);
+                    crate::coo::merge_triplets(coo.entries(), false, |r, c, v| out.set(r, c, v));
+                    out
+                }) {
+                    return out;
+                }
+                if let Some(paged) = self.inner.paged.get() {
+                    let mut out = DenseRows::zeros(shape.rows, shape.cols);
+                    paged
+                        .stream_rows(0, shape.rows, |r, c, v| out.set(r, c, v))
+                        .expect("out-of-core source read failed while materializing dense rows");
+                    return out;
+                }
+            }
+            // Resident CSR, window, or sourceless-with-other-layouts: scatter
+            // from the row layout (csr() serves the resident one for free and
+            // is the correctness net for the rest).
+            let csr = self.csr();
+            let mut out = DenseRows::zeros(shape.rows, shape.cols);
+            for i in 0..shape.rows {
+                for (j, v) in csr.row(i).iter() {
+                    out.set(i, j, v);
+                }
+            }
+            out
+        })
+    }
+
     /// Eagerly materialize the row layout (planner hook).  On a row-range
-    /// view this materializes the *base's* shared layout, never a copy.
+    /// view this materializes the *base's* shared layout, never a copy —
+    /// except over an out-of-core base whose shared layout is not resident,
+    /// where the view materializes **its own page subrange** instead (the
+    /// per-node on-demand shard materialization of the larger-than-DRAM
+    /// path).
     pub fn materialize_rows(&self) {
         if let Some(view) = &self.inner.window {
-            view.base.materialize_rows();
+            if !view.base.serves_window_rows() {
+                let _ = self.csr();
+                return;
+            }
+            view.base.materialize_row_access();
             return;
         }
         let _ = self.csr();
+    }
+
+    /// Eagerly materialize the dense row-major `RowAccess` backend (the
+    /// planner hook for the Dense layout arm).
+    pub fn materialize_dense_rows(&self) {
+        let _ = self.dense_rows();
+    }
+
+    /// Materialize *a* row backend: a no-op when dense rows are already
+    /// resident (the Dense layout arm), the row layout otherwise.  Shard
+    /// builders use this so they never build CSR next to a dense store.
+    pub fn materialize_row_access(&self) {
+        if self.dense_rows_materialized() {
+            return;
+        }
+        self.materialize_rows();
     }
 
     /// Eagerly materialize the column layout (planner hook).
@@ -360,6 +606,56 @@ impl DataMatrix {
         self.inner.dense.get().is_some()
     }
 
+    /// Whether the dense row-major `RowAccess` backend is resident (on a
+    /// row-range view: whether the *base's* is — the view serves through
+    /// it, owning nothing).
+    pub fn dense_rows_materialized(&self) -> bool {
+        if self.inner.dense_rows.get().is_some() {
+            return true;
+        }
+        match &self.inner.window {
+            Some(view) => view.base.dense_rows_materialized(),
+            None => false,
+        }
+    }
+
+    /// Whether the canonical source is out-of-core (triplet pages behind a
+    /// bounded cache rather than resident COO).
+    pub fn is_paged(&self) -> bool {
+        self.inner.paged.get().is_some()
+    }
+
+    /// Whether a zero-copy window over this matrix should serve rows
+    /// *through* it: a row backend (CSR or dense rows) is resident, or the
+    /// matrix is in-memory and will materialize its shared layout lazily
+    /// (the pre-out-of-core behaviour).  When false — an out-of-core base
+    /// with nothing resident — the window materializes its own page
+    /// subrange instead of forcing the base's full layout.
+    fn serves_window_rows(&self) -> bool {
+        self.csr_materialized() || self.dense_rows_materialized() || !self.is_paged()
+    }
+
+    /// Page-cache counters of the out-of-core source (`None` for fully
+    /// resident matrices): faults, IO bytes, resident and peak-resident
+    /// page bytes.
+    pub fn ooc_stats(&self) -> Option<ooc::CacheStats> {
+        self.inner.paged.get().map(|p| p.cache().stats())
+    }
+
+    /// The resident-byte budget of the out-of-core page cache.
+    pub fn ooc_cache_budget(&self) -> Option<usize> {
+        self.inner.paged.get().map(|p| p.cache().budget())
+    }
+
+    /// Drop every unpinned cached page of the out-of-core source (a no-op
+    /// for resident matrices).  Sessions call this once the plan's layouts
+    /// are materialized, so steady-state residency is the layouts alone.
+    pub fn release_pages(&self) {
+        if let Some(paged) = self.inner.paged.get() {
+            paged.cache().release();
+        }
+    }
+
     /// Bytes held by this handle: the source form (if still resident) plus
     /// every materialized layout — the quantity the memory-footprint
     /// regression tests bound.  A row-range view owns none of its base's
@@ -373,8 +669,14 @@ impl DataMatrix {
             .as_ref()
             .map_or(0, |coo| coo.size_bytes());
         source
+            + self
+                .inner
+                .paged
+                .get()
+                .map_or(0, |p| p.cache().stats().resident_bytes)
             + self.inner.csr.get().map_or(0, |m| m.size_bytes())
             + self.inner.csc.get().map_or(0, |m| m.size_bytes())
+            + self.inner.dense_rows.get().map_or(0, |m| m.size_bytes())
             + self
                 .inner
                 .dense
@@ -392,8 +694,10 @@ impl DataMatrix {
     /// Affects every clone of the handle — compaction is a property of the
     /// shared storage, not of one holder.
     pub fn compact_source(&self) -> usize {
-        let compressed_resident = self.inner.csr.get().is_some() || self.inner.csc.get().is_some();
-        if !compressed_resident {
+        let layout_resident = self.inner.csr.get().is_some()
+            || self.inner.csc.get().is_some()
+            || self.inner.dense_rows.get().is_some();
+        if !layout_resident {
             return 0;
         }
         let mut source = self.inner.source.write().expect("source lock poisoned");
@@ -401,6 +705,65 @@ impl DataMatrix {
             Some(coo) => coo.size_bytes(),
             None => 0,
         }
+    }
+
+    /// Spill the canonical COO source to a delete-on-drop page file under
+    /// `dir` and continue serving it **out-of-core** through a page cache
+    /// bounded to `cache_budget_bytes`, returning the resident bytes
+    /// reclaimed (16 per stored triplet).
+    ///
+    /// Unlike [`DataMatrix::compact_source`], nothing needs to be
+    /// materialized first: the pages *are* the canonical form afterwards,
+    /// and any layout still missing materializes by streaming them.  A
+    /// no-op (returning 0) for row-range views, already-paged matrices, and
+    /// matrices without a COO source.  Affects every clone of the handle.
+    pub fn spill_source_to(
+        &self,
+        dir: &Path,
+        page_bytes: usize,
+        cache_budget_bytes: usize,
+    ) -> std::io::Result<usize> {
+        if self.inner.paged.get().is_some() || self.inner.window.is_some() {
+            return Ok(0);
+        }
+        let mut guard = self.inner.source.write().expect("source lock poisoned");
+        let Some(coo) = guard.as_ref() else {
+            return Ok(0);
+        };
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(ooc::unique_spill_name("dw-spill"));
+        // Page boundaries need monotone rows.  Generators emit row-ordered
+        // triplets, so the common case streams the borrowed entries
+        // directly; only an out-of-order source pays a stable sort by row
+        // (which preserves within-row push order — the duplicate-merge
+        // order) on a transient copy.
+        let entries = coo.entries();
+        let row_ordered = entries.windows(2).all(|w| w[0].row <= w[1].row);
+        let sorted;
+        let ordered: &[crate::Entry] = if row_ordered {
+            entries
+        } else {
+            sorted = {
+                let mut copy = entries.to_vec();
+                copy.sort_by_key(|e| e.row);
+                copy
+            };
+            &sorted
+        };
+        let mut writer =
+            ooc::SpillWriter::create(&path, self.rows(), self.cols())?.with_page_bytes(page_bytes);
+        for e in ordered {
+            writer.push(e.row as usize, e.col as usize, e.value)?;
+        }
+        let source = writer.finish()?.delete_on_drop();
+        let reclaimed = coo.size_bytes();
+        let paged = PagedSource::new(Arc::new(source), cache_budget_bytes);
+        if self.inner.paged.set(paged).is_err() {
+            // Another holder spilled concurrently; keep theirs.
+            return Ok(0);
+        }
+        *guard = None;
+        Ok(reclaimed)
     }
 
     /// Value at `(row, col)` (zero if not stored).  Reads whichever layout
@@ -412,6 +775,9 @@ impl DataMatrix {
         if let Some(csc) = self.csc_if_materialized() {
             return csc.get(row, col);
         }
+        if let Some(rows) = self.inner.dense_rows.get() {
+            return rows.get(row, col);
+        }
         if let Some(view) = &self.inner.window {
             return view.base.get(view.start + row, col);
         }
@@ -420,14 +786,29 @@ impl DataMatrix {
 
     /// An owned copy of the canonical COO source, when the matrix was built
     /// from one and the source has not been compacted away.  This clones
-    /// the triplets — use [`DataMatrix::has_coo_source`] for a presence
-    /// check.
+    /// the triplets — read-only consumers should use
+    /// [`DataMatrix::with_coo_source`] (a borrow, no O(nnz) copy) and
+    /// [`DataMatrix::has_coo_source`] for a presence check.
     pub fn coo_source(&self) -> Option<CooMatrix> {
         self.inner
             .source
             .read()
             .expect("source lock poisoned")
             .clone()
+    }
+
+    /// Run `f` against a **borrow** of the canonical COO source, without
+    /// cloning the triplets; `None` when no COO source is resident (matrices
+    /// built from a compressed layout or an out-of-core source, row-range
+    /// views, and after compaction/spilling).  The read lock is held for the
+    /// duration of `f`.
+    pub fn with_coo_source<T>(&self, f: impl FnOnce(&CooMatrix) -> T) -> Option<T> {
+        self.inner
+            .source
+            .read()
+            .expect("source lock poisoned")
+            .as_ref()
+            .map(f)
     }
 
     /// Whether the canonical COO source is still resident (false for
@@ -510,8 +891,17 @@ impl RowAccess for DataMatrix {
 
     fn row(&self, i: usize) -> RowView<'_> {
         if self.inner.csr.get().is_none() {
+            if let Some(rows) = self.inner.dense_rows.get() {
+                return rows.row(i);
+            }
             if let Some(view) = &self.inner.window {
-                return view.row(i);
+                // Serve through the base's resident row backend — unless
+                // the base is out-of-core with nothing resident, where the
+                // window materializes its own page subrange instead of the
+                // base's full layout.
+                if view.base.serves_window_rows() {
+                    return view.row(i);
+                }
             }
         }
         self.csr().row(i)
@@ -519,8 +909,13 @@ impl RowAccess for DataMatrix {
 
     fn row_nnz(&self, i: usize) -> usize {
         if self.inner.csr.get().is_none() {
+            if let Some(rows) = self.inner.dense_rows.get() {
+                return rows.row_nnz(i);
+            }
             if let Some(view) = &self.inner.window {
-                return view.row_nnz(i);
+                if view.base.serves_window_rows() {
+                    return view.row_nnz(i);
+                }
             }
         }
         self.csr().row_nnz(i)
@@ -748,7 +1143,176 @@ mod tests {
         assert_eq!(shard.get(1, 0), 1.0);
     }
 
+    fn paged_copy(coo: &CooMatrix, page_bytes: usize, budget: usize) -> DataMatrix {
+        DataMatrix::from_source(
+            Arc::new(crate::ooc::InMemorySource::from_coo(coo, page_bytes)),
+            budget,
+        )
+    }
+
+    #[test]
+    fn paged_source_materializes_layouts_bit_identically() {
+        let coo = sample_coo();
+        let m = paged_copy(&coo, 16, 64);
+        assert!(m.is_paged());
+        assert!(!m.has_coo_source());
+        // Stats stream from the pages and match the in-memory route.
+        assert_eq!(m.stats(), &MatrixStats::from_coo(&coo));
+        assert_eq!(m.csr(), &coo.to_csr());
+        assert_eq!(m.csc(), &coo.to_csc());
+        assert_eq!(m.dense(), &coo.to_dense(Layout::RowMajor));
+        let stats = m.ooc_stats().expect("paged matrix has cache stats");
+        assert!(stats.faults > 0, "layouts streamed through the cache");
+        m.release_pages();
+        assert_eq!(m.ooc_stats().unwrap().resident_bytes, 0);
+    }
+
+    #[test]
+    fn paged_csc_streams_without_building_csr() {
+        let coo = sample_coo();
+        let m = paged_copy(&coo, 16, 64);
+        let _ = m.csc();
+        assert!(m.csc_materialized());
+        assert!(
+            !m.csr_materialized(),
+            "column traffic on a paged source must not build CSR"
+        );
+    }
+
+    #[test]
+    fn spill_source_to_swaps_coo_for_pages_in_place() {
+        let coo = sample_coo();
+        let m = DataMatrix::from_coo(coo.clone());
+        let dir = crate::ooc::TempSpillDir::new("dw-dm-test").unwrap();
+        let reclaimed = m.spill_source_to(dir.path(), 32, 64).unwrap();
+        assert_eq!(reclaimed, coo.size_bytes());
+        assert!(m.is_paged());
+        assert!(!m.has_coo_source());
+        // Second spill is a no-op; clones share the paged source.
+        assert_eq!(m.spill_source_to(dir.path(), 32, 64).unwrap(), 0);
+        assert_eq!(m.clone().spill_source_to(dir.path(), 32, 64).unwrap(), 0);
+        // Every read keeps working, bit-identically.
+        assert_eq!(m.csr(), &coo.to_csr());
+        assert_eq!(m.csc(), &coo.to_csc());
+        assert_eq!(m.stats(), &MatrixStats::from_coo(&coo));
+    }
+
+    #[test]
+    fn window_of_a_paged_base_materializes_only_its_page_subrange() {
+        let coo = sample_coo();
+        let m = paged_copy(&coo, 16, 64);
+        let shard = m.row_range(1, 3);
+        shard.materialize_rows();
+        assert!(
+            !m.csr_materialized(),
+            "the base's full layout was never built"
+        );
+        // The shard's own CSR equals the in-memory window.
+        let expected = coo.to_csr().select_range(1, 3);
+        for i in 0..2 {
+            let a = shard.row(i);
+            let b = expected.row(i);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.values, b.values);
+        }
+        assert_eq!(shard.stats().nnz, expected.nnz());
+        assert!(shard.resident_bytes() > 0, "the shard owns its subrange");
+    }
+
+    #[test]
+    fn dense_rows_serve_row_views_without_sparse_layouts() {
+        let mut coo = CooMatrix::new(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                coo.push(i, j, (i * 3 + j + 1) as f64).unwrap();
+            }
+        }
+        let m = DataMatrix::from_coo(coo.clone());
+        m.materialize_dense_rows();
+        assert!(m.dense_rows_materialized());
+        assert!(!m.csr_materialized());
+        let csr = coo.to_csr();
+        for i in 0..3 {
+            let a = m.row(i);
+            let b = csr.row(i);
+            assert_eq!(a.indices, b.indices, "row {i}");
+            assert_eq!(a.values, b.values, "row {i}");
+        }
+        assert!(!m.csr_materialized(), "rows served by the dense store");
+        assert_eq!(m.get(1, 2), 6.0);
+        // A zero-copy window over a dense-rows base serves through it too.
+        let shard = m.row_range(1, 3);
+        assert_eq!(shard.row(0).values, csr.row(1).values);
+        assert!(!m.csr_materialized());
+        // materialize_row_access is a no-op when dense rows are resident.
+        m.materialize_row_access();
+        assert!(!m.csr_materialized());
+        // Compaction accepts the dense store as the retained layout.
+        assert!(m.compact_source() > 0);
+        assert_eq!(
+            m.csr(),
+            &csr,
+            "sourceless fallback rebuilds from dense rows"
+        );
+    }
+
+    #[test]
+    fn with_coo_source_borrows_without_cloning() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let nnz = m.with_coo_source(|coo| coo.nnz());
+        assert_eq!(nnz, Some(4));
+        m.materialize_rows();
+        m.compact_source();
+        assert_eq!(m.with_coo_source(|coo| coo.nnz()), None);
+    }
+
     proptest! {
+        #[test]
+        fn prop_paged_matrix_matches_in_memory_layouts(
+            entries in proptest::collection::vec((0usize..10, 0usize..6, -4.0f64..4.0), 0..50),
+            page_entries in 1usize..8,
+            budget_pages in 1usize..4,
+        ) {
+            let mut coo = CooMatrix::new(10, 6);
+            for (r, c, v) in entries {
+                let v = if v < -3.5 { 0.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            let page_bytes = page_entries * 16;
+            // A cache budget smaller than the source: layouts still
+            // materialize bit-identically by streaming.
+            let m = paged_copy(&coo, page_bytes, budget_pages * page_bytes);
+            prop_assert_eq!(m.stats(), &MatrixStats::from_coo(&coo));
+            prop_assert_eq!(m.csr(), &coo.to_csr());
+            prop_assert_eq!(m.csc(), &coo.to_csc());
+        }
+
+        #[test]
+        fn prop_dense_rows_match_csr_row_views_on_dense_data(
+            rows in 1usize..6,
+            cols in 1usize..6,
+            seed in 0u64..500,
+        ) {
+            let mut coo = CooMatrix::new(rows, cols);
+            for i in 0..rows {
+                for j in 0..cols {
+                    let v = ((i * cols + j) as u64 * 2654435761 + seed) % 997;
+                    coo.push(i, j, v as f64 / 31.0 + 0.25).unwrap();
+                }
+            }
+            let dense = DataMatrix::from_coo(coo.clone());
+            dense.materialize_dense_rows();
+            let sparse = DataMatrix::from_coo(coo);
+            sparse.materialize_rows();
+            for i in 0..rows {
+                let a = dense.row(i);
+                let b = sparse.row(i);
+                prop_assert_eq!(a.indices, b.indices);
+                prop_assert_eq!(a.values, b.values);
+            }
+            prop_assert!(!dense.csr_materialized());
+        }
+
         #[test]
         fn prop_views_match_concrete_layouts(
             entries in proptest::collection::btree_map((0usize..8, 0usize..6), -4.0f64..4.0, 0..30)

@@ -6,7 +6,8 @@
 //! [`Layout`] explicitly, and the engine converts the matrix to the layout
 //! that matches the chosen access method before execution.
 
-use crate::{MatrixError, Shape};
+use crate::views::RowAccess;
+use crate::{MatrixError, RowView, Shape};
 
 /// Physical layout of a dense matrix buffer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -205,6 +206,107 @@ impl DenseMatrix {
     }
 }
 
+/// Row-major dense storage served through the sparse [`RowAccess`] trait.
+///
+/// Music/Forest-shaped fully dense matrices pay 12 bytes per element through
+/// the compressed layouts (8-byte value + 4-byte column index).  `DenseRows`
+/// stores the values row-major at 8 bytes per element and serves every row's
+/// index slice from **one shared** `0..d` arange, so the per-element index
+/// overhead drops from `4·N·d` bytes to `4·d` total while the row views —
+/// and therefore the kernels, the update order, and the convergence traces —
+/// stay bit-identical to the CSR views of a fully dense matrix.
+///
+/// This is the storage behind the planner's `Dense` layout arm; consumers
+/// keep programming against [`RowAccess`] and never see the backend change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseRows {
+    shape: Shape,
+    /// Row-major values, `shape.rows * shape.cols` long.
+    values: Vec<f64>,
+    /// The shared column arange `0..cols`, served as every row's indices.
+    indices: Vec<u32>,
+}
+
+impl DenseRows {
+    /// A zero-filled dense row store.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(cols <= u32::MAX as usize, "columns must fit u32 indices");
+        DenseRows {
+            shape: Shape::new(rows, cols),
+            values: vec![0.0; rows * cols],
+            indices: (0..cols as u32).collect(),
+        }
+    }
+
+    /// Shape of the matrix.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.shape.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.shape.cols
+    }
+
+    /// Value at `(row, col)`.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.shape.rows && col < self.shape.cols);
+        self.values[row * self.shape.cols + col]
+    }
+
+    /// Write `(row, col)` (used by the builders in `DataMatrix`).
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.shape.rows && col < self.shape.cols);
+        self.values[row * self.shape.cols + col] = value;
+    }
+
+    /// Add to `(row, col)` (COO accumulation semantics).
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.shape.rows && col < self.shape.cols);
+        self.values[row * self.shape.cols + col] += value;
+    }
+
+    /// The row-major value buffer.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Bytes held: the value buffer plus the one shared index arange.
+    pub fn size_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+            + self.indices.len() * std::mem::size_of::<u32>()
+    }
+}
+
+impl RowAccess for DenseRows {
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> RowView<'_> {
+        assert!(i < self.shape.rows, "row {i} out of range");
+        let d = self.shape.cols;
+        RowView {
+            indices: &self.indices,
+            values: &self.values[i * d..(i + 1) * d],
+        }
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        assert!(i < self.shape.rows, "row {i} out of range");
+        self.shape.cols
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -277,6 +379,53 @@ mod tests {
         m.set(0, 1, 7.0);
         assert_eq!(m.get(0, 1), 7.0);
         assert_eq!(m.col_to_vec(1), vec![7.0, 0.0]);
+    }
+
+    #[test]
+    fn dense_rows_serve_shared_arange_views() {
+        let mut m = DenseRows::zeros(3, 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                m.set(i, j, (i * 4 + j) as f64);
+            }
+        }
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m.get(2, 1), 9.0);
+        m.add(2, 1, 0.5);
+        assert_eq!(m.get(2, 1), 9.5);
+        let a = m.row(0);
+        let b = m.row(2);
+        assert_eq!(a.indices, &[0, 1, 2, 3]);
+        assert!(
+            std::ptr::eq(a.indices, b.indices),
+            "every row shares one index arange"
+        );
+        assert_eq!(b.values, &[8.0, 9.5, 10.0, 11.0]);
+        assert_eq!(m.row_nnz(1), 4);
+        // 8 bytes per element plus the single 4-byte-per-column arange.
+        assert_eq!(m.size_bytes(), 3 * 4 * 8 + 4 * 4);
+    }
+
+    #[test]
+    fn dense_rows_match_csr_views_of_a_fully_dense_matrix() {
+        // The bit-parity contract behind the Dense layout arm.
+        let mut coo = crate::CooMatrix::new(3, 3);
+        let mut dense = DenseRows::zeros(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let v = (i as f64 + 1.0) / (j as f64 + 2.0);
+                coo.push(i, j, v).unwrap();
+                dense.set(i, j, v);
+            }
+        }
+        let csr = coo.to_csr();
+        for i in 0..3 {
+            let a = dense.row(i);
+            let b = csr.row(i);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.values, b.values);
+        }
     }
 
     proptest! {

@@ -25,7 +25,16 @@
 //! * [`SparseVector`] and dense-vector kernels (dot products, axpy),
 //! * [`MatrixStats`] — NNZ statistics and the cost-ratio computation used by
 //!   the cost-based optimizer (Figure 6 / Figure 7(b) of the paper),
-//!   computable from the COO form before any layout is materialized.
+//!   computable from the COO form before any layout is materialized,
+//! * [`ooc`] — out-of-core paged storage: [`MatrixSource`] abstracts the
+//!   canonical source, [`FileBackedSource`] + [`SpillWriter`] put it on disk
+//!   as page-aligned triplet pages with a footer manifest, and [`PageCache`]
+//!   bounds resident page bytes with pin/unpin + LRU eviction so layouts
+//!   materialize by streaming without the whole source resident (the
+//!   larger-than-DRAM ClueWeb scenario of Appendix C.3),
+//! * [`DenseRows`] — dense row-major storage served through [`RowAccess`]
+//!   (8 bytes per element plus one shared index arange — the planner's
+//!   Dense layout arm for Music/Forest-shaped matrices).
 
 pub mod coo;
 pub mod csc;
@@ -33,6 +42,7 @@ pub mod csr;
 pub mod data_matrix;
 pub mod dense;
 pub mod kernels;
+pub mod ooc;
 pub mod stats;
 pub mod vector;
 pub mod views;
@@ -41,8 +51,12 @@ pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use data_matrix::{DataMatrix, RowRangeView};
-pub use dense::{DenseMatrix, Layout};
+pub use dense::{DenseMatrix, DenseRows, Layout};
 pub use kernels::{axpy_indexed, dot_indexed};
+pub use ooc::{
+    FileBackedSource, InMemorySource, MatrixSource, PageCache, PageMeta, PagedSource, SpillWriter,
+    TempSpillDir,
+};
 pub use stats::MatrixStats;
 pub use vector::{axpy, dot_dense, dot_sparse_dense, norm2, scale, SparseVector};
 pub use views::{ColAccess, ColView, RowAccess, RowView, VecView};

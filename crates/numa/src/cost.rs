@@ -27,6 +27,10 @@ pub struct MemoryCostModel {
     /// Extra cost per write when the written line is shared with workers on
     /// other sockets (coherence stall); scaled by the α factor.
     pub contended_write_ns: f64,
+    /// Cost of a cacheline streamed from the node's storage device — what a
+    /// page fault of an out-of-core source pays per line, one level below
+    /// remote DRAM in the memory hierarchy.
+    pub disk_read_ns: f64,
     /// The write-amplification factor α from Section 3.2.
     pub alpha: f64,
     /// Clock frequency, used to convert stall nanoseconds to cycles.
@@ -59,12 +63,16 @@ impl MemoryCostModel {
         // already captures how much more expensive writes are than reads on
         // this machine, so scale the read cost by α.
         let contended_write_ns = local_dram_ns * alpha / 4.0;
+        // Disk is pure bandwidth at streaming scan sizes; the per-line cost
+        // is the sequential-read rate, one hierarchy level below the QPI.
+        let disk_read_ns = CACHELINE_BYTES as f64 / (topo.disk_bw_gbs * 1.0e9) * 1.0e9;
         MemoryCostModel {
             llc_hit_ns,
             local_dram_ns,
             remote_dram_ns,
             local_write_ns,
             contended_write_ns,
+            disk_read_ns,
             alpha,
             cpu_ghz: topo.cpu_ghz,
         }
@@ -83,6 +91,14 @@ impl MemoryCostModel {
     /// Cost of reading `bytes` bytes from a remote node's DRAM.
     pub fn read_remote_dram(&self, bytes: u64) -> f64 {
         self.lines(bytes) * self.remote_dram_ns
+    }
+
+    /// Cost of reading `bytes` bytes streamed from the storage device — the
+    /// charge for the page faults of an out-of-core source, extending the
+    /// locality hierarchy (LLC → local DRAM → remote DRAM → disk) one level
+    /// down.
+    pub fn read_disk(&self, bytes: u64) -> f64 {
+        self.lines(bytes) * self.disk_read_ns
     }
 
     /// Cost of writing `bytes` bytes when `sharers` sockets share the target.
@@ -127,8 +143,23 @@ mod tests {
             let cost = MemoryCostModel::from_topology(&topo);
             assert!(cost.llc_hit_ns < cost.local_dram_ns);
             assert!(cost.local_dram_ns < cost.remote_dram_ns);
+            assert!(
+                cost.remote_dram_ns < cost.disk_read_ns,
+                "disk sits one level below remote DRAM ({} vs {})",
+                cost.remote_dram_ns,
+                cost.disk_read_ns
+            );
             assert!(cost.alpha >= 4.0 && cost.alpha <= 12.0);
         }
+    }
+
+    #[test]
+    fn disk_reads_scale_with_bytes_and_bandwidth() {
+        let cost = MemoryCostModel::from_topology(&MachineTopology::local2());
+        assert!(cost.read_disk(128) > cost.read_disk(64));
+        assert!(cost.read_disk(64) > cost.read_remote_dram(64));
+        // 64 B at 0.5 GB/s = 128 ns per line.
+        assert!((cost.disk_read_ns - 128.0).abs() < 1e-9);
     }
 
     #[test]

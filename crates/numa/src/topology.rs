@@ -38,6 +38,12 @@ pub struct MachineTopology {
     pub local_dram_bw_gbs: f64,
     /// Sustainable bandwidth across the socket interconnect (QPI), GB/s.
     pub qpi_bw_gbs: f64,
+    /// Sustainable sequential read bandwidth of the node's storage (the
+    /// disk/SSD an out-of-core source pages from), GB/s.  Paper-era machines
+    /// stream roughly half a GB/s from their arrays; the exact constant
+    /// matters less than its ratio to DRAM bandwidth (every figure is a
+    /// ratio or a crossover).
+    pub disk_bw_gbs: f64,
 }
 
 impl MachineTopology {
@@ -52,6 +58,7 @@ impl MachineTopology {
             llc_mb: 12,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 
@@ -66,6 +73,7 @@ impl MachineTopology {
             llc_mb: 24,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 
@@ -80,6 +88,7 @@ impl MachineTopology {
             llc_mb: 24,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 
@@ -94,6 +103,7 @@ impl MachineTopology {
             llc_mb: 20,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 
@@ -108,6 +118,7 @@ impl MachineTopology {
             llc_mb: 20,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 
@@ -145,6 +156,7 @@ impl MachineTopology {
             llc_mb,
             local_dram_bw_gbs: 6.0,
             qpi_bw_gbs: 11.0,
+            disk_bw_gbs: 0.5,
         }
     }
 

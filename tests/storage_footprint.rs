@@ -7,12 +7,14 @@
 //! losses, collecting statistics, or building NUMA shards.
 
 use dimmwitted::{
-    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionPlan, LayoutDecision,
-    ModelKind, ModelReplication, Optimizer, RunConfig,
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, EpochEvent, ExecutionPlan,
+    LayoutDecision, ModelKind, ModelReplication, Optimizer, ResidencyDecision, RunConfig,
 };
+use dw_data::clueweb::clueweb_like;
 use dw_data::{Dataset, PaperDataset};
-use dw_matrix::{ColAccess, DataMatrix};
+use dw_matrix::{ColAccess, DataMatrix, TempSpillDir};
 use dw_numa::MachineTopology;
+use dw_optim::TaskData;
 
 fn machine() -> MachineTopology {
     MachineTopology::local2()
@@ -258,4 +260,203 @@ fn dropping_a_required_layout_panics() {
         DataReplication::Sharding,
     );
     let _ = plan.with_layout(LayoutDecision::Csc);
+}
+
+/// The out-of-core acceptance contract: a session whose layout estimate
+/// exceeds the memory budget spills its source, runs to convergence with
+/// peak tracked resident source + page-cache bytes within the budget, and
+/// produces a convergence trace bit-identical to the fully in-memory run at
+/// every epoch.
+#[test]
+fn out_of_core_session_stays_within_budget_with_a_bit_identical_trace() {
+    let data = clueweb_like(0.05, 9);
+    let sharded_ls = |matrix: DataMatrix| {
+        AnalyticsTask::new(
+            "LS(clueweb)",
+            TaskData::supervised(matrix, data.labels.clone()),
+            ModelKind::Ls,
+        )
+    };
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    let epochs = 8;
+
+    // Reference: the fully in-memory run.
+    let in_memory = sharded_ls(DataMatrix::from_coo(data.matrix.clone()));
+    let reference = DimmWitted::on(machine())
+        .task(in_memory)
+        .plan(plan.clone())
+        .config(RunConfig::quick(epochs))
+        .until_converged(1e-9)
+        .build()
+        .run();
+
+    // Out-of-core: same task bytes, but a budget far below the layout
+    // estimate forces the paged arm.
+    let matrix = DataMatrix::from_coo(data.matrix.clone());
+    let handle = matrix.clone();
+    let layout_estimate = LayoutDecision::Csr.estimated_bytes(matrix.stats());
+    let budget = layout_estimate / 4;
+    assert!(layout_estimate > budget);
+    let spill_dir = TempSpillDir::new("dw-footprint-ooc").unwrap();
+    let mut events: Vec<EpochEvent> = Vec::new();
+    let mut stream = DimmWitted::on(machine())
+        .task(sharded_ls(matrix))
+        .plan(plan)
+        .config(RunConfig::quick(epochs))
+        .until_converged(1e-9)
+        .memory_budget(budget)
+        .spill_dir(spill_dir.path())
+        .build()
+        .stream();
+    assert_eq!(
+        stream.plan().residency,
+        ResidencyDecision::Paged {
+            budget_bytes: budget
+        }
+    );
+    for event in stream.by_ref() {
+        events.push(event);
+    }
+
+    // The source was spilled: no resident COO, and the peak of tracked
+    // resident source + cache bytes stayed within the budget.
+    assert!(handle.is_paged());
+    assert!(!handle.has_coo_source());
+    let ooc = handle.ooc_stats().expect("paged matrix tracks cache stats");
+    assert!(ooc.faults > 0, "layouts streamed from disk pages");
+    assert!(
+        ooc.peak_resident_bytes <= budget,
+        "peak source+cache bytes {} exceed the budget {}",
+        ooc.peak_resident_bytes,
+        budget
+    );
+    assert_eq!(
+        ooc.resident_bytes, 0,
+        "pages released after materialization"
+    );
+
+    // Bit-identical convergence at every epoch.
+    assert_eq!(events.len(), reference.trace.points.len());
+    for (event, point) in events.iter().zip(&reference.trace.points) {
+        assert_eq!(
+            event.loss.to_bits(),
+            point.loss.to_bits(),
+            "epoch {} loss diverged from the in-memory run",
+            event.epoch
+        );
+    }
+    // And the spill file disappears with the storage handle.
+    let spill_path = spill_dir.path().to_path_buf();
+    drop(stream);
+    drop(handle);
+    let leftovers: Vec<_> = std::fs::read_dir(&spill_path)
+        .map(|entries| entries.filter_map(|e| e.ok()).collect())
+        .unwrap_or_default();
+    assert!(
+        leftovers.is_empty(),
+        "spill files must not outlive the storage handle: {leftovers:?}"
+    );
+}
+
+#[test]
+fn dense_matrices_take_the_dense_arm_and_skip_sparse_indices() {
+    // ROADMAP item: Music/Forest-shaped dense matrices route through the
+    // dense row-major backend instead of paying 4 bytes of index per
+    // element through the sparse kernels.
+    let music = Dataset::generate(PaperDataset::Music, 83);
+    let task = AnalyticsTask::from_dataset(&music, ModelKind::Svm);
+    let matrix = task.data.matrix.clone();
+    let optimizer = Optimizer::new(machine());
+    let plan = optimizer.choose_plan(&task);
+    assert_eq!(plan.access, AccessMethod::RowWise);
+    assert_eq!(plan.layout, LayoutDecision::Dense, "dense data, dense arm");
+
+    let report = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(3))
+        .build()
+        .run();
+    assert_eq!(report.trace.epochs(), 3);
+    assert!(
+        matrix.dense_rows_materialized(),
+        "the dense store is resident"
+    );
+    assert!(
+        !matrix.csr_materialized(),
+        "the dense arm must not build CSR next to the dense store"
+    );
+    assert!(!matrix.csc_materialized());
+
+    // The dense store holds 8 bytes per element plus one shared index
+    // arange — strictly below the CSR bytes for the same fully dense data.
+    let stats = matrix.stats();
+    let dense_bytes = stats.dense_bytes + stats.cols * 4;
+    assert!(dense_bytes < stats.sparse_bytes);
+    assert_eq!(matrix.resident_bytes(), 16 * stats.nnz + dense_bytes);
+}
+
+#[test]
+fn importance_sampling_on_the_dense_arm_reads_the_dense_store() {
+    // Leverage scores are generic over RowAccess: an Importance plan on
+    // dense data must feed them from the dense row store, not materialize
+    // CSR beside it.
+    let music = Dataset::generate(PaperDataset::Music, 85);
+    let task = AnalyticsTask::from_dataset(&music, ModelKind::Ls);
+    let matrix = task.data.matrix.clone();
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Importance { epsilon: 0.5 },
+    )
+    .with_workers(4)
+    .with_layout(LayoutDecision::Dense);
+    let report = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(2))
+        .build()
+        .run();
+    assert_eq!(report.trace.epochs(), 2);
+    assert!(matrix.dense_rows_materialized());
+    assert!(
+        !matrix.csr_materialized(),
+        "leverage scores must not force the sparse row layout"
+    );
+}
+
+#[test]
+fn dense_arm_traces_match_the_sparse_route_bit_for_bit() {
+    // The safety contract of the Dense arm: row views off the dense store
+    // are bit-identical to CSR views of a fully dense matrix, so the
+    // convergence trace cannot move.
+    let music = Dataset::generate(PaperDataset::Music, 84);
+    let plan_dense =
+        Optimizer::new(machine()).choose_plan(&AnalyticsTask::from_dataset(&music, ModelKind::Lr));
+    assert_eq!(plan_dense.layout, LayoutDecision::Dense);
+    let plan_csr = plan_dense.clone().with_layout(LayoutDecision::Csr);
+
+    let run = |plan: ExecutionPlan| {
+        let fresh = Dataset::generate(PaperDataset::Music, 84);
+        let task = AnalyticsTask::from_dataset(&fresh, ModelKind::Lr);
+        DimmWitted::on(machine())
+            .task(task)
+            .plan(plan)
+            .config(RunConfig::quick(4))
+            .build()
+            .run()
+    };
+    let dense = run(plan_dense);
+    let sparse = run(plan_csr);
+    assert_eq!(dense.trace.points.len(), sparse.trace.points.len());
+    for (a, b) in dense.trace.points.iter().zip(&sparse.trace.points) {
+        assert_eq!(a.loss.to_bits(), b.loss.to_bits());
+    }
 }
