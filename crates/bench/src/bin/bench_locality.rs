@@ -11,6 +11,10 @@
 //!   "strategy × groups" table of EXPERIMENTS.md),
 //! * the measured statistical-efficiency cost of the reduced shuffle
 //!   (final loss after a fixed epoch budget, per scheduler),
+//! * the **columnar sweep**: the same locality/steals/epoch-time records
+//!   for an SCD-family plan over zero-copy column shards (groups ×
+//!   scheduler × steal budget), asserting the locality-first speedup holds
+//!   the ≥2× Appendix-A band on the local4/local8 topologies,
 //! * replica-set byte accounting (zero-copy shards vs full references),
 //! * wall-clock cost of `EpochStream::replan` against a cold session on an
 //!   unmaterialized task — the plan-switching claim.
@@ -155,6 +159,101 @@ fn main() {
                 value: sim.seconds,
                 unit: "s",
             });
+        }
+    }
+
+    // --- Columnar (SCD-family) sweep: measured locality / steals / final
+    // --- loss per scheduler × steal budget over zero-copy column shards,
+    // --- and modelled epoch latency per scheduler × group count. ---
+    let qp_dataset = Dataset::generate(PaperDataset::AmazonQp, 1);
+    let qp_task = AnalyticsTask::from_dataset(&qp_dataset, ModelKind::Qp);
+    let columnar_plan = |machine: &MachineTopology, scheduler: ItemScheduler| {
+        ExecutionPlan::new(
+            machine,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4)
+        .with_scheduler(scheduler)
+    };
+    for (name, scheduler) in schedulers {
+        let events: Vec<EpochEvent> = DimmWitted::on(machine.clone())
+            .task(qp_task.clone())
+            .plan(columnar_plan(&machine, scheduler))
+            .config(RunConfig::quick(epochs))
+            .build()
+            .stream()
+            .collect();
+        let mean_locality =
+            events.iter().map(|e| e.data_locality).sum::<f64>() / events.len() as f64;
+        let steals: usize = events.iter().map(|e| e.steals).sum();
+        let final_loss = events.last().expect("at least one epoch").loss;
+        records.push(Record {
+            group: "columnar_locality",
+            name: format!("data_locality/{name}"),
+            value: mean_locality,
+            unit: "fraction",
+        });
+        records.push(Record {
+            group: "columnar_locality",
+            name: format!("steals/{name}"),
+            value: steals as f64,
+            unit: "items",
+        });
+        records.push(Record {
+            group: "columnar_stat_efficiency",
+            name: format!("final_loss_{epochs}_epochs/{name}"),
+            value: final_loss,
+            unit: "loss",
+        });
+    }
+    for m in [
+        MachineTopology::local2(),
+        MachineTopology::local4(),
+        MachineTopology::local8(),
+    ] {
+        let mut seconds = [0.0f64; 2];
+        for (slot, (name, scheduler)) in [
+            ("round_robin", ItemScheduler::RoundRobin),
+            ("locality_first", ItemScheduler::default()),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let plan = columnar_plan(&m, scheduler).with_workers(m.total_cores());
+            let sim = dimmwitted::sim_exec::simulate_epoch(
+                &qp_task.data.stats(),
+                qp_task.objective.row_update_density(),
+                &plan,
+                &m,
+            );
+            seconds[slot] = sim.seconds;
+            records.push(Record {
+                group: "columnar_epoch_time",
+                name: format!("sim_seconds/{}groups/{name}", m.nodes),
+                value: sim.seconds,
+                unit: "s",
+            });
+        }
+        let speedup = seconds[0] / seconds[1];
+        records.push(Record {
+            group: "columnar_epoch_time",
+            name: format!("locality_first_speedup/{}groups", m.nodes),
+            value: speedup,
+            unit: "x",
+        });
+        // The acceptance bar of the columnar sharding refactor: on the
+        // multi-socket simulated topologies, locality-first dealing over
+        // column shards must cut the modelled SCD epoch time at least 2x
+        // against round-robin (the Appendix-A NUMA-local band).  Asserted
+        // here so the CI smoke run enforces it on every build.
+        if m.nodes >= 4 {
+            assert!(
+                speedup >= 2.0,
+                "{}: columnar locality-first speedup {speedup:.2} fell below the 2x bar",
+                m.name
+            );
         }
     }
 

@@ -9,7 +9,10 @@
 //! the machine topology, and a [`dw_numa::DataPlacement`], and the executors
 //! read every item through it.
 //!
-//! Two replica shapes exist:
+//! Three replica shapes exist, the shard axis derived from the plan's
+//! access method (Section 3.4: "we implement Sharding by randomly
+//! partitioning the rows (resp. columns) of a data matrix for the row-wise
+//! (resp. column-wise) access method"):
 //!
 //! * **Row shards** — for row-wise Sharding on SGD-family tasks (SVM / LR /
 //!   LS), group `g` owns the contiguous row range `bounds[g]..bounds[g+1]`
@@ -24,23 +27,33 @@
 //!   accounting surfaces.  Row values, labels, and the column ids the
 //!   update writes are identical to the unsharded matrix, so execution is
 //!   bit-for-bit unchanged.
-//! * **Full references** — for FullReplication, for columnar access (whose
-//!   column-to-row updates read arbitrary rows and global vertex degrees,
-//!   which a shard cannot serve), and for graph-family row access (whose
-//!   per-edge updates read global degrees): every group holds the complete
-//!   task data.  On this single-socket host the "copies" share one
-//!   allocation; the per-replica byte accounting still reports the bytes a
-//!   real per-node copy would occupy.
+//! * **Column shards** — for columnar Sharding (ColumnWise / ColumnToRow,
+//!   the SCD family), group `g` owns the contiguous column range
+//!   `bounds[g]..bounds[g+1]` as a zero-copy [`TaskData::col_range`] shard:
+//!   a [`dw_matrix::ColRangeView`] window into the shared CSC.  Columnar
+//!   items are model coordinates — global by nature — so the shard keeps
+//!   global ids ([`DataReplicaSet::resolve`] passes the item through
+//!   unchanged; the shard translates its column reads internally) and reads
+//!   the rows `S(j)` expands into through the shared base, which keeps
+//!   sharded columnar execution bit-for-bit identical too.
+//! * **Full references** — for FullReplication, and for graph-family row
+//!   access (whose per-edge updates read global vertex degrees, which a row
+//!   shard cannot serve): every group holds the complete task data.  On
+//!   this single-socket host the "copies" share one allocation; for
+//!   FullReplication the per-replica byte accounting still reports the
+//!   bytes a real per-node copy would occupy, while a Sharding plan that
+//!   falls back to full references reports each group's *share* of the one
+//!   shared allocation — the region a real machine would place per node.
 //!
 //! The contiguous partition is what the locality-first scheduler of
 //! [`crate::plan`] deals against: [`DataReplicaSet::owner_of`] is the shared
 //! ownership oracle, so the scheduler and the storage layer can never
-//! disagree about which node owns a row.
+//! disagree about which node owns an item, on either axis.
 
-use crate::access::AccessMethod;
 use crate::plan::{EpochAssignment, ExecutionPlan};
 use crate::replication::DataReplication;
 use crate::task::AnalyticsTask;
+use dw_matrix::Axis;
 use dw_numa::{DataPlacement, MachineTopology, PlacementPolicy};
 use dw_optim::TaskData;
 use std::sync::Arc;
@@ -65,12 +78,13 @@ impl DataReplica {
     }
 }
 
-/// Contiguous balanced row partition: `bounds[g]..bounds[g+1]` is group
-/// `g`'s range; the first `rows % groups` groups get one extra row.
-pub fn shard_bounds(rows: usize, groups: usize) -> Vec<usize> {
+/// Contiguous balanced partition of `items` rows or columns:
+/// `bounds[g]..bounds[g+1]` is group `g`'s range; the first
+/// `items % groups` groups get one extra item.
+pub fn shard_bounds(items: usize, groups: usize) -> Vec<usize> {
     let groups = groups.max(1);
-    let base = rows / groups;
-    let extra = rows % groups;
+    let base = items / groups;
+    let extra = items % groups;
     let mut bounds = Vec::with_capacity(groups + 1);
     bounds.push(0);
     let mut acc = 0;
@@ -81,11 +95,12 @@ pub fn shard_bounds(rows: usize, groups: usize) -> Vec<usize> {
     bounds
 }
 
-/// Cached row-ownership map for sharded replicas: the partition bounds,
-/// computed once at build time (O(groups) memory, O(log groups) lookups).
+/// Cached item-ownership map for sharded replicas: the partition bounds
+/// along the shard axis, computed once at build time (O(groups) memory,
+/// O(log groups) lookups).
 #[derive(Debug)]
 struct OwnerMap {
-    /// `bounds[g]..bounds[g+1]` is the row range group `g` owns.
+    /// `bounds[g]..bounds[g+1]` is the row/column range group `g` owns.
     bounds: Vec<usize>,
 }
 
@@ -101,6 +116,8 @@ impl OwnerMap {
 struct Inner {
     replicas: Vec<DataReplica>,
     owners: Option<OwnerMap>,
+    /// The axis the shards cut (meaningful only when `owners` is set).
+    axis: Axis,
     placement: DataPlacement,
 }
 
@@ -130,42 +147,48 @@ impl DataReplicaSet {
         let stats = task.data.matrix.stats().clone();
         let full_bytes = stats.sparse_bytes as u64;
 
-        // Real row shards only where a shard serves every read the update
-        // makes: row-wise Sharding on the SGD-family models.  Graph models
-        // read global vertex degrees from their row updates, and columnar
-        // access reads arbitrary rows — both get full references.  Shards
-        // are also a per-*node* construct (Appendix A places one data region
-        // per NUMA node): a PerCore plan has one locality group per worker,
-        // and cutting a shard per worker would tax session setup for
-        // regions that share a node's DRAM anyway.
-        let shardable = plan.access == AccessMethod::RowWise
-            && plan.data_replication == DataReplication::Sharding
-            && task.kind.is_sgd_family()
-            && groups > 1
-            && groups <= machine.nodes
-            && task.data.examples() > 0;
+        let axis = Self::shard_axis_for(plan);
+        let shardable = Self::would_shard(plan, machine, task);
 
         let (shards, owners): (Vec<Arc<TaskData>>, Option<OwnerMap>) = if shardable {
-            // The shards are zero-copy windows into the shared row backend;
-            // make sure one exists so no shard read pays a lazy conversion
-            // mid-epoch.  (A no-op under the Dense layout arm, whose row
-            // store the session already materialized.)
-            task.data.matrix.materialize_row_access();
-            let bounds = shard_bounds(task.data.examples(), groups);
+            // The shards are zero-copy windows into the shared compressed
+            // backend; make sure one exists so no shard read pays a lazy
+            // conversion mid-epoch.  (For rows this is a no-op under the
+            // Dense layout arm, whose row store the session already
+            // materialized.)
+            let bounds = match axis {
+                Axis::Rows => {
+                    task.data.matrix.materialize_row_access();
+                    shard_bounds(task.data.examples(), groups)
+                }
+                Axis::Cols => {
+                    task.data.matrix.materialize_cols();
+                    shard_bounds(task.data.dim(), groups)
+                }
+            };
             let shards = (0..groups)
-                .map(|g| Arc::new(task.data.row_range(bounds[g], bounds[g + 1])))
+                .map(|g| {
+                    let (start, end) = (bounds[g], bounds[g + 1]);
+                    Arc::new(match axis {
+                        Axis::Rows => task.data.row_range(start, end),
+                        Axis::Cols => task.data.col_range(start, end),
+                    })
+                })
                 .collect();
             (shards, Some(OwnerMap { bounds }))
         } else {
             ((0..groups).map(|_| Arc::clone(&task.data)).collect(), None)
         };
 
-        // The placement still models each group's *region* (the slice of the
-        // shared row layout a real machine would first-touch onto the node),
-        // even though a zero-copy shard duplicates none of it.
+        // The placement models each group's *region* (the slice of the
+        // shared layout a real machine would first-touch onto the node),
+        // even though a zero-copy shard duplicates none of it.  A Sharding
+        // plan that fell back to full references still *intends* a
+        // partition, and its groups share one allocation — so each region
+        // is a groups-th of the whole, keeping the summed residency
+        // truthful (the seed charged a dedicated full copy per node here).
         let bytes_per_group = match plan.data_replication {
-            DataReplication::Sharding if owners.is_some() => (full_bytes / groups as u64).max(1),
-            DataReplication::Sharding => full_bytes,
+            DataReplication::Sharding => (full_bytes / groups as u64).max(1),
             DataReplication::FullReplication | DataReplication::Importance { .. } => full_bytes,
         };
         let placement = DataPlacement::place(
@@ -200,8 +223,49 @@ impl DataReplicaSet {
             inner: Arc::new(Inner {
                 replicas,
                 owners,
+                axis,
                 placement,
             }),
+        }
+    }
+
+    /// The axis [`DataReplicaSet::build`] shards along for `plan`'s access
+    /// method (Section 3.4): row-wise plans partition rows, columnar plans
+    /// partition columns.
+    pub fn shard_axis_for(plan: &ExecutionPlan) -> Axis {
+        if plan.access.is_columnar() {
+            Axis::Cols
+        } else {
+            Axis::Rows
+        }
+    }
+
+    /// Whether [`DataReplicaSet::build`] would cut real shards for this
+    /// plan/machine/task — the single shardability rule shared with the
+    /// steal-budget tuning ([`crate::plan::auto_steal_scheduler`]), so the
+    /// two can never disagree.
+    ///
+    /// Shards are a per-*node* construct (Appendix A places one data region
+    /// per NUMA node): a PerCore plan has one locality group per worker, and
+    /// cutting a shard per worker would tax session setup for regions that
+    /// share a node's DRAM anyway — so shards only exist when the groups map
+    /// onto nodes.  Row shards additionally require an SGD-family task:
+    /// graph models read global vertex degrees from their row updates, which
+    /// a row shard cannot serve.  Column shards carry no such restriction —
+    /// they keep global ids and read `S(j)`'s rows through the shared base,
+    /// so every columnar update is served exactly.
+    pub fn would_shard(
+        plan: &ExecutionPlan,
+        machine: &MachineTopology,
+        task: &AnalyticsTask,
+    ) -> bool {
+        let groups = plan.locality_groups(machine).max(1);
+        let node_mapped = plan.data_replication == DataReplication::Sharding
+            && groups > 1
+            && groups <= machine.nodes;
+        match Self::shard_axis_for(plan) {
+            Axis::Rows => node_mapped && task.kind.is_sgd_family() && task.data.examples() > 0,
+            Axis::Cols => node_mapped && task.data.dim() > 0,
         }
     }
 
@@ -215,9 +279,15 @@ impl DataReplicaSet {
         self.inner.replicas.is_empty()
     }
 
-    /// Whether the groups hold real row shards (vs full references).
+    /// Whether the groups hold real shards (vs full references).
     pub fn is_sharded(&self) -> bool {
         self.inner.owners.is_some()
+    }
+
+    /// The axis the shards cut, when the set holds real shards (`None` for
+    /// full-reference sets).
+    pub fn shard_axis(&self) -> Option<Axis> {
+        self.inner.owners.as_ref().map(|_| self.inner.axis)
     }
 
     /// The replica serving locality group `group`.
@@ -230,30 +300,40 @@ impl DataReplicaSet {
         &self.inner.placement
     }
 
-    /// The locality group that owns global row `item`, when the set holds
-    /// real row shards (`None` for full-reference sets, where every group
-    /// owns everything).  This is the cached owner map the locality-first
+    /// The locality group that owns global item `item` (a row id for row
+    /// shards, a column id for column shards), when the set holds real
+    /// shards (`None` for full-reference sets, where every group owns
+    /// everything).  This is the cached owner map the locality-first
     /// scheduler deals against.
     #[inline]
     pub fn owner_of(&self, item: usize) -> Option<usize> {
         self.inner.owners.as_ref().map(|o| o.owner_of(item))
     }
 
-    /// Resolve a worker's item to the data it reads: `(data, local_item,
+    /// Resolve a worker's item to the data it reads: `(data, item_for_data,
     /// local)` where `local` says whether the read stays in the worker's own
     /// locality group.
     ///
-    /// For sharded sets the item (a global row id) maps to the owning
-    /// group's shard and the row's local index there; for full references
-    /// the worker reads its own group's copy under the identity mapping.
+    /// For row-sharded sets the item (a global row id) maps to the owning
+    /// group's shard and the row's local index there (the shard's labels
+    /// are sliced to match).  For column-sharded sets the item is a **model
+    /// coordinate** — global by nature, since the update function addresses
+    /// the model, the costs, and `S(j)`'s rows by global ids — so it passes
+    /// through unchanged and the owning shard translates its column reads
+    /// internally.  Full references read the worker's own group's copy
+    /// under the identity mapping.
     #[inline]
     pub fn resolve(&self, group: usize, item: usize) -> (&TaskData, usize, bool) {
         match &self.inner.owners {
             Some(owners) => {
                 let owner = owners.owner_of(item);
+                let local = match self.inner.axis {
+                    Axis::Rows => item - owners.bounds[owner],
+                    Axis::Cols => item,
+                };
                 (
                     self.inner.replicas[owner].data.as_ref(),
-                    item - owners.bounds[owner],
+                    local,
                     owner == group,
                 )
             }
@@ -296,6 +376,7 @@ impl DataReplicaSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::access::AccessMethod;
     use crate::plan::build_epoch_assignment;
     use crate::replication::ModelReplication;
     use crate::task::ModelKind;
@@ -378,27 +459,105 @@ mod tests {
     }
 
     #[test]
-    fn full_replication_and_columnar_share_full_references() {
+    fn full_replication_shares_full_references() {
         let task = svm_task();
-        for p in [
-            plan(
-                AccessMethod::RowWise,
-                ModelReplication::PerNode,
-                DataReplication::FullReplication,
-            ),
-            plan(
-                AccessMethod::ColumnToRow,
-                ModelReplication::PerNode,
-                DataReplication::Sharding,
-            ),
-        ] {
+        let p = plan(
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        assert!(!set.is_sharded());
+        assert_eq!(set.shard_axis(), None);
+        let (data, local, is_local) = set.resolve(1, 5);
+        assert_eq!(local, 5);
+        assert!(is_local);
+        assert_eq!(data.examples(), task.data.examples());
+    }
+
+    #[test]
+    fn columnar_sharding_builds_real_column_shards() {
+        let task = svm_task();
+        for access in [AccessMethod::ColumnWise, AccessMethod::ColumnToRow] {
+            let p = plan(access, ModelReplication::PerNode, DataReplication::Sharding);
             let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
-            assert!(!set.is_sharded());
-            let (data, local, is_local) = set.resolve(1, 5);
-            assert_eq!(local, 5);
-            assert!(is_local);
-            assert_eq!(data.examples(), task.data.examples());
+            assert!(set.is_sharded(), "{access}");
+            assert_eq!(set.shard_axis(), Some(Axis::Cols), "{access}");
+            assert_eq!(set.len(), 2);
+            // NUMA-aware placement: group g lives on node g.
+            assert_eq!(set.replica(0).node, 0);
+            assert_eq!(set.replica(1).node, 1);
+            // Shards partition the columns.
+            let shard_cols: usize = (0..set.len())
+                .map(|g| set.replica(g).data().matrix.cols())
+                .sum();
+            assert_eq!(shard_cols, task.data.dim());
+            // Shards are zero-copy windows over the shared CSC: servable
+            // column-wise, no owned layouts, no element bytes of their own.
+            for g in 0..set.len() {
+                let shard = set.replica(g).data();
+                assert!(shard.matrix.csc_materialized());
+                assert!(!shard.matrix.csr_materialized());
+                assert!(shard.matrix.col_window().is_some());
+                assert_eq!(shard.matrix.resident_bytes(), 0);
+            }
+            assert_eq!(set.total_bytes(), 0, "column shards are views, not copies");
         }
+    }
+
+    #[test]
+    fn resolved_columns_are_bit_identical_to_the_full_matrix() {
+        // The determinism contract of the columnar shard indirection: every
+        // resolved column — and every row its S(j) expansion reads — serves
+        // exactly the bytes the unsharded matrix serves, under global ids.
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        for j in 0..task.data.dim() {
+            let (shard, item, _) = set.resolve(0, j);
+            assert_eq!(item, j, "columnar items keep their global coordinate");
+            let shard_col = shard.col(j);
+            let full_col = task.data.col(j);
+            assert_eq!(shard_col.indices, full_col.indices, "col {j}");
+            assert_eq!(
+                shard_col
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                full_col
+                    .values
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+                "col {j}"
+            );
+            // The rows S(j) expands into are the base's full rows.
+            for i in shard_col.rows().take(3) {
+                assert_eq!(shard.row(i).indices, task.data.row(i).indices, "row {i}");
+                assert_eq!(shard.labels[i], task.data.labels[i], "label {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn columnar_percore_plans_fall_back_to_full_references() {
+        // Shards are a per-node construct on either axis: a PerCore plan's
+        // groups outnumber the nodes, so columnar Sharding resolves to the
+        // full data exactly as the row path does.
+        let task = svm_task();
+        let p = plan(
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerCore,
+            DataReplication::Sharding,
+        );
+        let set = DataReplicaSet::build(&p, &machine(), PlacementPolicy::NumaAware, &task);
+        assert!(!set.is_sharded());
+        assert_eq!(set.len(), 4);
     }
 
     #[test]
@@ -567,6 +726,88 @@ mod tests {
         // FullReplication costs ~groups× the sharded footprint.
         assert!(full.total_bytes() >= sharded.total_bytes() * 3 / 2);
         assert!(!full.is_empty());
+    }
+
+    #[test]
+    fn sharding_without_shards_reports_the_shared_allocation_once() {
+        // Regression for the byte-accounting fix: a Sharding plan that falls
+        // back to full references (graph row access reads global degrees)
+        // holds ONE shared allocation — the summed replica residency must be
+        // ~the full bytes split across groups, not a dedicated full copy
+        // per node as FullReplication models.
+        let task = AnalyticsTask::from_dataset(
+            &Dataset::generate(PaperDataset::AmazonQp, 3),
+            ModelKind::Qp,
+        );
+        let m = machine();
+        let full_bytes = task.data.matrix.stats().sparse_bytes as u64;
+        let sharding = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        assert!(!sharding.is_sharded(), "graph tasks never shard rows");
+        let total = sharding.total_bytes();
+        assert!(
+            total <= full_bytes && total >= full_bytes - 2,
+            "residency {total} should be the one shared allocation ({full_bytes}), not a copy per node"
+        );
+        let replication = DataReplicaSet::build(
+            &plan(
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            ),
+            &m,
+            PlacementPolicy::NumaAware,
+            &task,
+        );
+        assert_eq!(replication.total_bytes(), 2 * full_bytes);
+    }
+
+    #[test]
+    fn columnar_locality_and_stealing_follow_the_scheduler() {
+        // The column mirror of the row locality/stealing contracts: owner-
+        // directed dealing keeps every column read group-local, round-robin
+        // dealing leaves ~1/groups local, and a steal budget moves columns
+        // cross-group only on imbalance.
+        let task = svm_task();
+        let m = machine();
+        let base = plan(
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        let rr = base
+            .clone()
+            .with_scheduler(crate::plan::ItemScheduler::RoundRobin);
+        let set = DataReplicaSet::build(&rr, &m, PlacementPolicy::NumaAware, &task);
+        let assignment = build_epoch_assignment(&rr, &m, &task.data, 0, 1, None, Some(&set));
+        let fraction = set.local_read_fraction(&assignment);
+        assert!((0.3..=0.7).contains(&fraction), "local fraction {fraction}");
+
+        let lf = base.clone().with_steal_budget(0);
+        let set = DataReplicaSet::build(&lf, &m, PlacementPolicy::NumaAware, &task);
+        let assignment = build_epoch_assignment(&lf, &m, &task.data, 0, 1, None, Some(&set));
+        assert_eq!(set.local_read_fraction(&assignment), 1.0);
+        assert_eq!(assignment.steals(), 0);
+        // Every column is dealt exactly once.
+        assert_eq!(assignment.total_items(), task.data.dim());
+
+        // 3 workers over 2 nodes: imbalance forces cross-group steals of
+        // columns, which the locality accounting charges.
+        let stealing = base.with_workers(3).with_steal_budget(10_000);
+        let set = DataReplicaSet::build(&stealing, &m, PlacementPolicy::NumaAware, &task);
+        let balanced = build_epoch_assignment(&stealing, &m, &task.data, 0, 1, None, Some(&set));
+        assert!(balanced.steals() > 0);
+        assert!(set.local_read_fraction(&balanced) < 1.0);
+        let lens: Vec<usize> = balanced.workers.iter().map(|w| w.items.len()).collect();
+        assert!(lens.iter().max().unwrap() - lens.iter().min().unwrap() <= 1);
     }
 
     #[test]

@@ -43,10 +43,13 @@ impl Default for ItemScheduler {
     /// worker count that is a multiple of the group count (every preset
     /// machine's default) also perfectly balanced.  When workers do not
     /// divide evenly across groups, a zero budget trades balance for
-    /// locality (the under-staffed group's workers carry more items);
-    /// set a budget via [`ExecutionPlan::with_steal_budget`] to even the
-    /// load — choosing it automatically from the measured imbalance is the
-    /// steal-budget auto-tuning item on the roadmap.
+    /// locality (the under-staffed group's workers carry more items); set a
+    /// budget via [`ExecutionPlan::with_steal_budget`] to even the load, or
+    /// let the engine choose: the optimizer derives it from the group
+    /// imbalance and the machine's remote-read premium
+    /// ([`tuned_steal_budget`]), and
+    /// [`crate::SessionBuilder::auto_steal_budget`] additionally adapts it
+    /// across epochs from the measured `EpochEvent::steals`.
     fn default() -> Self {
         ItemScheduler::LocalityFirst { steal_budget: 0 }
     }
@@ -308,9 +311,12 @@ impl ExecutionPlan {
 
     /// The fraction of data reads the plan's scheduler keeps node-local on
     /// `machine` — the quantity the hardware simulator charges remote DRAM
-    /// for.  Locality-first dealing keeps every sharded row-wise read
-    /// local; round-robin dealing over per-node row shards leaves only
-    /// ~1/groups of them local.
+    /// for.  Locality-first dealing keeps every sharded read local;
+    /// round-robin dealing over per-node shards leaves only ~1/groups of
+    /// them local.  The model is **axis-generic**: it applies equally to
+    /// row shards (row-wise access) and column shards (the SCD-family
+    /// ColumnWise / ColumnToRow methods), since both partition their item
+    /// space across the nodes the same way.
     ///
     /// This mirrors the shardability rule of
     /// [`crate::DataReplicaSet::build`]: shards (and therefore non-local
@@ -318,15 +324,14 @@ impl ExecutionPlan {
     /// (`groups <= nodes`), so a PerCore plan — whose replica set falls
     /// back to full references — is fully local under either scheduler.
     /// It is a *model*: the task-dependent refinements the plan cannot see
-    /// (graph-family tasks never shard; a steal budget can move a few
+    /// (graph-family tasks never shard rows; a steal budget can move a few
     /// items cross-node under imbalance) are measured by the session as
     /// `EpochEvent::data_locality` instead.
     pub fn expected_data_locality(&self, machine: &MachineTopology) -> f64 {
         let groups = self.locality_groups(machine);
         match self.scheduler {
             ItemScheduler::RoundRobin
-                if self.access == AccessMethod::RowWise
-                    && self.data_replication == DataReplication::Sharding
+                if self.data_replication == DataReplication::Sharding
                     && groups > 1
                     && groups <= machine.nodes =>
             {
@@ -505,11 +510,7 @@ impl EpochAssignment {
             // Spread workers across nodes round-robin (the NUMA-aware
             // placement of Appendix A).
             let node = w % machine.nodes;
-            let replica = match plan.model_replication {
-                ModelReplication::PerCore => w,
-                ModelReplication::PerNode => node.min(replicas - 1),
-                ModelReplication::PerMachine => 0,
-            };
+            let replica = worker_replica(plan.model_replication, machine, replicas, w);
             match self.workers.get_mut(w) {
                 Some(assignment) => {
                     assignment.worker = w;
@@ -547,11 +548,13 @@ impl EpochAssignment {
     /// allocations (the shuffle buffer lives in the assignment and survives
     /// both epochs and replans).
     ///
-    /// `replicas` is the session's data-replica set: when it holds real row
-    /// shards and the plan's scheduler is [`ItemScheduler::LocalityFirst`],
-    /// sharded dealing becomes owner-directed (each group drains its own
-    /// shard first, then under-loaded workers steal cross-group within the
-    /// plan's steal budget).  Without a sharded replica set — or under
+    /// `replicas` is the session's data-replica set: when it holds real
+    /// shards — row shards for row-wise plans, column shards for the
+    /// columnar methods — and the plan's scheduler is
+    /// [`ItemScheduler::LocalityFirst`], sharded dealing becomes
+    /// owner-directed (each group drains its own shard first, then
+    /// under-loaded workers steal cross-group within the plan's steal
+    /// budget).  Without a sharded replica set — or under
     /// [`ItemScheduler::RoundRobin`] — dealing is the classic global
     /// round-robin.
     ///
@@ -658,6 +661,104 @@ impl EpochAssignment {
         self.groups = groups;
         self.scratch = scratch;
         self.cursors = cursors;
+    }
+}
+
+/// The locality group (model replica) worker `w` maps to — the single
+/// source of truth shared by [`EpochAssignment::remap`] and the
+/// steal-budget tuning, so the scheduler and the budget derivation can
+/// never disagree about which group a worker staffs.
+fn worker_replica(
+    model_replication: ModelReplication,
+    machine: &MachineTopology,
+    replicas: usize,
+    w: usize,
+) -> usize {
+    let node = w % machine.nodes;
+    match model_replication {
+        ModelReplication::PerCore => w,
+        ModelReplication::PerNode => node.min(replicas - 1),
+        ModelReplication::PerMachine => 0,
+    }
+}
+
+/// Derive a locality-first steal budget from the plan's group imbalance and
+/// the machine's remote-read premium (the ROADMAP rule: steal while
+/// `remote_read_cost < idle_cost`), replacing the fixed per-epoch constant.
+///
+/// Owner-directed dealing gives each group its shard's ~`items/groups`
+/// items, split over the group's workers.  When the worker count does not
+/// divide evenly across the groups, the under-staffed groups' workers carry
+/// more items than the mean — `excess` items sit above the balanced
+/// waterline and are candidates to move.  A thief absorbs a stolen item at
+/// the remote-DRAM premium (it reads the owner's shard across the QPI), so
+/// each unit of idle capacity absorbs only `1/premium` items: the
+/// profitable budget is `excess / premium`, after which stealing more would
+/// cost the thieves more time than the overloaded workers save.
+///
+/// Returns 0 for plan shapes that build no shards (non-Sharding
+/// replication, one group, groups beyond the node count), for empty item
+/// spaces, and for evenly staffed groups (owner-directed dealing is already
+/// balanced).  This is the arithmetic core: it cannot see the *task*, so
+/// task-dependent shardability (graph-family row-wise plans never shard)
+/// is gated by [`auto_steal_scheduler`], which callers should prefer.
+pub fn tuned_steal_budget(plan: &ExecutionPlan, machine: &MachineTopology, items: usize) -> usize {
+    let groups = plan.locality_groups(machine).max(1);
+    if plan.data_replication != DataReplication::Sharding
+        || groups <= 1
+        || groups > machine.nodes
+        || items == 0
+    {
+        return 0;
+    }
+    let workers = plan.workers.max(1);
+    let mut staffing = vec![0usize; groups];
+    for w in 0..workers {
+        staffing[worker_replica(plan.model_replication, machine, groups, w)] += 1;
+    }
+    if staffing.iter().all(|&c| c == staffing[0]) {
+        return 0;
+    }
+    let mean = items as f64 / workers as f64;
+    let per_group = items as f64 / groups as f64;
+    let mut excess = 0.0;
+    for &c in &staffing {
+        if c == 0 {
+            continue;
+        }
+        let load = per_group / c as f64;
+        if load > mean {
+            excess += (load - mean) * c as f64;
+        }
+    }
+    let cost = dw_numa::MemoryCostModel::from_topology(machine);
+    let premium = (cost.remote_dram_ns / cost.local_dram_ns).max(1.0);
+    (excess / premium).ceil() as usize
+}
+
+/// The auto-tuned locality-first scheduler for `plan` on `task`: a steal
+/// budget derived by [`tuned_steal_budget`] over the shard axis's item
+/// space, and zero whenever [`DataReplicaSet::would_shard`] says the
+/// plan/task combination builds no shards (owner-directed dealing — and
+/// therefore stealing — only exists over real shards).
+///
+/// This is the single derivation shared by the optimizer's plan choice and
+/// the session's `auto_steal_budget` mode, so the two can never disagree.
+pub fn auto_steal_scheduler(
+    plan: &ExecutionPlan,
+    machine: &MachineTopology,
+    task: &crate::task::AnalyticsTask,
+) -> ItemScheduler {
+    if !DataReplicaSet::would_shard(plan, machine, task) {
+        return ItemScheduler::LocalityFirst { steal_budget: 0 };
+    }
+    let items = if plan.access.is_columnar() {
+        task.data.dim()
+    } else {
+        task.data.examples()
+    };
+    ItemScheduler::LocalityFirst {
+        steal_budget: tuned_steal_budget(plan, machine, items),
     }
 }
 
@@ -980,6 +1081,175 @@ mod tests {
                 assert!(item < 8, "column index {item} out of bounds");
             }
         }
+    }
+
+    #[test]
+    fn expected_locality_models_both_shard_axes() {
+        let m = local2();
+        for access in AccessMethod::all() {
+            let rr = ExecutionPlan::new(
+                &m,
+                access,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            )
+            .with_scheduler(ItemScheduler::RoundRobin);
+            assert_eq!(rr.expected_data_locality(&m), 0.5, "{access}");
+            let lf = rr.clone().with_steal_budget(0);
+            assert_eq!(lf.expected_data_locality(&m), 1.0, "{access}");
+        }
+        // Plans that build no shards are fully local under either scheduler.
+        let per_core = ExecutionPlan::new(
+            &m,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerCore,
+            DataReplication::Sharding,
+        )
+        .with_scheduler(ItemScheduler::RoundRobin);
+        assert_eq!(per_core.expected_data_locality(&m), 1.0);
+        let full = ExecutionPlan::new(
+            &m,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::FullReplication,
+        )
+        .with_scheduler(ItemScheduler::RoundRobin);
+        assert_eq!(full.expected_data_locality(&m), 1.0);
+    }
+
+    #[test]
+    fn tuned_steal_budget_follows_imbalance_and_premium() {
+        let m = local2();
+        let base = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        );
+        // Evenly staffed groups need no stealing.
+        assert_eq!(
+            tuned_steal_budget(&base.clone().with_workers(4), &m, 1000),
+            0
+        );
+        // 3 workers over 2 groups: group 1's lone worker carries 500 items
+        // against a mean of ~333 — the excess (~167) is discounted by the
+        // remote-read premium.
+        let imbalanced = base.clone().with_workers(3);
+        let budget = tuned_steal_budget(&imbalanced, &m, 1000);
+        assert!(budget > 0, "imbalanced staffing must yield a budget");
+        assert!(
+            budget < 167,
+            "the premium discounts the raw excess: budget {budget}"
+        );
+        // The budget scales with the item count...
+        assert!(tuned_steal_budget(&imbalanced, &m, 10_000) > budget);
+        // ...vanishes with nothing to deal...
+        assert_eq!(tuned_steal_budget(&imbalanced, &m, 0), 0);
+        // ...and applies to the column axis identically.
+        let columnar = ExecutionPlan::new(
+            &m,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        assert_eq!(tuned_steal_budget(&columnar, &m, 1000), budget);
+        // Plans that build no shards never steal.
+        let full = base.with_workers(3);
+        let full = ExecutionPlan {
+            data_replication: DataReplication::FullReplication,
+            ..full
+        };
+        assert_eq!(tuned_steal_budget(&full, &m, 1000), 0);
+    }
+
+    #[test]
+    fn auto_steal_scheduler_gates_on_real_shardability() {
+        // The task-aware derivation: a graph-family row-wise Sharding plan
+        // never builds shards (its row updates read global vertex degrees),
+        // so even under imbalanced staffing its auto-tuned budget is zero —
+        // while the same shape on an SGD task, and the columnar plan on the
+        // graph task, both derive a real budget.
+        let m = local2();
+        let imbalanced_rows = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        let graph_task = crate::task::AnalyticsTask::from_dataset(
+            &dw_data::Dataset::generate(dw_data::PaperDataset::AmazonQp, 3),
+            crate::task::ModelKind::Qp,
+        );
+        assert_eq!(
+            auto_steal_scheduler(&imbalanced_rows, &m, &graph_task),
+            ItemScheduler::LocalityFirst { steal_budget: 0 },
+            "graph tasks never row-shard, so there is nothing to steal"
+        );
+        let sgd_task = crate::task::AnalyticsTask::from_dataset(
+            &dw_data::Dataset::generate(dw_data::PaperDataset::Reuters, 3),
+            crate::task::ModelKind::Svm,
+        );
+        assert_ne!(
+            auto_steal_scheduler(&imbalanced_rows, &m, &sgd_task),
+            ItemScheduler::LocalityFirst { steal_budget: 0 }
+        );
+        let imbalanced_cols = ExecutionPlan::new(
+            &m,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        assert_ne!(
+            auto_steal_scheduler(&imbalanced_cols, &m, &graph_task),
+            ItemScheduler::LocalityFirst { steal_budget: 0 },
+            "the graph task's columnar plan shards and tunes normally"
+        );
+    }
+
+    #[test]
+    fn tuned_budget_balances_the_actual_dealing() {
+        // The derived budget must be enough to pull the spread close to even
+        // on the real owner-directed dealing it was derived for.
+        let m = local2();
+        let data = small_data(999, 12);
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        let budget = tuned_steal_budget(&plan, &m, data.examples());
+        assert!(budget > 0);
+        let task =
+            crate::task::AnalyticsTask::new("ls(synthetic)", data, crate::task::ModelKind::Ls);
+        let spread_with = |plan: &ExecutionPlan| {
+            let set = crate::data_replica::DataReplicaSet::build(
+                plan,
+                &m,
+                dw_numa::PlacementPolicy::NumaAware,
+                &task,
+            );
+            let assignment = build_epoch_assignment(plan, &m, &task.data, 0, 1, None, Some(&set));
+            let lens: Vec<usize> = assignment.workers.iter().map(|w| w.items.len()).collect();
+            (
+                lens.iter().max().unwrap() - lens.iter().min().unwrap(),
+                assignment.steals(),
+            )
+        };
+        let (starved_spread, _) = spread_with(&plan.clone().with_steal_budget(0));
+        let (tuned_spread, steals) = spread_with(&plan.with_steal_budget(budget));
+        // Every budgeted move narrows the gap; the tuned budget spends all
+        // of it (the imbalance exceeds the premium-bounded budget) and the
+        // thieves stay premium-bounded rather than fully levelling.
+        assert!(
+            tuned_spread <= starved_spread.saturating_sub(budget),
+            "spread {starved_spread} -> {tuned_spread} with budget {budget}"
+        );
+        assert_eq!(steals, budget, "the whole tuned budget is profitable");
     }
 
     #[test]

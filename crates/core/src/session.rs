@@ -25,7 +25,9 @@ use crate::executor::{
     average_replicas, EpochContext, Executor, InterleavedExecutor, ThreadedExecutor,
 };
 use crate::optimizer::Optimizer;
-use crate::plan::{EpochAssignment, ExecutionPlan, LayoutDecision, ResidencyDecision};
+use crate::plan::{
+    EpochAssignment, ExecutionPlan, ItemScheduler, LayoutDecision, ResidencyDecision,
+};
 use crate::replication::DataReplication;
 use crate::report::{ExecutionMode, RunConfig, RunReport};
 use crate::sim_exec::{simulate_epoch, EpochSimulation};
@@ -151,6 +153,7 @@ impl DimmWitted {
             compact: false,
             memory_budget: None,
             spill_dir: None,
+            auto_steal: false,
         }
     }
 }
@@ -169,6 +172,7 @@ pub struct SessionBuilder {
     compact: bool,
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    auto_steal: bool,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -295,6 +299,24 @@ impl SessionBuilder {
         self
     }
 
+    /// Auto-tune the locality-first steal budget instead of using the
+    /// plan's fixed per-epoch constant (the steal-budget auto-tuning item
+    /// of the roadmap).
+    ///
+    /// At stream start (and after every replan) the budget is derived from
+    /// the plan's group imbalance and the machine's remote-read premium
+    /// ([`crate::plan::auto_steal_scheduler`]); after each epoch it adapts
+    /// to the measured [`EpochEvent::steals`] *within that derived cap*: an
+    /// under-used budget tightens to what the epoch actually moved, an
+    /// exhausted one recovers to the full cap (never past it — beyond the
+    /// cap a stolen item costs its thief more than the overloaded worker
+    /// saves).  Applies only to locality-first plans over real shards; off
+    /// by default so explicitly configured budgets stay fixed.
+    pub fn auto_steal_budget(mut self) -> Self {
+        self.auto_steal = true;
+        self
+    }
+
     /// Resolve the plan and executor and produce a runnable [`Session`].
     ///
     /// # Panics
@@ -342,6 +364,7 @@ impl SessionBuilder {
             compact: self.compact,
             memory_budget: self.memory_budget,
             spill_dir: self.spill_dir,
+            auto_steal: self.auto_steal,
         }
     }
 }
@@ -420,6 +443,20 @@ fn resolve_residency(
     }
 }
 
+/// Re-derive the locality-first steal budget from the plan's group
+/// imbalance and the machine's remote-read premium (auto-steal mode; a
+/// no-op for non-locality-first schedulers, and zero for plan/task shapes
+/// that build no shards).  Runs at stream start and after every replan, so
+/// the derived budget always matches the plan actually executing — the
+/// derivation itself is [`crate::plan::auto_steal_scheduler`], shared with
+/// the optimizer.
+fn retune_steal_budget(plan: &mut ExecutionPlan, machine: &MachineTopology, task: &AnalyticsTask) {
+    if !matches!(plan.scheduler, ItemScheduler::LocalityFirst { .. }) {
+        return;
+    }
+    plan.scheduler = crate::plan::auto_steal_scheduler(plan, machine, task);
+}
+
 /// Leverage-score weights are only needed for row-wise importance sampling
 /// (they weight rows; columnar plans sample columns uniformly).  The scores
 /// read through the matrix's `RowAccess` backend, so a Dense-arm plan feeds
@@ -458,6 +495,7 @@ pub struct Session {
     compact: bool,
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    auto_steal: bool,
 }
 
 impl Session {
@@ -497,6 +535,13 @@ impl Session {
             self.memory_budget,
             &self.spill_dir,
         );
+        if self.auto_steal {
+            retune_steal_budget(&mut self.plan, &self.machine, &self.task);
+        }
+        let auto_steal_cap = match self.plan.scheduler {
+            ItemScheduler::LocalityFirst { steal_budget } if self.auto_steal => steal_budget,
+            _ => 0,
+        };
         // Statistics come from the canonical storage form — nothing is
         // materialized yet when the simulator and the weights are set up.
         let stats = self.task.data.stats();
@@ -559,6 +604,8 @@ impl Session {
             ooc_io_seen: 0,
             memory_budget: self.memory_budget,
             spill_dir: self.spill_dir,
+            auto_steal: self.auto_steal,
+            auto_steal_cap,
         }
     }
 
@@ -608,6 +655,13 @@ pub struct EpochStream {
     /// as stream start (a replan must not silently drop the budget).
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    /// Whether the locality-first steal budget is auto-tuned: derived at
+    /// stream start / replan, then adapted each epoch from the measured
+    /// steals.
+    auto_steal: bool,
+    /// The derived budget the adaptation moves within (auto-steal mode):
+    /// the economic cap from `auto_steal_scheduler`, refreshed on replan.
+    auto_steal_cap: usize,
 }
 
 impl EpochStream {
@@ -659,6 +713,13 @@ impl EpochStream {
             self.memory_budget,
             &self.spill_dir,
         );
+        if self.auto_steal {
+            retune_steal_budget(&mut self.plan, &self.machine, &self.task);
+            self.auto_steal_cap = match self.plan.scheduler {
+                ItemScheduler::LocalityFirst { steal_budget } => steal_budget,
+                _ => 0,
+            };
+        }
         materialize_layouts(&self.task, &self.plan);
         self.data_replicas = DataReplicaSet::build(
             &self.plan,
@@ -804,6 +865,27 @@ impl Iterator for EpochStream {
         };
         for observer in &mut self.observers {
             observer(&event);
+        }
+        // Steal-budget adaptation (auto-steal mode): the derived budget is
+        // the economic *cap* (past it a stolen item costs the thief more
+        // than the overloaded worker saves), so adaptation moves within it:
+        // an under-used budget tightens to what the epoch actually moved
+        // (the stealing pass stops scanning for moves that are never
+        // profitable), and an exhausted one recovers to the full cap.  The
+        // cap itself only changes when a replan re-derives it — closing the
+        // loop on epoch *latency* instead is the roadmap follow-on.
+        if self.auto_steal {
+            if let ItemScheduler::LocalityFirst { steal_budget } = self.plan.scheduler {
+                let measured = event.steals;
+                let next = if steal_budget > 0 && measured >= steal_budget {
+                    self.auto_steal_cap
+                } else {
+                    measured
+                };
+                if next != steal_budget {
+                    self.plan.scheduler = ItemScheduler::LocalityFirst { steal_budget: next };
+                }
+            }
         }
         self.check_stop(loss);
         Some(event)
@@ -1238,6 +1320,115 @@ mod tests {
 
     fn builder_with(task: AnalyticsTask) -> SessionBuilder {
         DimmWitted::on(MachineTopology::local2()).task(task)
+    }
+
+    #[test]
+    fn auto_steal_budget_derives_and_adapts_across_epochs() {
+        // 3 workers over 2 locality groups: the under-staffed group's worker
+        // carries ~2x the load, so auto-steal derives a non-zero budget from
+        // the imbalance x remote premium, spends it, and keeps adapting it
+        // to the measured steals.
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        let expected = crate::plan::tuned_steal_budget(&plan, &machine, reuters_svm().examples());
+        assert!(expected > 0);
+        let mut stream = builder()
+            .plan(plan)
+            .epochs(4)
+            .auto_steal_budget()
+            .build()
+            .stream();
+        assert_eq!(
+            stream.plan().scheduler,
+            crate::plan::ItemScheduler::LocalityFirst {
+                steal_budget: expected
+            },
+            "the derived budget replaces the fixed constant"
+        );
+        let events: Vec<EpochEvent> = stream.by_ref().collect();
+        assert!(events.iter().all(|e| e.steals > 0), "the budget is spent");
+        // Stolen items are charged as remote reads, but locality stays far
+        // above round-robin's ~1/groups floor.
+        for event in &events {
+            assert!(event.data_locality < 1.0);
+            assert!(
+                event.data_locality > 0.7,
+                "locality {}",
+                event.data_locality
+            );
+        }
+        // The budget tracked the measured steals within the derived cap:
+        // after each epoch it is either the epoch's measured demand (under-
+        // used) or the restored cap (exhausted) — never beyond the cap,
+        // which is the economic bound of the derivation.
+        let last = events.last().unwrap().steals;
+        let final_budget = match stream.plan().scheduler {
+            crate::plan::ItemScheduler::LocalityFirst { steal_budget } => steal_budget,
+            _ => unreachable!(),
+        };
+        assert!(
+            final_budget == last || final_budget == expected,
+            "budget {final_budget} adapted from measured {last} within cap {expected}"
+        );
+        assert!(final_budget <= expected, "adaptation never exceeds the cap");
+        for event in &events {
+            assert!(event.steals <= expected, "per-epoch steals stay capped");
+        }
+    }
+
+    #[test]
+    fn auto_steal_budget_is_inert_for_balanced_staffing() {
+        // 4 workers over 2 groups staff evenly: owner-directed dealing is
+        // already balanced, the derivation returns 0, and nothing is stolen
+        // — bit-identical to the fixed-zero-budget default.
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        let auto = builder()
+            .plan(plan.clone())
+            .epochs(2)
+            .auto_steal_budget()
+            .build()
+            .run();
+        let fixed = builder().plan(plan).epochs(2).build().run();
+        assert_eq!(auto.trace, fixed.trace);
+    }
+
+    #[test]
+    fn auto_steal_budget_applies_to_columnar_shards_too() {
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::ColumnToRow,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3);
+        let mut stream = builder()
+            .plan(plan)
+            .epochs(2)
+            .auto_steal_budget()
+            .build()
+            .stream();
+        let budget = match stream.plan().scheduler {
+            crate::plan::ItemScheduler::LocalityFirst { steal_budget } => steal_budget,
+            _ => unreachable!(),
+        };
+        assert!(budget > 0, "columnar imbalance derives a budget");
+        let event = stream.next().expect("first epoch");
+        assert!(event.steals > 0);
+        assert!(event.loss.is_finite());
     }
 
     #[test]

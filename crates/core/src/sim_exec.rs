@@ -485,6 +485,64 @@ mod tests {
     }
 
     #[test]
+    fn columnar_sharded_plans_pay_remote_dram_under_round_robin() {
+        // The remote-DRAM charge is axis-generic: a columnar (SCD-family)
+        // sharded plan dealt round-robin reads ~1-1/groups of its column
+        // stream from remote nodes, and locality-first dealing recovers the
+        // Appendix-A band (>= 2x modelled epoch time) on local4/local8.
+        let stats = amazon_stats();
+        for machine in [
+            MachineTopology::local2(),
+            MachineTopology::local4(),
+            MachineTopology::local8(),
+        ] {
+            let base = plan(
+                &machine,
+                AccessMethod::ColumnToRow,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            );
+            let seconds = |p: &ExecutionPlan| {
+                simulate_epoch(&stats, UpdateDensity::Sparse, p, &machine).seconds
+            };
+            let locality_first = seconds(&base);
+            let round_robin = seconds(
+                &base
+                    .clone()
+                    .with_scheduler(crate::plan::ItemScheduler::RoundRobin),
+            );
+            let speedup = round_robin / locality_first;
+            assert!(
+                speedup > 1.5,
+                "{}: columnar locality-first speedup {speedup}",
+                machine.name
+            );
+            if machine.nodes >= 4 {
+                assert!(
+                    speedup >= 2.0,
+                    "{}: columnar locality-first speedup {speedup} below the 2x bar",
+                    machine.name
+                );
+            }
+            // More remote traffic shows up in the modelled counters too.
+            let rr_sim = simulate_epoch(
+                &stats,
+                UpdateDensity::Sparse,
+                &base
+                    .clone()
+                    .with_scheduler(crate::plan::ItemScheduler::RoundRobin),
+                &machine,
+            );
+            let lf_sim = simulate_epoch(&stats, UpdateDensity::Sparse, &base, &machine);
+            assert!(
+                rr_sim.counters.remote_dram_requests > lf_sim.counters.remote_dram_requests,
+                "{}",
+                machine.name
+            );
+        }
+    }
+
+    #[test]
     fn more_workers_shorten_the_epoch() {
         let machine = MachineTopology::local2();
         let stats = rcv1_stats();

@@ -173,6 +173,33 @@ impl CscMatrix {
         m
     }
 
+    /// Build a new CSC matrix containing only the contiguous columns
+    /// `start..end` (a straight copy of the window's slices — the owned
+    /// counterpart of a zero-copy column-range view, mirroring
+    /// [`CsrMatrix::select_range`]).
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= cols`.
+    pub fn select_range(&self, start: usize, end: usize) -> CscMatrix {
+        assert!(
+            start <= end && end <= self.shape.cols,
+            "column range {start}..{end} outside matrix of {} columns",
+            self.shape.cols
+        );
+        let lo = self.indptr[start] as usize;
+        let hi = self.indptr[end] as usize;
+        let indptr = self.indptr[start..=end]
+            .iter()
+            .map(|&p| p - lo as u32)
+            .collect();
+        CscMatrix {
+            shape: Shape::new(self.shape.rows, end - start),
+            indptr,
+            indices: self.indices[lo..hi].to_vec(),
+            data: self.data[lo..hi].to_vec(),
+        }
+    }
+
     /// Build a new CSC matrix containing only the listed columns (in order).
     ///
     /// Used by the Sharding strategy for column-wise access methods, which

@@ -24,11 +24,13 @@
 //!   compressed layout is resident, reclaiming the source's 16 bytes per
 //!   non-zero (the resident layouts become canonical; anything still
 //!   missing is converted from them).
-//! * [`DataMatrix::row_range`] cuts a **zero-copy row shard**: a
-//!   [`RowRangeView`] window `start..end` into the shared row layout's
-//!   `indptr`.  The shard serves bit-identical row bytes through
-//!   [`RowAccess`] without duplicating a single index or value — this is
-//!   what makes NUMA row sharding free.
+//! * [`DataMatrix::row_range`] / [`DataMatrix::col_range`] cut **zero-copy
+//!   shards**: a [`RowRangeView`] (resp. [`ColRangeView`]) window
+//!   `start..end` into the shared row layout's (resp. CSC's) `indptr`, both
+//!   thin surfaces over one [`AxisRangeView`] core.  A shard serves
+//!   bit-identical row/column bytes through [`RowAccess`] / [`ColAccess`]
+//!   without duplicating a single index or value — this is what makes NUMA
+//!   sharding free on either axis.
 //!
 //! Clones share the underlying storage (the handle is an `Arc`), so a
 //! layout materialized through any clone — a dataset, a task, a shard
@@ -46,36 +48,56 @@ use crate::{
 use std::path::Path;
 use std::sync::{Arc, OnceLock, RwLock};
 
-/// A zero-copy window over a contiguous row range of another matrix.
+/// The axis a zero-copy range view windows over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// The view windows a contiguous row range (shares the base's row
+    /// layout — what NUMA row sharding cuts).
+    Rows,
+    /// The view windows a contiguous column range (shares the base's CSC —
+    /// what columnar sharding for the SCD family cuts).
+    Cols,
+}
+
+/// Shared core of the zero-copy axis-range views: a cheap handle to the base
+/// matrix (an `Arc` bump) plus the `start..end` window along one axis of its
+/// shared layout.  The slicing, flattening, and paged-subrange logic lives
+/// here once; [`RowRangeView`] and [`ColRangeView`] are the
+/// orientation-typed surfaces over it.
 ///
-/// The view holds a cheap handle to the base matrix (an `Arc` bump) plus the
-/// `start..end` window into its row layout; every row it serves is the exact
-/// slice pair the base's CSR serves, so reads through the view are
-/// bit-identical to reads of rows `start..end` of the base.
+/// Every stored vector the view serves along its axis is the exact slice
+/// pair the base's compressed layout serves, so reads through the view are
+/// bit-identical to reads of rows (resp. columns) `start..end` of the base.
 #[derive(Debug, Clone)]
-pub struct RowRangeView {
+pub struct AxisRangeView {
     base: DataMatrix,
+    axis: Axis,
     start: usize,
     end: usize,
 }
 
-impl RowRangeView {
+impl AxisRangeView {
     /// The matrix this view windows into.
     pub fn base(&self) -> &DataMatrix {
         &self.base
     }
 
-    /// First base row of the window.
+    /// The axis the window cuts along.
+    pub fn axis(&self) -> Axis {
+        self.axis
+    }
+
+    /// First base row/column of the window.
     pub fn start(&self) -> usize {
         self.start
     }
 
-    /// One past the last base row of the window.
+    /// One past the last base row/column of the window.
     pub fn end(&self) -> usize {
         self.end
     }
 
-    /// Number of rows in the window.
+    /// Number of rows/columns in the window.
     pub fn len(&self) -> usize {
         self.end - self.start
     }
@@ -85,28 +107,18 @@ impl RowRangeView {
         self.start == self.end
     }
 
-    /// Copy the windowed rows into a standalone CSR matrix.  On an
-    /// out-of-core base whose shared row layout is not resident, this
-    /// streams **only the window's page subrange** through the base's
-    /// bounded cache — the per-node shard materialization of the
-    /// larger-than-DRAM path; otherwise it is the in-memory escape hatch
-    /// (shard reads never need it — they go through [`RowAccess`]).
-    fn materialize_csr(&self) -> CsrMatrix {
-        if self.base.inner.csr.get().is_none() {
-            if let Some(paged) = self.base.inner.paged.get() {
-                return DataMatrix::csr_from_paged(paged, self.start, self.end, self.base.cols());
-            }
+    /// Shape of the windowed submatrix.
+    fn window_shape(&self) -> Shape {
+        match self.axis {
+            Axis::Rows => Shape::new(self.len(), self.base.cols()),
+            Axis::Cols => Shape::new(self.base.rows(), self.len()),
         }
-        self.base.csr().select_range(self.start, self.end)
-    }
-}
-
-impl RowAccess for RowRangeView {
-    fn shape(&self) -> Shape {
-        Shape::new(self.len(), self.base.cols())
     }
 
+    /// Borrowed view of window row `i` (rows axis only): the base's exact
+    /// slice pair for row `start + i`.
     fn row(&self, i: usize) -> RowView<'_> {
+        debug_assert_eq!(self.axis, Axis::Rows);
         assert!(
             i < self.len(),
             "row {i} outside view of {} rows",
@@ -118,12 +130,184 @@ impl RowAccess for RowRangeView {
     }
 
     fn row_nnz(&self, i: usize) -> usize {
+        debug_assert_eq!(self.axis, Axis::Rows);
         assert!(
             i < self.len(),
             "row {i} outside view of {} rows",
             self.len()
         );
         self.base.row_nnz(self.start + i)
+    }
+
+    /// Borrowed view of window column `j` (cols axis only): the base's exact
+    /// slice pair for column `start + j`.
+    fn col(&self, j: usize) -> ColView<'_> {
+        debug_assert_eq!(self.axis, Axis::Cols);
+        assert!(
+            j < self.len(),
+            "column {j} outside view of {} columns",
+            self.len()
+        );
+        // Served through the base's shared CSC — bit-identical to reading
+        // the base directly.
+        self.base.col(self.start + j)
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        debug_assert_eq!(self.axis, Axis::Cols);
+        assert!(
+            j < self.len(),
+            "column {j} outside view of {} columns",
+            self.len()
+        );
+        self.base.col_nnz(self.start + j)
+    }
+
+    /// Copy the windowed rows into a standalone CSR matrix (rows axis).  On
+    /// an out-of-core base whose shared row layout is not resident, this
+    /// streams **only the window's page subrange** through the base's
+    /// bounded cache — the per-node shard materialization of the
+    /// larger-than-DRAM path; otherwise it is the in-memory escape hatch
+    /// (shard reads never need it — they go through [`RowAccess`]).
+    fn materialize_csr(&self) -> CsrMatrix {
+        debug_assert_eq!(self.axis, Axis::Rows);
+        if self.base.inner.csr.get().is_none() {
+            if let Some(paged) = self.base.inner.paged.get() {
+                return DataMatrix::csr_from_paged(paged, self.start, self.end, self.base.cols());
+            }
+        }
+        self.base.csr().select_range(self.start, self.end)
+    }
+
+    /// Copy the windowed columns into a standalone CSC matrix (cols axis) —
+    /// the mirror of [`AxisRangeView::materialize_csr`].  On an out-of-core
+    /// base whose shared column layout is not resident, only the window's
+    /// column subrange is *materialized* — but because pages are
+    /// row-disjoint, the streaming passes still read every page and filter
+    /// (unlike the row mirror, which streams only its page subrange); the
+    /// win is bounding the resident output, not the IO.  Sessions never hit
+    /// this path — they materialize the base's shared CSC before cutting
+    /// shards — so the per-shard full-source passes only occur on direct
+    /// matrix-layer use.
+    fn materialize_csc(&self) -> CscMatrix {
+        debug_assert_eq!(self.axis, Axis::Cols);
+        if self.base.inner.csc.get().is_none() {
+            if let Some(paged) = self.base.inner.paged.get() {
+                return DataMatrix::csc_from_paged_cols(
+                    paged,
+                    self.base.rows(),
+                    self.start,
+                    self.end,
+                );
+            }
+        }
+        self.base.csc().select_range(self.start, self.end)
+    }
+}
+
+/// A zero-copy window over a contiguous **row** range of another matrix.
+///
+/// The view holds a cheap handle to the base matrix plus the `start..end`
+/// window into its row layout; every row it serves is the exact slice pair
+/// the base's CSR serves, so reads through the view are bit-identical to
+/// reads of rows `start..end` of the base.
+#[derive(Debug, Clone)]
+pub struct RowRangeView {
+    view: AxisRangeView,
+}
+
+impl RowRangeView {
+    /// The matrix this view windows into.
+    pub fn base(&self) -> &DataMatrix {
+        self.view.base()
+    }
+
+    /// First base row of the window.
+    pub fn start(&self) -> usize {
+        self.view.start()
+    }
+
+    /// One past the last base row of the window.
+    pub fn end(&self) -> usize {
+        self.view.end()
+    }
+
+    /// Number of rows in the window.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+}
+
+impl RowAccess for RowRangeView {
+    fn shape(&self) -> Shape {
+        self.view.window_shape()
+    }
+
+    fn row(&self, i: usize) -> RowView<'_> {
+        self.view.row(i)
+    }
+
+    fn row_nnz(&self, i: usize) -> usize {
+        self.view.row_nnz(i)
+    }
+}
+
+/// A zero-copy window over a contiguous **column** range of another matrix —
+/// the mirror of [`RowRangeView`] for the column-wise and column-to-row
+/// access methods.
+///
+/// The view holds a cheap handle to the base matrix plus the `start..end`
+/// window into its shared CSC; every column it serves is the exact slice
+/// pair the base's CSC serves (row ids stay global), so reads through the
+/// view are bit-identical to reads of columns `start..end` of the base.
+#[derive(Debug, Clone)]
+pub struct ColRangeView {
+    view: AxisRangeView,
+}
+
+impl ColRangeView {
+    /// The matrix this view windows into.
+    pub fn base(&self) -> &DataMatrix {
+        self.view.base()
+    }
+
+    /// First base column of the window.
+    pub fn start(&self) -> usize {
+        self.view.start()
+    }
+
+    /// One past the last base column of the window.
+    pub fn end(&self) -> usize {
+        self.view.end()
+    }
+
+    /// Number of columns in the window.
+    pub fn len(&self) -> usize {
+        self.view.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.view.is_empty()
+    }
+}
+
+impl ColAccess for ColRangeView {
+    fn shape(&self) -> Shape {
+        self.view.window_shape()
+    }
+
+    fn col(&self, j: usize) -> ColView<'_> {
+        self.view.col(j)
+    }
+
+    fn col_nnz(&self, j: usize) -> usize {
+        self.view.col_nnz(j)
     }
 }
 
@@ -138,8 +322,9 @@ struct Inner {
     /// (set by [`DataMatrix::from_source`] or
     /// [`DataMatrix::spill_source_to`]).
     paged: OnceLock<PagedSource>,
-    /// Zero-copy row window into another matrix (set only by `row_range`).
-    window: Option<RowRangeView>,
+    /// Zero-copy row/column window into another matrix (set only by
+    /// `row_range` / `col_range`).
+    window: Option<AxisRangeView>,
     csr: OnceLock<CsrMatrix>,
     csc: OnceLock<CscMatrix>,
     dense: OnceLock<DenseMatrix>,
@@ -158,7 +343,7 @@ pub struct DataMatrix {
 }
 
 impl DataMatrix {
-    fn from_parts(shape: Shape, source: Option<CooMatrix>, window: Option<RowRangeView>) -> Self {
+    fn from_parts(shape: Shape, source: Option<CooMatrix>, window: Option<AxisRangeView>) -> Self {
         DataMatrix {
             inner: Arc::new(Inner {
                 shape,
@@ -245,23 +430,55 @@ impl DataMatrix {
                 return MatrixStats::from_csr(csr);
             }
             if let Some(view) = &self.inner.window {
-                if view.base.inner.csr.get().is_none() {
-                    if let Some(paged) = view.base.inner.paged.get() {
-                        // Out-of-core base: one streaming pass over the
-                        // window's page subrange, nothing materialized.
-                        return Self::stats_from_paged(
-                            paged,
-                            view.start,
-                            view.end,
+                match view.axis {
+                    Axis::Rows => {
+                        if view.base.inner.csr.get().is_none() {
+                            if let Some(paged) = view.base.inner.paged.get() {
+                                // Out-of-core base: one streaming pass over
+                                // the window's page subrange, nothing
+                                // materialized.
+                                return Self::stats_from_paged(
+                                    paged,
+                                    view.start,
+                                    view.end,
+                                    self.inner.shape.cols,
+                                );
+                            }
+                        }
+                        return MatrixStats::from_row_counts(
+                            view.len(),
                             self.inner.shape.cols,
+                            (view.start..view.end).map(|i| view.base.row_nnz(i)),
+                        );
+                    }
+                    Axis::Cols => {
+                        if view.base.inner.csc.get().is_none() {
+                            if let Some(paged) = view.base.inner.paged.get() {
+                                // One filtered streaming pass: only entries
+                                // whose column falls inside the window count.
+                                return Self::stats_from_paged_cols(
+                                    paged,
+                                    self.inner.shape.rows,
+                                    view.start,
+                                    view.end,
+                                );
+                            }
+                        }
+                        // Per-row counts of the column window, accumulated
+                        // from the base's shared CSC.
+                        let mut counts = vec![0usize; self.inner.shape.rows];
+                        for j in view.start..view.end {
+                            for i in view.base.col(j).rows() {
+                                counts[i] += 1;
+                            }
+                        }
+                        return MatrixStats::from_row_counts(
+                            self.inner.shape.rows,
+                            view.len(),
+                            counts.into_iter(),
                         );
                     }
                 }
-                return MatrixStats::from_row_counts(
-                    view.len(),
-                    self.inner.shape.cols,
-                    (view.start..view.end).map(|i| view.base.row_nnz(i)),
-                );
             }
             if let Some(stats) = self.with_coo_source(MatrixStats::from_coo) {
                 return stats;
@@ -311,6 +528,26 @@ impl DataMatrix {
         MatrixStats::from_row_counts(end - start, cols, counts.into_iter())
     }
 
+    /// Statistics of columns `col_start..col_end` of a paged source: merged
+    /// per-row counts restricted to the column window, one filtered
+    /// streaming pass through the bounded cache.
+    fn stats_from_paged_cols(
+        paged: &PagedSource,
+        rows: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> MatrixStats {
+        let mut counts = vec![0usize; rows];
+        paged
+            .stream_rows(0, rows, |row, col, _| {
+                if (col_start..col_end).contains(&col) {
+                    counts[row] += 1;
+                }
+            })
+            .expect("out-of-core source read failed while computing statistics");
+        MatrixStats::from_row_counts(rows, col_end - col_start, counts.into_iter())
+    }
+
     /// The row-major compressed layout, materialized and cached on first
     /// request.  For a row-range view this copies the window out of the
     /// base (shard *reads* never need it — they go through [`RowAccess`]).
@@ -320,7 +557,14 @@ impl DataMatrix {
     pub fn csr(&self) -> &CsrMatrix {
         self.inner.csr.get_or_init(|| {
             if let Some(view) = &self.inner.window {
-                return view.materialize_csr();
+                return match view.axis {
+                    Axis::Rows => view.materialize_csr(),
+                    // Escape hatch for a column window: an owned copy of the
+                    // windowed submatrix, converted from its column layout
+                    // (shard reads never need it — columns go through
+                    // [`ColAccess`], rows through the base).
+                    Axis::Cols => self.csc().to_csr(),
+                };
             }
             if let Some(csr) = self.with_coo_source(|coo| coo.to_csr()) {
                 return csr;
@@ -397,8 +641,13 @@ impl DataMatrix {
     /// scatter) through the bounded cache, again without a transient CSR.
     pub fn csc(&self) -> &CscMatrix {
         self.inner.csc.get_or_init(|| {
-            if self.inner.window.is_some() {
-                return self.csr().to_csc();
+            if let Some(view) = &self.inner.window {
+                return match view.axis {
+                    // Escape hatch for a row window: an owned copy of the
+                    // windowed submatrix, converted from its row layout.
+                    Axis::Rows => self.csr().to_csc(),
+                    Axis::Cols => view.materialize_csc(),
+                };
             }
             if let Some(csc) = self.with_coo_source(|coo| coo.to_csc()) {
                 return csc;
@@ -444,6 +693,54 @@ impl DataMatrix {
             })
             .expect("out-of-core source read failed while materializing CSC");
         CscMatrix::from_parts(shape.rows, shape.cols, indptr, indices, data)
+            .expect("paged stream produced a structurally valid CSC")
+    }
+
+    /// Build the CSC of global columns `col_start..col_end` from a paged
+    /// source in two filtered streaming passes — the column mirror of
+    /// [`DataMatrix::csr_from_paged`].  Row ids stay global, column ids are
+    /// local to the window, and the result equals
+    /// `full_csc.select_range(col_start, col_end)` bit for bit.
+    fn csc_from_paged_cols(
+        paged: &PagedSource,
+        rows: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> CscMatrix {
+        let cols_out = col_end - col_start;
+        // Pass 1: merged per-column counts inside the window.
+        let mut counts = vec![0u32; cols_out];
+        paged
+            .stream_rows(0, rows, |_, col, _| {
+                if (col_start..col_end).contains(&col) {
+                    counts[col - col_start] += 1;
+                }
+            })
+            .expect("out-of-core source read failed while counting columns");
+        let mut indptr = Vec::with_capacity(cols_out + 1);
+        indptr.push(0u32);
+        let mut acc = 0u32;
+        for &c in &counts {
+            acc += c;
+            indptr.push(acc);
+        }
+        let nnz = acc as usize;
+        let mut indices = vec![0u32; nnz];
+        let mut data = vec![0.0f64; nnz];
+        // Pass 2: scatter in row-major stream order (rows ascend within each
+        // column, exactly as the full-range conversion scatters them).
+        let mut cursors: Vec<u32> = indptr[..cols_out].to_vec();
+        paged
+            .stream_rows(0, rows, |row, col, value| {
+                if (col_start..col_end).contains(&col) {
+                    let pos = cursors[col - col_start] as usize;
+                    indices[pos] = row as u32;
+                    data[pos] = value;
+                    cursors[col - col_start] += 1;
+                }
+            })
+            .expect("out-of-core source read failed while materializing CSC");
+        CscMatrix::from_parts(rows, cols_out, indptr, indices, data)
             .expect("paged stream produced a structurally valid CSC")
     }
 
@@ -544,12 +841,14 @@ impl DataMatrix {
     /// path).
     pub fn materialize_rows(&self) {
         if let Some(view) = &self.inner.window {
-            if !view.base.serves_window_rows() {
-                let _ = self.csr();
+            if view.axis == Axis::Rows {
+                if !view.base.serves_window_rows() {
+                    let _ = self.csr();
+                    return;
+                }
+                view.base.materialize_row_access();
                 return;
             }
-            view.base.materialize_row_access();
-            return;
         }
         let _ = self.csr();
     }
@@ -570,8 +869,22 @@ impl DataMatrix {
         self.materialize_rows();
     }
 
-    /// Eagerly materialize the column layout (planner hook).
+    /// Eagerly materialize the column layout (planner hook).  On a
+    /// column-range view this materializes the *base's* shared CSC, never a
+    /// copy — except over an out-of-core base whose shared layout is not
+    /// resident, where the view materializes **its own column subrange**
+    /// instead (the mirror of [`DataMatrix::materialize_rows`]).
     pub fn materialize_cols(&self) {
+        if let Some(view) = &self.inner.window {
+            if view.axis == Axis::Cols {
+                if !view.base.serves_window_cols() {
+                    let _ = self.csc();
+                    return;
+                }
+                view.base.materialize_cols();
+                return;
+            }
+        }
         let _ = self.csc();
     }
 
@@ -591,14 +904,22 @@ impl DataMatrix {
             return true;
         }
         match &self.inner.window {
-            Some(view) => view.base.csr_materialized(),
-            None => false,
+            Some(view) if view.axis == Axis::Rows => view.base.csr_materialized(),
+            _ => false,
         }
     }
 
-    /// Whether the column-major compressed layout is resident.
+    /// Whether column views can be served without a layout conversion.  True
+    /// for a column-range view whenever the *base's* CSC is resident — the
+    /// view itself never owns column storage.
     pub fn csc_materialized(&self) -> bool {
-        self.inner.csc.get().is_some()
+        if self.inner.csc.get().is_some() {
+            return true;
+        }
+        match &self.inner.window {
+            Some(view) if view.axis == Axis::Cols => view.base.csc_materialized(),
+            _ => false,
+        }
     }
 
     /// Whether the dense layout is resident.
@@ -614,8 +935,8 @@ impl DataMatrix {
             return true;
         }
         match &self.inner.window {
-            Some(view) => view.base.dense_rows_materialized(),
-            None => false,
+            Some(view) if view.axis == Axis::Rows => view.base.dense_rows_materialized(),
+            _ => false,
         }
     }
 
@@ -633,6 +954,15 @@ impl DataMatrix {
     /// subrange instead of forcing the base's full layout.
     fn serves_window_rows(&self) -> bool {
         self.csr_materialized() || self.dense_rows_materialized() || !self.is_paged()
+    }
+
+    /// The column mirror of [`DataMatrix::serves_window_rows`]: whether a
+    /// zero-copy column window over this matrix should serve columns
+    /// *through* it.  When false — an out-of-core base with no resident CSC
+    /// — the window materializes its own column subrange instead of forcing
+    /// the base's full layout.
+    fn serves_window_cols(&self) -> bool {
+        self.csc_materialized() || !self.is_paged()
     }
 
     /// Page-cache counters of the out-of-core source (`None` for fully
@@ -768,6 +1098,11 @@ impl DataMatrix {
 
     /// Value at `(row, col)` (zero if not stored).  Reads whichever layout
     /// is already resident; materializes CSR only as a last resort.
+    ///
+    /// # Panics
+    /// On a range view, panics when `(row, col)` lies outside the window's
+    /// shape — the translated read must never silently serve a neighboring
+    /// base row/column the shard does not own.
     pub fn get(&self, row: usize, col: usize) -> f64 {
         if let Some(csr) = self.csr_if_materialized() {
             return csr.get(row, col);
@@ -779,7 +1114,17 @@ impl DataMatrix {
             return rows.get(row, col);
         }
         if let Some(view) = &self.inner.window {
-            return view.base.get(view.start + row, col);
+            let shape = self.inner.shape;
+            assert!(
+                row < shape.rows && col < shape.cols,
+                "index ({row}, {col}) outside view of shape {}x{}",
+                shape.rows,
+                shape.cols
+            );
+            return match view.axis {
+                Axis::Rows => view.base.get(view.start + row, col),
+                Axis::Cols => view.base.get(row, view.start + col),
+            };
         }
         self.csr().get(row, col)
     }
@@ -822,17 +1167,56 @@ impl DataMatrix {
             .is_some()
     }
 
-    /// The row window this matrix views, when it is a zero-copy shard.
+    /// The row window this matrix views, when it is a zero-copy row shard.
     pub fn row_window(&self) -> Option<(usize, usize)> {
-        self.inner.window.as_ref().map(|v| (v.start, v.end))
+        match &self.inner.window {
+            Some(v) if v.axis == Axis::Rows => Some((v.start, v.end)),
+            _ => None,
+        }
+    }
+
+    /// The column window this matrix views, when it is a zero-copy column
+    /// shard.
+    pub fn col_window(&self) -> Option<(usize, usize)> {
+        match &self.inner.window {
+            Some(v) if v.axis == Axis::Cols => Some((v.start, v.end)),
+            _ => None,
+        }
+    }
+
+    /// The base matrix a zero-copy column shard windows into (`None` for
+    /// unwindowed matrices and row shards).  Column-to-row consumers read
+    /// **full rows** through this — a column shard restricts only the
+    /// column axis, never the row set `S(j)` expands into.
+    pub fn col_window_base(&self) -> Option<&DataMatrix> {
+        match &self.inner.window {
+            Some(v) if v.axis == Axis::Cols => Some(&v.base),
+            _ => None,
+        }
+    }
+
+    /// The typed row view of a zero-copy row shard (`None` otherwise).
+    pub fn as_row_range_view(&self) -> Option<RowRangeView> {
+        match &self.inner.window {
+            Some(v) if v.axis == Axis::Rows => Some(RowRangeView { view: v.clone() }),
+            _ => None,
+        }
+    }
+
+    /// The typed column view of a zero-copy column shard (`None` otherwise).
+    pub fn as_col_range_view(&self) -> Option<ColRangeView> {
+        match &self.inner.window {
+            Some(v) if v.axis == Axis::Cols => Some(ColRangeView { view: v.clone() }),
+            _ => None,
+        }
     }
 
     /// Cut a **zero-copy** shard over the contiguous row range
     /// `start..end`: the shard shares the base's row layout through a
     /// [`RowRangeView`] and owns no element storage of its own.
     ///
-    /// A view of a view flattens to a window over the root matrix, so
-    /// chained sharding never stacks indirections.
+    /// A row view of a row view flattens to a window over the root matrix,
+    /// so chained sharding never stacks indirections.
     ///
     /// # Panics
     /// Panics unless `start <= end <= rows`.
@@ -843,15 +1227,50 @@ impl DataMatrix {
             self.rows()
         );
         let (base, offset) = match &self.inner.window {
-            Some(view) => (view.base.clone(), view.start),
-            None => (self.clone(), 0),
+            Some(view) if view.axis == Axis::Rows => (view.base.clone(), view.start),
+            _ => (self.clone(), 0),
         };
         let cols = base.cols();
         Self::from_parts(
             Shape::new(end - start, cols),
             None,
-            Some(RowRangeView {
+            Some(AxisRangeView {
                 base,
+                axis: Axis::Rows,
+                start: offset + start,
+                end: offset + end,
+            }),
+        )
+    }
+
+    /// Cut a **zero-copy** shard over the contiguous column range
+    /// `start..end` — the mirror of [`DataMatrix::row_range`] for the
+    /// column-wise and column-to-row access methods: the shard shares the
+    /// base's CSC through a [`ColRangeView`] and owns no element storage of
+    /// its own.
+    ///
+    /// A column view of a column view flattens to a window over the root
+    /// matrix, so chained sharding never stacks indirections.
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= cols`.
+    pub fn col_range(&self, start: usize, end: usize) -> DataMatrix {
+        assert!(
+            start <= end && end <= self.cols(),
+            "column range {start}..{end} outside matrix of {} columns",
+            self.cols()
+        );
+        let (base, offset) = match &self.inner.window {
+            Some(view) if view.axis == Axis::Cols => (view.base.clone(), view.start),
+            _ => (self.clone(), 0),
+        };
+        let rows = base.rows();
+        Self::from_parts(
+            Shape::new(rows, end - start),
+            None,
+            Some(AxisRangeView {
+                base,
+                axis: Axis::Cols,
                 start: offset + start,
                 end: offset + end,
             }),
@@ -899,7 +1318,7 @@ impl RowAccess for DataMatrix {
                 // the base is out-of-core with nothing resident, where the
                 // window materializes its own page subrange instead of the
                 // base's full layout.
-                if view.base.serves_window_rows() {
+                if view.axis == Axis::Rows && view.base.serves_window_rows() {
                     return view.row(i);
                 }
             }
@@ -913,7 +1332,7 @@ impl RowAccess for DataMatrix {
                 return rows.row_nnz(i);
             }
             if let Some(view) = &self.inner.window {
-                if view.base.serves_window_rows() {
+                if view.axis == Axis::Rows && view.base.serves_window_rows() {
                     return view.row_nnz(i);
                 }
             }
@@ -928,10 +1347,28 @@ impl ColAccess for DataMatrix {
     }
 
     fn col(&self, j: usize) -> ColView<'_> {
+        if self.inner.csc.get().is_none() {
+            if let Some(view) = &self.inner.window {
+                // Serve through the base's shared CSC — unless the base is
+                // out-of-core with nothing resident, where the window
+                // materializes its own column subrange instead of the
+                // base's full layout.
+                if view.axis == Axis::Cols && view.base.serves_window_cols() {
+                    return view.col(j);
+                }
+            }
+        }
         self.csc().col(j)
     }
 
     fn col_nnz(&self, j: usize) -> usize {
+        if self.inner.csc.get().is_none() {
+            if let Some(view) = &self.inner.window {
+                if view.axis == Axis::Cols && view.base.serves_window_cols() {
+                    return view.col_nnz(j);
+                }
+            }
+        }
         self.csc().col_nnz(j)
     }
 }
@@ -1130,6 +1567,100 @@ mod tests {
     fn row_range_bounds_checked() {
         let m = DataMatrix::from_coo(sample_coo());
         let _ = m.row_range(1, 4);
+    }
+
+    #[test]
+    fn col_range_view_is_zero_copy_and_bit_identical() {
+        let m = DataMatrix::from_coo(sample_coo());
+        m.materialize_cols();
+        let shard = m.col_range(1, 3);
+        assert_eq!(shard.cols(), 2);
+        assert_eq!(shard.rows(), 3, "a column window keeps every row");
+        assert_eq!(shard.col_window(), Some((1, 3)));
+        assert_eq!(shard.row_window(), None);
+        // Zero-copy: the shard owns no element storage.
+        assert_eq!(shard.resident_bytes(), 0);
+        assert!(shard.csc_materialized(), "served by the base's CSC");
+        assert!(!shard.csr_materialized());
+        // Bit-identical column bytes: the view serves the base's exact
+        // slices, row ids global.
+        for j in 0..2 {
+            let a = shard.col(j);
+            let b = m.col(1 + j);
+            assert!(std::ptr::eq(a.indices, b.indices), "col {j} shares storage");
+            assert!(std::ptr::eq(a.values, b.values), "col {j} shares storage");
+        }
+        assert_eq!(shard.get(2, 0), 3.0);
+        assert_eq!(shard.get(0, 1), 2.0);
+        assert_eq!(shard.stats().nnz, 3);
+        // The typed view surface agrees with the matrix handle.
+        let view = shard.as_col_range_view().expect("column shard");
+        assert_eq!(view.start(), 1);
+        assert_eq!(view.end(), 3);
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(view.shape(), Shape::new(3, 2));
+        assert_eq!(view.col_nnz(1), m.col_nnz(2));
+        assert!(shard.as_row_range_view().is_none());
+    }
+
+    #[test]
+    fn col_range_of_a_view_flattens_to_the_root() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let outer = m.col_range(1, 3);
+        let nested = outer.col_range(1, 2);
+        assert_eq!(nested.col_window(), Some((2, 3)));
+        assert_eq!(nested.cols(), 1);
+        assert_eq!(nested.get(2, 0), 4.0);
+        assert!(
+            nested
+                .as_col_range_view()
+                .unwrap()
+                .base()
+                .col_window()
+                .is_none(),
+            "the nested view windows the root, not the outer view"
+        );
+    }
+
+    #[test]
+    fn col_range_materializes_base_cols_not_a_copy() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let shard = m.col_range(0, 2);
+        assert!(!m.csc_materialized());
+        shard.materialize_cols();
+        assert!(m.csc_materialized(), "the shared CSC was built");
+        assert_eq!(shard.resident_bytes(), 0, "the shard still owns nothing");
+        assert!(!m.csr_materialized(), "column shards never touch the CSR");
+        // Forcing an owned layout out of the view still works (escape hatch).
+        assert_eq!(shard.csc().cols(), 2);
+        assert!(shard.resident_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside matrix")]
+    fn col_range_bounds_checked() {
+        let m = DataMatrix::from_coo(sample_coo());
+        let _ = m.col_range(2, 4);
+    }
+
+    #[test]
+    fn window_of_a_paged_base_materializes_only_its_column_subrange() {
+        let coo = sample_coo();
+        let m = paged_copy(&coo, 16, 64);
+        let shard = m.col_range(1, 3);
+        shard.materialize_cols();
+        assert!(!m.csc_materialized(), "the base's full CSC was never built");
+        // The shard's own CSC equals the in-memory column window.
+        let expected = coo.to_csc().select_range(1, 3);
+        for j in 0..2 {
+            let a = shard.col(j);
+            let b = expected.col(j);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.values, b.values);
+        }
+        assert_eq!(shard.stats().nnz, expected.nnz());
+        assert!(shard.resident_bytes() > 0, "the shard owns its subrange");
     }
 
     #[test]
@@ -1367,6 +1898,67 @@ mod tests {
             for i in 0..shard.rows() {
                 prop_assert_eq!(owned.row(i).indices, m.row(start + i).indices);
             }
+        }
+
+        #[test]
+        fn prop_col_range_views_serve_base_cols(
+            entries in proptest::collection::btree_map((0usize..10, 0usize..5), -4.0f64..4.0, 0..40),
+            start in 0usize..5,
+            len in 0usize..5,
+        ) {
+            let mut coo = CooMatrix::new(10, 5);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let m = DataMatrix::from_coo(coo);
+            let end = (start + len).min(5);
+            let shard = m.col_range(start, end);
+            prop_assert_eq!(shard.resident_bytes(), 0);
+            for j in 0..shard.cols() {
+                let a = shard.col(j);
+                let b = m.col(start + j);
+                prop_assert_eq!(a.indices, b.indices);
+                prop_assert_eq!(a.values, b.values);
+                prop_assert_eq!(shard.col_nnz(j), m.col_nnz(start + j));
+            }
+            // An owned copy of the window agrees with the view — and with
+            // the base CSC's contiguous column slice.
+            let owned = shard.csc().clone();
+            let reference = m.csc().select_range(start, end);
+            prop_assert_eq!(&owned, &reference);
+            // A nested view flattens to the root and keeps serving the
+            // root's exact slices.
+            if shard.cols() > 1 {
+                let nested = shard.col_range(1, shard.cols());
+                for j in 0..nested.cols() {
+                    prop_assert_eq!(nested.col(j).indices, m.col(start + 1 + j).indices);
+                    prop_assert_eq!(nested.col(j).values, m.col(start + 1 + j).values);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_col_range_views_over_a_paged_base_match_the_resident_route(
+            entries in proptest::collection::btree_map((0usize..10, 0usize..6), -4.0f64..4.0, 0..40),
+            start in 0usize..6,
+            len in 0usize..6,
+            page_entries in 1usize..8,
+        ) {
+            let mut coo = CooMatrix::new(10, 6);
+            for (&(r, c), &v) in &entries {
+                coo.push(r, c, v).unwrap();
+            }
+            let end = (start + len).min(6);
+            let page_bytes = page_entries * 16;
+            let paged = paged_copy(&coo, page_bytes, 2 * page_bytes);
+            let shard = paged.col_range(start, end);
+            // The window materializes only its column subrange, streamed
+            // through the bounded cache — bit-identical to the in-memory
+            // window of the full CSC.
+            let reference = coo.to_csc().select_range(start, end);
+            prop_assert_eq!(shard.csc(), &reference);
+            prop_assert!(!paged.csc_materialized());
+            prop_assert_eq!(shard.stats().nnz, reference.nnz());
         }
 
         #[test]

@@ -12,8 +12,9 @@
 //! * [`DataMatrix`] — the unified storage layer: a canonical COO/source form
 //!   with lazily materialized, cached CSR/CSC/dense layouts, so the planner
 //!   decides which physical layout exists; the source can be compacted away
-//!   once a compressed layout is resident, and [`RowRangeView`] windows cut
-//!   zero-copy row shards out of the shared row layout,
+//!   once a compressed layout is resident, and [`RowRangeView`] /
+//!   [`ColRangeView`] windows (one shared [`AxisRangeView`] core) cut
+//!   zero-copy row/column shards out of the shared compressed layouts,
 //! * [`RowAccess`] / [`ColAccess`] — the narrow view traits execution is
 //!   written against, serving [`RowView`] / [`ColView`] slices backed by the
 //!   shared blocked kernels of [`kernels`],
@@ -50,7 +51,7 @@ pub mod views;
 pub use coo::CooMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use data_matrix::{DataMatrix, RowRangeView};
+pub use data_matrix::{Axis, AxisRangeView, ColRangeView, DataMatrix, RowRangeView};
 pub use dense::{DenseMatrix, DenseRows, Layout};
 pub use kernels::{axpy_indexed, dot_indexed};
 pub use ooc::{

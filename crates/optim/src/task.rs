@@ -17,16 +17,22 @@
 use dw_matrix::{
     ColAccess, ColView, CscMatrix, CsrMatrix, DataMatrix, MatrixStats, RowAccess, RowView,
 };
+use std::sync::Arc;
 
 /// Immutable data for one statistical task.
+///
+/// Labels and costs sit behind `Arc`s so shards can share them: a column
+/// shard references the task's full vectors with a reference-count bump (it
+/// addresses them by global ids), and every shard shares the one costs
+/// vector.  Indexing and iteration read through the `Arc` transparently.
 #[derive(Debug, Clone)]
 pub struct TaskData {
     /// The data matrix `A` behind the lazy storage layer.
     pub matrix: DataMatrix,
     /// Per-row labels (empty for graph tasks).
-    pub labels: Vec<f64>,
+    pub labels: Arc<Vec<f64>>,
     /// Per-column vertex costs (empty for supervised tasks).
-    pub costs: Vec<f64>,
+    pub costs: Arc<Vec<f64>>,
 }
 
 impl TaskData {
@@ -52,8 +58,8 @@ impl TaskData {
         );
         TaskData {
             matrix,
-            labels,
-            costs,
+            labels: Arc::new(labels),
+            costs: Arc::new(costs),
         }
     }
 
@@ -88,23 +94,56 @@ impl TaskData {
 
     /// Borrowed view of example row `i` (materializes the row layout on
     /// first use).
+    ///
+    /// On a **column shard** ([`TaskData::col_range`]) rows are served from
+    /// the shared base matrix: a column shard restricts only the column
+    /// axis, while column-to-row updates expand the row set `S(j)` through
+    /// *full* rows (footnote 2) — so row reads stay bit-identical to the
+    /// unsharded task.
     #[inline]
     pub fn row(&self, i: usize) -> RowView<'_> {
+        if let Some(base) = self.matrix.col_window_base() {
+            return base.row(i);
+        }
         self.matrix.row(i)
     }
 
     /// Borrowed view of coordinate column `j` (materializes the column
     /// layout on first use).
+    ///
+    /// Columnar items are **model coordinates**, which are global by
+    /// nature: on a column shard `j` stays the global coordinate id and the
+    /// shard translates it into its zero-copy window (panicking if the
+    /// shard does not own it), so `data.col(j)`, `data.costs[j]`, and
+    /// `model.read(j)` all agree inside an update function.
     #[inline]
     pub fn col(&self, j: usize) -> ColView<'_> {
-        self.matrix.col(j)
+        self.matrix.col(self.shard_col_index(j))
     }
 
     /// Number of stored entries in column `j` — the degree of vertex `j`
-    /// for the graph tasks.
+    /// for the graph tasks.  Global-coordinate semantics on a column shard,
+    /// exactly as [`TaskData::col`].
     #[inline]
     pub fn col_nnz(&self, j: usize) -> usize {
-        self.matrix.col_nnz(j)
+        self.matrix.col_nnz(self.shard_col_index(j))
+    }
+
+    /// Translate a global coordinate id into this task's column storage:
+    /// the identity for unsharded tasks, the window-local index for a
+    /// column shard (panicking if the shard does not own the coordinate).
+    #[inline]
+    fn shard_col_index(&self, j: usize) -> usize {
+        match self.matrix.col_window() {
+            Some((start, end)) => {
+                assert!(
+                    (start..end).contains(&j),
+                    "column {j} outside shard window {start}..{end}"
+                );
+                j - start
+            }
+            None => j,
+        }
     }
 
     /// The concrete row-major layout (materialized on first use).
@@ -128,7 +167,32 @@ impl TaskData {
         } else {
             self.labels[start..end].to_vec()
         };
-        TaskData::new(matrix, labels, self.costs.clone())
+        TaskData {
+            matrix,
+            labels: Arc::new(labels),
+            costs: Arc::clone(&self.costs),
+        }
+    }
+
+    /// Restrict to the contiguous column range `start..end` as a
+    /// **zero-copy** shard — the columnar mirror of [`TaskData::row_range`]:
+    /// the matrix is a [`dw_matrix::ColRangeView`] window into this task's
+    /// shared CSC (no element bytes are duplicated).
+    ///
+    /// Unlike a row shard, a column shard keeps the **full** labels *and*
+    /// costs — shared with the base task by `Arc`, no copies — and its
+    /// accessors keep global ids: columnar update functions address the
+    /// model, the costs, and the rows in `S(j)` by global coordinate / row
+    /// id, so only the column window itself is sliced.  [`TaskData::col`]
+    /// translates a global coordinate into the window and [`TaskData::row`]
+    /// reads full rows through the shared base, which is what keeps sharded
+    /// columnar execution bit-identical to the unsharded run.
+    pub fn col_range(&self, start: usize, end: usize) -> TaskData {
+        TaskData {
+            matrix: self.matrix.col_range(start, end),
+            labels: Arc::clone(&self.labels),
+            costs: Arc::clone(&self.costs),
+        }
     }
 
     /// Restrict to a subset of rows (used where a shard must carry
@@ -142,7 +206,11 @@ impl TaskData {
         } else {
             rows.iter().map(|&i| self.labels[i]).collect()
         };
-        TaskData::new(matrix, labels, self.costs.clone())
+        TaskData {
+            matrix,
+            labels: Arc::new(labels),
+            costs: Arc::clone(&self.costs),
+        }
     }
 }
 
@@ -212,7 +280,7 @@ mod tests {
         let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
         let sub = t.select_rows(&[1]);
         assert_eq!(sub.examples(), 1);
-        assert_eq!(sub.labels, vec![-1.0]);
+        assert_eq!(*sub.labels, vec![-1.0]);
         assert_eq!(sub.csr().get(0, 2), 3.0);
         assert!(!sub.matrix.csc_materialized());
     }
@@ -222,12 +290,48 @@ mod tests {
         let t = TaskData::supervised(tiny_matrix(), vec![1.0, -1.0]);
         let shard = t.row_range(1, 2);
         assert_eq!(shard.examples(), 1);
-        assert_eq!(shard.labels, vec![-1.0]);
+        assert_eq!(*shard.labels, vec![-1.0]);
         assert_eq!(shard.matrix.resident_bytes(), 0, "zero-copy window");
         let a = shard.row(0);
         let b = t.row(1);
         assert!(std::ptr::eq(a.indices, b.indices));
         assert!(std::ptr::eq(a.values, b.values));
+    }
+
+    #[test]
+    fn col_range_shard_keeps_global_ids_and_shares_storage() {
+        let t = TaskData::graph(tiny_matrix(), vec![0.1, 0.2, 0.3]);
+        let shard = t.col_range(1, 3);
+        // Zero-copy window over the shared CSC.
+        assert_eq!(shard.matrix.resident_bytes(), 0);
+        assert_eq!(shard.matrix.col_window(), Some((1, 3)));
+        // Global-coordinate semantics: the shard answers for the columns it
+        // owns, under their global ids, with the base's exact slices.
+        for j in 1..3 {
+            let a = shard.col(j);
+            let b = t.col(j);
+            assert!(std::ptr::eq(a.indices, b.indices), "col {j}");
+            assert!(std::ptr::eq(a.values, b.values), "col {j}");
+            assert_eq!(shard.col_nnz(j), t.col_nnz(j), "col {j}");
+        }
+        // Costs and labels stay full, addressed by global ids.
+        assert_eq!(shard.costs, t.costs);
+        assert_eq!(shard.examples(), t.examples());
+        // Rows are served from the shared base, unrestricted.
+        for i in 0..t.examples() {
+            let a = shard.row(i);
+            let b = t.row(i);
+            assert_eq!(a.indices, b.indices, "row {i}");
+            assert_eq!(a.values, b.values, "row {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside shard window")]
+    fn col_range_shard_rejects_unowned_columns() {
+        let t = TaskData::graph(tiny_matrix(), vec![0.1, 0.2, 0.3]);
+        let shard = t.col_range(1, 3);
+        let _ = shard.col(0);
     }
 
     #[test]

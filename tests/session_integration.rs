@@ -177,39 +177,144 @@ fn locality_first_on_one_group_is_bit_identical_to_round_robin() {
     // single locality group (PerMachine) and stealing disabled, owner-
     // directed dealing must collapse to exactly the old global round-robin —
     // same shuffle, same per-worker items, bit-identical traces and models.
+    // Axis-generic: the contract holds for row-wise plans (row items) and
+    // both columnar methods (column items) alike.
     let m = machine();
     let config = RunConfig::quick(4).with_seed(2024);
-    let base = ExecutionPlan::new(
-        &m,
+    for access in [
         AccessMethod::RowWise,
-        ModelReplication::PerMachine,
-        DataReplication::Sharding,
-    )
-    .with_workers(4);
-    for task in [
-        svm_task(),
-        AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Forest, 7), ModelKind::Ls),
+        AccessMethod::ColumnWise,
+        AccessMethod::ColumnToRow,
     ] {
-        let locality = DimmWitted::on(m.clone())
-            .task(task.clone())
-            .plan(base.clone().with_steal_budget(0))
-            .config(config.clone())
-            .executor(Box::new(InterleavedExecutor::new()))
-            .build()
-            .run();
-        let round_robin = DimmWitted::on(m.clone())
-            .task(task.clone())
-            .plan(base.clone().with_scheduler(ItemScheduler::RoundRobin))
-            .config(config.clone())
-            .executor(Box::new(InterleavedExecutor::new()))
-            .build()
-            .run();
-        assert_eq!(locality.trace, round_robin.trace, "{}", task.name);
-        assert_eq!(
-            locality.final_model, round_robin.final_model,
-            "{}",
-            task.name
-        );
+        let base = ExecutionPlan::new(
+            &m,
+            access,
+            ModelReplication::PerMachine,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+        for task in [
+            svm_task(),
+            AnalyticsTask::from_dataset(&Dataset::generate(PaperDataset::Forest, 7), ModelKind::Ls),
+        ] {
+            let locality = DimmWitted::on(m.clone())
+                .task(task.clone())
+                .plan(base.clone().with_steal_budget(0))
+                .config(config.clone())
+                .executor(Box::new(InterleavedExecutor::new()))
+                .build()
+                .run();
+            let round_robin = DimmWitted::on(m.clone())
+                .task(task.clone())
+                .plan(base.clone().with_scheduler(ItemScheduler::RoundRobin))
+                .config(config.clone())
+                .executor(Box::new(InterleavedExecutor::new()))
+                .build()
+                .run();
+            assert_eq!(locality.trace, round_robin.trace, "{access} {}", task.name);
+            assert_eq!(
+                locality.final_model, round_robin.final_model,
+                "{access} {}",
+                task.name
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_shard_indirection_never_moves_a_bit() {
+    // The determinism contract of the columnar zero-copy shards: under
+    // round-robin dealing the per-worker item lists are identical whether or
+    // not real column shards exist, so running the *same* assignment once
+    // through a sharded replica set — every column read resolving through an
+    // owner shard window — and once through full references must produce
+    // bit-identical models, for every model family and both columnar
+    // methods.
+    use dimmwitted::plan::build_epoch_assignment;
+    use dimmwitted::{EpochContext, Executor};
+    use dw_numa::PlacementPolicy;
+    use dw_optim::{AtomicModel, ModelAccess};
+
+    let m = machine();
+    let config = RunConfig::quick(1).with_seed(77);
+    let cases: Vec<(PaperDataset, ModelKind)> = vec![
+        (PaperDataset::Reuters, ModelKind::Svm),
+        (PaperDataset::AmazonQp, ModelKind::Qp),
+        (PaperDataset::AmazonLp, ModelKind::Lp),
+    ];
+    for (dataset, kind) in cases {
+        let task = AnalyticsTask::from_dataset(&Dataset::generate(dataset, 5), kind);
+        for access in [AccessMethod::ColumnWise, AccessMethod::ColumnToRow] {
+            let plan = ExecutionPlan::new(
+                &m,
+                access,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            )
+            .with_workers(4)
+            .with_scheduler(ItemScheduler::RoundRobin);
+            let sharded =
+                dimmwitted::DataReplicaSet::build(&plan, &m, PlacementPolicy::NumaAware, &task);
+            assert!(sharded.is_sharded(), "{kind}/{access}");
+            // A full-reference set of the same group structure (built from
+            // the FullReplication variant of the plan).
+            let full_plan = ExecutionPlan::new(
+                &m,
+                access,
+                ModelReplication::PerNode,
+                DataReplication::FullReplication,
+            )
+            .with_workers(4);
+            let full = dimmwitted::DataReplicaSet::build(
+                &full_plan,
+                &m,
+                PlacementPolicy::NumaAware,
+                &task,
+            );
+            assert!(!full.is_sharded());
+
+            let run = |set: &dimmwitted::DataReplicaSet| {
+                let mut executor = InterleavedExecutor::new();
+                let replicas: Vec<_> = (0..plan.locality_groups(&m))
+                    .map(|_| std::sync::Arc::new(AtomicModel::zeros(task.dim())))
+                    .collect();
+                let step = task.objective.default_col_step();
+                for epoch in 0..3 {
+                    // Round-robin dealing ignores the replica set, so both
+                    // runs process identical per-worker item lists.
+                    let assignment = build_epoch_assignment(
+                        &plan,
+                        &m,
+                        &task.data,
+                        epoch,
+                        config.seed,
+                        None,
+                        Some(set),
+                    );
+                    let ctx = EpochContext {
+                        task: &task,
+                        plan: &plan,
+                        config: &config,
+                        machine: &m,
+                        assignment: &assignment,
+                        replicas: &replicas,
+                        data: set,
+                        step,
+                    };
+                    executor.run_epoch(&ctx);
+                }
+                replicas
+                    .iter()
+                    .flat_map(|r| r.snapshot())
+                    .map(f64::to_bits)
+                    .collect::<Vec<u64>>()
+            };
+            assert_eq!(
+                run(&sharded),
+                run(&full),
+                "{kind}/{access}: shard indirection moved the model"
+            );
+        }
     }
 }
 
@@ -246,6 +351,66 @@ fn locality_first_raises_data_locality_on_sharded_groups() {
         locality_first >= 0.9,
         "locality-first locality {locality_first} should approach 1.0"
     );
+}
+
+#[test]
+fn columnar_locality_first_raises_data_locality_on_sharded_groups() {
+    // The columnar mirror of the headline scheduler claim: under Sharding
+    // with 2 locality groups, round-robin dealing leaves ~1/2 of the column
+    // reads node-local while locality-first dealing (stealing disabled)
+    // keeps all of them local — for both SCD-family access methods, on
+    // supervised and graph tasks alike.
+    let m = machine();
+    let cases: Vec<(PaperDataset, ModelKind)> = vec![
+        (PaperDataset::Reuters, ModelKind::Svm),
+        (PaperDataset::AmazonQp, ModelKind::Qp),
+    ];
+    for (dataset, kind) in cases {
+        let task = AnalyticsTask::from_dataset(&Dataset::generate(dataset, 23), kind);
+        for access in [AccessMethod::ColumnWise, AccessMethod::ColumnToRow] {
+            let base = ExecutionPlan::new(
+                &m,
+                access,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            )
+            .with_workers(4);
+            let locality_of = |plan: ExecutionPlan| {
+                let mut shard_bytes = None;
+                let mut stream = DimmWitted::on(m.clone())
+                    .task(task.clone())
+                    .plan(plan)
+                    .epochs(3)
+                    .build()
+                    .stream();
+                let events: Vec<EpochEvent> = stream.by_ref().collect();
+                let replicas = stream.data_replicas();
+                if replicas.is_sharded() {
+                    shard_bytes = Some(replicas.total_bytes());
+                }
+                (
+                    events.iter().map(|e| e.data_locality).sum::<f64>() / events.len() as f64,
+                    shard_bytes,
+                )
+            };
+            let (round_robin, _) =
+                locality_of(base.clone().with_scheduler(ItemScheduler::RoundRobin));
+            let (locality_first, shard_bytes) = locality_of(base.with_steal_budget(0));
+            assert!(
+                (0.3..=0.7).contains(&round_robin),
+                "{kind}/{access}: round-robin locality {round_robin} should sit near 1/groups"
+            );
+            assert!(
+                locality_first >= 0.9,
+                "{kind}/{access}: locality-first locality {locality_first} should approach 1.0"
+            );
+            assert_eq!(
+                shard_bytes,
+                Some(0),
+                "{kind}/{access}: column shards are zero-copy"
+            );
+        }
+    }
 }
 
 #[test]

@@ -108,6 +108,64 @@ fn row_wise_sharded_session_keeps_shards_row_only() {
 }
 
 #[test]
+fn columnar_sharded_session_keeps_shards_zero_copy() {
+    // The column mirror of the row shard-bytes pin: a ColumnToRow Sharding
+    // session builds real per-node column shards — zero-copy windows over
+    // the one shared CSC — and locality-first dealing keeps every column
+    // read in the owning group.
+    let dataset = Dataset::generate(PaperDataset::AmazonQp, 86);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Qp);
+    let matrix = task.data.matrix.clone();
+    let plan = ExecutionPlan::new(
+        &machine(),
+        AccessMethod::ColumnToRow,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    let mut stream = DimmWitted::on(machine())
+        .task(task)
+        .plan(plan)
+        .config(RunConfig::quick(2))
+        .build()
+        .stream();
+    for event in stream.by_ref() {
+        assert!(
+            event.data_locality >= 0.9,
+            "sharded columnar locality {} below the locality-first bar",
+            event.data_locality
+        );
+    }
+    let replicas = stream.data_replicas();
+    assert!(replicas.is_sharded());
+    assert_eq!(replicas.shard_axis(), Some(dw_matrix::Axis::Cols));
+    for g in 0..replicas.len() {
+        let shard = replicas.replica(g).data();
+        assert!(shard.matrix.csc_materialized(), "served by the shared CSC");
+        assert!(
+            !shard.matrix.csr_materialized(),
+            "column shards must never carry an owned row layout"
+        );
+        assert!(shard.matrix.col_window().is_some());
+        assert_eq!(
+            shard.matrix.resident_bytes(),
+            0,
+            "column shards are zero-copy views into the shared CSC"
+        );
+    }
+    assert_eq!(
+        replicas.total_bytes(),
+        0,
+        "a column-sharded replica set duplicates no element bytes"
+    );
+    // The base holds exactly the columnar session's layouts (CSC for the
+    // column walk + CSR for the row-wise loss pass), nothing more.
+    assert!(matrix.csc_materialized());
+    assert!(matrix.csr_materialized());
+    assert!(!matrix.dense_materialized());
+}
+
+#[test]
 fn compacting_the_source_reclaims_sixteen_bytes_per_nnz() {
     // The compaction contract: once the session materialized its compressed
     // layout, dropping the canonical COO triplets reclaims exactly their 16
