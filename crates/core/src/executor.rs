@@ -145,9 +145,19 @@ impl Executor for InterleavedExecutor {
 /// Per-worker item buffers are cached between epochs as well: jobs borrow
 /// them through an `Arc` that returns to a reference count of one when the
 /// epoch's jobs finish, so the next epoch refills the same allocations.
+///
+/// The pool is either **owned** (the default: created lazily to match the
+/// plan's worker count, resized on a worker-count change) or **shared**
+/// ([`ThreadedExecutor::with_pool`]): a server admitting many sessions hands
+/// every executor one `Arc<WorkerPool>` so concurrent sessions time-share
+/// the same OS threads instead of double-subscribing cores.  A shared pool
+/// is never resized — plans with more workers than pool threads round-robin
+/// onto the existing threads.
 #[derive(Debug, Default)]
 pub struct ThreadedExecutor {
-    pool: Option<WorkerPool>,
+    pool: Option<Arc<WorkerPool>>,
+    /// A shared pool is caller-owned: never recreated to match worker counts.
+    shared: bool,
     items: Vec<Arc<Vec<usize>>>,
 }
 
@@ -156,18 +166,34 @@ impl ThreadedExecutor {
     pub fn new() -> Self {
         ThreadedExecutor {
             pool: None,
+            shared: false,
             items: Vec::new(),
         }
     }
 
-    /// The pool, (re)created to match `workers`.
-    fn pool_for(&mut self, workers: usize) -> &WorkerPool {
-        let recreate = self
-            .pool
-            .as_ref()
-            .is_none_or(|pool| pool.workers() != workers);
+    /// Create a threaded executor running on a shared worker pool.
+    ///
+    /// Every session built over the same `Arc` dispatches its epochs onto
+    /// the same persistent threads; per-epoch [`crate::pool::JobBatch`]es
+    /// keep concurrent sessions' completion acknowledgements isolated.
+    pub fn with_pool(pool: Arc<WorkerPool>) -> Self {
+        ThreadedExecutor {
+            pool: Some(pool),
+            shared: true,
+            items: Vec::new(),
+        }
+    }
+
+    /// The pool, (re)created to match `workers` when owned; a shared pool is
+    /// returned as-is whatever its size.
+    fn pool_for(&mut self, workers: usize) -> &Arc<WorkerPool> {
+        let recreate = !self.shared
+            && self
+                .pool
+                .as_ref()
+                .is_none_or(|pool| pool.workers() != workers);
         if recreate {
-            self.pool = Some(WorkerPool::new(workers));
+            self.pool = Some(Arc::new(WorkerPool::new(workers)));
         }
         self.pool.as_ref().expect("pool was just created")
     }
@@ -208,14 +234,17 @@ impl Executor for ThreadedExecutor {
             .map(|(w, worker)| self.fill_items(w, &worker.items))
             .collect();
 
+        // One epoch = one batch: the private completion scope is what lets
+        // many sessions share a pool without consuming each other's acks.
         let pool = self.pool_for(workers);
+        let mut batch = pool.batch();
         for (w, worker) in ctx.assignment.workers.iter().enumerate() {
             let data = ctx.data.clone();
             let group = worker.replica;
             let objective = Arc::clone(&ctx.task.objective);
             let replica = Arc::clone(&ctx.replicas[worker.replica]);
             let items = Arc::clone(&staged[w]);
-            pool.dispatch(
+            batch.dispatch(
                 w,
                 Box::new(move || {
                     for &item in items.iter() {
@@ -236,9 +265,9 @@ impl Executor for ThreadedExecutor {
         // workers, which is the deadlock the spawn-per-epoch path had.
         if ctx.plan.model_replication == ModelReplication::PerNode && ctx.replicas.len() > 1 {
             let replicas = ctx.replicas;
-            pool.wait_with(workers, AVERAGING_INTERVAL, || store_average(replicas));
+            batch.wait_with(AVERAGING_INTERVAL, || store_average(replicas));
         } else {
-            pool.wait(workers);
+            batch.wait();
         }
     }
 }
@@ -423,6 +452,56 @@ mod tests {
         assert_eq!(epochs[0].len(), 4, "four distinct worker threads");
         assert_eq!(epochs[0], epochs[1], "epoch 2 reuses the same threads");
         assert_eq!(epochs[1], epochs[2], "epoch 3 reuses the same threads");
+    }
+
+    #[test]
+    fn shared_pool_serves_two_executors_on_the_same_threads() {
+        // Two sessions' executors over one Arc'd pool: every epoch of both
+        // runs on the same persistent OS threads, and the pool keeps its
+        // size (no double-subscription of cores).
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        use std::thread::ThreadId;
+
+        let pool = Arc::new(WorkerPool::new(4));
+        let mut first = ThreadedExecutor::with_pool(Arc::clone(&pool));
+        let mut second = ThreadedExecutor::with_pool(Arc::clone(&pool));
+        let ids: Arc<Mutex<HashSet<ThreadId>>> = Arc::new(Mutex::new(HashSet::new()));
+        for executor in [&mut first, &mut second] {
+            let pool = executor.pool_for(6); // plan asks for more than the pool has
+            assert_eq!(pool.workers(), 4, "a shared pool is never resized");
+            let mut batch = pool.batch();
+            for w in 0..6 {
+                let ids = Arc::clone(&ids);
+                batch.dispatch(
+                    w,
+                    Box::new(move || {
+                        ids.lock().unwrap().insert(std::thread::current().id());
+                    }),
+                );
+            }
+            batch.wait();
+        }
+        assert_eq!(
+            ids.lock().unwrap().len(),
+            4,
+            "both executors ran on the pool's own four threads"
+        );
+        let initial = task_loss_after_shared_pool_runs(&mut first, &mut second);
+        assert!(initial.0 < initial.1, "training still reduces the loss");
+    }
+
+    /// Run real epochs through both shared-pool executors; returns
+    /// (final loss of the first, initial loss) for a convergence sanity check.
+    fn task_loss_after_shared_pool_runs(
+        first: &mut ThreadedExecutor,
+        second: &mut ThreadedExecutor,
+    ) -> (f64, f64) {
+        let (task, _) = context_parts();
+        let initial = task.initial_loss();
+        let a = run_with(first, ModelReplication::PerMachine, 2);
+        let b = run_with(second, ModelReplication::PerNode, 2);
+        (a.max(b), initial)
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! A persistent worker-thread pool.
+//! A persistent worker-thread pool, shareable across sessions.
 //!
 //! The original threaded execution path spawned and joined one OS thread per
 //! worker *every epoch*, so a 20-epoch run on a 12-worker plan paid 240
@@ -10,22 +10,43 @@
 //! async serving, multi-tenant scheduling) needs anyway — a request becomes
 //! a dispatched job, not a thread spawn.
 //!
+//! **Sharing.**  A server admitting many concurrent sessions must not let
+//! each session spawn its own pool — two sessions on one machine would
+//! double-subscribe every core.  The pool is therefore `Sync` and designed
+//! for `Arc` sharing: every dispatched job carries the completion channel of
+//! the [`JobBatch`] it belongs to, so concurrent batches (one per in-flight
+//! epoch, possibly from different sessions) interleave freely on the worker
+//! queues without ever consuming each other's acknowledgements.  The
+//! one-owner [`WorkerPool::dispatch`]/[`WorkerPool::wait`] API remains as a
+//! convenience over a pool-wide default batch.
+//!
 //! The pool is deliberately built on `std::sync::mpsc` channels and
 //! `std::thread` so that the workspace stays dependency-free; the public
 //! surface matches what a crossbeam-based pool would expose.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A unit of work dispatched to one pool worker.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued job together with the completion channel of its batch.
+struct Tagged {
+    job: Job,
+    done: Sender<bool>,
+}
+
 /// A fixed-size pool of persistent worker threads.
 pub struct WorkerPool {
-    job_txs: Vec<Sender<Job>>,
-    done_rx: Receiver<bool>,
+    job_txs: Vec<Sender<Tagged>>,
+    /// Completion channel of the exclusive-use convenience API
+    /// ([`WorkerPool::dispatch`] / [`WorkerPool::wait`]); batch dispatches
+    /// never touch it.
+    default_done_tx: Sender<bool>,
+    default_done_rx: Mutex<Receiver<bool>>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -41,22 +62,21 @@ impl WorkerPool {
     /// Spawn `workers` persistent threads.
     pub fn new(workers: usize) -> Self {
         let workers = workers.max(1);
-        let (done_tx, done_rx) = channel::<bool>();
+        let (default_done_tx, default_done_rx) = channel::<bool>();
         let mut job_txs = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let (tx, rx) = channel::<Job>();
-            let done = done_tx.clone();
+            let (tx, rx) = channel::<Tagged>();
             let handle = std::thread::Builder::new()
                 .name(format!("dw-worker-{w}"))
                 .spawn(move || {
-                    for job in rx {
+                    for Tagged { job, done } in rx {
                         // A panicking job must still acknowledge, otherwise
-                        // the dispatcher would wait forever for its slot.
+                        // its batch would wait forever for the slot.  A
+                        // batch dropped before its jobs drained just loses
+                        // the acknowledgement — ignore the send failure.
                         let panicked = catch_unwind(AssertUnwindSafe(job)).is_err();
-                        if done.send(panicked).is_err() {
-                            break;
-                        }
+                        let _ = done.send(panicked);
                     }
                 })
                 .expect("failed to spawn pool worker thread");
@@ -65,7 +85,8 @@ impl WorkerPool {
         }
         WorkerPool {
             job_txs,
-            done_rx,
+            default_done_tx,
+            default_done_rx: Mutex::new(default_done_rx),
             handles,
         }
     }
@@ -75,14 +96,37 @@ impl WorkerPool {
         self.job_txs.len()
     }
 
-    /// Queue `job` on worker `worker` (round-robins past the pool size).
-    pub fn dispatch(&self, worker: usize, job: Job) {
+    /// Open a new batch: an isolated completion scope for a group of jobs
+    /// (typically one epoch).  Concurrent batches — from one session or
+    /// many — share the worker queues but never each other's
+    /// acknowledgements.
+    pub fn batch(&self) -> JobBatch<'_> {
+        let (done_tx, done_rx) = channel();
+        JobBatch {
+            pool: self,
+            done_tx,
+            done_rx,
+            outstanding: 0,
+        }
+    }
+
+    fn send(&self, worker: usize, job: Job, done: Sender<bool>) {
         self.job_txs[worker % self.job_txs.len()]
-            .send(job)
+            .send(Tagged { job, done })
             .expect("pool worker thread terminated");
     }
 
-    /// Block until `jobs` completion acknowledgements arrive.
+    /// Queue `job` on worker `worker` (round-robins past the pool size).
+    ///
+    /// Part of the exclusive-use API: completion goes to the pool-wide
+    /// default channel, so only one owner may interleave `dispatch`/`wait`.
+    /// Sessions sharing a pool use [`WorkerPool::batch`] instead.
+    pub fn dispatch(&self, worker: usize, job: Job) {
+        self.send(worker, job, self.default_done_tx.clone());
+    }
+
+    /// Block until `jobs` completion acknowledgements arrive on the default
+    /// channel (pairs with [`WorkerPool::dispatch`]).
     ///
     /// # Panics
     /// Panics if any of the awaited jobs panicked.
@@ -93,23 +137,32 @@ impl WorkerPool {
     /// Like [`WorkerPool::wait`], but runs `between` on the calling thread
     /// whenever `interval` elapses without a completion — the hook the
     /// asynchronous PerNode model-averaging protocol (Section 3.3) runs in.
-    pub fn wait_with<F: FnMut()>(&self, jobs: usize, interval: Duration, mut between: F) {
-        let mut remaining = jobs;
-        let mut panicked = false;
-        while remaining > 0 {
-            match self.done_rx.recv_timeout(interval) {
-                Ok(job_panicked) => {
-                    panicked |= job_panicked;
-                    remaining -= 1;
-                }
-                Err(RecvTimeoutError::Timeout) => between(),
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("worker pool threads terminated unexpectedly")
-                }
+    pub fn wait_with<F: FnMut()>(&self, jobs: usize, interval: Duration, between: F) {
+        let rx = self
+            .default_done_rx
+            .lock()
+            .expect("default completion channel poisoned");
+        drain_acks(&rx, jobs, interval, between);
+    }
+}
+
+/// Consume `jobs` acknowledgements from `rx`, running `between` on timeout.
+fn drain_acks<F: FnMut()>(rx: &Receiver<bool>, jobs: usize, interval: Duration, mut between: F) {
+    let mut remaining = jobs;
+    let mut panicked = false;
+    while remaining > 0 {
+        match rx.recv_timeout(interval) {
+            Ok(job_panicked) => {
+                panicked |= job_panicked;
+                remaining -= 1;
+            }
+            Err(RecvTimeoutError::Timeout) => between(),
+            Err(RecvTimeoutError::Disconnected) => {
+                panic!("worker pool threads terminated unexpectedly")
             }
         }
-        assert!(!panicked, "worker thread panicked");
     }
+    assert!(!panicked, "worker thread panicked");
 }
 
 impl Drop for WorkerPool {
@@ -119,6 +172,43 @@ impl Drop for WorkerPool {
         for handle in self.handles.drain(..) {
             let _ = handle.join();
         }
+    }
+}
+
+/// A group of jobs with a private completion scope on a (possibly shared)
+/// [`WorkerPool`].  One epoch of one session is one batch.
+pub struct JobBatch<'a> {
+    pool: &'a WorkerPool,
+    done_tx: Sender<bool>,
+    done_rx: Receiver<bool>,
+    outstanding: usize,
+}
+
+impl JobBatch<'_> {
+    /// Queue `job` on worker `worker` (round-robins past the pool size).
+    pub fn dispatch(&mut self, worker: usize, job: Job) {
+        self.pool.send(worker, job, self.done_tx.clone());
+        self.outstanding += 1;
+    }
+
+    /// Jobs dispatched but not yet acknowledged through this batch.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Block until every dispatched job has acknowledged.
+    ///
+    /// # Panics
+    /// Panics if any of the awaited jobs panicked.
+    pub fn wait(&mut self) {
+        self.wait_with(Duration::from_millis(20), || {});
+    }
+
+    /// Like [`JobBatch::wait`], but runs `between` on the calling thread
+    /// whenever `interval` elapses without a completion.
+    pub fn wait_with<F: FnMut()>(&mut self, interval: Duration, between: F) {
+        let jobs = std::mem::take(&mut self.outstanding);
+        drain_acks(&self.done_rx, jobs, interval, between);
     }
 }
 
@@ -176,6 +266,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "worker thread panicked")]
+    fn batch_job_panics_propagate_to_its_waiter() {
+        let pool = WorkerPool::new(2);
+        let mut batch = pool.batch();
+        batch.dispatch(0, Box::new(|| panic!("boom")));
+        batch.wait();
+    }
+
+    #[test]
     fn pool_survives_many_epochs_of_dispatch() {
         // The persistent-pool property: the same threads serve every epoch.
         let pool = WorkerPool::new(2);
@@ -193,5 +292,65 @@ mod tests {
             pool.wait(2);
         }
         assert_eq!(counter.load(Ordering::Relaxed), 200);
+    }
+
+    #[test]
+    fn concurrent_batches_never_cross_acknowledgements() {
+        // Two "sessions" drive interleaved epochs on one shared pool from
+        // separate threads.  Each batch must observe exactly its own jobs'
+        // completions: a miscounted acknowledgement would either deadlock a
+        // wait() (missing ack) or let an epoch finish before its own updates
+        // landed (stolen ack), which the per-session counters would expose.
+        let pool = Arc::new(WorkerPool::new(4));
+        let counters = [Arc::new(AtomicUsize::new(0)), Arc::new(AtomicUsize::new(0))];
+        std::thread::scope(|scope| {
+            for (session, counter) in counters.iter().enumerate() {
+                let pool = Arc::clone(&pool);
+                let counter = Arc::clone(counter);
+                scope.spawn(move || {
+                    for _epoch in 0..50 {
+                        let mut batch = pool.batch();
+                        for w in 0..4 {
+                            let counter = Arc::clone(&counter);
+                            batch.dispatch(
+                                w + session, // offset so queues interleave
+                                Box::new(move || {
+                                    counter.fetch_add(1, Ordering::Relaxed);
+                                }),
+                            );
+                        }
+                        batch.wait();
+                        // The batch's own jobs are all visible at wait().
+                        assert_eq!(counter.load(Ordering::Relaxed) % 4, 0);
+                    }
+                });
+            }
+        });
+        for counter in &counters {
+            assert_eq!(counter.load(Ordering::Relaxed), 200);
+        }
+    }
+
+    #[test]
+    fn shared_pool_is_sync_and_keeps_its_size() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<WorkerPool>();
+        let pool = Arc::new(WorkerPool::new(3));
+        // Dispatching "worker 7" on a 3-thread pool round-robins: sharing a
+        // small pool never grows it (no double-subscription of cores).
+        let mut batch = pool.batch();
+        let hits = Arc::new(AtomicUsize::new(0));
+        for w in 0..7 {
+            let hits = Arc::clone(&hits);
+            batch.dispatch(
+                w,
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        batch.wait();
+        assert_eq!(hits.load(Ordering::Relaxed), 7);
+        assert_eq!(pool.workers(), 3);
     }
 }

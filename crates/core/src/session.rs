@@ -266,6 +266,19 @@ impl SessionBuilder {
         self
     }
 
+    /// Run threaded epochs on a **shared** worker pool instead of an owned
+    /// one (shorthand for `.executor(ThreadedExecutor::with_pool(pool))`).
+    ///
+    /// Sessions are built per-task, but worker threads subscribe cores: two
+    /// sessions that each own a pool double-subscribe every core they
+    /// share.  A server therefore owns one `Arc<WorkerPool>` and every
+    /// admitted session leases it; per-epoch [`crate::pool::JobBatch`]es
+    /// keep concurrent epochs' completion acknowledgements isolated.
+    pub fn with_pool(mut self, pool: Arc<crate::pool::WorkerPool>) -> Self {
+        self.executor = Some(Box::new(ThreadedExecutor::with_pool(pool)));
+        self
+    }
+
     /// Drop the task matrix's canonical COO triplets once the plan's
     /// compressed layouts are materialized, reclaiming 16 bytes per stored
     /// non-zero.  Off by default: compaction affects every holder of the
@@ -1429,6 +1442,40 @@ mod tests {
         let event = stream.next().expect("first epoch");
         assert!(event.steals > 0);
         assert!(event.loss.is_finite());
+    }
+
+    #[test]
+    fn two_sessions_lease_one_shared_pool() {
+        // The pre-req of the serving subsystem: sessions built with
+        // `.with_pool` run all their threaded epochs on one Arc'd pool
+        // instead of spawning a pool each (which would double-subscribe
+        // every core), and the pool outlives both sessions unchanged.
+        let pool = Arc::new(crate::pool::WorkerPool::new(4));
+        let machine = MachineTopology::local2();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            crate::replication::ModelReplication::PerCore,
+            crate::replication::DataReplication::Sharding,
+        )
+        .with_workers(4);
+        for seed in [1u64, 2] {
+            let report = builder()
+                .plan(plan.clone())
+                .seed(seed)
+                .epochs(2)
+                .with_pool(Arc::clone(&pool))
+                .build()
+                .run();
+            assert_eq!(report.trace.epochs(), 2);
+            assert!(report.final_loss().is_finite());
+        }
+        assert_eq!(pool.workers(), 4, "the shared pool was never resized");
+        assert_eq!(
+            Arc::strong_count(&pool),
+            1,
+            "both sessions released their lease"
+        );
     }
 
     #[test]
