@@ -37,6 +37,7 @@ use dw_optim::{AtomicModel, ConvergenceTrace};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// A shareable handle that requests cooperative cancellation of a session.
 ///
@@ -75,6 +76,11 @@ pub struct EpochEvent {
     pub loss: f64,
     /// Cumulative simulated seconds on the target machine.
     pub sim_seconds: f64,
+    /// Monotonic wall-clock time since the stream started (first epoch
+    /// dispatched).  Unlike `sim_seconds` — modelled time on the *target*
+    /// machine — this is measured time on the *host*, which is what snapshot
+    /// staleness, fairness accounting, and `epochs/s` serving stats need.
+    pub elapsed: Duration,
     /// Modelled PMU counters for this epoch.
     pub counters: PerfCounters,
     /// Fraction of this epoch's data reads served by the reading worker's
@@ -118,6 +124,10 @@ pub enum StopReason {
 
 type Observer = Box<dyn FnMut(&EpochEvent) + Send>;
 
+/// An observer that additionally receives the epoch-boundary averaged model
+/// (see [`SessionBuilder::on_epoch_model`]).
+type ModelObserver = Box<dyn FnMut(&EpochEvent, &[f64]) + Send>;
+
 /// Entry point of the fluent API.
 ///
 /// ```
@@ -149,6 +159,7 @@ impl DimmWitted {
             until_converged: None,
             cancel: CancelToken::new(),
             observers: Vec::new(),
+            model_observers: Vec::new(),
             executor: None,
             compact: false,
             memory_budget: None,
@@ -168,6 +179,7 @@ pub struct SessionBuilder {
     until_converged: Option<f64>,
     cancel: CancelToken,
     observers: Vec<Observer>,
+    model_observers: Vec<ModelObserver>,
     executor: Option<Box<dyn Executor>>,
     compact: bool,
     memory_budget: Option<usize>,
@@ -257,6 +269,24 @@ impl SessionBuilder {
     /// Attach an observer invoked after every epoch.
     pub fn on_epoch(mut self, observer: impl FnMut(&EpochEvent) + Send + 'static) -> Self {
         self.observers.push(Box::new(observer));
+        self
+    }
+
+    /// Attach an observer that also receives the epoch-boundary **averaged
+    /// model** — the publish hook of the serving subsystem.
+    ///
+    /// The slice is the same synchronized model the event's `loss` was
+    /// evaluated against, handed over *after* the epoch's workers have
+    /// quiesced, so a copy taken here can never observe a torn or mid-epoch
+    /// state.  A server clones it into a versioned immutable snapshot
+    /// (`dw-serve`'s `ModelSnapshot`) while training continues on the
+    /// replicas.  Runs after the plain [`SessionBuilder::on_epoch`]
+    /// observers.
+    pub fn on_epoch_model(
+        mut self,
+        observer: impl FnMut(&EpochEvent, &[f64]) + Send + 'static,
+    ) -> Self {
+        self.model_observers.push(Box::new(observer));
         self
     }
 
@@ -373,6 +403,7 @@ impl SessionBuilder {
             until_converged: self.until_converged,
             cancel: self.cancel,
             observers: self.observers,
+            model_observers: self.model_observers,
             executor,
             compact: self.compact,
             memory_budget: self.memory_budget,
@@ -504,6 +535,7 @@ pub struct Session {
     until_converged: Option<f64>,
     cancel: CancelToken,
     observers: Vec<Observer>,
+    model_observers: Vec<ModelObserver>,
     executor: Box<dyn Executor>,
     compact: bool,
     memory_budget: Option<usize>,
@@ -602,6 +634,7 @@ impl Session {
             until_converged: self.until_converged,
             cancel: self.cancel,
             observers: self.observers,
+            model_observers: self.model_observers,
             executor: self.executor,
             replicas,
             data_replicas,
@@ -609,6 +642,7 @@ impl Session {
             assignment,
             sim,
             sim_elapsed: 0.0,
+            started: Instant::now(),
             trace,
             step,
             epoch: 0,
@@ -648,6 +682,7 @@ pub struct EpochStream {
     until_converged: Option<f64>,
     cancel: CancelToken,
     observers: Vec<Observer>,
+    model_observers: Vec<ModelObserver>,
     executor: Box<dyn Executor>,
     replicas: Vec<Arc<AtomicModel>>,
     data_replicas: DataReplicaSet,
@@ -655,6 +690,8 @@ pub struct EpochStream {
     assignment: EpochAssignment,
     sim: EpochSimulation,
     sim_elapsed: f64,
+    /// Wall-clock anchor of [`EpochEvent::elapsed`], taken at stream start.
+    started: Instant,
     trace: ConvergenceTrace,
     step: f64,
     epoch: usize,
@@ -701,6 +738,16 @@ impl EpochStream {
     /// The per-node data replicas / shards this stream reads through.
     pub fn data_replicas(&self) -> &DataReplicaSet {
         &self.data_replicas
+    }
+
+    /// The current epoch-boundary model (replica average).
+    ///
+    /// Safe to call between [`Iterator::next`] calls — no epoch is in
+    /// flight then, so this is the exact model the last event's loss was
+    /// evaluated against (see [`SessionBuilder::on_epoch_model`] for the
+    /// push-style equivalent a server publishes snapshots from).
+    pub fn model(&self) -> Vec<f64> {
+        average_replicas(&self.replicas)
     }
 
     /// Switch the running stream to a different plan **without losing the
@@ -868,6 +915,7 @@ impl Iterator for EpochStream {
             epoch: self.epoch,
             loss,
             sim_seconds,
+            elapsed: self.started.elapsed(),
             counters: self.sim.counters,
             data_locality: self.data_replicas.local_read_fraction(&self.assignment),
             steals: self.assignment.steals(),
@@ -878,6 +926,9 @@ impl Iterator for EpochStream {
         };
         for observer in &mut self.observers {
             observer(&event);
+        }
+        for observer in &mut self.model_observers {
+            observer(&event, &averaged);
         }
         // Steal-budget adaptation (auto-steal mode): the derived budget is
         // the economic *cap* (past it a stolen item costs the thief more
@@ -1476,6 +1527,60 @@ mod tests {
             1,
             "both sessions released their lease"
         );
+    }
+
+    #[test]
+    fn events_carry_a_monotonic_elapsed_timestamp() {
+        let events: Vec<EpochEvent> = builder().epochs(3).build().stream().collect();
+        assert!(events[0].elapsed > Duration::ZERO, "epoch 1 took time");
+        for pair in events.windows(2) {
+            assert!(
+                pair[1].elapsed >= pair[0].elapsed,
+                "elapsed never goes backwards: {:?} then {:?}",
+                pair[0].elapsed,
+                pair[1].elapsed
+            );
+        }
+    }
+
+    #[test]
+    fn on_epoch_model_publishes_the_synchronized_model() {
+        // The serving publish hook: the observer's slice is the same
+        // epoch-boundary average the event's loss was computed from, so
+        // re-evaluating the loss against a copy reproduces it exactly.
+        let task = reuters_svm();
+        let objective = Arc::clone(&task.objective);
+        let data = Arc::clone(&task.data);
+        let published = Arc::new(std::sync::Mutex::new(Vec::<(usize, Vec<f64>)>::new()));
+        let sink = Arc::clone(&published);
+        let report = builder_with(task)
+            .epochs(3)
+            .on_epoch_model(move |event, model| {
+                sink.lock().unwrap().push((event.epoch, model.to_vec()));
+                assert_eq!(
+                    objective.full_loss(&data, model),
+                    event.loss,
+                    "the published model is the one the loss was measured on"
+                );
+            })
+            .build()
+            .run();
+        let published = published.lock().unwrap();
+        assert_eq!(published.len(), 3, "one publication per epoch");
+        assert_eq!(
+            published.last().unwrap().1,
+            report.final_model,
+            "the last publication is the final model"
+        );
+    }
+
+    #[test]
+    fn stream_model_matches_the_last_event() {
+        let mut stream = builder().epochs(2).build().stream();
+        let first = stream.next().expect("first epoch");
+        let model = stream.model();
+        let loss = stream.task.objective.full_loss(&stream.task.data, &model);
+        assert_eq!(loss, first.loss);
     }
 
     #[test]

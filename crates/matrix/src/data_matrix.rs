@@ -1014,6 +1014,24 @@ impl DataMatrix {
                 .map_or(0, |_| self.inner.shape.dense_len() * 8)
     }
 
+    /// Whether two handles share the same underlying storage (layouts,
+    /// source, page cache) — i.e. are clones of one matrix, not copies.
+    ///
+    /// The multi-tenant serving registry uses this to confirm that sessions
+    /// admitted over the same dataset reuse one set of materialized layouts
+    /// instead of duplicating them per session.
+    pub fn shares_storage_with(&self, other: &DataMatrix) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    /// Number of live handles (clones) onto this storage, including this
+    /// one.  Diagnostic counterpart of
+    /// [`DataMatrix::shares_storage_with`]: a server reports it per dataset
+    /// so an operator can see layout reuse across admitted sessions.
+    pub fn storage_handles(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
     /// Drop the canonical COO triplets once a compressed layout is resident,
     /// returning the bytes reclaimed (16 per stored triplet).
     ///
@@ -1388,6 +1406,24 @@ mod tests {
         coo.push(2, 1, 3.0).unwrap();
         coo.push(2, 2, 4.0).unwrap();
         coo
+    }
+
+    #[test]
+    fn clones_share_storage_and_count_their_handles() {
+        let m = DataMatrix::from_coo(sample_coo());
+        assert_eq!(m.storage_handles(), 1);
+        let lease = m.clone();
+        assert!(m.shares_storage_with(&lease));
+        assert_eq!(m.storage_handles(), 2);
+        // A layout materialized through one handle is visible through the
+        // other — the reuse the serving registry asserts per dataset.
+        lease.materialize_rows();
+        assert!(m.csr_materialized());
+        drop(lease);
+        assert_eq!(m.storage_handles(), 1);
+        // An independently built matrix shares nothing, even if equal.
+        let other = DataMatrix::from_coo(sample_coo());
+        assert!(!m.shares_storage_with(&other));
     }
 
     #[test]

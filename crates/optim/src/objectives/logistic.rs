@@ -95,6 +95,12 @@ impl Objective for Logistic {
     fn default_step(&self) -> f64 {
         0.25
     }
+
+    /// Probability of the positive class: `σ(input · model)` instead of the
+    /// raw margin, so serving scores are calibrated in `(0, 1)`.
+    fn score(&self, input: &dw_matrix::SparseVector, model: &[f64]) -> f64 {
+        sigmoid(dw_matrix::dot_sparse_dense(input, model))
+    }
 }
 
 #[cfg(test)]

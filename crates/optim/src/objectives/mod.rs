@@ -28,6 +28,7 @@ pub use svm::SvmHinge;
 
 use crate::model::ModelAccess;
 use crate::task::TaskData;
+use dw_matrix::{dot_sparse_dense, SparseVector};
 
 /// Whether a row-wise gradient step writes only the coordinates where the
 /// example is non-zero (sparse update) or the whole model (dense update).
@@ -96,6 +97,19 @@ pub trait Objective: Send + Sync {
     /// Per-epoch multiplicative step-size decay.
     fn step_decay(&self) -> f64 {
         0.95
+    }
+
+    /// Score one input against an immutable model snapshot — the read-only
+    /// serving entry point.
+    ///
+    /// Unlike every other method here, this neither reads [`TaskData`] nor
+    /// mutates a model: a `Predictor` holds a published snapshot (a plain
+    /// slice) and evaluates fresh inputs against it while training
+    /// continues elsewhere.  The default is the raw prediction margin
+    /// `input · model`; objectives with a natural probabilistic output
+    /// (logistic regression) override it with their link function.
+    fn score(&self, input: &SparseVector, model: &[f64]) -> f64 {
+        dot_sparse_dense(input, model)
     }
 }
 
@@ -199,6 +213,20 @@ mod tests {
             let b = row_margin_slice(&data, i, &snapshot);
             assert!((a - b).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn score_defaults_to_the_margin_and_logistic_calibrates_it() {
+        let model = vec![0.5, -1.0, 2.0];
+        let input = SparseVector::from_parts(vec![0, 2], vec![2.0, 1.0]);
+        let margin = 2.0 * 0.5 + 1.0 * 2.0;
+        assert_eq!(SvmHinge::default().score(&input, &model), margin);
+        assert_eq!(LeastSquares::default().score(&input, &model), margin);
+        // Logistic maps the same margin through the sigmoid link.
+        let p = Logistic::default().score(&input, &model);
+        assert!(p > 0.5 && p < 1.0, "positive margin scores above 0.5: {p}");
+        let zero = Logistic::default().score(&input, &[0.0; 3]);
+        assert_eq!(zero, 0.5);
     }
 
     #[test]
