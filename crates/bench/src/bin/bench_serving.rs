@@ -1,0 +1,315 @@
+//! Machine-readable serving benchmark: prediction throughput and latency
+//! under train/serve co-residency, as JSON, so successive PRs accumulate a
+//! perf trajectory (siblings: `bench_ooc`, `bench_storage`, `bench_locality`).
+//!
+//! One fully-trained "serving" tenant answers a fixed prediction workload
+//! through the batched [`Frontend`] while 0, 1, or 4 *other* tenants train
+//! concurrently on the same server — same shared worker pool, same fair
+//! scheduler.  Emitted per level: predictions/s, p50/p99 enqueue-to-reply
+//! latency.  The serving-under-load contract is that the read path (a
+//! lock-free snapshot load plus a dot product) degrades gracefully, not
+//! proportionally to tenant count.
+//!
+//! A second section checks the determinism contract end-to-end: an SVM and
+//! an LR session admitted **concurrently** onto one server must produce
+//! convergence traces bit-identical to each running solo — the FNV-1a
+//! hashes over the per-epoch loss bits must match exactly, and the run
+//! aborts if they do not.
+//!
+//! Writes `BENCH_serving.json` (override with `--out <path>`); `--quick`
+//! drops the workload size for CI smoke runs, same schema.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionMode, ExecutionPlan,
+    ModelKind, ModelReplication,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::SparseVector;
+use dw_numa::MachineTopology;
+use dw_optim::ConvergenceTrace;
+use dw_serve::{Execution, Frontend, Server, SessionSpec};
+use std::time::Instant;
+
+/// FNV-1a over the initial loss and per-epoch loss bits: the trace-parity
+/// fingerprint (same construction as `bench_ooc`, over a finished trace).
+fn trace_hash(trace: &ConvergenceTrace) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(trace.initial_loss.to_bits());
+    for point in &trace.points {
+        eat(point.loss.to_bits());
+    }
+    hash
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serving.json")
+        .to_string();
+    let predictions = if quick { 4_000 } else { 40_000 };
+    let probes = if quick { 200 } else { 2_000 };
+    let background_epochs = if quick { 200 } else { 2_000 };
+    let machine = MachineTopology::local2();
+    let plan = ExecutionPlan::new(
+        &machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerCore,
+        DataReplication::Sharding,
+    )
+    .with_workers(4);
+    let dataset = Dataset::generate(PaperDataset::Reuters, 7);
+    let task = |kind: ModelKind| AnalyticsTask::from_dataset(&dataset, kind);
+    let columns = dataset.matrix.stats().cols as u32;
+
+    // A fixed prediction workload, reused at every concurrency level.
+    let inputs: Vec<SparseVector> = (0..predictions)
+        .map(|i| {
+            // Two strictly increasing, in-bounds indices per request.
+            let a = i as u32 % (columns - 1);
+            let b = (i as u32 * 7 + 3) % (columns - 1);
+            let (lo, hi) = if a == b {
+                (a, a + 1)
+            } else {
+                (a.min(b), a.max(b))
+            };
+            SparseVector::from_parts(vec![lo, hi], vec![1.0, -0.5])
+        })
+        .collect();
+
+    let mut records: Vec<Record> = vec![Record {
+        group: "workload",
+        name: "predictions_per_level".to_string(),
+        value: predictions as f64,
+        unit: "requests",
+    }];
+
+    // --- Throughput and latency with 0 / 1 / 4 concurrent trainers. ---
+    let mut throughput = Vec::new();
+    let mut p99s = Vec::new();
+    for concurrent in [0usize, 1, 4] {
+        let level = format!("train{concurrent}");
+        let server = Server::builder(machine.clone())
+            .pool_workers(4)
+            .trainers(2)
+            .build();
+        // The serving tenant trains briefly, then its final snapshot is the
+        // model every request is scored against.
+        let serving = server.admit(
+            SessionSpec::new("serving", task(ModelKind::Svm))
+                .plan(plan.clone())
+                .epochs(3)
+                .seed(1)
+                .execution(Execution::SharedPool),
+        );
+        serving.wait();
+        // Background tenants keep the pool busy for the whole measurement
+        // window (long epoch budgets; evicted once the clock stops).
+        let background: Vec<_> = (0..concurrent)
+            .map(|i| {
+                server.admit(
+                    SessionSpec::new(format!("bg{i}"), task(ModelKind::Lr))
+                        .plan(plan.clone())
+                        .epochs(background_epochs)
+                        .seed(100 + i as u64)
+                        .execution(Execution::SharedPool),
+                )
+            })
+            .collect();
+
+        let frontend = Frontend::new(2, 32);
+        let started = Instant::now();
+        let tickets = frontend.submit_batch(&serving, inputs.clone());
+        let mut finite = 0usize;
+        for ticket in tickets {
+            let reply = ticket.wait();
+            if reply.score.is_finite() {
+                finite += 1;
+            }
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        assert_eq!(finite, predictions, "served from a published snapshot");
+        let stats = serving.stats();
+        assert_eq!(stats.predictions, predictions as u64);
+        let per_sec = predictions as f64 / elapsed;
+
+        // Latency probe, closed loop with one request in flight: the bulk
+        // pass above measures throughput, where enqueue-to-reply latency is
+        // queue depth, not service time.  Percentiles come from here.
+        let mut latencies_us: Vec<u64> = (0..probes)
+            .map(|i| {
+                let reply = frontend
+                    .submit(&serving, inputs[i % inputs.len()].clone())
+                    .wait();
+                reply.latency.as_micros() as u64
+            })
+            .collect();
+        latencies_us.sort_unstable();
+        let p50 = dw_serve::stats::percentile(&latencies_us, 0.50);
+        let p99 = dw_serve::stats::percentile(&latencies_us, 0.99);
+
+        records.push(Record {
+            group: "throughput",
+            name: format!("predictions_per_sec/{level}"),
+            value: per_sec,
+            unit: "1/s",
+        });
+        records.push(Record {
+            group: "latency",
+            name: format!("p50_latency_us/{level}"),
+            value: p50 as f64,
+            unit: "us",
+        });
+        records.push(Record {
+            group: "latency",
+            name: format!("p99_latency_us/{level}"),
+            value: p99 as f64,
+            unit: "us",
+        });
+        throughput.push((level.clone(), per_sec));
+        p99s.push((level, p99));
+        frontend.shutdown();
+        let still_training = background
+            .into_iter()
+            .filter(|bg| !bg.is_done())
+            .map(|bg| {
+                bg.evict();
+            })
+            .count();
+        records.push(Record {
+            group: "overlap",
+            name: format!("trainers_still_running_after_serving/{concurrent}"),
+            value: still_training as f64,
+            unit: "sessions",
+        });
+        server.shutdown();
+    }
+
+    // --- Trace parity: concurrent tenants vs solo runs, hashed. ---
+    let parity_epochs = 5;
+    let specs: [(&str, ModelKind, u64); 2] =
+        [("svm", ModelKind::Svm, 11), ("lr", ModelKind::Lr, 22)];
+    let solo: Vec<(String, u64)> = specs
+        .iter()
+        .map(|(name, kind, seed)| {
+            let report = DimmWitted::on(machine.clone())
+                .task(task(*kind))
+                .plan(plan.clone())
+                .epochs(parity_epochs)
+                .seed(*seed)
+                .mode(ExecutionMode::Threaded)
+                .build()
+                .run();
+            (format!("solo_{name}"), trace_hash(&report.trace))
+        })
+        .collect();
+    let server = Server::builder(machine.clone())
+        .pool_workers(4)
+        .trainers(2)
+        .build();
+    let handles: Vec<_> = specs
+        .iter()
+        .map(|(name, kind, seed)| {
+            server.admit(
+                SessionSpec::new(*name, task(*kind))
+                    .plan(plan.clone())
+                    .epochs(parity_epochs)
+                    .seed(*seed)
+                    .execution(Execution::SharedPool),
+            )
+        })
+        .collect();
+    let served: Vec<(String, u64)> = handles
+        .iter()
+        .map(|handle| {
+            let (trace, _) = handle.wait();
+            (format!("served_{}", handle.name()), trace_hash(&trace))
+        })
+        .collect();
+    server.shutdown();
+    let parity = solo
+        .iter()
+        .zip(&served)
+        .all(|((_, solo_hash), (_, served_hash))| solo_hash == served_hash);
+    let hashes: Vec<(String, u64)> = solo.into_iter().chain(served).collect();
+    records.push(Record {
+        group: "parity",
+        name: "concurrent_matches_solo".to_string(),
+        value: if parity { 1.0 } else { 0.0 },
+        unit: "bool",
+    });
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/serving-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"predictions_per_level\": {predictions},\n"));
+    // Hashes go out as hex strings: a u64 FNV fingerprint does not survive
+    // an f64 round-trip above 2^53, and cross-PR parity tooling compares
+    // these exactly.
+    json.push_str("  \"trace_hashes\": {\n");
+    for (i, (name, hash)) in hashes.iter().enumerate() {
+        let comma = if i + 1 == hashes.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": \"{hash:#018x}\"{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "serving-bench: {:<10} {:<44} {:>16.4} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    for (name, hash) in &hashes {
+        println!("serving-bench: parity     trace_hash/{name:<32} {hash:#018x}");
+    }
+    assert!(
+        parity,
+        "concurrent traces diverged from their solo runs: {hashes:?}"
+    );
+    for (level, per_sec) in &throughput {
+        assert!(*per_sec > 0.0, "no serving progress at {level}");
+    }
+    if !quick {
+        // Graceful-degradation gate, full runs only (quick CI boxes are too
+        // noisy for a latency-ratio assertion).
+        let idle_p99 = p99s[0].1.max(1);
+        let loaded_p99 = p99s[2].1;
+        assert!(
+            loaded_p99 < 2 * idle_p99.max(1_000),
+            "p99 degraded more than 2x under 4 trainers: idle {idle_p99}us vs loaded {loaded_p99}us"
+        );
+    }
+    println!(
+        "serving-bench: wrote {} records to {out_path}",
+        records.len()
+    );
+}

@@ -1,0 +1,117 @@
+//! Multi-tenant serving for the DimmWitted engine.
+//!
+//! The paper's engine assumes one analytics task owns the machine.  This
+//! crate converts that ownership model into a server: many concurrent
+//! training [`dimmwitted::Session`]s lease **one** shared
+//! [`dimmwitted::WorkerPool`] under fair scheduling, while a lock-free read
+//! path serves predictions from models that are still training — the hybrid
+//! train/serve co-residency problem, isolated at epoch granularity so
+//! neither stream stalls the other.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`snapshot`] — versioned, checksummed [`ModelSnapshot`]s published
+//!   through a [`SnapshotCell`]: an `arc-swap`-style atomic pointer ring
+//!   with a **lock-free read path** (readers pin-clone-unpin; writers
+//!   serialize among themselves and never block a reader).
+//! * [`predictor`] — [`Predictor`] evaluates any
+//!   [`Objective`](dw_optim::Objective)'s read-only
+//!   [`score`](dw_optim::Objective::score) against an immutable snapshot;
+//!   batch scoring reuses one snapshot load.
+//! * [`scheduler`] — [`FairScheduler`], stride scheduling over each plan's
+//!   simulated epoch cost (`sim_exec`), so a heavy tenant runs fewer epochs
+//!   instead of starving light ones.
+//! * [`registry`] — [`Server`] / [`ServerBuilder`] / [`SessionHandle`]:
+//!   admission ([`Server::admit`]) builds the session over the shared pool,
+//!   wires snapshot publication to the epoch stream's
+//!   [`on_epoch_model`](dimmwitted::SessionBuilder::on_epoch_model) hook,
+//!   and trainer threads time-slice whole epochs across tenants — keeping
+//!   each session's trace bit-identical to its solo run.
+//! * [`server`] — [`Frontend`], an in-process request queue whose drain
+//!   workers batch same-session requests against one snapshot load, with
+//!   enqueue-to-reply latency recorded into per-session
+//!   [`StatsReport`]s (`epochs/s`, `predictions/s`, snapshot staleness).
+//!
+//! ```
+//! use dimmwitted::{AnalyticsTask, ModelKind};
+//! use dw_data::{Dataset, PaperDataset};
+//! use dw_numa::MachineTopology;
+//! use dw_serve::{Server, SessionSpec};
+//!
+//! let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+//! let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+//! let server = Server::builder(MachineTopology::local2()).build();
+//! let session = server.admit(SessionSpec::new("svm", task).epochs(3));
+//! session.wait();
+//! let input = dw_matrix::SparseVector::from_parts(vec![0, 3], vec![1.0, -0.5]);
+//! let prediction = session.predictor().predict(&input).unwrap();
+//! assert!(prediction.score.is_finite());
+//! assert_eq!(prediction.epoch, 3);
+//! server.shutdown();
+//! ```
+
+pub mod predictor;
+pub mod registry;
+pub mod scheduler;
+pub mod server;
+pub mod snapshot;
+pub mod stats;
+
+pub use predictor::{Prediction, Predictor};
+pub use registry::{Execution, Server, ServerBuilder, SessionHandle, SessionSpec};
+pub use scheduler::{FairScheduler, SessionId};
+pub use server::{Frontend, PredictReply, Ticket};
+pub use snapshot::{ModelSnapshot, SnapshotCell};
+pub use stats::{SessionStats, StatsReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmwitted::{AnalyticsTask, ModelKind};
+    use dw_data::{Dataset, PaperDataset};
+    use dw_matrix::SparseVector;
+    use dw_numa::MachineTopology;
+
+    #[test]
+    fn train_and_serve_through_the_frontend() {
+        let dataset = Dataset::generate(PaperDataset::Reuters, 42);
+        let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+        let server = Server::builder(MachineTopology::local2())
+            .pool_workers(4)
+            .build();
+        let session = server.admit(SessionSpec::new("svm", task).epochs(5));
+        let frontend = Frontend::new(2, 8);
+
+        // Serve while training runs; before the first publication the
+        // front-end replies with version 0 and a NaN score.
+        let inputs: Vec<SparseVector> = (0..64)
+            .map(|i| SparseVector::from_parts(vec![i % 7, 10 + i % 5], vec![1.0, -0.5]))
+            .collect();
+        let tickets = frontend.submit_batch(&session, inputs);
+        let replies: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        assert_eq!(replies.len(), 64);
+        for reply in &replies {
+            assert!(reply.version > 0 || reply.score.is_nan());
+            assert!(reply.latency > std::time::Duration::ZERO);
+        }
+
+        session.wait();
+        let after = frontend.submit(&session, SparseVector::from_parts(vec![0], vec![1.0]));
+        let reply = after.wait();
+        assert_eq!(reply.epoch, 5, "served from the final snapshot");
+        assert!(reply.score.is_finite());
+
+        let stats = session.stats();
+        assert_eq!(stats.epochs, 5);
+        assert_eq!(stats.predictions, 65);
+        assert!(stats.p99_latency_us >= stats.p50_latency_us);
+        assert!(
+            frontend.batches() < frontend.requests(),
+            "same-session requests were batched: {} batches for {} requests",
+            frontend.batches(),
+            frontend.requests()
+        );
+        frontend.shutdown();
+        server.shutdown();
+    }
+}

@@ -1,0 +1,124 @@
+//! The read path: scoring inputs against published snapshots.
+
+use crate::snapshot::{ModelSnapshot, SnapshotCell};
+use dw_matrix::SparseVector;
+use dw_optim::Objective;
+use std::sync::Arc;
+
+/// One scored input, tagged with the snapshot it was scored against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The objective's [`score`](Objective::score): a margin, or a
+    /// calibrated probability for objectives that override it.
+    pub score: f64,
+    /// Version of the snapshot used.
+    pub version: u64,
+    /// Training epoch of the snapshot used.
+    pub epoch: usize,
+}
+
+/// Evaluates an [`Objective`]'s score against immutable snapshots while the
+/// session keeps training.
+///
+/// Cloneable and freely shareable across threads: it holds only `Arc`s onto
+/// the session's [`SnapshotCell`] and objective, and every call reads
+/// whichever snapshot is current through the cell's lock-free load.
+#[derive(Clone)]
+pub struct Predictor {
+    objective: Arc<dyn Objective>,
+    cell: Arc<SnapshotCell>,
+}
+
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("objective", &self.objective.name())
+            .field("snapshot_version", &self.cell.version())
+            .finish()
+    }
+}
+
+impl Predictor {
+    /// A predictor over `cell` scoring with `objective`.
+    pub fn new(objective: Arc<dyn Objective>, cell: Arc<SnapshotCell>) -> Self {
+        Predictor { objective, cell }
+    }
+
+    /// The current snapshot, or `None` before the first epoch publishes.
+    pub fn snapshot(&self) -> Option<Arc<ModelSnapshot>> {
+        self.cell.load()
+    }
+
+    /// Score one input (`None` before the first publication).
+    pub fn predict(&self, input: &SparseVector) -> Option<Prediction> {
+        let snapshot = self.cell.load()?;
+        Some(Prediction {
+            score: self.objective.score(input, snapshot.model()),
+            version: snapshot.version,
+            epoch: snapshot.epoch,
+        })
+    }
+
+    /// Score a batch against **one** snapshot load: every result in the
+    /// returned vector is consistent with the same model version, and the
+    /// per-request cost of the (already lock-free) load amortizes away.
+    pub fn predict_batch(&self, inputs: &[SparseVector]) -> Option<Vec<Prediction>> {
+        let snapshot = self.cell.load()?;
+        Some(
+            inputs
+                .iter()
+                .map(|input| Prediction {
+                    score: self.objective.score(input, snapshot.model()),
+                    version: snapshot.version,
+                    epoch: snapshot.epoch,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dw_optim::{Logistic, SvmHinge};
+    use std::time::Duration;
+
+    #[test]
+    fn predicts_against_the_published_snapshot_only() {
+        let cell = Arc::new(SnapshotCell::new());
+        let predictor = Predictor::new(Arc::new(SvmHinge::default()), Arc::clone(&cell));
+        let input = SparseVector::from_parts(vec![0, 2], vec![1.0, 2.0]);
+        assert!(predictor.predict(&input).is_none(), "nothing published yet");
+
+        cell.publish(1, 0.9, Duration::ZERO, vec![0.5, -1.0, 0.25]);
+        let p = predictor.predict(&input).unwrap();
+        assert_eq!(p.score, 0.5 + 2.0 * 0.25);
+        assert_eq!((p.version, p.epoch), (1, 1));
+
+        // A new publication is picked up; the old Arc (if held) is
+        // unchanged.
+        let held = predictor.snapshot().unwrap();
+        cell.publish(2, 0.8, Duration::ZERO, vec![1.0, 0.0, 0.0]);
+        let p2 = predictor.predict(&input).unwrap();
+        assert_eq!(p2.score, 1.0);
+        assert_eq!(p2.version, 2);
+        assert_eq!(held.version, 1, "held snapshots are immutable");
+    }
+
+    #[test]
+    fn batch_scoring_is_single_snapshot_consistent() {
+        let cell = Arc::new(SnapshotCell::new());
+        cell.publish(3, 0.5, Duration::ZERO, vec![1.0, 2.0]);
+        let predictor = Predictor::new(Arc::new(Logistic::default()), cell);
+        let inputs = vec![
+            SparseVector::from_parts(vec![0], vec![1.0]),
+            SparseVector::from_parts(vec![1], vec![-1.0]),
+        ];
+        let batch = predictor.predict_batch(&inputs).unwrap();
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|p| p.version == 1 && p.epoch == 3));
+        // Logistic scores are calibrated probabilities.
+        assert!(batch[0].score > 0.5 && batch[0].score < 1.0);
+        assert!(batch[1].score < 0.5 && batch[1].score > 0.0);
+    }
+}

@@ -1,0 +1,650 @@
+//! The server: a registry of concurrent training sessions leasing one
+//! worker pool.
+//!
+//! This inverts the engine's ownership model.  A standalone
+//! [`dimmwitted::Session`] owns its executor (and therefore its worker
+//! pool) for its whole life; a [`Server`] owns **one** `Arc<WorkerPool>`
+//! and a small set of *trainer* threads, and every admitted session leases
+//! them one epoch at a time:
+//!
+//! * [`Server::admit`] builds the session over the shared pool
+//!   ([`SessionBuilder::with_pool`]), wires its
+//!   [`on_epoch_model`](SessionBuilder::on_epoch_model) hook to a
+//!   [`SnapshotCell`], weighs it by its plan's simulated epoch cost
+//!   (`sim_exec`), and registers it with the [`FairScheduler`].
+//! * Trainer threads loop: ask the scheduler for the next session whose
+//!   stream is checked in, run **one epoch**, check the stream back in.
+//!   Epoch-granularity time slicing means a session's epochs execute
+//!   exactly as they would solo — same item order, same replica math — so
+//!   concurrent traces stay bit-identical to solo runs.
+//! * [`SessionHandle`] is the tenant's view: predictors, stats, blocking
+//!   [`wait`](SessionHandle::wait), and graceful
+//!   [`evict`](SessionHandle::evict) (finish the in-flight epoch, publish
+//!   nothing more, release the lease).
+
+use crate::predictor::Predictor;
+use crate::scheduler::{FairScheduler, SessionId};
+use crate::snapshot::SnapshotCell;
+use crate::stats::{SessionStats, StatsReport};
+use dimmwitted::sim_exec::simulate_epoch;
+use dimmwitted::{
+    AnalyticsTask, CancelToken, DimmWitted, EpochStream, ExecutionPlan, SessionBuilder, StopReason,
+    WorkerPool,
+};
+use dw_numa::MachineTopology;
+use dw_optim::{ConvergenceTrace, Objective};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How a session's epochs execute on the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Execution {
+    /// Threaded epochs on the server's shared [`WorkerPool`] (the serving
+    /// default).  Bit-deterministic for PerCore-replication plans, whose
+    /// workers each own a replica.
+    #[default]
+    SharedPool,
+    /// Deterministic single-thread interleaving (the engine's reproducible
+    /// mode); the session never touches the pool.
+    Interleaved,
+}
+
+/// Everything needed to admit one tenant.
+#[derive(Debug)]
+pub struct SessionSpec {
+    name: String,
+    task: AnalyticsTask,
+    plan: Option<ExecutionPlan>,
+    epochs: usize,
+    seed: u64,
+    execution: Execution,
+}
+
+impl SessionSpec {
+    /// A spec for `task` under `name`, with the optimizer choosing the plan
+    /// and the serving defaults (shared-pool execution, seed 0).
+    pub fn new(name: impl Into<String>, task: AnalyticsTask) -> Self {
+        SessionSpec {
+            name: name.into(),
+            task,
+            plan: None,
+            epochs: 10,
+            seed: 0,
+            execution: Execution::default(),
+        }
+    }
+
+    /// Execute an explicit plan instead of the optimizer's choice.
+    pub fn plan(mut self, plan: ExecutionPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Epoch budget.
+    pub fn epochs(mut self, epochs: usize) -> Self {
+        self.epochs = epochs;
+        self
+    }
+
+    /// RNG seed (same meaning as [`SessionBuilder::seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Choose how epochs execute.
+    pub fn execution(mut self, execution: Execution) -> Self {
+        self.execution = execution;
+        self
+    }
+}
+
+/// Checked-in/checked-out state of a session's epoch stream.
+enum StreamSlot {
+    /// Available to trainers.
+    Idle(Box<EpochStream>),
+    /// A trainer is running an epoch right now.
+    Running,
+    /// The stream was drained (budget, early stop, cancellation).
+    Finished,
+}
+
+/// Shared state of one admitted session.
+struct SessionState {
+    id: SessionId,
+    name: String,
+    cell: Arc<SnapshotCell>,
+    objective: Arc<dyn Objective>,
+    stats: Arc<SessionStats>,
+    cancel: CancelToken,
+    /// Simulated seconds per epoch — the scheduler weight.
+    epoch_cost: f64,
+    slot: Mutex<StreamSlot>,
+    done: AtomicBool,
+    /// Final trace and stop reason, set when the stream drains.
+    outcome: Mutex<Option<(ConvergenceTrace, StopReason)>>,
+}
+
+/// State shared between the server handle and its trainer threads.
+struct ServerCore {
+    scheduler: FairScheduler,
+    sessions: Mutex<HashMap<SessionId, Arc<SessionState>>>,
+    /// Signalled on admission, epoch completion, and shutdown.
+    signal: Condvar,
+    /// Guards nothing in particular; pairs with `signal`.
+    signal_lock: Mutex<()>,
+    shutdown: AtomicBool,
+}
+
+impl ServerCore {
+    fn notify(&self) {
+        let _held = self.signal_lock.lock().expect("signal lock poisoned");
+        self.signal.notify_all();
+    }
+
+    /// Check out the fair scheduler's next runnable stream, if any.
+    fn checkout(&self) -> Option<(Arc<SessionState>, Box<EpochStream>)> {
+        let sessions = self.sessions.lock().expect("registry poisoned");
+        let runnable: Vec<SessionId> = sessions
+            .values()
+            .filter(|s| matches!(*s.slot.lock().expect("slot poisoned"), StreamSlot::Idle(_)))
+            .map(|s| s.id)
+            .collect();
+        let id = self.scheduler.next_of(&runnable)?;
+        let state = Arc::clone(sessions.get(&id)?);
+        let mut slot = state.slot.lock().expect("slot poisoned");
+        match std::mem::replace(&mut *slot, StreamSlot::Running) {
+            StreamSlot::Idle(stream) => {
+                drop(slot);
+                Some((state, stream))
+            }
+            other => {
+                // Selection and checkout both happen under the registry
+                // lock, so the slot cannot have moved — restore defensively.
+                *slot = other;
+                None
+            }
+        }
+    }
+
+    /// Run one epoch of `stream` for `state`, checking the stream back in
+    /// (or retiring the session when it drains).
+    fn run_one_epoch(&self, state: &Arc<SessionState>, mut stream: Box<EpochStream>) {
+        match stream.next() {
+            Some(_event) => {
+                // The on_epoch_model hook already published the snapshot
+                // and bumped the stats.
+                *state.slot.lock().expect("slot poisoned") = StreamSlot::Idle(stream);
+            }
+            None => {
+                let reason = stream
+                    .stop_reason()
+                    .expect("a drained stream has a stop reason");
+                let report = stream.into_report();
+                *state.outcome.lock().expect("outcome poisoned") = Some((report.trace, reason));
+                *state.slot.lock().expect("slot poisoned") = StreamSlot::Finished;
+                state.done.store(true, Ordering::Release);
+                self.scheduler.remove(state.id);
+            }
+        }
+        self.notify();
+    }
+}
+
+/// Builds a [`Server`] for one machine.
+#[derive(Debug)]
+pub struct ServerBuilder {
+    machine: MachineTopology,
+    pool_workers: usize,
+    trainers: usize,
+}
+
+impl ServerBuilder {
+    /// Server defaults for `machine`: a pool of `total_cores()` workers and
+    /// two trainer threads (two sessions' epochs in flight at once).
+    pub fn new(machine: MachineTopology) -> Self {
+        let pool_workers = machine.total_cores().max(1);
+        ServerBuilder {
+            machine,
+            pool_workers,
+            trainers: 2,
+        }
+    }
+
+    /// Size of the shared worker pool.
+    pub fn pool_workers(mut self, workers: usize) -> Self {
+        self.pool_workers = workers.max(1);
+        self
+    }
+
+    /// Number of trainer threads (concurrent in-flight epochs).
+    pub fn trainers(mut self, trainers: usize) -> Self {
+        self.trainers = trainers.max(1);
+        self
+    }
+
+    /// Spawn the pool and trainer threads; the server is ready to admit.
+    pub fn build(self) -> Server {
+        let pool = Arc::new(WorkerPool::new(self.pool_workers));
+        let core = Arc::new(ServerCore {
+            scheduler: FairScheduler::new(),
+            sessions: Mutex::new(HashMap::new()),
+            signal: Condvar::new(),
+            signal_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+        });
+        let trainers = (0..self.trainers)
+            .map(|t| {
+                let core = Arc::clone(&core);
+                std::thread::Builder::new()
+                    .name(format!("dw-trainer-{t}"))
+                    .spawn(move || trainer_loop(&core))
+                    .expect("failed to spawn trainer thread")
+            })
+            .collect();
+        Server {
+            machine: self.machine,
+            pool,
+            core,
+            trainers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Trainer threads: fair-scheduled, epoch-granularity time slicing.
+fn trainer_loop(core: &ServerCore) {
+    while !core.shutdown.load(Ordering::Acquire) {
+        match core.checkout() {
+            Some((state, stream)) => core.run_one_epoch(&state, stream),
+            None => {
+                let held = core.signal_lock.lock().expect("signal lock poisoned");
+                // Re-check under the lock so a notify between the failed
+                // checkout and this wait is not lost, then sleep briefly.
+                if !core.shutdown.load(Ordering::Acquire) {
+                    let _ = core
+                        .signal
+                        .wait_timeout(held, Duration::from_millis(1))
+                        .expect("signal lock poisoned");
+                }
+            }
+        }
+    }
+}
+
+/// A multi-tenant serving front: one shared pool, fair-scheduled training,
+/// lock-free snapshot publication, per-session predictors.
+pub struct Server {
+    machine: MachineTopology,
+    pool: Arc<WorkerPool>,
+    core: Arc<ServerCore>,
+    trainers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("machine", &self.machine.name)
+            .field("pool_workers", &self.pool.workers())
+            .field("trainers", &self.trainers.len())
+            .field("sessions", &self.session_count())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start configuring a server for `machine`.
+    pub fn builder(machine: MachineTopology) -> ServerBuilder {
+        ServerBuilder::new(machine)
+    }
+
+    /// The shared pool sessions lease.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// The machine this server models.
+    pub fn machine(&self) -> &MachineTopology {
+        &self.machine
+    }
+
+    /// Sessions currently registered (training or finished, not evicted).
+    pub fn session_count(&self) -> usize {
+        self.core.sessions.lock().expect("registry poisoned").len()
+    }
+
+    /// Admit a session: resolve its plan, weigh it by simulated epoch cost,
+    /// wire snapshot publication, and hand its stream to the trainers.
+    ///
+    /// Returns immediately; training proceeds in the background under the
+    /// fair scheduler.
+    pub fn admit(&self, spec: SessionSpec) -> SessionHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let objective = Arc::clone(&spec.task.objective);
+        let data = Arc::clone(&spec.task.data);
+        let cell = Arc::new(SnapshotCell::new());
+        let stats = Arc::new(SessionStats::new());
+        let cancel = CancelToken::new();
+
+        let publish_cell = Arc::clone(&cell);
+        let publish_stats = Arc::clone(&stats);
+        let mut builder: SessionBuilder = DimmWitted::on(self.machine.clone())
+            .task(spec.task)
+            .epochs(spec.epochs)
+            .seed(spec.seed)
+            .cancel_token(cancel.clone())
+            .on_epoch_model(move |event, model| {
+                publish_stats.record_epoch();
+                publish_cell.publish(event.epoch, event.loss, event.elapsed, model.to_vec());
+            });
+        if let Some(plan) = spec.plan {
+            builder = builder.plan(plan);
+        }
+        if spec.execution == Execution::SharedPool {
+            builder = builder.with_pool(Arc::clone(&self.pool));
+        }
+        let session = builder.build();
+        // The scheduler weight: what one epoch of the *resolved* plan costs
+        // on this machine in the paper's cost model.
+        let epoch_cost = simulate_epoch(
+            &data.stats(),
+            objective.row_update_density(),
+            session.plan(),
+            &self.machine,
+        )
+        .seconds;
+
+        let state = Arc::new(SessionState {
+            id,
+            name: spec.name,
+            cell,
+            objective,
+            stats,
+            cancel,
+            epoch_cost,
+            slot: Mutex::new(StreamSlot::Idle(Box::new(session.stream()))),
+            done: AtomicBool::new(false),
+            outcome: Mutex::new(None),
+        });
+        self.core
+            .sessions
+            .lock()
+            .expect("registry poisoned")
+            .insert(id, Arc::clone(&state));
+        self.core.scheduler.admit(id, epoch_cost);
+        self.core.notify();
+        SessionHandle {
+            state,
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Graceful shutdown: stop granting epochs, let in-flight epochs finish,
+    /// join the trainers.  Registered sessions keep their published
+    /// snapshots readable through outstanding predictors.
+    pub fn shutdown(mut self) {
+        self.stop_trainers();
+    }
+
+    fn stop_trainers(&mut self) {
+        self.core.shutdown.store(true, Ordering::Release);
+        self.core.notify();
+        for trainer in self.trainers.drain(..) {
+            let _ = trainer.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_trainers();
+    }
+}
+
+/// The tenant's handle onto its admitted session.
+#[derive(Clone)]
+pub struct SessionHandle {
+    state: Arc<SessionState>,
+    core: Arc<ServerCore>,
+}
+
+impl std::fmt::Debug for SessionHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionHandle")
+            .field("id", &self.state.id)
+            .field("name", &self.state.name)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl SessionHandle {
+    /// The session's registry id.
+    pub fn id(&self) -> SessionId {
+        self.state.id
+    }
+
+    /// The name the session was admitted under.
+    pub fn name(&self) -> &str {
+        &self.state.name
+    }
+
+    /// Simulated seconds one epoch costs — the session's scheduler weight.
+    pub fn epoch_cost(&self) -> f64 {
+        self.state.epoch_cost
+    }
+
+    /// A lock-free read-path predictor over this session's snapshots.
+    /// Cloneable, shareable, and valid after eviction (it pins the
+    /// snapshot cell, not the session).
+    pub fn predictor(&self) -> Predictor {
+        Predictor::new(
+            Arc::clone(&self.state.objective),
+            Arc::clone(&self.state.cell),
+        )
+    }
+
+    /// Point-in-time serving stats.
+    pub fn stats(&self) -> StatsReport {
+        self.state
+            .stats
+            .report(self.state.cell.epoch(), self.state.cell.version())
+    }
+
+    /// The per-session stats sink (shared with the front-end so prediction
+    /// latencies land in the same report).
+    pub(crate) fn stats_sink(&self) -> Arc<SessionStats> {
+        Arc::clone(&self.state.stats)
+    }
+
+    pub(crate) fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.state.cell)
+    }
+
+    pub(crate) fn objective(&self) -> Arc<dyn Objective> {
+        Arc::clone(&self.state.objective)
+    }
+
+    /// Whether training has drained (budget, early stop, or eviction).
+    pub fn is_done(&self) -> bool {
+        self.state.done.load(Ordering::Acquire)
+    }
+
+    /// Block until training drains; returns the final convergence trace and
+    /// why it stopped.
+    pub fn wait(&self) -> (ConvergenceTrace, StopReason) {
+        let mut held = self.core.signal_lock.lock().expect("signal lock poisoned");
+        while !self.is_done() {
+            held = self
+                .core
+                .signal
+                .wait_timeout(held, Duration::from_millis(1))
+                .expect("signal lock poisoned")
+                .0;
+        }
+        drop(held);
+        self.state
+            .outcome
+            .lock()
+            .expect("outcome poisoned")
+            .clone()
+            .expect("done sessions have an outcome")
+    }
+
+    /// Gracefully evict: cancel at the next epoch boundary, wait for the
+    /// in-flight epoch to finish, and deregister the session.  Published
+    /// snapshots stay readable through existing [`Predictor`]s.
+    pub fn evict(self) -> (ConvergenceTrace, StopReason) {
+        self.state.cancel.cancel();
+        self.core.notify();
+        let outcome = self.wait();
+        self.core
+            .sessions
+            .lock()
+            .expect("registry poisoned")
+            .remove(&self.state.id);
+        self.core.scheduler.remove(self.state.id);
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dimmwitted::{AccessMethod, DataReplication, ModelKind, ModelReplication};
+    use dw_data::{Dataset, PaperDataset};
+
+    fn task(seed: u64) -> AnalyticsTask {
+        let dataset = Dataset::generate(PaperDataset::Reuters, seed);
+        AnalyticsTask::from_dataset(&dataset, ModelKind::Svm)
+    }
+
+    fn machine() -> MachineTopology {
+        MachineTopology::local2()
+    }
+
+    fn percore_plan() -> ExecutionPlan {
+        ExecutionPlan::new(
+            &machine(),
+            AccessMethod::RowWise,
+            ModelReplication::PerCore,
+            DataReplication::Sharding,
+        )
+        .with_workers(4)
+    }
+
+    #[test]
+    fn admits_trains_and_serves_one_session() {
+        let server = Server::builder(machine()).pool_workers(4).build();
+        let handle = server.admit(
+            SessionSpec::new("svm", task(7))
+                .plan(percore_plan())
+                .epochs(3)
+                .seed(7),
+        );
+        let (trace, reason) = handle.wait();
+        assert_eq!(reason, StopReason::EpochBudget);
+        assert_eq!(trace.epochs(), 3);
+        let stats = handle.stats();
+        assert_eq!(stats.epochs, 3);
+        assert_eq!(stats.snapshot_epoch, 3);
+        assert_eq!(stats.staleness_epochs, 0, "publication kept up");
+        // The predictor serves the final model.
+        let snap = handle.predictor().snapshot().expect("published");
+        assert_eq!(snap.epoch, 3);
+        assert!(snap.is_consistent());
+        assert_eq!(snap.loss, trace.points.last().unwrap().loss);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_sessions_share_the_pool_and_both_finish() {
+        let server = Server::builder(machine())
+            .pool_workers(4)
+            .trainers(2)
+            .build();
+        let a = server.admit(
+            SessionSpec::new("a", task(1))
+                .plan(percore_plan())
+                .epochs(4)
+                .seed(1),
+        );
+        let b = server.admit(
+            SessionSpec::new("b", task(2))
+                .plan(percore_plan())
+                .epochs(4)
+                .seed(2),
+        );
+        let (trace_a, _) = a.wait();
+        let (trace_b, _) = b.wait();
+        assert_eq!(trace_a.epochs(), 4);
+        assert_eq!(trace_b.epochs(), 4);
+        assert_eq!(server.pool().workers(), 4, "one pool, never resized");
+        assert_eq!(server.session_count(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn eviction_stops_at_an_epoch_boundary_and_keeps_snapshots() {
+        let server = Server::builder(machine()).pool_workers(2).build();
+        let handle = server.admit(
+            SessionSpec::new("long", task(3))
+                .plan(percore_plan())
+                .epochs(1_000_000)
+                .execution(Execution::Interleaved),
+        );
+        // Let it publish at least once, then evict.
+        let predictor = handle.predictor();
+        while predictor.snapshot().is_none() {
+            std::thread::yield_now();
+        }
+        let (trace, reason) = handle.evict();
+        assert_eq!(reason, StopReason::Cancelled);
+        assert!(trace.epochs() >= 1);
+        assert!(trace.epochs() < 1_000_000);
+        assert_eq!(server.session_count(), 0, "deregistered");
+        // Predictors created before eviction still serve the last snapshot.
+        let p = predictor
+            .predict(&dw_matrix::SparseVector::from_parts(vec![0], vec![1.0]))
+            .expect("snapshot survives eviction");
+        assert!(p.score.is_finite());
+        server.shutdown();
+    }
+
+    #[test]
+    fn heavier_plans_get_heavier_scheduler_weights() {
+        let server = Server::builder(machine()).pool_workers(2).build();
+        let light = server.admit(
+            SessionSpec::new("light", task(4))
+                .plan(percore_plan())
+                .epochs(1),
+        );
+        // Same data, but a plan the simulator charges more for (PerMachine
+        // serializes every write to one model copy across nodes).
+        let heavy_plan = ExecutionPlan::new(
+            &machine(),
+            AccessMethod::RowWise,
+            ModelReplication::PerMachine,
+            DataReplication::FullReplication,
+        )
+        .with_workers(1);
+        let heavy = server.admit(
+            SessionSpec::new("heavy", task(4))
+                .plan(heavy_plan)
+                .epochs(1),
+        );
+        assert!(
+            heavy.epoch_cost() > light.epoch_cost(),
+            "sim_exec weighs the heavy plan heavier: {} vs {}",
+            heavy.epoch_cost(),
+            light.epoch_cost()
+        );
+        light.wait();
+        heavy.wait();
+        server.shutdown();
+    }
+}

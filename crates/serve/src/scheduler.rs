@@ -1,0 +1,153 @@
+//! Fair epoch-task scheduling across admitted sessions.
+//!
+//! Trainer threads run whole epochs, one at a time, on behalf of whichever
+//! session the scheduler picks.  Fairness is **stride scheduling over
+//! simulated epoch cost**: each session's pass value advances by its
+//! plan's `sim_exec` seconds per epoch, and the scheduler always picks the
+//! runnable session with the smallest pass.  Cumulative simulated compute
+//! therefore stays balanced across tenants — a heavy session (a ClueWeb-
+//! sized plan whose epochs cost 100× a small one's) runs 100× *fewer*
+//! epochs rather than monopolizing the pool, and a light session admitted
+//! next to it never starves.
+//!
+//! Admission sets a newcomer's pass to the current minimum, so it competes
+//! from "now" instead of replaying the backlog of everyone else's history.
+
+use std::sync::Mutex;
+
+/// Identifies an admitted session within its server.
+pub type SessionId = u64;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    id: SessionId,
+    /// Cumulative simulated seconds this session has been granted.
+    pass: f64,
+    /// Simulated seconds one epoch of this session costs (the stride).
+    weight: f64,
+}
+
+/// Min-pass stride scheduler; all methods lock briefly, epochs run outside.
+#[derive(Debug, Default)]
+pub struct FairScheduler {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl FairScheduler {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        FairScheduler::default()
+    }
+
+    /// Admit a session whose epochs cost `weight` simulated seconds
+    /// (clamped to a small positive floor so a degenerate zero-cost plan
+    /// still advances).
+    pub fn admit(&self, id: SessionId, weight: f64) {
+        let mut entries = self.entries.lock().expect("scheduler poisoned");
+        let start = entries.iter().map(|e| e.pass).fold(f64::INFINITY, f64::min);
+        entries.push(Entry {
+            id,
+            pass: if start.is_finite() { start } else { 0.0 },
+            weight: weight.max(1e-12),
+        });
+    }
+
+    /// Remove a finished or evicted session.
+    pub fn remove(&self, id: SessionId) {
+        self.entries
+            .lock()
+            .expect("scheduler poisoned")
+            .retain(|e| e.id != id);
+    }
+
+    /// Pick the next session to grant one epoch to, among `runnable`
+    /// (sessions whose stream is checked in), and charge its stride.
+    /// Returns `None` when nothing runnable is admitted.
+    pub fn next_of(&self, runnable: &[SessionId]) -> Option<SessionId> {
+        let mut entries = self.entries.lock().expect("scheduler poisoned");
+        let chosen = entries
+            .iter_mut()
+            .filter(|e| runnable.contains(&e.id))
+            .min_by(|a, b| a.pass.total_cmp(&b.pass))?;
+        chosen.pass += chosen.weight;
+        Some(chosen.id)
+    }
+
+    /// Number of admitted sessions.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("scheduler poisoned").len()
+    }
+
+    /// Whether no session is admitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Grant `turns` epochs and count how many each session received.
+    fn run(scheduler: &FairScheduler, runnable: &[SessionId], turns: usize) -> Vec<usize> {
+        let max = *runnable.iter().max().unwrap() as usize;
+        let mut counts = vec![0usize; max + 1];
+        for _ in 0..turns {
+            let id = scheduler.next_of(runnable).expect("runnable");
+            counts[id as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn heavy_sessions_cannot_starve_light_ones() {
+        let scheduler = FairScheduler::new();
+        scheduler.admit(0, 4.0); // heavy: each epoch costs 4 simulated seconds
+        scheduler.admit(1, 1.0); // light
+        let counts = run(&scheduler, &[0, 1], 500);
+        // Equal simulated-time share: the light session runs ~4x the epochs.
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!(
+            (3.5..=4.5).contains(&ratio),
+            "light/heavy epoch ratio {ratio} (counts {counts:?})"
+        );
+        assert!(counts[0] >= 90, "the heavy session still progresses");
+    }
+
+    #[test]
+    fn equal_weights_round_robin() {
+        let scheduler = FairScheduler::new();
+        for id in 0..3 {
+            scheduler.admit(id, 2.5);
+        }
+        let counts = run(&scheduler, &[0, 1, 2], 300);
+        assert_eq!(counts, vec![100, 100, 100]);
+    }
+
+    #[test]
+    fn late_admission_starts_at_the_current_minimum() {
+        let scheduler = FairScheduler::new();
+        scheduler.admit(0, 1.0);
+        for _ in 0..1000 {
+            scheduler.next_of(&[0]);
+        }
+        // A newcomer must not be granted 1000 catch-up epochs.
+        scheduler.admit(1, 1.0);
+        let counts = run(&scheduler, &[0, 1], 100);
+        assert!(counts[0] >= 45, "the incumbent keeps running: {counts:?}");
+        assert!(counts[1] >= 45, "the newcomer gets its share: {counts:?}");
+    }
+
+    #[test]
+    fn busy_sessions_are_skipped_not_queued() {
+        let scheduler = FairScheduler::new();
+        scheduler.admit(0, 1.0);
+        scheduler.admit(1, 1.0);
+        // Session 0's stream is checked out: only 1 is runnable.
+        assert_eq!(scheduler.next_of(&[1]), Some(1));
+        assert_eq!(scheduler.next_of(&[]), None);
+        scheduler.remove(1);
+        assert_eq!(scheduler.len(), 1);
+        assert_eq!(scheduler.next_of(&[0]), Some(0));
+    }
+}

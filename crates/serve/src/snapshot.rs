@@ -1,0 +1,333 @@
+//! Versioned, lock-free model snapshots.
+//!
+//! Training mutates model replicas continuously (Hogwild!-style for
+//! PerMachine plans), so a prediction path must never read the live model:
+//! it would observe a torn, mid-epoch state.  Instead, the epoch boundary —
+//! the one point where every strategy synchronizes and the loss is measured
+//! — publishes an immutable [`ModelSnapshot`] into a [`SnapshotCell`], and
+//! predictors read whichever snapshot is current without taking any lock.
+//!
+//! The cell is the `arc-swap` idea rebuilt on `std` atomics (crates.io is
+//! offline for this workspace): a small ring of slots, each an
+//! `Arc<ModelSnapshot>` guarded by a pin count.  **Readers are lock-free**:
+//! a load is `fetch_add` (pin) → clone the `Arc` → `fetch_sub` (unpin), and
+//! only retries if it pinned the one slot a writer claimed at that instant.
+//! Writers (one per training session, once per epoch) serialize among
+//! themselves on a mutex that no reader ever touches, claim a *non-current*
+//! slot whose pin count is zero, install the new `Arc`, and swing the
+//! `current` index.  A pinned slot is never written, and a claimed slot is
+//! never read, so no reader can observe a snapshot mid-replacement.
+//!
+//! Every snapshot carries an FNV-1a checksum over its model bits, stamped
+//! at publication.  The torn-read stress test recomputes it on every read:
+//! any rip — a half-written vector, a version/payload mismatch — changes
+//! the checksum.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Snapshot ring size.  Publication claims any free non-current slot, so
+/// with momentary reader pins, three alternatives always yield one quickly.
+const SLOTS: usize = 4;
+
+/// High bit of a slot's pin word: set while a writer owns the slot.
+const WRITER: usize = usize::MAX ^ (usize::MAX >> 1);
+
+/// An immutable, versioned copy of a model at an epoch boundary.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Publication sequence number within the owning cell (1-based).
+    pub version: u64,
+    /// Training epoch the model had completed when published.
+    pub epoch: usize,
+    /// Full-dataset loss of exactly this model.
+    pub loss: f64,
+    /// Wall-clock training time when published ([`EpochEvent::elapsed`]).
+    ///
+    /// [`EpochEvent::elapsed`]: dimmwitted::EpochEvent::elapsed
+    pub elapsed: Duration,
+    model: Vec<f64>,
+    checksum: u64,
+}
+
+/// FNV-1a over the snapshot's identity and every model bit: any torn state
+/// (half-old half-new vector, version/payload mismatch) changes it.
+fn stamp(version: u64, epoch: usize, model: &[f64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    eat(version);
+    eat(epoch as u64);
+    for value in model {
+        eat(value.to_bits());
+    }
+    hash
+}
+
+impl ModelSnapshot {
+    /// Seal `model` into a checksummed snapshot.
+    pub fn new(version: u64, epoch: usize, loss: f64, elapsed: Duration, model: Vec<f64>) -> Self {
+        let checksum = stamp(version, epoch, &model);
+        ModelSnapshot {
+            version,
+            epoch,
+            loss,
+            elapsed,
+            model,
+            checksum,
+        }
+    }
+
+    /// The immutable model vector.
+    pub fn model(&self) -> &[f64] {
+        &self.model
+    }
+
+    /// The checksum stamped at publication.
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
+
+    /// Recompute the checksum and compare — `false` would mean a torn read.
+    pub fn is_consistent(&self) -> bool {
+        stamp(self.version, self.epoch, &self.model) == self.checksum
+    }
+}
+
+struct Slot {
+    /// Reader pin count, with [`WRITER`] set while a publisher owns it.
+    pins: AtomicUsize,
+    value: UnsafeCell<Option<Arc<ModelSnapshot>>>,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            pins: AtomicUsize::new(0),
+            value: UnsafeCell::new(None),
+        }
+    }
+}
+
+/// A lock-free publication point: one writer stream (the training session,
+/// once per epoch), any number of concurrent readers.
+pub struct SnapshotCell {
+    slots: [Slot; SLOTS],
+    /// Index of the slot holding the latest snapshot.
+    current: AtomicUsize,
+    latest_version: AtomicU64,
+    latest_epoch: AtomicUsize,
+    /// Serializes publishers only; never touched by the read path.
+    publisher: Mutex<()>,
+}
+
+// SAFETY: the `UnsafeCell`s are governed by the pin protocol — a slot's
+// value is only written while its pin word is exactly `WRITER` (readers
+// excluded) and only read while the reader holds a pin and `WRITER` is
+// clear (writers excluded).  All index/version words are atomics.
+unsafe impl Send for SnapshotCell {}
+unsafe impl Sync for SnapshotCell {}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        SnapshotCell::new()
+    }
+}
+
+impl std::fmt::Debug for SnapshotCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("version", &self.version())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl SnapshotCell {
+    /// An empty cell; [`SnapshotCell::load`] returns `None` until the first
+    /// [`SnapshotCell::publish`].
+    pub fn new() -> Self {
+        SnapshotCell {
+            slots: [Slot::empty(), Slot::empty(), Slot::empty(), Slot::empty()],
+            current: AtomicUsize::new(0),
+            latest_version: AtomicU64::new(0),
+            latest_epoch: AtomicUsize::new(0),
+            publisher: Mutex::new(()),
+        }
+    }
+
+    /// The current snapshot, or `None` before the first publication.
+    ///
+    /// Lock-free: pin the current slot, clone its `Arc`, unpin.  The only
+    /// retry is pinning the exact slot a publisher claimed at that instant
+    /// (it backs off to the *new* current, so two iterations suffice in
+    /// practice).
+    pub fn load(&self) -> Option<Arc<ModelSnapshot>> {
+        loop {
+            let index = self.current.load(Ordering::Acquire);
+            let slot = &self.slots[index];
+            let pins = slot.pins.fetch_add(1, Ordering::Acquire);
+            if pins & WRITER != 0 {
+                // A publisher owns this slot right now; undo and retry on
+                // the (already swung or about to swing) current index.
+                slot.pins.fetch_sub(1, Ordering::Release);
+                std::hint::spin_loop();
+                continue;
+            }
+            // SAFETY: we hold a pin and WRITER is clear, so no publisher
+            // can claim (claiming CASes the pin word from 0) or mutate the
+            // slot until we unpin.
+            let value = unsafe { (*slot.value.get()).clone() };
+            slot.pins.fetch_sub(1, Ordering::Release);
+            return value;
+        }
+    }
+
+    /// Publish a new snapshot, returning its version (1-based).
+    ///
+    /// Concurrent publishers (one per training session sharing a cell is
+    /// not the intended shape, but is safe) serialize on the publisher
+    /// mutex; readers are never blocked, only briefly diverted off the one
+    /// slot being replaced.
+    pub fn publish(&self, epoch: usize, loss: f64, elapsed: Duration, model: Vec<f64>) -> u64 {
+        let _guard = self.publisher.lock().expect("snapshot publisher poisoned");
+        let version = self.latest_version.load(Ordering::Relaxed) + 1;
+        let snapshot = Arc::new(ModelSnapshot::new(version, epoch, loss, elapsed, model));
+        let current = self.current.load(Ordering::Relaxed);
+        let mut offset = 1;
+        loop {
+            let index = (current + offset) % SLOTS;
+            if index != current
+                && self.slots[index]
+                    .pins
+                    .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                // SAFETY: the CAS from 0 means no reader holds a pin, and
+                // WRITER keeps new readers off until cleared below.
+                unsafe {
+                    *self.slots[index].value.get() = Some(snapshot);
+                }
+                self.current.store(index, Ordering::Release);
+                self.latest_version.store(version, Ordering::Release);
+                self.latest_epoch.store(epoch, Ordering::Release);
+                self.slots[index].pins.fetch_sub(WRITER, Ordering::Release);
+                return version;
+            }
+            // Slot pinned by in-flight readers — try the next alternative.
+            // Pins last for one Arc clone, so a free slot appears quickly.
+            offset = if offset >= SLOTS - 1 { 1 } else { offset + 1 };
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Latest published version (0 before the first publication).
+    pub fn version(&self) -> u64 {
+        self.latest_version.load(Ordering::Acquire)
+    }
+
+    /// Epoch of the latest published snapshot.
+    pub fn epoch(&self) -> usize {
+        self.latest_epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::thread;
+
+    #[test]
+    fn empty_cell_loads_none_then_latest_wins() {
+        let cell = SnapshotCell::new();
+        assert!(cell.load().is_none());
+        assert_eq!(cell.version(), 0);
+        for epoch in 1..=10 {
+            let v = cell.publish(
+                epoch,
+                1.0 / epoch as f64,
+                Duration::from_millis(epoch as u64),
+                vec![epoch as f64; 8],
+            );
+            assert_eq!(v, epoch as u64);
+            let snap = cell.load().expect("published");
+            assert_eq!(snap.version, epoch as u64);
+            assert_eq!(snap.epoch, epoch);
+            assert_eq!(snap.model(), &vec![epoch as f64; 8][..]);
+            assert!(snap.is_consistent());
+        }
+        assert_eq!(cell.version(), 10);
+        assert_eq!(cell.epoch(), 10);
+    }
+
+    #[test]
+    fn checksum_detects_any_rip() {
+        let good = ModelSnapshot::new(3, 7, 0.5, Duration::ZERO, vec![1.0, 2.0, 3.0]);
+        assert!(good.is_consistent());
+        // A snapshot assembled from mismatched pieces fails the check.
+        let mut torn = good.clone();
+        torn.model[1] = 99.0;
+        assert!(!torn.is_consistent());
+        let mut relabeled = good.clone();
+        relabeled.version = 4;
+        assert!(!relabeled.is_consistent());
+        let mut wrong_epoch = good;
+        wrong_epoch.epoch = 8;
+        assert!(!wrong_epoch.is_consistent());
+    }
+
+    #[test]
+    fn concurrent_readers_never_observe_a_torn_snapshot() {
+        // One publisher hammering versions against many readers; every read
+        // must be internally consistent and versions must never regress
+        // within a reader (monotonic staleness).
+        let cell = Arc::new(SnapshotCell::new());
+        cell.publish(0, 1.0, Duration::ZERO, vec![0.0; 64]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut last_version = 0;
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let snap = cell.load().expect("always published");
+                        assert!(snap.is_consistent(), "torn read at v{}", snap.version);
+                        // The whole vector must belong to one version.
+                        let expected = snap.epoch as f64;
+                        assert!(snap.model().iter().all(|&v| v == expected));
+                        assert!(
+                            snap.version >= last_version,
+                            "version went backwards: {} after {}",
+                            snap.version,
+                            last_version
+                        );
+                        last_version = snap.version;
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        for epoch in 1..=2000usize {
+            cell.publish(
+                epoch,
+                1.0 / epoch as f64,
+                Duration::ZERO,
+                vec![epoch as f64; 64],
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let total: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total > 0, "readers made progress");
+        assert_eq!(cell.version(), 2001, "initial publication plus 2000");
+    }
+}

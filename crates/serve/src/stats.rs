@@ -1,0 +1,161 @@
+//! Per-session serving statistics.
+//!
+//! Everything here is updated from hot paths — trainer threads after each
+//! epoch, front-end workers after each batch — so counters are atomics and
+//! the latency reservoir is the only lock (taken once per *batch*, not per
+//! prediction).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on retained latency samples; enough for a stable p99 without
+/// unbounded growth on long-lived sessions.
+const LATENCY_SAMPLES: usize = 1 << 16;
+
+/// Live counters of one admitted session.
+#[derive(Debug)]
+pub struct SessionStats {
+    started: Instant,
+    epochs: AtomicUsize,
+    predictions: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Default for SessionStats {
+    fn default() -> Self {
+        SessionStats::new()
+    }
+}
+
+impl SessionStats {
+    /// Fresh counters, clock started now (admission time).
+    pub fn new() -> Self {
+        SessionStats {
+            started: Instant::now(),
+            epochs: AtomicUsize::new(0),
+            predictions: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// One training epoch completed.
+    pub fn record_epoch(&self) {
+        self.epochs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A batch of predictions completed, each with its queue-to-reply
+    /// latency.
+    pub fn record_predictions(&self, latencies: &[Duration]) {
+        self.predictions
+            .fetch_add(latencies.len() as u64, Ordering::Relaxed);
+        let mut reservoir = self.latencies_us.lock().expect("latency lock poisoned");
+        for latency in latencies {
+            if reservoir.len() >= LATENCY_SAMPLES {
+                return;
+            }
+            reservoir.push(latency.as_micros() as u64);
+        }
+    }
+
+    /// Epochs completed so far.
+    pub fn epochs(&self) -> usize {
+        self.epochs.load(Ordering::Relaxed)
+    }
+
+    /// Predictions served so far.
+    pub fn predictions(&self) -> u64 {
+        self.predictions.load(Ordering::Relaxed)
+    }
+
+    /// Summarize against the snapshot state (`snapshot_epoch` is the epoch
+    /// of the currently published snapshot; staleness is how many epochs
+    /// training has advanced past it — 0 when publication keeps up).
+    pub fn report(&self, snapshot_epoch: usize, snapshot_version: u64) -> StatsReport {
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let epochs = self.epochs();
+        let predictions = self.predictions();
+        let mut samples = self
+            .latencies_us
+            .lock()
+            .expect("latency lock poisoned")
+            .clone();
+        samples.sort_unstable();
+        StatsReport {
+            epochs,
+            epochs_per_sec: epochs as f64 / elapsed,
+            predictions,
+            predictions_per_sec: predictions as f64 / elapsed,
+            snapshot_version,
+            snapshot_epoch,
+            staleness_epochs: epochs.saturating_sub(snapshot_epoch),
+            p50_latency_us: percentile(&samples, 0.50),
+            p99_latency_us: percentile(&samples, 0.99),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample (0 when empty).
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A point-in-time summary of one session's serving behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsReport {
+    /// Training epochs completed.
+    pub epochs: usize,
+    /// Training epochs per wall-clock second since admission.
+    pub epochs_per_sec: f64,
+    /// Predictions served.
+    pub predictions: u64,
+    /// Predictions per wall-clock second since admission.
+    pub predictions_per_sec: f64,
+    /// Version of the currently published snapshot (0 before the first).
+    pub snapshot_version: u64,
+    /// Epoch of the currently published snapshot.
+    pub snapshot_epoch: usize,
+    /// Epochs training has advanced past the published snapshot.
+    pub staleness_epochs: usize,
+    /// Median prediction latency in microseconds (0 with no samples).
+    pub p50_latency_us: u64,
+    /// 99th-percentile prediction latency in microseconds.
+    pub p99_latency_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 0.50), 50);
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        assert_eq!(percentile(&[42], 0.99), 42);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn reports_accumulate_and_measure_staleness() {
+        let stats = SessionStats::new();
+        for _ in 0..5 {
+            stats.record_epoch();
+        }
+        stats.record_predictions(&[Duration::from_micros(10), Duration::from_micros(30)]);
+        let report = stats.report(3, 7);
+        assert_eq!(report.epochs, 5);
+        assert_eq!(report.predictions, 2);
+        assert_eq!(report.snapshot_version, 7);
+        assert_eq!(report.staleness_epochs, 2, "5 trained, snapshot at 3");
+        assert_eq!(report.p50_latency_us, 10);
+        assert_eq!(report.p99_latency_us, 30);
+        assert!(report.epochs_per_sec > 0.0);
+        assert!(report.predictions_per_sec > 0.0);
+    }
+}

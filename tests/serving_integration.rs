@@ -1,0 +1,174 @@
+//! Integration tests for the multi-tenant serving subsystem: snapshot
+//! consistency under live training, layout-handle reuse across tenants, and
+//! the batched prediction front-end.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, ExecutionPlan, ModelKind, ModelReplication,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::SparseVector;
+use dw_numa::MachineTopology;
+use dw_serve::{Execution, Frontend, Server, SessionSpec, Ticket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn machine() -> MachineTopology {
+    MachineTopology::local2()
+}
+
+fn percore_plan() -> ExecutionPlan {
+    ExecutionPlan::new(
+        &machine(),
+        AccessMethod::RowWise,
+        ModelReplication::PerCore,
+        DataReplication::Sharding,
+    )
+    .with_workers(4)
+}
+
+#[test]
+fn predictors_never_observe_a_torn_model_during_training() {
+    // The snapshot-consistency contract: hammer the lock-free read path
+    // from several threads for the whole lifetime of a training session.
+    // Every loaded snapshot must pass its checksum (stamped over version,
+    // epoch, and every model bit at publication), versions must never run
+    // backwards within a reader, and the score computed from a snapshot
+    // must be reproducible from its own immutable model vector.
+    let dataset = Dataset::generate(PaperDataset::Reuters, 9);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let server = Server::builder(machine()).pool_workers(4).build();
+    let session = server.admit(
+        SessionSpec::new("stress", task)
+            .plan(percore_plan())
+            .epochs(40)
+            .seed(9),
+    );
+    let predictor = session.predictor();
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..3)
+        .map(|r| {
+            let predictor = predictor.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let input = SparseVector::from_parts(vec![r, 5 + r], vec![1.0, -2.0]);
+                let mut last_version = 0;
+                let mut reads = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if let Some(snapshot) = predictor.snapshot() {
+                        assert!(
+                            snapshot.is_consistent(),
+                            "torn snapshot at v{}",
+                            snapshot.version
+                        );
+                        assert!(
+                            snapshot.version >= last_version,
+                            "snapshot version regressed: {} after {}",
+                            snapshot.version,
+                            last_version
+                        );
+                        last_version = snapshot.version;
+                        let prediction = predictor.predict(&input).expect("published");
+                        assert!(prediction.score.is_finite());
+                        reads += 1;
+                    }
+                    std::hint::spin_loop();
+                }
+                reads
+            })
+        })
+        .collect();
+    let (trace, _) = session.wait();
+    stop.store(true, Ordering::Relaxed);
+    let reads: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert_eq!(trace.epochs(), 40);
+    assert!(reads > 0, "the read path made progress during training");
+    // The final snapshot is exactly the final trained model state.
+    let final_snapshot = predictor.snapshot().expect("published");
+    assert_eq!(final_snapshot.epoch, 40);
+    assert_eq!(final_snapshot.loss, trace.points.last().unwrap().loss);
+    server.shutdown();
+}
+
+#[test]
+fn tenants_over_one_dataset_share_layout_storage() {
+    // Sessions admitted over tasks built from the same dataset must reuse
+    // one set of materialized layouts — `Arc`'d storage, not copies.
+    let dataset = Dataset::generate(PaperDataset::Reuters, 31);
+    let handles_solo = dataset.matrix.storage_handles();
+    let svm = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+    let lr = AnalyticsTask::from_dataset(&dataset, ModelKind::Lr);
+    assert!(svm.data.matrix.shares_storage_with(&lr.data.matrix));
+    assert!(svm.data.matrix.shares_storage_with(&dataset.matrix));
+    assert!(
+        dataset.matrix.storage_handles() >= handles_solo + 2,
+        "each tenant task holds a handle onto the one storage, not a copy"
+    );
+
+    let server = Server::builder(machine()).pool_workers(4).build();
+    let a = server.admit(SessionSpec::new("svm", svm).plan(percore_plan()).epochs(2));
+    let b = server.admit(SessionSpec::new("lr", lr).plan(percore_plan()).epochs(2));
+    a.wait();
+    b.wait();
+    assert!(
+        dataset.matrix.csr_materialized(),
+        "the shared handle saw the layouts the sessions materialized"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn frontend_serves_concurrent_tenants_with_batching() {
+    let dataset = Dataset::generate(PaperDataset::Reuters, 13);
+    let server = Server::builder(machine()).pool_workers(4).build();
+    let sessions: Vec<_> = [ModelKind::Svm, ModelKind::Lr]
+        .into_iter()
+        .map(|kind| {
+            let task = AnalyticsTask::from_dataset(&dataset, kind);
+            server.admit(
+                SessionSpec::new(kind.name(), task)
+                    .plan(percore_plan())
+                    .epochs(3)
+                    .execution(Execution::SharedPool),
+            )
+        })
+        .collect();
+    for session in &sessions {
+        session.wait();
+    }
+
+    let frontend = Frontend::new(2, 16);
+    let inputs = |seed: usize| -> Vec<SparseVector> {
+        (0..50)
+            .map(|i| SparseVector::from_parts(vec![((seed + i) % 11) as u32], vec![1.0]))
+            .collect()
+    };
+    let tickets: Vec<Vec<Ticket>> = sessions
+        .iter()
+        .enumerate()
+        .map(|(index, session)| frontend.submit_batch(session, inputs(index)))
+        .collect();
+    for (index, session_tickets) in tickets.into_iter().enumerate() {
+        let expected_epoch = 3;
+        for ticket in session_tickets {
+            let reply = ticket.wait();
+            assert!(reply.score.is_finite(), "session {index}");
+            assert_eq!(reply.epoch, expected_epoch);
+            assert!(reply.version > 0);
+        }
+    }
+    for session in &sessions {
+        let stats = session.stats();
+        assert_eq!(stats.predictions, 50);
+        assert!(stats.predictions_per_sec > 0.0);
+        assert!(stats.p99_latency_us >= stats.p50_latency_us);
+        assert_eq!(stats.staleness_epochs, 0);
+    }
+    assert!(
+        frontend.batches() < frontend.requests(),
+        "the drain loop batched same-session requests: {} batches / {} requests",
+        frontend.batches(),
+        frontend.requests()
+    );
+    frontend.shutdown();
+    server.shutdown();
+}

@@ -474,6 +474,86 @@ fn pernode_threaded_session_terminates() {
 }
 
 #[test]
+fn concurrent_server_sessions_match_their_solo_traces() {
+    // The multi-tenant determinism contract: admitting two sessions onto
+    // one server — one shared worker pool, epochs time-sliced by the fair
+    // scheduler — must not move a single bit of either trace relative to
+    // running each session alone.  Checked for both execution mechanisms:
+    // deterministic interleaving, and real threads on the shared pool with
+    // PerCore replication (each worker owns its replica, so threading
+    // introduces no races).
+    use dw_serve::{Execution, Server, SessionSpec};
+
+    let m = machine();
+    let specs: Vec<(&str, AnalyticsTask, u64)> = vec![
+        ("svm", svm_task(), 11),
+        (
+            "lr",
+            AnalyticsTask::from_dataset(
+                &Dataset::generate(PaperDataset::Reuters, 42),
+                ModelKind::Lr,
+            ),
+            22,
+        ),
+    ];
+    for execution in [Execution::Interleaved, Execution::SharedPool] {
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerCore,
+            DataReplication::Sharding,
+        )
+        .with_workers(4);
+
+        // Solo baselines, each owning the whole machine.
+        let solo: Vec<_> = specs
+            .iter()
+            .map(|(_, task, seed)| {
+                let builder = DimmWitted::on(m.clone())
+                    .task(task.clone())
+                    .plan(plan.clone())
+                    .epochs(5)
+                    .seed(*seed);
+                let builder = match execution {
+                    Execution::SharedPool => builder.mode(ExecutionMode::Threaded),
+                    Execution::Interleaved => builder,
+                };
+                builder.build().run().trace
+            })
+            .collect();
+
+        // The same two sessions, concurrent tenants of one server.
+        let server = Server::builder(m.clone())
+            .pool_workers(4)
+            .trainers(2)
+            .build();
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|(name, task, seed)| {
+                server.admit(
+                    SessionSpec::new(*name, task.clone())
+                        .plan(plan.clone())
+                        .epochs(5)
+                        .seed(*seed)
+                        .execution(execution),
+                )
+            })
+            .collect();
+        for (handle, solo_trace) in handles.iter().zip(&solo) {
+            let (trace, reason) = handle.wait();
+            assert_eq!(reason, StopReason::EpochBudget);
+            assert_eq!(
+                &trace,
+                solo_trace,
+                "{} under {execution:?}: concurrent trace diverged from solo",
+                handle.name()
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
 fn convergence_stop_and_observers_compose() {
     let seen = Arc::new(AtomicUsize::new(0));
     let count = Arc::clone(&seen);
