@@ -5,7 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dw_data::{Dataset, PaperDataset};
-use dw_matrix::{dot_dense, dot_indexed, dot_sparse_dense, Layout, SparseVector};
+use dw_matrix::{
+    dot_dense, dot_indexed, dot_indexed_wide, dot_sparse_dense, KernelVariant, Layout, SparseVector,
+};
 use std::hint::black_box;
 
 fn bench_dense_kernels(c: &mut Criterion) {
@@ -38,6 +40,23 @@ fn bench_sparse_kernels(c: &mut Criterion) {
             &nnz,
             |bencher, _| bencher.iter(|| dot_sparse_dense(black_box(&sv), black_box(&dense))),
         );
+        // The multi-accumulator variants a plan can select instead.
+        for lanes in [4u8, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("dot_indexed_wide{lanes}"), nnz),
+                &nnz,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        dot_indexed_wide(
+                            black_box(&indices),
+                            black_box(&values),
+                            black_box(&dense),
+                            lanes,
+                        )
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -67,6 +86,28 @@ fn bench_matrix_traversal(c: &mut Criterion) {
             let mut acc = 0.0;
             for j in 0..csc.cols() {
                 acc += csc.col(j).dot(black_box(&y));
+            }
+            acc
+        })
+    });
+    // The same row sweep through the wide kernel and through the
+    // block-compressed index sidecar (what a wide/delta16 plan executes).
+    group.bench_function("csr_row_dots_wide4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..csr.rows() {
+                let row = csr.row(i);
+                acc += dot_indexed_wide(row.indices, row.values, black_box(&x), 4);
+            }
+            acc
+        })
+    });
+    csr.encoded_indices();
+    group.bench_function("csr_row_dots_encoded_wide4", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for i in 0..csr.rows() {
+                acc += csr.row_dot_encoded(i, black_box(&x), KernelVariant::Wide { lanes: 4 });
             }
             acc
         })

@@ -1,0 +1,307 @@
+//! Machine-readable kernel benchmark: multi-accumulator dot variants and
+//! block-compressed index encodings, as JSON, so successive PRs accumulate
+//! a perf trajectory (siblings: `bench_storage`, `bench_locality`,
+//! `bench_ooc`, `bench_serving`).
+//!
+//! Times the full-matrix row/column dot sweep on a Reuters-shaped matrix
+//! under every kernel variant (reference, wide4, wide8) crossed with every
+//! index encoding (raw u32, delta-u16 blocks), records the encoded index
+//! footprint, and checks three contracts the optimizer's kernel decision
+//! rests on:
+//!
+//! * `wide_wins` — the best wide variant beats the reference kernel by at
+//!   least 1.3x on the row sweep (the bandwidth headroom the plan buys),
+//! * `delta16_bytes_reduction_ok` — the block encoding spends at most 3
+//!   bytes per stored index against 4 for raw u32 (>= 25% reduction),
+//! * `wide_deterministic` — two engine runs under the same wide plan
+//!   produce bit-identical convergence traces (FNV-1a over the loss bits).
+//!
+//! Writes `BENCH_kernels.json` (override with `--out <path>`); `--quick`
+//! drops the sample counts for CI smoke runs, same schema.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, ExecutionPlan, KernelDecision,
+    ModelKind, ModelReplication, RunConfig,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_matrix::{dot_indexed_with, IndexEncoding, KernelVariant};
+use dw_numa::MachineTopology;
+use dw_optim::ConvergenceTrace;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median nanoseconds per iteration of `payload` over `samples` timed runs
+/// (after two warm-up runs).
+fn median_ns<O>(samples: usize, mut payload: impl FnMut() -> O) -> f64 {
+    for _ in 0..2 {
+        black_box(payload());
+    }
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(payload());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+/// FNV-1a over the initial loss and per-epoch loss bits: the trace-parity
+/// fingerprint (same construction as `bench_ooc` and `bench_serving`).
+fn trace_hash(trace: &ConvergenceTrace) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    let mut eat = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+    eat(trace.initial_loss.to_bits());
+    for point in &trace.points {
+        eat(point.loss.to_bits());
+    }
+    hash
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_kernels.json")
+        .to_string();
+    let samples = if quick { 7 } else { 21 };
+    let mut records: Vec<Record> = Vec::new();
+
+    // --- Full-matrix dot sweeps on a Reuters-shaped matrix. ---
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let csr = dataset.matrix.csr().clone();
+    let csc = csr.to_csc();
+    let x = vec![0.5; csr.cols()];
+    let y = vec![0.5; csr.rows()];
+    let variants = [
+        KernelVariant::Reference,
+        KernelVariant::Wide { lanes: 4 },
+        KernelVariant::Wide { lanes: 8 },
+    ];
+
+    // Raw-u32 sweeps: the variant applies directly to the view slices.
+    for variant in variants {
+        records.push(Record {
+            group: "kernel",
+            name: format!("csr_row_dots/reuters/{variant}/u32"),
+            value: median_ns(samples, || {
+                let mut acc = 0.0;
+                for i in 0..csr.rows() {
+                    let row = csr.row(i);
+                    acc += dot_indexed_with(variant, row.indices, row.values, black_box(&x));
+                }
+                acc
+            }),
+            unit: "ns",
+        });
+        records.push(Record {
+            group: "kernel",
+            name: format!("csc_col_dots/reuters/{variant}/u32"),
+            value: median_ns(samples, || {
+                let mut acc = 0.0;
+                for j in 0..csc.cols() {
+                    let col = csc.col(j);
+                    acc += dot_indexed_with(variant, col.indices, col.values, black_box(&y));
+                }
+                acc
+            }),
+            unit: "ns",
+        });
+    }
+
+    // Delta-u16 sweeps: same variants over the block-compressed sidecar.
+    csr.encoded_indices();
+    csc.encoded_indices();
+    for variant in variants {
+        records.push(Record {
+            group: "kernel",
+            name: format!("csr_row_dots/reuters/{variant}/delta16"),
+            value: median_ns(samples, || {
+                let mut acc = 0.0;
+                for i in 0..csr.rows() {
+                    acc += csr.row_dot_encoded(i, black_box(&x), variant);
+                }
+                acc
+            }),
+            unit: "ns",
+        });
+        records.push(Record {
+            group: "kernel",
+            name: format!("csc_col_dots/reuters/{variant}/delta16"),
+            value: median_ns(samples, || {
+                let mut acc = 0.0;
+                for j in 0..csc.cols() {
+                    acc += csc.col_dot_encoded(j, black_box(&y), variant);
+                }
+                acc
+            }),
+            unit: "ns",
+        });
+    }
+
+    // Correctness anchors before any speed claims: the reference variant
+    // must be bit-identical between the raw and encoded paths, and the
+    // wide variants must agree within accumulation-order tolerance.
+    let mut raw_ref = 0.0;
+    let mut enc_ref = 0.0;
+    let mut enc_wide = 0.0;
+    for i in 0..csr.rows() {
+        let row = csr.row(i);
+        raw_ref += dot_indexed_with(KernelVariant::Reference, row.indices, row.values, &x);
+        enc_ref += csr.row_dot_encoded(i, &x, KernelVariant::Reference);
+        enc_wide += csr.row_dot_encoded(i, &x, KernelVariant::Wide { lanes: 4 });
+    }
+    assert_eq!(
+        raw_ref.to_bits(),
+        enc_ref.to_bits(),
+        "reference kernel must be bit-identical across encodings"
+    );
+    assert!(
+        (raw_ref - enc_wide).abs() <= 1e-9 * raw_ref.abs().max(1.0),
+        "wide kernel drifted beyond tolerance: {raw_ref} vs {enc_wide}"
+    );
+
+    // --- Encoded index footprint. ---
+    let nnz = csr.nnz().max(1) as f64;
+    let delta_bytes = csr.encoded_indices().size_bytes() as f64;
+    records.push(Record {
+        group: "encoding",
+        name: "index_bytes_per_nnz/reuters/u32".to_string(),
+        value: 4.0,
+        unit: "bytes",
+    });
+    records.push(Record {
+        group: "encoding",
+        name: "index_bytes_per_nnz/reuters/delta16".to_string(),
+        value: delta_bytes / nnz,
+        unit: "bytes",
+    });
+
+    // --- Determinism under a wide plan: two engine runs, one trace hash. ---
+    let machine = MachineTopology::local2();
+    let config = RunConfig::quick(if quick { 3 } else { 6 });
+    let base_plan = ExecutionPlan::new(
+        &machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::FullReplication,
+    );
+    let wide_plan = base_plan.clone().with_kernel(KernelDecision {
+        variant: KernelVariant::Wide { lanes: 4 },
+        encoding: IndexEncoding::DeltaU16,
+    });
+    let run = |plan: &ExecutionPlan| {
+        DimmWitted::on(machine.clone())
+            .task(AnalyticsTask::from_dataset(&dataset, ModelKind::Svm))
+            .plan(plan.clone())
+            .config(config.clone())
+            .build()
+            .run()
+    };
+    let reference_report = run(&base_plan);
+    let wide_a = run(&wide_plan);
+    let wide_b = run(&wide_plan);
+    let wide_deterministic = trace_hash(&wide_a.trace) == trace_hash(&wide_b.trace);
+    let wide_loss_ok = (wide_a.final_loss() - reference_report.final_loss()).abs()
+        <= 1e-6 * reference_report.final_loss().abs().max(1.0);
+    records.push(Record {
+        group: "trace",
+        name: "trace_hash/reference".to_string(),
+        value: trace_hash(&reference_report.trace) as f64,
+        unit: "hash",
+    });
+    records.push(Record {
+        group: "trace",
+        name: "trace_hash/wide4_delta16".to_string(),
+        value: trace_hash(&wide_a.trace) as f64,
+        unit: "hash",
+    });
+
+    // --- Contract flags (CI greps for value 1). ---
+    let ns_of = |name: &str| {
+        records
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.value)
+            .expect("record exists")
+    };
+    let reference_ns = ns_of("csr_row_dots/reuters/reference/u32");
+    let best_wide_ns = records
+        .iter()
+        .filter(|r| r.name.starts_with("csr_row_dots/reuters/wide"))
+        .map(|r| r.value)
+        .fold(f64::INFINITY, f64::min);
+    let speedup = reference_ns / best_wide_ns;
+    records.push(Record {
+        group: "flag",
+        name: "wide_row_speedup".to_string(),
+        value: (speedup * 100.0).round() / 100.0,
+        unit: "x",
+    });
+    let wide_wins = speedup >= 1.3;
+    let bytes_ok = delta_bytes / nnz <= 3.0;
+    for (name, ok) in [
+        ("wide_wins", wide_wins),
+        ("delta16_bytes_reduction_ok", bytes_ok),
+        ("wide_deterministic", wide_deterministic && wide_loss_ok),
+    ] {
+        records.push(Record {
+            group: "flag",
+            name: name.to_string(),
+            value: if ok { 1.0 } else { 0.0 },
+            unit: "bool",
+        });
+    }
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/kernels-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "kernels-bench: {:<10} {:<44} {:>16.1} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    println!(
+        "kernels-bench: wrote {} records to {out_path}",
+        records.len()
+    );
+    if !(wide_wins && bytes_ok && wide_deterministic && wide_loss_ok) {
+        eprintln!(
+            "kernels-bench: contract failed (wide_wins={wide_wins}, bytes_ok={bytes_ok}, \
+             deterministic={wide_deterministic}, loss_ok={wide_loss_ok})"
+        );
+        std::process::exit(1);
+    }
+}

@@ -94,8 +94,8 @@ pub use executor::{
 pub use grid_search::{grid_search_step, paper_step_grid, GridSearchResult};
 pub use optimizer::{CostEstimate, CostModel, Optimizer};
 pub use plan::{
-    tuned_steal_budget, ExecutionPlan, ItemScheduler, LayoutDecision, LocalityGroup,
-    ResidencyDecision, WorkerAssignment,
+    tuned_steal_budget, ExecutionPlan, ItemScheduler, KernelDecision, LayoutDecision,
+    LocalityGroup, ResidencyDecision, WorkerAssignment,
 };
 pub use pool::WorkerPool;
 pub use replication::{DataReplication, ModelReplication};

@@ -205,10 +205,14 @@ impl Optimizer {
             }
             _ => crate::plan::ResidencyDecision::Resident,
         };
+        // Kernel decision: index encoding from the layout's index domain,
+        // accumulator width from the average access-granule length.
+        let kernel = crate::plan::KernelDecision::choose(&stats, layout, access);
         self.tune_scheduler(
             ExecutionPlan::new(&self.machine, access, model_replication, data_replication)
                 .with_layout(layout)
-                .with_residency(residency),
+                .with_residency(residency)
+                .with_kernel(kernel),
             task,
         )
     }
@@ -240,7 +244,10 @@ impl Optimizer {
                 DataReplication::Sharding,
             )
             .with_layout(plan.layout)
-            .with_residency(plan.residency),
+            .with_residency(plan.residency)
+            // Same layout and access method, so the same kernel decision:
+            // keeps the simulate_epoch comparison about locality alone.
+            .with_kernel(plan.kernel),
             task,
         );
         let rule_seconds = simulate_epoch(&stats, density, &plan, &self.machine).seconds;

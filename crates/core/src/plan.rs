@@ -9,7 +9,7 @@
 use crate::access::AccessMethod;
 use crate::data_replica::DataReplicaSet;
 use crate::replication::{DataReplication, ModelReplication};
-use dw_matrix::MatrixStats;
+use dw_matrix::{IndexEncoding, KernelVariant, MatrixStats};
 use dw_numa::MachineTopology;
 use dw_optim::TaskData;
 use rand::prelude::*;
@@ -247,6 +247,83 @@ impl std::fmt::Display for ResidencyDecision {
     }
 }
 
+/// Which accumulate-loop variant and index encoding the plan's gather
+/// kernels execute with — the kernel half of the bandwidth decision, chosen
+/// per plan exactly like [`LayoutDecision`].
+///
+/// The default (`Reference` + `U32`) is the trace-parity anchor: a
+/// single-accumulator loop over raw index arrays, bit-identical to every
+/// historical trace, so explicitly constructed plans never move a hash.
+/// The optimizer upgrades the decision where the data shape supports it
+/// ([`KernelDecision::choose`]); a [`crate::Session::replan`] flips it
+/// mid-run without re-materializing a layout, since both halves are pure
+/// read-path choices (the encoding rides beside the raw arrays as a cached
+/// sidecar).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize, Hash,
+)]
+pub struct KernelDecision {
+    /// Accumulate-loop family ([`KernelVariant::Reference`] or wide lanes).
+    pub variant: KernelVariant,
+    /// Index-stream storage the kernels read through.
+    pub encoding: IndexEncoding,
+}
+
+impl KernelDecision {
+    /// The kernel decision for a concrete matrix under a chosen layout and
+    /// access method.
+    ///
+    /// * **Encoding** — `DeltaU16` when every sparse layout the plan
+    ///   materializes has an index domain that fits a `u16` block window
+    ///   (columns for the CSR side, rows for the CSC side): the
+    ///   frame-of-reference blocks then never fall back to raw storage, so
+    ///   the ~2 bytes/index win is guaranteed and the cost model's halved
+    ///   index-byte charge is honest.  Wider matrices keep `U32` (blocks
+    ///   *could* still encode narrow, but the planner only promises what it
+    ///   can prove from the stats); the Dense arm has no index stream.
+    /// * **Variant** — `Wide { lanes: 4 }` when the average stored entries
+    ///   per item of the access method's axis (row for row-wise, column for
+    ///   the columnar methods) give the multi-accumulator loop enough work
+    ///   to amortize its reduction (≥ 16); short gathers (the graph
+    ///   datasets' 2-entry incidence rows) stay on the reference loop,
+    ///   which is also the bit-parity anchor.
+    pub fn choose(stats: &MatrixStats, layout: LayoutDecision, access: AccessMethod) -> Self {
+        let u16_window = u16::MAX as usize + 1;
+        let encoding = match layout {
+            LayoutDecision::Dense => IndexEncoding::U32,
+            LayoutDecision::Csr if stats.cols <= u16_window => IndexEncoding::DeltaU16,
+            LayoutDecision::Csc if stats.rows <= u16_window => IndexEncoding::DeltaU16,
+            LayoutDecision::CsrAndCsc if stats.cols <= u16_window && stats.rows <= u16_window => {
+                IndexEncoding::DeltaU16
+            }
+            _ => IndexEncoding::U32,
+        };
+        let items = if access.is_columnar() {
+            stats.cols
+        } else {
+            stats.rows
+        };
+        let avg_nnz = stats.nnz as f64 / items.max(1) as f64;
+        let variant = if avg_nnz >= 16.0 {
+            KernelVariant::Wide { lanes: 4 }
+        } else {
+            KernelVariant::Reference
+        };
+        KernelDecision { variant, encoding }
+    }
+
+    /// Short name used in reports and bench records, e.g. `wide4+delta16`.
+    pub fn name(&self) -> String {
+        format!("{}+{}", self.variant.name(), self.encoding.name())
+    }
+}
+
+impl std::fmt::Display for KernelDecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}+{}", self.variant, self.encoding)
+    }
+}
+
 /// The three tradeoff choices plus the degree of parallelism.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ExecutionPlan {
@@ -264,6 +341,9 @@ pub struct ExecutionPlan {
     /// How sharded epoch items are dealt to workers (locality-first with a
     /// bounded steal budget by default).
     pub scheduler: ItemScheduler,
+    /// Which gather-kernel variant and index encoding the plan executes
+    /// with (defaults to the bit-parity anchor: `Reference` + `U32`).
+    pub kernel: KernelDecision,
     /// Number of workers (defaults to one per physical core).
     pub workers: usize,
 }
@@ -287,6 +367,7 @@ impl ExecutionPlan {
             layout: LayoutDecision::for_access(access),
             residency: ResidencyDecision::default(),
             scheduler: ItemScheduler::default(),
+            kernel: KernelDecision::default(),
             workers: machine.total_cores(),
         }
     }
@@ -300,6 +381,12 @@ impl ExecutionPlan {
     /// Record a residency decision (the out-of-core arm).
     pub fn with_residency(mut self, residency: ResidencyDecision) -> Self {
         self.residency = residency;
+        self
+    }
+
+    /// Record a kernel decision (gather-loop variant + index encoding).
+    pub fn with_kernel(mut self, kernel: KernelDecision) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -404,12 +491,13 @@ impl ExecutionPlan {
     /// One-line description used in reports.
     pub fn describe(&self) -> String {
         format!(
-            "{} / {} / {} [{}, {}] ({} workers, {})",
+            "{} / {} / {} [{}, {}, {}] ({} workers, {})",
             self.access,
             self.model_replication,
             self.data_replication,
             self.layout,
             self.residency,
+            self.kernel,
             self.workers,
             self.scheduler
         )

@@ -147,6 +147,7 @@ mod tests {
                 layout: crate::plan::LayoutDecision::Csr,
                 residency: crate::plan::ResidencyDecision::Resident,
                 scheduler: crate::plan::ItemScheduler::default(),
+                kernel: crate::plan::KernelDecision::default(),
                 workers: 4,
             },
             trace,

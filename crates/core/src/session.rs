@@ -433,6 +433,21 @@ fn materialize_layouts(task: &AnalyticsTask, plan: &ExecutionPlan) {
     }
 }
 
+/// Publish the plan's kernel decision to the task's shared selector (every
+/// shard reads the same [`dw_matrix::KernelSelector`], so one store switches
+/// all readers) and, when the plan chose the block-compressed encoding,
+/// build the encoded index sidecars up front — mid-run replans switch
+/// kernels without re-materializing any layout, and no epoch pays a lazy
+/// encode.
+fn apply_kernel_decision(task: &AnalyticsTask, plan: &ExecutionPlan) {
+    task.data
+        .kernel
+        .set(plan.kernel.variant, plan.kernel.encoding);
+    if plan.kernel.encoding == dw_matrix::IndexEncoding::DeltaU16 {
+        task.data.matrix.materialize_encoded_indices();
+    }
+}
+
 /// Resolve the plan's residency arm against the task's **actual** storage,
 /// so the simulator's disk charge always matches where the bytes are:
 ///
@@ -604,6 +619,7 @@ impl Session {
         // plans already record the widened decision.)  Anything else stays
         // unmaterialized — the footprint tests assert it stays that way.
         materialize_layouts(&self.task, &self.plan);
+        apply_kernel_decision(&self.task, &self.plan);
         if self.compact {
             let _ = self.task.data.matrix.compact_source();
         }
@@ -781,6 +797,7 @@ impl EpochStream {
             };
         }
         materialize_layouts(&self.task, &self.plan);
+        apply_kernel_decision(&self.task, &self.plan);
         self.data_replicas = DataReplicaSet::build(
             &self.plan,
             &self.machine,

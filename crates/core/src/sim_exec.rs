@@ -23,13 +23,17 @@
 use crate::access::AccessMethod;
 use crate::plan::{ExecutionPlan, ResidencyDecision};
 use crate::replication::{DataReplication, ModelReplication};
-use dw_matrix::MatrixStats;
+use dw_matrix::{IndexEncoding, MatrixStats};
 use dw_numa::cache::streaming_hit_fraction;
 use dw_numa::{MachineTopology, MemoryCostModel, PerfCounters};
 use dw_optim::UpdateDensity;
 
 /// Bytes of one stored sparse element (8-byte value + 4-byte column index).
 const SPARSE_ELEMENT_BYTES: u64 = 12;
+/// Bytes of one stored sparse element under the delta-u16 block encoding
+/// (8-byte value + 2-byte block-local index offset; per-block headers are
+/// amortised below a byte per element at `BLOCK_LEN = 128`).
+const SPARSE_ELEMENT_BYTES_DELTA16: u64 = 10;
 /// Bytes of one model coordinate.
 const MODEL_ELEMENT_BYTES: u64 = 8;
 /// Model-synchronization passes per epoch for PerNode / PerCore averaging
@@ -97,10 +101,18 @@ pub fn simulate_epoch(
     };
     let data_llc_fraction =
         streaming_hit_fraction(data_bytes_per_group, machine.llc_bytes() as u64);
-    let local_data_read_ns = data_llc_fraction * cost.read_llc(SPARSE_ELEMENT_BYTES)
-        + (1.0 - data_llc_fraction) * cost.read_local_dram(SPARSE_ELEMENT_BYTES);
+    // The kernel decision's index encoding changes how many bytes each
+    // stored element streams: block-compressed u16 deltas shave 2 of the
+    // 12 bytes off every element, which the optimizer uses to prefer the
+    // narrow encoding on bandwidth-bound access methods.
+    let element_bytes = match plan.kernel.encoding {
+        IndexEncoding::DeltaU16 => SPARSE_ELEMENT_BYTES_DELTA16,
+        IndexEncoding::U32 => SPARSE_ELEMENT_BYTES,
+    };
+    let local_data_read_ns = data_llc_fraction * cost.read_llc(element_bytes)
+        + (1.0 - data_llc_fraction) * cost.read_local_dram(element_bytes);
     let data_read_ns = data_locality * local_data_read_ns
-        + (1.0 - data_locality) * cost.read_remote_dram(SPARSE_ELEMENT_BYTES);
+        + (1.0 - data_locality) * cost.read_remote_dram(element_bytes);
     // Out-of-core residency extends the locality hierarchy one level down:
     // the slice of the source stream that does not fit the plan's page-cache
     // budget faults from disk, charged at the device's streaming bandwidth —
@@ -111,7 +123,7 @@ pub fn simulate_epoch(
     let data_read_ns = match plan.residency {
         ResidencyDecision::Paged { budget_bytes } => {
             let cache_hit = streaming_hit_fraction(stats.sparse_bytes as u64, budget_bytes as u64);
-            cache_hit * data_read_ns + (1.0 - cache_hit) * cost.read_disk(SPARSE_ELEMENT_BYTES)
+            cache_hit * data_read_ns + (1.0 - cache_hit) * cost.read_disk(element_bytes)
         }
         ResidencyDecision::Resident => data_read_ns,
     };
@@ -198,8 +210,8 @@ pub fn simulate_epoch(
             + remote_model_reads
             + remote_model_writes
             + sync_elements) as u64,
-        bytes_read: (data_reads * SPARSE_ELEMENT_BYTES as f64
-            + model_reads * MODEL_ELEMENT_BYTES as f64) as u64,
+        bytes_read: (data_reads * element_bytes as f64 + model_reads * MODEL_ELEMENT_BYTES as f64)
+            as u64,
         bytes_written: (model_writes * MODEL_ELEMENT_BYTES as f64) as u64,
         stall_cycles: cost.ns_to_cycles(model_writes * contention_ns),
     };

@@ -5,11 +5,14 @@
 //! `S(j) = {i : a_ij ≠ 0}` (footnote 2 of the paper); [`ColView::rows`]
 //! exposes exactly that set.
 
+use crate::encoding::BlockedIndices;
+use crate::kernels::{dot_encoded_with, KernelVariant};
 use crate::views::ColAccess;
 use crate::{ColView, CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
+use std::sync::OnceLock;
 
 /// A sparse matrix in Compressed Sparse Column format.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct CscMatrix {
     shape: Shape,
     /// `indptr[j]..indptr[j+1]` is the slice of `indices`/`data` for column `j`.
@@ -18,6 +21,31 @@ pub struct CscMatrix {
     indices: Vec<u32>,
     /// Values aligned with `indices`.
     data: Vec<f64>,
+    /// Lazily built block-compressed sidecar of `indices` (never part of
+    /// the matrix's identity: equality and clones are structural only).
+    encoded: OnceLock<BlockedIndices>,
+}
+
+impl Clone for CscMatrix {
+    fn clone(&self) -> Self {
+        // The sidecar is a cache — a clone re-encodes lazily if asked.
+        CscMatrix {
+            shape: self.shape,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            data: self.data.clone(),
+            encoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CscMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.data == other.data
+    }
 }
 
 impl CscMatrix {
@@ -65,6 +93,7 @@ impl CscMatrix {
             indptr,
             indices,
             data,
+            encoded: OnceLock::new(),
         })
     }
 
@@ -197,6 +226,7 @@ impl CscMatrix {
             indptr,
             indices: self.indices[lo..hi].to_vec(),
             data: self.data[lo..hi].to_vec(),
+            encoded: OnceLock::new(),
         }
     }
 
@@ -220,7 +250,42 @@ impl CscMatrix {
             indptr,
             indices,
             data,
+            encoded: OnceLock::new(),
         }
+    }
+
+    /// The block-compressed sidecar of the index array, built on first use
+    /// and cached (shared by every consumer of this layout — zero-copy
+    /// column-range views included, since they read through the base's CSC).
+    pub fn encoded_indices(&self) -> &BlockedIndices {
+        self.encoded
+            .get_or_init(|| BlockedIndices::encode(&self.indices))
+    }
+
+    /// Whether the compressed sidecar has been built.
+    pub fn encoded_materialized(&self) -> bool {
+        self.encoded.get().is_some()
+    }
+
+    /// Dot product of column `j` with a dense slice, reading the indices
+    /// through the block-compressed sidecar.  Under
+    /// [`KernelVariant::Reference`] the result is bit-identical to
+    /// `self.col(j).dot(y)` — the encoding changes the bytes read, never
+    /// the accumulation order.
+    ///
+    /// # Panics
+    /// Panics if `j >= cols` or a stored row index is out of bounds for
+    /// `y`.
+    #[inline]
+    pub fn col_dot_encoded(&self, j: usize, y: &[f64], variant: KernelVariant) -> f64 {
+        let start = self.indptr[j] as usize;
+        let end = self.indptr[j + 1] as usize;
+        dot_encoded_with(
+            variant,
+            self.encoded_indices().chunks_in_range(start, end),
+            &self.data[start..end],
+            y,
+        )
     }
 }
 
@@ -295,6 +360,20 @@ mod tests {
         let d = m.to_dense(Layout::ColMajor);
         assert_eq!(d.get(2, 2), 4.0);
         assert_eq!(CsrMatrix::from_dense(&d).to_csc(), m);
+    }
+
+    #[test]
+    fn encoded_col_dots_are_bit_identical_under_reference() {
+        let m = sample();
+        let y = vec![0.5, -2.0, 3.0];
+        for j in 0..m.cols() {
+            let raw = m.col(j).dot(&y);
+            let enc = m.col_dot_encoded(j, &y, KernelVariant::Reference);
+            assert_eq!(raw.to_bits(), enc.to_bits(), "col {j}");
+        }
+        let c = m.clone();
+        assert!(!c.encoded_materialized());
+        assert_eq!(c, m);
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! [`RowView`] of aligned index/value slices so the gradient kernels can
 //! stream it without copying.
 
+use crate::encoding::BlockedIndices;
+use crate::kernels::{dot_encoded_with, KernelVariant};
 use crate::views::RowAccess;
 use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, RowView, Shape, SparseVector};
+use std::sync::OnceLock;
 
 /// A sparse matrix in Compressed Sparse Row format.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct CsrMatrix {
     shape: Shape,
     /// `indptr[i]..indptr[i+1]` is the slice of `indices`/`data` for row `i`.
@@ -19,6 +22,31 @@ pub struct CsrMatrix {
     indices: Vec<u32>,
     /// Values aligned with `indices`.
     data: Vec<f64>,
+    /// Lazily built block-compressed sidecar of `indices` (never part of
+    /// the matrix's identity: equality and clones are structural only).
+    encoded: OnceLock<BlockedIndices>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        // The sidecar is a cache — a clone re-encodes lazily if asked.
+        CsrMatrix {
+            shape: self.shape,
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            data: self.data.clone(),
+            encoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.indptr == other.indptr
+            && self.indices == other.indices
+            && self.data == other.data
+    }
 }
 
 impl CsrMatrix {
@@ -66,6 +94,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            encoded: OnceLock::new(),
         })
     }
 
@@ -113,6 +142,7 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            encoded: OnceLock::new(),
         }
     }
 
@@ -249,6 +279,7 @@ impl CsrMatrix {
             indptr,
             indices: self.indices[lo..hi].to_vec(),
             data: self.data[lo..hi].to_vec(),
+            encoded: OnceLock::new(),
         }
     }
 
@@ -272,7 +303,42 @@ impl CsrMatrix {
             indptr,
             indices,
             data,
+            encoded: OnceLock::new(),
         }
+    }
+
+    /// The block-compressed sidecar of the index array, built on first use
+    /// and cached (shared by every consumer of this layout — zero-copy
+    /// row-range views included, since they read through the base's CSR).
+    pub fn encoded_indices(&self) -> &BlockedIndices {
+        self.encoded
+            .get_or_init(|| BlockedIndices::encode(&self.indices))
+    }
+
+    /// Whether the compressed sidecar has been built.
+    pub fn encoded_materialized(&self) -> bool {
+        self.encoded.get().is_some()
+    }
+
+    /// Dot product of row `i` with a dense slice, reading the indices
+    /// through the block-compressed sidecar.  Under
+    /// [`KernelVariant::Reference`] the result is bit-identical to
+    /// `self.row(i).dot(x)` — the encoding changes the bytes read, never
+    /// the accumulation order.
+    ///
+    /// # Panics
+    /// Panics if `i >= rows` or a stored column index is out of bounds for
+    /// `x`.
+    #[inline]
+    pub fn row_dot_encoded(&self, i: usize, x: &[f64], variant: KernelVariant) -> f64 {
+        let start = self.indptr[i] as usize;
+        let end = self.indptr[i + 1] as usize;
+        dot_encoded_with(
+            variant,
+            self.encoded_indices().chunks_in_range(start, end),
+            &self.data[start..end],
+            x,
+        )
     }
 }
 
@@ -387,6 +453,25 @@ mod tests {
         let m = sample();
         assert_eq!(m.size_bytes(), 4 * 4 + 4 * 4 + 4 * 8);
         assert_eq!(m.dense_size_bytes(), 9 * 8);
+    }
+
+    #[test]
+    fn encoded_row_dots_are_bit_identical_under_reference() {
+        let m = sample();
+        assert!(!m.encoded_materialized());
+        let x = vec![1.0, -0.5, 2.0];
+        for i in 0..m.rows() {
+            let raw = m.row(i).dot(&x);
+            let enc = m.row_dot_encoded(i, &x, KernelVariant::Reference);
+            assert_eq!(raw.to_bits(), enc.to_bits(), "row {i}");
+        }
+        assert!(m.encoded_materialized());
+        assert_eq!(m.encoded_indices().decode(), vec![0, 2, 1, 2]);
+        // The sidecar is a cache, not identity: clones drop it and still
+        // compare equal.
+        let c = m.clone();
+        assert!(!c.encoded_materialized());
+        assert_eq!(c, m);
     }
 
     fn arb_csr() -> impl Strategy<Value = CsrMatrix> {

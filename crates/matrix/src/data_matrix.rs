@@ -40,6 +40,7 @@
 //! an access method (and hence a layout) *before* any layout exists.
 
 use crate::dense::DenseRows;
+use crate::kernels::{IndexEncoding, KernelVariant};
 use crate::ooc::{self, MatrixSource, PagedSource};
 use crate::views::{ColAccess, RowAccess};
 use crate::{
@@ -963,6 +964,81 @@ impl DataMatrix {
     /// the base's full layout.
     fn serves_window_cols(&self) -> bool {
         self.csc_materialized() || !self.is_paged()
+    }
+
+    /// Build the block-compressed index sidecar of whatever sparse layouts
+    /// are resident (and, for a zero-copy window, of its base's), so no
+    /// epoch pays the one-time encode.  A no-op when nothing sparse is
+    /// materialized — the sidecar only ever rides beside an existing
+    /// layout.
+    pub fn materialize_encoded_indices(&self) {
+        if let Some(csr) = self.csr_if_materialized() {
+            let _ = csr.encoded_indices();
+        }
+        if let Some(csc) = self.csc_if_materialized() {
+            let _ = csc.encoded_indices();
+        }
+        if let Some(view) = &self.inner.window {
+            view.base.materialize_encoded_indices();
+        }
+    }
+
+    /// Dot product of row `i` with a dense slice through an explicit
+    /// kernel decision — the per-plan entry point behind every objective's
+    /// row read.
+    ///
+    /// Under [`IndexEncoding::DeltaU16`] the indices stream through the
+    /// block-compressed sidecar of whichever CSR actually backs row `i`
+    /// (the base's for a zero-copy row shard); when no CSR is resident —
+    /// the Dense layout arm, or a column window — the raw row view is used
+    /// with the selected variant instead, so the decision degrades to a
+    /// variant choice rather than forcing a layout.  Under
+    /// [`KernelVariant::Reference`] the result is bit-identical to
+    /// `self.row(i).dot(x)` whatever the encoding.
+    pub fn row_dot_with(
+        &self,
+        i: usize,
+        x: &[f64],
+        variant: KernelVariant,
+        encoding: IndexEncoding,
+    ) -> f64 {
+        if encoding == IndexEncoding::DeltaU16 {
+            if let Some(csr) = self.csr_if_materialized() {
+                return csr.row_dot_encoded(i, x, variant);
+            }
+            if let Some(view) = &self.inner.window {
+                if view.axis == Axis::Rows && view.base.serves_window_rows() {
+                    return view.base.row_dot_with(view.start + i, x, variant, encoding);
+                }
+            }
+        }
+        let row = self.row(i);
+        crate::kernels::dot_indexed_with(variant, row.indices, row.values, x)
+    }
+
+    /// Dot product of column `j` with a dense slice through an explicit
+    /// kernel decision — the columnar mirror of
+    /// [`DataMatrix::row_dot_with`], reading the CSC sidecar (the base's
+    /// for a zero-copy column shard) under [`IndexEncoding::DeltaU16`].
+    pub fn col_dot_with(
+        &self,
+        j: usize,
+        y: &[f64],
+        variant: KernelVariant,
+        encoding: IndexEncoding,
+    ) -> f64 {
+        if encoding == IndexEncoding::DeltaU16 {
+            if let Some(csc) = self.csc_if_materialized() {
+                return csc.col_dot_encoded(j, y, variant);
+            }
+            if let Some(view) = &self.inner.window {
+                if view.axis == Axis::Cols && view.base.serves_window_cols() {
+                    return view.base.col_dot_with(view.start + j, y, variant, encoding);
+                }
+            }
+        }
+        let col = self.col(j);
+        crate::kernels::dot_indexed_with(variant, col.indices, col.values, y)
     }
 
     /// Page-cache counters of the out-of-core source (`None` for fully

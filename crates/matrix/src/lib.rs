@@ -42,6 +42,7 @@ pub mod csc;
 pub mod csr;
 pub mod data_matrix;
 pub mod dense;
+pub mod encoding;
 pub mod kernels;
 pub mod ooc;
 pub mod stats;
@@ -53,7 +54,12 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use data_matrix::{Axis, AxisRangeView, ColRangeView, DataMatrix, RowRangeView};
 pub use dense::{DenseMatrix, DenseRows, Layout};
-pub use kernels::{axpy_indexed, dot_indexed};
+pub use encoding::{BlockedIndices, EncodedChunk};
+pub use kernels::{
+    axpy_indexed, axpy_indexed_wide, axpy_indexed_with, dot_encoded, dot_encoded_wide,
+    dot_encoded_with, dot_indexed, dot_indexed_wide, dot_indexed_with, IndexEncoding,
+    KernelSelector, KernelVariant,
+};
 pub use ooc::{
     FileBackedSource, InMemorySource, MatrixSource, PageCache, PageMeta, PagedSource, SpillWriter,
     TempSpillDir,

@@ -76,9 +76,11 @@ impl SparseVector {
         out
     }
 
-    /// Squared Euclidean norm of the stored components.
+    /// Squared Euclidean norm of the stored components (the shared blocked
+    /// kernel — single accumulator in order, bit-identical to a sequential
+    /// sum).
     pub fn norm2_squared(&self) -> f64 {
-        self.values.iter().map(|v| v * v).sum()
+        crate::kernels::sum_of_squares(&self.values)
     }
 }
 
@@ -88,26 +90,12 @@ impl SparseVector {
 /// Panics if the slices differ in length.
 pub fn dot_dense(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product of mismatched lengths");
-    // Manual 4-way unrolling: the auto-vectorizer handles this well in
-    // release builds, but the explicit accumulators also keep debug-mode test
-    // runs tolerable for the larger synthetic datasets.
-    let mut acc0 = 0.0;
-    let mut acc1 = 0.0;
-    let mut acc2 = 0.0;
-    let mut acc3 = 0.0;
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let base = i * 4;
-        acc0 += a[base] * b[base];
-        acc1 += a[base + 1] * b[base + 1];
-        acc2 += a[base + 2] * b[base + 2];
-        acc3 += a[base + 3] * b[base + 3];
-    }
-    let mut acc = acc0 + acc1 + acc2 + acc3;
-    for i in chunks * 4..a.len() {
-        acc += a[i] * b[i];
-    }
-    acc
+    // The 4-way multi-accumulator loop lives in the shared kernels module
+    // (exactly one family of accumulate loops in the workspace); the
+    // auto-vectorizer handles it well in release builds, and the explicit
+    // accumulators also keep debug-mode test runs tolerable for the larger
+    // synthetic datasets.
+    crate::kernels::dot_dense_unrolled(a, b)
 }
 
 /// Dot product of a sparse vector with a dense vector.

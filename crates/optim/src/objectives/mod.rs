@@ -123,9 +123,11 @@ pub(crate) fn row_margin(data: &TaskData, i: usize, model: &dyn ModelAccess) -> 
     margin
 }
 
-/// Compute the prediction margin against a plain slice snapshot.
+/// Compute the prediction margin against a plain slice snapshot, routed
+/// through the task's kernel selector so the plan's accumulator width and
+/// index encoding apply on this hot path.
 pub(crate) fn row_margin_slice(data: &TaskData, i: usize, model: &[f64]) -> f64 {
-    data.row(i).dot(model)
+    data.row_dot(i, model)
 }
 
 #[cfg(test)]

@@ -15,7 +15,8 @@
 //! task holds exactly one sparse layout in memory.
 
 use dw_matrix::{
-    ColAccess, ColView, CscMatrix, CsrMatrix, DataMatrix, MatrixStats, RowAccess, RowView,
+    ColAccess, ColView, CscMatrix, CsrMatrix, DataMatrix, KernelSelector, MatrixStats, RowAccess,
+    RowView,
 };
 use std::sync::Arc;
 
@@ -33,6 +34,11 @@ pub struct TaskData {
     pub labels: Arc<Vec<f64>>,
     /// Per-column vertex costs (empty for supervised tasks).
     pub costs: Arc<Vec<f64>>,
+    /// The plan's kernel decision (accumulator width + index encoding),
+    /// shared with every shard so one `set` at stream start or replan
+    /// switches all readers.  Defaults to the reference kernels over raw
+    /// u32 indices, which keep convergence traces bit-identical.
+    pub kernel: Arc<KernelSelector>,
 }
 
 impl TaskData {
@@ -60,6 +66,7 @@ impl TaskData {
             matrix,
             labels: Arc::new(labels),
             costs: Arc::new(costs),
+            kernel: Arc::new(KernelSelector::new()),
         }
     }
 
@@ -106,6 +113,21 @@ impl TaskData {
             return base.row(i);
         }
         self.matrix.row(i)
+    }
+
+    /// Dot-product of example row `i` with a dense model slice, routed
+    /// through the task's [`KernelSelector`]: the plan's accumulator width
+    /// and index encoding apply without the caller naming either.  Under the
+    /// default reference/u32 decision this is bit-identical to
+    /// `self.row(i).dot(model)`.
+    #[inline]
+    pub fn row_dot(&self, i: usize, model: &[f64]) -> f64 {
+        let variant = self.kernel.variant();
+        let encoding = self.kernel.encoding();
+        if let Some(base) = self.matrix.col_window_base() {
+            return base.row_dot_with(i, model, variant, encoding);
+        }
+        self.matrix.row_dot_with(i, model, variant, encoding)
     }
 
     /// Borrowed view of coordinate column `j` (materializes the column
@@ -171,6 +193,7 @@ impl TaskData {
             matrix,
             labels: Arc::new(labels),
             costs: Arc::clone(&self.costs),
+            kernel: Arc::clone(&self.kernel),
         }
     }
 
@@ -192,6 +215,7 @@ impl TaskData {
             matrix: self.matrix.col_range(start, end),
             labels: Arc::clone(&self.labels),
             costs: Arc::clone(&self.costs),
+            kernel: Arc::clone(&self.kernel),
         }
     }
 
@@ -210,6 +234,7 @@ impl TaskData {
             matrix,
             labels: Arc::new(labels),
             costs: Arc::clone(&self.costs),
+            kernel: Arc::clone(&self.kernel),
         }
     }
 }

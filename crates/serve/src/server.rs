@@ -226,6 +226,7 @@ fn drain_loop(core: &FrontendCore) {
         let snapshot = batch[0].cell.load();
         let stats = Arc::clone(&batch[0].stats);
         let mut latencies = Vec::with_capacity(batch.len());
+        let mut replies = Vec::with_capacity(batch.len());
         for request in batch {
             let (score, version, epoch) = match &snapshot {
                 Some(snap) => (
@@ -237,14 +238,22 @@ fn drain_loop(core: &FrontendCore) {
             };
             let latency = request.enqueued.elapsed();
             latencies.push(latency);
-            let _ = request.reply.send(PredictReply {
-                score,
-                version,
-                epoch,
-                latency,
-            });
+            replies.push((
+                request.reply,
+                PredictReply {
+                    score,
+                    version,
+                    epoch,
+                    latency,
+                },
+            ));
         }
+        // Record before replying: a caller who has seen every ticket resolve
+        // must also see every one of those predictions in the stats.
         stats.record_predictions(&latencies);
+        for (reply, message) in replies {
+            let _ = reply.send(message);
+        }
     }
 }
 
