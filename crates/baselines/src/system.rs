@@ -192,6 +192,7 @@ pub fn run_system(
             plan: plan.clone(),
             trace,
             seconds_per_epoch: base.seconds_per_epoch,
+            io_wait_per_epoch: base.io_wait_per_epoch,
             counters_per_epoch: base.counters_per_epoch,
             final_model: Vec::new(),
         }

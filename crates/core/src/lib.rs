@@ -92,7 +92,7 @@ pub use executor::{
     EpochContext, Executor, InterleavedExecutor, SpawnPerEpochExecutor, ThreadedExecutor,
 };
 pub use grid_search::{grid_search_step, paper_step_grid, GridSearchResult};
-pub use optimizer::{CostEstimate, CostModel, Optimizer};
+pub use optimizer::{choose_prefetch_depth, CostEstimate, CostModel, Optimizer};
 pub use plan::{
     tuned_steal_budget, ExecutionPlan, ItemScheduler, KernelDecision, LayoutDecision,
     LocalityGroup, ResidencyDecision, WorkerAssignment,

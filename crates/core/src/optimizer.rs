@@ -115,6 +115,28 @@ impl CostModel {
     }
 }
 
+/// Bytes of one stored sparse element, the unit the prefetch-depth rule
+/// prices reads in (mirrors the simulator's `SPARSE_ELEMENT_BYTES`).
+const PREFETCH_ELEMENT_BYTES: u64 = 12;
+
+/// Choose how many pages ahead the out-of-core prefetcher should run on
+/// `machine`: the smallest depth whose non-overlapped disk residue
+/// `(disk - dram) / (depth + 1)` drops below ⅛ of the DRAM read charge —
+/// deep enough that faults hide behind compute, shallow enough that the
+/// prefetcher never floods the page cache ahead of the stream.  Clamped to
+/// [1, 16]; machines whose disk already streams at DRAM-read speed still
+/// get depth 1 so the pipeline stays warm.
+pub fn choose_prefetch_depth(machine: &MachineTopology) -> usize {
+    let cost = dw_numa::MemoryCostModel::from_topology(machine);
+    let read_ns = cost.read_local_dram(PREFETCH_ELEMENT_BYTES);
+    let disk_ns = cost.read_disk(PREFETCH_ELEMENT_BYTES);
+    if disk_ns <= read_ns {
+        return 1;
+    }
+    let depth = (8.0 * (disk_ns - read_ns) / read_ns).ceil() as usize;
+    depth.saturating_sub(1).clamp(1, 16)
+}
+
 /// The plan optimizer: access method from the cost model, model replication
 /// from the Section 3.3 rule of thumb, data replication from available
 /// memory.
@@ -201,6 +223,7 @@ impl Optimizer {
             Some(budget) if layout.estimated_bytes(&stats) > budget => {
                 crate::plan::ResidencyDecision::Paged {
                     budget_bytes: budget,
+                    prefetch_depth: choose_prefetch_depth(&self.machine),
                 }
             }
             _ => crate::plan::ResidencyDecision::Resident,

@@ -215,6 +215,9 @@ pub enum ResidencyDecision {
     Paged {
         /// Hard bound on resident source + cache bytes.
         budget_bytes: usize,
+        /// How many pages a prefetcher thread walks ahead of the consuming
+        /// stream (0 disables prefetch; faults then block on disk).
+        prefetch_depth: usize,
     },
 }
 
@@ -231,7 +234,16 @@ impl ResidencyDecision {
     pub fn budget_bytes(&self) -> Option<usize> {
         match self {
             ResidencyDecision::Resident => None,
-            ResidencyDecision::Paged { budget_bytes } => Some(*budget_bytes),
+            ResidencyDecision::Paged { budget_bytes, .. } => Some(*budget_bytes),
+        }
+    }
+
+    /// Pages the prefetcher keeps in flight ahead of the stream (0 when
+    /// resident or prefetch is disabled).
+    pub fn prefetch_depth(&self) -> usize {
+        match self {
+            ResidencyDecision::Resident => 0,
+            ResidencyDecision::Paged { prefetch_depth, .. } => *prefetch_depth,
         }
     }
 }
@@ -240,8 +252,11 @@ impl std::fmt::Display for ResidencyDecision {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ResidencyDecision::Resident => f.write_str("resident"),
-            ResidencyDecision::Paged { budget_bytes } => {
-                write!(f, "paged/{budget_bytes}B")
+            ResidencyDecision::Paged {
+                budget_bytes,
+                prefetch_depth,
+            } => {
+                write!(f, "paged/{budget_bytes}B/pf{prefetch_depth}")
             }
         }
     }

@@ -89,6 +89,9 @@ pub struct RunReport {
     pub trace: ConvergenceTrace,
     /// Simulated seconds per epoch on the target machine.
     pub seconds_per_epoch: f64,
+    /// Of those, seconds per epoch a worker spent blocked on disk IO the
+    /// out-of-core prefetcher could not hide (0 for resident plans).
+    pub io_wait_per_epoch: f64,
     /// Modelled PMU counters for one epoch.
     pub counters_per_epoch: PerfCounters,
     /// The final model (averaged across replicas).
@@ -152,6 +155,7 @@ mod tests {
             },
             trace,
             seconds_per_epoch: 0.5,
+            io_wait_per_epoch: 0.0,
             counters_per_epoch: PerfCounters::default(),
             final_model: vec![0.0; 3],
         };

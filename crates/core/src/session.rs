@@ -106,6 +106,13 @@ pub struct EpochEvent {
     /// cached pages) plus every materialized layout — the locality story
     /// extended one level down the hierarchy.
     pub resident_bytes: usize,
+    /// Simulated seconds of this epoch a worker spent blocked on disk IO
+    /// the prefetcher could not hide (0 for resident plans; shrinks as the
+    /// plan's `prefetch_depth` grows).
+    pub io_wait: f64,
+    /// Page pins this epoch that were served from a prefetched slot —
+    /// faults the prefetcher turned into hits (0 with prefetch disabled).
+    pub prefetch_hits: u64,
 }
 
 /// Why a stream stopped producing epochs.
@@ -164,6 +171,7 @@ impl DimmWitted {
             compact: false,
             memory_budget: None,
             spill_dir: None,
+            layout_file: None,
             auto_steal: false,
         }
     }
@@ -184,6 +192,7 @@ pub struct SessionBuilder {
     compact: bool,
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    layout_file: Option<PathBuf>,
     auto_steal: bool,
 }
 
@@ -342,6 +351,21 @@ impl SessionBuilder {
         self
     }
 
+    /// Persist materialized layouts to `path` (the page-aligned `.dwlt`
+    /// format) and re-open them from there on later sessions.
+    ///
+    /// At stream start (and after every replan) the session first adopts
+    /// whatever layouts the file already holds — served in place from the
+    /// file image, zero-copy under the `mmap` feature — so a restarted
+    /// session (or a restarted `dw-serve`) skips the COO stream entirely;
+    /// any layout the plan materializes beyond what the file covers is
+    /// written back afterwards.  Best-effort: a missing, stale, or
+    /// unwritable file never fails the session.
+    pub fn layout_file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.layout_file = Some(path.into());
+        self
+    }
+
     /// Auto-tune the locality-first steal budget instead of using the
     /// plan's fixed per-epoch constant (the steal-budget auto-tuning item
     /// of the roadmap).
@@ -378,6 +402,7 @@ impl SessionBuilder {
                     {
                         plan.residency = ResidencyDecision::Paged {
                             budget_bytes: budget,
+                            prefetch_depth: crate::optimizer::choose_prefetch_depth(&self.machine),
                         };
                     }
                 }
@@ -408,6 +433,7 @@ impl SessionBuilder {
             compact: self.compact,
             memory_budget: self.memory_budget,
             spill_dir: self.spill_dir,
+            layout_file: self.layout_file,
             auto_steal: self.auto_steal,
         }
     }
@@ -430,6 +456,38 @@ fn materialize_layouts(task: &AnalyticsTask, plan: &ExecutionPlan) {
         || (plan.access == crate::access::AccessMethod::RowWise && !task.kind.is_sgd_family());
     if needs_cols {
         task.data.matrix.materialize_cols();
+    }
+}
+
+/// [`materialize_layouts`] with the overlapped out-of-core paths wired in:
+/// adopt layouts already persisted at `layout_file` (every adopted kind
+/// skips its COO stream entirely), keep a manifest-order prefetcher running
+/// `prefetch_depth` pages ahead of whatever the materialization pass still
+/// streams, and write any newly materialized layout back to the file.
+///
+/// Both persistence directions are best-effort: a missing, stale, or
+/// unwritable layout file only means the layouts build from the source the
+/// classic way — it never fails the session.
+fn materialize_layouts_overlapped(
+    task: &AnalyticsTask,
+    plan: &ExecutionPlan,
+    layout_file: &Option<PathBuf>,
+) {
+    if let Some(path) = layout_file {
+        if path.exists() {
+            let _ = task.data.matrix.load_persisted_layouts(path);
+        }
+    }
+    let prefetcher = task
+        .data
+        .matrix
+        .start_prefetch(plan.residency.prefetch_depth());
+    materialize_layouts(task, plan);
+    // Stop the prefetch thread before steady state: every page it staged
+    // for the materialization scan is consumed by now.
+    drop(prefetcher);
+    if let Some(path) = layout_file {
+        let _ = task.data.matrix.sync_persisted_layouts(path);
     }
 }
 
@@ -462,6 +520,7 @@ fn apply_kernel_decision(task: &AnalyticsTask, plan: &ExecutionPlan) {
 fn resolve_residency(
     plan: &mut ExecutionPlan,
     task: &AnalyticsTask,
+    machine: &MachineTopology,
     memory_budget: Option<usize>,
     spill_dir: &Option<PathBuf>,
 ) {
@@ -472,11 +531,12 @@ fn resolve_residency(
         {
             plan.residency = ResidencyDecision::Paged {
                 budget_bytes: budget,
+                prefetch_depth: crate::optimizer::choose_prefetch_depth(machine),
             };
         }
     }
     match plan.residency {
-        ResidencyDecision::Paged { budget_bytes } => {
+        ResidencyDecision::Paged { budget_bytes, .. } => {
             if matrix.has_coo_source() {
                 let dir = spill_dir.clone().unwrap_or_else(std::env::temp_dir);
                 // Size pages so several fit inside the cache budget (the
@@ -496,6 +556,7 @@ fn resolve_residency(
             if matrix.is_paged() {
                 plan.residency = ResidencyDecision::Paged {
                     budget_bytes: matrix.ooc_cache_budget().unwrap_or(usize::MAX),
+                    prefetch_depth: crate::optimizer::choose_prefetch_depth(machine),
                 };
             }
         }
@@ -555,6 +616,7 @@ pub struct Session {
     compact: bool,
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    layout_file: Option<PathBuf>,
     auto_steal: bool,
 }
 
@@ -592,6 +654,7 @@ impl Session {
         resolve_residency(
             &mut self.plan,
             &self.task,
+            &self.machine,
             self.memory_budget,
             &self.spill_dir,
         );
@@ -618,7 +681,7 @@ impl Session {
         // lazy conversion even under a hand-built plan.  (Optimizer-chosen
         // plans already record the widened decision.)  Anything else stays
         // unmaterialized — the footprint tests assert it stays that way.
-        materialize_layouts(&self.task, &self.plan);
+        materialize_layouts_overlapped(&self.task, &self.plan, &self.layout_file);
         apply_kernel_decision(&self.task, &self.plan);
         if self.compact {
             let _ = self.task.data.matrix.compact_source();
@@ -665,8 +728,10 @@ impl Session {
             stopped: None,
             ooc_faults_seen: 0,
             ooc_io_seen: 0,
+            ooc_prefetch_hits_seen: 0,
             memory_budget: self.memory_budget,
             spill_dir: self.spill_dir,
+            layout_file: self.layout_file,
             auto_steal: self.auto_steal,
             auto_steal_cap,
         }
@@ -717,10 +782,14 @@ pub struct EpochStream {
     /// faults of the eager layout materialization).
     ooc_faults_seen: u64,
     ooc_io_seen: u64,
+    ooc_prefetch_hits_seen: u64,
     /// Carried so replans re-resolve the residency arm by the same rules
     /// as stream start (a replan must not silently drop the budget).
     memory_budget: Option<usize>,
     spill_dir: Option<PathBuf>,
+    /// Carried so replans adopt/persist layouts by the same rules as
+    /// stream start.
+    layout_file: Option<PathBuf>,
     /// Whether the locality-first steal budget is auto-tuned: derived at
     /// stream start / replan, then adapted each epoch from the measured
     /// steals.
@@ -786,6 +855,7 @@ impl EpochStream {
         resolve_residency(
             &mut self.plan,
             &self.task,
+            &self.machine,
             self.memory_budget,
             &self.spill_dir,
         );
@@ -796,7 +866,7 @@ impl EpochStream {
                 _ => 0,
             };
         }
-        materialize_layouts(&self.task, &self.plan);
+        materialize_layouts_overlapped(&self.task, &self.plan, &self.layout_file);
         apply_kernel_decision(&self.task, &self.plan);
         self.data_replicas = DataReplicaSet::build(
             &self.plan,
@@ -840,6 +910,7 @@ impl EpochStream {
             plan: self.plan,
             trace: self.trace,
             seconds_per_epoch: self.sim.seconds,
+            io_wait_per_epoch: self.sim.io_wait_seconds,
             counters_per_epoch: self.sim.counters,
             final_model,
         }
@@ -926,8 +997,10 @@ impl Iterator for EpochStream {
         let ooc = self.task.data.matrix.ooc_stats().unwrap_or_default();
         let pages_faulted = ooc.faults - self.ooc_faults_seen;
         let io_bytes = ooc.io_bytes - self.ooc_io_seen;
+        let prefetch_hits = ooc.prefetch_hits - self.ooc_prefetch_hits_seen;
         self.ooc_faults_seen = ooc.faults;
         self.ooc_io_seen = ooc.io_bytes;
+        self.ooc_prefetch_hits_seen = ooc.prefetch_hits;
         let event = EpochEvent {
             epoch: self.epoch,
             loss,
@@ -940,6 +1013,8 @@ impl Iterator for EpochStream {
             pages_faulted,
             io_bytes,
             resident_bytes: self.task.data.matrix.resident_bytes(),
+            io_wait: self.sim.io_wait_seconds,
+            prefetch_hits,
         };
         for observer in &mut self.observers {
             observer(&event);
@@ -1289,11 +1364,13 @@ mod tests {
             .build()
             .stream();
         assert_eq!(
-            stream.plan().residency,
-            ResidencyDecision::Paged {
-                budget_bytes: budget
-            },
+            stream.plan().residency.budget_bytes(),
+            Some(budget),
             "the explicit plan was widened with the out-of-core arm"
+        );
+        assert!(
+            stream.plan().residency.prefetch_depth() >= 1,
+            "the widened arm carries an optimizer-chosen prefetch depth"
         );
         assert!(matrix.is_paged(), "the COO source was spilled to disk");
         assert!(!matrix.has_coo_source());
@@ -1316,6 +1393,93 @@ mod tests {
             ooc.resident_bytes, 0,
             "pages were released once layouts were resident"
         );
+    }
+
+    #[test]
+    fn quarter_budget_prefetch_preserves_trace_bits() {
+        // Prefetch only warms the cache: a ¼-budget run with the prefetcher
+        // on must produce bit-identical per-epoch losses to the same run
+        // with blocking faults — and actually convert faults into hits.
+        let machine = MachineTopology::local2();
+        let run = |prefetch_depth: usize| -> (Vec<u64>, u64) {
+            let task = reuters_svm();
+            let budget = LayoutDecision::Csr.estimated_bytes(task.data.matrix.stats()) / 4;
+            let spill_dir = dw_matrix::TempSpillDir::new("dw-session-pf").unwrap();
+            let plan = ExecutionPlan::new(
+                &machine,
+                AccessMethod::RowWise,
+                ModelReplication::PerNode,
+                DataReplication::Sharding,
+            )
+            .with_workers(4)
+            .with_residency(ResidencyDecision::Paged {
+                budget_bytes: budget,
+                prefetch_depth,
+            });
+            let events: Vec<EpochEvent> = DimmWitted::on(machine.clone())
+                .task(task)
+                .plan(plan)
+                .spill_dir(spill_dir.path())
+                .epochs(4)
+                .build()
+                .stream()
+                .collect();
+            let bits = events.iter().map(|e| e.loss.to_bits()).collect();
+            let hits = events.iter().map(|e| e.prefetch_hits).sum();
+            (bits, hits)
+        };
+        let (blocking, blocking_hits) = run(0);
+        let (overlapped, overlapped_hits) = run(8);
+        assert_eq!(
+            blocking, overlapped,
+            "prefetch on vs off must not change a single loss bit"
+        );
+        assert_eq!(blocking_hits, 0, "depth 0 never stages a page");
+        assert!(
+            overlapped_hits > 0,
+            "the prefetcher staged pages the materialization consumed"
+        );
+    }
+
+    #[test]
+    fn layout_file_round_trips_layouts_across_sessions() {
+        let dir = dw_matrix::TempSpillDir::new("dw-session-layouts").unwrap();
+        let path = dir.file("reuters.dwlt");
+        let machine = MachineTopology::local2();
+        let first: Vec<EpochEvent> = DimmWitted::on(machine.clone())
+            .task(reuters_svm())
+            .layout_file(path.clone())
+            .epochs(3)
+            .build()
+            .stream()
+            .collect();
+        assert!(path.exists(), "materialized layouts were persisted");
+        // A second session over the regenerated task adopts the persisted
+        // layouts instead of re-streaming the COO source.
+        let task = reuters_svm();
+        let matrix = task.data.matrix.clone();
+        let second: Vec<EpochEvent> = DimmWitted::on(machine)
+            .task(task)
+            .layout_file(path.clone())
+            .epochs(3)
+            .build()
+            .stream()
+            .collect();
+        assert!(matrix.csr_materialized());
+        if cfg!(target_endian = "little") {
+            assert!(
+                matrix.csr().is_mapped(),
+                "the row layout was adopted from the file image, not rebuilt"
+            );
+        }
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(
+                a.loss.to_bits(),
+                b.loss.to_bits(),
+                "adopted layouts serve identical bytes"
+            );
+        }
     }
 
     #[test]

@@ -7,20 +7,25 @@
 
 use crate::encoding::BlockedIndices;
 use crate::kernels::{dot_encoded_with, KernelVariant};
+use crate::storage::{F64Section, U32Section};
 use crate::views::ColAccess;
 use crate::{ColView, CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
 use std::sync::OnceLock;
 
 /// A sparse matrix in Compressed Sparse Column format.
+///
+/// Like [`CsrMatrix`], the structural arrays live in
+/// [`Section`](crate::storage::Section) storage so a persisted layout file
+/// can serve them in place.
 #[derive(Debug)]
 pub struct CscMatrix {
     shape: Shape,
     /// `indptr[j]..indptr[j+1]` is the slice of `indices`/`data` for column `j`.
-    indptr: Vec<u32>,
+    indptr: U32Section,
     /// Row indices of non-zero entries, sorted within each column.
-    indices: Vec<u32>,
+    indices: U32Section,
     /// Values aligned with `indices`.
-    data: Vec<f64>,
+    data: F64Section,
     /// Lazily built block-compressed sidecar of `indices` (never part of
     /// the matrix's identity: equality and clones are structural only).
     encoded: OnceLock<BlockedIndices>,
@@ -56,6 +61,20 @@ impl CscMatrix {
         indptr: Vec<u32>,
         indices: Vec<u32>,
         data: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        CscMatrix::from_sections(rows, cols, indptr.into(), indices.into(), data.into())
+    }
+
+    /// Build a CSC matrix over already-backed storage sections (the reopen
+    /// path of `persist.rs`), with the same validation as [`from_parts`].
+    ///
+    /// [`from_parts`]: CscMatrix::from_parts
+    pub(crate) fn from_sections(
+        rows: usize,
+        cols: usize,
+        indptr: U32Section,
+        indices: U32Section,
+        data: F64Section,
     ) -> Result<Self, MatrixError> {
         if indptr.len() != cols + 1 {
             return Err(MatrixError::InconsistentStructure(format!(
@@ -167,7 +186,7 @@ impl CscMatrix {
     /// Convert to CSR format.
     pub fn to_csr(&self) -> CsrMatrix {
         let mut row_counts = vec![0u32; self.shape.rows + 1];
-        for &r in &self.indices {
+        for &r in self.indices.iter() {
             row_counts[r as usize + 1] += 1;
         }
         for i in 0..self.shape.rows {
@@ -217,15 +236,15 @@ impl CscMatrix {
         );
         let lo = self.indptr[start] as usize;
         let hi = self.indptr[end] as usize;
-        let indptr = self.indptr[start..=end]
+        let indptr: Vec<u32> = self.indptr[start..=end]
             .iter()
             .map(|&p| p - lo as u32)
             .collect();
         CscMatrix {
             shape: Shape::new(self.shape.rows, end - start),
-            indptr,
-            indices: self.indices[lo..hi].to_vec(),
-            data: self.data[lo..hi].to_vec(),
+            indptr: indptr.into(),
+            indices: self.indices[lo..hi].to_vec().into(),
+            data: self.data[lo..hi].to_vec().into(),
             encoded: OnceLock::new(),
         }
     }
@@ -247,11 +266,22 @@ impl CscMatrix {
         }
         CscMatrix {
             shape: Shape::new(self.shape.rows, col_ids.len()),
-            indptr,
-            indices,
-            data,
+            indptr: indptr.into(),
+            indices: indices.into(),
+            data: data.into(),
             encoded: OnceLock::new(),
         }
+    }
+
+    /// Whether any structural array is served from a mapped layout file.
+    pub fn is_mapped(&self) -> bool {
+        self.indptr.is_mapped() || self.indices.is_mapped() || self.data.is_mapped()
+    }
+
+    /// The raw structural arrays (indptr, indices, values) — what
+    /// `persist.rs` serializes.
+    pub(crate) fn sections(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.indptr, &self.indices, &self.data)
     }
 
     /// The block-compressed sidecar of the index array, built on first use

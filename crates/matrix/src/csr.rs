@@ -8,20 +8,26 @@
 
 use crate::encoding::BlockedIndices;
 use crate::kernels::{dot_encoded_with, KernelVariant};
+use crate::storage::{F64Section, U32Section};
 use crate::views::RowAccess;
 use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, RowView, Shape, SparseVector};
 use std::sync::OnceLock;
 
 /// A sparse matrix in Compressed Sparse Row format.
+///
+/// The structural arrays live in [`Section`](crate::storage::Section)
+/// storage: owned vectors when materialized in memory, or in-place ranges of
+/// a persisted layout file re-opened via [`crate::persist`] — the row views
+/// and kernels are identical either way.
 #[derive(Debug)]
 pub struct CsrMatrix {
     shape: Shape,
     /// `indptr[i]..indptr[i+1]` is the slice of `indices`/`data` for row `i`.
-    indptr: Vec<u32>,
+    indptr: U32Section,
     /// Column indices of non-zero entries, sorted within each row.
-    indices: Vec<u32>,
+    indices: U32Section,
     /// Values aligned with `indices`.
-    data: Vec<f64>,
+    data: F64Section,
     /// Lazily built block-compressed sidecar of `indices` (never part of
     /// the matrix's identity: equality and clones are structural only).
     encoded: OnceLock<BlockedIndices>,
@@ -57,6 +63,20 @@ impl CsrMatrix {
         indptr: Vec<u32>,
         indices: Vec<u32>,
         data: Vec<f64>,
+    ) -> Result<Self, MatrixError> {
+        CsrMatrix::from_sections(rows, cols, indptr.into(), indices.into(), data.into())
+    }
+
+    /// Build a CSR matrix over already-backed storage sections (the reopen
+    /// path of `persist.rs`), with the same validation as [`from_parts`].
+    ///
+    /// [`from_parts`]: CsrMatrix::from_parts
+    pub(crate) fn from_sections(
+        rows: usize,
+        cols: usize,
+        indptr: U32Section,
+        indices: U32Section,
+        data: F64Section,
     ) -> Result<Self, MatrixError> {
         if indptr.len() != rows + 1 {
             return Err(MatrixError::InconsistentStructure(format!(
@@ -139,9 +159,9 @@ impl CsrMatrix {
         }
         CsrMatrix {
             shape: dense.shape(),
-            indptr,
-            indices,
-            data,
+            indptr: indptr.into(),
+            indices: indices.into(),
+            data: data.into(),
             encoded: OnceLock::new(),
         }
     }
@@ -222,7 +242,7 @@ impl CsrMatrix {
     pub fn to_csc(&self) -> CscMatrix {
         // Counting sort by column.
         let mut col_counts = vec![0u32; self.shape.cols + 1];
-        for &c in &self.indices {
+        for &c in self.indices.iter() {
             col_counts[c as usize + 1] += 1;
         }
         for j in 0..self.shape.cols {
@@ -270,15 +290,15 @@ impl CsrMatrix {
         );
         let lo = self.indptr[start] as usize;
         let hi = self.indptr[end] as usize;
-        let indptr = self.indptr[start..=end]
+        let indptr: Vec<u32> = self.indptr[start..=end]
             .iter()
             .map(|&p| p - lo as u32)
             .collect();
         CsrMatrix {
             shape: Shape::new(end - start, self.shape.cols),
-            indptr,
-            indices: self.indices[lo..hi].to_vec(),
-            data: self.data[lo..hi].to_vec(),
+            indptr: indptr.into(),
+            indices: self.indices[lo..hi].to_vec().into(),
+            data: self.data[lo..hi].to_vec().into(),
             encoded: OnceLock::new(),
         }
     }
@@ -300,11 +320,22 @@ impl CsrMatrix {
         }
         CsrMatrix {
             shape: Shape::new(row_ids.len(), self.shape.cols),
-            indptr,
-            indices,
-            data,
+            indptr: indptr.into(),
+            indices: indices.into(),
+            data: data.into(),
             encoded: OnceLock::new(),
         }
+    }
+
+    /// Whether any structural array is served from a mapped layout file.
+    pub fn is_mapped(&self) -> bool {
+        self.indptr.is_mapped() || self.indices.is_mapped() || self.data.is_mapped()
+    }
+
+    /// The raw structural arrays (indptr, indices, values) — what
+    /// `persist.rs` serializes.
+    pub(crate) fn sections(&self) -> (&[u32], &[u32], &[f64]) {
+        (&self.indptr, &self.indices, &self.data)
     }
 
     /// The block-compressed sidecar of the index array, built on first use

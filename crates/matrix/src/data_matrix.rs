@@ -398,6 +398,105 @@ impl DataMatrix {
         m
     }
 
+    /// Re-open the layouts persisted at `path` as a sourceless matrix — the
+    /// serving-restart path: every persisted layout counts as materialized,
+    /// served in place from the file image (a real `mmap` under the `mmap`
+    /// feature), and no COO source is ever streamed.
+    pub fn open_persisted(path: &std::path::Path) -> std::io::Result<Self> {
+        let persisted = crate::persist::PersistedLayouts::open(path)?;
+        let m = Self::from_parts(persisted.shape(), None, None);
+        m.adopt_persisted(persisted);
+        Ok(m)
+    }
+
+    /// Adopt the layouts persisted at `path` into this matrix, skipping
+    /// kinds already materialized.  Returns how many layouts were adopted.
+    ///
+    /// This is the session-start fast path: with the row/column layout
+    /// adopted from the file, `materialize_*` is a no-op and the COO source
+    /// (paged or resident) is never re-streamed.
+    pub fn load_persisted_layouts(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let persisted = crate::persist::PersistedLayouts::open(path)?;
+        if persisted.shape() != self.inner.shape {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "persisted layouts are {:?}, matrix is {:?}",
+                    persisted.shape(),
+                    self.inner.shape
+                ),
+            ));
+        }
+        Ok(self.adopt_persisted(persisted))
+    }
+
+    fn adopt_persisted(&self, persisted: crate::persist::PersistedLayouts) -> usize {
+        let mut adopted = 0;
+        if let Some(csr) = persisted.csr {
+            adopted += usize::from(self.inner.csr.set(csr).is_ok());
+        }
+        if let Some(csc) = persisted.csc {
+            adopted += usize::from(self.inner.csc.set(csc).is_ok());
+        }
+        if let Some(dense) = persisted.dense {
+            adopted += usize::from(self.inner.dense.set(dense).is_ok());
+        }
+        if let Some(dense_rows) = persisted.dense_rows {
+            adopted += usize::from(self.inner.dense_rows.set(dense_rows).is_ok());
+        }
+        adopted
+    }
+
+    /// The set of layouts currently materialized.
+    pub fn materialized_kinds(&self) -> crate::persist::LayoutKinds {
+        crate::persist::LayoutKinds {
+            csr: self.inner.csr.get().is_some(),
+            csc: self.inner.csc.get().is_some(),
+            dense: self.inner.dense.get().is_some(),
+            dense_rows: self.inner.dense_rows.get().is_some(),
+        }
+    }
+
+    /// Serialize every materialized layout to `path` in the page-aligned
+    /// `.dwlt` format (write-to-temp + atomic rename).  Returns the number
+    /// of layouts written; 0 (and no file) when nothing is materialized.
+    pub fn persist_layouts(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let src = crate::persist::PersistSource {
+            shape: self.inner.shape,
+            csr: self.inner.csr.get().map(|m| m.sections()),
+            csc: self.inner.csc.get().map(|m| m.sections()),
+            dense: self.inner.dense.get().map(|m| (m.layout(), m.data())),
+            dense_rows: self.inner.dense_rows.get().map(|m| m.values()),
+        };
+        crate::persist::write_layout_file(path, &src)
+    }
+
+    /// Persist the materialized layouts to `path` unless the file already
+    /// covers them (cheap header check).  Returns the number of layouts
+    /// written, 0 when the file was already up to date (or nothing is
+    /// materialized).
+    pub fn sync_persisted_layouts(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let have = self.materialized_kinds();
+        if have.is_empty() {
+            return Ok(0);
+        }
+        match crate::persist::persisted_kinds(path) {
+            Ok(on_disk) if on_disk.covers(&have) => Ok(0),
+            // Missing, stale, or unreadable — (re)write it.
+            _ => self.persist_layouts(path),
+        }
+    }
+
+    /// Start a [`Prefetcher`](crate::ooc::Prefetcher) walking the paged
+    /// source's manifest `depth` pages ahead of the consuming stream.
+    ///
+    /// Returns `None` when the matrix has no paged source or `depth` is 0.
+    /// Hold the handle across the materialization pass; dropping it stops
+    /// the thread.
+    pub fn start_prefetch(&self, depth: usize) -> Option<crate::ooc::Prefetcher> {
+        self.inner.paged.get()?.start_prefetch(depth)
+    }
+
     /// Shape of the matrix.
     pub fn shape(&self) -> Shape {
         self.inner.shape

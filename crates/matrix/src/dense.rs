@@ -6,6 +6,7 @@
 //! [`Layout`] explicitly, and the engine converts the matrix to the layout
 //! that matches the chosen access method before execution.
 
+use crate::storage::F64Section;
 use crate::views::RowAccess;
 use crate::{MatrixError, RowView, Shape};
 
@@ -19,11 +20,17 @@ pub enum Layout {
 }
 
 /// A dense `N×d` matrix of `f64` values.
+///
+/// The value buffer lives in [`Section`](crate::storage::Section) storage so
+/// a persisted layout file can serve it in place; writes through [`set`]
+/// detach from the file copy-on-write.
+///
+/// [`set`]: DenseMatrix::set
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMatrix {
     shape: Shape,
     layout: Layout,
-    data: Vec<f64>,
+    data: F64Section,
 }
 
 impl DenseMatrix {
@@ -32,8 +39,29 @@ impl DenseMatrix {
         DenseMatrix {
             shape: Shape::new(rows, cols),
             layout,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; rows * cols].into(),
         }
+    }
+
+    /// Build a matrix over an already-backed storage section (the reopen
+    /// path of `persist.rs`).
+    pub(crate) fn from_section(
+        rows: usize,
+        cols: usize,
+        layout: Layout,
+        data: F64Section,
+    ) -> Result<Self, MatrixError> {
+        if data.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                got: data.len(),
+            });
+        }
+        Ok(DenseMatrix {
+            shape: Shape::new(rows, cols),
+            layout,
+            data,
+        })
     }
 
     /// Create a matrix from a buffer in the given layout.
@@ -52,7 +80,7 @@ impl DenseMatrix {
         Ok(DenseMatrix {
             shape: Shape::new(rows, cols),
             layout,
-            data,
+            data: data.into(),
         })
     }
 
@@ -73,7 +101,7 @@ impl DenseMatrix {
         Ok(DenseMatrix {
             shape: Shape::new(n, d),
             layout: Layout::RowMajor,
-            data,
+            data: data.into(),
         })
     }
 
@@ -127,10 +155,16 @@ impl DenseMatrix {
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.shape.rows && col < self.shape.cols);
-        match self.layout {
-            Layout::RowMajor => self.data[row * self.shape.cols + col] = value,
-            Layout::ColMajor => self.data[col * self.shape.rows + row] = value,
-        }
+        let idx = match self.layout {
+            Layout::RowMajor => row * self.shape.cols + col,
+            Layout::ColMajor => col * self.shape.rows + row,
+        };
+        self.data.to_mut()[idx] = value;
+    }
+
+    /// Whether the value buffer is served from a mapped layout file.
+    pub fn is_mapped(&self) -> bool {
+        self.data.is_mapped()
     }
 
     /// A contiguous view of row `i`; only available in row-major layout.
@@ -222,8 +256,10 @@ impl DenseMatrix {
 pub struct DenseRows {
     shape: Shape,
     /// Row-major values, `shape.rows * shape.cols` long.
-    values: Vec<f64>,
+    values: F64Section,
     /// The shared column arange `0..cols`, served as every row's indices.
+    /// Always rebuilt locally — never persisted, it is pure function of
+    /// `cols`.
     indices: Vec<u32>,
 }
 
@@ -233,9 +269,35 @@ impl DenseRows {
         assert!(cols <= u32::MAX as usize, "columns must fit u32 indices");
         DenseRows {
             shape: Shape::new(rows, cols),
-            values: vec![0.0; rows * cols],
+            values: vec![0.0; rows * cols].into(),
             indices: (0..cols as u32).collect(),
         }
+    }
+
+    /// Build a row store over an already-backed storage section (the reopen
+    /// path of `persist.rs`); the shared index arange is rebuilt in place.
+    pub(crate) fn from_section(
+        rows: usize,
+        cols: usize,
+        values: F64Section,
+    ) -> Result<Self, MatrixError> {
+        assert!(cols <= u32::MAX as usize, "columns must fit u32 indices");
+        if values.len() != rows * cols {
+            return Err(MatrixError::ShapeMismatch {
+                expected: rows * cols,
+                got: values.len(),
+            });
+        }
+        Ok(DenseRows {
+            shape: Shape::new(rows, cols),
+            values,
+            indices: (0..cols as u32).collect(),
+        })
+    }
+
+    /// Whether the value buffer is served from a mapped layout file.
+    pub fn is_mapped(&self) -> bool {
+        self.values.is_mapped()
     }
 
     /// Shape of the matrix.
@@ -264,14 +326,14 @@ impl DenseRows {
     #[inline]
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.shape.rows && col < self.shape.cols);
-        self.values[row * self.shape.cols + col] = value;
+        self.values.to_mut()[row * self.shape.cols + col] = value;
     }
 
     /// Add to `(row, col)` (COO accumulation semantics).
     #[inline]
     pub fn add(&mut self, row: usize, col: usize, value: f64) {
         assert!(row < self.shape.rows && col < self.shape.cols);
-        self.values[row * self.shape.cols + col] += value;
+        self.values.to_mut()[row * self.shape.cols + col] += value;
     }
 
     /// The row-major value buffer.

@@ -45,7 +45,9 @@ pub mod dense;
 pub mod encoding;
 pub mod kernels;
 pub mod ooc;
+pub mod persist;
 pub mod stats;
+pub mod storage;
 pub mod vector;
 pub mod views;
 
@@ -61,10 +63,12 @@ pub use kernels::{
     KernelSelector, KernelVariant,
 };
 pub use ooc::{
-    FileBackedSource, InMemorySource, MatrixSource, PageCache, PageMeta, PagedSource, SpillWriter,
-    TempSpillDir,
+    FileBackedSource, InMemorySource, MatrixSource, PageCache, PageMeta, PagedSource, Prefetcher,
+    SpillWriter, TempSpillDir,
 };
+pub use persist::PersistedLayouts;
 pub use stats::MatrixStats;
+pub use storage::{F64Section, MappedFile, Section, U32Section};
 pub use vector::{axpy, dot_dense, dot_sparse_dense, norm2, scale, SparseVector};
 pub use views::{ColAccess, ColView, RowAccess, RowView, VecView};
 

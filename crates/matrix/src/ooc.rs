@@ -49,8 +49,8 @@ use crate::{CooMatrix, Entry, Shape};
 use std::collections::HashMap;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Bytes of one serialized triplet (`u32` row + `u32` col + `f64` bits).
 pub const ENTRY_BYTES: usize = 16;
@@ -567,7 +567,7 @@ pub struct CacheStats {
     pub hits: u64,
     /// Page requests that had to load from the source (page faults).
     pub faults: u64,
-    /// Bytes read from the source across all faults.
+    /// Bytes read from the source across all faults and prefetches.
     pub io_bytes: u64,
     /// Pages evicted to stay within the budget.
     pub evictions: u64,
@@ -575,6 +575,12 @@ pub struct CacheStats {
     pub resident_bytes: usize,
     /// High-water mark of `resident_bytes`.
     pub peak_resident_bytes: usize,
+    /// Pages inserted ahead of use by a [`Prefetcher`].
+    pub prefetched: u64,
+    /// Cache hits served from a page a [`Prefetcher`] inserted — IO that was
+    /// overlapped with compute instead of blocking a consumer (a subset of
+    /// `hits`).
+    pub prefetch_hits: u64,
 }
 
 #[derive(Debug)]
@@ -583,6 +589,10 @@ struct Slot {
     bytes: usize,
     pins: usize,
     last_used: u64,
+    /// Inserted by a prefetcher and not yet consumed.  Protected from
+    /// prefetch-admission eviction (it is exactly the page about to be
+    /// pinned) and counted as a prefetch hit when first served.
+    prefetched: bool,
 }
 
 #[derive(Debug, Default)]
@@ -592,7 +602,8 @@ struct CacheInner {
     stats: CacheStats,
 }
 
-/// A bounded cache of loaded pages with pin/unpin and LRU eviction.
+/// A bounded cache of loaded pages with pin/unpin and LRU eviction, safe
+/// under concurrent consumers and a [`Prefetcher`].
 ///
 /// The budget is a hard bound on *unpinned* residency: an insert evicts
 /// least-recently-used unpinned pages until the new page fits.  Pinned pages
@@ -600,10 +611,20 @@ struct CacheInner {
 /// `resident_bytes <= max(budget, pinned bytes + one page)` — callers that
 /// pin one page at a time (every streaming pass in this crate) stay within
 /// the budget whenever the budget holds at least two pages.
+///
+/// Two admission policies share the budget.  A consumer fault (`pin`) must
+/// succeed, so it evicts any unpinned page, preferring pages no prefetcher
+/// is staging.  A prefetch insert (`prefetch`) is best-effort: it only
+/// evicts pages that are neither pinned nor freshly prefetched — it never
+/// cannibalizes the window it is building — and simply skips the insert
+/// when nothing evictable remains.
 #[derive(Debug)]
 pub struct PageCache {
     budget: usize,
     inner: Mutex<CacheInner>,
+    /// Signalled on every served pin, so a prefetcher can pace itself
+    /// against the consuming stream.
+    progress: Condvar,
 }
 
 impl PageCache {
@@ -612,6 +633,7 @@ impl PageCache {
         PageCache {
             budget: budget_bytes,
             inner: Mutex::new(CacheInner::default()),
+            progress: Condvar::new(),
         }
     }
 
@@ -625,6 +647,33 @@ impl PageCache {
         self.inner.lock().expect("page cache lock poisoned").stats
     }
 
+    /// Total pins served so far (hits + faults) — the consumer-progress
+    /// clock a [`Prefetcher`] paces against.
+    pub fn pins_served(&self) -> u64 {
+        let inner = self.inner.lock().expect("page cache lock poisoned");
+        inner.stats.hits + inner.stats.faults
+    }
+
+    /// Block until `pins_served() >= target` or `stop` is raised; returns
+    /// whether the target was reached.
+    fn wait_for_pins(&self, target: u64, stop: &AtomicBool) -> bool {
+        let mut inner = self.inner.lock().expect("page cache lock poisoned");
+        loop {
+            if inner.stats.hits + inner.stats.faults >= target {
+                return true;
+            }
+            if stop.load(Ordering::Acquire) {
+                return false;
+            }
+            // A short timeout backstops a notify that raced the stop flag.
+            let (guard, _timeout) = self
+                .progress
+                .wait_timeout(inner, std::time::Duration::from_millis(1))
+                .expect("page cache lock poisoned");
+            inner = guard;
+        }
+    }
+
     /// Pin page `page` of `source`, loading it on a miss.  The returned
     /// guard keeps the page unevictable until dropped.
     pub fn pin<'a>(&'a self, source: &dyn MatrixSource, page: usize) -> io::Result<PinnedPage<'a>> {
@@ -636,8 +685,14 @@ impl PageCache {
             if let Some(slot) = inner.slots.get_mut(&page) {
                 slot.pins += 1;
                 slot.last_used = tick;
+                let was_prefetched = std::mem::take(&mut slot.prefetched);
                 let data = Arc::clone(&slot.data);
+                if was_prefetched {
+                    inner.stats.prefetch_hits += 1;
+                }
                 inner.stats.hits += 1;
+                drop(inner);
+                self.progress.notify_all();
                 return Ok(PinnedPage {
                     cache: self,
                     page,
@@ -661,8 +716,14 @@ impl PageCache {
             // *entered* the cache, so racing loads never double-count.
             slot.pins += 1;
             slot.last_used = tick;
+            let was_prefetched = std::mem::take(&mut slot.prefetched);
             let data = Arc::clone(&slot.data);
+            if was_prefetched {
+                inner.stats.prefetch_hits += 1;
+            }
             inner.stats.hits += 1;
+            drop(inner);
+            self.progress.notify_all();
             return Ok(PinnedPage {
                 cache: self,
                 page,
@@ -672,11 +733,14 @@ impl PageCache {
         inner.stats.faults += 1;
         inner.stats.io_bytes += bytes as u64;
         while inner.stats.resident_bytes + bytes > self.budget {
+            // Prefer victims no prefetcher staged: a `prefetched` page is
+            // about to be consumed, so evicting it would turn overlapped IO
+            // straight back into a blocking fault.
             let victim = inner
                 .slots
                 .iter()
                 .filter(|(_, s)| s.pins == 0)
-                .min_by_key(|(_, s)| s.last_used)
+                .min_by_key(|(_, s)| (s.prefetched, s.last_used))
                 .map(|(&p, _)| p);
             match victim {
                 Some(p) => {
@@ -697,6 +761,7 @@ impl PageCache {
                 bytes,
                 pins: 1,
                 last_used: tick,
+                prefetched: false,
             },
         );
         inner.stats.resident_bytes += bytes;
@@ -704,11 +769,76 @@ impl PageCache {
             .stats
             .peak_resident_bytes
             .max(inner.stats.resident_bytes);
+        drop(inner);
+        self.progress.notify_all();
         Ok(PinnedPage {
             cache: self,
             page,
             data,
         })
+    }
+
+    /// Load page `page` ahead of use and insert it unpinned (best-effort
+    /// prefetch admission).
+    ///
+    /// The insert only evicts pages that are neither pinned nor freshly
+    /// prefetched; when the page is already cached, or nothing evictable
+    /// would make room, the load is skipped/discarded and `Ok(false)` is
+    /// returned.  Never blocks a consumer: IO happens with the lock
+    /// released, exactly like a `pin` fault.
+    pub fn prefetch(&self, source: &dyn MatrixSource, page: usize) -> io::Result<bool> {
+        {
+            let inner = self.inner.lock().expect("page cache lock poisoned");
+            if inner.slots.contains_key(&page) {
+                return Ok(false);
+            }
+        }
+        let mut loaded = Vec::new();
+        source.read_page(page, &mut loaded)?;
+        let bytes = loaded.len() * ENTRY_BYTES;
+        let mut inner = self.inner.lock().expect("page cache lock poisoned");
+        if inner.slots.contains_key(&page) {
+            // A consumer faulted it in while we read; theirs wins.
+            return Ok(false);
+        }
+        while inner.stats.resident_bytes + bytes > self.budget {
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(_, s)| s.pins == 0 && !s.prefetched)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&p, _)| p);
+            match victim {
+                Some(p) => {
+                    let slot = inner.slots.remove(&p).expect("victim exists");
+                    inner.stats.resident_bytes -= slot.bytes;
+                    inner.stats.evictions += 1;
+                }
+                // Only pinned or staged pages remain — give up rather than
+                // overshoot the budget or eat the prefetch window.
+                None => return Ok(false),
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.stats.prefetched += 1;
+        inner.stats.io_bytes += bytes as u64;
+        inner.slots.insert(
+            page,
+            Slot {
+                data: Arc::new(loaded),
+                bytes,
+                pins: 0,
+                last_used: tick,
+                prefetched: true,
+            },
+        );
+        inner.stats.resident_bytes += bytes;
+        inner.stats.peak_resident_bytes = inner
+            .stats
+            .peak_resident_bytes
+            .max(inner.stats.resident_bytes);
+        Ok(true)
     }
 
     /// Drop every unpinned page (used once layouts are materialized and the
@@ -758,12 +888,99 @@ impl Drop for PinnedPage<'_> {
     }
 }
 
+/// An asynchronous page prefetcher: a thread that walks the manifest in
+/// access order, staying `depth` pages ahead of the consuming stream.
+///
+/// The footer manifest makes every streaming pass's page-access order fully
+/// predictable (pages are visited in manifest order), so the prefetcher
+/// needs no feedback beyond the cache's served-pin clock: before loading
+/// page `k` it waits until the consumer has been served at least `k - depth`
+/// pages since the prefetcher started.  Admission goes through
+/// [`PageCache::prefetch`], which never evicts pinned or freshly staged
+/// pages and never blocks a consumer.
+///
+/// Dropping the handle stops the thread and joins it.  The prefetcher only
+/// ever *warms the cache* — consumers still pin every page through the same
+/// `pin` path, so traces and layouts stay bit-identical with or without it.
+#[derive(Debug)]
+pub struct Prefetcher {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Start prefetching every page of `source` into `cache`, keeping at
+    /// most `depth` pages in flight ahead of the consuming stream.
+    pub fn spawn(source: Arc<dyn MatrixSource>, cache: Arc<PageCache>, depth: usize) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let baseline = cache.pins_served();
+        // Stage the first window synchronously, before the consumer takes
+        // its first pin: a consumer scheduled ahead of the prefetch thread
+        // would otherwise fault the whole head of the stream itself, making
+        // prefetch effectiveness a thread-scheduling race.
+        let head = depth.min(source.page_count());
+        for page in 0..head {
+            if cache.prefetch(&*source, page).is_err() {
+                break;
+            }
+        }
+        let handle = std::thread::Builder::new()
+            .name("dw-prefetch".into())
+            .spawn(move || {
+                let pages = source.page_count();
+                for page in head..pages {
+                    // Stay at most `depth` ahead of the pins served since
+                    // spawn; the clock also advances on hits, so a fully
+                    // warm cache lets the walk finish without IO.
+                    let target = baseline + (page as u64).saturating_sub(depth as u64);
+                    if !cache.wait_for_pins(target, &thread_stop) {
+                        return;
+                    }
+                    if thread_stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    // IO errors end the walk quietly: the consumer's own
+                    // fault path will surface the error with context.
+                    if cache.prefetch(&*source, page).is_err() {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn prefetch thread");
+        Prefetcher {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signal the thread to stop and join it (also runs on drop).
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
 /// A [`MatrixSource`] paired with its bounded [`PageCache`] — the unit a
-/// [`crate::DataMatrix`] holds as its out-of-core canonical source.
+/// [`crate::DataMatrix`] holds as its out-of-core canonical source.  The
+/// cache is `Arc`-shared so a [`Prefetcher`] thread can fill it while the
+/// session's stream consumes.
 #[derive(Debug)]
 pub struct PagedSource {
     source: Arc<dyn MatrixSource>,
-    cache: PageCache,
+    cache: Arc<PageCache>,
 }
 
 impl PagedSource {
@@ -771,7 +988,7 @@ impl PagedSource {
     pub fn new(source: Arc<dyn MatrixSource>, cache_budget_bytes: usize) -> Self {
         PagedSource {
             source,
-            cache: PageCache::new(cache_budget_bytes),
+            cache: Arc::new(PageCache::new(cache_budget_bytes)),
         }
     }
 
@@ -788,6 +1005,24 @@ impl PagedSource {
     /// The page cache.
     pub fn cache(&self) -> &PageCache {
         &self.cache
+    }
+
+    /// The shared page cache handle (what a [`Prefetcher`] holds).
+    pub fn shared_cache(&self) -> Arc<PageCache> {
+        Arc::clone(&self.cache)
+    }
+
+    /// Start a [`Prefetcher`] walking this source's manifest `depth` pages
+    /// ahead of the stream; returns `None` when `depth` is zero.
+    pub fn start_prefetch(&self, depth: usize) -> Option<Prefetcher> {
+        if depth == 0 {
+            return None;
+        }
+        Some(Prefetcher::spawn(
+            Arc::clone(&self.source),
+            self.shared_cache(),
+            depth,
+        ))
     }
 
     /// Stream the **merged** triplets of rows `start..end` in row-major
@@ -1129,5 +1364,172 @@ mod tests {
                 .unwrap_or(0);
             prop_assert!(stats.peak_resident_bytes <= budget.max(max_page));
         }
+    }
+
+    /// A uniform synthetic source: 2 entries per row, 2 rows per page, so
+    /// every page carries exactly the same byte count (which lets the
+    /// stress test reconcile `io_bytes` against the fault/prefetch counts
+    /// exactly).
+    fn uniform_source() -> InMemorySource {
+        let mut coo = CooMatrix::new(64, 8);
+        for r in 0..64 {
+            for c in 0..2 {
+                coo.push(r, c, (r * 8 + c) as f64 + 0.5).unwrap();
+            }
+        }
+        InMemorySource::from_coo(&coo, 4 * ENTRY_BYTES)
+    }
+
+    #[test]
+    fn page_cache_is_safe_under_concurrent_pin_and_prefetch_pressure() {
+        let source = Arc::new(uniform_source());
+        let pages = source.page_count();
+        assert!(pages >= 8);
+        let page_bytes = source.page_meta(0).bytes();
+        assert!(
+            (0..pages).all(|p| source.page_meta(p).bytes() == page_bytes),
+            "uniform pages, so io_bytes reconciles exactly"
+        );
+        // Room for three pages; three threads plus a long-lived pin fight
+        // over them.
+        let cache = Arc::new(PageCache::new(3 * page_bytes));
+        let pinned = cache.pin(source.as_ref(), 0).unwrap();
+        let witness = (pinned[0].row, pinned[0].col, pinned[0].value.to_bits());
+        let rounds = 50;
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                let source = Arc::clone(&source);
+                std::thread::spawn(move || {
+                    for round in 0..rounds {
+                        for p in 0..pages {
+                            if (p + t + round) % 7 == 0 {
+                                // Admission under pressure: may decline
+                                // (nothing evictable), never errors.
+                                let _ = cache.prefetch(source.as_ref(), p).unwrap();
+                            }
+                            let page = cache.pin(source.as_ref(), p).unwrap();
+                            let meta = source.page_meta(p);
+                            assert_eq!(page.len(), meta.entries);
+                            assert!(page.iter().all(
+                                |e| (meta.row_start..meta.row_end).contains(&(e.row as usize))
+                            ));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(
+            (pinned[0].row, pinned[0].col, pinned[0].value.to_bits()),
+            witness,
+            "the pinned page was never evicted or corrupted"
+        );
+        let stats = cache.stats();
+        let total_pins = 1 + 3 * rounds as u64 * pages as u64;
+        assert_eq!(
+            stats.hits + stats.faults,
+            total_pins,
+            "every pin is exactly one hit or one fault"
+        );
+        assert_eq!(cache.pins_served(), total_pins);
+        assert_eq!(
+            stats.io_bytes,
+            (stats.faults + stats.prefetched) * page_bytes as u64,
+            "every byte that entered the cache is a fault or a prefetch"
+        );
+        assert!(
+            stats.prefetch_hits <= stats.prefetched,
+            "a prefetched page is consumed at most once per staging"
+        );
+        // The budget bounds *unpinned* residency; pinned pages overcommit.
+        // At most four pins are live at once (the witness plus one per
+        // thread), so that is the hard ceiling.
+        assert!(
+            stats.peak_resident_bytes <= 4 * page_bytes,
+            "residency never exceeded the concurrently pinned bytes"
+        );
+    }
+
+    #[test]
+    fn prefetcher_turns_faults_into_hits_without_changing_the_stream() {
+        let coo = {
+            let mut coo = CooMatrix::new(64, 8);
+            for r in 0..64 {
+                for c in 0..2 {
+                    coo.push(r, c, (r * 8 + c) as f64 + 0.5).unwrap();
+                }
+            }
+            coo
+        };
+        let dir = TempSpillDir::new("dw-ooc-prefetch").unwrap();
+        let source = Arc::new(spill(&coo, &dir, 4 * ENTRY_BYTES));
+        let budget = 4 * 4 * ENTRY_BYTES;
+        let collect = |prefetch_depth: usize| {
+            let paged = PagedSource::new(Arc::clone(&source) as Arc<dyn MatrixSource>, budget);
+            let prefetcher = paged.start_prefetch(prefetch_depth);
+            let mut streamed = Vec::new();
+            paged
+                .stream_rows(0, 64, |r, c, v| streamed.push((r, c, v.to_bits())))
+                .unwrap();
+            drop(prefetcher);
+            (streamed, paged.cache().stats())
+        };
+        let (cold, cold_stats) = collect(0);
+        let (warm, warm_stats) = collect(3);
+        assert_eq!(cold, warm, "prefetch only warms the cache — same bytes");
+        assert_eq!(cold_stats.prefetched, 0);
+        assert_eq!(cold_stats.prefetch_hits, 0);
+        assert!(
+            warm_stats.prefetched > 0,
+            "the prefetcher staged pages ahead of the stream"
+        );
+        assert!(
+            warm_stats.prefetch_hits > 0,
+            "staged pages were consumed as hits"
+        );
+        assert!(
+            warm_stats.faults < cold_stats.faults,
+            "prefetch hits replaced blocking faults: {} vs {}",
+            warm_stats.faults,
+            cold_stats.faults
+        );
+    }
+
+    #[test]
+    fn temp_spill_dir_cleans_up_while_a_panic_unwinds() {
+        let dir = TempSpillDir::new("dw-ooc-panic").unwrap();
+        let path = dir.path().to_path_buf();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            std::fs::write(dir.file("partial.dwpg"), b"half-written page").unwrap();
+            panic!("spill failed mid-write");
+        }));
+        assert!(result.is_err());
+        assert!(
+            !path.exists(),
+            "the spill dir and its contents were removed during unwind"
+        );
+    }
+
+    #[test]
+    fn unique_spill_name_never_collides_across_threads() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    (0..200)
+                        .map(|_| unique_spill_name("stress"))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for handle in handles {
+            for name in handle.join().unwrap() {
+                assert!(seen.insert(name.clone()), "duplicate spill name {name}");
+            }
+        }
+        assert_eq!(seen.len(), 8 * 200);
     }
 }

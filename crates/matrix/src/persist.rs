@@ -1,0 +1,674 @@
+//! Persistent layout files (`.dwlt`).
+//!
+//! A materialized CSR/CSC/dense layout is expensive to rebuild: it streams
+//! the whole COO source (through the page cache when the source is spilled).
+//! This module serializes materialized layouts to a page-aligned on-disk
+//! format — the same header + manifest + aligned-section idiom as the
+//! `.dwpg` triplet pages of [`crate::ooc`] — so a later session, or a
+//! restarted server, re-opens them instantly instead of re-streaming.
+//!
+//! # File format (`DWLT0001`)
+//!
+//! ```text
+//! [0 .. 4096)        header page
+//!     [0 .. 8)       magic "DWLT0001"
+//!     [8 .. 16)      rows  (u64 LE)
+//!     [16 .. 24)     cols  (u64 LE)
+//!     [24 .. 32)     section count (u64 LE)
+//!     [64 .. 64+32n) manifest, one 32-byte entry per section:
+//!         [0 .. 4)   layout kind (u32 LE: 1=csr 2=csc 3=dense 4=dense_rows)
+//!         [4 .. 8)   role        (u32 LE: 1=indptr 2=indices 3=values)
+//!         [8 .. 16)  byte offset of the section (u64 LE, 4096-aligned)
+//!         [16 .. 24) element count (u64 LE)
+//!         [24 .. 32) aux (u64 LE; dense values: 0=row-major 1=col-major)
+//! [4096 .. )         raw little-endian sections, each 4096-aligned
+//! [len-32 .. len)    footer: "DWLTEND1" + total length (u64 LE) + pad
+//! ```
+//!
+//! Sections are aligned to [`LAYOUT_ALIGN`] so an `mmap` of the file (page
+//! aligned by the OS) can reinterpret every section in place — the
+//! [`Section`](crate::storage::Section) storage the layouts are built on.
+//! All views served from a re-opened file are bit-identical to the
+//! originally materialized arrays.
+
+use crate::storage::{MappedFile, Section};
+use crate::{CscMatrix, CsrMatrix, DenseMatrix, DenseRows, Layout, MatrixError, Shape};
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic bytes opening a layout file.
+pub const LAYOUT_MAGIC: &[u8; 8] = b"DWLT0001";
+/// Magic bytes opening the footer.
+pub const LAYOUT_FOOTER_MAGIC: &[u8; 8] = b"DWLTEND1";
+/// Alignment of the header page and every section — one OS page, so mapped
+/// sections are always element-aligned.
+pub const LAYOUT_ALIGN: u64 = crate::ooc::PAGE_ALIGN;
+
+const HEADER_BYTES: u64 = LAYOUT_ALIGN;
+const MANIFEST_OFFSET: usize = 64;
+const MANIFEST_ENTRY_BYTES: usize = 32;
+const FOOTER_BYTES: u64 = 32;
+/// Manifest entries that fit the header page.
+const MAX_SECTIONS: usize = (LAYOUT_ALIGN as usize - MANIFEST_OFFSET) / MANIFEST_ENTRY_BYTES;
+
+const KIND_CSR: u32 = 1;
+const KIND_CSC: u32 = 2;
+const KIND_DENSE: u32 = 3;
+const KIND_DENSE_ROWS: u32 = 4;
+
+const ROLE_INDPTR: u32 = 1;
+const ROLE_INDICES: u32 = 2;
+const ROLE_VALUES: u32 = 3;
+
+/// Distinguishes concurrently written temp files of the same target.
+static PERSIST_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+// ---------------------------------------------------------------------------
+// Which layouts a file holds.
+// ---------------------------------------------------------------------------
+
+/// The set of layout kinds present in a matrix or a persisted file.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LayoutKinds {
+    /// Compressed sparse row.
+    pub csr: bool,
+    /// Compressed sparse column.
+    pub csc: bool,
+    /// Dense (row- or column-major).
+    pub dense: bool,
+    /// Dense row store with the shared index arange.
+    pub dense_rows: bool,
+}
+
+impl LayoutKinds {
+    /// Whether no layout is present.
+    pub fn is_empty(&self) -> bool {
+        !(self.csr || self.csc || self.dense || self.dense_rows)
+    }
+
+    /// Whether every kind present in `other` is present in `self`.
+    pub fn covers(&self, other: &LayoutKinds) -> bool {
+        (self.csr || !other.csr)
+            && (self.csc || !other.csc)
+            && (self.dense || !other.dense)
+            && (self.dense_rows || !other.dense_rows)
+    }
+
+    fn mark(&mut self, kind: u32) {
+        match kind {
+            KIND_CSR => self.csr = true,
+            KIND_CSC => self.csc = true,
+            KIND_DENSE => self.dense = true,
+            KIND_DENSE_ROWS => self.dense_rows = true,
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------------
+
+/// Borrowed arrays of the layouts to persist (assembled by
+/// [`crate::DataMatrix::persist_layouts`]).
+pub(crate) struct PersistSource<'a> {
+    pub shape: Shape,
+    pub csr: Option<(&'a [u32], &'a [u32], &'a [f64])>,
+    pub csc: Option<(&'a [u32], &'a [u32], &'a [f64])>,
+    pub dense: Option<(Layout, &'a [f64])>,
+    pub dense_rows: Option<&'a [f64]>,
+}
+
+enum SectionData<'a> {
+    U32(&'a [u32]),
+    F64(&'a [f64]),
+}
+
+impl SectionData<'_> {
+    fn elems(&self) -> usize {
+        match self {
+            SectionData::U32(v) => v.len(),
+            SectionData::F64(v) => v.len(),
+        }
+    }
+
+    fn byte_len(&self) -> u64 {
+        match self {
+            SectionData::U32(v) => v.len() as u64 * 4,
+            SectionData::F64(v) => v.len() as u64 * 8,
+        }
+    }
+
+    fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        // On little-endian targets the in-memory bytes *are* the disk
+        // encoding; elsewhere encode element-wise.
+        #[cfg(target_endian = "little")]
+        {
+            let bytes = match self {
+                SectionData::U32(v) => unsafe {
+                    std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 4)
+                },
+                SectionData::F64(v) => unsafe {
+                    std::slice::from_raw_parts(v.as_ptr() as *const u8, v.len() * 8)
+                },
+            };
+            w.write_all(bytes)
+        }
+        #[cfg(not(target_endian = "little"))]
+        {
+            match self {
+                SectionData::U32(v) => {
+                    for x in *v {
+                        w.write_all(&x.to_le_bytes())?;
+                    }
+                }
+                SectionData::F64(v) => {
+                    for x in *v {
+                        w.write_all(&x.to_le_bytes())?;
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+struct PlannedSection<'a> {
+    kind: u32,
+    role: u32,
+    aux: u64,
+    data: SectionData<'a>,
+}
+
+/// Serialize `src` to `path` (write-to-temp + rename, so concurrent readers
+/// never observe a torn file).  Returns the number of layouts written; when
+/// `src` holds no layout the file is not created and 0 is returned.
+pub(crate) fn write_layout_file(path: &Path, src: &PersistSource<'_>) -> io::Result<usize> {
+    let mut sections: Vec<PlannedSection<'_>> = Vec::new();
+    let mut layouts = 0usize;
+    if let Some((indptr, indices, data)) = src.csr {
+        layouts += 1;
+        sections.push(PlannedSection {
+            kind: KIND_CSR,
+            role: ROLE_INDPTR,
+            aux: 0,
+            data: SectionData::U32(indptr),
+        });
+        sections.push(PlannedSection {
+            kind: KIND_CSR,
+            role: ROLE_INDICES,
+            aux: 0,
+            data: SectionData::U32(indices),
+        });
+        sections.push(PlannedSection {
+            kind: KIND_CSR,
+            role: ROLE_VALUES,
+            aux: 0,
+            data: SectionData::F64(data),
+        });
+    }
+    if let Some((indptr, indices, data)) = src.csc {
+        layouts += 1;
+        sections.push(PlannedSection {
+            kind: KIND_CSC,
+            role: ROLE_INDPTR,
+            aux: 0,
+            data: SectionData::U32(indptr),
+        });
+        sections.push(PlannedSection {
+            kind: KIND_CSC,
+            role: ROLE_INDICES,
+            aux: 0,
+            data: SectionData::U32(indices),
+        });
+        sections.push(PlannedSection {
+            kind: KIND_CSC,
+            role: ROLE_VALUES,
+            aux: 0,
+            data: SectionData::F64(data),
+        });
+    }
+    if let Some((layout, data)) = src.dense {
+        layouts += 1;
+        sections.push(PlannedSection {
+            kind: KIND_DENSE,
+            role: ROLE_VALUES,
+            aux: match layout {
+                Layout::RowMajor => 0,
+                Layout::ColMajor => 1,
+            },
+            data: SectionData::F64(data),
+        });
+    }
+    if let Some(values) = src.dense_rows {
+        layouts += 1;
+        sections.push(PlannedSection {
+            kind: KIND_DENSE_ROWS,
+            role: ROLE_VALUES,
+            aux: 0,
+            data: SectionData::F64(values),
+        });
+    }
+    if layouts == 0 {
+        return Ok(0);
+    }
+    assert!(sections.len() <= MAX_SECTIONS, "manifest overflow");
+
+    // Lay the sections out, each aligned to a page boundary.
+    let mut offset = HEADER_BYTES;
+    let mut manifest = Vec::with_capacity(sections.len() * MANIFEST_ENTRY_BYTES);
+    for s in &sections {
+        manifest.extend_from_slice(&s.kind.to_le_bytes());
+        manifest.extend_from_slice(&s.role.to_le_bytes());
+        manifest.extend_from_slice(&offset.to_le_bytes());
+        manifest.extend_from_slice(&(s.data.elems() as u64).to_le_bytes());
+        manifest.extend_from_slice(&s.aux.to_le_bytes());
+        offset = (offset + s.data.byte_len()).div_ceil(LAYOUT_ALIGN) * LAYOUT_ALIGN;
+    }
+    let total_len = offset + FOOTER_BYTES;
+
+    let unique = PERSIST_COUNTER.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("dwlt.tmp-{}-{unique}", std::process::id()));
+    let result = (|| -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+
+        let mut header = vec![0u8; HEADER_BYTES as usize];
+        header[0..8].copy_from_slice(LAYOUT_MAGIC);
+        header[8..16].copy_from_slice(&(src.shape.rows as u64).to_le_bytes());
+        header[16..24].copy_from_slice(&(src.shape.cols as u64).to_le_bytes());
+        header[24..32].copy_from_slice(&(sections.len() as u64).to_le_bytes());
+        header[MANIFEST_OFFSET..MANIFEST_OFFSET + manifest.len()].copy_from_slice(&manifest);
+        w.write_all(&header)?;
+
+        let mut written = HEADER_BYTES;
+        for s in &sections {
+            s.data.write_to(&mut w)?;
+            written += s.data.byte_len();
+            let aligned = written.div_ceil(LAYOUT_ALIGN) * LAYOUT_ALIGN;
+            if aligned > written {
+                w.write_all(&vec![0u8; (aligned - written) as usize])?;
+                written = aligned;
+            }
+        }
+
+        let mut footer = [0u8; FOOTER_BYTES as usize];
+        footer[0..8].copy_from_slice(LAYOUT_FOOTER_MAGIC);
+        footer[8..16].copy_from_slice(&total_len.to_le_bytes());
+        w.write_all(&footer)?;
+        w.flush()
+    })();
+    if let Err(e) = result {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    fs::rename(&tmp, path)?;
+    Ok(layouts)
+}
+
+// ---------------------------------------------------------------------------
+// Reading.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct ManifestEntry {
+    kind: u32,
+    role: u32,
+    offset: u64,
+    elems: u64,
+    aux: u64,
+}
+
+fn parse_header(bytes: &[u8]) -> io::Result<(Shape, Vec<ManifestEntry>)> {
+    if bytes.len() < HEADER_BYTES as usize + FOOTER_BYTES as usize {
+        return Err(bad_data("layout file shorter than header + footer"));
+    }
+    if &bytes[0..8] != LAYOUT_MAGIC {
+        return Err(bad_data("bad layout file magic"));
+    }
+    let rows = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+    let cols = u64::from_le_bytes(bytes[16..24].try_into().unwrap()) as usize;
+    let count = u64::from_le_bytes(bytes[24..32].try_into().unwrap()) as usize;
+    if count > MAX_SECTIONS {
+        return Err(bad_data(format!("manifest claims {count} sections")));
+    }
+    let footer = &bytes[bytes.len() - FOOTER_BYTES as usize..];
+    if &footer[0..8] != LAYOUT_FOOTER_MAGIC {
+        return Err(bad_data("bad layout footer magic (truncated file?)"));
+    }
+    let recorded_len = u64::from_le_bytes(footer[8..16].try_into().unwrap());
+    if recorded_len != bytes.len() as u64 {
+        return Err(bad_data(format!(
+            "footer records {recorded_len} bytes, file has {}",
+            bytes.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = MANIFEST_OFFSET + i * MANIFEST_ENTRY_BYTES;
+        let e = &bytes[at..at + MANIFEST_ENTRY_BYTES];
+        entries.push(ManifestEntry {
+            kind: u32::from_le_bytes(e[0..4].try_into().unwrap()),
+            role: u32::from_le_bytes(e[4..8].try_into().unwrap()),
+            offset: u64::from_le_bytes(e[8..16].try_into().unwrap()),
+            elems: u64::from_le_bytes(e[16..24].try_into().unwrap()),
+            aux: u64::from_le_bytes(e[24..32].try_into().unwrap()),
+        });
+    }
+    Ok((Shape::new(rows, cols), entries))
+}
+
+/// Read just the header of `path` and report which layouts it holds — used
+/// to decide whether a rewrite is needed without opening the sections.
+pub fn persisted_kinds(path: &Path) -> io::Result<LayoutKinds> {
+    let mut file = File::open(path)?;
+    let mut header = vec![0u8; HEADER_BYTES as usize];
+    file.read_exact(&mut header)?;
+    if &header[0..8] != LAYOUT_MAGIC {
+        return Err(bad_data("bad layout file magic"));
+    }
+    let count = u64::from_le_bytes(header[24..32].try_into().unwrap()) as usize;
+    if count > MAX_SECTIONS {
+        return Err(bad_data(format!("manifest claims {count} sections")));
+    }
+    // Header-only sanity check that the footer exists.
+    let len = file.metadata()?.len();
+    if len < HEADER_BYTES + FOOTER_BYTES {
+        return Err(bad_data("layout file shorter than header + footer"));
+    }
+    let mut footer_magic = [0u8; 8];
+    file.seek(SeekFrom::End(-(FOOTER_BYTES as i64)))?;
+    file.read_exact(&mut footer_magic)?;
+    if &footer_magic != LAYOUT_FOOTER_MAGIC {
+        return Err(bad_data("bad layout footer magic (truncated file?)"));
+    }
+    let mut kinds = LayoutKinds::default();
+    for i in 0..count {
+        let at = MANIFEST_OFFSET + i * MANIFEST_ENTRY_BYTES;
+        kinds.mark(u32::from_le_bytes(header[at..at + 4].try_into().unwrap()));
+    }
+    Ok(kinds)
+}
+
+/// The layouts re-opened from a `.dwlt` file, served in place from the
+/// file image (zero-copy on mapped little-endian targets).
+#[derive(Debug)]
+pub struct PersistedLayouts {
+    shape: Shape,
+    pub(crate) csr: Option<CsrMatrix>,
+    pub(crate) csc: Option<CscMatrix>,
+    pub(crate) dense: Option<DenseMatrix>,
+    pub(crate) dense_rows: Option<DenseRows>,
+    mmapped: bool,
+}
+
+impl PersistedLayouts {
+    /// Open `path`, validating the header, footer, and every section's
+    /// structure.  The returned layouts read through the shared file image;
+    /// with the `mmap` feature this is a true memory-mapping and the OS page
+    /// cache is the eviction layer.
+    pub fn open(path: &Path) -> io::Result<PersistedLayouts> {
+        let file = MappedFile::open(path)?;
+        let (shape, entries) = parse_header(file.bytes())?;
+
+        let section = |kind: u32, role: u32| -> Option<ManifestEntry> {
+            entries
+                .iter()
+                .copied()
+                .find(|e| e.kind == kind && e.role == role)
+        };
+        let u32_section = |e: ManifestEntry| -> io::Result<Section<u32>> {
+            Section::from_mapped(Arc::clone(&file), e.offset as usize, e.elems as usize)
+        };
+        let f64_section = |e: ManifestEntry| -> io::Result<Section<f64>> {
+            Section::from_mapped(Arc::clone(&file), e.offset as usize, e.elems as usize)
+        };
+        let structural = |err: MatrixError| bad_data(format!("persisted layout invalid: {err}"));
+
+        let mut out = PersistedLayouts {
+            shape,
+            csr: None,
+            csc: None,
+            dense: None,
+            dense_rows: None,
+            mmapped: file.is_mmapped(),
+        };
+
+        for kind in [KIND_CSR, KIND_CSC] {
+            let (Some(p), Some(i), Some(v)) = (
+                section(kind, ROLE_INDPTR),
+                section(kind, ROLE_INDICES),
+                section(kind, ROLE_VALUES),
+            ) else {
+                continue;
+            };
+            let indptr = u32_section(p)?;
+            let indices = u32_section(i)?;
+            let values = f64_section(v)?;
+            if kind == KIND_CSR {
+                out.csr = Some(
+                    CsrMatrix::from_sections(shape.rows, shape.cols, indptr, indices, values)
+                        .map_err(structural)?,
+                );
+            } else {
+                out.csc = Some(
+                    CscMatrix::from_sections(shape.rows, shape.cols, indptr, indices, values)
+                        .map_err(structural)?,
+                );
+            }
+        }
+        if let Some(e) = section(KIND_DENSE, ROLE_VALUES) {
+            let layout = match e.aux {
+                0 => Layout::RowMajor,
+                1 => Layout::ColMajor,
+                other => return Err(bad_data(format!("unknown dense layout tag {other}"))),
+            };
+            out.dense = Some(
+                DenseMatrix::from_section(shape.rows, shape.cols, layout, f64_section(e)?)
+                    .map_err(structural)?,
+            );
+        }
+        if let Some(e) = section(KIND_DENSE_ROWS, ROLE_VALUES) {
+            out.dense_rows = Some(
+                DenseRows::from_section(shape.rows, shape.cols, f64_section(e)?)
+                    .map_err(structural)?,
+            );
+        }
+
+        if out.kinds().is_empty() {
+            return Err(bad_data("layout file holds no complete layout"));
+        }
+        Ok(out)
+    }
+
+    /// Shape recorded in the header.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Which layouts the file held.
+    pub fn kinds(&self) -> LayoutKinds {
+        LayoutKinds {
+            csr: self.csr.is_some(),
+            csc: self.csc.is_some(),
+            dense: self.dense.is_some(),
+            dense_rows: self.dense_rows.is_some(),
+        }
+    }
+
+    /// Whether the file is served through a real memory-mapping (vs the
+    /// buffered fallback image).
+    pub fn is_mmapped(&self) -> bool {
+        self.mmapped
+    }
+
+    /// The re-opened CSR layout, if present.
+    pub fn csr(&self) -> Option<&CsrMatrix> {
+        self.csr.as_ref()
+    }
+
+    /// The re-opened CSC layout, if present.
+    pub fn csc(&self) -> Option<&CscMatrix> {
+        self.csc.as_ref()
+    }
+
+    /// The re-opened dense layout, if present.
+    pub fn dense(&self) -> Option<&DenseMatrix> {
+        self.dense.as_ref()
+    }
+
+    /// The re-opened dense row store, if present.
+    pub fn dense_rows(&self) -> Option<&DenseRows> {
+        self.dense_rows.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooc::TempSpillDir;
+    use crate::{CooMatrix, DataMatrix};
+    use proptest::prelude::*;
+
+    fn assert_u32_eq(name: &str, a: &[u32], b: &[u32]) {
+        assert_eq!(a, b, "{name} differs");
+    }
+
+    fn assert_f64_bits_eq(name: &str, a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len(), "{name} length differs");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{name}[{i}] differs");
+        }
+    }
+
+    #[test]
+    fn nothing_materialized_writes_no_file() {
+        let coo = CooMatrix::new(3, 3);
+        let matrix = DataMatrix::from_coo(coo);
+        let dir = TempSpillDir::new("dw-persist-empty").unwrap();
+        let path = dir.file("none.dwlt");
+        assert_eq!(matrix.persist_layouts(&path).unwrap(), 0);
+        assert!(!path.exists(), "an empty layout set writes nothing");
+    }
+
+    #[test]
+    fn corrupt_and_missing_files_are_rejected() {
+        let dir = TempSpillDir::new("dw-persist-corrupt").unwrap();
+        let missing = dir.file("missing.dwlt");
+        assert!(persisted_kinds(&missing).is_err());
+        assert!(PersistedLayouts::open(&missing).is_err());
+        let junk = dir.file("junk.dwlt");
+        fs::write(&junk, vec![0u8; 8192]).unwrap();
+        assert!(persisted_kinds(&junk).is_err(), "bad magic is rejected");
+        assert!(PersistedLayouts::open(&junk).is_err());
+        // A truncated footer is rejected even when the header looks sane.
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(1, 2, 3.0).unwrap();
+        let matrix = DataMatrix::from_coo(coo);
+        matrix.materialize_rows();
+        let good = dir.file("good.dwlt");
+        assert_eq!(matrix.persist_layouts(&good).unwrap(), 1);
+        let bytes = fs::read(&good).unwrap();
+        let truncated = dir.file("truncated.dwlt");
+        fs::write(&truncated, &bytes[..bytes.len() - FOOTER_BYTES as usize]).unwrap();
+        assert!(PersistedLayouts::open(&truncated).is_err());
+    }
+
+    #[test]
+    fn load_persisted_adopts_missing_kinds_and_validates_shape() {
+        let mut coo = CooMatrix::new(6, 5);
+        for (r, c, v) in [(0, 1, 2.0), (2, 4, -1.5), (5, 0, 0.25)] {
+            coo.push(r, c, v).unwrap();
+        }
+        let matrix = DataMatrix::from_coo(coo.clone());
+        matrix.materialize_rows();
+        matrix.materialize_cols();
+        let dir = TempSpillDir::new("dw-persist-adopt").unwrap();
+        let path = dir.file("layouts.dwlt");
+        assert_eq!(matrix.persist_layouts(&path).unwrap(), 2);
+        // A fresh handle over the same COO adopts both layouts (no stream),
+        // and a second load adopts nothing new.
+        let fresh = DataMatrix::from_coo(coo);
+        assert_eq!(fresh.load_persisted_layouts(&path).unwrap(), 2);
+        assert!(fresh.csr_materialized() && fresh.csc_materialized());
+        assert_eq!(fresh.load_persisted_layouts(&path).unwrap(), 0);
+        // Shape mismatch is an error, not an adoption.
+        let other = DataMatrix::from_coo(CooMatrix::new(2, 2));
+        assert!(other.load_persisted_layouts(&path).is_err());
+        // sync_persisted_layouts: the file already covers what fresh has.
+        assert_eq!(fresh.sync_persisted_layouts(&path).unwrap(), 0);
+        // ... but materializing more than the file holds rewrites it.
+        fresh.materialize_dense_rows();
+        assert_eq!(fresh.sync_persisted_layouts(&path).unwrap(), 3);
+        let kinds = persisted_kinds(&path).unwrap();
+        assert!(kinds.csr && kinds.csc && kinds.dense_rows && !kinds.dense);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_layout_roundtrip_is_bit_identical(
+            triplets in proptest::collection::vec((0usize..10, 0usize..6, -4.0f64..4.0), 1..50),
+        ) {
+            let mut coo = CooMatrix::new(10, 6);
+            for (r, c, v) in triplets {
+                // Exercise explicit zeros alongside ordinary values.
+                let v = if v < -3.5 { 0.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            let matrix = DataMatrix::from_coo(coo);
+            matrix.materialize_rows();
+            matrix.materialize_cols();
+            let _ = matrix.dense();
+            matrix.materialize_dense_rows();
+            let dir = TempSpillDir::new("dw-persist-prop").unwrap();
+            let path = dir.file("layouts.dwlt");
+            prop_assert_eq!(matrix.persist_layouts(&path).unwrap(), 4);
+            let kinds = persisted_kinds(&path).unwrap();
+            prop_assert!(kinds.covers(&matrix.materialized_kinds()));
+
+            let reopened = DataMatrix::open_persisted(&path).unwrap();
+            prop_assert_eq!(reopened.shape(), matrix.shape());
+            prop_assert_eq!(reopened.materialized_kinds(), matrix.materialized_kinds());
+
+            // Every view bit-identical to the originally materialized one.
+            let (ai, aj, av) = matrix.csr().sections();
+            let (bi, bj, bv) = reopened.csr().sections();
+            assert_u32_eq("csr.indptr", ai, bi);
+            assert_u32_eq("csr.indices", aj, bj);
+            assert_f64_bits_eq("csr.data", av, bv);
+            let (ai, aj, av) = matrix.csc().sections();
+            let (bi, bj, bv) = reopened.csc().sections();
+            assert_u32_eq("csc.indptr", ai, bi);
+            assert_u32_eq("csc.indices", aj, bj);
+            assert_f64_bits_eq("csc.data", av, bv);
+            prop_assert_eq!(reopened.dense().layout(), matrix.dense().layout());
+            assert_f64_bits_eq("dense.data", matrix.dense().data(), reopened.dense().data());
+            assert_f64_bits_eq(
+                "dense_rows.values",
+                matrix.dense_rows().values(),
+                reopened.dense_rows().values(),
+            );
+
+            // The DeltaU16 sidecar is derived, not persisted: rebuilding it
+            // from the re-opened indices must reproduce the original blocks.
+            matrix.materialize_encoded_indices();
+            reopened.materialize_encoded_indices();
+            prop_assert_eq!(
+                reopened.csr().encoded_indices(),
+                matrix.csr().encoded_indices()
+            );
+            prop_assert_eq!(
+                reopened.csc().encoded_indices(),
+                matrix.csc().encoded_indices()
+            );
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Backing storage for materialized layout arrays.
+//!
+//! The compressed layouts historically owned their arrays as plain `Vec`s.
+//! Persistent layouts (`persist.rs`) want to serve the same arrays straight
+//! out of an on-disk file instead — zero-copy when the `mmap` feature maps
+//! the file, and still zero-*extra*-copy in the buffered fallback, where all
+//! sections of a file alias one read-once buffer.  [`Section`] is the small
+//! abstraction that makes both spellings look like a `&[T]`:
+//!
+//! * `Owned` — a `Vec<T>`, exactly what the in-memory materialization path
+//!   produces.
+//! * `Mapped` — an element range inside a shared [`MappedFile`], reinterpreted
+//!   in place.  Only constructed when the bytes are little-endian (the disk
+//!   format) and properly aligned for `T`; otherwise the constructor falls
+//!   back to decoding into an owned vector, so a `Section` is always safe to
+//!   deref.
+//!
+//! Mutation goes through [`Section::to_mut`], which converts a mapped section
+//! to an owned one on first write (copy-on-write) — the handful of in-place
+//! builders (`DenseMatrix::set`, `DenseRows::add`) keep working unchanged on
+//! re-opened layouts.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Marker for element types that may be reinterpreted from raw little-endian
+/// file bytes.
+///
+/// # Safety
+/// Implementors must be plain-old-data: no padding, no invalid bit patterns,
+/// and a stable little-endian byte encoding written by `persist.rs`.
+pub unsafe trait Pod: Copy + PartialEq + fmt::Debug + 'static {
+    /// Decode one element from its little-endian byte encoding.
+    fn from_le_bytes(bytes: &[u8]) -> Self;
+}
+
+unsafe impl Pod for u32 {
+    fn from_le_bytes(bytes: &[u8]) -> Self {
+        u32::from_le_bytes(bytes.try_into().expect("4-byte u32"))
+    }
+}
+
+unsafe impl Pod for f64 {
+    fn from_le_bytes(bytes: &[u8]) -> Self {
+        f64::from_le_bytes(bytes.try_into().expect("8-byte f64"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MappedFile: a read-only file image, mmap'd when the feature allows it.
+// ---------------------------------------------------------------------------
+
+/// True when the build can use the raw `mmap(2)` backend.
+#[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    // Declared directly against the platform libc (the toolchain links it
+    // unconditionally); no external crate needed.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub fn map_failed(ptr: *mut c_void) -> bool {
+        ptr as isize == -1
+    }
+}
+
+enum FileImage {
+    /// The whole file read into one 8-byte-aligned buffer (stored as `u64`
+    /// words so reinterpreting any section as `u32`/`f64` stays aligned).
+    Buffered { words: Vec<u64>, len: usize },
+    /// A live `mmap(2)` of the file; unmapped on drop.
+    #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+    Mapped { ptr: *const u8, len: usize },
+}
+
+/// A shared, immutable image of an on-disk layout file.
+///
+/// With the `mmap` feature on a 64-bit unix target this is a real
+/// memory-mapping — pages fault in on first touch and the OS page cache is
+/// the eviction layer, so persisted layouts can exceed DRAM.  Everywhere
+/// else it degrades to reading the file once into an aligned buffer.
+pub struct MappedFile {
+    image: FileImage,
+}
+
+// SAFETY: the image is immutable after construction; a raw mapping is
+// read-only (PROT_READ) and never aliased mutably.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Open `path` as a shared file image.
+    pub fn open(path: &Path) -> io::Result<Arc<MappedFile>> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+
+        #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            if len > 0 {
+                let ptr = unsafe {
+                    sys::mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        sys::PROT_READ,
+                        sys::MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if !sys::map_failed(ptr) {
+                    return Ok(Arc::new(MappedFile {
+                        image: FileImage::Mapped {
+                            ptr: ptr as *const u8,
+                            len,
+                        },
+                    }));
+                }
+                // mmap refused (e.g. special filesystem) — fall through to
+                // the buffered image rather than failing the open.
+            }
+        }
+
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: u64 words reinterpret as initialized bytes.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+        };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(Arc::new(MappedFile {
+            image: FileImage::Buffered { words, len },
+        }))
+    }
+
+    /// The file contents.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.image {
+            FileImage::Buffered { words, len } => {
+                // SAFETY: the buffer holds at least `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+            }
+            #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+            FileImage::Mapped { ptr, len } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+
+    /// Whether this image is a live memory-mapping (vs the buffered
+    /// fallback).
+    pub fn is_mmapped(&self) -> bool {
+        match &self.image {
+            FileImage::Buffered { .. } => false,
+            #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+            FileImage::Mapped { .. } => true,
+        }
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(feature = "mmap", unix, target_pointer_width = "64"))]
+        if let FileImage::Mapped { ptr, len } = self.image {
+            unsafe {
+                sys::munmap(ptr as *mut std::os::raw::c_void, len);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.bytes().len())
+            .field("mmapped", &self.is_mmapped())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section<T>: owned-or-mapped array storage.
+// ---------------------------------------------------------------------------
+
+enum Repr<T: Pod> {
+    Owned(Vec<T>),
+    Mapped {
+        file: Arc<MappedFile>,
+        /// Byte offset of the first element inside the file.
+        offset: usize,
+        /// Element count.
+        len: usize,
+    },
+}
+
+/// An array of `T` that is either owned (`Vec<T>`) or served in place from a
+/// shared [`MappedFile`].  Derefs to `&[T]` either way.
+pub struct Section<T: Pod>(Repr<T>);
+
+/// Column/row index array storage.
+pub type U32Section = Section<u32>;
+/// Value array storage.
+pub type F64Section = Section<f64>;
+
+impl<T: Pod> Section<T> {
+    /// A section over an element range of a mapped file.
+    ///
+    /// `byte_offset..byte_offset + len * size_of::<T>()` must lie inside the
+    /// file.  The in-place reinterpretation additionally needs the pointer
+    /// aligned for `T` and a little-endian target; when either fails, the
+    /// elements are decoded into an owned vector instead, so the result is
+    /// correct on every platform.
+    pub fn from_mapped(file: Arc<MappedFile>, byte_offset: usize, len: usize) -> io::Result<Self> {
+        let bytes = file.bytes();
+        let elem = std::mem::size_of::<T>();
+        let end = byte_offset
+            .checked_add(len.checked_mul(elem).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "section length overflows")
+            })?)
+            .ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "section offset overflows")
+            })?;
+        if end > bytes.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!(
+                    "section {byte_offset}..{end} outside file of {} bytes",
+                    bytes.len()
+                ),
+            ));
+        }
+        let ptr = unsafe { bytes.as_ptr().add(byte_offset) };
+        if cfg!(target_endian = "little")
+            && (ptr as usize).is_multiple_of(std::mem::align_of::<T>())
+        {
+            Ok(Section(Repr::Mapped {
+                file,
+                offset: byte_offset,
+                len,
+            }))
+        } else {
+            // Misaligned or big-endian: decode element-wise.
+            let raw = &bytes[byte_offset..end];
+            let decoded = raw.chunks_exact(elem).map(T::from_le_bytes).collect();
+            Ok(Section(Repr::Owned(decoded)))
+        }
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { file, offset, len } => {
+                // SAFETY: bounds and alignment validated in `from_mapped`;
+                // the file image is immutable and outlives `self`.
+                unsafe {
+                    std::slice::from_raw_parts(file.bytes().as_ptr().add(*offset) as *const T, *len)
+                }
+            }
+        }
+    }
+
+    /// Whether the section reads through a mapped file (vs owned memory).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.0, Repr::Mapped { .. })
+    }
+
+    /// Mutable access, converting a mapped section to owned storage on first
+    /// use (copy-on-write).
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Repr::Mapped { .. } = self.0 {
+            self.0 = Repr::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.0 {
+            Repr::Owned(v) => v,
+            Repr::Mapped { .. } => unreachable!("converted to owned above"),
+        }
+    }
+
+    /// Extract an owned vector (copies only if mapped).
+    pub fn into_vec(mut self) -> Vec<T> {
+        std::mem::take(self.to_mut())
+    }
+}
+
+impl<T: Pod> Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section(Repr::Owned(v))
+    }
+}
+
+impl<T: Pod> Clone for Section<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Owned(v) => Section(Repr::Owned(v.clone())),
+            Repr::Mapped { file, offset, len } => Section(Repr::Mapped {
+                file: Arc::clone(file),
+                offset: *offset,
+                len: *len,
+            }),
+        }
+    }
+}
+
+impl<T: Pod> PartialEq for Section<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Pod> Default for Section<T> {
+    fn default() -> Self {
+        Section(Repr::Owned(Vec::new()))
+    }
+}
+
+impl<T: Pod> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Section")
+            .field("len", &self.as_slice().len())
+            .field("mapped", &self.is_mapped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn owned_sections_deref_and_mutate() {
+        let mut s: U32Section = vec![1u32, 2, 3].into();
+        assert_eq!(&s[..], &[1, 2, 3]);
+        assert!(!s.is_mapped());
+        s.to_mut().push(4);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.clone(), s);
+    }
+
+    #[test]
+    fn mapped_sections_read_file_bytes_in_place() {
+        let dir = crate::ooc::TempSpillDir::new("dw-storage-test").unwrap();
+        let path = dir.path().join("section.bin");
+        let values = [1.5f64, -2.25, 1e300];
+        let mut file = File::create(&path).unwrap();
+        for v in values {
+            file.write_all(&v.to_le_bytes()).unwrap();
+        }
+        file.write_all(&7u32.to_le_bytes()).unwrap();
+        drop(file);
+
+        let map = MappedFile::open(&path).unwrap();
+        assert_eq!(map.bytes().len(), 28);
+        let f: F64Section = Section::from_mapped(Arc::clone(&map), 0, 3).unwrap();
+        assert_eq!(&f[..], &values);
+        let u: U32Section = Section::from_mapped(Arc::clone(&map), 24, 1).unwrap();
+        assert_eq!(&u[..], &[7]);
+
+        // Out-of-bounds ranges are rejected, not UB.
+        assert!(Section::<f64>::from_mapped(Arc::clone(&map), 8, 3).is_err());
+
+        // Copy-on-write detaches from the file.
+        let mut cow = f.clone();
+        cow.to_mut()[0] = 9.0;
+        assert_eq!(cow[0], 9.0);
+        assert_eq!(f[0], 1.5);
+        assert!(!cow.is_mapped());
+    }
+}

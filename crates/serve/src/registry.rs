@@ -61,6 +61,7 @@ pub struct SessionSpec {
     epochs: usize,
     seed: u64,
     execution: Execution,
+    layout_file: Option<std::path::PathBuf>,
 }
 
 impl SessionSpec {
@@ -74,6 +75,7 @@ impl SessionSpec {
             epochs: 10,
             seed: 0,
             execution: Execution::default(),
+            layout_file: None,
         }
     }
 
@@ -98,6 +100,15 @@ impl SessionSpec {
     /// Choose how epochs execute.
     pub fn execution(mut self, execution: Execution) -> Self {
         self.execution = execution;
+        self
+    }
+
+    /// Persist materialized layouts to `path` and re-open them from there
+    /// on later admissions (same semantics as [`SessionBuilder::layout_file`]):
+    /// a restarted server admitting the same task skips the COO stream and
+    /// serves the layouts straight from the file image.
+    pub fn layout_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.layout_file = Some(path.into());
         self
     }
 }
@@ -343,6 +354,9 @@ impl Server {
             });
         if let Some(plan) = spec.plan {
             builder = builder.plan(plan);
+        }
+        if let Some(path) = spec.layout_file {
+            builder = builder.layout_file(path);
         }
         if spec.execution == Execution::SharedPool {
             builder = builder.with_pool(Arc::clone(&self.pool));
