@@ -1,0 +1,419 @@
+//! Machine-readable streaming-ingest benchmark: the drift scenario of the
+//! online replanning subsystem, as JSON, so successive PRs accumulate a
+//! perf trajectory (siblings: `bench_ooc`, `bench_storage`).
+//!
+//! The workload starts in column-access territory — 400 graph-shaped 2-nnz
+//! rows against a 300-dimensional model — and then wide 40-nnz rows arrive
+//! at epoch boundaries through a [`LiveSource`], blowing up the `Σᵢnᵢ²`
+//! column-read term until the optimizer's Figure-6 decision flips to
+//! row-wise.  Each arrival rate runs twice over the identical schedule:
+//!
+//! * `replan-on` — a [`DriftController`] reviews every epoch and switches
+//!   the running session's plan when the drifted stats move the decision,
+//! * `replan-off` — the epoch-0 plan runs to the end (the static-optimizer
+//!   baseline).
+//!
+//! Emitted per run: epochs-to-converge against a reference target trained
+//! on the final dataset, average simulated epoch seconds, replan count, and
+//! whether the final plan is row-wise.  The `replan_on_le_replan_off` flag
+//! asserts the controller never converges later than the frozen baseline.
+//!
+//! A second scenario seals many small delta pages and runs the same
+//! schedule with LSM-style compaction on and off: the
+//! `compaction_bounds_read_amp` flag asserts compaction keeps the sealed
+//! page count bounded while the two convergence traces stay bit-identical
+//! (compaction is a storage decision, not a numerics decision).
+//!
+//! Writes `BENCH_streaming.json` (override with `--out <path>`); `--quick`
+//! drops the arrival-rate sweep for CI smoke runs, same schema.
+//!
+//! [`LiveSource`]: dw_matrix::LiveSource
+//! [`DriftController`]: dimmwitted::DriftController
+
+use dimmwitted::{
+    run_online, AccessMethod, AnalyticsTask, DimmWitted, DriftController, EpochEvent, LiveBatch,
+    ModelKind, OnlineConfig,
+};
+use dw_data::{streamed_row, streamed_rows_into};
+use dw_matrix::{CooMatrix, DataMatrix, LiveSource, TempSpillDir, ENTRY_BYTES};
+use dw_numa::MachineTopology;
+use dw_optim::TaskData;
+
+const COLS: usize = 300;
+const BASE_ROWS: usize = 400;
+const BASE_NNZ: usize = 2;
+const WIDE_ROWS: usize = 100;
+const WIDE_NNZ: usize = 40;
+const SEED: u64 = 3;
+const CACHE_BUDGET: usize = 1 << 20;
+
+/// FNV-1a over the per-epoch loss bits: the trace-parity fingerprint.
+fn trace_hash(events: &[EpochEvent]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for event in events {
+        for byte in event.loss.to_bits().to_le_bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    }
+    hash
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+struct OnlineRun {
+    events: Vec<EpochEvent>,
+    replans: usize,
+    final_rowwise: bool,
+    hash: u64,
+}
+
+/// Drive the drift schedule: `rate` wide rows arrive before each of the
+/// first `WIDE_ROWS / rate` epochs after epoch 0.
+fn drift_run(
+    dir: &TempSpillDir,
+    name: &str,
+    rate: usize,
+    epochs: usize,
+    replan: bool,
+) -> OnlineRun {
+    let live = LiveSource::create(dir.file(&format!("{name}.dwp")), COLS).expect("create live");
+    let mut labels = streamed_rows_into(COLS, BASE_NNZ, SEED, 0..BASE_ROWS, &mut &live);
+    live.seal().expect("seal base rows");
+
+    let task = AnalyticsTask::new(
+        "SVM(streamed)",
+        TaskData::supervised(live.snapshot_matrix(CACHE_BUDGET), labels.clone()),
+        ModelKind::Svm,
+    );
+    let mut stream = DimmWitted::on(MachineTopology::local2())
+        .task(task)
+        .plan_auto()
+        .epochs(epochs)
+        .seed(5)
+        .build()
+        .stream();
+    assert_ne!(
+        stream.plan().access,
+        AccessMethod::RowWise,
+        "the 2-nnz prefix must start in column-access territory"
+    );
+
+    let arrival_epochs = WIDE_ROWS / rate;
+    let mut controller = DriftController::new(MachineTopology::local2()).with_cooldown(1);
+    let outcome = run_online(
+        &mut stream,
+        &live,
+        &mut labels,
+        |epoch| {
+            if (1..=arrival_epochs).contains(&epoch) {
+                let start = BASE_ROWS + (epoch - 1) * rate;
+                let mut batch = LiveBatch::default();
+                for row in start..start + rate {
+                    let (cols, label) = streamed_row(COLS, WIDE_NNZ, SEED, row);
+                    batch.rows.push(cols);
+                    batch.labels.push(label);
+                }
+                Some(batch)
+            } else {
+                None
+            }
+        },
+        if replan { Some(&mut controller) } else { None },
+        &OnlineConfig {
+            cache_budget: CACHE_BUDGET,
+            compact_above_pages: None,
+        },
+    )
+    .expect("online run");
+    assert_eq!(live.rows(), BASE_ROWS + WIDE_ROWS);
+    let hash = trace_hash(&outcome.events);
+    OnlineRun {
+        events: outcome.events,
+        replans: outcome.replans.len(),
+        final_rowwise: stream.plan().access == AccessMethod::RowWise,
+        hash,
+    }
+}
+
+/// First epoch at or after the last arrival whose loss reaches `target`
+/// (`budget + 1` when the run never converges, so a frozen baseline that
+/// stalls still compares).
+fn epochs_to_converge(events: &[EpochEvent], arrivals_end: usize, target: f64) -> usize {
+    events
+        .iter()
+        .find(|e| e.epoch > arrivals_end && e.loss <= target)
+        .map(|e| e.epoch)
+        .unwrap_or(events.len() + 1)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_streaming.json")
+        .to_string();
+    let rates: &[usize] = if quick { &[20] } else { &[10, 20, 50] };
+    let epochs = if quick { 30 } else { 40 };
+    let dir = TempSpillDir::new("dw-bench-streaming").expect("create spill dir");
+
+    // Reference target: the final dataset (every row arrived), trained to
+    // plateau — online runs converge when they reach 90% of that progress.
+    let mut coo = CooMatrix::new(BASE_ROWS + WIDE_ROWS, COLS);
+    let mut ref_labels = streamed_rows_into(COLS, BASE_NNZ, SEED, 0..BASE_ROWS, &mut coo);
+    ref_labels.extend(streamed_rows_into(
+        COLS,
+        WIDE_NNZ,
+        SEED,
+        BASE_ROWS..BASE_ROWS + WIDE_ROWS,
+        &mut coo,
+    ));
+    let ref_task = AnalyticsTask::new(
+        "SVM(final)",
+        TaskData::supervised(DataMatrix::from_coo(coo), ref_labels),
+        ModelKind::Svm,
+    );
+    let ref_initial = ref_task.initial_loss();
+    let ref_events: Vec<EpochEvent> = DimmWitted::on(MachineTopology::local2())
+        .task(ref_task)
+        .plan_auto()
+        .epochs(60)
+        .seed(5)
+        .build()
+        .stream()
+        .collect();
+    let ref_best = ref_events
+        .iter()
+        .map(|e| e.loss)
+        .fold(f64::INFINITY, f64::min);
+    let target = ref_best + 0.10 * (ref_initial - ref_best);
+
+    let mut records: Vec<Record> = vec![
+        Record {
+            group: "workload",
+            name: "reference_initial_loss".to_string(),
+            value: ref_initial,
+            unit: "loss",
+        },
+        Record {
+            group: "workload",
+            name: "reference_best_loss".to_string(),
+            value: ref_best,
+            unit: "loss",
+        },
+        Record {
+            group: "workload",
+            name: "convergence_target".to_string(),
+            value: target,
+            unit: "loss",
+        },
+    ];
+    let mut hashes: Vec<(String, u64)> = Vec::new();
+
+    // --- Drift sweep: arrival rate × replan policy. ---
+    let mut replan_on_le_off = true;
+    for &rate in rates {
+        let arrivals_end = WIDE_ROWS / rate;
+        let mut per_mode = Vec::new();
+        for (mode, replan) in [("on", true), ("off", false)] {
+            let name = format!("rate{rate}/replan-{mode}");
+            let run = drift_run(&dir, &format!("drift-{rate}-{mode}"), rate, epochs, replan);
+            let converge = epochs_to_converge(&run.events, arrivals_end, target);
+            let last = run.events.last().expect("at least one epoch");
+            let avg_epoch = last.sim_seconds / run.events.len() as f64;
+            records.push(Record {
+                group: "drift",
+                name: format!("epochs_to_converge/{name}"),
+                value: converge as f64,
+                unit: "epochs",
+            });
+            records.push(Record {
+                group: "drift",
+                name: format!("sim_seconds_per_epoch/{name}"),
+                value: avg_epoch,
+                unit: "s",
+            });
+            records.push(Record {
+                group: "drift",
+                name: format!("replans/{name}"),
+                value: run.replans as f64,
+                unit: "count",
+            });
+            records.push(Record {
+                group: "drift",
+                name: format!("final_access_rowwise/{name}"),
+                value: if run.final_rowwise { 1.0 } else { 0.0 },
+                unit: "bool",
+            });
+            hashes.push((name, run.hash));
+            per_mode.push((replan, converge, run.replans, run.final_rowwise));
+        }
+        let on = per_mode.iter().find(|m| m.0).expect("replan-on run");
+        let off = per_mode.iter().find(|m| !m.0).expect("replan-off run");
+        assert!(on.2 >= 1, "replan-on must actually replan at rate {rate}");
+        assert!(
+            on.3,
+            "replan-on must end row-wise under the wide arrivals at rate {rate}"
+        );
+        assert_eq!(off.2, 0, "replan-off must never replan");
+        if on.1 > off.1 {
+            replan_on_le_off = false;
+        }
+    }
+
+    // --- Compaction scenario: identical schedules, compaction on/off. ---
+    let bound = 3usize;
+    let compaction_run = |name: &str, compact: bool| -> (Vec<EpochEvent>, u64, u64, usize) {
+        let live = LiveSource::create(dir.file(&format!("{name}.dwp")), 32)
+            .expect("create live")
+            .with_page_bytes(64 * ENTRY_BYTES);
+        let mut labels = streamed_rows_into(32, 2, 17, 0..40, &mut &live);
+        live.seal().expect("seal base rows");
+        let task = AnalyticsTask::new(
+            "SVM(compact)",
+            TaskData::supervised(live.snapshot_matrix(CACHE_BUDGET), labels.clone()),
+            ModelKind::Svm,
+        );
+        let mut stream = DimmWitted::on(MachineTopology::local2())
+            .task(task)
+            .plan_auto()
+            .epochs(10)
+            .seed(1)
+            .build()
+            .stream();
+        let outcome = run_online(
+            &mut stream,
+            &live,
+            &mut labels,
+            |epoch| {
+                if (1..=8).contains(&epoch) {
+                    let start = 40 + (epoch - 1) * 10;
+                    let mut batch = LiveBatch::default();
+                    for row in start..start + 10 {
+                        let (cols, label) = streamed_row(32, 2, 17, row);
+                        batch.rows.push(cols);
+                        batch.labels.push(label);
+                    }
+                    Some(batch)
+                } else {
+                    None
+                }
+            },
+            None,
+            &OnlineConfig {
+                cache_budget: CACHE_BUDGET,
+                compact_above_pages: compact.then_some(bound),
+            },
+        )
+        .expect("compaction run");
+        use std::sync::atomic::Ordering;
+        let appends = live.counters().delta_appends.load(Ordering::Relaxed);
+        let compactions = live.counters().compactions.load(Ordering::Relaxed);
+        (outcome.events, appends, compactions, live.page_count())
+    };
+    let (compact_events, compact_appends, compactions, compact_pages) =
+        compaction_run("compact-on", true);
+    let (plain_events, _, _, plain_pages) = compaction_run("compact-off", false);
+    let compact_hash = trace_hash(&compact_events);
+    let plain_hash = trace_hash(&plain_events);
+    hashes.push(("compaction-on".to_string(), compact_hash));
+    hashes.push(("compaction-off".to_string(), plain_hash));
+    records.push(Record {
+        group: "compaction",
+        name: "delta_pages_appended".to_string(),
+        value: compact_appends as f64,
+        unit: "pages",
+    });
+    records.push(Record {
+        group: "compaction",
+        name: "compactions".to_string(),
+        value: compactions as f64,
+        unit: "count",
+    });
+    records.push(Record {
+        group: "compaction",
+        name: "final_pages_compacted".to_string(),
+        value: compact_pages as f64,
+        unit: "pages",
+    });
+    records.push(Record {
+        group: "compaction",
+        name: "final_pages_uncompacted".to_string(),
+        value: plain_pages as f64,
+        unit: "pages",
+    });
+    let compaction_ok = compactions >= 1
+        && compact_pages <= bound + 1
+        && compact_pages < plain_pages
+        && compact_hash == plain_hash;
+
+    // --- Flags. ---
+    records.push(Record {
+        group: "flags",
+        name: "replan_on_le_replan_off".to_string(),
+        value: if replan_on_le_off { 1.0 } else { 0.0 },
+        unit: "bool",
+    });
+    records.push(Record {
+        group: "flags",
+        name: "compaction_bounds_read_amp".to_string(),
+        value: if compaction_ok { 1.0 } else { 0.0 },
+        unit: "bool",
+    });
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/streaming-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"epochs\": {epochs},\n"));
+    json.push_str("  \"trace_hashes\": {\n");
+    for (i, (name, hash)) in hashes.iter().enumerate() {
+        let comma = if i + 1 == hashes.len() { "" } else { "," };
+        json.push_str(&format!("    \"{name}\": \"{hash:#018x}\"{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "streaming-bench: {:<10} {:<48} {:>16.6} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    for (name, hash) in &hashes {
+        println!("streaming-bench: parity     trace_hash/{name:<30} {hash:#018x}");
+    }
+    assert!(
+        replan_on_le_off,
+        "replan-on converged later than replan-off under drift"
+    );
+    assert!(
+        compaction_ok,
+        "compaction failed to bound read amplification bit-transparently: \
+         {compactions} compactions, {compact_pages} vs {plain_pages} pages, \
+         hashes {compact_hash:#x} vs {plain_hash:#x}"
+    );
+    println!(
+        "streaming-bench: wrote {} records to {out_path}",
+        records.len()
+    );
+}

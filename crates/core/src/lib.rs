@@ -70,6 +70,7 @@
 
 pub mod access;
 pub mod data_replica;
+pub mod drift;
 pub mod engine;
 pub mod executor;
 pub mod grid_search;
@@ -87,6 +88,9 @@ pub mod task;
 
 pub use access::AccessMethod;
 pub use data_replica::{shard_bounds, DataReplica, DataReplicaSet};
+pub use drift::{
+    run_online, DriftController, LiveBatch, OnlineConfig, OnlineOutcome, ReplanDecision,
+};
 pub use engine::Engine;
 pub use executor::{
     EpochContext, Executor, InterleavedExecutor, SpawnPerEpochExecutor, ThreadedExecutor,

@@ -33,7 +33,7 @@ use crate::report::{ExecutionMode, RunConfig, RunReport};
 use crate::sim_exec::{simulate_epoch, EpochSimulation};
 use crate::task::AnalyticsTask;
 use dw_numa::{MachineTopology, PerfCounters, PlacementPolicy};
-use dw_optim::{AtomicModel, ConvergenceTrace};
+use dw_optim::{AtomicModel, ConvergenceTrace, TaskData};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -113,6 +113,11 @@ pub struct EpochEvent {
     /// Page pins this epoch that were served from a prefetched slot —
     /// faults the prefetcher turned into hits (0 with prefetch disabled).
     pub prefetch_hits: u64,
+    /// Delta pages a live ingest source sealed and appended since the last
+    /// epoch (0 for static sources).
+    pub delta_appends: u64,
+    /// Live-source compaction passes run since the last epoch.
+    pub compactions: u64,
 }
 
 /// Why a stream stopped producing epochs.
@@ -729,6 +734,8 @@ impl Session {
             ooc_faults_seen: 0,
             ooc_io_seen: 0,
             ooc_prefetch_hits_seen: 0,
+            ooc_appends_seen: 0,
+            ooc_compactions_seen: 0,
             memory_budget: self.memory_budget,
             spill_dir: self.spill_dir,
             layout_file: self.layout_file,
@@ -783,6 +790,11 @@ pub struct EpochStream {
     ooc_faults_seen: u64,
     ooc_io_seen: u64,
     ooc_prefetch_hits_seen: u64,
+    /// Watermarks over the *monotone* shared ingest counters (they ride
+    /// across adopted snapshots, unlike the per-cache counters above, so
+    /// these only ever move forward).
+    ooc_appends_seen: u64,
+    ooc_compactions_seen: u64,
     /// Carried so replans re-resolve the residency arm by the same rules
     /// as stream start (a replan must not silently drop the budget).
     memory_budget: Option<usize>,
@@ -897,6 +909,45 @@ impl EpochStream {
         self.step = base_step(&self.task, &self.plan, &self.config) * decay.powi(self.epoch as i32);
     }
 
+    /// The task being executed (current data snapshot included) — what an
+    /// online replan controller prices candidate plans against.
+    pub fn task(&self) -> &AnalyticsTask {
+        &self.task
+    }
+
+    /// Adopt a fresh data snapshot mid-run — the streaming-ingest half of a
+    /// plan switch — **without losing the model**.
+    ///
+    /// The snapshot must keep the model dimension (labels/costs grow with
+    /// the rows; `d` is fixed).  The replica average carries over; then
+    /// everything data-dependent re-derives by pushing the current plan
+    /// back through [`replan`](Self::replan): residency re-resolves for the
+    /// snapshot's paged source, its layouts materialize (prefetcher
+    /// overlapped), the replica set / dealing / simulator constants / step
+    /// schedule rebuild.  Epochs only ever pick up fresh rows at this
+    /// boundary, so convergence traces stay deterministic given an arrival
+    /// schedule.
+    pub fn adopt_data(&mut self, data: TaskData) {
+        assert_eq!(
+            data.dim(),
+            self.task.dim(),
+            "adopted data snapshot must keep the model dimension"
+        );
+        self.task.data = Arc::new(data);
+        let plan = self.plan.clone();
+        self.replan(plan);
+        // Steady state holds the layouts alone, as at stream start.
+        self.task.data.matrix.release_pages();
+        // The snapshot owns a fresh page cache: restart the per-epoch
+        // fault/IO delta accounting so the next event charges the
+        // adoption's materialization IO (exactly like epoch 1 after a cold
+        // start).  The shared ingest counters are monotone across
+        // snapshots, so their watermarks stand.
+        self.ooc_faults_seen = 0;
+        self.ooc_io_seen = 0;
+        self.ooc_prefetch_hits_seen = 0;
+    }
+
     /// Drain the remaining epochs and produce the final report.
     pub fn run_to_end(mut self) -> RunReport {
         for _event in self.by_ref() {}
@@ -1001,6 +1052,12 @@ impl Iterator for EpochStream {
         self.ooc_faults_seen = ooc.faults;
         self.ooc_io_seen = ooc.io_bytes;
         self.ooc_prefetch_hits_seen = ooc.prefetch_hits;
+        // Ingest counters are shared and monotone across adopted snapshots;
+        // saturate anyway so a snapshot without counters reads as zero.
+        let delta_appends = ooc.delta_appends.saturating_sub(self.ooc_appends_seen);
+        let compactions = ooc.compactions.saturating_sub(self.ooc_compactions_seen);
+        self.ooc_appends_seen = self.ooc_appends_seen.max(ooc.delta_appends);
+        self.ooc_compactions_seen = self.ooc_compactions_seen.max(ooc.compactions);
         let event = EpochEvent {
             epoch: self.epoch,
             loss,
@@ -1015,6 +1072,8 @@ impl Iterator for EpochStream {
             resident_bytes: self.task.data.matrix.resident_bytes(),
             io_wait: self.sim.io_wait_seconds,
             prefetch_hits,
+            delta_appends,
+            compactions,
         };
         for observer in &mut self.observers {
             observer(&event);

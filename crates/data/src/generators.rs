@@ -18,7 +18,7 @@
 //! for the layout it does not use.
 
 use dw_matrix::ooc::SpillWriter;
-use dw_matrix::CooMatrix;
+use dw_matrix::{CooMatrix, LiveSource};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -47,6 +47,16 @@ impl TripletSink for SpillWriter {
     fn push_entry(&mut self, row: usize, col: usize, value: f64) {
         self.push(row, col, value)
             .expect("generator spill write failed");
+    }
+}
+
+/// A [`LiveSource`] is fed through a shared reference (its interior lock
+/// serializes pushes), so the sink impl hangs off `&LiveSource` — the same
+/// generation loop that fills a COO builder or a spill file can feed a
+/// live ingest stream.
+impl TripletSink for &LiveSource {
+    fn push_entry(&mut self, row: usize, col: usize, value: f64) {
+        LiveSource::push(self, row, col, value).expect("generator live push failed");
     }
 }
 
@@ -149,6 +159,77 @@ pub fn sparse_classification_into(
         }
     }
     (labels, ground_truth)
+}
+
+/// SplitMix64: the per-row / per-column hash the streamed generator derives
+/// independent deterministic values from.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The planted ±1 separator weight of column `col`, shared by every
+/// streamed row of a given `seed`.
+pub fn streamed_ground_truth(seed: u64, col: usize) -> f64 {
+    if splitmix64(seed ^ (col as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) & 1 == 0 {
+        1.0
+    } else {
+        -1.0
+    }
+}
+
+/// One deterministic, **row-addressable** sparse classification row for
+/// streaming arrival schedules: row `row` of the virtual instance is the
+/// same `(col, value)` list (ascending columns) and label whether it is
+/// generated up front or appended mid-run — an arrival schedule changes
+/// *when* rows arrive, never *what* arrives.  Labels come noiselessly from
+/// the planted [`streamed_ground_truth`] separator.  Callers may vary
+/// `nnz_per_row` across row ranges to script statistics drift.
+pub fn streamed_row(
+    cols: usize,
+    nnz_per_row: usize,
+    seed: u64,
+    row: usize,
+) -> (Vec<(usize, f64)>, f64) {
+    assert!(cols > 0 && nnz_per_row > 0);
+    let mut rng = StdRng::seed_from_u64(splitmix64(seed ^ (((row as u64) << 1) | 1)));
+    let target_nnz = nnz_per_row.min(cols);
+    let mut cols_set = std::collections::BTreeMap::new();
+    while cols_set.len() < target_nnz {
+        let col = rng.random_range(0..cols);
+        let value = 0.5 + rng.random::<f64>();
+        cols_set.entry(col).or_insert(value);
+    }
+    let margin: f64 = cols_set
+        .iter()
+        .map(|(&j, &v)| v * streamed_ground_truth(seed, j))
+        .sum();
+    let label = if margin >= 0.0 { 1.0 } else { -1.0 };
+    (cols_set.into_iter().collect(), label)
+}
+
+/// Emit rows `rows.start..rows.end` of the streamed instance into any
+/// [`TripletSink`] (the COO builder, a [`SpillWriter`], or a live ingest
+/// source), returning their labels.  Splitting the range across calls —
+/// against the same or different sinks — produces bit-identical data.
+pub fn streamed_rows_into(
+    cols: usize,
+    nnz_per_row: usize,
+    seed: u64,
+    rows: std::ops::Range<usize>,
+    sink: &mut impl TripletSink,
+) -> Vec<f64> {
+    let mut labels = Vec::with_capacity(rows.len());
+    for row in rows {
+        let (entries, label) = streamed_row(cols, nnz_per_row, seed, row);
+        for (col, value) in entries {
+            sink.push_entry(row, col, value);
+        }
+        labels.push(label);
+    }
+    labels
 }
 
 /// Generate a dense regression/classification dataset (Music/Forest-like).

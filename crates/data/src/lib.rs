@@ -32,7 +32,7 @@ pub mod spec;
 pub mod subsample;
 
 pub use datasets::{Dataset, TaskHint};
-pub use generators::TripletSink;
+pub use generators::{streamed_ground_truth, streamed_row, streamed_rows_into, TripletSink};
 pub use spec::{DatasetSpec, PaperDataset};
 
 #[cfg(test)]

@@ -373,12 +373,32 @@ impl DataMatrix {
     /// through the cache, so the whole source never needs to be resident —
     /// this is the larger-than-DRAM entry point of Appendix C.3.
     pub fn from_source(source: Arc<dyn MatrixSource>, cache_budget_bytes: usize) -> Self {
+        Self::from_source_with(source, cache_budget_bytes, None, None)
+    }
+
+    /// [`from_source`](Self::from_source) with streaming-ingest extras: a
+    /// pre-computed [`MatrixStats`] (a live source maintains them
+    /// incrementally, so the snapshot need not re-stream every page just to
+    /// count non-zeros) and shared [`ooc::IngestCounters`] surfaced through
+    /// [`ooc_stats`](Self::ooc_stats).
+    pub fn from_source_with(
+        source: Arc<dyn MatrixSource>,
+        cache_budget_bytes: usize,
+        stats: Option<MatrixStats>,
+        ingest: Option<Arc<ooc::IngestCounters>>,
+    ) -> Self {
         let shape = source.shape();
         let m = Self::from_parts(shape, None, None);
-        let _ = m
-            .inner
-            .paged
-            .set(PagedSource::new(source, cache_budget_bytes));
+        let mut paged = PagedSource::new(source, cache_budget_bytes);
+        if let Some(counters) = ingest {
+            paged = paged.with_ingest(counters);
+        }
+        let _ = m.inner.paged.set(paged);
+        if let Some(stats) = stats {
+            debug_assert_eq!(stats.rows, shape.rows);
+            debug_assert_eq!(stats.cols, shape.cols);
+            let _ = m.inner.stats.set(stats);
+        }
         m
     }
 
@@ -1144,7 +1164,7 @@ impl DataMatrix {
     /// resident matrices): faults, IO bytes, resident and peak-resident
     /// page bytes.
     pub fn ooc_stats(&self) -> Option<ooc::CacheStats> {
-        self.inner.paged.get().map(|p| p.cache().stats())
+        self.inner.paged.get().map(|p| p.stats())
     }
 
     /// The resident-byte budget of the out-of-core page cache.

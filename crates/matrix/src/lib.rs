@@ -33,6 +33,11 @@
 //!   bounds resident page bytes with pin/unpin + LRU eviction so layouts
 //!   materialize by streaming without the whole source resident (the
 //!   larger-than-DRAM ClueWeb scenario of Appendix C.3),
+//! * [`live`] — streaming ingest over the same page format: [`LiveSource`]
+//!   seals pushed triplets into appended delta pages at epoch boundaries,
+//!   hands epochs frozen [`SnapshotSource`] page sets, maintains
+//!   [`MatrixStats`] incrementally, and compacts LSM-style off the hot
+//!   path,
 //! * [`DenseRows`] — dense row-major storage served through [`RowAccess`]
 //!   (8 bytes per element plus one shared index arange — the planner's
 //!   Dense layout arm for Music/Forest-shaped matrices).
@@ -44,6 +49,7 @@ pub mod data_matrix;
 pub mod dense;
 pub mod encoding;
 pub mod kernels;
+pub mod live;
 pub mod ooc;
 pub mod persist;
 pub mod stats;
@@ -62,9 +68,10 @@ pub use kernels::{
     dot_encoded_with, dot_indexed, dot_indexed_wide, dot_indexed_with, IndexEncoding,
     KernelSelector, KernelVariant,
 };
+pub use live::{LiveSource, SnapshotSource};
 pub use ooc::{
-    FileBackedSource, InMemorySource, MatrixSource, PageCache, PageMeta, PagedSource, Prefetcher,
-    SpillWriter, TempSpillDir,
+    FileBackedSource, InMemorySource, IngestCounters, MatrixSource, PageCache, PageMeta,
+    PagedSource, Prefetcher, SpillWriter, TempSpillDir, ENTRY_BYTES,
 };
 pub use persist::PersistedLayouts;
 pub use stats::MatrixStats;

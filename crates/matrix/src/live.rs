@@ -1,0 +1,583 @@
+//! Live (streaming-ingest) paged sources over the on-disk page format.
+//!
+//! The paper's engine is batch: the optimizer reads [`MatrixStats`] once and
+//! the data matrix never changes.  The ROADMAP's north star is a server
+//! under live traffic, where rows keep arriving while epochs run.  This
+//! module turns the append-friendly page format of [`crate::ooc`] into an
+//! online source:
+//!
+//! * [`LiveSource`] — a writer that buffers pushed triplets and, at epoch
+//!   boundaries, **seals** them into row-disjoint delta pages appended to
+//!   the backing file.  A seal writes the page payloads into the region the
+//!   stale manifest occupied, rewrites the manifest, and writes the footer
+//!   *last*, so the file is a valid spill file after every seal and an
+//!   independently opened [`FileBackedSource`] picks the new pages up with
+//!   one cheap [`FileBackedSource::refresh`] call.
+//! * [`SnapshotSource`] — a frozen page-set view taken at a seal boundary.
+//!   Sealed page payloads are immutable, so a snapshot keeps serving its
+//!   page set bit-identically even while later seals grow the file or a
+//!   compaction swaps the base file out from under new snapshots — epochs
+//!   read a consistent page set, and the prefetcher keeps working because a
+//!   snapshot is just another [`MatrixSource`].
+//! * **Compaction** ([`LiveSource::compact`]) — LSM-style: merges all
+//!   sealed pages into a fresh base file off the hot path, bounding the
+//!   page count (read amplification) of future snapshots.  Merging is
+//!   per-page duplicate merging over row-disjoint pages, so everything
+//!   downstream of a compacted snapshot is bit-identical to the uncompacted
+//!   one.
+//! * **Incremental statistics** — every seal folds the new pages into a
+//!   [`MatrixStats`] via [`MatrixStats::absorb`], bit-equal to a
+//!   from-scratch recompute on the merged data, so a snapshot hands the
+//!   optimizer current stats without re-streaming the file.
+//!
+//! Concurrency contract: pushes, seals, and compactions are serialized by
+//! the internal lock, but the *ordering* between a seal and a dependent
+//! snapshot is the caller's (the session drives both at epoch boundaries).
+//! Readers of already-sealed pages are always safe — seals never rewrite
+//! sealed payload bytes.
+
+use crate::coo::merge_triplets;
+use crate::ooc::{
+    unique_spill_name, FileBackedSource, IngestCounters, MatrixSource, PageCutter, PageMeta,
+    SpillWriter, DEFAULT_PAGE_BYTES, ENTRY_BYTES, PAGE_ALIGN,
+};
+use crate::stats::MatrixStats;
+use crate::{DataMatrix, Entry, Shape};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+/// Everything the ingest lock protects: the current base-file generation,
+/// its manifest, and the not-yet-sealed triplets.
+#[derive(Debug)]
+struct LiveState {
+    /// Reader over the current base file; shared with every snapshot taken
+    /// from this generation, so the file outlives the generation swap.
+    reader: Arc<FileBackedSource>,
+    /// Separate append handle onto the same file.
+    writer: std::fs::File,
+    path: PathBuf,
+    /// Triplets pushed since the last seal.
+    pending: Vec<Entry>,
+    metas: Vec<PageMeta>,
+    /// Where the next sealed page's payload goes (== the current manifest
+    /// offset: appends overwrite the stale manifest region, never a page).
+    data_end: u64,
+    total_entries: usize,
+    /// Rows covered by sealed pages; sealed rows are immutable.
+    rows_sealed: usize,
+    /// Incrementally absorbed statistics over all sealed pages.
+    stats: MatrixStats,
+}
+
+/// A `TripletSink`-fed live source over the on-disk page format: push rows,
+/// [`seal`](Self::seal) at epoch boundaries, hand epochs frozen
+/// [`snapshot`](Self::snapshot)s, and [`compact`](Self::compact) off the
+/// hot path.  See the module docs for the full contract.
+#[derive(Debug)]
+pub struct LiveSource {
+    cols: usize,
+    page_bytes: usize,
+    state: Mutex<LiveState>,
+    counters: Arc<IngestCounters>,
+}
+
+impl LiveSource {
+    /// Create a live source backed by a fresh (empty, but valid) spill file
+    /// at `path`.  The caller owns the file; tests put it in a
+    /// [`crate::TempSpillDir`] so nothing leaks.
+    pub fn create(path: impl AsRef<Path>, cols: usize) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        // An empty SpillWriter run leaves a valid file: header (rows = 0),
+        // zero-page manifest, footer.
+        let reader = SpillWriter::create(&path, 0, cols)?.finish()?;
+        let writer = std::fs::OpenOptions::new().write(true).open(&path)?;
+        let data_end = reader.manifest_offset();
+        Ok(LiveSource {
+            cols,
+            page_bytes: DEFAULT_PAGE_BYTES,
+            state: Mutex::new(LiveState {
+                reader: Arc::new(reader),
+                writer,
+                path,
+                pending: Vec::new(),
+                metas: Vec::new(),
+                data_end,
+                total_entries: 0,
+                rows_sealed: 0,
+                stats: MatrixStats::empty(cols),
+            }),
+            counters: Arc::new(IngestCounters::default()),
+        })
+    }
+
+    /// Override the target payload size of sealed pages (clamped to one
+    /// triplet).
+    pub fn with_page_bytes(mut self, page_bytes: usize) -> Self {
+        self.page_bytes = page_bytes.max(ENTRY_BYTES);
+        self
+    }
+
+    /// Model dimension `d`.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Rows covered by sealed pages (what a snapshot taken now would have).
+    pub fn rows(&self) -> usize {
+        self.state
+            .lock()
+            .expect("live source lock poisoned")
+            .rows_sealed
+    }
+
+    /// Sealed pages in the current manifest.
+    pub fn page_count(&self) -> usize {
+        self.state
+            .lock()
+            .expect("live source lock poisoned")
+            .metas
+            .len()
+    }
+
+    /// Triplets pushed but not yet sealed.
+    pub fn pending_entries(&self) -> usize {
+        self.state
+            .lock()
+            .expect("live source lock poisoned")
+            .pending
+            .len()
+    }
+
+    /// The shared append/compaction counters (what snapshots surface
+    /// through their cache stats).
+    pub fn counters(&self) -> Arc<IngestCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// Incrementally maintained statistics over all sealed pages —
+    /// bit-equal to a from-scratch recompute on the merged data.
+    pub fn stats(&self) -> MatrixStats {
+        self.state
+            .lock()
+            .expect("live source lock poisoned")
+            .stats
+            .clone()
+    }
+
+    /// Append one triplet to the pending (unsealed) buffer.  Rows must be
+    /// non-decreasing across the whole stream: sealed rows are immutable,
+    /// and a row never spans a seal boundary.
+    pub fn push(&self, row: usize, col: usize, value: f64) -> io::Result<()> {
+        let mut state = self.state.lock().expect("live source lock poisoned");
+        if col >= self.cols {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("column {col} outside live matrix width {}", self.cols),
+            ));
+        }
+        if row > u32::MAX as usize {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("row {row} exceeds the triplet row range"),
+            ));
+        }
+        let floor = state
+            .pending
+            .last()
+            .map(|e| e.row as usize)
+            .unwrap_or(state.rows_sealed);
+        if row < floor {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("live rows must be non-decreasing (got row {row} after {floor})"),
+            ));
+        }
+        state.pending.push(Entry {
+            row: row as u32,
+            col: col as u32,
+            value,
+        });
+        Ok(())
+    }
+
+    /// Seal the pending triplets into row-disjoint delta pages appended to
+    /// the backing file; returns how many pages were appended (0 when
+    /// nothing is pending).
+    ///
+    /// Page boundaries follow the same [`PageCutter`] rule as every other
+    /// source builder, the last pending row's page is force-cut (so the next
+    /// seal starts a fresh row range), the manifest is rewritten after the
+    /// payloads land, the footer goes last, and the header row count is
+    /// patched — after which the new statistics are absorbed and the shared
+    /// reader refreshes its manifest cache.
+    pub fn seal(&self) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("live source lock poisoned");
+        if state.pending.is_empty() {
+            return Ok(0);
+        }
+        let pending = std::mem::take(&mut state.pending);
+        let new_rows = pending.last().expect("pending is non-empty").row as usize + 1;
+
+        // Cut the batch into row-disjoint segments with the shared rule.
+        let mut cutter = PageCutter::new(self.page_bytes);
+        let mut segments: Vec<(usize, usize, usize)> = Vec::new();
+        let mut seg_start = 0usize;
+        for (i, e) in pending.iter().enumerate() {
+            let row = e.row as usize;
+            if let Some(row_end) = cutter.cut_before(row) {
+                segments.push((seg_start, i, row_end));
+                seg_start = i;
+                cutter.flushed();
+            }
+            cutter.accept(row);
+        }
+        segments.push((seg_start, pending.len(), new_rows));
+
+        // Page payloads land where the stale manifest was; sealed pages are
+        // never rewritten, so concurrent readers of old pages are safe.
+        let mut new_metas = Vec::with_capacity(segments.len());
+        let mut body = Vec::new();
+        let mut offset = state.data_end;
+        let mut row_start = state.rows_sealed;
+        for &(s, e, row_end) in &segments {
+            let chunk = &pending[s..e];
+            let before = body.len();
+            for entry in chunk {
+                body.extend_from_slice(&entry.row.to_le_bytes());
+                body.extend_from_slice(&entry.col.to_le_bytes());
+                body.extend_from_slice(&entry.value.to_bits().to_le_bytes());
+            }
+            let payload = (body.len() - before) as u64;
+            let padded = payload.div_ceil(PAGE_ALIGN) * PAGE_ALIGN;
+            body.resize(before + padded as usize, 0);
+            new_metas.push(PageMeta {
+                offset,
+                entries: chunk.len(),
+                row_start,
+                row_end,
+            });
+            offset += padded;
+            row_start = row_end;
+        }
+        let manifest_offset = offset;
+        for meta in state.metas.iter().chain(new_metas.iter()) {
+            body.extend_from_slice(&meta.offset.to_le_bytes());
+            body.extend_from_slice(&(meta.entries as u64).to_le_bytes());
+            body.extend_from_slice(&(meta.row_start as u64).to_le_bytes());
+            body.extend_from_slice(&(meta.row_end as u64).to_le_bytes());
+        }
+        let body_offset = state.data_end;
+        state.writer.seek(SeekFrom::Start(body_offset))?;
+        state.writer.write_all(&body)?;
+        // Footer last: the file is a valid spill file before and after this
+        // write, so an external reader's `refresh` never sees a torn
+        // manifest.
+        let total_entries = state.total_entries + pending.len();
+        let mut footer = Vec::with_capacity(32);
+        footer.extend_from_slice(&(total_entries as u64).to_le_bytes());
+        footer.extend_from_slice(&((state.metas.len() + new_metas.len()) as u64).to_le_bytes());
+        footer.extend_from_slice(&manifest_offset.to_le_bytes());
+        footer.extend_from_slice(b"DWFOOT01");
+        state.writer.write_all(&footer)?;
+        state.writer.seek(SeekFrom::Start(8))?;
+        state.writer.write_all(&(new_rows as u64).to_le_bytes())?;
+        state.writer.flush()?;
+
+        // Fold the sealed pages into the incremental statistics.
+        for (meta, &(s, e, _)) in new_metas.iter().zip(&segments) {
+            state
+                .stats
+                .absorb(&pending[s..e], meta.row_start, meta.row_end);
+        }
+        let appended = new_metas.len();
+        state.metas.extend(new_metas);
+        state.total_entries = total_entries;
+        state.rows_sealed = new_rows;
+        state.data_end = manifest_offset;
+        state.reader.refresh()?;
+        self.counters
+            .delta_appends
+            .fetch_add(appended as u64, Ordering::Relaxed);
+        Ok(appended)
+    }
+
+    /// A frozen, consistent page-set view of everything sealed so far.
+    /// Later seals and compactions never perturb it: sealed payloads are
+    /// immutable and the snapshot keeps the backing file alive through its
+    /// `Arc`.
+    pub fn snapshot(&self) -> SnapshotSource {
+        let state = self.state.lock().expect("live source lock poisoned");
+        SnapshotSource {
+            file: Arc::clone(&state.reader),
+            metas: state.metas.clone(),
+            shape: Shape::new(state.rows_sealed, self.cols),
+            total_entries: state.total_entries,
+        }
+    }
+
+    /// A [`DataMatrix`] over a fresh [`snapshot`](Self::snapshot), with the
+    /// incrementally maintained statistics pre-seeded (no re-streaming just
+    /// to count non-zeros) and the shared ingest counters attached.
+    pub fn snapshot_matrix(&self, cache_budget_bytes: usize) -> DataMatrix {
+        let stats = self.stats();
+        DataMatrix::from_source_with(
+            Arc::new(self.snapshot()),
+            cache_budget_bytes,
+            Some(stats),
+            Some(Arc::clone(&self.counters)),
+        )
+    }
+
+    /// LSM-style compaction: merge every sealed page into a fresh base file
+    /// next to the current one, bounding the page count (and so the read
+    /// amplification) of future snapshots.  Returns how many pages were
+    /// merged away.
+    ///
+    /// Existing snapshots keep reading the old generation (their `Arc`
+    /// keeps it alive; compacted generations delete their file when the
+    /// last reference drops).  Duplicate `(row, col)` keys always live in
+    /// one page, so the per-page merge is idempotent and every layout built
+    /// from a compacted snapshot is bit-identical to the uncompacted one.
+    pub fn compact(&self) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("live source lock poisoned");
+        if state.metas.len() <= 1 {
+            return Ok(0);
+        }
+        let dir = state
+            .path
+            .parent()
+            .map(Path::to_path_buf)
+            .unwrap_or_default();
+        let new_path = dir.join(unique_spill_name("dw-live-base"));
+        let mut writer = SpillWriter::create(&new_path, state.rows_sealed, self.cols)?
+            .with_page_bytes(self.page_bytes);
+        let mut page = Vec::new();
+        let mut merged: Vec<(usize, usize, f64)> = Vec::new();
+        for meta in &state.metas {
+            state.reader.read_page_at(meta, &mut page)?;
+            merged.clear();
+            merge_triplets(&page, false, |r, c, v| merged.push((r, c, v)));
+            for &(r, c, v) in &merged {
+                writer.push(r, c, v)?;
+            }
+        }
+        let new_reader = writer.finish()?.delete_on_drop();
+        let new_writer = std::fs::OpenOptions::new().write(true).open(&new_path)?;
+        let old_pages = state.metas.len();
+        state.metas = new_reader.manifest();
+        state.total_entries = new_reader.total_entries();
+        state.data_end = new_reader.manifest_offset();
+        state.reader = Arc::new(new_reader);
+        state.writer = new_writer;
+        state.path = new_path;
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(old_pages.saturating_sub(state.metas.len()))
+    }
+}
+
+/// A frozen page-set view of a [`LiveSource`] at a seal boundary — the unit
+/// an epoch (and its prefetcher) reads.  Just another [`MatrixSource`]:
+/// page payloads are immutable, the manifest copy is private to the
+/// snapshot, and the `Arc` keeps the backing file generation alive.
+#[derive(Debug)]
+pub struct SnapshotSource {
+    file: Arc<FileBackedSource>,
+    metas: Vec<PageMeta>,
+    shape: Shape,
+    total_entries: usize,
+}
+
+impl MatrixSource for SnapshotSource {
+    fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    fn page_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    fn page_meta(&self, page: usize) -> PageMeta {
+        self.metas[page]
+    }
+
+    fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    fn read_page(&self, page: usize, out: &mut Vec<Entry>) -> io::Result<()> {
+        self.file.read_page_at(&self.metas[page], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooc::{PagedSource, TempSpillDir};
+    use crate::CooMatrix;
+
+    fn merged_stream(source: Arc<dyn MatrixSource>) -> Vec<(usize, usize, u64)> {
+        let paged = PagedSource::new(Arc::clone(&source), usize::MAX);
+        let rows = source.shape().rows;
+        let mut out = Vec::new();
+        paged
+            .stream_rows(0, rows, |r, c, v| out.push((r, c, v.to_bits())))
+            .unwrap();
+        out
+    }
+
+    #[test]
+    fn seal_appends_pages_an_external_reader_refreshes_into() {
+        let dir = TempSpillDir::new("live-refresh").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 5)
+            .unwrap()
+            .with_page_bytes(2 * ENTRY_BYTES);
+        for row in 0..4 {
+            live.push(row, row % 5, 1.0 + row as f64).unwrap();
+        }
+        assert_eq!(live.seal().unwrap(), 2);
+        let external = FileBackedSource::open(dir.file("live.dwpg")).unwrap();
+        assert_eq!(external.shape(), Shape::new(4, 5));
+        assert_eq!(external.page_count(), 2);
+        // No appends since open: refresh is a cheap no-op.
+        assert!(!external.refresh().unwrap());
+        assert_eq!(external.generation(), 0);
+
+        for row in 4..9 {
+            live.push(row, (row * 2) % 5, -1.0).unwrap();
+        }
+        assert_eq!(live.seal().unwrap(), 3);
+        assert!(external.refresh().unwrap());
+        assert_eq!(external.generation(), 1);
+        assert_eq!(external.shape(), Shape::new(9, 5));
+        assert_eq!(external.page_count(), 5);
+        assert!(!external.refresh().unwrap());
+        assert_eq!(external.generation(), 1);
+
+        // The refreshed external reader serves the same merged stream as a
+        // snapshot of the live writer.
+        assert_eq!(
+            merged_stream(Arc::new(external)),
+            merged_stream(Arc::new(live.snapshot()))
+        );
+    }
+
+    #[test]
+    fn snapshots_are_frozen_across_later_seals_and_compactions() {
+        let dir = TempSpillDir::new("live-snapshot").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 4)
+            .unwrap()
+            .with_page_bytes(ENTRY_BYTES);
+        for row in 0..3 {
+            live.push(row, row % 4, 0.5).unwrap();
+        }
+        live.seal().unwrap();
+        let early = live.snapshot();
+        let early_stream = merged_stream(Arc::new(live.snapshot()));
+        assert_eq!(early.shape(), Shape::new(3, 4));
+
+        for row in 3..8 {
+            live.push(row, row % 4, 2.0).unwrap();
+        }
+        live.seal().unwrap();
+        live.compact().unwrap();
+
+        // The pre-drift snapshot still serves exactly its page set, even
+        // though the live source swapped generations underneath it.
+        assert_eq!(early.shape(), Shape::new(3, 4));
+        assert_eq!(early.page_count(), 3);
+        assert_eq!(merged_stream(Arc::new(early)), early_stream);
+        assert_eq!(live.snapshot().shape(), Shape::new(8, 4));
+    }
+
+    #[test]
+    fn compaction_bounds_pages_and_is_bit_transparent() {
+        let dir = TempSpillDir::new("live-compact").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 6)
+            .unwrap()
+            .with_page_bytes(10 * ENTRY_BYTES);
+        // Many tiny seals (each force-cuts a sub-target delta page), with
+        // duplicate keys and a cancelling pair inside single rows to
+        // exercise the merge.
+        let mut coo = CooMatrix::new(10, 6);
+        let mut push = |row: usize, col: usize, v: f64| {
+            live.push(row, col, v).unwrap();
+            coo.push(row, col, v).unwrap();
+        };
+        for row in 0..10 {
+            push(row, row % 6, 1.0);
+            push(row, row % 6, 2.0);
+            push(row, (row + 1) % 6, 3.0);
+            push(row, (row + 2) % 6, -3.0);
+            push(row, (row + 2) % 6, 3.0);
+            live.seal().unwrap();
+        }
+        let before = live.page_count();
+        let uncompacted = merged_stream(Arc::new(live.snapshot()));
+        let reclaimed = live.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert!(live.page_count() < before);
+        assert_eq!(merged_stream(Arc::new(live.snapshot())), uncompacted);
+        assert_eq!(live.counters().compactions.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            live.counters().delta_appends.load(Ordering::Relaxed),
+            before as u64
+        );
+        // Stats are untouched by compaction and still bit-match a
+        // from-scratch recompute on the merged data.
+        assert_eq!(live.stats(), MatrixStats::from_coo(&coo));
+        // Compacting a compacted source is a no-op... unless more arrives.
+        live.push(10, 0, 1.0).unwrap();
+        live.seal().unwrap();
+        assert_eq!(live.rows(), 11);
+    }
+
+    #[test]
+    fn incremental_stats_bit_match_from_coo_across_seals() {
+        let dir = TempSpillDir::new("live-stats").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 7)
+            .unwrap()
+            .with_page_bytes(3 * ENTRY_BYTES);
+        let mut coo = CooMatrix::new(12, 7);
+        for row in 0..12 {
+            for k in 0..(row % 4) {
+                live.push(row, (row + k) % 7, 0.25 * k as f64).unwrap();
+                coo.push(row, (row + k) % 7, 0.25 * k as f64).unwrap();
+            }
+            if row % 3 == 2 {
+                live.seal().unwrap();
+            }
+        }
+        live.seal().unwrap();
+        let live_stats = live.stats();
+        let full = MatrixStats::from_coo(&coo);
+        assert_eq!(live_stats.nnz_sq_sum.to_bits(), full.nnz_sq_sum.to_bits());
+        assert_eq!(live_stats.density.to_bits(), full.density.to_bits());
+        assert_eq!(live_stats, full);
+    }
+
+    #[test]
+    fn push_rejects_out_of_order_and_out_of_bounds() {
+        let dir = TempSpillDir::new("live-push").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 3).unwrap();
+        live.push(2, 1, 1.0).unwrap();
+        assert!(live.push(1, 0, 1.0).is_err());
+        assert!(live.push(2, 3, 1.0).is_err());
+        live.seal().unwrap();
+        // Sealed rows are immutable: the next batch must start at or after
+        // the sealed row frontier.
+        assert!(live.push(1, 0, 1.0).is_err());
+        live.push(3, 2, 1.0).unwrap();
+    }
+
+    #[test]
+    fn empty_seal_and_compact_are_noops() {
+        let dir = TempSpillDir::new("live-empty").unwrap();
+        let live = LiveSource::create(dir.file("live.dwpg"), 3).unwrap();
+        assert_eq!(live.seal().unwrap(), 0);
+        assert_eq!(live.compact().unwrap(), 0);
+        assert_eq!(live.rows(), 0);
+        assert_eq!(live.stats(), MatrixStats::empty(3));
+    }
+}

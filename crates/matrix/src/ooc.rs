@@ -50,7 +50,7 @@ use std::collections::HashMap;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// Bytes of one serialized triplet (`u32` row + `u32` col + `f64` bits).
 pub const ENTRY_BYTES: usize = 16;
@@ -176,14 +176,14 @@ impl InMemorySource {
 /// rule keeps [`InMemorySource`] and [`SpillWriter`] cutting identical page
 /// boundaries — the bit-parity tests between the two depend on it.
 #[derive(Debug)]
-struct PageCutter {
+pub(crate) struct PageCutter {
     page_bytes: usize,
     buffered_entries: usize,
     last_row: usize,
 }
 
 impl PageCutter {
-    fn new(page_bytes: usize) -> Self {
+    pub(crate) fn new(page_bytes: usize) -> Self {
         PageCutter {
             page_bytes: page_bytes.max(ENTRY_BYTES),
             buffered_entries: 0,
@@ -192,13 +192,13 @@ impl PageCutter {
     }
 
     /// The last row accepted so far (0 before any entry).
-    fn last_row(&self) -> usize {
+    pub(crate) fn last_row(&self) -> usize {
         self.last_row
     }
 
     /// Whether a page must be cut *before* accepting an entry of `row`;
     /// returns the cut page's exclusive row end.
-    fn cut_before(&self, row: usize) -> Option<usize> {
+    pub(crate) fn cut_before(&self, row: usize) -> Option<usize> {
         if row > self.last_row
             && self.buffered_entries > 0
             && self.buffered_entries * ENTRY_BYTES >= self.page_bytes
@@ -210,13 +210,13 @@ impl PageCutter {
     }
 
     /// Record an accepted entry.
-    fn accept(&mut self, row: usize) {
+    pub(crate) fn accept(&mut self, row: usize) {
         self.buffered_entries += 1;
         self.last_row = row;
     }
 
     /// Reset the buffer accounting after a page was cut.
-    fn flushed(&mut self) {
+    pub(crate) fn flushed(&mut self) {
         self.buffered_entries = 0;
     }
 }
@@ -427,23 +427,43 @@ impl SpillWriter {
         Ok(FileBackedSource {
             path: self.path,
             file: Mutex::new(file),
-            shape: self.shape,
-            metas: self.metas,
-            total_entries: self.total_entries,
+            state: RwLock::new(ManifestState {
+                shape: self.shape,
+                metas: self.metas,
+                total_entries: self.total_entries,
+                manifest_offset,
+                generation: 0,
+            }),
             delete_on_drop: false,
         })
     }
 }
 
+/// The parsed footer manifest of a [`FileBackedSource`], cached so readers
+/// pay the footer parse once per file *generation* instead of assuming the
+/// file is immutable after open: a live writer appends delta pages and
+/// rewrites the manifest, and [`FileBackedSource::refresh`] re-reads it.
+#[derive(Debug)]
+struct ManifestState {
+    shape: Shape,
+    metas: Vec<PageMeta>,
+    total_entries: usize,
+    manifest_offset: u64,
+    generation: u64,
+}
+
 /// A matrix source whose triplet pages live in a file written by
 /// [`SpillWriter`]; only the manifest is resident.
+///
+/// The file is *append-only per page*: sealed page payloads are never
+/// rewritten, so a reader holding copies of [`PageMeta`] entries (a live
+/// snapshot) can keep serving them through [`FileBackedSource::read_page_at`]
+/// even after later appends grew the manifest.
 #[derive(Debug)]
 pub struct FileBackedSource {
     path: PathBuf,
     file: Mutex<std::fs::File>,
-    shape: Shape,
-    metas: Vec<PageMeta>,
-    total_entries: usize,
+    state: RwLock<ManifestState>,
     delete_on_drop: bool,
 }
 
@@ -452,6 +472,25 @@ impl FileBackedSource {
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let mut file = std::fs::File::open(&path)?;
+        let (rows, cols) = Self::read_header(&mut file)?;
+        let (total_entries, page_count, manifest_offset) = Self::read_footer(&mut file)?;
+        let metas = Self::read_manifest(&mut file, page_count, manifest_offset)?;
+        Ok(FileBackedSource {
+            path,
+            file: Mutex::new(file),
+            state: RwLock::new(ManifestState {
+                shape: Shape::new(rows, cols),
+                metas,
+                total_entries,
+                manifest_offset,
+                generation: 0,
+            }),
+            delete_on_drop: false,
+        })
+    }
+
+    fn read_header(file: &mut std::fs::File) -> io::Result<(usize, usize)> {
+        file.seek(SeekFrom::Start(0))?;
         let mut header = [0u8; 24];
         file.read_exact(&mut header)?;
         if &header[0..8] != HEADER_MAGIC {
@@ -462,6 +501,10 @@ impl FileBackedSource {
         }
         let rows = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
         let cols = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+        Ok((rows, cols))
+    }
+
+    fn read_footer(file: &mut std::fs::File) -> io::Result<(usize, usize, u64)> {
         file.seek(SeekFrom::End(-(FOOTER_BYTES as i64)))?;
         let mut footer = [0u8; FOOTER_BYTES as usize];
         file.read_exact(&mut footer)?;
@@ -474,10 +517,18 @@ impl FileBackedSource {
         let total_entries = u64::from_le_bytes(footer[0..8].try_into().unwrap()) as usize;
         let page_count = u64::from_le_bytes(footer[8..16].try_into().unwrap()) as usize;
         let manifest_offset = u64::from_le_bytes(footer[16..24].try_into().unwrap());
+        Ok((total_entries, page_count, manifest_offset))
+    }
+
+    fn read_manifest(
+        file: &mut std::fs::File,
+        page_count: usize,
+        manifest_offset: u64,
+    ) -> io::Result<Vec<PageMeta>> {
         file.seek(SeekFrom::Start(manifest_offset))?;
         let mut manifest = vec![0u8; page_count * 32];
         file.read_exact(&mut manifest)?;
-        let metas = manifest
+        Ok(manifest
             .chunks_exact(32)
             .map(|c| PageMeta {
                 offset: u64::from_le_bytes(c[0..8].try_into().unwrap()),
@@ -485,15 +536,54 @@ impl FileBackedSource {
                 row_start: u64::from_le_bytes(c[16..24].try_into().unwrap()) as usize,
                 row_end: u64::from_le_bytes(c[24..32].try_into().unwrap()) as usize,
             })
-            .collect();
-        Ok(FileBackedSource {
-            path,
-            file: Mutex::new(file),
-            shape: Shape::new(rows, cols),
-            metas,
-            total_entries,
-            delete_on_drop: false,
-        })
+            .collect())
+    }
+
+    /// Re-read the footer manifest if a writer appended pages since the
+    /// manifest was last parsed; returns whether anything changed.
+    ///
+    /// The unchanged path costs a single 32-byte footer read (a live seal
+    /// rewrites the footer *last*, so an unchanged manifest offset + page
+    /// count means the cached parse is still current).  When the file grew,
+    /// the manifest and the header row count are re-read and the generation
+    /// counter bumps.
+    pub fn refresh(&self) -> io::Result<bool> {
+        let mut file = self.file.lock().expect("spill file lock poisoned");
+        let (total_entries, page_count, manifest_offset) = Self::read_footer(&mut file)?;
+        {
+            let state = self.state.read().expect("manifest lock poisoned");
+            if state.manifest_offset == manifest_offset && state.metas.len() == page_count {
+                return Ok(false);
+            }
+        }
+        let (rows, cols) = Self::read_header(&mut file)?;
+        let metas = Self::read_manifest(&mut file, page_count, manifest_offset)?;
+        drop(file);
+        let mut state = self.state.write().expect("manifest lock poisoned");
+        state.shape = Shape::new(rows, cols);
+        state.metas = metas;
+        state.total_entries = total_entries;
+        state.manifest_offset = manifest_offset;
+        state.generation += 1;
+        Ok(true)
+    }
+
+    /// How many times [`refresh`](Self::refresh) observed an appended
+    /// manifest (0 right after open).
+    pub fn generation(&self) -> u64 {
+        self.state
+            .read()
+            .expect("manifest lock poisoned")
+            .generation
+    }
+
+    /// Byte offset where the current manifest starts — also where the next
+    /// appended page's payload goes.
+    pub fn manifest_offset(&self) -> u64 {
+        self.state
+            .read()
+            .expect("manifest lock poisoned")
+            .manifest_offset
     }
 
     /// Path of the backing file.
@@ -508,39 +598,20 @@ impl FileBackedSource {
         self
     }
 
-    /// The manifest, for one-pass statistics and diagnostics.
-    pub fn manifest(&self) -> &[PageMeta] {
-        &self.metas
-    }
-}
-
-impl Drop for FileBackedSource {
-    fn drop(&mut self) {
-        if self.delete_on_drop {
-            let _ = std::fs::remove_file(&self.path);
-        }
-    }
-}
-
-impl MatrixSource for FileBackedSource {
-    fn shape(&self) -> Shape {
-        self.shape
+    /// A copy of the current manifest, for one-pass statistics, diagnostics,
+    /// and live snapshots that must keep serving a frozen page set.
+    pub fn manifest(&self) -> Vec<PageMeta> {
+        self.state
+            .read()
+            .expect("manifest lock poisoned")
+            .metas
+            .clone()
     }
 
-    fn page_count(&self) -> usize {
-        self.metas.len()
-    }
-
-    fn page_meta(&self, page: usize) -> PageMeta {
-        self.metas[page]
-    }
-
-    fn total_entries(&self) -> usize {
-        self.total_entries
-    }
-
-    fn read_page(&self, page: usize, out: &mut Vec<Entry>) -> io::Result<()> {
-        let meta = self.metas[page];
+    /// Read the page a (possibly historical) manifest entry describes.
+    /// Sealed page payloads are immutable, so this stays valid even after
+    /// later appends replaced the entry's slot in the current manifest.
+    pub fn read_page_at(&self, meta: &PageMeta, out: &mut Vec<Entry>) -> io::Result<()> {
         let mut bytes = vec![0u8; meta.bytes()];
         {
             let mut file = self.file.lock().expect("spill file lock poisoned");
@@ -557,6 +628,44 @@ impl MatrixSource for FileBackedSource {
             });
         }
         Ok(())
+    }
+}
+
+impl Drop for FileBackedSource {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl MatrixSource for FileBackedSource {
+    fn shape(&self) -> Shape {
+        self.state.read().expect("manifest lock poisoned").shape
+    }
+
+    fn page_count(&self) -> usize {
+        self.state
+            .read()
+            .expect("manifest lock poisoned")
+            .metas
+            .len()
+    }
+
+    fn page_meta(&self, page: usize) -> PageMeta {
+        self.state.read().expect("manifest lock poisoned").metas[page]
+    }
+
+    fn total_entries(&self) -> usize {
+        self.state
+            .read()
+            .expect("manifest lock poisoned")
+            .total_entries
+    }
+
+    fn read_page(&self, page: usize, out: &mut Vec<Entry>) -> io::Result<()> {
+        let meta = self.page_meta(page);
+        self.read_page_at(&meta, out)
     }
 }
 
@@ -581,6 +690,26 @@ pub struct CacheStats {
     /// overlapped with compute instead of blocking a consumer (a subset of
     /// `hits`).
     pub prefetch_hits: u64,
+    /// Delta pages a live writer sealed and appended to the source (zero for
+    /// static sources; bumped through the [`IngestCounters`] a
+    /// [`PagedSource`] can carry).
+    pub delta_appends: u64,
+    /// Compaction passes that merged accumulated delta pages into a fresh
+    /// base file (also carried by [`IngestCounters`]).
+    pub compactions: u64,
+}
+
+/// Shared streaming-ingest counters: a live source bumps them as it seals
+/// delta pages and compacts, and every [`PagedSource`] snapshot holding the
+/// same `Arc` surfaces them merged into its [`CacheStats`] — so a session's
+/// per-epoch cache-delta accounting sees appends/compactions alongside
+/// faults even though each adopted snapshot owns a fresh cache.
+#[derive(Debug, Default)]
+pub struct IngestCounters {
+    /// Delta pages sealed+appended so far.
+    pub delta_appends: AtomicU64,
+    /// Compaction passes run so far.
+    pub compactions: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -981,6 +1110,7 @@ impl Drop for Prefetcher {
 pub struct PagedSource {
     source: Arc<dyn MatrixSource>,
     cache: Arc<PageCache>,
+    ingest: Option<Arc<IngestCounters>>,
 }
 
 impl PagedSource {
@@ -989,7 +1119,26 @@ impl PagedSource {
         PagedSource {
             source,
             cache: Arc::new(PageCache::new(cache_budget_bytes)),
+            ingest: None,
         }
+    }
+
+    /// Attach shared ingest counters; [`stats`](Self::stats) surfaces them
+    /// merged into the cache counters.
+    pub fn with_ingest(mut self, counters: Arc<IngestCounters>) -> Self {
+        self.ingest = Some(counters);
+        self
+    }
+
+    /// Cache counters, with the delta-append/compaction totals of any
+    /// attached [`IngestCounters`] merged in.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = self.cache.stats();
+        if let Some(counters) = &self.ingest {
+            stats.delta_appends = counters.delta_appends.load(Ordering::Relaxed);
+            stats.compactions = counters.compactions.load(Ordering::Relaxed);
+        }
+        stats
     }
 
     /// Shape of the underlying source.

@@ -11,7 +11,8 @@
 //! determines the row-vs-column crossover.  [`MatrixStats`] computes all of
 //! these quantities from a [`CsrMatrix`].
 
-use crate::{CooMatrix, CscMatrix, CsrMatrix};
+use crate::coo::merge_triplets;
+use crate::{CooMatrix, CscMatrix, CsrMatrix, Entry};
 
 /// Summary statistics of a data matrix relevant to access-method costs.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -103,6 +104,45 @@ impl MatrixStats {
             sparse_bytes: (rows + 1) * 4 + nnz * 4 + nnz * 8,
             dense_bytes: rows * cols * 8,
         }
+    }
+
+    /// Statistics of a matrix with `cols` columns and no rows yet — the
+    /// starting point for incremental [`absorb`](Self::absorb) accumulation
+    /// over a live page stream.
+    pub fn empty(cols: usize) -> Self {
+        Self::from_row_counts(0, cols, std::iter::empty())
+    }
+
+    /// Absorb one row-disjoint page of raw (unmerged) triplets covering rows
+    /// `row_start..row_end`, updating every statistic online.
+    ///
+    /// Duplicates and explicit zeros inside the page are merged exactly as
+    /// the COO→CSR conversion merges them, and a `(row, col)` duplicate
+    /// never spans pages (pages are row-disjoint), so after absorbing every
+    /// page of a source — in **any** arrival order — the result is
+    /// bit-identical to [`from_coo`](Self::from_coo) on the merged data:
+    /// the accumulators are integers or f64 sums of exact small integers
+    /// (each `nᵢ² < 2⁵³`), so no reassociation error is possible, and the
+    /// derived fields are pure functions of `(rows, cols, nnz, …)`.
+    pub fn absorb(&mut self, entries: &[Entry], row_start: usize, row_end: usize) {
+        debug_assert!(row_end >= row_start);
+        let mut counts = vec![0usize; row_end - row_start];
+        merge_triplets(entries, false, |r, _, _| counts[r - row_start] += 1);
+        for &n_i in &counts {
+            self.nnz += n_i;
+            self.nnz_sq_sum += (n_i as f64) * (n_i as f64);
+            self.max_row_nnz = self.max_row_nnz.max(n_i);
+        }
+        self.rows += row_end - row_start;
+        let cells = (self.rows * self.cols).max(1) as f64;
+        self.avg_row_nnz = if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz as f64 / self.rows as f64
+        };
+        self.density = self.nnz as f64 / cells;
+        self.sparse_bytes = (self.rows + 1) * 4 + self.nnz * 4 + self.nnz * 8;
+        self.dense_bytes = self.rows * self.cols * 8;
     }
 
     /// Whether the matrix should be treated as sparse for storage purposes.
@@ -261,6 +301,49 @@ mod tests {
                 coo.push(r, c, v).unwrap();
             }
             prop_assert_eq!(MatrixStats::from_coo(&coo), MatrixStats::from_csr(&coo.to_csr()));
+        }
+
+        #[test]
+        fn prop_absorb_any_page_arrival_order_bit_matches_from_coo(
+            entries in proptest::collection::vec((0usize..9, 0usize..7, -3.0f64..3.0), 0..60),
+            page_entries in 1usize..6,
+            order_seed in 0u64..1024,
+        ) {
+            use crate::ooc::{InMemorySource, MatrixSource, ENTRY_BYTES};
+            let mut coo = CooMatrix::new(9, 7);
+            for (r, c, v) in entries {
+                // Inject exact zeros and duplicates to exercise the merge.
+                let v = if v < -2.5 { 0.0 } else { v };
+                coo.push(r, c, v).unwrap();
+            }
+            let source = InMemorySource::from_coo(&coo, page_entries * ENTRY_BYTES);
+            // Deterministic Fisher–Yates: absorb pages in a shuffled order.
+            let mut pages: Vec<usize> = (0..source.page_count()).collect();
+            let mut state = order_seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            for i in (1..pages.len()).rev() {
+                state = state
+                    .wrapping_mul(6_364_136_223_846_793_005)
+                    .wrapping_add(1_442_695_040_888_963_407);
+                let j = (state >> 33) as usize % (i + 1);
+                pages.swap(i, j);
+            }
+            let mut inc = MatrixStats::empty(7);
+            let mut buf = Vec::new();
+            for p in pages {
+                let meta = source.page_meta(p);
+                source.read_page(p, &mut buf).unwrap();
+                inc.absorb(&buf, meta.row_start, meta.row_end);
+            }
+            if source.page_count() == 0 {
+                // No entries means no pages; the empty page still covers
+                // the full row range.
+                inc.absorb(&[], 0, 9);
+            }
+            let full = MatrixStats::from_coo(&coo);
+            prop_assert_eq!(inc.nnz_sq_sum.to_bits(), full.nnz_sq_sum.to_bits());
+            prop_assert_eq!(inc.density.to_bits(), full.density.to_bits());
+            prop_assert_eq!(inc.avg_row_nnz.to_bits(), full.avg_row_nnz.to_bits());
+            prop_assert_eq!(inc, full);
         }
 
         #[test]

@@ -172,3 +172,50 @@ fn frontend_serves_concurrent_tenants_with_batching() {
     frontend.shutdown();
     server.shutdown();
 }
+
+#[test]
+fn server_admits_a_live_fed_session() {
+    // Streaming ingest meets serving: a task whose matrix is a frozen
+    // snapshot of a `LiveSource` is admitted like any other tenant, trains
+    // to completion, and serves predictions — while the live source keeps
+    // accepting rows for the *next* snapshot behind it.
+    use dw_data::streamed_rows_into;
+    use dw_matrix::{LiveSource, TempSpillDir};
+    use dw_optim::TaskData;
+
+    let dir = TempSpillDir::new("dw-serve-live").unwrap();
+    let live = LiveSource::create(dir.file("live.dwp"), 48).unwrap();
+    let labels = streamed_rows_into(48, 3, 27, 0..150, &mut &live);
+    live.seal().unwrap();
+
+    let task = AnalyticsTask::new(
+        "live-tenant",
+        TaskData::supervised(live.snapshot_matrix(1 << 20), labels),
+        ModelKind::Svm,
+    );
+    let initial = task.initial_loss();
+    let server = Server::builder(machine()).pool_workers(4).build();
+    let session = server.admit(
+        SessionSpec::new("live-tenant", task)
+            .plan(percore_plan())
+            .epochs(5)
+            .seed(27),
+    );
+
+    // The admitted snapshot is frozen: rows arriving during training are
+    // invisible to it but queue up for the next adoption.
+    let (more_labels, _) = (
+        streamed_rows_into(48, 3, 27, 150..180, &mut &live),
+        live.seal().unwrap(),
+    );
+    assert_eq!(more_labels.len(), 30);
+    assert_eq!(live.rows(), 180);
+
+    let (trace, _) = session.wait();
+    assert_eq!(trace.epochs(), 5);
+    assert!(trace.best_loss() < initial, "the live-fed tenant trained");
+    let predictor = session.predictor();
+    let snapshot = predictor.snapshot().expect("model published");
+    assert!(snapshot.is_consistent());
+    server.shutdown();
+}
