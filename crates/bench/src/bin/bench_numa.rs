@@ -1,0 +1,312 @@
+//! Machine-readable NUMA-binding benchmark: what physically binding shard
+//! pages to their placed node (and pinning workers to that node's cores)
+//! buys — and, just as important, what it must never change.
+//!
+//! Writes `BENCH_numa.json` (override with `--out <path>`) containing
+//!
+//! * the host picture: detected node count, whether a real `mbind(2)`
+//!   binder is available (`numa` feature + multi-node Linux host), and the
+//!   bind report of a sharded session (extents submitted, bytes bound),
+//! * **trace parity**: FNV-1a hashes of the deterministic convergence
+//!   trace with the bind pass on vs off, per scheduler × simulated
+//!   topology — binding relocates pages, never data, so the hashes must be
+//!   bit-identical (the `trace_parity` flag the CI smoke run greps),
+//! * measured wall-clock epoch time of a threaded session with binding on
+//!   vs off, per scheduler × topology,
+//! * the modelled locality win (round-robin / locality-first simulated
+//!   epoch seconds) per topology.
+//!
+//! On a multi-node host with an active binder the run **asserts** the
+//! bind-on arm does not lose wall-clock to the bind-off arm (within noise)
+//! and records `single_node: 0`; on single-node hosts (every CI runner)
+//! the physical arms are identical no-ops, so it records `single_node: 1`
+//! and the combined `single_node_or_bind_wins` flag stays 1 either way.
+//!
+//! `--quick` drops sample counts for CI smoke runs; the JSON schema is
+//! identical.
+
+use dimmwitted::{
+    AccessMethod, AnalyticsTask, DataReplication, DimmWitted, EpochEvent, ExecutionMode,
+    ExecutionPlan, InterleavedExecutor, ItemScheduler, ModelKind, ModelReplication, RunConfig,
+};
+use dw_data::{Dataset, PaperDataset};
+use dw_numa::{MachineTopology, NodeBinder};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median nanoseconds per iteration of `payload` over `samples` timed runs
+/// (after one warm-up run).
+fn median_ns<O>(samples: usize, mut payload: impl FnMut() -> O) -> f64 {
+    black_box(payload());
+    let mut timings: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(payload());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    timings[timings.len() / 2]
+}
+
+struct Record {
+    group: &'static str,
+    name: String,
+    value: f64,
+    unit: &'static str,
+}
+
+struct TraceHashes {
+    config: String,
+    bind_on: u64,
+    bind_off: u64,
+}
+
+/// FNV-1a over the bit patterns of the convergence trace: epoch index,
+/// loss bits, steal count.  Any single-bit divergence between the bind-on
+/// and bind-off arms changes the hash.
+fn trace_hash(events: &[EpochEvent]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mut eat = |word: u64| {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(PRIME);
+        }
+    };
+    for event in events {
+        eat(event.epoch as u64);
+        eat(event.loss.to_bits());
+        eat(event.steals as u64);
+    }
+    hash
+}
+
+fn sharded_plan(machine: &MachineTopology, scheduler: ItemScheduler) -> ExecutionPlan {
+    ExecutionPlan::new(
+        machine,
+        AccessMethod::RowWise,
+        ModelReplication::PerNode,
+        DataReplication::Sharding,
+    )
+    .with_workers(4)
+    .with_scheduler(scheduler)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_numa.json")
+        .to_string();
+    let samples = if quick { 2 } else { 9 };
+    let epochs = if quick { 2 } else { 4 };
+    let mut records: Vec<Record> = Vec::new();
+    let mut traces: Vec<TraceHashes> = Vec::new();
+
+    let dataset = Dataset::generate(PaperDataset::Reuters, 1);
+    let task = AnalyticsTask::from_dataset(&dataset, ModelKind::Svm);
+
+    // --- The host picture. ---
+    let binder = NodeBinder::detect();
+    let single_node = !binder.is_active();
+    records.push(Record {
+        group: "host",
+        name: "host_nodes".to_string(),
+        value: binder.host_nodes() as f64,
+        unit: "nodes",
+    });
+    records.push(Record {
+        group: "host",
+        name: "binder_active".to_string(),
+        value: f64::from(u8::from(binder.is_active())),
+        unit: "flag",
+    });
+    records.push(Record {
+        group: "host",
+        name: "single_node".to_string(),
+        value: f64::from(u8::from(single_node)),
+        unit: "flag",
+    });
+
+    // Bind report of one sharded session on the *detected* topology: how
+    // many page extents the build submitted, and how many bytes a real
+    // binder moved (0 when inert — the recorded no-op).
+    let detected = MachineTopology::detect();
+    {
+        let stream = DimmWitted::on(detected.clone())
+            .task(task.clone())
+            .plan(sharded_plan(&detected, ItemScheduler::default()))
+            .config(RunConfig::quick(1))
+            .build()
+            .stream();
+        let report = stream.data_replicas().bind_report();
+        records.push(Record {
+            group: "host",
+            name: "bind_ranges".to_string(),
+            value: report.ranges as f64,
+            unit: "extents",
+        });
+        records.push(Record {
+            group: "host",
+            name: "bind_bytes".to_string(),
+            value: report.bytes as f64,
+            unit: "bytes",
+        });
+    }
+
+    // --- Bind-on/off sweep: scheduler × simulated topology. ---
+    let machines = [
+        ("detected", detected.clone()),
+        ("local2", MachineTopology::local2()),
+        ("local4", MachineTopology::local4()),
+    ];
+    let schedulers = [
+        ("round_robin", ItemScheduler::RoundRobin),
+        ("locality_first", ItemScheduler::default()),
+    ];
+    let mut parity = true;
+    let mut detected_wall = [0.0f64; 2]; // [bind_off, bind_on] for locality_first.
+    for (mname, machine) in &machines {
+        for (sname, scheduler) in schedulers {
+            let plan = sharded_plan(machine, scheduler);
+            let config = format!("{sname}/{mname}");
+
+            // Trace parity through the deterministic executor: same seed,
+            // same plan, only the bind pass toggled.
+            let run_deterministic = |bind: bool| -> Vec<EpochEvent> {
+                DimmWitted::on(machine.clone())
+                    .task(task.clone())
+                    .plan(plan.clone())
+                    .config(RunConfig::quick(epochs).with_seed(7))
+                    .executor(Box::new(InterleavedExecutor::new()))
+                    .bind_memory(bind)
+                    .build()
+                    .stream()
+                    .collect()
+            };
+            let bind_on = trace_hash(&run_deterministic(true));
+            let bind_off = trace_hash(&run_deterministic(false));
+            parity &= bind_on == bind_off;
+            traces.push(TraceHashes {
+                config: config.clone(),
+                bind_on,
+                bind_off,
+            });
+
+            // Measured wall clock through real threads (pinned to their
+            // group's cores), binding on vs off.
+            for (slot, bind) in [(0usize, false), (1usize, true)] {
+                let wall_ns = median_ns(samples, || {
+                    DimmWitted::on(machine.clone())
+                        .task(task.clone())
+                        .plan(plan.clone())
+                        .config(RunConfig::quick(epochs).with_seed(7))
+                        .mode(ExecutionMode::Threaded)
+                        .bind_memory(bind)
+                        .build()
+                        .run()
+                        .final_loss()
+                }) / epochs as f64;
+                if *mname == "detected" && sname == "locality_first" {
+                    detected_wall[slot] = wall_ns;
+                }
+                let arm = if bind { "bind_on" } else { "bind_off" };
+                records.push(Record {
+                    group: "epoch_wall",
+                    name: format!("epoch_ns/{arm}/{config}"),
+                    value: wall_ns,
+                    unit: "ns",
+                });
+            }
+        }
+    }
+    records.push(Record {
+        group: "parity",
+        name: "trace_parity".to_string(),
+        value: f64::from(u8::from(parity)),
+        unit: "flag",
+    });
+    assert!(parity, "binding moved a convergence trace");
+
+    // --- Modelled locality win per topology (round-robin / locality-first
+    // --- simulated epoch seconds — the optimizer's claim the physical
+    // --- binding realizes). ---
+    for (mname, machine) in &machines {
+        let mut seconds = [0.0f64; 2];
+        for (slot, (_, scheduler)) in schedulers.into_iter().enumerate() {
+            let plan = sharded_plan(machine, scheduler);
+            let sim = dimmwitted::sim_exec::simulate_epoch(
+                &task.data.stats(),
+                task.objective.row_update_density(),
+                &plan,
+                machine,
+            );
+            seconds[slot] = sim.seconds;
+        }
+        records.push(Record {
+            group: "model",
+            name: format!("modelled_locality_speedup/{mname}"),
+            value: seconds[0] / seconds[1],
+            unit: "x",
+        });
+    }
+
+    // --- The acceptance flag: on a single-node host the physical arms are
+    // --- identical no-ops; on a multi-node host the bind-on arm must not
+    // --- lose wall-clock to bind-off (10% noise band). ---
+    let bind_wins = single_node || detected_wall[1] <= detected_wall[0] * 1.10;
+    records.push(Record {
+        group: "parity",
+        name: "single_node_or_bind_wins".to_string(),
+        value: f64::from(u8::from(bind_wins)),
+        unit: "flag",
+    });
+    if !single_node {
+        assert!(
+            bind_wins,
+            "multi-node host: bind-on epoch {}ns lost to bind-off {}ns",
+            detected_wall[1], detected_wall[0]
+        );
+    }
+
+    // --- Emit JSON (hand-rolled: the workspace serde is an offline shim). ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"dw-bench/numa-v1\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str(&format!("  \"single_node\": {single_node},\n"));
+    json.push_str("  \"traces\": [\n");
+    for (i, t) in traces.iter().enumerate() {
+        let comma = if i + 1 == traces.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"bind_on\": \"{:016x}\", \"bind_off\": \"{:016x}\"}}{comma}\n",
+            t.config, t.bind_on, t.bind_off
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{comma}\n",
+            r.group, r.name, r.value, r.unit
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark JSON");
+
+    for r in &records {
+        println!(
+            "numa-bench: {:<10} {:<48} {:>16.4} {}",
+            r.group, r.name, r.value, r.unit
+        );
+    }
+    println!("numa-bench: wrote {} records to {out_path}", records.len());
+}

@@ -28,9 +28,9 @@ use crate::report::RunConfig;
 use crate::task::AnalyticsTask;
 use dw_numa::MachineTopology;
 use dw_optim::{average_models, AtomicModel};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the asynchronous PerNode averaging protocol wakes up
 /// ("as frequently as possible", Section 3.3).
@@ -56,6 +56,44 @@ pub struct EpochContext<'a> {
     pub step: f64,
 }
 
+/// Wall-clock measurements of one executed epoch, in nanoseconds.
+///
+/// The threaded mechanisms clock each worker's epoch in two pieces — the
+/// owned prefix of its item list, then the stolen tail the rebalancing pass
+/// appended ([`crate::plan::WorkerAssignment::stolen_tail`]) — so the cost
+/// of the stolen (usually cross-node) reads is measured directly, with no
+/// perf counters.  The deterministic [`InterleavedExecutor`] measures
+/// nothing and returns the all-zero default, which downstream consumers
+/// (the steal-budget tuner) treat as "no timing: use counts".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochTiming {
+    /// Summed nanoseconds workers spent processing their stolen tails.
+    pub steal_ns: u64,
+    /// The longest single worker's busy nanoseconds (the critical path).
+    pub busy_max_ns: u64,
+    /// Summed busy nanoseconds across all workers.
+    pub busy_total_ns: u64,
+    /// Workers measured (0 for untimed mechanisms).
+    pub workers: usize,
+}
+
+impl EpochTiming {
+    /// Convert to the tuner's feedback, attaching the epoch's steal count.
+    pub fn feedback(&self, steals: usize) -> crate::plan::StealFeedback {
+        let ns = 1e-9;
+        crate::plan::StealFeedback {
+            steals,
+            steal_seconds: self.steal_ns as f64 * ns,
+            busy_max_seconds: self.busy_max_ns as f64 * ns,
+            busy_mean_seconds: if self.workers > 0 {
+                self.busy_total_ns as f64 * ns / self.workers as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
 /// A mechanism that executes one epoch of first-order updates.
 ///
 /// Executors are stateful (`&mut self`) so that an implementation can hold
@@ -65,8 +103,9 @@ pub trait Executor: Send {
     /// Mechanism name used in reports and benchmarks.
     fn name(&self) -> &'static str;
 
-    /// Run every worker's updates for one epoch.
-    fn run_epoch(&mut self, ctx: &EpochContext<'_>);
+    /// Run every worker's updates for one epoch, returning the measured
+    /// timing (the all-zero default for mechanisms that do not measure).
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) -> EpochTiming;
 }
 
 /// Average a slice of reference-counted replicas into a plain vector.
@@ -98,7 +137,7 @@ impl Executor for InterleavedExecutor {
         "interleaved"
     }
 
-    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) -> EpochTiming {
         let rounds = ctx.config.rounds_per_epoch.max(1);
         let columnar = ctx.plan.access.is_columnar();
         let task = ctx.task;
@@ -137,6 +176,10 @@ impl Executor for InterleavedExecutor {
                 store_average(ctx.replicas);
             }
         }
+        // Deterministic single-thread interleaving: wall-clock feedback
+        // would make the budget adaptation nondeterministic, so none is
+        // measured — the tuner falls back to counts.
+        EpochTiming::default()
     }
 }
 
@@ -219,7 +262,7 @@ impl Executor for ThreadedExecutor {
         "threaded-pool"
     }
 
-    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) -> EpochTiming {
         let workers = ctx.assignment.workers.len();
         let columnar = ctx.plan.access.is_columnar();
         let step = ctx.step;
@@ -234,6 +277,13 @@ impl Executor for ThreadedExecutor {
             .map(|(w, worker)| self.fill_items(w, &worker.items))
             .collect();
 
+        // Per-worker clocks: each job times its owned prefix and its stolen
+        // tail separately, so the epoch's steal cost is measured, not
+        // modelled.
+        let steal_ns = Arc::new(AtomicU64::new(0));
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..workers).map(|_| AtomicU64::new(0)).collect());
+
         // One epoch = one batch: the private completion scope is what lets
         // many sessions share a pool without consuming each other's acks.
         let pool = self.pool_for(workers);
@@ -244,17 +294,31 @@ impl Executor for ThreadedExecutor {
             let objective = Arc::clone(&ctx.task.objective);
             let replica = Arc::clone(&ctx.replicas[worker.replica]);
             let items = Arc::clone(&staged[w]);
+            let stolen_tail = worker.stolen_tail.min(worker.items.len());
+            let steal_ns = Arc::clone(&steal_ns);
+            let busy_ns = Arc::clone(&busy_ns);
             batch.dispatch(
                 w,
                 Box::new(move || {
-                    for &item in items.iter() {
-                        let (shard, local, _) = data.resolve(group, item);
-                        if columnar {
-                            objective.col_step(shard, local, replica.as_ref(), step);
-                        } else {
-                            objective.row_step(shard, local, replica.as_ref(), step);
+                    let run = |slice: &[usize]| {
+                        for &item in slice {
+                            let (shard, local, _) = data.resolve(group, item);
+                            if columnar {
+                                objective.col_step(shard, local, replica.as_ref(), step);
+                            } else {
+                                objective.row_step(shard, local, replica.as_ref(), step);
+                            }
                         }
-                    }
+                    };
+                    let clock = Instant::now();
+                    let owned = items.len() - stolen_tail;
+                    run(&items[..owned]);
+                    let owned_elapsed = clock.elapsed();
+                    run(&items[owned..]);
+                    let total = clock.elapsed();
+                    busy_ns[w].store(total.as_nanos() as u64, Ordering::Relaxed);
+                    steal_ns
+                        .fetch_add((total - owned_elapsed).as_nanos() as u64, Ordering::Relaxed);
                 }),
             );
         }
@@ -269,6 +333,19 @@ impl Executor for ThreadedExecutor {
         } else {
             batch.wait();
         }
+        collect_timing(&steal_ns, &busy_ns)
+    }
+}
+
+/// Assemble an [`EpochTiming`] from the per-worker clocks after the epoch's
+/// jobs have all acknowledged.
+fn collect_timing(steal_ns: &AtomicU64, busy_ns: &[AtomicU64]) -> EpochTiming {
+    let busy: Vec<u64> = busy_ns.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+    EpochTiming {
+        steal_ns: steal_ns.load(Ordering::Relaxed),
+        busy_max_ns: busy.iter().copied().max().unwrap_or(0),
+        busy_total_ns: busy.iter().sum(),
+        workers: busy.len(),
     }
 }
 
@@ -295,10 +372,12 @@ impl Executor for SpawnPerEpochExecutor {
         "threaded-spawn"
     }
 
-    fn run_epoch(&mut self, ctx: &EpochContext<'_>) {
+    fn run_epoch(&mut self, ctx: &EpochContext<'_>) -> EpochTiming {
         let columnar = ctx.plan.access.is_columnar();
         let total = ctx.assignment.workers.len();
         let completed = AtomicUsize::new(0);
+        let steal_ns = AtomicU64::new(0);
+        let busy_ns: Vec<AtomicU64> = (0..total).map(|_| AtomicU64::new(0)).collect();
         std::thread::scope(|scope| {
             if ctx.plan.model_replication == ModelReplication::PerNode && ctx.replicas.len() > 1 {
                 let replicas = ctx.replicas;
@@ -310,27 +389,44 @@ impl Executor for SpawnPerEpochExecutor {
                     }
                 });
             }
-            for worker in &ctx.assignment.workers {
+            for (w, worker) in ctx.assignment.workers.iter().enumerate() {
                 let task = ctx.task;
                 let data = ctx.data;
                 let group = worker.replica;
                 let replica = ctx.replicas[worker.replica].as_ref();
                 let items = &worker.items;
+                let stolen_tail = worker.stolen_tail.min(items.len());
                 let step = ctx.step;
                 let completed = &completed;
+                let steal_ns = &steal_ns;
+                let busy = &busy_ns[w];
                 scope.spawn(move || {
-                    for &item in items {
-                        let (shard, local, _) = data.resolve(group, item);
-                        if columnar {
-                            task.objective.col_step(shard, local, replica, step);
-                        } else {
-                            task.objective.row_step(shard, local, replica, step);
+                    let run = |slice: &[usize]| {
+                        for &item in slice {
+                            let (shard, local, _) = data.resolve(group, item);
+                            if columnar {
+                                task.objective.col_step(shard, local, replica, step);
+                            } else {
+                                task.objective.row_step(shard, local, replica, step);
+                            }
                         }
-                    }
+                    };
+                    let clock = Instant::now();
+                    let owned = items.len() - stolen_tail;
+                    run(&items[..owned]);
+                    let owned_elapsed = clock.elapsed();
+                    run(&items[owned..]);
+                    let elapsed = clock.elapsed();
+                    busy.store(elapsed.as_nanos() as u64, Ordering::Relaxed);
+                    steal_ns.fetch_add(
+                        (elapsed - owned_elapsed).as_nanos() as u64,
+                        Ordering::Relaxed,
+                    );
                     completed.fetch_add(1, Ordering::Release);
                 });
             }
         });
+        collect_timing(&steal_ns, &busy_ns)
     }
 }
 
@@ -513,5 +609,86 @@ mod tests {
             assert_eq!(Arc::strong_count(buffer), 1, "jobs released their buffers");
             assert!(!buffer.is_empty(), "buffers hold the last epoch's items");
         }
+    }
+
+    /// One epoch of a steal-heavy 3-workers-over-2-groups plan through
+    /// `executor`, returning the measured timing.
+    fn timed_epoch_with(executor: &mut dyn Executor) -> EpochTiming {
+        let (task, machine) = context_parts();
+        let plan = ExecutionPlan::new(
+            &machine,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3)
+        .with_steal_budget(10_000);
+        let config = RunConfig::quick(1);
+        let replicas: Vec<Arc<AtomicModel>> = (0..plan.locality_groups(&machine))
+            .map(|_| Arc::new(AtomicModel::zeros(task.dim())))
+            .collect();
+        let data = crate::data_replica::DataReplicaSet::build(
+            &plan,
+            &machine,
+            dw_numa::PlacementPolicy::NumaAware,
+            &task,
+        );
+        let assignment =
+            build_epoch_assignment(&plan, &machine, &task.data, 0, 1, None, Some(&data));
+        assert!(
+            assignment.workers.iter().any(|w| w.stolen_tail > 0),
+            "the imbalance forces stolen tails"
+        );
+        let ctx = EpochContext {
+            task: &task,
+            plan: &plan,
+            config: &config,
+            machine: &machine,
+            assignment: &assignment,
+            replicas: &replicas,
+            data: &data,
+            step: task.objective.default_step(),
+        };
+        executor.run_epoch(&ctx)
+    }
+
+    #[test]
+    fn threaded_mechanisms_measure_steal_and_busy_time() {
+        for executor in [
+            &mut ThreadedExecutor::new() as &mut dyn Executor,
+            &mut SpawnPerEpochExecutor::new(),
+        ] {
+            let timing = timed_epoch_with(executor);
+            assert_eq!(timing.workers, 3, "{}", executor.name());
+            assert!(timing.busy_max_ns > 0, "{}", executor.name());
+            assert!(
+                timing.busy_total_ns >= timing.busy_max_ns,
+                "{}: the sum covers the max",
+                executor.name()
+            );
+            assert!(
+                timing.steal_ns > 0,
+                "{}: stolen tails were clocked",
+                executor.name()
+            );
+            assert!(
+                timing.steal_ns <= timing.busy_total_ns,
+                "{}: steal time is part of busy time",
+                executor.name()
+            );
+            let feedback = timing.feedback(7);
+            assert!(feedback.has_timing());
+            assert_eq!(feedback.steals, 7);
+            assert!(feedback.busy_mean_seconds <= feedback.busy_max_seconds + 1e-12);
+        }
+    }
+
+    #[test]
+    fn interleaved_mechanism_reports_no_timing() {
+        // Determinism contract: the interleaved executor never measures, so
+        // the budget tuner's wall-clock loop can never perturb its traces.
+        let timing = timed_epoch_with(&mut InterleavedExecutor::new());
+        assert_eq!(timing, EpochTiming::default());
+        assert!(!timing.feedback(3).has_timing());
     }
 }

@@ -533,6 +533,13 @@ pub struct WorkerAssignment {
     /// Row indices (row-wise access) or column indices (columnar access)
     /// this worker processes, in processing order.
     pub items: Vec<usize>,
+    /// How many items at the **tail** of `items` this worker received from
+    /// another worker via the bounded stealing pass (0 without stealing).
+    /// Stolen items always land at the receiver's tail, so the last
+    /// `stolen_tail` entries are exactly the received batch — the timed
+    /// executors clock that suffix separately to measure what a stolen
+    /// (usually cross-node) item actually costs its thief.
+    pub stolen_tail: usize,
 }
 
 /// A locality group: a model replica, the node that owns it, and its workers.
@@ -621,6 +628,7 @@ impl EpochAssignment {
                     assignment.node = node;
                     assignment.replica = replica;
                     assignment.items.clear();
+                    assignment.stolen_tail = 0;
                 }
                 None => self.workers.push(WorkerAssignment {
                     worker: w,
@@ -628,6 +636,7 @@ impl EpochAssignment {
                     node,
                     replica,
                     items: Vec::new(),
+                    stolen_tail: 0,
                 }),
             }
         }
@@ -681,6 +690,7 @@ impl EpochAssignment {
         };
         for worker in &mut self.workers {
             worker.items.clear();
+            worker.stolen_tail = 0;
         }
         self.steals = 0;
 
@@ -865,6 +875,106 @@ pub fn auto_steal_scheduler(
     }
 }
 
+/// Measured timing of one epoch, fed back into the steal-budget tuner
+/// (auto-steal mode).  Produced by the timed executors from per-worker
+/// clocks: each worker times its owned prefix and its stolen tail
+/// separately, so `steal_seconds` is what the moved items actually cost
+/// their thieves — remote reads included — with no perf counters involved.
+/// All-zero timing (`has_timing() == false`) means the mechanism does not
+/// measure (the deterministic interleaved executor); the tuner then falls
+/// back to the count-based adaptation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StealFeedback {
+    /// Cross-group items the epoch's stealing pass actually moved.
+    pub steals: usize,
+    /// Summed seconds the thieves spent processing their stolen tails.
+    pub steal_seconds: f64,
+    /// The longest single worker's busy time — the epoch's measured
+    /// critical path.
+    pub busy_max_seconds: f64,
+    /// Mean worker busy time; `1 - mean/max` is the idle fraction stealing
+    /// exists to shrink.
+    pub busy_mean_seconds: f64,
+}
+
+impl StealFeedback {
+    /// Whether the executor measured anything this epoch.
+    pub fn has_timing(&self) -> bool {
+        self.busy_max_seconds > 0.0
+    }
+
+    /// Fraction of the measured critical path spent on stolen items.
+    pub fn steal_share(&self) -> f64 {
+        if self.busy_max_seconds > 0.0 {
+            self.steal_seconds / self.busy_max_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of the epoch the mean worker sat idle behind the straggler.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.busy_max_seconds > 0.0 {
+            (1.0 - self.busy_mean_seconds / self.busy_max_seconds).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Stolen time above this share of the critical path shrinks the budget:
+/// the thieves' remote reads have become the thing the epoch waits on.
+const STEAL_SHARE_SHRINK: f64 = 0.5;
+
+/// Idle fraction above this grows the budget back toward the cap: workers
+/// are waiting on a straggler that more stealing would relieve.
+const IDLE_FRACTION_GROW: f64 = 0.25;
+
+/// One step of the latency-closed steal-budget loop (auto-steal mode):
+/// move `current` within `[0, cap]` using the epoch's measured
+/// [`StealFeedback`].
+///
+/// * **Shrink** (halve) when the stolen batches dominate the measured
+///   critical path (`steal_share > 0.5`): the remote reads the thieves pay
+///   now cost more wall-clock than the imbalance they relieve.
+/// * **Grow** (double; a single probe item when re-entering from zero)
+///   when workers idle behind a straggler (`idle_fraction > 0.25`) and
+///   stealing is not the bottleneck: unused capacity should absorb more
+///   items.
+/// * **Hold** otherwise.
+///
+/// Without timing (`has_timing() == false`) this reproduces the original
+/// count-based adaptation exactly — an under-used budget tightens to the
+/// measured steals, an exhausted one recovers to the cap — so the
+/// deterministic interleaved mechanism keeps its bit-stable behaviour.
+/// Every arm is bounded by `cap`, the economic ceiling derived by
+/// [`tuned_steal_budget`]: past it a stolen item costs its thief more than
+/// the overloaded worker saves, however idle the fleet looks.
+pub fn retune_steal_budget_feedback(current: usize, cap: usize, feedback: &StealFeedback) -> usize {
+    if cap == 0 {
+        return 0;
+    }
+    if !feedback.has_timing() {
+        return if current > 0 && feedback.steals >= current {
+            cap
+        } else {
+            feedback.steals.min(cap)
+        };
+    }
+    if feedback.steal_share() > STEAL_SHARE_SHRINK {
+        (current / 2).min(cap)
+    } else if feedback.idle_fraction() > IDLE_FRACTION_GROW {
+        // Re-enable with a single probe item from zero, double otherwise.
+        if current == 0 {
+            1
+        } else {
+            (current * 2).min(cap)
+        }
+    } else {
+        current.min(cap)
+    }
+}
+
 /// Even out per-worker load after owner-directed dealing: repeatedly move
 /// one item from the most-loaded worker's tail to the least-loaded worker
 /// (lowest index on ties), until the spread is within one item or `budget`
@@ -898,10 +1008,14 @@ fn steal_on_imbalance(
             .items
             .pop()
             .expect("most-loaded worker has items");
+        // Popping from the tail takes received items first; a re-stolen
+        // item leaves its previous thief's timed batch.
+        workers[most].stolen_tail = workers[most].stolen_tail.saturating_sub(1);
         if set.owner_of(item) != Some(workers[least].replica) {
             steals += 1;
         }
         workers[least].items.push(item);
+        workers[least].stolen_tail += 1;
         budget -= 1;
     }
     steals
@@ -1361,5 +1475,144 @@ mod tests {
         assert!(weighted_sample(&[], 3, &mut rng).is_empty());
         let zeros = weighted_sample(&[0.0, 0.0], 2, &mut rng);
         assert_eq!(zeros, vec![0, 1]);
+    }
+
+    #[test]
+    fn stolen_tails_mark_received_items_exactly() {
+        // The timing contract of the stealing pass: after dealing +
+        // stealing, worker w's last `stolen_tail` items are exactly the ones
+        // it received — every one of them dealt to (and owned by) someone
+        // else, every earlier item its own.
+        let m = local2();
+        let data = small_data(301, 8);
+        let plan = ExecutionPlan::new(
+            &m,
+            AccessMethod::RowWise,
+            ModelReplication::PerNode,
+            DataReplication::Sharding,
+        )
+        .with_workers(3)
+        .with_steal_budget(10_000);
+        let task =
+            crate::task::AnalyticsTask::new("ls(synthetic)", data, crate::task::ModelKind::Ls);
+        let set = crate::data_replica::DataReplicaSet::build(
+            &plan,
+            &m,
+            dw_numa::PlacementPolicy::NumaAware,
+            &task,
+        );
+        let assignment = build_epoch_assignment(&plan, &m, &task.data, 0, 1, None, Some(&set));
+        let received: usize = assignment.workers.iter().map(|w| w.stolen_tail).sum();
+        assert!(received > 0, "imbalanced staffing forces moves");
+        assert!(
+            received >= assignment.steals(),
+            "cross-group moves are a subset"
+        );
+        for worker in &assignment.workers {
+            assert!(worker.stolen_tail <= worker.items.len());
+            let owned = worker.items.len() - worker.stolen_tail;
+            for &item in &worker.items[..owned] {
+                assert_eq!(
+                    set.owner_of(item),
+                    Some(worker.replica),
+                    "owned prefix of worker {} stays owner-dealt",
+                    worker.worker
+                );
+            }
+        }
+        // Stealing disabled: no tails anywhere.
+        let starved = build_epoch_assignment(
+            &plan.clone().with_steal_budget(0),
+            &m,
+            &task.data,
+            0,
+            1,
+            None,
+            Some(&set),
+        );
+        assert!(starved.workers.iter().all(|w| w.stolen_tail == 0));
+    }
+
+    #[test]
+    fn feedback_retune_shrinks_under_remote_dominated_epochs() {
+        // A synthetic epoch stream where the stolen batches dominate the
+        // measured critical path: the budget halves every epoch down to
+        // zero, and never exceeds the cap on the way.
+        let cap = 64;
+        let mut budget = cap;
+        let remote_dominated = StealFeedback {
+            steals: 64,
+            steal_seconds: 0.9,
+            busy_max_seconds: 1.0,
+            busy_mean_seconds: 0.95,
+        };
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            budget = retune_steal_budget_feedback(budget, cap, &remote_dominated);
+            assert!(budget <= cap);
+            seen.push(budget);
+        }
+        assert_eq!(seen[0], 32, "first epoch halves the cap");
+        assert_eq!(
+            *seen.last().unwrap(),
+            0,
+            "persistent remote cost disables stealing"
+        );
+        for pair in seen.windows(2) {
+            assert!(pair[1] <= pair[0], "shrinking is monotone: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn feedback_retune_regrows_to_cap_when_workers_idle() {
+        // After a shrink, idle workers (mean busy well under the straggler)
+        // regrow the budget — doubling per epoch, from zero through 1, and
+        // saturating exactly at the derived cap, never past it.
+        let cap = 48;
+        let idle = StealFeedback {
+            steals: 0,
+            steal_seconds: 0.0,
+            busy_max_seconds: 1.0,
+            busy_mean_seconds: 0.5,
+        };
+        let mut budget = 0;
+        let mut path = Vec::new();
+        for _ in 0..10 {
+            budget = retune_steal_budget_feedback(budget, cap, &idle);
+            assert!(budget <= cap, "never exceeds the cap: {budget} vs {cap}");
+            path.push(budget);
+        }
+        assert_eq!(&path[..6], &[1, 2, 4, 8, 16, 32]);
+        assert_eq!(path[6], cap, "growth saturates at the economic cap");
+        assert_eq!(*path.last().unwrap(), cap);
+        // A balanced, cheap epoch holds the budget steady.
+        let balanced = StealFeedback {
+            steals: 3,
+            steal_seconds: 0.01,
+            busy_max_seconds: 1.0,
+            busy_mean_seconds: 0.95,
+        };
+        assert_eq!(retune_steal_budget_feedback(cap, cap, &balanced), cap);
+        // A zero cap pins the budget at zero whatever the feedback says.
+        assert_eq!(retune_steal_budget_feedback(7, 0, &idle), 0);
+    }
+
+    #[test]
+    fn feedback_retune_without_timing_matches_count_adaptation() {
+        // The interleaved executor measures nothing; the tuner must then
+        // reproduce the original count-based adaptation bit for bit: an
+        // exhausted budget recovers to the cap, an under-used one tightens
+        // to the measured steals.
+        let cap = 20;
+        let untimed = |steals: usize| StealFeedback {
+            steals,
+            ..StealFeedback::default()
+        };
+        assert!(!untimed(5).has_timing());
+        assert_eq!(retune_steal_budget_feedback(10, cap, &untimed(10)), cap);
+        assert_eq!(retune_steal_budget_feedback(10, cap, &untimed(14)), cap);
+        assert_eq!(retune_steal_budget_feedback(10, cap, &untimed(4)), 4);
+        assert_eq!(retune_steal_budget_feedback(0, cap, &untimed(0)), 0);
+        assert_eq!(retune_steal_budget_feedback(10, cap, &untimed(25)), cap);
     }
 }

@@ -26,12 +26,38 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// A unit of work dispatched to one pool worker.
 pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The host's physical CPU topology, probed once per process (best-effort:
+/// `None` on hosts without a parsable `/sys/devices/system/node`).
+fn host_topology() -> Option<&'static dw_numa::HostTopology> {
+    static HOST: OnceLock<Option<dw_numa::HostTopology>> = OnceLock::new();
+    HOST.get_or_init(dw_numa::HostTopology::probe).as_ref()
+}
+
+/// Physical placement of pool worker `w`: the locality group it staffs (a
+/// host NUMA node, round-robin — the same `w % nodes` rule the planner's
+/// [`crate::plan::EpochAssignment`] uses to spread workers), its index
+/// within that group, and the concrete CPU to pin to (round-robin within
+/// the node's cpulist).  Without a probed topology the worker is unplaced:
+/// group 0, no pin.
+fn worker_placement(w: usize) -> (usize, usize, Option<usize>) {
+    match host_topology() {
+        Some(host) if !host.nodes.is_empty() => {
+            let group = w % host.nodes.len();
+            let index = w / host.nodes.len();
+            let cpus = &host.nodes[group].cpus;
+            let cpu = (!cpus.is_empty()).then(|| cpus[index % cpus.len()]);
+            (group, index, cpu)
+        }
+        _ => (0, w, None),
+    }
+}
 
 /// A queued job together with the completion channel of its batch.
 struct Tagged {
@@ -67,9 +93,19 @@ impl WorkerPool {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let (tx, rx) = channel::<Tagged>();
+            // Pin each worker to a physical core, round-robin across the
+            // host's NUMA nodes (Appendix A's worker spreading made
+            // physical).  Best-effort via plain sched_setaffinity — active
+            // with or without the `numa` feature; a no-op on hosts whose
+            // topology cannot be probed.  The name carries the locality
+            // group for profiler legibility.
+            let (group, index, cpu) = worker_placement(w);
             let handle = std::thread::Builder::new()
-                .name(format!("dw-worker-{w}"))
+                .name(format!("dw-worker-{group}-{index}"))
                 .spawn(move || {
+                    if let Some(cpu) = cpu {
+                        let _ = dw_numa::pin_current_thread(cpu);
+                    }
                     for Tagged { job, done } in rx {
                         // A panicking job must still acknowledge, otherwise
                         // its batch would wait forever for the slot.  A
@@ -352,5 +388,62 @@ mod tests {
         batch.wait();
         assert_eq!(hits.load(Ordering::Relaxed), 7);
         assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn workers_are_named_with_their_locality_group() {
+        // Satellite of the physical-placement work: thread names carry the
+        // worker's locality group (`dw-worker-{group}-{index}`) so profiles
+        // and `ps -T` output read as the plan's worker layout.  The names
+        // are observed from inside dispatched jobs, and must agree with the
+        // placement rule whatever topology the host probes to.
+        let pool = WorkerPool::new(4);
+        let names = Arc::new(Mutex::new(Vec::new()));
+        for w in 0..4 {
+            let names = Arc::clone(&names);
+            pool.dispatch(
+                w,
+                Box::new(move || {
+                    let name = std::thread::current().name().unwrap_or("").to_string();
+                    names.lock().unwrap().push((w, name));
+                }),
+            );
+        }
+        pool.wait(4);
+        let names = names.lock().unwrap();
+        assert_eq!(names.len(), 4);
+        for (w, name) in names.iter() {
+            let (group, index, _) = worker_placement(*w);
+            assert_eq!(
+                name,
+                &format!("dw-worker-{group}-{index}"),
+                "worker {w} name"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_placement_spreads_groups_round_robin() {
+        // Placement is a pure function of the probed topology: with n nodes
+        // workers 0..n staff distinct groups, and worker n wraps back to
+        // group 0 as its second member.  Without a topology every worker is
+        // unplaced (group 0, no pin) and the pool still works.
+        match host_topology() {
+            Some(host) => {
+                let nodes = host.nodes.len();
+                for w in 0..nodes {
+                    let (group, index, cpu) = worker_placement(w);
+                    assert_eq!(group, w);
+                    assert_eq!(index, 0);
+                    assert!(cpu.is_some(), "probed nodes list their cpus");
+                }
+                assert_eq!(worker_placement(nodes).0, 0, "round-robin wraps");
+                assert_eq!(worker_placement(nodes).1, 1);
+            }
+            None => {
+                let (group, index, cpu) = worker_placement(3);
+                assert_eq!((group, index, cpu), (0, 3, None));
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 
 use crate::encoding::BlockedIndices;
 use crate::kernels::{dot_encoded_with, KernelVariant};
-use crate::storage::{F64Section, U32Section};
+use crate::storage::{ByteExtent, F64Section, U32Section};
 use crate::views::ColAccess;
 use crate::{ColView, CsrMatrix, DenseMatrix, Layout, MatrixError, Shape};
 use std::sync::OnceLock;
@@ -282,6 +282,33 @@ impl CscMatrix {
     /// `persist.rs` serializes.
     pub(crate) fn sections(&self) -> (&[u32], &[u32], &[f64]) {
         (&self.indptr, &self.indices, &self.data)
+    }
+
+    /// Byte extents of the storage backing columns `start..end`: the indptr
+    /// window plus the indices/data slices those columns occupy — the
+    /// column mirror of [`CsrMatrix::range_extents`], consumed by the NUMA
+    /// page binder.
+    ///
+    /// [`CsrMatrix::range_extents`]: crate::CsrMatrix::range_extents
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= cols`.
+    pub fn range_extents(&self, start: usize, end: usize) -> Vec<ByteExtent> {
+        assert!(
+            start <= end && end <= self.shape.cols,
+            "column range {start}..{end} outside matrix of {} columns",
+            self.shape.cols
+        );
+        let lo = self.indptr[start] as usize;
+        let hi = self.indptr[end] as usize;
+        [
+            ByteExtent::of_slice(&self.indptr[start..=end]),
+            ByteExtent::of_slice(&self.indices[lo..hi]),
+            ByteExtent::of_slice(&self.data[lo..hi]),
+        ]
+        .into_iter()
+        .filter(|e| !e.is_empty())
+        .collect()
     }
 
     /// The block-compressed sidecar of the index array, built on first use

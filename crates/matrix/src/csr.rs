@@ -8,7 +8,7 @@
 
 use crate::encoding::BlockedIndices;
 use crate::kernels::{dot_encoded_with, KernelVariant};
-use crate::storage::{F64Section, U32Section};
+use crate::storage::{ByteExtent, F64Section, U32Section};
 use crate::views::RowAccess;
 use crate::{CscMatrix, DenseMatrix, Layout, MatrixError, RowView, Shape, SparseVector};
 use std::sync::OnceLock;
@@ -336,6 +336,32 @@ impl CsrMatrix {
     /// `persist.rs` serializes.
     pub(crate) fn sections(&self) -> (&[u32], &[u32], &[f64]) {
         (&self.indptr, &self.indices, &self.data)
+    }
+
+    /// Byte extents of the storage backing rows `start..end`: the indptr
+    /// window plus the indices/data slices those rows occupy.  This is what
+    /// a zero-copy row shard physically reads, handed to the NUMA page
+    /// binder so the owning node's DRAM holds it — addresses point into the
+    /// live (owned or mapped) sections and never outlive the matrix.
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= rows`.
+    pub fn range_extents(&self, start: usize, end: usize) -> Vec<ByteExtent> {
+        assert!(
+            start <= end && end <= self.shape.rows,
+            "row range {start}..{end} outside matrix of {} rows",
+            self.shape.rows
+        );
+        let lo = self.indptr[start] as usize;
+        let hi = self.indptr[end] as usize;
+        [
+            ByteExtent::of_slice(&self.indptr[start..=end]),
+            ByteExtent::of_slice(&self.indices[lo..hi]),
+            ByteExtent::of_slice(&self.data[lo..hi]),
+        ]
+        .into_iter()
+        .filter(|e| !e.is_empty())
+        .collect()
     }
 
     /// The block-compressed sidecar of the index array, built on first use

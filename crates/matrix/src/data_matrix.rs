@@ -42,6 +42,7 @@
 use crate::dense::DenseRows;
 use crate::kernels::{IndexEncoding, KernelVariant};
 use crate::ooc::{self, MatrixSource, PagedSource};
+use crate::storage::ByteExtent;
 use crate::views::{ColAccess, RowAccess};
 use crate::{
     ColView, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, Layout, MatrixStats, RowView, Shape,
@@ -1496,6 +1497,67 @@ impl DataMatrix {
     pub fn select_rows(&self, row_ids: &[usize]) -> DataMatrix {
         DataMatrix::from_csr(self.csr().select_rows(row_ids))
     }
+
+    /// Byte extents of the already-resident row layouts backing rows
+    /// `start..end` — what a zero-copy row shard physically reads, handed
+    /// to the NUMA page binder at replica-set build time.
+    ///
+    /// Reads only layouts materialized *right now* (`OnceLock::get`, never
+    /// `get_or_init`): asking for extents can never trigger a conversion or
+    /// page in an out-of-core source.  A row-windowed matrix delegates to
+    /// its base under the window's global offsets — the base's storage is
+    /// what the shard serves.  Empty when no row layout is resident.
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= rows`.
+    pub fn row_range_extents(&self, start: usize, end: usize) -> Vec<ByteExtent> {
+        assert!(
+            start <= end && end <= self.rows(),
+            "row range {start}..{end} outside matrix of {} rows",
+            self.rows()
+        );
+        if let Some(view) = &self.inner.window {
+            if view.axis == Axis::Rows && self.inner.csr.get().is_none() {
+                return view
+                    .base
+                    .row_range_extents(view.start + start, view.start + end);
+            }
+        }
+        let mut extents = Vec::new();
+        if let Some(csr) = self.inner.csr.get() {
+            extents.extend(csr.range_extents(start, end));
+        }
+        if let Some(rows) = self.inner.dense_rows.get() {
+            extents.extend(rows.range_extents(start, end));
+        }
+        extents
+    }
+
+    /// The column mirror of [`DataMatrix::row_range_extents`]: byte extents
+    /// of the already-resident CSC backing columns `start..end`.  Same
+    /// contract — resident layouts only, window-delegating, possibly empty.
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= cols`.
+    pub fn col_range_extents(&self, start: usize, end: usize) -> Vec<ByteExtent> {
+        assert!(
+            start <= end && end <= self.cols(),
+            "column range {start}..{end} outside matrix of {} columns",
+            self.cols()
+        );
+        if let Some(view) = &self.inner.window {
+            if view.axis == Axis::Cols && self.inner.csc.get().is_none() {
+                return view
+                    .base
+                    .col_range_extents(view.start + start, view.start + end);
+            }
+        }
+        let mut extents = Vec::new();
+        if let Some(csc) = self.inner.csc.get() {
+            extents.extend(csc.range_extents(start, end));
+        }
+        extents
+    }
 }
 
 impl From<CooMatrix> for DataMatrix {
@@ -1652,6 +1714,37 @@ mod tests {
         }
         assert!(m.csc_materialized());
         assert!(!m.csr_materialized(), "column traffic must not build CSR");
+    }
+
+    #[test]
+    fn range_extents_cover_resident_layouts_only() {
+        let m = DataMatrix::from_coo(sample_coo());
+        // Nothing resident: extents are empty and nothing materializes.
+        assert!(m.row_range_extents(0, m.rows()).is_empty());
+        assert!(m.col_range_extents(0, m.cols()).is_empty());
+        assert!(!m.csr_materialized());
+        assert!(!m.csc_materialized());
+
+        m.materialize_rows();
+        let full = m.row_range_extents(0, m.rows());
+        assert!(!full.is_empty());
+        // A zero-copy shard's extents point into the base's live storage:
+        // the shard's value bytes are a sub-range of the full extents.
+        let shard = m.row_range(2, 3);
+        let shard_extents = shard.row_range_extents(0, shard.rows());
+        assert!(!shard_extents.is_empty());
+        for e in &shard_extents {
+            assert!(
+                full.iter()
+                    .any(|f| e.addr >= f.addr && e.addr + e.len <= f.addr + f.len),
+                "shard extent {e:?} lies inside a base extent"
+            );
+        }
+        // Column extents mirror through the CSC.
+        m.materialize_cols();
+        let cols = m.col_range_extents(1, 3);
+        assert!(!cols.is_empty());
+        assert!(cols.iter().all(|e| !e.is_empty()));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! [`Layout`] explicitly, and the engine converts the matrix to the layout
 //! that matches the chosen access method before execution.
 
-use crate::storage::F64Section;
+use crate::storage::{ByteExtent, F64Section};
 use crate::views::RowAccess;
 use crate::{MatrixError, RowView, Shape};
 
@@ -339,6 +339,30 @@ impl DenseRows {
     /// The row-major value buffer.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Byte extents of the value storage backing rows `start..end` — the
+    /// dense-layout counterpart of [`CsrMatrix::range_extents`], consumed
+    /// by the NUMA page binder.  (The shared index arange is deliberately
+    /// excluded: every group reads it, so it has no owner node.)
+    ///
+    /// [`CsrMatrix::range_extents`]: crate::CsrMatrix::range_extents
+    ///
+    /// # Panics
+    /// Panics unless `start <= end <= rows`.
+    pub fn range_extents(&self, start: usize, end: usize) -> Vec<ByteExtent> {
+        assert!(
+            start <= end && end <= self.shape.rows,
+            "row range {start}..{end} outside matrix of {} rows",
+            self.shape.rows
+        );
+        let d = self.shape.cols;
+        let window = &self.values[start * d..end * d];
+        if window.is_empty() {
+            Vec::new()
+        } else {
+            vec![ByteExtent::of_slice(window)]
+        }
     }
 
     /// Bytes held: the value buffer plus the one shared index arange.

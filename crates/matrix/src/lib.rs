@@ -75,7 +75,7 @@ pub use ooc::{
 };
 pub use persist::PersistedLayouts;
 pub use stats::MatrixStats;
-pub use storage::{F64Section, MappedFile, Section, U32Section};
+pub use storage::{ByteExtent, F64Section, MappedFile, Section, U32Section};
 pub use vector::{axpy, dot_dense, dot_sparse_dense, norm2, scale, SparseVector};
 pub use views::{ColAccess, ColView, RowAccess, RowView, VecView};
 

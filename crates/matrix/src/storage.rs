@@ -50,6 +50,37 @@ unsafe impl Pod for f64 {
     }
 }
 
+/// A contiguous byte range of a live allocation — what layout buffers hand
+/// to the NUMA page binder.
+///
+/// An extent is just `(address, length)`: it borrows nothing, so the caller
+/// must only use it while the storage that produced it is alive (the binder
+/// consumes extents immediately at replica-set build time).  Works over
+/// owned and mapped sections alike — both serve their elements from stable
+/// addresses for the section's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ByteExtent {
+    /// Address of the first byte.
+    pub addr: usize,
+    /// Length in bytes.
+    pub len: usize,
+}
+
+impl ByteExtent {
+    /// The extent covering `slice`'s elements.
+    pub fn of_slice<T>(slice: &[T]) -> ByteExtent {
+        ByteExtent {
+            addr: slice.as_ptr() as usize,
+            len: std::mem::size_of_val(slice),
+        }
+    }
+
+    /// Whether the extent covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
 // ---------------------------------------------------------------------------
 // MappedFile: a read-only file image, mmap'd when the feature allows it.
 // ---------------------------------------------------------------------------

@@ -19,6 +19,10 @@
 //! * [`PlacementPolicy`] / [`DataPlacement`] — the OS-default vs NUMA-aware
 //!   worker/data collocation strategies of Appendix A,
 //! * [`SimClock`] — a simulated nanosecond clock.
+//! * [`bind`] — the *physical* counterpart of the model: host-topology
+//!   discovery from sysfs, `sched_setaffinity` thread pinning, and the
+//!   feature-gated `mbind` page-range [`NodeBinder`] (a faithful no-op stub
+//!   on single-node hosts or builds without the `numa` feature).
 //!
 //! The engine (`dimmwitted` crate) charges every modelled read and write
 //! against these components; the ratios the paper reports (e.g. PerMachine
@@ -26,6 +30,7 @@
 //! counter values.
 
 pub mod bandwidth;
+pub mod bind;
 pub mod cache;
 pub mod cost;
 pub mod counters;
@@ -34,6 +39,10 @@ pub mod sim;
 pub mod topology;
 
 pub use bandwidth::{aggregate_bandwidth, BandwidthEstimate};
+pub use bind::{
+    mbind_supported, parse_cpulist, pin_current_thread, HostNode, HostTopology, NodeBinder,
+    PAGE_SIZE,
+};
 pub use cache::CacheSim;
 pub use cost::MemoryCostModel;
 pub use counters::PerfCounters;

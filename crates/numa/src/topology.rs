@@ -145,6 +145,20 @@ impl MachineTopology {
         }
     }
 
+    /// The machine actually running the process, discovered from
+    /// `/sys/devices/system/node` ([`crate::bind::HostTopology::probe`]).
+    ///
+    /// Falls back to the `local2` preset when the sysfs tree is absent
+    /// (non-Linux hosts, restricted containers), so callers always get a
+    /// usable topology.  On single-node hosts the detected machine has
+    /// `nodes == 1` — sharding and binding then degrade to their recorded
+    /// no-op paths.
+    pub fn detect() -> Self {
+        crate::bind::HostTopology::probe()
+            .map(|host| host.to_machine())
+            .unwrap_or_else(Self::local2)
+    }
+
     /// A custom topology, used by tests and sweeps.
     pub fn custom(name: &str, nodes: usize, cores_per_node: usize, llc_mb: usize) -> Self {
         MachineTopology {
@@ -269,6 +283,17 @@ mod tests {
         assert_eq!(l2.label(), "6x2");
         assert_eq!(MachineTopology::local4().label(), "10x4");
         assert_eq!(MachineTopology::local8().label(), "8x8");
+    }
+
+    #[test]
+    fn detect_always_yields_a_usable_topology() {
+        // Real sysfs on Linux, the local2 preset elsewhere — either way the
+        // result must be well-formed.
+        let m = MachineTopology::detect();
+        assert!(m.nodes >= 1);
+        assert!(m.cores_per_node >= 1);
+        assert!(m.total_cores() >= 1);
+        assert!(m.node_ram_bytes() > 0);
     }
 
     #[test]
